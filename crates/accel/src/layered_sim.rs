@@ -1,0 +1,286 @@
+//! Per-layer roofline simulation.
+//!
+//! Resolves SRAM pressure layer by layer instead of per kernel: a layer
+//! whose (resident + working-set) footprint fits in SRAM moves no
+//! activation bytes to DRAM, and array utilization is assessed against
+//! each layer's own parallelism — the granularity the paper's simulator
+//! (Fig. 5) gets from consuming PyTorch models layer by layer.
+
+use crate::config::{AcceleratorConfig, MemoryIntegration};
+use cordoba_carbon::units::{Bytes, Joules, Seconds, Watts};
+use cordoba_workloads::cost::{CostTable, KernelCost};
+use cordoba_workloads::kernel::KernelId;
+use cordoba_workloads::layers::{Layer, LayeredKernel};
+use serde::{Deserialize, Serialize};
+
+/// Simulation result for one layer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LayerSim {
+    /// Time the layer's MACs need on the array.
+    pub compute_time: Seconds,
+    /// Time the layer's DRAM traffic needs on the bus.
+    pub memory_time: Seconds,
+    /// Bytes this layer moves to/from DRAM (weights + spilled activations).
+    pub dram_traffic: Bytes,
+    /// Dynamic energy of the layer.
+    pub dynamic_energy: Joules,
+}
+
+impl LayerSim {
+    /// The layer's contribution to kernel latency (roofline overlap).
+    #[must_use]
+    pub fn latency(&self) -> Seconds {
+        self.compute_time.max(self.memory_time)
+    }
+}
+
+/// Simulation result for a layered kernel on one configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayeredSim {
+    /// Which kernel was simulated.
+    pub kernel: KernelId,
+    /// Per-layer results, in network order.
+    pub layers: Vec<LayerSim>,
+    /// End-to-end latency (sum of per-layer rooflines).
+    pub latency: Seconds,
+    /// Total dynamic energy.
+    pub dynamic_energy: Joules,
+    /// Total DRAM traffic.
+    pub dram_traffic: Bytes,
+}
+
+impl LayeredSim {
+    /// Average dynamic power over the inference.
+    #[must_use]
+    pub fn dynamic_power(&self) -> Watts {
+        self.dynamic_energy / self.latency
+    }
+
+}
+
+/// Simulates one inference of `kernel` (layer by layer) on `config`.
+#[must_use]
+pub fn simulate_layered(config: &AcceleratorConfig, kernel: &LayeredKernel) -> LayeredSim {
+    let t = config.tuning();
+    let sram = config.sram();
+    let sram_factor = match config.integration() {
+        MemoryIntegration::OnDie => 1.0,
+        MemoryIntegration::Stacked3d { .. } => t.stacked_sram_energy_factor,
+    };
+
+    let mut layers = Vec::with_capacity(kernel.layers.len());
+    let mut latency = Seconds::ZERO;
+    let mut energy = Joules::ZERO;
+    let mut traffic = Bytes::ZERO;
+
+    for (i, layer) in kernel.layers.iter().enumerate() {
+        let macs = layer.macs();
+        let peak = t.peak_macs_per_second(config.mac_units(), macs / 1e9);
+        let compute_time = Seconds::new(macs / peak);
+
+        // Weights stream from DRAM once.
+        let mut dram = layer.weight_bytes();
+        // Kernel input / output tensors always cross DRAM.
+        if i == 0 {
+            dram += layer.input_bytes();
+        }
+        if i == kernel.layers.len() - 1 {
+            dram += layer.output_bytes();
+        }
+        // Activation spill: the layer's live footprint is its working set
+        // plus the network's resident buffers.
+        let footprint = kernel.resident + layer.working_set();
+        let overflow = footprint.value() / sram.value();
+        if overflow > 1.0 {
+            dram += layer.working_set()
+                * (t.refetch_scale * (overflow.powf(t.refetch_exponent) - 1.0));
+        }
+        let memory_time: Seconds = dram / t.dram_bandwidth;
+
+        let mac_energy = t.mac_energy * macs;
+        let sram_energy =
+            t.sram_energy_per_byte(sram) * (macs * t.sram_bytes_per_mac) * sram_factor;
+        let dram_energy = t.dram_energy_per_byte * dram.value();
+        let dynamic_energy = mac_energy + sram_energy + dram_energy;
+
+        let sim = LayerSim {
+            compute_time,
+            memory_time,
+            dram_traffic: dram,
+            dynamic_energy,
+        };
+        latency += sim.latency();
+        energy += dynamic_energy;
+        traffic += dram;
+        layers.push(sim);
+    }
+
+    LayeredSim {
+        kernel: kernel.id,
+        layers,
+        latency,
+        dynamic_energy: energy,
+        dram_traffic: traffic,
+    }
+}
+
+/// Builds a [`CostTable`] from per-layer simulation of all fifteen kernels.
+#[must_use]
+pub fn layered_cost_table(config: &AcceleratorConfig) -> CostTable {
+    let mut table = CostTable::new(config.leakage_power());
+    for kernel in LayeredKernel::all() {
+        let sim = simulate_layered(config, &kernel);
+        table.insert(kernel.id, KernelCost::new(sim.latency, sim.dynamic_power()));
+    }
+    table
+}
+
+/// Convenience accessors over layers for analyses.
+impl LayeredSim {
+    /// The fraction of latency spent memory-bound.
+    #[must_use]
+    pub fn memory_bound_fraction(&self) -> f64 {
+        let bound: f64 = self
+            .layers
+            .iter()
+            .filter(|l| l.memory_time > l.compute_time)
+            .map(|l| l.latency().value())
+            .sum();
+        bound / self.latency.value()
+    }
+}
+
+/// Re-export of [`Layer`] metadata useful alongside simulation output.
+pub fn layer_names(kernel: &LayeredKernel) -> Vec<&'static str> {
+    kernel
+        .layers
+        .iter()
+        .map(|l| match l {
+            Layer::Conv2d { .. } => "conv",
+            Layer::DepthwiseConv2d { .. } => "dwconv",
+            Layer::FullyConnected { .. } => "fc",
+            // `Layer` is #[non_exhaustive]; future kinds fall through.
+            _ => "layer",
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::simulate;
+
+    fn cfg(units: u32, sram_mib: f64) -> AcceleratorConfig {
+        AcceleratorConfig::on_die(
+            format!("u{units}s{sram_mib}"),
+            units,
+            Bytes::from_mebibytes(sram_mib),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn totals_compose_from_layers() {
+        let kernel = LayeredKernel::for_kernel(KernelId::ResNet50);
+        let sim = simulate_layered(&cfg(16, 8.0), &kernel);
+        assert_eq!(sim.layers.len(), kernel.layers.len());
+        let lat: f64 = sim.layers.iter().map(|l| l.latency().value()).sum();
+        assert!((sim.latency.value() - lat).abs() < 1e-12);
+        let e: f64 = sim.layers.iter().map(|l| l.dynamic_energy.value()).sum();
+        assert!((sim.dynamic_energy.value() - e).abs() < 1e-12);
+        assert!(sim.dynamic_power().value() > 0.0);
+    }
+
+    #[test]
+    fn layered_and_aggregate_agree_on_magnitude() {
+        // The two paths model the same hardware; latency and energy should
+        // agree within a small factor for every kernel on a mid config.
+        let config = cfg(16, 8.0);
+        for kernel in LayeredKernel::all() {
+            let layered = simulate_layered(&config, &kernel);
+            let aggregate = simulate(&config, &kernel.id.descriptor());
+            let lat_ratio = (layered.latency.value() / aggregate.latency.value()).max(
+                aggregate.latency.value() / layered.latency.value(),
+            );
+            assert!(
+                lat_ratio < 5.0,
+                "{:?}: layered {} vs aggregate {} latency",
+                kernel.id,
+                layered.latency,
+                aggregate.latency
+            );
+            let e_ratio = (layered.dynamic_energy.value() / aggregate.dynamic_energy.value())
+                .max(aggregate.dynamic_energy.value() / layered.dynamic_energy.value());
+            assert!(e_ratio < 5.0, "{:?} energy ratio {e_ratio}", kernel.id);
+        }
+    }
+
+    #[test]
+    fn fitting_every_layer_eliminates_activation_spill() {
+        // With enormous SRAM, DRAM traffic reduces to weights + kernel I/O.
+        let kernel = LayeredKernel::for_kernel(KernelId::UNet);
+        let sim = simulate_layered(&cfg(16, 4096.0), &kernel);
+        let weights = kernel.total_weights();
+        let io = kernel.layers.first().unwrap().input_bytes()
+            + kernel.layers.last().unwrap().output_bytes();
+        assert!(
+            (sim.dram_traffic.value() - weights.value() - io.value()).abs() < 1.0,
+            "traffic {} vs weights+io {}",
+            sim.dram_traffic,
+            weights + io
+        );
+    }
+
+    #[test]
+    fn more_sram_never_increases_layered_traffic() {
+        let kernel = LayeredKernel::for_kernel(KernelId::Sr512);
+        let mut prev = f64::INFINITY;
+        for sram in [1.0, 4.0, 16.0, 64.0, 256.0] {
+            let sim = simulate_layered(&cfg(16, sram), &kernel);
+            assert!(sim.dram_traffic.value() <= prev);
+            prev = sim.dram_traffic.value();
+        }
+    }
+
+    #[test]
+    fn sr_burst_buffers_dominate_spill() {
+        // SR(1024)'s resident burst frames blow any reasonable SRAM, so
+        // almost the whole run is memory-bound on small SRAM.
+        let kernel = LayeredKernel::for_kernel(KernelId::Sr1024);
+        let starved = simulate_layered(&cfg(16, 2.0), &kernel);
+        assert!(starved.memory_bound_fraction() > 0.9);
+        let fed = simulate_layered(&cfg(16, 512.0), &kernel);
+        assert!(fed.memory_bound_fraction() < starved.memory_bound_fraction());
+        assert!(fed.latency < starved.latency);
+    }
+
+    #[test]
+    fn small_layers_underutilize_big_arrays() {
+        // MobileNet's tiny layers cannot fill a 1024-unit array: latency
+        // improves far less than the 64x unit increase.
+        let kernel = LayeredKernel::for_kernel(KernelId::MobileNetV2);
+        let small = simulate_layered(&cfg(16, 8.0), &kernel);
+        let big = simulate_layered(&cfg(1024, 8.0), &kernel);
+        let speedup = small.latency.value() / big.latency.value();
+        assert!(speedup < 16.0, "speedup {speedup}");
+        assert!(speedup > 1.0);
+    }
+
+    #[test]
+    fn layered_cost_table_covers_all_kernels() {
+        let table = layered_cost_table(&cfg(16, 8.0));
+        assert_eq!(table.len(), 15);
+        let task = cordoba_workloads::task::Task::xr_5_kernels();
+        assert!(table.task_delay(&task).unwrap().is_positive());
+    }
+
+    #[test]
+    fn layer_names_match_kinds() {
+        let kernel = LayeredKernel::for_kernel(KernelId::MobileNetV2);
+        let names = layer_names(&kernel);
+        assert_eq!(names.len(), kernel.layers.len());
+        assert!(names.contains(&"dwconv"));
+        assert!(names.contains(&"conv"));
+        assert!(names.contains(&"fc"));
+    }
+}

@@ -1,0 +1,244 @@
+//! Technology tuning constants for the accelerator simulator.
+//!
+//! All constants are quoted at 7 nm (the node of the paper's baseline
+//! accelerator \[48\] and 3D study \[54\]) and scaled to other nodes through the
+//! fab profiles of `cordoba-carbon`. The absolute values are synthesized
+//! from published figures (INT8 MAC ≈ 0.4 pJ, on-die SRAM ≈ 0.1 pJ/B,
+//! LPDDR4 DRAM ≈ 30 pJ/B at 16 GB/s); the DSE results depend on their
+//! *relative* magnitudes (DRAM ≫ SRAM ≫ MAC), which are robust.
+
+use cordoba_carbon::fab::ProcessNode;
+use cordoba_carbon::units::{Bytes, BytesPerSecond, Hertz, Joules, Watts};
+use serde::{Deserialize, Serialize};
+
+/// Number of scalar INT8 MACs in one "MAC unit" of the design space.
+///
+/// The paper sweeps "number of MAC units"; we size a unit as a 128-lane
+/// dot-product engine, so the 1K/2K-MAC configurations of §VI-E correspond
+/// to 8/16 units.
+pub const MACS_PER_UNIT: u32 = 128;
+
+/// Tuning constants for one technology node.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TechTuning {
+    /// The node these constants are for.
+    pub node: ProcessNode,
+    /// Clock frequency of the MAC array.
+    pub clock: Hertz,
+    /// Achieved fraction of peak MAC throughput for a small array.
+    pub utilization: f64,
+    /// Array size (in MAC units) at which achieved utilization halves —
+    /// larger arrays map real kernels with progressively more idle lanes
+    /// (the paper's simulator shows the same saturation \[48\]).
+    pub utilization_knee_units: f64,
+    /// Energy per INT8 MAC (including local register traffic).
+    pub mac_energy: Joules,
+    /// On-die SRAM access energy per byte for a 1 MiB macro; grows with
+    /// capacity as `(MiB)^sram_energy_exponent`.
+    pub sram_energy_per_byte_1mib: Joules,
+    /// Capacity exponent of SRAM access energy.
+    pub sram_energy_exponent: f64,
+    /// Effective SRAM bytes touched per MAC after register reuse.
+    pub sram_bytes_per_mac: f64,
+    /// Energy per byte moved to/from off-chip DRAM.
+    pub dram_energy_per_byte: Joules,
+    /// Multiplier on SRAM access energy for 3D-stacked SRAM (hybrid-bond
+    /// TSV hop); still far below DRAM \[54\].
+    pub stacked_sram_energy_factor: f64,
+    /// Peak off-chip DRAM bandwidth (the paper's LPDDR4 16 GB/s).
+    pub dram_bandwidth: BytesPerSecond,
+    /// Leakage power per MiB of on-die SRAM.
+    pub leakage_per_sram_mib: Watts,
+    /// Leakage power per MAC unit.
+    pub leakage_per_mac_unit: Watts,
+    /// Fixed leakage of control/NoC/PHY.
+    pub leakage_base: Watts,
+    /// Logic area of one MAC unit, in mm².
+    pub mac_unit_area_mm2: f64,
+    /// SRAM area per MiB, in mm².
+    pub sram_area_mm2_per_mib: f64,
+    /// Fixed die overhead (control, NoC, I/O ring), in mm².
+    pub base_area_mm2: f64,
+    /// Fraction of activation footprint that must move to DRAM as
+    /// input/output regardless of SRAM capacity.
+    pub io_traffic_fraction: f64,
+    /// Exponent of the re-fetch amplification when activations exceed SRAM
+    /// (tiled-dataflow refetch; calibrated so 2→32 MiB on SR kernels cuts
+    /// bandwidth need by roughly the paper's 89.6x).
+    pub refetch_exponent: f64,
+    /// Scale of the re-fetch amplification term.
+    pub refetch_scale: f64,
+}
+
+impl TechTuning {
+    /// The 7 nm reference tuning.
+    #[must_use]
+    pub fn n7() -> Self {
+        Self {
+            node: ProcessNode::N7,
+            clock: Hertz::from_gigahertz(0.8),
+            utilization: 0.9,
+            utilization_knee_units: 16.0,
+            mac_energy: Joules::from_picojoules(0.4),
+            sram_energy_per_byte_1mib: Joules::from_picojoules(0.08),
+            sram_energy_exponent: 0.45,
+            sram_bytes_per_mac: 1.0,
+            dram_energy_per_byte: Joules::from_picojoules(30.0),
+            stacked_sram_energy_factor: 1.3,
+            dram_bandwidth: BytesPerSecond::from_gigabytes_per_second(16.0),
+            leakage_per_sram_mib: Watts::new(0.008),
+            leakage_per_mac_unit: Watts::new(0.002),
+            leakage_base: Watts::new(0.020),
+            mac_unit_area_mm2: 0.60,
+            sram_area_mm2_per_mib: 0.80,
+            base_area_mm2: 0.5,
+            io_traffic_fraction: 0.25,
+            refetch_exponent: 1.6,
+            refetch_scale: 0.02,
+        }
+    }
+
+    /// Tuning for an arbitrary node, scaled from the 7 nm reference via the
+    /// fab profiles (energy by `energy_per_op`, area by logic density,
+    /// leakage by per-area leakage).
+    #[must_use]
+    pub fn for_node(node: ProcessNode) -> Self {
+        let base = Self::n7();
+        if node == ProcessNode::N7 {
+            return base;
+        }
+        let ref_p = ProcessNode::N7.profile();
+        let p = node.profile();
+        let energy = p.energy_per_op / ref_p.energy_per_op;
+        let area = ref_p.logic_density / p.logic_density;
+        let leakage = p.leakage_per_area() / ref_p.leakage_per_area() * area;
+        Self {
+            node,
+            mac_energy: base.mac_energy * energy,
+            sram_energy_per_byte_1mib: base.sram_energy_per_byte_1mib * energy,
+            mac_unit_area_mm2: base.mac_unit_area_mm2 * area,
+            sram_area_mm2_per_mib: base.sram_area_mm2_per_mib * area,
+            base_area_mm2: base.base_area_mm2 * area,
+            leakage_per_sram_mib: base.leakage_per_sram_mib * leakage,
+            leakage_per_mac_unit: base.leakage_per_mac_unit * leakage,
+            leakage_base: base.leakage_base * leakage,
+            ..base
+        }
+    }
+
+    /// SRAM access energy per byte at the given capacity.
+    #[must_use]
+    pub fn sram_energy_per_byte(&self, capacity: Bytes) -> Joules {
+        let mib = capacity.to_mebibytes().max(1.0 / 64.0);
+        self.sram_energy_per_byte_1mib * mib.powf(self.sram_energy_exponent)
+    }
+
+    /// Achieved utilization of an array of `units` MAC units running a
+    /// kernel of `gmacs` billion MACs per inference.
+    ///
+    /// Utilization decays once the array outgrows the kernel's available
+    /// parallelism: the knee scales with kernel size (clamped to
+    /// `[0.5, 16] x` the base knee), so a large super-resolution kernel
+    /// keeps a 2K-MAC array busy while MobileNet-V2 cannot.
+    #[must_use]
+    pub fn achieved_utilization(&self, units: u32, gmacs: f64) -> f64 {
+        let knee = self.utilization_knee_units * gmacs.clamp(0.5, 16.0);
+        self.utilization / (1.0 + f64::from(units) / knee)
+    }
+
+    /// Achieved MAC throughput of `units` MAC units on a kernel of
+    /// `gmacs` billion MACs, in MACs per second.
+    #[must_use]
+    pub fn peak_macs_per_second(&self, units: u32, gmacs: f64) -> f64 {
+        f64::from(units)
+            * f64::from(MACS_PER_UNIT)
+            * self.clock.value()
+            * self.achieved_utilization(units, gmacs)
+    }
+}
+
+impl Default for TechTuning {
+    fn default() -> Self {
+        Self::n7()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_constants_are_ordered() {
+        let t = TechTuning::n7();
+        // DRAM >> SRAM >> MAC energy per byte/op.
+        assert!(t.dram_energy_per_byte.value() > 50.0 * t.sram_energy_per_byte_1mib.value());
+        assert!(t.sram_energy_per_byte_1mib.value() > 0.1 * t.mac_energy.value());
+        assert!(t.utilization > 0.0 && t.utilization <= 1.0);
+    }
+
+    #[test]
+    fn sram_energy_grows_with_capacity() {
+        let t = TechTuning::n7();
+        let e1 = t.sram_energy_per_byte(Bytes::from_mebibytes(1.0));
+        let e8 = t.sram_energy_per_byte(Bytes::from_mebibytes(8.0));
+        let e64 = t.sram_energy_per_byte(Bytes::from_mebibytes(64.0));
+        assert!(e1 < e8 && e8 < e64);
+        // 8x capacity -> 8^0.45 ~ 2.55x energy.
+        assert!((e8.value() / e1.value() - 8.0f64.powf(0.45)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn throughput_grows_sublinearly_with_units() {
+        let t = TechTuning::n7();
+        let one = t.peak_macs_per_second(1, 1.0);
+        let expected = 128.0 * 0.8e9 * 0.9 / (1.0 + 1.0 / 16.0);
+        assert!((one - expected).abs() / one < 1e-12);
+        // Monotonic but saturating: 16x the units gives <16x the rate.
+        let sixteen = t.peak_macs_per_second(16, 1.0);
+        assert!(sixteen > one && sixteen / one < 16.0);
+        let mut prev = 0.0;
+        for u in [1u32, 2, 8, 32, 128, 512, 1024] {
+            let rate = t.peak_macs_per_second(u, 1.0);
+            assert!(rate > prev, "throughput must grow with units");
+            prev = rate;
+        }
+    }
+
+    #[test]
+    fn utilization_halves_at_the_kernel_scaled_knee() {
+        let t = TechTuning::n7();
+        // 1 GMAC kernel: knee at 16 units.
+        assert!((t.achieved_utilization(16, 1.0) - 0.45).abs() < 1e-12);
+        // 16 GMAC kernel (SR 512): knee at 256 units -> a 16-unit array
+        // stays near full utilization, so doubling 1K -> 2K MACs nearly
+        // doubles throughput (the Fig. 11 premise).
+        assert!(t.achieved_utilization(16, 16.0) > 0.8);
+        let r = t.peak_macs_per_second(16, 16.0) / t.peak_macs_per_second(8, 16.0);
+        assert!(r > 1.9, "2K/1K throughput ratio {r}");
+        // Tiny kernels saturate small arrays quickly.
+        assert!(t.achieved_utilization(64, 0.3) < 0.2);
+        assert!(t.achieved_utilization(1, 1.0) > t.achieved_utilization(1024, 1.0));
+    }
+
+    #[test]
+    fn node_scaling_moves_energy_and_area_together() {
+        let n7 = TechTuning::for_node(ProcessNode::N7);
+        let n28 = TechTuning::for_node(ProcessNode::N28);
+        let n3 = TechTuning::for_node(ProcessNode::N3);
+        assert!(n28.mac_energy > n7.mac_energy);
+        assert!(n3.mac_energy < n7.mac_energy);
+        assert!(n28.mac_unit_area_mm2 > n7.mac_unit_area_mm2);
+        assert!(n3.mac_unit_area_mm2 < n7.mac_unit_area_mm2);
+        // DRAM energy is off-chip and does not scale.
+        assert_eq!(n28.dram_energy_per_byte, n7.dram_energy_per_byte);
+        assert_eq!(n7, TechTuning::default());
+    }
+
+    #[test]
+    fn stacked_sram_stays_far_below_dram() {
+        let t = TechTuning::n7();
+        let stacked = t.sram_energy_per_byte(Bytes::from_mebibytes(8.0)).value()
+            * t.stacked_sram_energy_factor;
+        assert!(stacked * 10.0 < t.dram_energy_per_byte.value());
+    }
+}

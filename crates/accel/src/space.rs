@@ -1,0 +1,160 @@
+//! The paper's 121-configuration design space (§VI-B, Fig. 8).
+//!
+//! Eleven MAC-array sizes x eleven SRAM capacities, both power-of-two swept
+//! from 1 to 1024. Configuration ids follow the paper's `a1..a121` naming
+//! with MAC-major ordering, reproducing the ids it calls out:
+//! a12 = 2 units/1 MiB, a23 = 4/1, a38 = 8/16, a48 = 16/8, a58 = 32/4.
+
+use crate::config::AcceleratorConfig;
+use cordoba_carbon::units::Bytes;
+use serde::{Deserialize, Serialize};
+
+/// The eleven MAC-unit counts in the sweep.
+pub const MAC_UNIT_SWEEP: [u32; 11] = [1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024];
+/// The eleven SRAM capacities in the sweep, in MiB.
+pub const SRAM_MIB_SWEEP: [u32; 11] = [1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024];
+
+/// Number of configurations in the space.
+pub const SPACE_SIZE: usize = MAC_UNIT_SWEEP.len() * SRAM_MIB_SWEEP.len();
+
+/// A configuration's position in the 121-point grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct GridIndex {
+    /// Index into [`MAC_UNIT_SWEEP`].
+    pub mac_idx: usize,
+    /// Index into [`SRAM_MIB_SWEEP`].
+    pub sram_idx: usize,
+}
+
+impl GridIndex {
+    /// The 1-based `a{n}` ordinal of this grid point.
+    #[must_use]
+    pub fn ordinal(self) -> usize {
+        self.mac_idx * SRAM_MIB_SWEEP.len() + self.sram_idx + 1
+    }
+
+    /// Parses an `a{n}` name back to its grid position.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Self> {
+        let n: usize = name.strip_prefix('a')?.parse().ok()?;
+        if !(1..=SPACE_SIZE).contains(&n) {
+            return None;
+        }
+        let idx = n - 1;
+        Some(Self {
+            mac_idx: idx / SRAM_MIB_SWEEP.len(),
+            sram_idx: idx % SRAM_MIB_SWEEP.len(),
+        })
+    }
+}
+
+/// Builds the named configuration `a{n}`.
+///
+/// Returns `None` for names outside `a1..=a121`.
+#[must_use]
+pub fn config_by_name(name: &str) -> Option<AcceleratorConfig> {
+    let grid = GridIndex::from_name(name)?;
+    Some(build(grid))
+}
+
+/// Builds the full 121-configuration design space, `a1` through `a121`.
+///
+/// # Examples
+///
+/// ```
+/// use cordoba_accel::space::design_space;
+///
+/// let space = design_space();
+/// assert_eq!(space.len(), 121);
+/// let a48 = &space[47];
+/// assert_eq!(a48.name(), "a48");
+/// assert_eq!(a48.mac_units(), 16);
+/// assert_eq!(a48.sram().to_mebibytes(), 8.0);
+/// ```
+#[must_use]
+pub fn design_space() -> Vec<AcceleratorConfig> {
+    let mut configs = Vec::with_capacity(SPACE_SIZE);
+    for mac_idx in 0..MAC_UNIT_SWEEP.len() {
+        for sram_idx in 0..SRAM_MIB_SWEEP.len() {
+            configs.push(build(GridIndex { mac_idx, sram_idx }));
+        }
+    }
+    configs
+}
+
+fn build(grid: GridIndex) -> AcceleratorConfig {
+    let units = MAC_UNIT_SWEEP[grid.mac_idx];
+    let sram = Bytes::from_mebibytes(f64::from(SRAM_MIB_SWEEP[grid.sram_idx]));
+    AcceleratorConfig::on_die(format!("a{}", grid.ordinal()), units, sram)
+        .expect("sweep values are positive")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn space_has_121_unique_configs() {
+        let space = design_space();
+        assert_eq!(space.len(), 121);
+        let mut names: Vec<&str> = space.iter().map(AcceleratorConfig::name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 121);
+    }
+
+    #[test]
+    fn paper_ids_decode_to_expected_shapes() {
+        // The ids the paper calls out in §VI-B/§VI-C.
+        let cases = [
+            ("a1", 1u32, 1.0),
+            ("a12", 2, 1.0),
+            ("a23", 4, 1.0),
+            ("a37", 8, 8.0),
+            ("a38", 8, 16.0),
+            ("a48", 16, 8.0),
+            ("a58", 32, 4.0),
+        ];
+        for (name, units, sram) in cases {
+            let c = config_by_name(name).unwrap();
+            assert_eq!(c.mac_units(), units, "{name}");
+            assert!((c.sram().to_mebibytes() - sram).abs() < 1e-12, "{name}");
+        }
+    }
+
+    #[test]
+    fn ordinal_round_trips() {
+        for n in 1..=SPACE_SIZE {
+            let name = format!("a{n}");
+            let grid = GridIndex::from_name(&name).unwrap();
+            assert_eq!(grid.ordinal(), n);
+        }
+    }
+
+    #[test]
+    fn bad_names_rejected() {
+        assert!(config_by_name("a0").is_none());
+        assert!(config_by_name("a122").is_none());
+        assert!(config_by_name("b5").is_none());
+        assert!(config_by_name("a").is_none());
+        assert!(config_by_name("").is_none());
+    }
+
+    #[test]
+    fn space_order_matches_names() {
+        let space = design_space();
+        for (i, cfg) in space.iter().enumerate() {
+            assert_eq!(cfg.name(), format!("a{}", i + 1));
+        }
+    }
+
+    #[test]
+    fn extremes() {
+        let space = design_space();
+        assert_eq!(space[0].mac_units(), 1);
+        assert_eq!(space[0].sram().to_mebibytes(), 1.0);
+        let last = &space[120];
+        assert_eq!(last.mac_units(), 1024);
+        assert_eq!(last.sram().to_mebibytes(), 1024.0);
+    }
+}

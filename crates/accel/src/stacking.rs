@@ -1,0 +1,118 @@
+//! The 3D-integration study configurations (§VI-E, Fig. 11) \[54\].
+//!
+//! A conventional baseline (1K MACs, 1 MiB on-die SRAM) against six
+//! 3D-stacked designs combining 1K or 2K MACs with 2/4/8/16 MiB of
+//! separately-fabricated, hybrid-bonded SRAM. Per the paper's methodology,
+//! the 3D designs use conservative latency (same roofline as 2D) and gain
+//! through memory energy and capacity.
+
+use crate::config::AcceleratorConfig;
+use cordoba_carbon::units::Bytes;
+
+/// MAC units for the "1K" designs (8 x 128 = 1024 scalar MACs).
+pub const UNITS_1K: u32 = 8;
+/// MAC units for the "2K" designs (16 x 128 = 2048 scalar MACs).
+pub const UNITS_2K: u32 = 16;
+
+/// The baseline 2D accelerator: 1K MACs, 1 MiB on-die SRAM.
+///
+/// # Examples
+///
+/// ```
+/// let base = cordoba_accel::stacking::baseline();
+/// assert_eq!(base.name(), "Baseline_1K_1M");
+/// assert!(!base.integration().is_stacked());
+/// ```
+#[must_use]
+pub fn baseline() -> AcceleratorConfig {
+    AcceleratorConfig::on_die("Baseline_1K_1M", UNITS_1K, Bytes::from_mebibytes(1.0))
+        .expect("static baseline parameters are valid")
+}
+
+/// The six 3D-stacked configurations of Fig. 11(a).
+///
+/// Activation memory per memory die is 2 MiB for 1K-MAC designs and 4 MiB
+/// for 2K-MAC designs, matching the paper.
+#[must_use]
+pub fn stacked_configs() -> Vec<AcceleratorConfig> {
+    let mk = |name: &str, units: u32, per_die_mib: f64, dies: u32| {
+        AcceleratorConfig::stacked_3d(name, units, Bytes::from_mebibytes(per_die_mib), dies)
+            .expect("static stacking parameters are valid")
+    };
+    vec![
+        mk("3D_1K_2M", UNITS_1K, 2.0, 1),
+        mk("3D_1K_4M", UNITS_1K, 2.0, 2),
+        mk("3D_1K_8M", UNITS_1K, 2.0, 4),
+        mk("3D_2K_4M", UNITS_2K, 4.0, 1),
+        mk("3D_2K_8M", UNITS_2K, 4.0, 2),
+        mk("3D_2K_16M", UNITS_2K, 4.0, 4),
+    ]
+}
+
+/// Baseline plus the six 3D configurations, in Fig. 11 order.
+#[must_use]
+pub fn study_configs() -> Vec<AcceleratorConfig> {
+    let mut all = vec![baseline()];
+    all.extend(stacked_configs());
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MemoryIntegration;
+
+    #[test]
+    fn seven_configs_total() {
+        let all = study_configs();
+        assert_eq!(all.len(), 7);
+        assert_eq!(all[0].name(), "Baseline_1K_1M");
+    }
+
+    #[test]
+    fn capacities_match_names() {
+        for cfg in stacked_configs() {
+            let expected: f64 = cfg
+                .name()
+                .rsplit('_')
+                .next()
+                .unwrap()
+                .trim_end_matches('M')
+                .parse()
+                .unwrap();
+            assert!(
+                (cfg.sram().to_mebibytes() - expected).abs() < 1e-12,
+                "{}",
+                cfg.name()
+            );
+        }
+    }
+
+    #[test]
+    fn per_die_capacity_follows_mac_count() {
+        for cfg in stacked_configs() {
+            let MemoryIntegration::Stacked3d { dies } = cfg.integration() else {
+                panic!("{} should be stacked", cfg.name());
+            };
+            let per_die = cfg.sram().to_mebibytes() / f64::from(dies);
+            if cfg.mac_units() == UNITS_1K {
+                assert!((per_die - 2.0).abs() < 1e-12, "{}", cfg.name());
+            } else {
+                assert_eq!(cfg.mac_units(), UNITS_2K);
+                assert!((per_die - 4.0).abs() < 1e-12, "{}", cfg.name());
+            }
+        }
+    }
+
+    #[test]
+    fn two_k_designs_have_double_compute() {
+        let base = baseline();
+        for cfg in stacked_configs() {
+            if cfg.name().contains("2K") {
+                assert_eq!(cfg.total_macs(), 2 * base.total_macs());
+            } else {
+                assert_eq!(cfg.total_macs(), base.total_macs());
+            }
+        }
+    }
+}

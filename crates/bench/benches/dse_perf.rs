@@ -1,0 +1,68 @@
+//! Criterion benches for the design-space-exploration engine: the paper
+//! reports its end-to-end DSE over 121 configurations takes hours; the
+//! analytical rebuild should complete in milliseconds.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+/// Bounded measurement so the full harness completes in minutes.
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+}
+
+use cordoba::prelude::*;
+use cordoba_accel::space::design_space;
+use cordoba_carbon::embodied::EmbodiedModel;
+use cordoba_carbon::intensity::grids;
+use cordoba_workloads::task::Task;
+use std::hint::black_box;
+
+fn bench_evaluate_space(c: &mut Criterion) {
+    let configs = design_space();
+    let model = EmbodiedModel::default();
+    let mut group = c.benchmark_group("dse");
+    for task in [Task::all_kernels(), Task::ai_5_kernels()] {
+        group.bench_function(format!("evaluate_space/{}", task.name()), |b| {
+            b.iter(|| evaluate_space(black_box(&configs), black_box(&task), &model).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_op_time_sweep(c: &mut Criterion) {
+    let configs = design_space();
+    let model = EmbodiedModel::default();
+    let points = evaluate_space(&configs, &Task::all_kernels(), &model).unwrap();
+    let counts = log_sweep(4, 11, 4);
+    c.bench_function("dse/op_time_sweep_121x29", |b| {
+        b.iter(|| {
+            let sweep = OpTimeSweep::new(
+                black_box(points.clone()),
+                counts.clone(),
+                grids::US_AVERAGE,
+            )
+            .unwrap();
+            black_box(sweep.elimination_fraction())
+        })
+    });
+}
+
+fn bench_robustness(c: &mut Criterion) {
+    let configs = design_space();
+    let model = EmbodiedModel::default();
+    let points = evaluate_space(&configs, &Task::xr_10_kernels(), &model).unwrap();
+    let sweep = OpTimeSweep::new(points, log_sweep(4, 11, 4), grids::US_AVERAGE).unwrap();
+    c.bench_function("dse/robust_choice", |b| {
+        b.iter(|| black_box(sweep.robust_choice()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_evaluate_space, bench_op_time_sweep, bench_robustness
+}
+criterion_main!(benches);

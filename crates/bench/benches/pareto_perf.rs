@@ -1,0 +1,55 @@
+//! Criterion benches for the Pareto-frontier and lower-convex-hull
+//! elimination primitives (§IV-B).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+/// Bounded measurement so the full harness completes in minutes.
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+}
+
+use cordoba::pareto::{lower_hull_indices, pareto_indices, Point2};
+use std::hint::black_box;
+
+fn synthetic_cloud(n: usize) -> Vec<Point2> {
+    // Deterministic pseudo-random cloud (no RNG dependency needed).
+    let mut state = 0x243f_6a88_85a3_08d3u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    (0..n)
+        .map(|i| {
+            let x = next() * 100.0 + 1.0;
+            let y = 100.0 / x + next() * 10.0;
+            Point2::new(format!("p{i}"), x, y)
+        })
+        .collect()
+}
+
+fn bench_pareto(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pareto");
+    for n in [121usize, 1_000, 5_000] {
+        let cloud = synthetic_cloud(n);
+        group.bench_with_input(BenchmarkId::new("frontier", n), &cloud, |b, cloud| {
+            b.iter(|| black_box(pareto_indices(black_box(cloud))))
+        });
+        group.bench_with_input(BenchmarkId::new("lower_hull", n), &cloud, |b, cloud| {
+            b.iter(|| black_box(lower_hull_indices(black_box(cloud))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_pareto
+}
+criterion_main!(benches);

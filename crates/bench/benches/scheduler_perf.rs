@@ -1,0 +1,46 @@
+//! Criterion benches for the VR SoC trace scheduler and provisioning sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+/// Bounded measurement so the full harness completes in minutes.
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+}
+
+use cordoba_soc::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_scheduler(c: &mut Criterion) {
+    let app = VrApp::b1();
+    let soc = SocConfig::quest2();
+    let deterministic = ActivityTrace::deterministic(&app);
+    let mut rng = StdRng::seed_from_u64(7);
+    let sampled = ActivityTrace::sampled(&mut rng, &app, 10_000);
+
+    c.bench_function("scheduler/deterministic_trace", |b| {
+        b.iter(|| black_box(schedule(black_box(&deterministic), &app, &soc)))
+    });
+    c.bench_function("scheduler/sampled_trace_10k_segments", |b| {
+        b.iter(|| black_box(schedule(black_box(&sampled), &app, &soc)))
+    });
+}
+
+fn bench_provisioning(c: &mut Criterion) {
+    let deployment = Deployment::default();
+    c.bench_function("scheduler/provisioning_sweep_all_tasks", |b| {
+        b.iter(|| black_box(sweep(&VrApp::all_tasks(), &deployment).unwrap()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_scheduler, bench_provisioning
+}
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion benches for the roofline accelerator simulator: per-kernel
+//! simulation and full 15-kernel cost-table construction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+/// Bounded measurement so the full harness completes in minutes.
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+}
+
+use cordoba_accel::prelude::*;
+use cordoba_carbon::embodied::EmbodiedModel;
+use cordoba_carbon::units::Bytes;
+use cordoba_workloads::kernel::KernelId;
+use std::hint::black_box;
+
+fn bench_simulate(c: &mut Criterion) {
+    let cfg = AcceleratorConfig::on_die("a48", 16, Bytes::from_mebibytes(8.0)).unwrap();
+    let kernels: Vec<_> = KernelId::ALL.iter().map(|k| k.descriptor()).collect();
+    c.bench_function("sim/one_kernel", |b| {
+        b.iter(|| black_box(simulate(black_box(&cfg), black_box(&kernels[0]))))
+    });
+    c.bench_function("sim/fifteen_kernels", |b| {
+        b.iter(|| {
+            for k in &kernels {
+                black_box(simulate(&cfg, k));
+            }
+        })
+    });
+    c.bench_function("sim/full_cost_table", |b| {
+        b.iter(|| black_box(full_cost_table(black_box(&cfg))))
+    });
+}
+
+fn bench_embodied(c: &mut Criterion) {
+    let model = EmbodiedModel::default();
+    let stacked = study_configs();
+    c.bench_function("sim/embodied_seven_stacks", |b| {
+        b.iter(|| {
+            for cfg in &stacked {
+                black_box(cfg.embodied_carbon(&model).unwrap());
+            }
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_simulate, bench_embodied
+}
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Regenerates the paper's Fig. 2: energy per cycle versus clock frequency
+//! for the six candidate ICs (the §III-A trade-off scatter).
+
+use cordoba::prelude::*;
+use cordoba_bench::{emit, heading};
+
+fn main() {
+    heading("Fig. 2: energy/cycle vs clock frequency for ICs A-F");
+    let mut table = Table::new(vec![
+        "ic".into(),
+        "clock_ghz".into(),
+        "energy_per_cycle_nj".into(),
+        "power_w".into(),
+    ]);
+    for ic in candidates() {
+        table.row(vec![
+            ic.name.clone(),
+            fmt_num(ic.clock.to_gigahertz()),
+            fmt_num(ic.energy_per_cycle.value() * 1e9),
+            fmt_num(ic.power().value()),
+        ]);
+    }
+    emit(&table, "fig2");
+    println!("Shape: energy/cycle rises super-linearly with frequency (A -> F).");
+}

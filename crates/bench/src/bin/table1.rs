@@ -1,0 +1,59 @@
+//! Regenerates the paper's Table I: the energy-aware six-IC analysis.
+//!
+//! Expected shape: IC "A" minimizes power for the 1000 inf/s constraint
+//! despite being slowest; IC "D" has the best (lowest) EDP and wins the
+//! fixed-energy-budget throughput scenario.
+
+use cordoba::prelude::*;
+use cordoba_bench::{emit, heading};
+
+fn main() {
+    let scenario = Scenario::default();
+    let rows = cordoba::case_ics::table_one(&scenario);
+
+    heading("Table I: energy-aware analysis of candidate ICs A-F");
+    let mut table = Table::new(vec![
+        "row".into(),
+        "A".into(),
+        "B".into(),
+        "C".into(),
+        "D".into(),
+        "E".into(),
+        "F".into(),
+    ]);
+    let mut push = |label: &str, f: &dyn Fn(&cordoba::case_ics::TableOneRow) -> f64| {
+        let mut cells = vec![label.to_owned()];
+        cells.extend(rows.iter().map(|r| fmt_num(f(r))));
+        table.row(cells);
+    };
+    push("[1] clock frequency (GHz)", &|r| {
+        r.ic.clock.to_gigahertz()
+    });
+    push("[2] energy per cycle (nJ)", &|r| {
+        r.ic.energy_per_cycle.value() * 1e9
+    });
+    push("[4] inf throughput (inf/s)", &|r| r.throughput);
+    push("[5] # ICs for 1000 inf/s", &|r| {
+        r.ics_for_required_throughput
+    });
+    push("[6] power of each IC (W)", &|r| r.power);
+    push("[7] overall power (W)", &|r| r.overall_power);
+    push("[8] energy per inference (J)", &|r| r.energy_per_inference);
+    push("[9] # ICs given 9.5 J budget", &|r| r.ics_for_energy_budget);
+    push("[10] budget throughput (inf/s)", &|r| r.budget_throughput);
+    push("[11] EDP (J*s)", &|r| r.edp);
+    emit(&table, "table1");
+
+    let edp_best = rows
+        .iter()
+        .min_by(|a, b| a.edp.total_cmp(&b.edp))
+        .expect("six rows");
+    let power_best = rows
+        .iter()
+        .min_by(|a, b| a.overall_power.total_cmp(&b.overall_power))
+        .expect("six rows");
+    println!(
+        "EDP-optimal IC: {} (paper: D) | min-power IC: {} (paper: A)",
+        edp_best.ic.name, power_best.ic.name
+    );
+}

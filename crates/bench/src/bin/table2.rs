@@ -1,0 +1,62 @@
+//! Regenerates the paper's Table II: the carbon-aware six-IC analysis.
+//!
+//! Expected shape: IC "A" has the lowest tC and CCI but runs very slowly;
+//! IC "E" has the best (lowest) tCDP and wins the fixed-carbon-budget
+//! throughput scenario; throughput x tCDP is constant across ICs.
+
+use cordoba::prelude::*;
+use cordoba_bench::{emit, heading};
+
+fn main() {
+    let scenario = Scenario::default();
+    let rows = cordoba::case_ics::table_two(&scenario);
+
+    heading("Table II: carbon-aware analysis of candidate ICs A-F");
+    println!(
+        "CI_use = {} gCO2e/kWh, C_emb = {} gCO2e/IC, lifetime = {:.2e} s, carbon budget = {:.3e} gCO2e\n",
+        scenario.ci_use.value(),
+        scenario.embodied_per_ic.value(),
+        scenario.lifetime.value(),
+        scenario.carbon_budget().value()
+    );
+    let mut table = Table::new(vec![
+        "row".into(),
+        "A".into(),
+        "B".into(),
+        "C".into(),
+        "D".into(),
+        "E".into(),
+        "F".into(),
+    ]);
+    let mut push = |label: &str, f: &dyn Fn(&cordoba::case_ics::TableTwoRow) -> f64| {
+        let mut cells = vec![label.to_owned()];
+        cells.extend(rows.iter().map(|r| fmt_num(f(r))));
+        table.row(cells);
+    };
+    push("[4] time per inf (s)", &|r| r.time_per_inference);
+    push("[13] CCI_op (1e-5 g/inf)", &|r| r.cci_operational * 1e5);
+    push("[14] CCI_emb (1e-5 g/inf)", &|r| r.cci_embodied * 1e5);
+    push("[15] CCI (1e-5 g/inf)", &|r| r.cci * 1e5);
+    push("[16] # infs under budget", &|r| r.budget_inferences);
+    push("[17] throughput per service", &|r| r.budget_throughput);
+    push("[18] tC (gCO2e)", &|r| r.total_carbon);
+    push("[19] tCDP (gCO2e*s)", &|r| r.tcdp);
+    emit(&table, "table2");
+
+    let tcdp_best = rows
+        .iter()
+        .min_by(|a, b| a.tcdp.total_cmp(&b.tcdp))
+        .expect("six rows");
+    let tc_best = rows
+        .iter()
+        .min_by(|a, b| a.total_carbon.total_cmp(&b.total_carbon))
+        .expect("six rows");
+    println!(
+        "tCDP-optimal IC: {} (paper: E) | min-tC IC: {} (paper: A)",
+        tcdp_best.ic.name, tc_best.ic.name
+    );
+    let products: Vec<f64> = rows.iter().map(|r| r.budget_throughput * r.tcdp).collect();
+    let spread = products.iter().cloned().fold(0.0f64, f64::max)
+        / products.iter().cloned().fold(f64::INFINITY, f64::min);
+    println!("throughput x tCDP constant across ICs: max/min spread = {spread:.6} (paper: exactly 1)");
+}

@@ -1,0 +1,92 @@
+//! Regenerates the paper's Table V: VR SoC parameters before (8-core) and
+//! after (4-core) carbon-efficient optimization for the M-1 task.
+//!
+//! Expected shape: area 2.25 -> 1.35 cm² (1.67x), embodied ~2x better,
+//! total carbon ~1.27x better, delay ~0.98x (slightly worse), tCDP ~1.25x
+//! better, power/energy roughly unchanged.
+
+use cordoba::prelude::*;
+use cordoba_bench::{emit, heading};
+use cordoba_soc::prelude::*;
+
+fn main() {
+    let deployment = Deployment::default();
+    let app = VrApp::m1();
+    let rows = sweep(&app, &deployment).expect("valid deployment");
+    let before = rows.iter().find(|r| r.cores == 8).expect("8-core row");
+    let after = rows.iter().find(|r| r.cores == 4).expect("4-core row");
+
+    heading("Table V: M-1 before (8-core) and after (4-core) optimization");
+    let mut t = Table::new(vec![
+        "parameter".into(),
+        "before".into(),
+        "after".into(),
+        "improvement".into(),
+        "paper".into(),
+    ]);
+    let ratio = |b: f64, a: f64| fmt_ratio(b / a);
+    t.row(vec![
+        "P_total (W)".into(),
+        fmt_num(before.energy.value() / before.delay.value()),
+        fmt_num(after.energy.value() / after.delay.value()),
+        "-".into(),
+        "8.3 W / 8.3 W".into(),
+    ]);
+    t.row(vec![
+        "E per task (J)".into(),
+        fmt_num(before.energy.value()),
+        fmt_num(after.energy.value()),
+        ratio(before.energy.value(), after.energy.value()),
+        "332 J / 332 J".into(),
+    ]);
+    t.row(vec![
+        "A (cm^2)".into(),
+        fmt_num(before.soc.die_area().value()),
+        fmt_num(after.soc.die_area().value()),
+        ratio(before.soc.die_area().value(), after.soc.die_area().value()),
+        "2.25 -> 1.35 (1.67x)".into(),
+    ]);
+    t.row(vec![
+        "CPU cores".into(),
+        before.soc.to_string(),
+        after.soc.to_string(),
+        "reduced 4 cores".into(),
+        "4g+4s -> 2g+2s".into(),
+    ]);
+    t.row(vec![
+        "C_embodied (gCO2e)".into(),
+        fmt_num(before.embodied.value()),
+        fmt_num(after.embodied.value()),
+        ratio(before.embodied.value(), after.embodied.value()),
+        "5375 -> 2688 (2x)".into(),
+    ]);
+    t.row(vec![
+        "C_total (gCO2e)".into(),
+        fmt_num(before.total_carbon().value()),
+        fmt_num(after.total_carbon().value()),
+        ratio(before.total_carbon().value(), after.total_carbon().value()),
+        "12273 -> 9696 (1.27x)".into(),
+    ]);
+    t.row(vec![
+        "D (normalized FPS)".into(),
+        "1.000".into(),
+        format!("{:.3}", before.delay.value() / after.delay.value()),
+        ratio(before.delay.value(), after.delay.value()),
+        "1.0 -> 0.98 (0.98x)".into(),
+    ]);
+    t.row(vec![
+        "EDP (normalized)".into(),
+        "1.000".into(),
+        fmt_num(after.edp / before.edp),
+        ratio(before.edp, after.edp),
+        "1 -> 1.02 (0.98x)".into(),
+    ]);
+    t.row(vec![
+        "tCDP (normalized)".into(),
+        "1.000".into(),
+        fmt_num(after.tcdp.value() / before.tcdp.value()),
+        ratio(before.tcdp.value(), after.tcdp.value()),
+        "1 -> 0.8 (1.25x)".into(),
+    ]);
+    emit(&t, "table5");
+}

@@ -1,0 +1,92 @@
+//! Regenerates the paper's Table VI: design knobs that trade energy against
+//! delay (energy efficiency) versus knobs that trade energy efficiency
+//! against embodied carbon (carbon efficiency).
+//!
+//! Expected shape: V_DD down / V_T up / width down improve energy at a
+//! delay cost (embodied negligible or better); lifetime down and technology
+//! node advance improve energy *and* delay but raise embodied carbon —
+//! the paper's core argument for optimizing tCDP rather than EDP.
+
+use cordoba::prelude::*;
+use cordoba_bench::{emit, heading};
+use cordoba_carbon::embodied::{Die, EmbodiedModel};
+use cordoba_carbon::fab::ProcessNode;
+use cordoba_carbon::units::SquareCentimeters;
+use cordoba_tech::prelude::*;
+
+fn main() {
+    heading("Table VI: design-knob directions from the device/scaling models");
+    let effects = evaluate_knobs().expect("default models are valid");
+    let mut t = Table::new(vec![
+        "design knob".into(),
+        "effect on E".into(),
+        "effect on D".into(),
+        "effect on C_emb".into(),
+    ]);
+    for e in &effects {
+        t.row(vec![
+            e.knob.name().into(),
+            e.energy.to_string(),
+            e.delay.to_string(),
+            e.embodied.to_string(),
+        ]);
+    }
+    emit(&t, "table6");
+
+    heading("Supporting sweep: V_DD knob through the alpha-power model");
+    let gate = GateModel::default();
+    let mut v = Table::new(vec![
+        "v_dd".into(),
+        "delay_rel".into(),
+        "energy_rel".into(),
+        "edp_rel".into(),
+        "ed2p_rel".into(),
+    ]);
+    for vdd in [0.45, 0.55, 0.65, 0.8, 1.0, 1.2] {
+        let op = OperatingPoint::new(vdd, gate.device().v_t, 1.0).expect("above threshold");
+        let ch = gate.characteristics(op);
+        v.row(vec![
+            format!("{vdd:.2}"),
+            fmt_num(ch.delay),
+            fmt_num(gate.energy_per_op(op)),
+            fmt_num(gate.edp(op)),
+            fmt_num(gate.ed2p(op)),
+        ]);
+    }
+    emit(&v, "table6_vdd_sweep");
+
+    heading("Supporting sweep: technology-node knob (fixed design ported across nodes)");
+    let model = EmbodiedModel::default();
+    let design = LogicDesign::new("probe", SquareCentimeters::new(1.0), ProcessNode::N28)
+        .expect("positive area");
+    let mut n = Table::new(vec![
+        "node".into(),
+        "area_cm2".into(),
+        "energy_rel".into(),
+        "delay_rel".into(),
+        "edp_rel".into(),
+        "embodied_per_die_g".into(),
+        "embodied_per_cm2_g".into(),
+    ]);
+    for row in design.roadmap(&model) {
+        let per_area = model.die_carbon(&Die {
+            name: "unit".into(),
+            area: SquareCentimeters::new(1.0),
+            node: row.node,
+        });
+        n.row(vec![
+            row.node.to_string(),
+            fmt_num(row.area.value()),
+            fmt_num(row.energy),
+            fmt_num(row.delay),
+            fmt_num(row.edp()),
+            fmt_num(row.embodied.value()),
+            fmt_num(per_area.value()),
+        ]);
+    }
+    emit(&n, "table6_node_sweep");
+    println!(
+        "Shape: EDP improves monotonically with scaling, but embodied carbon per cm^2\n\
+         rises — advancing the node trades energy efficiency against embodied carbon."
+    );
+}

@@ -1,0 +1,83 @@
+//! Shared helpers for the CORDOBA experiment harness.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure from the
+//! paper, printing the same rows/series the paper reports and writing a
+//! CSV copy into `results/`.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+use cordoba::report::Table;
+use std::path::{Path, PathBuf};
+
+/// The Fig. 11/12 three-dimensional-integration study, shared by the
+/// `fig11`, `fig12`, and `ablations` binaries and the integration tests.
+pub mod stacking_study;
+
+/// Locates the repository's `results/` directory (next to the workspace
+/// `Cargo.toml`), creating it if needed.
+///
+/// Falls back to the current directory when the workspace root cannot be
+/// found.
+#[must_use]
+pub fn results_dir() -> PathBuf {
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        if dir.join("Cargo.toml").exists() && dir.join("crates").exists() {
+            break;
+        }
+        if !dir.pop() {
+            dir = PathBuf::from(".");
+            break;
+        }
+    }
+    let results = dir.join("results");
+    let _ = std::fs::create_dir_all(&results);
+    results
+}
+
+/// Prints a section header.
+pub fn heading(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+/// Prints a table and writes its CSV twin into `results/<name>.csv`.
+pub fn emit(table: &Table, name: &str) {
+    println!("{}", table.render());
+    let path = results_dir().join(format!("{name}.csv"));
+    if let Err(e) = std::fs::write(&path, table.to_csv()) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    } else {
+        println!("[written {}]", relative_to_cwd(&path));
+    }
+}
+
+fn relative_to_cwd(path: &Path) -> String {
+    std::env::current_dir()
+        .ok()
+        .and_then(|cwd| path.strip_prefix(cwd).ok())
+        .map_or_else(|| path.display().to_string(), |p| p.display().to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_dir_is_creatable() {
+        let dir = results_dir();
+        assert!(dir.exists());
+        assert!(dir.ends_with("results"));
+    }
+
+    #[test]
+    fn emit_writes_csv() {
+        let mut t = Table::new(vec!["a".into()]);
+        t.row(vec!["1".into()]);
+        emit(&t, "selftest");
+        let path = results_dir().join("selftest.csv");
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.starts_with("a\n"));
+        let _ = std::fs::remove_file(path);
+    }
+}

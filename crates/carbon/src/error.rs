@@ -1,0 +1,182 @@
+//! Error types for the carbon accounting substrate.
+
+use core::fmt;
+
+/// Errors produced while constructing or evaluating carbon models.
+///
+/// # Examples
+///
+/// ```
+/// use cordoba_carbon::CarbonError;
+///
+/// let err = CarbonError::out_of_range("yield", 1.5, 0.0, 1.0);
+/// assert!(err.to_string().contains("yield"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CarbonError {
+    /// A parameter was NaN or infinite.
+    NonFinite {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A parameter fell outside its valid range.
+    OutOfRange {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+        /// Smallest valid value (inclusive).
+        min: f64,
+        /// Largest valid value (inclusive).
+        max: f64,
+    },
+    /// A parameter that must be strictly positive was zero or negative.
+    NotPositive {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A collection that must be non-empty was empty.
+    Empty {
+        /// Description of the collection.
+        what: &'static str,
+    },
+    /// Samples that must be sorted/monotonic were not.
+    NotMonotonic {
+        /// Description of the sequence.
+        what: &'static str,
+    },
+}
+
+impl CarbonError {
+    /// Builds an [`CarbonError::OutOfRange`] error.
+    #[must_use]
+    pub fn out_of_range(name: &'static str, value: f64, min: f64, max: f64) -> Self {
+        Self::OutOfRange {
+            name,
+            value,
+            min,
+            max,
+        }
+    }
+
+    /// Builds a [`CarbonError::NonFinite`] error.
+    #[must_use]
+    pub fn non_finite(name: &'static str, value: f64) -> Self {
+        Self::NonFinite { name, value }
+    }
+
+    /// Validates that `value` is finite, returning it on success.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CarbonError::NonFinite`] when `value` is NaN or infinite.
+    pub fn require_finite(name: &'static str, value: f64) -> Result<f64, Self> {
+        if value.is_finite() {
+            Ok(value)
+        } else {
+            Err(Self::non_finite(name, value))
+        }
+    }
+
+    /// Validates that `value` lies in `[min, max]`, returning it on success.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CarbonError::OutOfRange`] (or [`CarbonError::NonFinite`])
+    /// when the value is outside the range or not finite.
+    pub fn require_in_range(
+        name: &'static str,
+        value: f64,
+        min: f64,
+        max: f64,
+    ) -> Result<f64, Self> {
+        let value = Self::require_finite(name, value)?;
+        if (min..=max).contains(&value) {
+            Ok(value)
+        } else {
+            Err(Self::out_of_range(name, value, min, max))
+        }
+    }
+
+    /// Validates that `value` is strictly positive and finite.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the value is zero, negative, or not finite.
+    pub fn require_positive(name: &'static str, value: f64) -> Result<f64, Self> {
+        let value = Self::require_finite(name, value)?;
+        if value > 0.0 {
+            Ok(value)
+        } else {
+            Err(Self::NotPositive { name, value })
+        }
+    }
+}
+
+impl fmt::Display for CarbonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NonFinite { name, value } => {
+                write!(f, "parameter `{name}` must be finite, got {value}")
+            }
+            Self::OutOfRange {
+                name,
+                value,
+                min,
+                max,
+            } => write!(
+                f,
+                "parameter `{name}` must be in [{min}, {max}], got {value}"
+            ),
+            Self::NotPositive { name, value } => {
+                write!(f, "parameter `{name}` must be positive, got {value}")
+            }
+            Self::Empty { what } => write!(f, "{what} must not be empty"),
+            Self::NotMonotonic { what } => write!(f, "{what} must be sorted in increasing order"),
+        }
+    }
+}
+
+impl std::error::Error for CarbonError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_specific() {
+        let e = CarbonError::out_of_range("yield", 1.5, 0.0, 1.0);
+        assert_eq!(e.to_string(), "parameter `yield` must be in [0, 1], got 1.5");
+        let e = CarbonError::non_finite("area", f64::NAN);
+        assert!(e.to_string().starts_with("parameter `area` must be finite"));
+        let e = CarbonError::Empty { what: "trace" };
+        assert_eq!(e.to_string(), "trace must not be empty");
+        let e = CarbonError::require_positive("delay", -1.0).unwrap_err();
+        assert_eq!(e.to_string(), "parameter `delay` must be positive, got -1");
+        let e = CarbonError::NotMonotonic { what: "samples" };
+        assert!(e.to_string().contains("sorted"));
+    }
+
+    #[test]
+    fn validators() {
+        assert_eq!(CarbonError::require_finite("x", 1.0), Ok(1.0));
+        assert!(CarbonError::require_finite("x", f64::INFINITY).is_err());
+        assert_eq!(CarbonError::require_in_range("x", 0.5, 0.0, 1.0), Ok(0.5));
+        assert!(CarbonError::require_in_range("x", 2.0, 0.0, 1.0).is_err());
+        assert!(CarbonError::require_in_range("x", f64::NAN, 0.0, 1.0).is_err());
+        assert_eq!(CarbonError::require_positive("x", 2.0), Ok(2.0));
+        assert!(CarbonError::require_positive("x", 0.0).is_err());
+        assert!(CarbonError::require_positive("x", -1.0).is_err());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<CarbonError>();
+    }
+}

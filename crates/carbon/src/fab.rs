@@ -1,0 +1,224 @@
+//! Per-node fabrication characterization (the paper's `EPA`, `MPA`, `GPA`).
+//!
+//! ACT \[22\] and the imec/EDTM characterization \[18\], \[39\] report that
+//! advanced nodes require *more* fab energy per wafer area (EUV lithography,
+//! more metal layers, more process steps) even as they deliver better logic
+//! energy and density. That tension is the heart of the paper's §VII
+//! discussion (Table VI): advancing a node improves energy efficiency but
+//! *raises* embodied carbon per area.
+//!
+//! Absolute values below are synthesized to follow the published trends; see
+//! `DESIGN.md` for the substitution note. The 7 nm row matches the worked
+//! example in the paper's Table III (EPA 2.15 kWh/cm², MPA 500 gCO2e/cm²,
+//! GPA 300 gCO2e/cm²).
+
+use crate::units::{CarbonPerArea, DefectDensity, EnergyPerArea};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A CMOS logic process technology node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum ProcessNode {
+    /// 28 nm planar.
+    N28,
+    /// 20 nm planar.
+    N20,
+    /// 14 nm FinFET.
+    N14,
+    /// 10 nm FinFET.
+    N10,
+    /// 7 nm FinFET (the paper's VR SoC and accelerator node).
+    N7,
+    /// 5 nm FinFET/EUV.
+    N5,
+    /// 3 nm gate-all-around.
+    N3,
+}
+
+impl ProcessNode {
+    /// All nodes from oldest to newest.
+    pub const ALL: [ProcessNode; 7] = [
+        Self::N28,
+        Self::N20,
+        Self::N14,
+        Self::N10,
+        Self::N7,
+        Self::N5,
+        Self::N3,
+    ];
+
+    /// Nominal feature size in nanometers.
+    #[must_use]
+    pub fn nanometers(self) -> u32 {
+        match self {
+            Self::N28 => 28,
+            Self::N20 => 20,
+            Self::N14 => 14,
+            Self::N10 => 10,
+            Self::N7 => 7,
+            Self::N5 => 5,
+            Self::N3 => 3,
+        }
+    }
+
+    /// The node one generation newer, if any.
+    #[must_use]
+    pub fn next(self) -> Option<Self> {
+        let all = Self::ALL;
+        let idx = all.iter().position(|&n| n == self)?;
+        all.get(idx + 1).copied()
+    }
+
+    /// The fab characterization profile for this node.
+    #[must_use]
+    pub fn profile(self) -> FabProfile {
+        // Columns: EPA (kWh/cm^2), MPA (g/cm^2), GPA (g/cm^2),
+        // defect density (/cm^2), logic density (rel. 28nm),
+        // energy/op (rel. 28nm), leakage power per transistor (rel. 28nm).
+        let (epa, mpa, gpa, d0, density, energy, leakage) = match self {
+            Self::N28 => (0.90, 500.0, 180.0, 0.060, 1.0, 1.00, 1.00),
+            Self::N20 => (1.20, 500.0, 210.0, 0.070, 1.7, 0.78, 0.85),
+            Self::N14 => (1.45, 500.0, 240.0, 0.080, 2.7, 0.60, 0.72),
+            Self::N10 => (1.80, 500.0, 270.0, 0.090, 4.3, 0.46, 0.62),
+            Self::N7 => (2.15, 500.0, 300.0, 0.100, 6.7, 0.35, 0.55),
+            Self::N5 => (2.75, 500.0, 340.0, 0.115, 10.2, 0.28, 0.52),
+            Self::N3 => (3.50, 500.0, 380.0, 0.130, 14.5, 0.24, 0.50),
+        };
+        FabProfile {
+            node: self,
+            epa: EnergyPerArea::new(epa),
+            mpa: CarbonPerArea::new(mpa),
+            gpa: CarbonPerArea::new(gpa),
+            defect_density: DefectDensity::new(d0),
+            logic_density: density,
+            energy_per_op: energy,
+            leakage_per_transistor: leakage,
+        }
+    }
+}
+
+impl fmt::Display for ProcessNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} nm", self.nanometers())
+    }
+}
+
+/// Fab characterization for one process node.
+///
+/// The carbon-relevant columns (`epa`, `mpa`, `gpa`) feed eq. IV.5; the
+/// scaling columns (`logic_density`, `energy_per_op`,
+/// `leakage_per_transistor`) let `cordoba-tech` and `cordoba-accel` scale
+/// designs across nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FabProfile {
+    /// The node this profile describes.
+    pub node: ProcessNode,
+    /// Fab energy per die area (`EPA`).
+    pub epa: EnergyPerArea,
+    /// Carbon footprint of procured materials per die area (`MPA`).
+    pub mpa: CarbonPerArea,
+    /// Direct fab gas emissions per die area (`GPA`).
+    pub gpa: CarbonPerArea,
+    /// Manufacturing defect density feeding the yield model.
+    pub defect_density: DefectDensity,
+    /// Logic transistor density relative to 28 nm.
+    pub logic_density: f64,
+    /// Dynamic energy per logic operation relative to 28 nm.
+    pub energy_per_op: f64,
+    /// Leakage power per transistor relative to 28 nm.
+    pub leakage_per_transistor: f64,
+}
+
+impl FabProfile {
+    /// Leakage power *per unit area* relative to 28 nm.
+    ///
+    /// Density packs more transistors per area, so per-area leakage is
+    /// `leakage_per_transistor * logic_density`.
+    #[must_use]
+    pub fn leakage_per_area(&self) -> f64 {
+        self.leakage_per_transistor * self.logic_density
+    }
+
+    /// Area of a fixed logic design at this node, relative to its 28 nm
+    /// area (the reciprocal of density scaling).
+    #[must_use]
+    pub fn area_scale(&self) -> f64 {
+        1.0 / self.logic_density
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seven_nm_matches_paper_table_iii() {
+        let p = ProcessNode::N7.profile();
+        assert_eq!(p.epa, EnergyPerArea::new(2.15));
+        assert_eq!(p.mpa, CarbonPerArea::new(500.0));
+        assert_eq!(p.gpa, CarbonPerArea::new(300.0));
+    }
+
+    #[test]
+    fn epa_increases_toward_newer_nodes() {
+        let mut prev = 0.0;
+        for node in ProcessNode::ALL {
+            let epa = node.profile().epa.value();
+            assert!(epa > prev, "{node} EPA {epa} not increasing");
+            prev = epa;
+        }
+    }
+
+    #[test]
+    fn energy_per_op_decreases_toward_newer_nodes() {
+        let mut prev = f64::INFINITY;
+        for node in ProcessNode::ALL {
+            let e = node.profile().energy_per_op;
+            assert!(e < prev, "{node} energy/op {e} not decreasing");
+            prev = e;
+        }
+    }
+
+    #[test]
+    fn density_increases_and_area_scale_is_reciprocal() {
+        let mut prev = 0.0;
+        for node in ProcessNode::ALL {
+            let p = node.profile();
+            assert!(p.logic_density > prev);
+            assert!((p.area_scale() - 1.0 / p.logic_density).abs() < 1e-12);
+            prev = p.logic_density;
+        }
+    }
+
+    #[test]
+    fn per_area_leakage_grows_with_density() {
+        // Per-transistor leakage falls slower than density rises, so
+        // per-area leakage grows toward newer nodes.
+        let old = ProcessNode::N28.profile().leakage_per_area();
+        let new = ProcessNode::N3.profile().leakage_per_area();
+        assert!(new > old);
+    }
+
+    #[test]
+    fn next_walks_the_roadmap() {
+        assert_eq!(ProcessNode::N28.next(), Some(ProcessNode::N20));
+        assert_eq!(ProcessNode::N7.next(), Some(ProcessNode::N5));
+        assert_eq!(ProcessNode::N3.next(), None);
+    }
+
+    #[test]
+    fn display_and_ordering() {
+        assert_eq!(ProcessNode::N7.to_string(), "7 nm");
+        assert!(ProcessNode::N28 < ProcessNode::N3);
+        assert_eq!(ProcessNode::N5.nanometers(), 5);
+    }
+
+    #[test]
+    fn defect_density_grows_for_newer_nodes() {
+        assert!(
+            ProcessNode::N3.profile().defect_density.value()
+                > ProcessNode::N28.profile().defect_density.value()
+        );
+    }
+}

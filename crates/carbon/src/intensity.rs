@@ -1,0 +1,487 @@
+//! Carbon-intensity sources (`CI_use(t)`, `CI_fab`).
+//!
+//! The paper (§IV-B) stresses that `CI_use` varies over a system's lifetime —
+//! diurnally with solar availability and annually as grids decarbonize — and
+//! builds its uncertainty techniques around that. This module provides a
+//! [`CiSource`] trait with constant, diurnal, trend, and trace-driven
+//! implementations, plus published grid-average constants in [`grids`].
+
+use crate::error::CarbonError;
+use crate::units::{CarbonIntensity, Seconds, SECONDS_PER_DAY, SECONDS_PER_YEAR};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Published lifecycle carbon intensities of common energy sources, in
+/// gCO2e/kWh. Values follow IPCC/ACT-style lifecycle figures.
+pub mod grids {
+    use crate::units::CarbonIntensity;
+
+    /// Coal-fired generation.
+    pub const COAL: CarbonIntensity = CarbonIntensity::new(820.0);
+    /// Natural-gas generation.
+    pub const GAS: CarbonIntensity = CarbonIntensity::new(490.0);
+    /// World average grid mix.
+    pub const WORLD_AVERAGE: CarbonIntensity = CarbonIntensity::new(475.0);
+    /// United States average grid mix (the paper's `CI_use` example).
+    pub const US_AVERAGE: CarbonIntensity = CarbonIntensity::new(380.0);
+    /// Utility-scale solar photovoltaic.
+    pub const SOLAR: CarbonIntensity = CarbonIntensity::new(41.0);
+    /// Onshore wind.
+    pub const WIND: CarbonIntensity = CarbonIntensity::new(11.0);
+    /// Hydroelectric.
+    pub const HYDRO: CarbonIntensity = CarbonIntensity::new(24.0);
+    /// Nuclear.
+    pub const NUCLEAR: CarbonIntensity = CarbonIntensity::new(12.0);
+    /// Taiwan average grid mix (typical leading-edge fab location; the
+    /// paper's `CI_fab` example of 820 g/kWh corresponds to a coal-heavy
+    /// fab energy source).
+    pub const TAIWAN: CarbonIntensity = CarbonIntensity::new(560.0);
+}
+
+/// A time-varying carbon-intensity signal `CI(t)`.
+///
+/// `t = 0` is the moment the system enters service. Implementations must
+/// return non-negative, finite intensities for all `t >= 0`.
+///
+/// # Examples
+///
+/// ```
+/// use cordoba_carbon::intensity::{CiSource, ConstantCi, grids};
+/// use cordoba_carbon::units::Seconds;
+///
+/// let ci = ConstantCi::new(grids::US_AVERAGE);
+/// assert_eq!(ci.at(Seconds::from_days(100.0)), grids::US_AVERAGE);
+/// ```
+pub trait CiSource: fmt::Debug {
+    /// The intensity at time `t` after deployment.
+    fn at(&self, t: Seconds) -> CarbonIntensity;
+
+    /// Mean intensity over `[0, duration]`, estimated with `samples`
+    /// midpoint evaluations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples == 0`.
+    fn mean_over(&self, duration: Seconds, samples: usize) -> CarbonIntensity {
+        assert!(samples > 0, "samples must be > 0");
+        let dt = duration.value() / samples as f64;
+        let sum: f64 = (0..samples)
+            .map(|i| self.at(Seconds::new((i as f64 + 0.5) * dt)).value())
+            .sum();
+        CarbonIntensity::new(sum / samples as f64)
+    }
+}
+
+/// A constant carbon intensity (a fixed grid mix).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConstantCi {
+    intensity: CarbonIntensity,
+}
+
+impl ConstantCi {
+    /// Creates a constant source.
+    #[must_use]
+    pub const fn new(intensity: CarbonIntensity) -> Self {
+        Self { intensity }
+    }
+}
+
+impl CiSource for ConstantCi {
+    fn at(&self, _t: Seconds) -> CarbonIntensity {
+        self.intensity
+    }
+}
+
+impl From<CarbonIntensity> for ConstantCi {
+    fn from(intensity: CarbonIntensity) -> Self {
+        Self::new(intensity)
+    }
+}
+
+/// A diurnal (sinusoidal) intensity: low mid-day when solar is plentiful,
+/// high overnight.
+///
+/// `CI(t) = mean + amplitude * cos(2π t / period)` with `t = 0` at the
+/// overnight peak. The amplitude is clamped during construction so the
+/// signal never goes negative.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DiurnalCi {
+    mean: CarbonIntensity,
+    amplitude: CarbonIntensity,
+    period: Seconds,
+}
+
+impl DiurnalCi {
+    /// Creates a diurnal source with a 24 h period.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `mean` is negative/non-finite or
+    /// `amplitude > mean` (which would produce negative intensities).
+    pub fn new(mean: CarbonIntensity, amplitude: CarbonIntensity) -> Result<Self, CarbonError> {
+        CarbonError::require_in_range("diurnal mean", mean.value(), 0.0, f64::MAX)?;
+        CarbonError::require_in_range("diurnal amplitude", amplitude.value(), 0.0, mean.value())?;
+        Ok(Self {
+            mean,
+            amplitude,
+            period: Seconds::new(SECONDS_PER_DAY),
+        })
+    }
+
+    /// The mean intensity.
+    #[must_use]
+    pub fn mean(&self) -> CarbonIntensity {
+        self.mean
+    }
+}
+
+impl CiSource for DiurnalCi {
+    fn at(&self, t: Seconds) -> CarbonIntensity {
+        let phase = core::f64::consts::TAU * t.value() / self.period.value();
+        CarbonIntensity::new(self.mean.value() + self.amplitude.value() * phase.cos())
+    }
+}
+
+/// An exponentially decarbonizing grid:
+/// `CI(t) = start * (1 - annual_decline)^(t in years)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrendCi {
+    start: CarbonIntensity,
+    annual_decline: f64,
+}
+
+impl TrendCi {
+    /// Creates a decarbonization trend.
+    ///
+    /// `annual_decline` is the fraction by which intensity falls each year
+    /// (e.g. `0.05` for 5 %/year).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `annual_decline` is outside `[0, 1)` or `start`
+    /// is negative/non-finite.
+    pub fn new(start: CarbonIntensity, annual_decline: f64) -> Result<Self, CarbonError> {
+        CarbonError::require_in_range("trend start", start.value(), 0.0, f64::MAX)?;
+        CarbonError::require_in_range("annual decline", annual_decline, 0.0, 1.0 - 1e-12)?;
+        Ok(Self {
+            start,
+            annual_decline,
+        })
+    }
+}
+
+impl CiSource for TrendCi {
+    fn at(&self, t: Seconds) -> CarbonIntensity {
+        let years = t.value() / SECONDS_PER_YEAR;
+        CarbonIntensity::new(self.start.value() * (1.0 - self.annual_decline).powf(years))
+    }
+}
+
+/// A trace-driven intensity built from `(time, intensity)` samples with
+/// linear interpolation; values are held flat beyond the last sample.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceCi {
+    samples: Vec<(Seconds, CarbonIntensity)>,
+}
+
+impl TraceCi {
+    /// Builds a trace from samples sorted by time.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `samples` is empty, not strictly increasing in
+    /// time, or contains negative/non-finite intensities.
+    pub fn new(samples: Vec<(Seconds, CarbonIntensity)>) -> Result<Self, CarbonError> {
+        if samples.is_empty() {
+            return Err(CarbonError::Empty {
+                what: "carbon-intensity trace",
+            });
+        }
+        for window in samples.windows(2) {
+            if window[1].0.value() <= window[0].0.value() {
+                return Err(CarbonError::NotMonotonic {
+                    what: "carbon-intensity trace timestamps",
+                });
+            }
+        }
+        for &(_, ci) in &samples {
+            CarbonError::require_in_range("trace intensity", ci.value(), 0.0, f64::MAX)?;
+        }
+        Ok(Self { samples })
+    }
+
+    /// The number of samples in the trace.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` when the trace has no samples (never true for constructed
+    /// values; provided for API completeness).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+}
+
+impl CiSource for TraceCi {
+    fn at(&self, t: Seconds) -> CarbonIntensity {
+        let first = self.samples[0];
+        if t.value() <= first.0.value() {
+            return first.1;
+        }
+        for window in self.samples.windows(2) {
+            let (t0, c0) = window[0];
+            let (t1, c1) = window[1];
+            if t.value() <= t1.value() {
+                let frac = (t.value() - t0.value()) / (t1.value() - t0.value());
+                return CarbonIntensity::new(c0.value() + frac * (c1.value() - c0.value()));
+            }
+        }
+        self.samples[self.samples.len() - 1].1
+    }
+}
+
+/// A composite grid model: exponential decarbonization modulated by
+/// diurnal (solar) and seasonal (heating/hydro) cycles:
+///
+/// `CI(t) = mean·(1-decline)^years · (1 + a_d·cos(2πt/day)) · (1 + a_s·cos(2πt/year))`
+///
+/// with `t = 0` at the overnight/winter peak.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SeasonalCi {
+    mean: CarbonIntensity,
+    diurnal_amplitude: f64,
+    seasonal_amplitude: f64,
+    annual_decline: f64,
+}
+
+impl SeasonalCi {
+    /// Creates a composite grid model.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless the amplitudes are in `[0, 1)` (the product
+    /// form then never goes negative), the decline is in `[0, 1)`, and the
+    /// mean is non-negative.
+    pub fn new(
+        mean: CarbonIntensity,
+        diurnal_amplitude: f64,
+        seasonal_amplitude: f64,
+        annual_decline: f64,
+    ) -> Result<Self, CarbonError> {
+        CarbonError::require_in_range("seasonal mean", mean.value(), 0.0, f64::MAX)?;
+        CarbonError::require_in_range("diurnal amplitude", diurnal_amplitude, 0.0, 1.0 - 1e-9)?;
+        CarbonError::require_in_range("seasonal amplitude", seasonal_amplitude, 0.0, 1.0 - 1e-9)?;
+        CarbonError::require_in_range("annual decline", annual_decline, 0.0, 1.0 - 1e-12)?;
+        Ok(Self {
+            mean,
+            diurnal_amplitude,
+            seasonal_amplitude,
+            annual_decline,
+        })
+    }
+
+    /// A solar-rich grid with a deep mid-day dip and steady
+    /// decarbonization (a California-style duck curve).
+    ///
+    /// # Panics
+    ///
+    /// Never panics (static parameters are valid).
+    #[must_use]
+    pub fn solar_rich() -> Self {
+        Self::new(CarbonIntensity::new(260.0), 0.45, 0.10, 0.06)
+            .expect("static parameters are valid")
+    }
+
+    /// A coal-heavy grid: high baseline, weak daily structure, slow
+    /// decarbonization.
+    ///
+    /// # Panics
+    ///
+    /// Never panics (static parameters are valid).
+    #[must_use]
+    pub fn coal_heavy() -> Self {
+        Self::new(CarbonIntensity::new(680.0), 0.08, 0.12, 0.015)
+            .expect("static parameters are valid")
+    }
+
+    /// A wind/hydro grid: low baseline with strong seasonal variation.
+    ///
+    /// # Panics
+    ///
+    /// Never panics (static parameters are valid).
+    #[must_use]
+    pub fn wind_hydro() -> Self {
+        Self::new(CarbonIntensity::new(90.0), 0.10, 0.35, 0.04)
+            .expect("static parameters are valid")
+    }
+}
+
+impl CiSource for SeasonalCi {
+    fn at(&self, t: Seconds) -> CarbonIntensity {
+        let years = t.value() / SECONDS_PER_YEAR;
+        let day_phase = core::f64::consts::TAU * t.value() / SECONDS_PER_DAY;
+        let year_phase = core::f64::consts::TAU * years;
+        CarbonIntensity::new(
+            self.mean.value()
+                * (1.0 - self.annual_decline).powf(years)
+                * (1.0 + self.diurnal_amplitude * day_phase.cos())
+                * (1.0 + self.seasonal_amplitude * year_phase.cos()),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seasonal_profile_oscillates_and_declines() {
+        let ci = SeasonalCi::solar_rich();
+        // Mid-day dip vs overnight peak on day one.
+        let night = ci.at(Seconds::ZERO);
+        let noon = ci.at(Seconds::from_hours(12.0));
+        assert!(night.value() > 1.5 * noon.value());
+        // Annual mean declines year over year (sample whole years so the
+        // cycles average out).
+        let y0 = ci.mean_over(Seconds::from_years(1.0), 8_760);
+        let shifted = SeasonalCi::solar_rich();
+        let mut total = 0.0;
+        let samples = 8_760;
+        for i in 0..samples {
+            let t = Seconds::from_years(2.0)
+                + Seconds::from_hours(f64::from(i) * (8_760.0 / f64::from(samples)));
+            total += shifted.at(t).value();
+        }
+        let y2 = total / f64::from(samples);
+        assert!(y2 < y0.value() * 0.95, "year-2 mean {y2} vs year-0 {y0}");
+    }
+
+    #[test]
+    fn seasonal_profiles_stay_non_negative_for_a_decade() {
+        for profile in [
+            SeasonalCi::solar_rich(),
+            SeasonalCi::coal_heavy(),
+            SeasonalCi::wind_hydro(),
+        ] {
+            for hour in (0..87_600).step_by(97) {
+                let v = profile.at(Seconds::from_hours(f64::from(hour))).value();
+                assert!(v >= 0.0, "{profile:?} at hour {hour}: {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn preset_ordering_is_sensible() {
+        let t = Seconds::from_days(10.0);
+        assert!(SeasonalCi::coal_heavy().at(t) > SeasonalCi::solar_rich().at(t));
+        assert!(SeasonalCi::solar_rich().at(t) > SeasonalCi::wind_hydro().at(t));
+    }
+
+    #[test]
+    fn seasonal_validation() {
+        let mean = CarbonIntensity::new(100.0);
+        assert!(SeasonalCi::new(mean, 1.0, 0.0, 0.0).is_err());
+        assert!(SeasonalCi::new(mean, 0.0, 1.0, 0.0).is_err());
+        assert!(SeasonalCi::new(mean, 0.5, 0.5, 1.0).is_err());
+        assert!(SeasonalCi::new(CarbonIntensity::new(-1.0), 0.1, 0.1, 0.1).is_err());
+        assert!(SeasonalCi::new(mean, 0.5, 0.5, 0.1).is_ok());
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let ci = ConstantCi::new(grids::US_AVERAGE);
+        assert_eq!(ci.at(Seconds::ZERO), CarbonIntensity::new(380.0));
+        assert_eq!(ci.at(Seconds::from_years(3.0)), CarbonIntensity::new(380.0));
+        assert_eq!(
+            ci.mean_over(Seconds::from_days(10.0), 7),
+            CarbonIntensity::new(380.0)
+        );
+    }
+
+    #[test]
+    fn constant_from_intensity() {
+        let ci: ConstantCi = grids::SOLAR.into();
+        assert_eq!(ci.at(Seconds::ZERO), grids::SOLAR);
+    }
+
+    #[test]
+    fn diurnal_oscillates_around_mean_and_stays_non_negative() {
+        let ci = DiurnalCi::new(CarbonIntensity::new(400.0), CarbonIntensity::new(150.0)).unwrap();
+        // Peak at t = 0 (overnight), trough at mid-day.
+        assert!((ci.at(Seconds::ZERO).value() - 550.0).abs() < 1e-9);
+        assert!((ci.at(Seconds::from_hours(12.0)).value() - 250.0).abs() < 1e-6);
+        // Mean over a whole number of days recovers the mean.
+        let mean = ci.mean_over(Seconds::from_days(2.0), 4_800);
+        assert!((mean.value() - 400.0).abs() < 0.5);
+        for h in 0..48 {
+            assert!(ci.at(Seconds::from_hours(f64::from(h))).value() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn diurnal_rejects_negative_dips() {
+        let err = DiurnalCi::new(CarbonIntensity::new(100.0), CarbonIntensity::new(200.0));
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn trend_decays_annually() {
+        let ci = TrendCi::new(CarbonIntensity::new(400.0), 0.10).unwrap();
+        assert!((ci.at(Seconds::ZERO).value() - 400.0).abs() < 1e-9);
+        assert!((ci.at(Seconds::from_years(1.0)).value() - 360.0).abs() < 1e-9);
+        assert!((ci.at(Seconds::from_years(2.0)).value() - 324.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trend_rejects_bad_decline() {
+        assert!(TrendCi::new(CarbonIntensity::new(400.0), 1.0).is_err());
+        assert!(TrendCi::new(CarbonIntensity::new(400.0), -0.1).is_err());
+    }
+
+    #[test]
+    fn trace_interpolates_and_clamps() {
+        let trace = TraceCi::new(vec![
+            (Seconds::new(0.0), CarbonIntensity::new(100.0)),
+            (Seconds::new(10.0), CarbonIntensity::new(300.0)),
+            (Seconds::new(20.0), CarbonIntensity::new(200.0)),
+        ])
+        .unwrap();
+        assert_eq!(trace.len(), 3);
+        assert!(!trace.is_empty());
+        assert_eq!(trace.at(Seconds::new(-5.0)), CarbonIntensity::new(100.0));
+        assert_eq!(trace.at(Seconds::new(5.0)), CarbonIntensity::new(200.0));
+        assert_eq!(trace.at(Seconds::new(15.0)), CarbonIntensity::new(250.0));
+        assert_eq!(trace.at(Seconds::new(99.0)), CarbonIntensity::new(200.0));
+    }
+
+    #[test]
+    fn trace_rejects_empty_and_unsorted() {
+        assert!(TraceCi::new(vec![]).is_err());
+        let unsorted = vec![
+            (Seconds::new(10.0), CarbonIntensity::new(1.0)),
+            (Seconds::new(5.0), CarbonIntensity::new(2.0)),
+        ];
+        assert!(TraceCi::new(unsorted).is_err());
+        let negative = vec![(Seconds::new(0.0), CarbonIntensity::new(-1.0))];
+        assert!(TraceCi::new(negative).is_err());
+    }
+
+    #[test]
+    fn grid_constants_are_ordered_sensibly() {
+        assert!(grids::COAL > grids::GAS);
+        assert!(grids::GAS > grids::US_AVERAGE);
+        assert!(grids::US_AVERAGE > grids::SOLAR);
+        assert!(grids::SOLAR > grids::WIND);
+    }
+
+    #[test]
+    fn sources_are_object_safe() {
+        let sources: Vec<Box<dyn CiSource>> = vec![
+            Box::new(ConstantCi::new(grids::GAS)),
+            Box::new(TrendCi::new(grids::GAS, 0.02).unwrap()),
+        ];
+        assert!(sources[0].at(Seconds::ZERO) > sources[1].at(Seconds::from_years(10.0)));
+    }
+}

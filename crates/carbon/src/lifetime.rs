@@ -1,0 +1,154 @@
+//! Operational-time accounting and embodied-carbon amortization
+//! (paper eq. IV.3 and the Table III lifetime rows).
+//!
+//! The paper amortizes embodied carbon over *operational time* — the time
+//! the system actually consumes energy — not over wall-clock lifetime:
+//! `C_embodied(task) = (Σ D / (t_life - D_off)) * C_embodied(system)`.
+
+use crate::error::CarbonError;
+use crate::units::{GramsCo2e, Seconds};
+use serde::{Deserialize, Serialize};
+
+/// How a system is used across its deployed lifetime.
+///
+/// # Examples
+///
+/// ```
+/// use cordoba_carbon::lifetime::UsageProfile;
+/// use cordoba_carbon::units::Seconds;
+///
+/// // The paper's VR headset: 5-year lifetime, 2 active hours per day.
+/// let usage = UsageProfile::new(Seconds::from_years(5.0), 2.0 / 24.0)?;
+/// let op = usage.operational_time();
+/// assert!((op.to_hours() - 5.0 * 365.0 * 2.0).abs() < 1.0);
+/// # Ok::<(), cordoba_carbon::CarbonError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UsageProfile {
+    lifetime: Seconds,
+    active_fraction: f64,
+}
+
+impl UsageProfile {
+    /// Creates a usage profile from total lifetime and the fraction of it
+    /// spent operational (consuming energy).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the lifetime is not positive or
+    /// `active_fraction` is outside `(0, 1]`.
+    pub fn new(lifetime: Seconds, active_fraction: f64) -> Result<Self, CarbonError> {
+        CarbonError::require_positive("lifetime", lifetime.value())?;
+        CarbonError::require_in_range("active fraction", active_fraction, 1e-12, 1.0)?;
+        Ok(Self {
+            lifetime,
+            active_fraction,
+        })
+    }
+
+    /// Creates a profile from lifetime in years and active hours per day
+    /// (the form used throughout the paper's Table III).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on non-positive years or hours outside `(0, 24]`.
+    pub fn from_daily_hours(years: f64, active_hours_per_day: f64) -> Result<Self, CarbonError> {
+        CarbonError::require_positive("lifetime years", years)?;
+        CarbonError::require_in_range("active hours per day", active_hours_per_day, 1e-9, 24.0)?;
+        Self::new(Seconds::from_years(years), active_hours_per_day / 24.0)
+    }
+
+    /// Total deployed lifetime (`t_life`).
+    #[must_use]
+    pub fn lifetime(&self) -> Seconds {
+        self.lifetime
+    }
+
+    /// Time the system is off or fully idle (`D_off`).
+    #[must_use]
+    pub fn off_time(&self) -> Seconds {
+        self.lifetime * (1.0 - self.active_fraction)
+    }
+
+    /// Operational time: `t_life - D_off`, the denominator of eq. IV.3.
+    #[must_use]
+    pub fn operational_time(&self) -> Seconds {
+        self.lifetime * self.active_fraction
+    }
+
+    /// Fraction of a system's embodied carbon attributable to a task that
+    /// occupies `task_time` of operational time (the `Σ D / (t_life - D_off)`
+    /// factor of eq. IV.3).
+    ///
+    /// Values above 1 are possible when the requested task time exceeds the
+    /// operational lifetime — callers typically treat that as "more than one
+    /// device is needed".
+    #[must_use]
+    pub fn amortization_factor(&self, task_time: Seconds) -> f64 {
+        task_time.value() / self.operational_time().value()
+    }
+
+    /// The share of system embodied carbon charged to a task (eq. IV.3 with
+    /// the component-selection vector already applied).
+    #[must_use]
+    pub fn amortized_embodied(&self, system_embodied: GramsCo2e, task_time: Seconds) -> GramsCo2e {
+        system_embodied * self.amortization_factor(task_time)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_vr_profile() {
+        // 5 years, 2 h/day active (Table III: D_off = 22 h/day for 5 years).
+        let usage = UsageProfile::from_daily_hours(5.0, 2.0).unwrap();
+        let lifetime = usage.lifetime();
+        assert!((lifetime.to_years() - 5.0).abs() < 1e-9);
+        let op = usage.operational_time();
+        assert!((op.value() / lifetime.value() - 2.0 / 24.0).abs() < 1e-12);
+        let off = usage.off_time();
+        assert!((off.value() / lifetime.value() - 22.0 / 24.0).abs() < 1e-12);
+        // off + operational == lifetime.
+        assert!(((off + op).value() - lifetime.value()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn amortization_scales_linearly() {
+        let usage = UsageProfile::from_daily_hours(5.0, 2.0).unwrap();
+        let system = GramsCo2e::new(5375.33);
+        let op = usage.operational_time();
+        // A task using the full operational life is charged everything.
+        let all = usage.amortized_embodied(system, op);
+        assert!((all.value() - 5375.33).abs() < 1e-6);
+        // Half the time, half the carbon.
+        let half = usage.amortized_embodied(system, op / 2.0);
+        assert!((half.value() - 5375.33 / 2.0).abs() < 1e-6);
+        assert!((usage.amortization_factor(op / 4.0) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn over_subscription_exceeds_one() {
+        let usage = UsageProfile::from_daily_hours(1.0, 1.0).unwrap();
+        let factor = usage.amortization_factor(usage.operational_time() * 3.0);
+        assert!((factor - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(UsageProfile::new(Seconds::ZERO, 0.5).is_err());
+        assert!(UsageProfile::new(Seconds::from_years(1.0), 0.0).is_err());
+        assert!(UsageProfile::new(Seconds::from_years(1.0), 1.5).is_err());
+        assert!(UsageProfile::from_daily_hours(0.0, 2.0).is_err());
+        assert!(UsageProfile::from_daily_hours(1.0, 25.0).is_err());
+        assert!(UsageProfile::from_daily_hours(1.0, 24.0).is_ok());
+    }
+
+    #[test]
+    fn always_on_system() {
+        let usage = UsageProfile::new(Seconds::from_years(4.0), 1.0).unwrap();
+        assert_eq!(usage.off_time(), Seconds::ZERO * 1.0);
+        assert!((usage.operational_time().to_years() - 4.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,295 @@
+//! Embodied carbon of memory and storage devices.
+//!
+//! ACT \[22\] extends IC embodied carbon with capacity-based models for DRAM,
+//! NAND flash (SSD), and HDD — a computing *system's* footprint includes
+//! them (the paper's Table III lists DRAM among the HW resources, and the
+//! conclusion calls for extending the framework with additional models).
+//! This module provides per-gigabyte carbon-per-storage factors with a
+//! technology-trend knob, plus a [`SystemBom`] that totals a bill of
+//! materials of dice and memory devices.
+
+use crate::embodied::{Die, EmbodiedModel};
+use crate::error::CarbonError;
+use crate::units::GramsCo2e;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Carbon mass per gigabyte of storage capacity, in gCO2e/GB.
+///
+/// A distinct type so per-capacity factors cannot be confused with
+/// absolute carbon masses ([`GramsCo2e`]).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct GramsCo2ePerGigabyte(f64);
+
+impl GramsCo2ePerGigabyte {
+    /// Creates a factor from a raw gCO2e/GB value.
+    #[must_use]
+    pub const fn new(value: f64) -> Self {
+        Self(value)
+    }
+
+    /// The raw value in gCO2e/GB.
+    #[must_use]
+    pub const fn value(self) -> f64 {
+        self.0
+    }
+
+    /// The carbon mass of `capacity_gb` gigabytes at this factor.
+    #[must_use]
+    pub fn for_capacity(self, capacity_gb: f64) -> GramsCo2e {
+        GramsCo2e::new(self.0 * capacity_gb)
+    }
+}
+
+impl fmt::Display for GramsCo2ePerGigabyte {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} gCO2e/GB", self.0)
+    }
+}
+
+/// A class of memory/storage device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum MemoryKind {
+    /// LPDDR/DDR DRAM.
+    Dram,
+    /// NAND flash (SSD / UFS).
+    Nand,
+    /// Rotational storage.
+    Hdd,
+}
+
+impl MemoryKind {
+    /// Baseline embodied carbon per gigabyte (ACT-trend values: DRAM
+    /// dominated by wafer cost per bit, NAND cheaper per bit, HDD
+    /// cheapest).
+    #[must_use]
+    pub fn carbon_per_gb(self) -> GramsCo2ePerGigabyte {
+        match self {
+            Self::Dram => GramsCo2ePerGigabyte::new(230.0),
+            Self::Nand => GramsCo2ePerGigabyte::new(35.0),
+            Self::Hdd => GramsCo2ePerGigabyte::new(8.0),
+        }
+    }
+
+    /// Display label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Dram => "DRAM",
+            Self::Nand => "NAND",
+            Self::Hdd => "HDD",
+        }
+    }
+}
+
+impl fmt::Display for MemoryKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A memory/storage device of a given capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemoryDevice {
+    /// Device class.
+    pub kind: MemoryKind,
+    /// Capacity in gigabytes.
+    pub capacity_gb: f64,
+    /// Per-bit carbon scaling relative to the baseline generation (newer,
+    /// denser generations trend below 1.0; 1.0 = baseline).
+    pub generation_factor: f64,
+}
+
+impl MemoryDevice {
+    /// Creates a device at the baseline generation.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `capacity_gb` is not positive.
+    pub fn new(kind: MemoryKind, capacity_gb: f64) -> Result<Self, CarbonError> {
+        CarbonError::require_positive("capacity_gb", capacity_gb)?;
+        Ok(Self {
+            kind,
+            capacity_gb,
+            generation_factor: 1.0,
+        })
+    }
+
+    /// Sets the generation scaling factor.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `factor` is not positive and finite.
+    pub fn with_generation_factor(mut self, factor: f64) -> Result<Self, CarbonError> {
+        CarbonError::require_positive("generation factor", factor)?;
+        self.generation_factor = factor;
+        Ok(self)
+    }
+
+    /// Embodied carbon of this device.
+    #[must_use]
+    pub fn embodied_carbon(&self) -> GramsCo2e {
+        self.kind
+            .carbon_per_gb()
+            .for_capacity(self.capacity_gb * self.generation_factor)
+    }
+}
+
+/// A system bill of materials: logic dice plus memory/storage devices.
+///
+/// # Examples
+///
+/// ```
+/// use cordoba_carbon::memory::{MemoryDevice, MemoryKind, SystemBom};
+/// use cordoba_carbon::embodied::{Die, EmbodiedModel};
+/// use cordoba_carbon::fab::ProcessNode;
+/// use cordoba_carbon::units::SquareCentimeters;
+///
+/// let mut bom = SystemBom::new("vr-headset");
+/// bom.add_die(Die::new("soc", SquareCentimeters::new(2.25), ProcessNode::N7)?);
+/// bom.add_memory(MemoryDevice::new(MemoryKind::Dram, 8.0)?);
+/// bom.add_memory(MemoryDevice::new(MemoryKind::Nand, 256.0)?);
+/// let total = bom.embodied_carbon(&EmbodiedModel::default());
+/// assert!(total.value() > 0.0);
+/// # Ok::<(), cordoba_carbon::CarbonError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemBom {
+    name: String,
+    dice: Vec<Die>,
+    memories: Vec<MemoryDevice>,
+}
+
+impl SystemBom {
+    /// Creates an empty bill of materials.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            dice: Vec::new(),
+            memories: Vec::new(),
+        }
+    }
+
+    /// The system name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds a logic die.
+    pub fn add_die(&mut self, die: Die) -> &mut Self {
+        self.dice.push(die);
+        self
+    }
+
+    /// Adds a memory/storage device.
+    pub fn add_memory(&mut self, device: MemoryDevice) -> &mut Self {
+        self.memories.push(device);
+        self
+    }
+
+    /// The logic dice.
+    #[must_use]
+    pub fn dice(&self) -> &[Die] {
+        &self.dice
+    }
+
+    /// The memory devices.
+    #[must_use]
+    pub fn memories(&self) -> &[MemoryDevice] {
+        &self.memories
+    }
+
+    /// Embodied carbon of the logic dice alone.
+    #[must_use]
+    pub fn logic_carbon(&self, model: &EmbodiedModel) -> GramsCo2e {
+        self.dice.iter().map(|d| model.packaged_die_carbon(d)).sum()
+    }
+
+    /// Embodied carbon of the memory devices alone.
+    #[must_use]
+    pub fn memory_carbon(&self) -> GramsCo2e {
+        self.memories.iter().map(MemoryDevice::embodied_carbon).sum()
+    }
+
+    /// Total embodied carbon of the system.
+    #[must_use]
+    pub fn embodied_carbon(&self, model: &EmbodiedModel) -> GramsCo2e {
+        self.logic_carbon(model) + self.memory_carbon()
+    }
+
+    /// Fraction of embodied carbon attributable to memory/storage.
+    #[must_use]
+    pub fn memory_share(&self, model: &EmbodiedModel) -> f64 {
+        let total = self.embodied_carbon(model).value();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.memory_carbon().value() / total
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fab::ProcessNode;
+    use crate::units::SquareCentimeters;
+
+    #[test]
+    fn per_gb_factors_are_ordered() {
+        assert!(MemoryKind::Dram.carbon_per_gb() > MemoryKind::Nand.carbon_per_gb());
+        assert!(MemoryKind::Nand.carbon_per_gb() > MemoryKind::Hdd.carbon_per_gb());
+        assert_eq!(MemoryKind::Dram.to_string(), "DRAM");
+    }
+
+    #[test]
+    fn device_carbon_scales_with_capacity_and_generation() {
+        let d8 = MemoryDevice::new(MemoryKind::Dram, 8.0).unwrap();
+        let d16 = MemoryDevice::new(MemoryKind::Dram, 16.0).unwrap();
+        assert!((d16.embodied_carbon().value() - 2.0 * d8.embodied_carbon().value()).abs() < 1e-9);
+        let newer = d8.with_generation_factor(0.7).unwrap();
+        assert!(
+            (newer.embodied_carbon().value() - 0.7 * d8.embodied_carbon().value()).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn device_validation() {
+        assert!(MemoryDevice::new(MemoryKind::Nand, 0.0).is_err());
+        assert!(MemoryDevice::new(MemoryKind::Nand, -1.0).is_err());
+        assert!(MemoryDevice::new(MemoryKind::Nand, 1.0)
+            .unwrap()
+            .with_generation_factor(0.0)
+            .is_err());
+    }
+
+    #[test]
+    fn bom_totals_compose() {
+        let model = EmbodiedModel::default();
+        let mut bom = SystemBom::new("headset");
+        bom.add_die(Die::new("soc", SquareCentimeters::new(2.25), ProcessNode::N7).unwrap());
+        bom.add_memory(MemoryDevice::new(MemoryKind::Dram, 8.0).unwrap());
+        bom.add_memory(MemoryDevice::new(MemoryKind::Nand, 256.0).unwrap());
+        assert_eq!(bom.name(), "headset");
+        assert_eq!(bom.dice().len(), 1);
+        assert_eq!(bom.memories().len(), 2);
+        let total = bom.embodied_carbon(&model);
+        let parts = bom.logic_carbon(&model) + bom.memory_carbon();
+        assert!((total.value() - parts.value()).abs() < 1e-9);
+        // 8 GB DRAM (1840 g) + 256 GB NAND (8960 g) are a visible share of
+        // the headset's footprint, as ACT reports for consumer devices.
+        let share = bom.memory_share(&model);
+        assert!(share > 0.3 && share < 0.9, "memory share {share}");
+    }
+
+    #[test]
+    fn empty_bom_has_zero_carbon() {
+        let bom = SystemBom::new("empty");
+        assert_eq!(bom.memory_carbon(), GramsCo2e::ZERO);
+        assert_eq!(bom.memory_share(&EmbodiedModel::default()), 0.0);
+    }
+}

@@ -1,0 +1,649 @@
+//! Strongly-typed physical quantities used throughout CORDOBA.
+//!
+//! Every quantity is a transparent newtype over `f64` ([C-NEWTYPE]), so the
+//! compiler distinguishes e.g. a duration from a frequency or an energy from
+//! a carbon mass. Cross-unit arithmetic is only defined where it is
+//! dimensionally meaningful (`Watts * Seconds = Joules`,
+//! `CarbonIntensity * KilowattHours = GramsCo2e`, ...), which statically rules
+//! out the classic unit-confusion bugs in carbon accounting.
+//!
+//! # Examples
+//!
+//! ```
+//! use cordoba_carbon::units::{Watts, Seconds, CarbonIntensity, GramsCo2e};
+//!
+//! let energy = Watts::new(8.3) * Seconds::from_hours(1.0);
+//! let ci = CarbonIntensity::new(380.0); // gCO2e per kWh
+//! let carbon: GramsCo2e = ci * energy.to_kilowatt_hours();
+//! assert!((carbon.value() - 3.154).abs() < 1e-3);
+//! ```
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+use serde::{Deserialize, Serialize};
+
+/// Number of joules in one kilowatt-hour.
+pub const JOULES_PER_KILOWATT_HOUR: f64 = 3.6e6;
+/// Number of seconds in one hour.
+pub const SECONDS_PER_HOUR: f64 = 3_600.0;
+/// Number of seconds in one day.
+pub const SECONDS_PER_DAY: f64 = 86_400.0;
+/// Number of seconds in one (365-day) year.
+pub const SECONDS_PER_YEAR: f64 = 365.0 * SECONDS_PER_DAY;
+
+macro_rules! quantity {
+    ($(#[$meta:meta])* $name:ident, $unit:literal) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+        #[serde(transparent)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// The zero quantity.
+            pub const ZERO: Self = Self(0.0);
+
+            /// Creates a quantity from a raw value in the canonical unit
+            #[doc = concat!("(`", $unit, "`).")]
+            #[inline]
+            #[must_use]
+            pub const fn new(value: f64) -> Self {
+                Self(value)
+            }
+
+            /// Returns the raw value in the canonical unit
+            #[doc = concat!("(`", $unit, "`).")]
+            #[inline]
+            #[must_use]
+            pub const fn value(self) -> f64 {
+                self.0
+            }
+
+            /// Returns the canonical unit symbol.
+            #[must_use]
+            pub const fn unit() -> &'static str {
+                $unit
+            }
+
+            /// Absolute value.
+            #[inline]
+            #[must_use]
+            pub fn abs(self) -> Self {
+                Self(self.0.abs())
+            }
+
+            /// The smaller of `self` and `other` (NaN-propagating like `f64::min`).
+            #[inline]
+            #[must_use]
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+
+            /// The larger of `self` and `other`.
+            #[inline]
+            #[must_use]
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// Clamps into `[lo, hi]`.
+            #[inline]
+            #[must_use]
+            pub fn clamp(self, lo: Self, hi: Self) -> Self {
+                Self(self.0.clamp(lo.0, hi.0))
+            }
+
+            /// `true` when the underlying value is finite (not NaN/inf).
+            #[inline]
+            #[must_use]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+
+            /// `true` when the value is `> 0` and finite.
+            #[inline]
+            #[must_use]
+            pub fn is_positive(self) -> bool {
+                self.0 > 0.0 && self.0.is_finite()
+            }
+
+            /// Dimensionless ratio `self / other`.
+            ///
+            /// Equivalent to the `Div<Self>` operator; provided as a named
+            /// method for readability at call sites that compute ratios.
+            #[inline]
+            #[must_use]
+            pub fn ratio(self, other: Self) -> f64 {
+                self.0 / other.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                if let Some(prec) = f.precision() {
+                    write!(f, "{:.*} {}", prec, self.0, $unit)
+                } else {
+                    write!(f, "{} {}", self.0, $unit)
+                }
+            }
+        }
+
+        impl From<$name> for f64 {
+            #[inline]
+            fn from(q: $name) -> f64 {
+                q.0
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            #[inline]
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            #[inline]
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            #[inline]
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl SubAssign for $name {
+            #[inline]
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Neg for $name {
+            type Output = Self;
+            #[inline]
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl Mul<$name> for f64 {
+            type Output = $name;
+            #[inline]
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl MulAssign<f64> for $name {
+            #[inline]
+            fn mul_assign(&mut self, rhs: f64) {
+                self.0 *= rhs;
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        impl DivAssign<f64> for $name {
+            #[inline]
+            fn div_assign(&mut self, rhs: f64) {
+                self.0 /= rhs;
+            }
+        }
+
+        impl Div for $name {
+            type Output = f64;
+            #[inline]
+            fn div(self, rhs: Self) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|q| q.0).sum())
+            }
+        }
+
+        impl<'a> Sum<&'a $name> for $name {
+            fn sum<I: Iterator<Item = &'a Self>>(iter: I) -> Self {
+                Self(iter.map(|q| q.0).sum())
+            }
+        }
+    };
+}
+
+/// Defines `A * B = C` (commutatively) and the inverse divisions
+/// `C / A = B`, `C / B = A`.
+macro_rules! dimensional {
+    ($a:ty, $b:ty => $c:ty) => {
+        impl Mul<$b> for $a {
+            type Output = $c;
+            #[inline]
+            fn mul(self, rhs: $b) -> $c {
+                <$c>::new(self.value() * rhs.value())
+            }
+        }
+
+        impl Mul<$a> for $b {
+            type Output = $c;
+            #[inline]
+            fn mul(self, rhs: $a) -> $c {
+                <$c>::new(self.value() * rhs.value())
+            }
+        }
+
+        impl Div<$a> for $c {
+            type Output = $b;
+            #[inline]
+            fn div(self, rhs: $a) -> $b {
+                <$b>::new(self.value() / rhs.value())
+            }
+        }
+
+        impl Div<$b> for $c {
+            type Output = $a;
+            #[inline]
+            fn div(self, rhs: $b) -> $a {
+                <$a>::new(self.value() / rhs.value())
+            }
+        }
+    };
+}
+
+quantity!(
+    /// A duration, in seconds.
+    Seconds,
+    "s"
+);
+quantity!(
+    /// A frequency, in hertz.
+    Hertz,
+    "Hz"
+);
+quantity!(
+    /// Energy, in joules.
+    Joules,
+    "J"
+);
+quantity!(
+    /// Energy, in kilowatt-hours (the unit carbon intensities are quoted in).
+    KilowattHours,
+    "kWh"
+);
+quantity!(
+    /// Power, in watts.
+    Watts,
+    "W"
+);
+quantity!(
+    /// A mass of carbon-dioxide-equivalent emissions, in grams.
+    GramsCo2e,
+    "gCO2e"
+);
+quantity!(
+    /// Silicon area, in square centimeters.
+    SquareCentimeters,
+    "cm^2"
+);
+quantity!(
+    /// Silicon area, in square millimeters.
+    SquareMillimeters,
+    "mm^2"
+);
+quantity!(
+    /// Carbon intensity of an energy source, in gCO2e per kilowatt-hour.
+    CarbonIntensity,
+    "gCO2e/kWh"
+);
+quantity!(
+    /// Fab energy consumed per unit die area (the paper's `EPA`), in kWh/cm^2.
+    EnergyPerArea,
+    "kWh/cm^2"
+);
+quantity!(
+    /// Carbon emitted per unit die area (the paper's `MPA`/`GPA`), in gCO2e/cm^2.
+    CarbonPerArea,
+    "gCO2e/cm^2"
+);
+quantity!(
+    /// Energy-delay product (the EDP metric), in joule-seconds.
+    JouleSeconds,
+    "J*s"
+);
+quantity!(
+    /// Total-carbon-delay product (the tCDP metric), in gCO2e-seconds.
+    GramSecondsCo2e,
+    "gCO2e*s"
+);
+quantity!(
+    /// Manufacturing defect density, in defects per square centimeter.
+    DefectDensity,
+    "defects/cm^2"
+);
+quantity!(
+    /// A length, in millimeters (used for wafer geometry).
+    Millimeters,
+    "mm"
+);
+quantity!(
+    /// Data volume, in bytes.
+    Bytes,
+    "B"
+);
+quantity!(
+    /// Data bandwidth, in bytes per second.
+    BytesPerSecond,
+    "B/s"
+);
+
+dimensional!(Watts, Seconds => Joules);
+dimensional!(Joules, Seconds => JouleSeconds);
+dimensional!(GramsCo2e, Seconds => GramSecondsCo2e);
+dimensional!(CarbonIntensity, KilowattHours => GramsCo2e);
+dimensional!(EnergyPerArea, SquareCentimeters => KilowattHours);
+dimensional!(CarbonPerArea, SquareCentimeters => GramsCo2e);
+dimensional!(BytesPerSecond, Seconds => Bytes);
+
+impl Seconds {
+    /// Builds a duration from hours.
+    #[must_use]
+    pub fn from_hours(hours: f64) -> Self {
+        Self::new(hours * SECONDS_PER_HOUR)
+    }
+
+    /// Builds a duration from days.
+    #[must_use]
+    pub fn from_days(days: f64) -> Self {
+        Self::new(days * SECONDS_PER_DAY)
+    }
+
+    /// Builds a duration from (365-day) years.
+    #[must_use]
+    pub fn from_years(years: f64) -> Self {
+        Self::new(years * SECONDS_PER_YEAR)
+    }
+
+    /// The duration expressed in hours.
+    #[must_use]
+    pub fn to_hours(self) -> f64 {
+        self.value() / SECONDS_PER_HOUR
+    }
+
+    /// The duration expressed in years.
+    #[must_use]
+    pub fn to_years(self) -> f64 {
+        self.value() / SECONDS_PER_YEAR
+    }
+
+    /// The frequency whose period is this duration.
+    ///
+    /// Returns an infinite frequency for a zero duration.
+    #[must_use]
+    pub fn frequency(self) -> Hertz {
+        Hertz::new(1.0 / self.value())
+    }
+}
+
+impl Hertz {
+    /// Builds a frequency from gigahertz.
+    #[must_use]
+    pub fn from_gigahertz(ghz: f64) -> Self {
+        Self::new(ghz * 1e9)
+    }
+
+    /// The frequency expressed in gigahertz.
+    #[must_use]
+    pub fn to_gigahertz(self) -> f64 {
+        self.value() / 1e9
+    }
+
+    /// The period of one cycle at this frequency.
+    #[must_use]
+    pub fn period(self) -> Seconds {
+        Seconds::new(1.0 / self.value())
+    }
+}
+
+impl Joules {
+    /// Builds an energy from nanojoules.
+    #[must_use]
+    pub fn from_nanojoules(nj: f64) -> Self {
+        Self::new(nj * 1e-9)
+    }
+
+    /// Builds an energy from picojoules.
+    #[must_use]
+    pub fn from_picojoules(pj: f64) -> Self {
+        Self::new(pj * 1e-12)
+    }
+
+    /// Converts to kilowatt-hours.
+    #[must_use]
+    pub fn to_kilowatt_hours(self) -> KilowattHours {
+        KilowattHours::new(self.value() / JOULES_PER_KILOWATT_HOUR)
+    }
+}
+
+impl KilowattHours {
+    /// Converts to joules.
+    #[must_use]
+    pub fn to_joules(self) -> Joules {
+        Joules::new(self.value() * JOULES_PER_KILOWATT_HOUR)
+    }
+}
+
+impl SquareMillimeters {
+    /// Converts to square centimeters.
+    #[must_use]
+    pub fn to_square_centimeters(self) -> SquareCentimeters {
+        SquareCentimeters::new(self.value() / 100.0)
+    }
+}
+
+impl SquareCentimeters {
+    /// Converts to square millimeters.
+    #[must_use]
+    pub fn to_square_millimeters(self) -> SquareMillimeters {
+        SquareMillimeters::new(self.value() * 100.0)
+    }
+}
+
+impl Bytes {
+    /// Builds a data volume from mebibytes (2^20 bytes).
+    #[must_use]
+    pub fn from_mebibytes(mib: f64) -> Self {
+        Self::new(mib * (1u64 << 20) as f64)
+    }
+
+    /// The volume expressed in mebibytes.
+    #[must_use]
+    pub fn to_mebibytes(self) -> f64 {
+        self.value() / (1u64 << 20) as f64
+    }
+}
+
+impl BytesPerSecond {
+    /// Builds a bandwidth from gigabytes (1e9 bytes) per second.
+    #[must_use]
+    pub fn from_gigabytes_per_second(gbps: f64) -> Self {
+        Self::new(gbps * 1e9)
+    }
+}
+
+impl DefectDensity {
+    /// Expected number of defects on a die of the given area.
+    #[must_use]
+    pub fn expected_defects(self, area: SquareCentimeters) -> f64 {
+        self.value() * area.value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_times_time_is_energy() {
+        let e: Joules = Watts::new(2.0) * Seconds::new(3.0);
+        assert_eq!(e, Joules::new(6.0));
+        let e2: Joules = Seconds::new(3.0) * Watts::new(2.0);
+        assert_eq!(e, e2);
+    }
+
+    #[test]
+    fn energy_divided_by_time_is_power() {
+        let p: Watts = Joules::new(6.0) / Seconds::new(3.0);
+        assert_eq!(p, Watts::new(2.0));
+        let t: Seconds = Joules::new(6.0) / Watts::new(2.0);
+        assert_eq!(t, Seconds::new(3.0));
+    }
+
+    #[test]
+    fn edp_units_compose() {
+        let edp: JouleSeconds = Joules::new(0.4) * Seconds::new(0.125);
+        assert!((edp.value() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tcdp_units_compose() {
+        let tcdp: GramSecondsCo2e = GramsCo2e::new(7438.0) * Seconds::new(0.125);
+        assert!((tcdp.value() - 929.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn carbon_intensity_times_energy_is_carbon() {
+        // Paper Table III example: 8.3 W for one hour at 380 g/kWh = 3.154 g.
+        let e = (Watts::new(8.3) * Seconds::from_hours(1.0)).to_kilowatt_hours();
+        let c = CarbonIntensity::new(380.0) * e;
+        assert!((c.value() - 3.154).abs() < 1e-3);
+    }
+
+    #[test]
+    fn kwh_joule_round_trip() {
+        let e = Joules::new(9.5);
+        let back = e.to_kilowatt_hours().to_joules();
+        assert!((back.value() - 9.5).abs() < 1e-12);
+        assert!((e.to_kilowatt_hours().value() - 2.639e-6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn epa_times_area_is_energy() {
+        // Paper Table III: EPA 2.15 kWh/cm^2 over 2.25 cm^2.
+        let kwh: KilowattHours = EnergyPerArea::new(2.15) * SquareCentimeters::new(2.25);
+        assert!((kwh.value() - 4.8375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn frequency_period_round_trip() {
+        let f = Hertz::from_gigahertz(0.8);
+        let t = f.period();
+        assert!((t.value() - 1.25e-9).abs() < 1e-21);
+        assert!((t.frequency().to_gigahertz() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_conversions() {
+        assert_eq!(Seconds::from_hours(2.0).value(), 7_200.0);
+        assert_eq!(Seconds::from_days(1.0).value(), 86_400.0);
+        assert!((Seconds::from_years(5.0).to_years() - 5.0).abs() < 1e-12);
+        assert!((Seconds::from_hours(1.0).to_hours() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn area_conversions() {
+        let a = SquareMillimeters::new(225.0).to_square_centimeters();
+        assert!((a.value() - 2.25).abs() < 1e-12);
+        assert!((a.to_square_millimeters().value() - 225.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn arithmetic_and_ordering() {
+        let a = GramsCo2e::new(1.0) + GramsCo2e::new(2.0);
+        assert_eq!(a, GramsCo2e::new(3.0));
+        assert!(GramsCo2e::new(1.0) < GramsCo2e::new(2.0));
+        assert_eq!(a * 2.0, GramsCo2e::new(6.0));
+        assert_eq!(2.0 * a, GramsCo2e::new(6.0));
+        assert_eq!(a / 3.0, GramsCo2e::new(1.0));
+        assert_eq!(-a, GramsCo2e::new(-3.0));
+        assert_eq!(a - GramsCo2e::new(1.0), GramsCo2e::new(2.0));
+        let ratio: f64 = GramsCo2e::new(6.0) / GramsCo2e::new(3.0);
+        assert_eq!(ratio, 2.0);
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let parts = [Joules::new(1.0), Joules::new(2.5), Joules::new(0.5)];
+        let total: Joules = parts.iter().sum();
+        assert_eq!(total, Joules::new(4.0));
+        let total2: Joules = parts.into_iter().sum();
+        assert_eq!(total2, Joules::new(4.0));
+    }
+
+    #[test]
+    fn display_includes_unit() {
+        assert_eq!(format!("{}", Watts::new(8.3)), "8.3 W");
+        assert_eq!(format!("{:.2}", Seconds::new(1.256)), "1.26 s");
+        assert_eq!(format!("{}", CarbonIntensity::new(380.0)), "380 gCO2e/kWh");
+    }
+
+    #[test]
+    fn helpers() {
+        assert!(Joules::new(1.0).is_positive());
+        assert!(!Joules::new(0.0).is_positive());
+        assert!(!Joules::new(f64::NAN).is_finite());
+        assert_eq!(Joules::new(-2.0).abs(), Joules::new(2.0));
+        assert_eq!(Joules::new(1.0).max(Joules::new(2.0)), Joules::new(2.0));
+        assert_eq!(Joules::new(1.0).min(Joules::new(2.0)), Joules::new(1.0));
+        assert_eq!(
+            Joules::new(5.0).clamp(Joules::new(0.0), Joules::new(2.0)),
+            Joules::new(2.0)
+        );
+        assert_eq!(Joules::new(4.0).ratio(Joules::new(2.0)), 2.0);
+    }
+
+    #[test]
+    fn bytes_and_bandwidth() {
+        let v = Bytes::from_mebibytes(64.0);
+        assert!((v.to_mebibytes() - 64.0).abs() < 1e-12);
+        let bw = BytesPerSecond::from_gigabytes_per_second(16.0);
+        let moved: Bytes = bw * Seconds::new(0.5);
+        assert_eq!(moved, Bytes::new(8e9));
+        let t: Seconds = Bytes::new(8e9) / bw;
+        assert!((t.value() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn defect_expectation() {
+        let d0 = DefectDensity::new(0.1);
+        assert!((d0.expected_defects(SquareCentimeters::new(2.0)) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nanojoule_constructor() {
+        // Table I IC "D": 4 nJ per cycle.
+        let e = Joules::from_nanojoules(4.0);
+        assert!((e.value() - 4e-9).abs() < 1e-21);
+        assert!((Joules::from_picojoules(250.0).value() - 2.5e-10).abs() < 1e-24);
+    }
+}

@@ -1,0 +1,240 @@
+//! Wafer geometry and die-placement models.
+//!
+//! The paper extends ACT with "additional models for die placement and yield"
+//! \[11\], \[34\]. This module implements the standard gross-die-per-wafer
+//! approximation studied by de Vries \[11\] as well as an exact grid-placement
+//! count, so the approximation error can be inspected.
+
+use crate::error::CarbonError;
+use crate::units::{Millimeters, SquareCentimeters, SquareMillimeters};
+use serde::{Deserialize, Serialize};
+
+/// A silicon wafer with an edge-exclusion zone.
+///
+/// # Examples
+///
+/// ```
+/// use cordoba_carbon::wafer::Wafer;
+/// use cordoba_carbon::units::SquareCentimeters;
+///
+/// let wafer = Wafer::new_300mm();
+/// let dies = wafer.gross_dies(SquareCentimeters::new(1.0))?;
+/// assert!(dies > 500.0 && dies < 707.0);
+/// # Ok::<(), cordoba_carbon::CarbonError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Wafer {
+    diameter: Millimeters,
+    edge_exclusion: Millimeters,
+}
+
+impl Wafer {
+    /// Creates a wafer.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the diameter is not positive or the edge
+    /// exclusion does not leave a usable region.
+    pub fn new(diameter: Millimeters, edge_exclusion: Millimeters) -> Result<Self, CarbonError> {
+        CarbonError::require_positive("wafer diameter", diameter.value())?;
+        CarbonError::require_in_range(
+            "edge exclusion",
+            edge_exclusion.value(),
+            0.0,
+            diameter.value() / 2.0 - 1e-9,
+        )?;
+        Ok(Self {
+            diameter,
+            edge_exclusion,
+        })
+    }
+
+    /// A standard 300 mm wafer with 3 mm edge exclusion.
+    #[must_use]
+    pub fn new_300mm() -> Self {
+        Self {
+            diameter: Millimeters::new(300.0),
+            edge_exclusion: Millimeters::new(3.0),
+        }
+    }
+
+    /// A standard 200 mm wafer with 3 mm edge exclusion.
+    #[must_use]
+    pub fn new_200mm() -> Self {
+        Self {
+            diameter: Millimeters::new(200.0),
+            edge_exclusion: Millimeters::new(3.0),
+        }
+    }
+
+    /// Wafer diameter.
+    #[must_use]
+    pub fn diameter(&self) -> Millimeters {
+        self.diameter
+    }
+
+    /// Diameter of the usable (non-excluded) region.
+    #[must_use]
+    pub fn usable_diameter(&self) -> Millimeters {
+        self.diameter - self.edge_exclusion * 2.0
+    }
+
+    /// Area of the usable region.
+    #[must_use]
+    pub fn usable_area(&self) -> SquareCentimeters {
+        let r_mm = self.usable_diameter().value() / 2.0;
+        SquareMillimeters::new(core::f64::consts::PI * r_mm * r_mm).to_square_centimeters()
+    }
+
+    /// Gross dies per wafer by the de Vries first-order formula \[11\]:
+    /// `GDW = pi (d/2)^2 / A  -  pi d / sqrt(2 A)`.
+    ///
+    /// The second term accounts for partial dies lost at the wafer edge.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `die_area` is not positive, or larger than the
+    /// usable wafer area.
+    pub fn gross_dies(&self, die_area: SquareCentimeters) -> Result<f64, CarbonError> {
+        CarbonError::require_positive("die area", die_area.value())?;
+        let a_mm2 = die_area.to_square_millimeters().value();
+        let d = self.usable_diameter().value();
+        let full = core::f64::consts::PI * (d / 2.0) * (d / 2.0) / a_mm2;
+        let edge = core::f64::consts::PI * d / (2.0 * a_mm2).sqrt();
+        let gdw = full - edge;
+        if gdw < 1.0 {
+            return Err(CarbonError::out_of_range(
+                "die area (dies per wafer < 1)",
+                die_area.value(),
+                f64::MIN_POSITIVE,
+                self.usable_area().value(),
+            ));
+        }
+        Ok(gdw)
+    }
+
+    /// Exact count of `w x h` rectangular dies placeable on the usable
+    /// region in a grid aligned to the wafer center.
+    ///
+    /// This is the reference against which [`Wafer::gross_dies`] can be
+    /// validated; for square dies the two agree within a few percent.
+    #[must_use]
+    pub fn placed_dies(&self, die_w: Millimeters, die_h: Millimeters) -> u64 {
+        let r = self.usable_diameter().value() / 2.0;
+        let (w, h) = (die_w.value(), die_h.value());
+        if w <= 0.0 || h <= 0.0 || w > 2.0 * r || h > 2.0 * r {
+            return 0;
+        }
+        let mut count = 0u64;
+        // Grid cells with corners at integer multiples of (w, h), centered.
+        let cols = (2.0 * r / w).ceil() as i64 + 1;
+        let rows = (2.0 * r / h).ceil() as i64 + 1;
+        for i in -cols..cols {
+            for j in -rows..rows {
+                let x0 = i as f64 * w;
+                let y0 = j as f64 * h;
+                // All four corners must lie inside the circle of radius r.
+                let corners = [
+                    (x0, y0),
+                    (x0 + w, y0),
+                    (x0, y0 + h),
+                    (x0 + w, y0 + h),
+                ];
+                if corners.iter().all(|&(x, y)| x * x + y * y <= r * r) {
+                    count += 1;
+                }
+            }
+        }
+        count
+    }
+}
+
+impl Default for Wafer {
+    /// The standard 300 mm production wafer.
+    fn default() -> Self {
+        Self::new_300mm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn usable_geometry() {
+        let w = Wafer::new_300mm();
+        assert_eq!(w.usable_diameter(), Millimeters::new(294.0));
+        // pi * 14.7^2 cm^2 ~ 678.9 cm^2.
+        assert!((w.usable_area().value() - 678.87).abs() < 0.1);
+        assert_eq!(w.diameter(), Millimeters::new(300.0));
+    }
+
+    #[test]
+    fn gross_dies_close_to_known_values() {
+        // 1 cm^2 dies on a 300 mm wafer: full-area bound is ~679, the edge
+        // term removes ~65, landing near 613 (textbook ballpark ~600).
+        let w = Wafer::new_300mm();
+        let gdw = w.gross_dies(SquareCentimeters::new(1.0)).unwrap();
+        assert!(gdw > 580.0 && gdw < 640.0, "gdw = {gdw}");
+    }
+
+    #[test]
+    fn gross_dies_decrease_with_area_superlinearly() {
+        let w = Wafer::new_300mm();
+        let small = w.gross_dies(SquareCentimeters::new(0.5)).unwrap();
+        let big = w.gross_dies(SquareCentimeters::new(2.0)).unwrap();
+        // 4x area must cost more than 4x fewer dies (edge losses).
+        assert!(small / big > 4.0);
+    }
+
+    #[test]
+    fn gross_dies_rejects_bad_area() {
+        let w = Wafer::new_300mm();
+        assert!(w.gross_dies(SquareCentimeters::new(0.0)).is_err());
+        assert!(w.gross_dies(SquareCentimeters::new(-1.0)).is_err());
+        assert!(w.gross_dies(SquareCentimeters::new(700.0)).is_err());
+    }
+
+    #[test]
+    fn placed_dies_approximates_gross_dies_for_square_dies() {
+        let w = Wafer::new_300mm();
+        // 10 mm x 10 mm = 1 cm^2 dies.
+        let exact = w.placed_dies(Millimeters::new(10.0), Millimeters::new(10.0));
+        let approx = w.gross_dies(SquareCentimeters::new(1.0)).unwrap();
+        let rel = (exact as f64 - approx).abs() / approx;
+        assert!(rel < 0.05, "exact {exact}, approx {approx}");
+    }
+
+    #[test]
+    fn placed_dies_degenerate_inputs() {
+        let w = Wafer::new_300mm();
+        assert_eq!(w.placed_dies(Millimeters::new(0.0), Millimeters::new(10.0)), 0);
+        assert_eq!(
+            w.placed_dies(Millimeters::new(400.0), Millimeters::new(10.0)),
+            0
+        );
+    }
+
+    #[test]
+    fn constructor_validation() {
+        assert!(Wafer::new(Millimeters::new(0.0), Millimeters::new(0.0)).is_err());
+        assert!(Wafer::new(Millimeters::new(100.0), Millimeters::new(50.0)).is_err());
+        assert!(Wafer::new(Millimeters::new(100.0), Millimeters::new(3.0)).is_ok());
+    }
+
+    #[test]
+    fn smaller_wafer_holds_fewer_dies() {
+        let d200 = Wafer::new_200mm()
+            .gross_dies(SquareCentimeters::new(1.0))
+            .unwrap();
+        let d300 = Wafer::new_300mm()
+            .gross_dies(SquareCentimeters::new(1.0))
+            .unwrap();
+        assert!(d300 > 2.0 * d200);
+    }
+
+    #[test]
+    fn default_is_300mm() {
+        assert_eq!(Wafer::default(), Wafer::new_300mm());
+    }
+}

@@ -1,0 +1,202 @@
+//! Die-yield models.
+//!
+//! Embodied carbon scales as `A / Y` (paper eq. IV.5): every discarded die
+//! still paid its full manufacturing carbon. The paper uses the Murphy yield
+//! model \[34\] as its example; this module also provides the Poisson, Seeds,
+//! and Bose-Einstein models common in cost/yield literature \[11\] so the
+//! choice can be ablated.
+
+use crate::error::CarbonError;
+use crate::units::{DefectDensity, SquareCentimeters};
+use serde::{Deserialize, Serialize};
+
+/// A model mapping die area and defect density to expected yield fraction.
+///
+/// All models satisfy: yield is in `(0, 1]`, equals 1 at zero area, and is
+/// monotonically non-increasing in both area and defect density.
+///
+/// # Examples
+///
+/// ```
+/// use cordoba_carbon::yield_model::YieldModel;
+/// use cordoba_carbon::units::{DefectDensity, SquareCentimeters};
+///
+/// let y = YieldModel::Murphy.fraction(SquareCentimeters::new(1.0), DefectDensity::new(0.1));
+/// assert!(y > 0.9 && y < 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum YieldModel {
+    /// Murphy's model: `Y = ((1 - e^-x) / x)^2` with `x = A * D0`.
+    Murphy,
+    /// Poisson model: `Y = e^-x`.
+    Poisson,
+    /// Seeds model: `Y = e^-sqrt(x)`.
+    Seeds,
+    /// Bose-Einstein model with `n` critical layers: `Y = 1 / (1 + x)^n`.
+    BoseEinstein {
+        /// Number of critical mask layers.
+        layers: u32,
+    },
+    /// A fixed yield independent of area (e.g. a vendor-quoted number such
+    /// as the paper's 0.98 example).
+    Fixed {
+        /// The yield fraction, in `(0, 1]`.
+        fraction: f64,
+    },
+}
+
+impl YieldModel {
+    /// Creates a fixed-yield model.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless `fraction` is in `(0, 1]`.
+    pub fn fixed(fraction: f64) -> Result<Self, CarbonError> {
+        CarbonError::require_in_range("fixed yield", fraction, f64::MIN_POSITIVE, 1.0)?;
+        Ok(Self::Fixed { fraction })
+    }
+
+    /// Expected fraction of good dice for a die of `area` at defect density
+    /// `d0`.
+    ///
+    /// Always returns a value in `(0, 1]`; a zero-area die yields 1.
+    #[must_use]
+    pub fn fraction(&self, area: SquareCentimeters, d0: DefectDensity) -> f64 {
+        let x = d0.expected_defects(area).max(0.0);
+        match *self {
+            Self::Murphy => {
+                if x < 1e-12 {
+                    1.0
+                } else {
+                    let term = (1.0 - (-x).exp()) / x;
+                    term * term
+                }
+            }
+            Self::Poisson => (-x).exp(),
+            Self::Seeds => (-x.sqrt()).exp(),
+            Self::BoseEinstein { layers } => (1.0 + x).powi(-(layers as i32)),
+            Self::Fixed { fraction } => fraction,
+        }
+    }
+
+    /// The effective area charged per *good* die: `A / Y`.
+    ///
+    /// This is the quantity that enters embodied carbon (eq. IV.5).
+    #[must_use]
+    pub fn effective_area(&self, area: SquareCentimeters, d0: DefectDensity) -> SquareCentimeters {
+        area / self.fraction(area, d0)
+    }
+
+    /// Human-readable model name (used in ablation reports).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Murphy => "murphy",
+            Self::Poisson => "poisson",
+            Self::Seeds => "seeds",
+            Self::BoseEinstein { .. } => "bose-einstein",
+            Self::Fixed { .. } => "fixed",
+        }
+    }
+}
+
+impl Default for YieldModel {
+    /// Murphy's model, the paper's example choice.
+    fn default() -> Self {
+        Self::Murphy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const D0: DefectDensity = DefectDensity::new(0.1);
+
+    fn area(v: f64) -> SquareCentimeters {
+        SquareCentimeters::new(v)
+    }
+
+    #[test]
+    fn all_models_yield_one_at_zero_area() {
+        for model in [
+            YieldModel::Murphy,
+            YieldModel::Poisson,
+            YieldModel::Seeds,
+            YieldModel::BoseEinstein { layers: 10 },
+        ] {
+            let y = model.fraction(area(0.0), D0);
+            assert!((y - 1.0).abs() < 1e-9, "{model:?} at zero area gave {y}");
+        }
+    }
+
+    #[test]
+    fn all_models_decrease_with_area() {
+        for model in [
+            YieldModel::Murphy,
+            YieldModel::Poisson,
+            YieldModel::Seeds,
+            YieldModel::BoseEinstein { layers: 10 },
+        ] {
+            let mut prev = 1.0 + 1e-12;
+            for a in [0.1, 0.5, 1.0, 2.0, 5.0, 10.0] {
+                let y = model.fraction(area(a), D0);
+                assert!(y < prev, "{model:?} not decreasing at area {a}");
+                assert!(y > 0.0 && y <= 1.0);
+                prev = y;
+            }
+        }
+    }
+
+    #[test]
+    fn murphy_matches_closed_form() {
+        // x = 2.0: Y = ((1 - e^-2)/2)^2.
+        let y = YieldModel::Murphy.fraction(area(20.0), D0);
+        let expected = ((1.0 - (-2.0f64).exp()) / 2.0).powi(2);
+        assert!((y - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn poisson_lower_than_murphy() {
+        // The Murphy model is known to be less pessimistic than Poisson for
+        // the same defect expectation.
+        let a = area(3.0);
+        assert!(YieldModel::Poisson.fraction(a, D0) < YieldModel::Murphy.fraction(a, D0));
+    }
+
+    #[test]
+    fn fixed_validates_and_is_area_independent() {
+        let y = YieldModel::fixed(0.98).unwrap();
+        assert_eq!(y.fraction(area(0.1), D0), 0.98);
+        assert_eq!(y.fraction(area(10.0), D0), 0.98);
+        assert!(YieldModel::fixed(0.0).is_err());
+        assert!(YieldModel::fixed(1.5).is_err());
+        assert!(YieldModel::fixed(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn effective_area_is_inflated_by_yield() {
+        // Paper Table III: A = 2.25 cm^2 at Y = 0.98 -> 2.2959 cm^2 charged.
+        let y = YieldModel::fixed(0.98).unwrap();
+        let eff = y.effective_area(area(2.25), D0);
+        assert!((eff.value() - 2.25 / 0.98).abs() < 1e-12);
+        // Non-fixed model also inflates.
+        let eff_m = YieldModel::Murphy.effective_area(area(2.0), D0);
+        assert!(eff_m.value() > 2.0);
+    }
+
+    #[test]
+    fn bose_einstein_layers_compound() {
+        let a = area(2.0);
+        let y1 = YieldModel::BoseEinstein { layers: 1 }.fraction(a, D0);
+        let y5 = YieldModel::BoseEinstein { layers: 5 }.fraction(a, D0);
+        assert!((y5 - y1.powi(5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_is_murphy() {
+        assert_eq!(YieldModel::default(), YieldModel::Murphy);
+        assert_eq!(YieldModel::default().name(), "murphy");
+    }
+}

@@ -1,0 +1,209 @@
+//! Minimal dependency-free argument parsing for the `cordoba` CLI.
+//!
+//! Supports `--flag`, `--key value`, `--key=value`, and positional
+//! arguments, with typed accessors and unknown-option detection.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed argument list.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Args {
+    positional: Vec<String>,
+    options: BTreeMap<String, String>,
+    flags: Vec<String>,
+}
+
+/// Errors produced while parsing or validating CLI arguments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgError {
+    /// `--key` given without a value where one is required.
+    MissingValue(String),
+    /// A value failed to parse into its expected type.
+    InvalidValue {
+        /// Option name.
+        key: String,
+        /// The raw value.
+        value: String,
+        /// Expected type description.
+        expected: &'static str,
+    },
+    /// An option the command does not understand.
+    UnknownOption(String),
+    /// A required positional/option was absent.
+    Missing(&'static str),
+}
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::MissingValue(k) => write!(f, "option --{k} requires a value"),
+            Self::InvalidValue {
+                key,
+                value,
+                expected,
+            } => write!(f, "option --{key}: expected {expected}, got `{value}`"),
+            Self::UnknownOption(k) => write!(f, "unknown option --{k}"),
+            Self::Missing(what) => write!(f, "missing required {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parses raw arguments (excluding the program/subcommand names).
+    ///
+    /// Every `--key` consumes the following token as its value unless it is
+    /// written as `--key=value` or the next token is another option; a
+    /// trailing valueless `--key` is recorded as a flag.
+    #[must_use]
+    pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Self {
+        let mut args = Args::default();
+        let tokens: Vec<String> = raw.into_iter().collect();
+        let mut i = 0;
+        while i < tokens.len() {
+            let tok = &tokens[i];
+            if let Some(stripped) = tok.strip_prefix("--") {
+                if let Some((k, v)) = stripped.split_once('=') {
+                    args.options.insert(k.to_owned(), v.to_owned());
+                } else if i + 1 < tokens.len() && !tokens[i + 1].starts_with("--") {
+                    args.options
+                        .insert(stripped.to_owned(), tokens[i + 1].clone());
+                    i += 1;
+                } else {
+                    args.flags.push(stripped.to_owned());
+                }
+            } else {
+                args.positional.push(tok.clone());
+            }
+            i += 1;
+        }
+        args
+    }
+
+    /// The positional arguments.
+    #[must_use]
+    pub fn positional(&self) -> &[String] {
+        &self.positional
+    }
+
+    /// Whether `--name` was given as a valueless flag.
+    #[must_use]
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// String value of `--name`, if present.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.options.get(name).map(String::as_str)
+    }
+
+    /// `f64` value of `--name`, or `default` when absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError::InvalidValue`] when the value does not parse.
+    pub fn get_f64(&self, name: &str, default: f64) -> Result<f64, ArgError> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| ArgError::InvalidValue {
+                key: name.to_owned(),
+                value: v.to_owned(),
+                expected: "a number",
+            }),
+        }
+    }
+
+    /// `u32` value of `--name`, or `default` when absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError::InvalidValue`] when the value does not parse.
+    pub fn get_u32(&self, name: &str, default: u32) -> Result<u32, ArgError> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| ArgError::InvalidValue {
+                key: name.to_owned(),
+                value: v.to_owned(),
+                expected: "an integer",
+            }),
+        }
+    }
+
+    /// Rejects any option/flag not in `allowed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError::UnknownOption`] naming the first offender.
+    pub fn expect_only(&self, allowed: &[&str]) -> Result<(), ArgError> {
+        for key in self.options.keys().chain(self.flags.iter()) {
+            if !allowed.contains(&key.as_str()) {
+                return Err(ArgError::UnknownOption(key.clone()));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(str::to_owned))
+    }
+
+    #[test]
+    fn parses_positionals_options_and_flags() {
+        let a = parse("task --tasks 1e8 --grid=solar --verbose");
+        assert_eq!(a.positional(), ["task"]);
+        assert_eq!(a.get("tasks"), Some("1e8"));
+        assert_eq!(a.get("grid"), Some("solar"));
+        assert!(a.flag("verbose"));
+        assert!(!a.flag("quiet"));
+    }
+
+    #[test]
+    fn typed_accessors() {
+        let a = parse("--tasks 1e8 --cores 6");
+        assert_eq!(a.get_f64("tasks", 0.0).unwrap(), 1e8);
+        assert_eq!(a.get_u32("cores", 0).unwrap(), 6);
+        assert_eq!(a.get_f64("absent", 7.0).unwrap(), 7.0);
+        assert_eq!(a.get_u32("absent", 9).unwrap(), 9);
+    }
+
+    #[test]
+    fn invalid_values_error() {
+        let a = parse("--tasks banana");
+        let err = a.get_f64("tasks", 0.0).unwrap_err();
+        assert!(matches!(err, ArgError::InvalidValue { .. }));
+        assert!(err.to_string().contains("banana"));
+    }
+
+    #[test]
+    fn unknown_option_detection() {
+        let a = parse("--tasks 1 --bogus 2");
+        assert!(a.expect_only(&["tasks"]).is_err());
+        assert!(a.expect_only(&["tasks", "bogus"]).is_ok());
+        let a = parse("--quiet");
+        assert!(matches!(
+            a.expect_only(&[]),
+            Err(ArgError::UnknownOption(k)) if k == "quiet"
+        ));
+    }
+
+    #[test]
+    fn option_followed_by_option_is_a_flag() {
+        let a = parse("--fast --tasks 3");
+        assert!(a.flag("fast"));
+        assert_eq!(a.get("tasks"), Some("3"));
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(ArgError::MissingValue("x".into()).to_string().contains("--x"));
+        assert!(ArgError::Missing("task name").to_string().contains("task name"));
+    }
+}

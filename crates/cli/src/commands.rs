@@ -1,0 +1,589 @@
+//! The `cordoba` CLI subcommands.
+//!
+//! Every command is a pure function from parsed arguments to output text,
+//! so the whole CLI is unit-testable without spawning processes.
+
+use crate::args::{ArgError, Args};
+use cordoba::prelude::*;
+use cordoba_accel::space::{config_by_name, design_space};
+use cordoba_carbon::prelude::*;
+use cordoba_soc::prelude::*;
+use cordoba_workloads::kernel::KernelId;
+use cordoba_workloads::task::Task;
+use std::fmt::Write as _;
+
+/// Error type of the CLI layer.
+#[derive(Debug)]
+pub enum CliError {
+    /// Argument parsing/validation failed.
+    Args(ArgError),
+    /// A model rejected its inputs.
+    Carbon(CarbonError),
+    /// Free-form usage error.
+    Usage(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Args(e) => write!(f, "{e}"),
+            Self::Carbon(e) => write!(f, "{e}"),
+            Self::Usage(msg) => f.write_str(msg),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<ArgError> for CliError {
+    fn from(e: ArgError) -> Self {
+        Self::Args(e)
+    }
+}
+
+impl From<CarbonError> for CliError {
+    fn from(e: CarbonError) -> Self {
+        Self::Carbon(e)
+    }
+}
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+cordoba — carbon-efficient optimization framework (tCDP)
+
+USAGE:
+    cordoba <COMMAND> [OPTIONS]
+
+COMMANDS:
+    metrics    evaluate EDP/tC/CCI/tCDP for one design point
+    dse        explore the 121-accelerator space for a task
+    provision  sweep VR SoC core counts for an app
+    stacking   evaluate the 3D-integration study
+    eliminate  Pareto/beta-sweep elimination over designs from a CSV
+    kernels    list the workload kernels
+    tasks      list the evaluation tasks
+    grids      list built-in carbon intensities
+    help       show this message
+
+Run `cordoba <COMMAND> --help` for per-command options.
+";
+
+/// Dispatches a full argument vector (without the program name).
+///
+/// # Errors
+///
+/// Returns a [`CliError`] describing invalid usage or model errors.
+pub fn run(argv: &[String]) -> Result<String, CliError> {
+    let Some(command) = argv.first() else {
+        return Ok(USAGE.to_owned());
+    };
+    let args = Args::parse(argv[1..].iter().cloned());
+    match command.as_str() {
+        "metrics" => cmd_metrics(&args),
+        "dse" => cmd_dse(&args),
+        "provision" => cmd_provision(&args),
+        "stacking" => cmd_stacking(&args),
+        "eliminate" => cmd_eliminate(&args),
+        "kernels" => cmd_kernels(&args),
+        "tasks" => cmd_tasks(&args),
+        "grids" => cmd_grids(&args),
+        "help" | "--help" | "-h" => Ok(USAGE.to_owned()),
+        other => Err(CliError::Usage(format!(
+            "unknown command `{other}`; run `cordoba help`"
+        ))),
+    }
+}
+
+fn grid_by_name(name: &str) -> Result<CarbonIntensity, CliError> {
+    Ok(match name {
+        "coal" => grids::COAL,
+        "gas" => grids::GAS,
+        "world" => grids::WORLD_AVERAGE,
+        "us" => grids::US_AVERAGE,
+        "solar" => grids::SOLAR,
+        "wind" => grids::WIND,
+        "hydro" => grids::HYDRO,
+        "nuclear" => grids::NUCLEAR,
+        other => {
+            let value: f64 = other.parse().map_err(|_| {
+                CliError::Usage(format!(
+                    "unknown grid `{other}` (try coal/gas/world/us/solar/wind/hydro/nuclear or a gCO2e/kWh number)"
+                ))
+            })?;
+            CarbonIntensity::new(value)
+        }
+    })
+}
+
+fn task_by_name(name: &str) -> Result<Task, CliError> {
+    match name {
+        "all" => Ok(Task::all_kernels()),
+        "xr10" => Ok(Task::xr_10_kernels()),
+        "ai10" => Ok(Task::ai_10_kernels()),
+        "xr5" => Ok(Task::xr_5_kernels()),
+        "ai5" => Ok(Task::ai_5_kernels()),
+        other => Err(CliError::Usage(format!(
+            "unknown task `{other}` (all | xr10 | ai10 | xr5 | ai5)"
+        ))),
+    }
+}
+
+fn cmd_metrics(args: &Args) -> Result<String, CliError> {
+    if args.flag("help") {
+        return Ok("cordoba metrics --delay <s> --energy <J> --embodied <gCO2e> \
+                   [--area <cm2>] [--tasks <N>] [--grid <name|gCO2e/kWh>]\n"
+            .to_owned());
+    }
+    args.expect_only(&["delay", "energy", "embodied", "area", "tasks", "grid", "help"])?;
+    let delay = args
+        .get("delay")
+        .ok_or(CliError::Args(ArgError::Missing("--delay")))?;
+    let energy = args
+        .get("energy")
+        .ok_or(CliError::Args(ArgError::Missing("--energy")))?;
+    let embodied = args
+        .get("embodied")
+        .ok_or(CliError::Args(ArgError::Missing("--embodied")))?;
+    let parse = |key: &str, v: &str| -> Result<f64, CliError> {
+        v.parse().map_err(|_| {
+            CliError::Args(ArgError::InvalidValue {
+                key: key.to_owned(),
+                value: v.to_owned(),
+                expected: "a number",
+            })
+        })
+    };
+    let point = DesignPoint::new(
+        "design",
+        Seconds::new(parse("delay", delay)?),
+        Joules::new(parse("energy", energy)?),
+        GramsCo2e::new(parse("embodied", embodied)?),
+        SquareCentimeters::new(args.get_f64("area", 1.0)?),
+    )?;
+    let tasks = args.get_f64("tasks", 1e6)?;
+    let ci = grid_by_name(args.get("grid").unwrap_or("us"))?;
+    let ctx = OperationalContext::new(tasks, ci)?;
+
+    let mut out = String::new();
+    let _ = writeln!(out, "design point over {tasks:.3e} lifetime tasks at {ci}:");
+    let _ = writeln!(out, "  D     = {:.4}", point.delay);
+    let _ = writeln!(out, "  E     = {:.4}", point.energy);
+    let _ = writeln!(out, "  P     = {:.4}", point.power());
+    let _ = writeln!(out, "  EDP   = {:.4}", point.edp());
+    let _ = writeln!(out, "  C_emb = {:.2}", point.embodied);
+    let _ = writeln!(out, "  C_op  = {:.2}", point.operational(&ctx));
+    let _ = writeln!(
+        out,
+        "  tC    = {:.2} ({:.1}% embodied)",
+        point.total_carbon(&ctx),
+        point.embodied_share(&ctx) * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "  CCI   = {:.3e} gCO2e per task",
+        point.cci(&ctx).value()
+    );
+    let _ = writeln!(out, "  tCDP  = {:.4}", point.tcdp(&ctx));
+    Ok(out)
+}
+
+fn cmd_dse(args: &Args) -> Result<String, CliError> {
+    if args.flag("help") {
+        return Ok("cordoba dse --task <all|xr10|ai10|xr5|ai5> [--grid <name>] \
+                   [--lo <decade>] [--hi <decade>]\n"
+            .to_owned());
+    }
+    args.expect_only(&["task", "grid", "lo", "hi", "help"])?;
+    let task = task_by_name(args.get("task").unwrap_or("all"))?;
+    let ci = grid_by_name(args.get("grid").unwrap_or("us"))?;
+    let decade = |key: &'static str, default: f64| -> Result<i32, CliError> {
+        let v = args.get_f64(key, default)?;
+        if v.fract() != 0.0 || !(-300.0..=300.0).contains(&v) {
+            return Err(CliError::Usage(format!(
+                "--{key} must be a whole decade exponent, got {v}"
+            )));
+        }
+        Ok(v as i32)
+    };
+    let lo = decade("lo", 4.0)?;
+    let hi = decade("hi", 11.0)?;
+    if hi <= lo {
+        return Err(CliError::Usage("--hi must exceed --lo".to_owned()));
+    }
+
+    let points = evaluate_space(&design_space(), &task, &EmbodiedModel::default())?;
+    let sweep = OpTimeSweep::new(points, log_sweep(lo, hi, 2), ci)?;
+
+    let mut out = String::new();
+    let _ = writeln!(out, "task: {task} | grid: {ci}");
+    let mut last = String::new();
+    for n in 0..sweep.task_counts.len() {
+        let best = &sweep.points[sweep.optimal_at(n)];
+        if best.name != last {
+            let cfg = config_by_name(&best.name).expect("space names decode");
+            let _ = writeln!(
+                out,
+                "  from {:>9.2e} tasks: {:5} ({} MAC units, {:.0} MiB SRAM)",
+                sweep.task_counts[n],
+                best.name,
+                cfg.mac_units(),
+                cfg.sram().to_mebibytes()
+            );
+            last = best.name.clone();
+        }
+    }
+    let survivors = sweep.ever_optimal();
+    let _ = writeln!(
+        out,
+        "survivors: {} of {} ({:.1}% eliminated); robust choice: {}",
+        survivors.len(),
+        sweep.points.len(),
+        sweep.elimination_fraction() * 100.0,
+        sweep.points[sweep.robust_choice()].name
+    );
+    Ok(out)
+}
+
+fn cmd_provision(args: &Args) -> Result<String, CliError> {
+    if args.flag("help") {
+        return Ok(
+            "cordoba provision --app <m1|g2|b1|sg1|all> [--years <f>] [--grid <name>]\n"
+                .to_owned(),
+        );
+    }
+    args.expect_only(&["app", "years", "grid", "help"])?;
+    let app = match args.get("app").unwrap_or("m1") {
+        "m1" => VrApp::m1(),
+        "g2" => VrApp::g2(),
+        "b1" => VrApp::b1(),
+        "sg1" => VrApp::sg1(),
+        "all" => VrApp::all_tasks(),
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown app `{other}` (m1 | g2 | b1 | sg1 | all)"
+            )))
+        }
+    };
+    let mut deployment = Deployment::default();
+    deployment.lifetime_years = args.get_f64("years", deployment.lifetime_years)?;
+    deployment.ci_use = grid_by_name(args.get("grid").unwrap_or("us"))?;
+
+    let rows = sweep(&app, &deployment)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "{} (TLP {:.2}) over {} years:", app.name, app.tlp(), deployment.lifetime_years);
+    for r in &rows {
+        let marker = if r.cores == optimal_cores(&rows) {
+            "  <== optimal"
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            out,
+            "  {} cores: tCDP {:.4e} gCO2e*s{marker}",
+            r.cores,
+            r.tcdp.value()
+        );
+    }
+    let _ = writeln!(
+        out,
+        "optimal: {} cores ({:.2}x better than 8)",
+        optimal_cores(&rows),
+        improvement_over_8core(&rows)
+    );
+    Ok(out)
+}
+
+fn cmd_stacking(args: &Args) -> Result<String, CliError> {
+    if args.flag("help") {
+        return Ok("cordoba stacking [--share <embodied fraction, default 0.8>]\n".to_owned());
+    }
+    args.expect_only(&["share", "help"])?;
+    let share = args.get_f64("share", 0.8)?;
+    let model = EmbodiedModel::default();
+    let kernel = KernelId::Sr512.descriptor();
+    let mut points = Vec::new();
+    for cfg in cordoba_accel::stacking::study_configs() {
+        let sim = cordoba_accel::sim::simulate(&cfg, &kernel);
+        let energy = sim.dynamic_energy + cfg.leakage_power() * sim.latency;
+        points.push(DesignPoint::new(
+            cfg.name(),
+            sim.latency,
+            energy,
+            cfg.embodied_carbon(&model)?,
+            cfg.total_area(),
+        )?);
+    }
+    let ctx = context_for_embodied_share(&points, grids::US_AVERAGE, share)?;
+    let best = argmin(&points, MetricKind::Tcdp, &ctx).expect("non-empty study");
+    let base = &points[0];
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "SR(512x512), embodied share {:.0}% ({:.2e} inferences):",
+        share * 100.0,
+        ctx.tasks
+    );
+    for p in &points {
+        let marker = if p.name == best.name { "  <== optimal" } else { "" };
+        let _ = writeln!(out, "  {:14} tCDP {:.4e}{marker}", p.name, p.tcdp(&ctx).value());
+    }
+    let _ = writeln!(
+        out,
+        "winner {} improves {:.2}x over {}",
+        best.name,
+        base.tcdp(&ctx).value() / best.tcdp(&ctx).value(),
+        base.name
+    );
+    Ok(out)
+}
+
+fn cmd_eliminate(args: &Args) -> Result<String, CliError> {
+    if args.flag("help") {
+        return Ok("cordoba eliminate --csv <file>\n\
+                   CSV columns: name,delay_s,energy_j,embodied_gco2e\n"
+            .to_owned());
+    }
+    args.expect_only(&["csv", "help"])?;
+    let path = args
+        .get("csv")
+        .ok_or(CliError::Args(ArgError::Missing("--csv <file>")))?;
+    let content = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Usage(format!("cannot read {path}: {e}")))?;
+    let points = parse_design_csv(&content)?;
+    let sweep = BetaSweep::run(&points);
+    let mut out = String::new();
+    let _ = writeln!(out, "{} candidates:", points.len());
+    let _ = writeln!(out, "  survivors:  {}", sweep.surviving_names().join(", "));
+    let _ = writeln!(out, "  eliminated: {}", sweep.eliminated_names().join(", "));
+    let _ = writeln!(
+        out,
+        "  {:.1}% of candidates can never be tCDP-optimal for any CI_use(t)",
+        sweep.elimination_fraction() * 100.0
+    );
+    Ok(out)
+}
+
+/// Parses the `eliminate` command's CSV format.
+///
+/// # Errors
+///
+/// Returns a usage error for malformed rows.
+pub fn parse_design_csv(content: &str) -> Result<Vec<DesignPoint>, CliError> {
+    let mut points = Vec::new();
+    let mut seen_data = false;
+    for (lineno, line) in content.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        // Skip a header row (the first non-comment line, wherever it is).
+        if !seen_data && line.to_lowercase().starts_with("name") {
+            continue;
+        }
+        seen_data = true;
+        let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+        if fields.len() != 4 {
+            return Err(CliError::Usage(format!(
+                "line {}: expected 4 comma-separated fields, got {}",
+                lineno + 1,
+                fields.len()
+            )));
+        }
+        let num = |i: usize| -> Result<f64, CliError> {
+            fields[i].parse().map_err(|_| {
+                CliError::Usage(format!(
+                    "line {}: `{}` is not a number",
+                    lineno + 1,
+                    fields[i]
+                ))
+            })
+        };
+        points.push(DesignPoint::new(
+            fields[0],
+            Seconds::new(num(1)?),
+            Joules::new(num(2)?),
+            GramsCo2e::new(num(3)?),
+            SquareCentimeters::new(1.0),
+        )?);
+    }
+    if points.is_empty() {
+        return Err(CliError::Usage("no design rows found".to_owned()));
+    }
+    Ok(points)
+}
+
+fn cmd_kernels(args: &Args) -> Result<String, CliError> {
+    args.expect_only(&["help"])?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:16} {:>10} {:>12} {:>10}  heavy",
+        "kernel", "GMACs", "act (MiB)", "wt (MiB)"
+    );
+    for k in KernelId::ALL {
+        let d = k.descriptor();
+        let _ = writeln!(
+            out,
+            "{:16} {:>10.1} {:>12.1} {:>10.1}  {}",
+            k.short_name(),
+            d.macs / 1e9,
+            d.activation.to_mebibytes(),
+            d.weights.to_mebibytes(),
+            if k.is_activation_heavy() { "yes" } else { "no" }
+        );
+    }
+    Ok(out)
+}
+
+fn cmd_tasks(args: &Args) -> Result<String, CliError> {
+    args.expect_only(&["help"])?;
+    let mut out = String::new();
+    for task in Task::evaluation_suite() {
+        let kernels: Vec<&str> = task.kernels().map(KernelId::short_name).collect();
+        let _ = writeln!(out, "{:14} {}", task.name(), kernels.join(", "));
+    }
+    Ok(out)
+}
+
+fn cmd_grids(args: &Args) -> Result<String, CliError> {
+    args.expect_only(&["help"])?;
+    let mut out = String::new();
+    for (name, ci) in [
+        ("coal", grids::COAL),
+        ("gas", grids::GAS),
+        ("world", grids::WORLD_AVERAGE),
+        ("us", grids::US_AVERAGE),
+        ("solar", grids::SOLAR),
+        ("hydro", grids::HYDRO),
+        ("nuclear", grids::NUCLEAR),
+        ("wind", grids::WIND),
+    ] {
+        let _ = writeln!(out, "{name:8} {ci}");
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_str(s: &str) -> Result<String, CliError> {
+        let argv: Vec<String> = s.split_whitespace().map(str::to_owned).collect();
+        run(&argv)
+    }
+
+    #[test]
+    fn no_command_prints_usage() {
+        let out = run(&[]).unwrap();
+        assert!(out.contains("USAGE"));
+        assert!(run_str("help").unwrap().contains("COMMANDS"));
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        let err = run_str("frobnicate").unwrap_err();
+        assert!(err.to_string().contains("frobnicate"));
+    }
+
+    #[test]
+    fn metrics_computes_tcdp() {
+        let out =
+            run_str("metrics --delay 0.5 --energy 2.0 --embodied 450 --tasks 1e8 --grid us")
+                .unwrap();
+        assert!(out.contains("tCDP"));
+        assert!(out.contains("% embodied"));
+        // Missing required option.
+        let err = run_str("metrics --delay 0.5").unwrap_err();
+        assert!(err.to_string().contains("--energy"));
+        // Bad numbers.
+        assert!(run_str("metrics --delay x --energy 1 --embodied 1").is_err());
+    }
+
+    #[test]
+    fn metrics_rejects_unknown_options() {
+        let err = run_str("metrics --delay 1 --energy 1 --embodied 1 --bogus 3").unwrap_err();
+        assert!(err.to_string().contains("bogus"));
+    }
+
+    #[test]
+    fn dse_runs_for_every_task_name() {
+        for task in ["all", "xr10", "ai10", "xr5", "ai5"] {
+            let out = run_str(&format!("dse --task {task} --lo 5 --hi 8")).unwrap();
+            assert!(out.contains("survivors:"), "{task}");
+        }
+        assert!(run_str("dse --task nope").is_err());
+        assert!(run_str("dse --lo 8 --hi 5").is_err());
+    }
+
+    #[test]
+    fn provision_reports_optimum() {
+        let out = run_str("provision --app m1").unwrap();
+        assert!(out.contains("<== optimal"));
+        assert!(out.contains("4 cores"));
+        assert!(run_str("provision --app nope").is_err());
+    }
+
+    #[test]
+    fn stacking_reports_winner() {
+        let out = run_str("stacking --share 0.08").unwrap();
+        assert!(out.contains("3D_2K_8M"));
+        let out = run_str("stacking --share 0.8").unwrap();
+        assert!(out.contains("3D_2K_4M"));
+    }
+
+    #[test]
+    fn grids_accepts_names_and_numbers() {
+        assert!(grid_by_name("solar").is_ok());
+        assert!((grid_by_name("123.5").unwrap().value() - 123.5).abs() < 1e-12);
+        assert!(grid_by_name("unobtainium").is_err());
+        let out = run_str("grids").unwrap();
+        assert!(out.contains("coal") && out.contains("820"));
+    }
+
+    #[test]
+    fn kernel_and_task_listings() {
+        let out = run_str("kernels").unwrap();
+        assert!(out.contains("SR (1024x1024)"));
+        assert_eq!(out.lines().count(), 16); // header + 15 kernels
+        let out = run_str("tasks").unwrap();
+        assert!(out.contains("XR 5 kernels"));
+    }
+
+    #[test]
+    fn eliminate_parses_csv() {
+        let csv = "name,delay,energy,embodied\n\
+                   lean,1.6,1.0,90\n\
+                   wasteful,1.6,3.0,300\n\
+                   beefy,0.5,4.0,420\n";
+        let points = parse_design_csv(csv).unwrap();
+        assert_eq!(points.len(), 3);
+        let sweep = BetaSweep::run(&points);
+        assert!(sweep.eliminated_names().contains(&"wasteful"));
+        // Malformed rows.
+        assert!(parse_design_csv("a,b\n").is_err());
+        assert!(parse_design_csv("x,1,2,banana\n").is_err());
+        assert!(parse_design_csv("\n# only comments\n").is_err());
+    }
+
+    #[test]
+    fn eliminate_end_to_end_via_tempfile() {
+        let dir = std::env::temp_dir().join("cordoba-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("designs.csv");
+        std::fs::write(&path, "a,1.0,1.0,10\nb,2.0,2.0,20\n").unwrap();
+        let out = run_str(&format!("eliminate --csv {}", path.display())).unwrap();
+        assert!(out.contains("survivors"));
+        assert!(out.contains('b'));
+        let _ = std::fs::remove_file(path);
+        assert!(run_str("eliminate --csv /nonexistent/x.csv").is_err());
+        assert!(run_str("eliminate").is_err());
+    }
+
+    #[test]
+    fn help_flags_per_command() {
+        for cmd in ["metrics", "dse", "provision", "stacking", "eliminate"] {
+            let out = run_str(&format!("{cmd} --help")).unwrap();
+            assert!(out.contains("cordoba"), "{cmd}");
+        }
+    }
+}

@@ -1,0 +1,12 @@
+//! Thin shell around [`cordoba_cli::run`].
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match cordoba_cli::run(&argv) {
+        Ok(output) => print!("{output}"),
+        Err(err) => {
+            eprintln!("error: {err}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,414 @@
+//! The six-IC worked example of the paper's §III (Tables I and II,
+//! Figures 2 and 3).
+//!
+//! Six candidate ICs "A".."F" trade clock frequency against energy per
+//! cycle. Table I shows that IC "D" maximizes inference throughput under a
+//! fixed *energy* budget because it is EDP-optimal; Table II converts the
+//! budget to *carbon* (adding embodied carbon per IC) and shows the
+//! tCDP-optimal IC "E" wins instead — and that
+//! `throughput ∝ 1 / tCDP` exactly.
+
+use crate::metrics::{DesignPoint, OperationalContext};
+use cordoba_carbon::intensity::grids;
+use cordoba_carbon::units::{
+    CarbonIntensity, GramsCo2e, Hertz, Joules, Seconds, SquareCentimeters,
+};
+use serde::{Deserialize, Serialize};
+
+/// Clock cycles needed for one inference (Table I row \[3\]).
+pub const CYCLES_PER_INFERENCE: f64 = 100e6;
+
+/// One candidate IC.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CandidateIc {
+    /// Single-letter name "A".."F".
+    pub name: String,
+    /// Clock frequency.
+    pub clock: Hertz,
+    /// Average energy per clock cycle.
+    pub energy_per_cycle: Joules,
+}
+
+impl CandidateIc {
+    /// Inference throughput of one IC (Table I row \[4\]).
+    #[must_use]
+    pub fn throughput(&self) -> f64 {
+        self.clock.value() / CYCLES_PER_INFERENCE
+    }
+
+    /// Time per inference (Table II row \[4\]).
+    #[must_use]
+    pub fn time_per_inference(&self) -> Seconds {
+        Seconds::new(CYCLES_PER_INFERENCE / self.clock.value())
+    }
+
+    /// Power of one IC (Table I row \[6\]).
+    #[must_use]
+    pub fn power(&self) -> cordoba_carbon::units::Watts {
+        self.energy_per_cycle * self.clock.value() / Seconds::new(1.0)
+    }
+
+    /// Energy per inference (Table I row \[8\]).
+    #[must_use]
+    pub fn energy_per_inference(&self) -> Joules {
+        self.energy_per_cycle * CYCLES_PER_INFERENCE
+    }
+
+    /// EDP in J·s (Table I row \[11\]: `[8] / [4]`).
+    #[must_use]
+    pub fn edp(&self) -> f64 {
+        self.energy_per_inference().value() * self.time_per_inference().value()
+    }
+}
+
+/// The paper's six candidate ICs "A".."F" (Fig. 2).
+#[must_use]
+pub fn candidates() -> Vec<CandidateIc> {
+    let mk = |name: &str, ghz, nj| CandidateIc {
+        name: name.to_owned(),
+        clock: Hertz::from_gigahertz(ghz),
+        energy_per_cycle: Joules::from_nanojoules(nj),
+    };
+    vec![
+        mk("A", 0.02, 1.9),
+        mk("B", 0.20, 2.0),
+        mk("C", 0.40, 2.5),
+        mk("D", 0.80, 4.0),
+        mk("E", 1.60, 10.0),
+        mk("F", 3.20, 50.0),
+    ]
+}
+
+/// Scenario parameters shared by Table I and Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Required overall throughput (Table I: 1000 inf/s).
+    pub required_throughput: f64,
+    /// Fixed energy budget per service interval (Table I/II: 9.5 J).
+    pub energy_budget: Joules,
+    /// Use-phase carbon intensity (Table II row \[5\]: 380 g/kWh).
+    pub ci_use: CarbonIntensity,
+    /// Embodied carbon per IC (Table II row \[6\]: 3000 gCO2e).
+    pub embodied_per_ic: GramsCo2e,
+    /// Hardware lifetime (Table II row \[7\]: 1.05e7 s).
+    pub lifetime: Seconds,
+    /// Service interval (Table II row \[C1\]: 0.1 s).
+    pub service: Seconds,
+}
+
+impl Default for Scenario {
+    fn default() -> Self {
+        Self {
+            required_throughput: 1000.0,
+            energy_budget: Joules::new(9.5),
+            ci_use: grids::US_AVERAGE,
+            embodied_per_ic: GramsCo2e::new(3000.0),
+            lifetime: Seconds::new(1.05e7),
+            service: Seconds::new(0.1),
+        }
+    }
+}
+
+impl Scenario {
+    /// Inferences per IC lifetime (Table II row \[10\]: `[7] / [C1]`).
+    #[must_use]
+    pub fn inferences_per_lifetime(&self) -> f64 {
+        self.lifetime.value() / self.service.value()
+    }
+
+    /// The fixed carbon budget equivalent to the energy budget
+    /// (Table II row \[C4\]).
+    #[must_use]
+    pub fn carbon_budget(&self) -> GramsCo2e {
+        self.ci_use * self.energy_budget.to_kilowatt_hours()
+    }
+}
+
+/// One row of Table I (energy-aware analysis).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TableOneRow {
+    /// The IC.
+    pub ic: CandidateIc,
+    /// \[4\] inference throughput of one IC (inf/s).
+    pub throughput: f64,
+    /// \[5\] ICs in parallel to meet the required throughput.
+    pub ics_for_required_throughput: f64,
+    /// \[6\] power of each IC (W).
+    pub power: f64,
+    /// \[7\] overall power of all parallel ICs (W).
+    pub overall_power: f64,
+    /// \[8\] energy per inference (J).
+    pub energy_per_inference: f64,
+    /// \[9\] ICs affordable under the energy budget.
+    pub ics_for_energy_budget: f64,
+    /// \[10\] throughput of all budget ICs (inf/s).
+    pub budget_throughput: f64,
+    /// \[11\] EDP (J·s).
+    pub edp: f64,
+}
+
+/// Computes Table I.
+#[must_use]
+pub fn table_one(scenario: &Scenario) -> Vec<TableOneRow> {
+    candidates()
+        .into_iter()
+        .map(|ic| {
+            let throughput = ic.throughput();
+            let e_inf = ic.energy_per_inference().value();
+            let ics_budget = scenario.energy_budget.value() / e_inf;
+            TableOneRow {
+                throughput,
+                ics_for_required_throughput: scenario.required_throughput / throughput,
+                power: ic.power().value(),
+                overall_power: scenario.required_throughput / throughput * ic.power().value(),
+                energy_per_inference: e_inf,
+                ics_for_energy_budget: ics_budget,
+                budget_throughput: ics_budget * throughput,
+                edp: ic.edp(),
+                ic,
+            }
+        })
+        .collect()
+}
+
+/// One row of Table II (carbon-aware analysis).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TableTwoRow {
+    /// The IC.
+    pub ic: CandidateIc,
+    /// \[4\] time per inference (s).
+    pub time_per_inference: f64,
+    /// \[13\] operational CCI (gCO2e/inf).
+    pub cci_operational: f64,
+    /// \[14\] embodied CCI (gCO2e/inf).
+    pub cci_embodied: f64,
+    /// \[15\] total CCI (gCO2e/inf).
+    pub cci: f64,
+    /// \[16\] inferences affordable per service interval under the carbon
+    /// budget.
+    pub budget_inferences: f64,
+    /// \[17\] throughput per service interval (`[16] / [4]`).
+    pub budget_throughput: f64,
+    /// \[18\] total lifetime carbon tC (gCO2e).
+    pub total_carbon: f64,
+    /// \[19\] tCDP (gCO2e·s).
+    pub tcdp: f64,
+}
+
+/// Computes Table II.
+#[must_use]
+pub fn table_two(scenario: &Scenario) -> Vec<TableTwoRow> {
+    let n_inf = scenario.inferences_per_lifetime();
+    let budget = scenario.carbon_budget().value();
+    candidates()
+        .into_iter()
+        .map(|ic| {
+            let t_inf = ic.time_per_inference().value();
+            let e_inf_kwh = ic.energy_per_inference().to_kilowatt_hours();
+            let cci_op = (scenario.ci_use * e_inf_kwh).value();
+            let cci_emb = scenario.embodied_per_ic.value() / n_inf;
+            let cci = cci_op + cci_emb;
+            let total_carbon = n_inf * cci;
+            TableTwoRow {
+                time_per_inference: t_inf,
+                cci_operational: cci_op,
+                cci_embodied: cci_emb,
+                cci,
+                budget_inferences: budget / cci,
+                budget_throughput: budget / cci / t_inf,
+                total_carbon,
+                tcdp: total_carbon * t_inf,
+                ic,
+            }
+        })
+        .collect()
+}
+
+/// The six ICs as [`DesignPoint`]s (task = one inference) for the Fig. 3
+/// metric comparison, paired with the Table II operational context.
+///
+/// # Panics
+///
+/// Panics only if the static scenario constants are invalid (they are not).
+#[must_use]
+pub fn design_points(scenario: &Scenario) -> (Vec<DesignPoint>, OperationalContext) {
+    let points = candidates()
+        .into_iter()
+        .map(|ic| {
+            let delay = ic.time_per_inference();
+            let energy = ic.energy_per_inference();
+            DesignPoint::new(
+                ic.name,
+                delay,
+                energy,
+                scenario.embodied_per_ic,
+                SquareCentimeters::new(1.0),
+            )
+            .expect("static IC parameters are valid")
+        })
+        .collect();
+    let ctx = OperationalContext::new(scenario.inferences_per_lifetime(), scenario.ci_use)
+        .expect("static scenario parameters are valid");
+    (points, ctx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{argmin, MetricKind};
+
+    fn by_name<'a, T>(rows: &'a [T], name: &str, f: impl Fn(&T) -> &CandidateIc) -> &'a T {
+        rows.iter().find(|r| f(r).name == name).unwrap()
+    }
+
+    #[test]
+    fn table_one_matches_paper_values() {
+        let rows = table_one(&Scenario::default());
+        let a = by_name(&rows, "A", |r| &r.ic);
+        assert!((a.throughput - 0.2).abs() < 1e-12);
+        assert!((a.ics_for_required_throughput - 5000.0).abs() < 1e-6);
+        assert!((a.power - 0.038).abs() < 1e-9);
+        assert!((a.overall_power - 190.0).abs() < 1e-6);
+        assert!((a.energy_per_inference - 0.19).abs() < 1e-12);
+        assert!((a.ics_for_energy_budget - 50.0).abs() < 1e-9);
+        assert!((a.budget_throughput - 10.0).abs() < 1e-9);
+        assert!((a.edp - 0.95).abs() < 1e-9);
+
+        let d = by_name(&rows, "D", |r| &r.ic);
+        assert!((d.edp - 0.05).abs() < 1e-12);
+        assert!((d.budget_throughput - 190.0).abs() < 1e-6);
+
+        let f = by_name(&rows, "F", |r| &r.ic);
+        assert!((f.overall_power - 5000.0).abs() < 1e-6);
+        assert!((f.edp - 0.15625).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ic_d_is_edp_optimal() {
+        let rows = table_one(&Scenario::default());
+        let best = rows
+            .iter()
+            .min_by(|a, b| a.edp.total_cmp(&b.edp))
+            .unwrap();
+        assert_eq!(best.ic.name, "D");
+        // And D maximizes throughput under the energy budget.
+        let fastest = rows
+            .iter()
+            .max_by(|a, b| a.budget_throughput.total_cmp(&b.budget_throughput))
+            .unwrap();
+        assert_eq!(fastest.ic.name, "D");
+    }
+
+    #[test]
+    fn ic_a_minimizes_power_despite_being_slowest() {
+        let rows = table_one(&Scenario::default());
+        let min_power = rows
+            .iter()
+            .min_by(|a, b| a.overall_power.total_cmp(&b.overall_power))
+            .unwrap();
+        assert_eq!(min_power.ic.name, "A");
+        let slowest = rows
+            .iter()
+            .min_by(|a, b| a.throughput.total_cmp(&b.throughput))
+            .unwrap();
+        assert_eq!(slowest.ic.name, "A");
+    }
+
+    #[test]
+    fn table_two_matches_paper_values() {
+        let scenario = Scenario::default();
+        assert!((scenario.inferences_per_lifetime() - 1.05e8).abs() < 1.0);
+        assert!((scenario.carbon_budget().value() - 1.003e-3).abs() < 1e-6);
+
+        let rows = table_two(&scenario);
+        let a = by_name(&rows, "A", |r| &r.ic);
+        assert!((a.time_per_inference - 5.0).abs() < 1e-9);
+        assert!((a.cci_operational - 2.01e-5).abs() < 5e-8);
+        assert!((a.cci_embodied - 2.857e-5).abs() < 1e-8);
+        assert!((a.cci - 4.86e-5).abs() < 5e-8);
+        assert!((a.total_carbon - 5108.0).abs() < 10.0);
+        assert!((a.tcdp - 25541.0).abs() < 60.0);
+
+        let e = by_name(&rows, "E", |r| &r.ic);
+        assert!((e.tcdp - 881.0).abs() < 5.0);
+        assert!((e.budget_throughput - 119.7).abs() < 1.5);
+    }
+
+    #[test]
+    fn ic_e_is_tcdp_optimal_and_wins_the_carbon_budget() {
+        let rows = table_two(&Scenario::default());
+        let best = rows.iter().min_by(|a, b| a.tcdp.total_cmp(&b.tcdp)).unwrap();
+        assert_eq!(best.ic.name, "E");
+        let fastest = rows
+            .iter()
+            .max_by(|a, b| a.budget_throughput.total_cmp(&b.budget_throughput))
+            .unwrap();
+        assert_eq!(fastest.ic.name, "E");
+    }
+
+    #[test]
+    fn ic_a_is_tc_and_cci_optimal_but_slow() {
+        // Optimizing tC (or CCI) picks the slowest design — the §III-B
+        // pitfall.
+        let rows = table_two(&Scenario::default());
+        let min_tc = rows
+            .iter()
+            .min_by(|a, b| a.total_carbon.total_cmp(&b.total_carbon))
+            .unwrap();
+        assert_eq!(min_tc.ic.name, "A");
+        let min_cci = rows.iter().min_by(|a, b| a.cci.total_cmp(&b.cci)).unwrap();
+        assert_eq!(min_cci.ic.name, "A");
+    }
+
+    #[test]
+    fn throughput_times_tcdp_is_constant() {
+        // "relative inference throughput enabled by each IC is precisely
+        // quantified by its relative tCDP": row [17] x row [19] = const.
+        let rows = table_two(&Scenario::default());
+        let products: Vec<f64> = rows
+            .iter()
+            .map(|r| r.budget_throughput * r.tcdp)
+            .collect();
+        for p in &products[1..] {
+            assert!(
+                (p - products[0]).abs() / products[0] < 1e-9,
+                "products {products:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn design_points_agree_with_table_two() {
+        let scenario = Scenario::default();
+        let (points, ctx) = design_points(&scenario);
+        let rows = table_two(&scenario);
+        for (p, r) in points.iter().zip(rows.iter()) {
+            assert_eq!(p.name, r.ic.name);
+            assert!(
+                (p.tcdp(&ctx).value() - r.tcdp).abs() / r.tcdp < 1e-9,
+                "{}: {} vs {}",
+                p.name,
+                p.tcdp(&ctx).value(),
+                r.tcdp
+            );
+        }
+        // Metric argmins match the table story.
+        assert_eq!(argmin(&points, MetricKind::Edp, &ctx).unwrap().name, "D");
+        assert_eq!(argmin(&points, MetricKind::Tcdp, &ctx).unwrap().name, "E");
+        assert_eq!(
+            argmin(&points, MetricKind::TotalCarbon, &ctx).unwrap().name,
+            "A"
+        );
+    }
+
+    #[test]
+    fn tcdp_optimal_is_less_energy_efficient_than_edp_optimal() {
+        // Fig. 3(b): "E" has worse EDP but less total carbon pressure than
+        // "D" would at the same operational profile.
+        let (points, _) = design_points(&Scenario::default());
+        let d = points.iter().find(|p| p.name == "D").unwrap();
+        let e = points.iter().find(|p| p.name == "E").unwrap();
+        assert!(e.edp() > d.edp());
+        assert!(e.delay < d.delay);
+    }
+}

@@ -1,0 +1,231 @@
+//! Terminal charts for the figure-regeneration binaries.
+//!
+//! The paper's figures are line/scatter plots; the bench harness prints
+//! the underlying series as tables *and* renders a quick ASCII view so the
+//! curve shapes (crossovers, knees) are visible in the terminal without
+//! plotting tools.
+
+use std::fmt::Write as _;
+
+/// A multi-series line chart over a shared x-axis, rendered to text.
+///
+/// # Examples
+///
+/// ```
+/// use cordoba::chart::AsciiChart;
+///
+/// let mut chart = AsciiChart::new(40, 10);
+/// chart.series("rise", &[1.0, 2.0, 4.0, 8.0]);
+/// chart.series("fall", &[8.0, 4.0, 2.0, 1.0]);
+/// let text = chart.render();
+/// assert!(text.contains("rise"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct AsciiChart {
+    width: usize,
+    height: usize,
+    log_y: bool,
+    series: Vec<(String, Vec<f64>)>,
+}
+
+/// Symbols assigned to series, in order.
+const SYMBOLS: [char; 8] = ['*', 'o', '+', 'x', '#', '@', '%', '&'];
+
+impl AsciiChart {
+    /// Creates a chart with the given plot-area size (characters).
+    ///
+    /// Dimensions are clamped to at least 8x4.
+    #[must_use]
+    pub fn new(width: usize, height: usize) -> Self {
+        Self {
+            width: width.max(8),
+            height: height.max(4),
+            log_y: false,
+            series: Vec::new(),
+        }
+    }
+
+    /// Switches the y-axis to log scale (values must be positive).
+    #[must_use]
+    pub fn with_log_y(mut self) -> Self {
+        self.log_y = true;
+        self
+    }
+
+    /// Adds a named series. Series are resampled onto the chart width, so
+    /// lengths may differ.
+    pub fn series(&mut self, name: impl Into<String>, values: &[f64]) -> &mut Self {
+        self.series.push((name.into(), values.to_vec()));
+        self
+    }
+
+    fn transform(&self, v: f64) -> f64 {
+        if self.log_y {
+            v.max(f64::MIN_POSITIVE).log10()
+        } else {
+            v
+        }
+    }
+
+    /// Renders the chart. Returns an empty string when no series contain
+    /// data.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let finite: Vec<f64> = self
+            .series
+            .iter()
+            .flat_map(|(_, vs)| vs.iter())
+            .copied()
+            .filter(|v| v.is_finite() && (!self.log_y || *v > 0.0))
+            .map(|v| self.transform(v))
+            .collect();
+        if finite.is_empty() {
+            return String::new();
+        }
+        let lo = finite.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = finite.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let span = (hi - lo).max(1e-12);
+
+        let mut grid = vec![vec![' '; self.width]; self.height];
+        for (s_idx, (_, values)) in self.series.iter().enumerate() {
+            if values.is_empty() {
+                continue;
+            }
+            let symbol = SYMBOLS[s_idx % SYMBOLS.len()];
+            // Each column picks its own target row, so this loops over
+            // column indices rather than any single grid row.
+            #[allow(clippy::needless_range_loop)]
+            for col in 0..self.width {
+                // Resample: nearest source index for this column.
+                let src = if values.len() == 1 {
+                    0
+                } else {
+                    (col as f64 / (self.width - 1) as f64 * (values.len() - 1) as f64).round()
+                        as usize
+                };
+                let v = values[src];
+                if !v.is_finite() || (self.log_y && v <= 0.0) {
+                    continue;
+                }
+                let norm = (self.transform(v) - lo) / span;
+                let row = ((1.0 - norm) * (self.height - 1) as f64).round() as usize;
+                grid[row.min(self.height - 1)][col] = symbol;
+            }
+        }
+
+        let mut out = String::new();
+        let label = |v: f64| -> String {
+            if self.log_y {
+                format!("1e{v:.1}")
+            } else {
+                crate::report::fmt_num(v)
+            }
+        };
+        for (i, row) in grid.iter().enumerate() {
+            let margin = if i == 0 {
+                format!("{:>9} |", label(hi))
+            } else if i == self.height - 1 {
+                format!("{:>9} |", label(lo))
+            } else {
+                format!("{:>9} |", "")
+            };
+            let _ = writeln!(out, "{margin}{}", row.iter().collect::<String>());
+        }
+        let _ = writeln!(out, "{:>9} +{}", "", "-".repeat(self.width));
+        // Legend.
+        let legend: Vec<String> = self
+            .series
+            .iter()
+            .enumerate()
+            .map(|(i, (name, _))| format!("{} {name}", SYMBOLS[i % SYMBOLS.len()]))
+            .collect();
+        let _ = writeln!(out, "{:>10} {}", "", legend.join("   "));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_rising_and_falling_series() {
+        let mut chart = AsciiChart::new(20, 8);
+        chart.series("up", &[1.0, 2.0, 3.0, 4.0]);
+        chart.series("down", &[4.0, 3.0, 2.0, 1.0]);
+        let text = chart.render();
+        let lines: Vec<&str> = text.lines().collect();
+        // 8 plot rows + axis + legend.
+        assert_eq!(lines.len(), 10);
+        assert!(lines.last().unwrap().contains("* up"));
+        assert!(lines.last().unwrap().contains("o down"));
+        // The top row holds the maxima: 'o' at the left, '*' at the right.
+        let top = lines[0];
+        assert!(top.find('o').unwrap() < top.find('*').unwrap());
+    }
+
+    #[test]
+    fn log_scale_compresses_decades() {
+        let mut linear = AsciiChart::new(20, 8);
+        linear.series("s", &[1.0, 10.0, 100.0, 1000.0]);
+        let mut log = AsciiChart::new(20, 8).with_log_y();
+        log.series("s", &[1.0, 10.0, 100.0, 1000.0]);
+        let log_text = log.render();
+        // On a log axis the four decades land on four evenly spread rows
+        // (top and bottom included); linear scale crushes the first three
+        // values onto the bottom rows.
+        let occupied_rows = |text: &str| -> Vec<usize> {
+            text.lines()
+                .take(8)
+                .enumerate()
+                .filter(|(_, l)| l.contains('*'))
+                .map(|(i, _)| i)
+                .collect()
+        };
+        let log_rows = occupied_rows(&log_text);
+        assert_eq!(log_rows.len(), 4, "{log_rows:?}");
+        assert_eq!(*log_rows.first().unwrap(), 0);
+        assert_eq!(*log_rows.last().unwrap(), 7);
+        assert!(log_text.contains("1e"));
+        let linear_rows = occupied_rows(&linear.render());
+        // 1, 10, 100 all collapse near the bottom on a linear axis.
+        assert!(linear_rows.len() <= 3, "{linear_rows:?}");
+    }
+
+    #[test]
+    fn empty_and_degenerate_inputs() {
+        let chart = AsciiChart::new(20, 8);
+        assert_eq!(chart.render(), "");
+        let mut flat = AsciiChart::new(20, 8);
+        flat.series("flat", &[5.0, 5.0, 5.0]);
+        let text = flat.render();
+        assert!(text.contains('*'));
+        let mut single = AsciiChart::new(20, 8);
+        single.series("one", &[2.0]);
+        assert!(single.render().contains('*'));
+        // Non-finite values are skipped, not rendered.
+        let mut nan = AsciiChart::new(20, 8);
+        nan.series("nan", &[f64::NAN, 1.0, 2.0]);
+        assert!(nan.render().contains('*'));
+    }
+
+    #[test]
+    fn dimensions_are_clamped() {
+        let mut tiny = AsciiChart::new(1, 1);
+        tiny.series("s", &[1.0, 2.0]);
+        let text = tiny.render();
+        assert!(!text.is_empty());
+        // Minimum 4 rows + axis + legend.
+        assert!(text.lines().count() >= 6);
+    }
+
+    #[test]
+    fn many_series_cycle_symbols() {
+        let mut chart = AsciiChart::new(12, 6);
+        for i in 0..10 {
+            chart.series(format!("s{i}"), &[f64::from(i), f64::from(i + 1)]);
+        }
+        let text = chart.render();
+        assert!(text.contains("s9"));
+    }
+}

@@ -1,0 +1,415 @@
+//! Design-space exploration across operational time (§VI-A/§VI-B,
+//! Figures 6-8).
+//!
+//! The central trick of the paper's Fig. 8: plotting tCDP against
+//! operational time (number of inferences) sweeps *every possible ratio* of
+//! embodied to operational carbon. Designs that are never optimal at any
+//! ratio are eliminated — typically 96-98 % of the space — and the
+//! survivors are exactly the candidates a designer must choose between
+//! under uncertainty.
+
+use crate::metrics::{DesignPoint, OperationalContext};
+use cordoba_accel::config::AcceleratorConfig;
+use cordoba_accel::sim::full_cost_table;
+use cordoba_carbon::embodied::EmbodiedModel;
+use cordoba_carbon::units::CarbonIntensity;
+use cordoba_carbon::CarbonError;
+use cordoba_workloads::task::Task;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Characterizes one accelerator configuration as a [`DesignPoint`] for a
+/// task: delay and energy from the roofline simulator via eq. IV.2/IV.4,
+/// embodied carbon from the assembly model.
+///
+/// # Errors
+///
+/// Propagates carbon-model errors (cannot occur for validated
+/// configurations).
+pub fn accel_design_point(
+    config: &AcceleratorConfig,
+    task: &Task,
+    embodied: &EmbodiedModel,
+) -> Result<DesignPoint, CarbonError> {
+    let table = full_cost_table(config);
+    let delay = table
+        .task_delay(task)
+        .expect("full cost table covers all kernels");
+    let energy = table
+        .task_energy(task)
+        .expect("full cost table covers all kernels");
+    DesignPoint::new(
+        config.name(),
+        delay,
+        energy,
+        config.embodied_carbon(embodied)?,
+        config.total_area(),
+    )
+}
+
+/// Characterizes a whole configuration list for a task.
+///
+/// # Errors
+///
+/// Propagates carbon-model errors.
+pub fn evaluate_space(
+    configs: &[AcceleratorConfig],
+    task: &Task,
+    embodied: &EmbodiedModel,
+) -> Result<Vec<DesignPoint>, CarbonError> {
+    configs
+        .iter()
+        .map(|c| accel_design_point(c, task, embodied))
+        .collect()
+}
+
+/// A logarithmic sweep of task counts: `per_decade` points per decade from
+/// `10^lo` to `10^hi` inclusive.
+///
+/// # Panics
+///
+/// Panics if `hi <= lo` or `per_decade == 0`.
+#[must_use]
+pub fn log_sweep(lo: i32, hi: i32, per_decade: u32) -> Vec<f64> {
+    assert!(hi > lo, "hi must exceed lo");
+    assert!(per_decade > 0, "per_decade must be > 0");
+    let steps = ((hi - lo) as u32 * per_decade) as usize;
+    (0..=steps)
+        .map(|i| 10f64.powf(f64::from(lo) + i as f64 / f64::from(per_decade)))
+        .collect()
+}
+
+/// tCDP of every design at every operational time (one Fig. 8 subplot).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OpTimeSweep {
+    /// The candidate designs.
+    pub points: Vec<DesignPoint>,
+    /// The operational-time axis (task counts).
+    pub task_counts: Vec<f64>,
+    /// The use-phase carbon intensity.
+    pub ci_use: CarbonIntensity,
+    /// `tcdp[n][p]`: tCDP of point `p` at task count `n`.
+    tcdp: Vec<Vec<f64>>,
+}
+
+impl OpTimeSweep {
+    /// Evaluates the sweep.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `task_counts` is empty or contains non-positive
+    /// values, or `points` is empty.
+    pub fn new(
+        points: Vec<DesignPoint>,
+        task_counts: Vec<f64>,
+        ci_use: CarbonIntensity,
+    ) -> Result<Self, CarbonError> {
+        if points.is_empty() {
+            return Err(CarbonError::Empty {
+                what: "design points",
+            });
+        }
+        if task_counts.is_empty() {
+            return Err(CarbonError::Empty {
+                what: "task counts",
+            });
+        }
+        let mut tcdp = Vec::with_capacity(task_counts.len());
+        for &n in &task_counts {
+            let ctx = OperationalContext::new(n, ci_use)?;
+            tcdp.push(points.iter().map(|p| p.tcdp(&ctx).value()).collect());
+        }
+        Ok(Self {
+            points,
+            task_counts,
+            ci_use,
+            tcdp,
+        })
+    }
+
+    /// tCDP of point `p` at sweep index `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices.
+    #[must_use]
+    pub fn tcdp_at(&self, n: usize, p: usize) -> f64 {
+        self.tcdp[n][p]
+    }
+
+    /// Index of the tCDP-optimal design at sweep index `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is out of range.
+    #[must_use]
+    pub fn optimal_at(&self, n: usize) -> usize {
+        self.tcdp[n]
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .expect("points is non-empty")
+            .0
+    }
+
+    /// Names of all designs that are optimal at some operational time —
+    /// the survivors of the Fig. 8 elimination.
+    #[must_use]
+    pub fn ever_optimal(&self) -> BTreeSet<String> {
+        (0..self.task_counts.len())
+            .map(|n| self.points[self.optimal_at(n)].name.clone())
+            .collect()
+    }
+
+    /// Fraction of the design space eliminated as never-optimal.
+    #[must_use]
+    pub fn elimination_fraction(&self) -> f64 {
+        1.0 - self.ever_optimal().len() as f64 / self.points.len() as f64
+    }
+
+    /// tCDP of each design at sweep index `n`, normalized to the optimum
+    /// (1.0 = optimal; the Fig. 9 y-axis is the reciprocal).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is out of range.
+    #[must_use]
+    pub fn normalized_at(&self, n: usize) -> Vec<f64> {
+        let best = self.tcdp[n][self.optimal_at(n)];
+        self.tcdp[n].iter().map(|v| v / best).collect()
+    }
+
+    /// Mean normalized tCDP of design `p` across the whole sweep — the
+    /// Fig. 9 robustness score (lower is more robust; 1.0 would be optimal
+    /// everywhere).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    #[must_use]
+    pub fn robustness_score(&self, p: usize) -> f64 {
+        let sum: f64 = (0..self.task_counts.len())
+            .map(|n| self.normalized_at(n)[p])
+            .sum();
+        sum / self.task_counts.len() as f64
+    }
+
+    /// Robustness scores of every design, computed in one pass over the
+    /// sweep (one optimum lookup per operational time instead of one per
+    /// design x time).
+    #[must_use]
+    pub fn robustness_scores(&self) -> Vec<f64> {
+        let mut sums = vec![0.0; self.points.len()];
+        for row in &self.tcdp {
+            let best = row.iter().copied().fold(f64::INFINITY, f64::min);
+            for (sum, v) in sums.iter_mut().zip(row) {
+                *sum += v / best;
+            }
+        }
+        let n = self.task_counts.len() as f64;
+        sums.iter_mut().for_each(|s| *s /= n);
+        sums
+    }
+
+    /// Index of the most robust design (best average normalized tCDP).
+    #[must_use]
+    pub fn robust_choice(&self) -> usize {
+        self.robustness_scores()
+            .into_iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("points is non-empty")
+            .0
+    }
+
+    /// Mean tCDP across all designs at sweep index `n` (the Fig. 8(f) red
+    /// diamonds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is out of range.
+    #[must_use]
+    pub fn average_tcdp_at(&self, n: usize) -> f64 {
+        self.tcdp[n].iter().sum::<f64>() / self.points.len() as f64
+    }
+
+    /// Ratio of average to optimal tCDP at sweep index `n` — the headroom
+    /// the paper reports (8x-10.5x at 1e4 inferences, >= 2.3x everywhere).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is out of range.
+    #[must_use]
+    pub fn optimal_vs_average_at(&self, n: usize) -> f64 {
+        self.average_tcdp_at(n) / self.tcdp[n][self.optimal_at(n)]
+    }
+
+    /// The sweep index closest to a task count of `n`.
+    #[must_use]
+    pub fn index_near(&self, n: f64) -> usize {
+        self.task_counts
+            .iter()
+            .enumerate()
+            .min_by(|a, b| {
+                (a.1.ln() - n.ln())
+                    .abs()
+                    .total_cmp(&(b.1.ln() - n.ln()).abs())
+            })
+            .expect("task_counts is non-empty")
+            .0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cordoba_accel::space::{config_by_name, design_space};
+    use cordoba_carbon::intensity::grids;
+
+    fn small_sweep(task: &Task) -> OpTimeSweep {
+        let configs = design_space();
+        let points = evaluate_space(&configs, task, &EmbodiedModel::default()).unwrap();
+        OpTimeSweep::new(points, log_sweep(4, 11, 2), grids::US_AVERAGE).unwrap()
+    }
+
+    #[test]
+    fn log_sweep_shape() {
+        let s = log_sweep(4, 6, 1);
+        assert_eq!(s.len(), 3);
+        assert!((s[0] - 1e4).abs() < 1e-6);
+        assert!((s[2] - 1e6).abs() < 1e-4);
+        let dense = log_sweep(0, 1, 4);
+        assert_eq!(dense.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "hi must exceed lo")]
+    fn log_sweep_rejects_bad_range() {
+        let _ = log_sweep(5, 5, 1);
+    }
+
+    #[test]
+    fn accel_bridge_produces_consistent_point() {
+        let cfg = config_by_name("a48").unwrap();
+        let task = Task::xr_10_kernels();
+        let p = accel_design_point(&cfg, &task, &EmbodiedModel::default()).unwrap();
+        assert_eq!(p.name, "a48");
+        assert!(p.delay.is_positive());
+        assert!(p.energy.is_positive());
+        assert!(p.embodied.value() > 0.0);
+        assert_eq!(p.area, cfg.total_area());
+    }
+
+    #[test]
+    fn elimination_is_severe_for_all_tasks() {
+        // §VI-B: 96.7-98.3 % of the 121 designs eliminated per task.
+        for task in Task::evaluation_suite() {
+            let sweep = small_sweep(&task);
+            let frac = sweep.elimination_fraction();
+            assert!(
+                frac > 0.90,
+                "{}: only {:.1}% eliminated",
+                task.name(),
+                frac * 100.0
+            );
+            let survivors = sweep.ever_optimal();
+            assert!(
+                (1..=12).contains(&survivors.len()),
+                "{}: {} survivors",
+                task.name(),
+                survivors.len()
+            );
+        }
+    }
+
+    #[test]
+    fn optimum_grows_with_operational_time() {
+        // At short operational times the embodied-lean (small) design wins;
+        // at long times a larger, more energy-efficient one wins.
+        let sweep = small_sweep(&Task::all_kernels());
+        let first = &sweep.points[sweep.optimal_at(0)];
+        let last = &sweep.points[sweep.optimal_at(sweep.task_counts.len() - 1)];
+        assert!(
+            last.area > first.area,
+            "late optimum {} should out-size early optimum {}",
+            last.name,
+            first.name
+        );
+        assert!(last.delay < first.delay);
+        // At long operational times the optimum approaches the EDP optimum,
+        // so its energy efficiency (not necessarily raw energy) improves.
+        assert!(last.edp() <= first.edp());
+    }
+
+    #[test]
+    fn xr_optima_carry_more_sram_than_ai_optima() {
+        // §VI-B: XR tasks (activation-heavy) pick high-SRAM accelerators;
+        // AI-5 picks 1 MiB-class SRAM.
+        let xr = small_sweep(&Task::xr_5_kernels());
+        let ai = small_sweep(&Task::ai_5_kernels());
+        let sram_of = |sweep: &OpTimeSweep, n: usize| {
+            let name = sweep.points[sweep.optimal_at(n)].name.clone();
+            config_by_name(&name).unwrap().sram().to_mebibytes()
+        };
+        let mid = xr.index_near(1e8);
+        assert!(
+            sram_of(&xr, mid) > sram_of(&ai, mid),
+            "XR optimum should have more SRAM"
+        );
+    }
+
+    #[test]
+    fn normalized_curves_have_unit_minimum() {
+        let sweep = small_sweep(&Task::ai_5_kernels());
+        for n in 0..sweep.task_counts.len() {
+            let normalized = sweep.normalized_at(n);
+            let min = normalized.iter().cloned().fold(f64::INFINITY, f64::min);
+            assert!((min - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn robust_choice_beats_endpoint_specialists_on_average() {
+        let sweep = small_sweep(&Task::all_kernels());
+        let robust = sweep.robust_choice();
+        let early = sweep.optimal_at(0);
+        let late = sweep.optimal_at(sweep.task_counts.len() - 1);
+        let score = |p| sweep.robustness_score(p);
+        assert!(score(robust) <= score(early));
+        assert!(score(robust) <= score(late));
+        assert!(score(robust) >= 1.0);
+    }
+
+    #[test]
+    fn optimal_vs_average_headroom_is_large_when_embodied_dominates() {
+        // Fig. 8(f): at 1e4 inferences the optimal design beats the average
+        // by a large factor; the paper's minimum across everything is 2.3x.
+        let sweep = small_sweep(&Task::ai_5_kernels());
+        let low = sweep.index_near(1e4);
+        assert!(
+            sweep.optimal_vs_average_at(low) > 3.0,
+            "headroom {}",
+            sweep.optimal_vs_average_at(low)
+        );
+        for n in 0..sweep.task_counts.len() {
+            assert!(sweep.optimal_vs_average_at(n) > 1.5);
+        }
+    }
+
+    #[test]
+    fn index_near_finds_decades() {
+        let sweep = small_sweep(&Task::ai_5_kernels());
+        let idx = sweep.index_near(1e6);
+        assert!((sweep.task_counts[idx].log10() - 6.0).abs() < 0.3);
+    }
+
+    #[test]
+    fn sweep_validation() {
+        let cfg = config_by_name("a1").unwrap();
+        let p = accel_design_point(&cfg, &Task::ai_5_kernels(), &EmbodiedModel::default())
+            .unwrap();
+        assert!(OpTimeSweep::new(vec![], log_sweep(0, 1, 1), grids::US_AVERAGE).is_err());
+        assert!(OpTimeSweep::new(vec![p.clone()], vec![], grids::US_AVERAGE).is_err());
+        assert!(OpTimeSweep::new(vec![p], vec![-1.0], grids::US_AVERAGE).is_err());
+    }
+}

@@ -1,0 +1,243 @@
+//! Constrained carbon-aware optimization (eq. IV.1).
+//!
+//! `minimize (C_operational + C_embodied) · D` subject to area, QoS
+//! (delay), and power constraints — evaluated over an explicit candidate
+//! set, which is how CORDOBA's design-space exploration consumes it.
+
+use crate::metrics::{DesignPoint, MetricKind, OperationalContext};
+use cordoba_carbon::units::{Seconds, SquareCentimeters, Watts};
+use serde::{Deserialize, Serialize};
+
+/// The constraint set of eq. IV.1.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Constraints {
+    /// `Area(x) <= a`.
+    pub max_area: Option<SquareCentimeters>,
+    /// `QoS(x) >= q`, expressed as a delay ceiling `D(x) <= 1/q`.
+    pub max_delay: Option<Seconds>,
+    /// `Power(x) <= p`.
+    pub max_power: Option<Watts>,
+}
+
+impl Constraints {
+    /// No constraints.
+    #[must_use]
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Sets the area ceiling.
+    #[must_use]
+    pub fn with_max_area(mut self, area: SquareCentimeters) -> Self {
+        self.max_area = Some(area);
+        self
+    }
+
+    /// Sets the delay (QoS) ceiling.
+    #[must_use]
+    pub fn with_max_delay(mut self, delay: Seconds) -> Self {
+        self.max_delay = Some(delay);
+        self
+    }
+
+    /// Sets the power ceiling.
+    #[must_use]
+    pub fn with_max_power(mut self, power: Watts) -> Self {
+        self.max_power = Some(power);
+        self
+    }
+
+    /// `true` when `point` satisfies every constraint.
+    #[must_use]
+    pub fn admits(&self, point: &DesignPoint) -> bool {
+        if let Some(a) = self.max_area {
+            if point.area > a {
+                return false;
+            }
+        }
+        if let Some(d) = self.max_delay {
+            if point.delay > d {
+                return false;
+            }
+        }
+        if let Some(p) = self.max_power {
+            if point.power() > p {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// A carbon-aware optimization problem over a candidate set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OptimizationProblem {
+    /// The candidate designs.
+    pub candidates: Vec<DesignPoint>,
+    /// The objective metric (tCDP for carbon efficiency; §III-C shows other
+    /// application scenarios legitimately target other metrics).
+    pub objective: MetricKind,
+    /// The constraint set.
+    pub constraints: Constraints,
+}
+
+/// The outcome of solving an [`OptimizationProblem`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Solution {
+    /// The winning design.
+    pub best: DesignPoint,
+    /// Objective value of the winner.
+    pub objective_value: f64,
+    /// Number of candidates that satisfied the constraints.
+    pub feasible_count: usize,
+}
+
+impl OptimizationProblem {
+    /// Builds a tCDP-minimization problem with no constraints.
+    #[must_use]
+    pub fn tcdp(candidates: Vec<DesignPoint>) -> Self {
+        Self {
+            candidates,
+            objective: MetricKind::Tcdp,
+            constraints: Constraints::none(),
+        }
+    }
+
+    /// Replaces the objective.
+    #[must_use]
+    pub fn with_objective(mut self, objective: MetricKind) -> Self {
+        self.objective = objective;
+        self
+    }
+
+    /// Replaces the constraints.
+    #[must_use]
+    pub fn with_constraints(mut self, constraints: Constraints) -> Self {
+        self.constraints = constraints;
+        self
+    }
+
+    /// The feasible candidates.
+    #[must_use]
+    pub fn feasible(&self) -> Vec<&DesignPoint> {
+        self.candidates
+            .iter()
+            .filter(|p| self.constraints.admits(p))
+            .collect()
+    }
+
+    /// Solves the problem under the given operational context.
+    ///
+    /// Returns `None` when no candidate satisfies the constraints.
+    #[must_use]
+    pub fn solve(&self, ctx: &OperationalContext) -> Option<Solution> {
+        let feasible = self.feasible();
+        let best = feasible.iter().min_by(|a, b| {
+            self.objective
+                .evaluate(a, ctx)
+                .total_cmp(&self.objective.evaluate(b, ctx))
+        })?;
+        Some(Solution {
+            best: (*best).clone(),
+            objective_value: self.objective.evaluate(best, ctx),
+            feasible_count: feasible.len(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cordoba_carbon::units::{GramsCo2e, Joules};
+
+    fn point(name: &str, d: f64, e: f64, emb: f64, area: f64) -> DesignPoint {
+        DesignPoint::new(
+            name,
+            Seconds::new(d),
+            Joules::new(e),
+            GramsCo2e::new(emb),
+            SquareCentimeters::new(area),
+        )
+        .unwrap()
+    }
+
+    fn candidates() -> Vec<DesignPoint> {
+        vec![
+            point("small-slow", 4.0, 1.0, 50.0, 0.5),
+            point("mid", 1.0, 2.0, 150.0, 1.0),
+            point("big-fast", 0.25, 8.0, 600.0, 4.0),
+        ]
+    }
+
+    #[test]
+    fn unconstrained_tcdp_solution() {
+        let problem = OptimizationProblem::tcdp(candidates());
+        let ctx = OperationalContext::us_grid(1e3);
+        let sol = problem.solve(&ctx).unwrap();
+        assert_eq!(sol.feasible_count, 3);
+        // Verify it is the true argmin.
+        let manual = crate::metrics::argmin(&problem.candidates, MetricKind::Tcdp, &ctx).unwrap();
+        assert_eq!(sol.best.name, manual.name);
+        assert!((sol.objective_value - manual.tcdp(&ctx).value()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn qos_constraint_overrides_efficiency() {
+        // §III-C scenario (a): a latency ceiling can exclude the
+        // metric-optimal design; the solver must pick the best feasible one.
+        let problem = OptimizationProblem::tcdp(candidates())
+            .with_constraints(Constraints::none().with_max_delay(Seconds::new(0.5)));
+        let ctx = OperationalContext::us_grid(1e3);
+        let sol = problem.solve(&ctx).unwrap();
+        assert_eq!(sol.best.name, "big-fast");
+        assert_eq!(sol.feasible_count, 1);
+    }
+
+    #[test]
+    fn area_and_power_constraints_filter() {
+        let c = Constraints::none()
+            .with_max_area(SquareCentimeters::new(1.0))
+            .with_max_power(Watts::new(1.0));
+        let problem = OptimizationProblem::tcdp(candidates()).with_constraints(c);
+        let feasible = problem.feasible();
+        // "big-fast": area 4 (out), power 32 W (out). "mid": 2 W (out).
+        assert_eq!(feasible.len(), 1);
+        assert_eq!(feasible[0].name, "small-slow");
+    }
+
+    #[test]
+    fn infeasible_problem_returns_none() {
+        let c = Constraints::none().with_max_delay(Seconds::new(0.01));
+        let problem = OptimizationProblem::tcdp(candidates()).with_constraints(c);
+        assert!(problem.solve(&OperationalContext::us_grid(1.0)).is_none());
+    }
+
+    #[test]
+    fn objective_swap_changes_winner() {
+        let problem = OptimizationProblem::tcdp(candidates());
+        let ctx = OperationalContext::us_grid(1e9);
+        let tcdp_best = problem.solve(&ctx).unwrap().best;
+        let energy_best = problem
+            .clone()
+            .with_objective(MetricKind::Energy)
+            .solve(&ctx)
+            .unwrap()
+            .best;
+        // Energy alone picks the frugal slow design (§III pitfall).
+        assert_eq!(energy_best.name, "small-slow");
+        assert_ne!(tcdp_best.name, energy_best.name);
+    }
+
+    #[test]
+    fn constraints_builder_and_admits() {
+        let c = Constraints::none()
+            .with_max_area(SquareCentimeters::new(2.0))
+            .with_max_delay(Seconds::new(2.0))
+            .with_max_power(Watts::new(3.0));
+        assert!(c.admits(&point("ok", 1.0, 2.0, 10.0, 1.0)));
+        assert!(!c.admits(&point("too-big", 1.0, 2.0, 10.0, 3.0)));
+        assert!(!c.admits(&point("too-slow", 3.0, 2.0, 10.0, 1.0)));
+        assert!(!c.admits(&point("too-hot", 1.0, 4.0, 10.0, 1.0)));
+        assert!(Constraints::none().admits(&point("anything", 9.0, 9.0, 9.0, 9.0)));
+    }
+}

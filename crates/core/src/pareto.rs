@@ -1,0 +1,362 @@
+//! Pareto frontiers and lower convex hulls in two dimensions.
+//!
+//! §IV-B eliminates designs that cannot be tCDP-optimal for *any* value of
+//! the unknown `CI_use(t)` by keeping only the Pareto-optimal curve of
+//! `E·D` versus `C_embodied·D`. Strictly, the β-scalarization of eq. IV.9
+//! selects the *lower convex hull* of that point set — a subset of the
+//! Pareto frontier. Both are provided; the ablation bench compares them.
+
+use serde::{Deserialize, Serialize};
+
+/// A named point in a 2-D minimize-both objective space.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Point2 {
+    /// Candidate name.
+    pub name: String,
+    /// First objective (lower is better).
+    pub x: f64,
+    /// Second objective (lower is better).
+    pub y: f64,
+}
+
+impl Point2 {
+    /// Creates a point.
+    #[must_use]
+    pub fn new(name: impl Into<String>, x: f64, y: f64) -> Self {
+        Self {
+            name: name.into(),
+            x,
+            y,
+        }
+    }
+
+    /// `true` when `self` dominates `other`: no worse in both objectives
+    /// and strictly better in at least one.
+    #[must_use]
+    pub fn dominates(&self, other: &Point2) -> bool {
+        self.x <= other.x && self.y <= other.y && (self.x < other.x || self.y < other.y)
+    }
+}
+
+/// Indices of the Pareto-optimal (non-dominated) points, in input order.
+///
+/// Duplicate coordinates are all retained (none strictly dominates the
+/// other).
+///
+/// # Examples
+///
+/// ```
+/// use cordoba::pareto::{pareto_indices, Point2};
+///
+/// let pts = vec![
+///     Point2::new("good-x", 1.0, 5.0),
+///     Point2::new("dominated", 2.0, 6.0),
+///     Point2::new("good-y", 3.0, 1.0),
+/// ];
+/// assert_eq!(pareto_indices(&pts), vec![0, 2]);
+/// ```
+#[must_use]
+pub fn pareto_indices(points: &[Point2]) -> Vec<usize> {
+    (0..points.len())
+        .filter(|&i| {
+            !points
+                .iter()
+                .enumerate()
+                .any(|(j, other)| j != i && other.dominates(&points[i]))
+        })
+        .collect()
+}
+
+/// The Pareto-optimal points themselves.
+#[must_use]
+pub fn pareto_front(points: &[Point2]) -> Vec<Point2> {
+    pareto_indices(points)
+        .into_iter()
+        .map(|i| points[i].clone())
+        .collect()
+}
+
+/// Indices of the lower convex hull (the support set of all linear
+/// scalarizations `x + β·y`, `β ∈ [0, ∞)`), sorted by increasing `x`.
+///
+/// These are exactly the designs some Lagrange multiplier β can make
+/// optimal in eq. IV.9; they are a subset of [`pareto_indices`].
+#[must_use]
+pub fn lower_hull_indices(points: &[Point2]) -> Vec<usize> {
+    if points.is_empty() {
+        return Vec::new();
+    }
+    // Start from the Pareto front sorted by x ascending (y then descends).
+    let mut front = pareto_indices(points);
+    front.sort_by(|&a, &b| {
+        points[a]
+            .x
+            .total_cmp(&points[b].x)
+            .then(points[a].y.total_cmp(&points[b].y))
+    });
+    front.dedup_by(|&mut a, &mut b| points[a].x == points[b].x && points[a].y == points[b].y);
+    // Monotone-chain lower hull over the front.
+    let mut hull: Vec<usize> = Vec::with_capacity(front.len());
+    for &i in &front {
+        while hull.len() >= 2 {
+            let a = &points[hull[hull.len() - 2]];
+            let b = &points[hull[hull.len() - 1]];
+            let c = &points[i];
+            // Keep b only if it lies strictly below segment a-c; cross > 0
+            // means the chain turns left (convex for a lower hull).
+            let cross = (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x);
+            if cross <= 0.0 {
+                hull.pop();
+            } else {
+                break;
+            }
+        }
+        hull.push(i);
+    }
+    hull
+}
+
+/// A named point in a k-dimensional minimize-all objective space.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PointK {
+    /// Candidate name.
+    pub name: String,
+    /// Objective values (all lower-is-better).
+    pub objectives: Vec<f64>,
+}
+
+impl PointK {
+    /// Creates a point.
+    #[must_use]
+    pub fn new(name: impl Into<String>, objectives: Vec<f64>) -> Self {
+        Self {
+            name: name.into(),
+            objectives,
+        }
+    }
+
+    /// `true` when `self` dominates `other` (no worse everywhere, strictly
+    /// better somewhere). Points of mismatched dimension never dominate.
+    #[must_use]
+    pub fn dominates(&self, other: &PointK) -> bool {
+        if self.objectives.len() != other.objectives.len() {
+            return false;
+        }
+        let mut strictly = false;
+        for (a, b) in self.objectives.iter().zip(&other.objectives) {
+            if a > b {
+                return false;
+            }
+            if a < b {
+                strictly = true;
+            }
+        }
+        strictly
+    }
+}
+
+/// Indices of the k-dimensional Pareto-optimal points, in input order.
+///
+/// Used for elimination when *multiple* carbon factors are unknown
+/// simultaneously (e.g. both `CI_use(t)` and `CI_fab`, §IV-B's suggested
+/// extension): any design dominated in
+/// (`materials·D`, `fab_energy·D`, `E·D`) cannot be tCDP-optimal for any
+/// non-negative pair of intensities.
+///
+/// # Examples
+///
+/// ```
+/// use cordoba::pareto::{pareto_indices_kd, PointK};
+///
+/// let pts = vec![
+///     PointK::new("a", vec![1.0, 5.0, 2.0]),
+///     PointK::new("b", vec![2.0, 6.0, 3.0]), // dominated by a
+///     PointK::new("c", vec![3.0, 1.0, 9.0]),
+/// ];
+/// assert_eq!(pareto_indices_kd(&pts), vec![0, 2]);
+/// ```
+#[must_use]
+pub fn pareto_indices_kd(points: &[PointK]) -> Vec<usize> {
+    (0..points.len())
+        .filter(|&i| {
+            !points
+                .iter()
+                .enumerate()
+                .any(|(j, other)| j != i && other.dominates(&points[i]))
+        })
+        .collect()
+}
+
+/// Fraction of `points` eliminated by keeping only the Pareto front.
+///
+/// Returns 0 for an empty input.
+#[must_use]
+pub fn elimination_fraction(points: &[Point2]) -> f64 {
+    if points.is_empty() {
+        return 0.0;
+    }
+    1.0 - pareto_indices(points).len() as f64 / points.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(coords: &[(f64, f64)]) -> Vec<Point2> {
+        coords
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| Point2::new(format!("p{i}"), x, y))
+            .collect()
+    }
+
+    #[test]
+    fn domination_rules() {
+        let a = Point2::new("a", 1.0, 1.0);
+        let b = Point2::new("b", 2.0, 2.0);
+        let c = Point2::new("c", 1.0, 2.0);
+        let d = Point2::new("d", 1.0, 1.0);
+        assert!(a.dominates(&b));
+        assert!(a.dominates(&c));
+        assert!(!b.dominates(&a));
+        assert!(!a.dominates(&d)); // equal points do not dominate
+        assert!(!c.dominates(&b) || c.dominates(&b)); // c dominates b (x smaller, y equal)
+        assert!(c.dominates(&b));
+    }
+
+    #[test]
+    fn front_of_staircase() {
+        let points = pts(&[(1.0, 5.0), (2.0, 3.0), (3.0, 2.0), (4.0, 4.0), (5.0, 1.5)]);
+        let front = pareto_indices(&points);
+        assert_eq!(front, vec![0, 1, 2, 4]); // (4,4) dominated by (3,2)
+    }
+
+    #[test]
+    fn hull_is_subset_of_front() {
+        // (2.0, 3.1) is Pareto-optimal but above the chord from (1,5) to
+        // (3,2): no β can select it.
+        let points = pts(&[(1.0, 5.0), (2.0, 3.6), (3.0, 2.0)]);
+        let front = pareto_indices(&points);
+        assert_eq!(front.len(), 3);
+        let hull = lower_hull_indices(&points);
+        assert_eq!(hull, vec![0, 2]);
+    }
+
+    #[test]
+    fn hull_keeps_convex_knees() {
+        let points = pts(&[(1.0, 5.0), (2.0, 2.5), (3.0, 2.0)]);
+        let hull = lower_hull_indices(&points);
+        assert_eq!(hull, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn every_hull_point_wins_some_beta() {
+        let points = pts(&[
+            (1.0, 9.0),
+            (2.0, 4.0),
+            (4.0, 2.0),
+            (8.0, 1.0),
+            (3.0, 8.0),
+            (6.0, 6.0),
+        ]);
+        let hull = lower_hull_indices(&points);
+        for &i in &hull {
+            let mut wins = false;
+            for exp in -60..=60 {
+                let beta = 2f64.powi(exp);
+                let best = (0..points.len())
+                    .min_by(|&a, &b| {
+                        (points[a].x + beta * points[a].y)
+                            .total_cmp(&(points[b].x + beta * points[b].y))
+                    })
+                    .unwrap();
+                if best == i {
+                    wins = true;
+                    break;
+                }
+            }
+            assert!(wins, "hull point {i} never wins a scalarization");
+        }
+    }
+
+    #[test]
+    fn no_off_front_point_wins_any_beta() {
+        let points = pts(&[(1.0, 5.0), (2.0, 6.0), (3.0, 2.0)]);
+        // p1 is dominated; for every beta it must lose.
+        for exp in -40..=40 {
+            let beta = 2f64.powi(exp);
+            let best = (0..points.len())
+                .min_by(|&a, &b| {
+                    (points[a].x + beta * points[a].y)
+                        .total_cmp(&(points[b].x + beta * points[b].y))
+                })
+                .unwrap();
+            assert_ne!(best, 1);
+        }
+    }
+
+    #[test]
+    fn elimination_fraction_counts_dominated() {
+        let points = pts(&[(1.0, 1.0), (2.0, 2.0), (3.0, 3.0), (0.5, 4.0)]);
+        // Front: (1,1) and (0.5,4). 2 of 4 eliminated.
+        assert!((elimination_fraction(&points) - 0.5).abs() < 1e-12);
+        assert_eq!(elimination_fraction(&[]), 0.0);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(pareto_indices(&[]).is_empty());
+        assert!(lower_hull_indices(&[]).is_empty());
+        let single = pts(&[(1.0, 1.0)]);
+        assert_eq!(pareto_indices(&single), vec![0]);
+        assert_eq!(lower_hull_indices(&single), vec![0]);
+        // Duplicates are all kept on the front, deduped on the hull.
+        let dup = pts(&[(1.0, 1.0), (1.0, 1.0)]);
+        assert_eq!(pareto_indices(&dup).len(), 2);
+        assert_eq!(lower_hull_indices(&dup).len(), 1);
+    }
+
+    #[test]
+    fn kd_domination_and_front() {
+        let pts = vec![
+            PointK::new("a", vec![1.0, 1.0, 1.0]),
+            PointK::new("b", vec![1.0, 1.0, 2.0]), // dominated by a
+            PointK::new("c", vec![0.5, 2.0, 3.0]),
+            PointK::new("d", vec![2.0, 0.5, 3.0]),
+        ];
+        assert!(pts[0].dominates(&pts[1]));
+        assert!(!pts[1].dominates(&pts[0]));
+        assert!(!pts[2].dominates(&pts[3]));
+        assert_eq!(pareto_indices_kd(&pts), vec![0, 2, 3]);
+        // Equal points do not dominate each other.
+        let eq = vec![
+            PointK::new("x", vec![1.0, 2.0]),
+            PointK::new("y", vec![1.0, 2.0]),
+        ];
+        assert_eq!(pareto_indices_kd(&eq).len(), 2);
+        // Dimension mismatch never dominates.
+        let odd = PointK::new("odd", vec![0.0]);
+        assert!(!odd.dominates(&pts[0]));
+        assert!(pareto_indices_kd(&[]).is_empty());
+    }
+
+    #[test]
+    fn kd_front_reduces_to_2d_front() {
+        let coords = [(1.0, 5.0), (2.0, 3.0), (3.0, 2.0), (4.0, 4.0), (5.0, 1.5)];
+        let p2 = pts(&coords);
+        let pk: Vec<PointK> = coords
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| PointK::new(format!("p{i}"), vec![x, y]))
+            .collect();
+        assert_eq!(pareto_indices(&p2), pareto_indices_kd(&pk));
+    }
+
+    #[test]
+    fn front_returns_points() {
+        let points = pts(&[(1.0, 2.0), (2.0, 1.0), (2.0, 2.0)]);
+        let front = pareto_front(&points);
+        assert_eq!(front.len(), 2);
+        assert_eq!(front[0].name, "p0");
+    }
+}

@@ -1,0 +1,189 @@
+//! Plain-text table and CSV writers used by the bench harness to print the
+//! paper's rows and series.
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned table builder.
+///
+/// # Examples
+///
+/// ```
+/// use cordoba::report::Table;
+///
+/// let mut t = Table::new(vec!["IC".into(), "EDP".into()]);
+/// t.row(vec!["D".into(), "0.050".into()]);
+/// let text = t.render();
+/// assert!(text.contains("IC") && text.contains("0.050"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given headers.
+    #[must_use]
+    pub fn new(headers: Vec<String>) -> Self {
+        Self {
+            headers,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row. Rows shorter than the header are padded with empty
+    /// cells; longer rows are kept as-is.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns and a separator rule.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let cols = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain([self.headers.len()])
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; cols];
+        let all_rows = std::iter::once(&self.headers).chain(self.rows.iter());
+        for row in all_rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let write_row = |out: &mut String, row: &[String]| {
+            for (i, width) in widths.iter().enumerate() {
+                let cell = row.get(i).map_or("", String::as_str);
+                let _ = write!(out, "{cell:width$}  ");
+            }
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        write_row(&mut out, &self.headers);
+        let rule: usize = widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1);
+        let _ = writeln!(out, "{}", "-".repeat(rule));
+        for row in &self.rows {
+            write_row(&mut out, row);
+        }
+        out
+    }
+
+    /// Renders the table as CSV (RFC-4180-style quoting for cells
+    /// containing commas or quotes).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let escape = |cell: &str| -> String {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_owned()
+            }
+        };
+        let mut out = String::new();
+        for row in std::iter::once(&self.headers).chain(self.rows.iter()) {
+            let line: Vec<String> = row.iter().map(|c| escape(c)).collect();
+            let _ = writeln!(out, "{}", line.join(","));
+        }
+        out
+    }
+}
+
+/// Formats a float with engineering-friendly precision: scientific for
+/// very large/small magnitudes, fixed otherwise.
+#[must_use]
+pub fn fmt_num(v: f64) -> String {
+    let a = v.abs();
+    if v == 0.0 {
+        "0".into()
+    } else if !(1e-3..1e6).contains(&a) {
+        format!("{v:.3e}")
+    } else if a >= 100.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+/// Formats a ratio as `N.NNx`.
+#[must_use]
+pub fn fmt_ratio(v: f64) -> String {
+    format!("{v:.2}x")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(vec!["name".into(), "value".into()]);
+        t.row(vec!["a".into(), "1".into()])
+            .row(vec!["long-name".into(), "2.5".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // Columns align: "1" and "2.5" start at the same offset.
+        let off_a = lines[2].find('1').unwrap();
+        let off_b = lines[3].find('2').unwrap();
+        assert_eq!(off_a, off_b);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = Table::new(vec!["a".into(), "b".into(), "c".into()]);
+        t.row(vec!["x".into()]);
+        let s = t.render();
+        assert!(s.contains('x'));
+    }
+
+    #[test]
+    fn csv_escaping() {
+        let mut t = Table::new(vec!["name".into(), "note".into()]);
+        t.row(vec!["a,b".into(), "say \"hi\"".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"a,b\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+        assert!(csv.starts_with("name,note\n"));
+    }
+
+    #[test]
+    fn number_formatting() {
+        assert_eq!(fmt_num(0.0), "0");
+        assert_eq!(fmt_num(0.05), "0.0500");
+        assert_eq!(fmt_num(123.456), "123.5");
+        assert!(fmt_num(1e9).contains('e'));
+        assert!(fmt_num(1e-9).contains('e'));
+        assert_eq!(fmt_ratio(6.9), "6.90x");
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = Table::new(vec!["only".into()]);
+        assert!(t.is_empty());
+        let s = t.render();
+        assert!(s.contains("only"));
+    }
+}

@@ -1,0 +1,150 @@
+//! Small statistics helpers for the evaluation analyses (Fig. 6
+//! correlations, Fig. 8 averages).
+
+/// Pearson correlation coefficient of two equal-length samples.
+///
+/// Returns `None` if the slices differ in length, have fewer than two
+/// elements, or either has zero variance.
+#[must_use]
+pub fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return None;
+    }
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        sxy += (x - mx) * (y - my);
+        sxx += (x - mx) * (x - mx);
+        syy += (y - my) * (y - my);
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return None;
+    }
+    Some(sxy / (sxx * syy).sqrt())
+}
+
+/// Pearson correlation of the (natural) logs — appropriate for quantities
+/// spanning decades, like EDP and tCDP over a design space.
+///
+/// Returns `None` on length mismatch, short input, non-positive values, or
+/// zero variance.
+#[must_use]
+pub fn log_pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    if xs.iter().chain(ys).any(|&v| v <= 0.0) {
+        return None;
+    }
+    let lx: Vec<f64> = xs.iter().map(|v| v.ln()).collect();
+    let ly: Vec<f64> = ys.iter().map(|v| v.ln()).collect();
+    pearson(&lx, &ly)
+}
+
+/// Spearman rank correlation.
+///
+/// Returns `None` on length mismatch or short input.
+#[must_use]
+pub fn spearman(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return None;
+    }
+    let rank = |vs: &[f64]| -> Vec<f64> {
+        let mut idx: Vec<usize> = (0..vs.len()).collect();
+        idx.sort_by(|&a, &b| vs[a].total_cmp(&vs[b]));
+        let mut ranks = vec![0.0; vs.len()];
+        let mut i = 0;
+        while i < idx.len() {
+            let mut j = i;
+            while j + 1 < idx.len() && vs[idx[j + 1]] == vs[idx[i]] {
+                j += 1;
+            }
+            let avg = (i + j) as f64 / 2.0;
+            for &k in &idx[i..=j] {
+                ranks[k] = avg;
+            }
+            i = j + 1;
+        }
+        ranks
+    };
+    pearson(&rank(xs), &rank(ys))
+}
+
+/// Geometric mean of a positive sample.
+///
+/// Returns `None` for empty input or any non-positive value.
+#[must_use]
+pub fn geometric_mean(vs: &[f64]) -> Option<f64> {
+    if vs.is_empty() || vs.iter().any(|&v| v <= 0.0) {
+        return None;
+    }
+    let sum: f64 = vs.iter().map(|v| v.ln()).sum();
+    Some((sum / vs.len() as f64).exp())
+}
+
+/// Arithmetic mean; `None` for empty input.
+#[must_use]
+pub fn mean(vs: &[f64]) -> Option<f64> {
+    if vs.is_empty() {
+        None
+    } else {
+        Some(vs.iter().sum::<f64>() / vs.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pearson_perfect_correlation() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+        let neg = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&xs, &neg).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_uncorrelated() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [1.0, -1.0, 1.0, -1.0];
+        assert!(pearson(&xs, &ys).unwrap().abs() < 0.5);
+    }
+
+    #[test]
+    fn pearson_degenerate() {
+        assert!(pearson(&[1.0], &[2.0]).is_none());
+        assert!(pearson(&[1.0, 2.0], &[2.0]).is_none());
+        assert!(pearson(&[1.0, 1.0], &[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn log_pearson_handles_power_laws() {
+        // y = x^3 is perfectly log-linear.
+        let xs: Vec<f64> = (1..20).map(f64::from).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x.powi(3)).collect();
+        assert!((log_pearson(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+        assert!(log_pearson(&[1.0, -2.0], &[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn spearman_is_rank_based() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [1.0, 8.0, 27.0, 64.0]; // monotone but nonlinear
+        assert!((spearman(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+        // Ties get averaged ranks.
+        let tied = [1.0, 1.0, 2.0, 3.0];
+        assert!(spearman(&tied, &xs).is_some());
+    }
+
+    #[test]
+    fn means() {
+        assert!((geometric_mean(&[1.0, 100.0]).unwrap() - 10.0).abs() < 1e-9);
+        assert!(geometric_mean(&[]).is_none());
+        assert!(geometric_mean(&[1.0, 0.0]).is_none());
+        assert!((mean(&[1.0, 2.0, 3.0]).unwrap() - 2.0).abs() < 1e-12);
+        assert!(mean(&[]).is_none());
+    }
+}

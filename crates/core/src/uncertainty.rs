@@ -1,0 +1,327 @@
+//! Uncertainty analyses: domain studies (Fig. 6) and robustness to
+//! unknown usage and grid intensity (§VI-C).
+
+use crate::metrics::{DesignPoint, OperationalContext};
+use crate::stats::log_pearson;
+use cordoba_carbon::intensity::{grids, CiSource};
+use cordoba_carbon::units::{CarbonIntensity, Seconds};
+use cordoba_carbon::CarbonError;
+use serde::{Deserialize, Serialize};
+
+/// The computing domains of Fig. 6, distinguished by how much of their
+/// total carbon is embodied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DomainClass {
+    /// Microcontrollers and wearables: ~95 % embodied \[3\].
+    Wearable,
+    /// Mobile/laptop: ~72 % embodied \[2\].
+    Mobile,
+    /// Datacenter servers: ~50 % embodied \[21\].
+    Datacenter,
+}
+
+impl DomainClass {
+    /// All domains, embodied-dominant first.
+    pub const ALL: [DomainClass; 3] = [Self::Wearable, Self::Mobile, Self::Datacenter];
+
+    /// The domain's typical embodied share of total carbon.
+    #[must_use]
+    pub fn embodied_share(self) -> f64 {
+        match self {
+            Self::Wearable => 0.95,
+            Self::Mobile => 0.72,
+            Self::Datacenter => 0.50,
+        }
+    }
+
+    /// A representative use-phase carbon intensity.
+    #[must_use]
+    pub fn ci_use(self) -> CarbonIntensity {
+        grids::US_AVERAGE
+    }
+
+    /// Display label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Wearable => "wearable",
+            Self::Mobile => "mobile",
+            Self::Datacenter => "datacenter",
+        }
+    }
+}
+
+/// Finds the operational context (task count) at which the *average*
+/// embodied share across `points` hits `target_share`, by bisection.
+///
+/// # Errors
+///
+/// Returns an error if `points` is empty or `target_share` is outside
+/// `(0, 1)`.
+pub fn context_for_embodied_share(
+    points: &[DesignPoint],
+    ci_use: CarbonIntensity,
+    target_share: f64,
+) -> Result<OperationalContext, CarbonError> {
+    if points.is_empty() {
+        return Err(CarbonError::Empty {
+            what: "design points",
+        });
+    }
+    CarbonError::require_in_range("target share", target_share, 1e-6, 1.0 - 1e-6)?;
+    let mean_share = |tasks: f64| -> f64 {
+        let ctx = OperationalContext { tasks, ci_use };
+        points.iter().map(|p| p.embodied_share(&ctx)).sum::<f64>() / points.len() as f64
+    };
+    // Share decreases monotonically with task count; bisect on the
+    // geometric midpoint.
+    let (mut lo, mut hi): (f64, f64) = (1e-3, 1e18);
+    for _ in 0..200 {
+        let mid = (lo * hi).sqrt();
+        if mean_share(mid) > target_share {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    OperationalContext::new((lo * hi).sqrt(), ci_use)
+}
+
+/// The Fig. 6 per-domain analysis: EDP vs tCDP over a design space at the
+/// domain's embodied:operational balance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DomainAnalysis {
+    /// The domain.
+    pub domain: DomainClass,
+    /// The operational context realizing the domain's embodied share.
+    pub context: OperationalContext,
+    /// EDP of each design (J·s).
+    pub edp: Vec<f64>,
+    /// tCDP of each design (gCO2e·s).
+    pub tcdp: Vec<f64>,
+    /// Log-domain Pearson correlation between EDP and tCDP.
+    pub correlation: f64,
+    /// Largest tCDP ratio among near-EDP-equivalent design pairs (the
+    /// paper's "100x difference at equal EDP" observation).
+    pub iso_edp_tcdp_spread: f64,
+    /// Name of the EDP-optimal design.
+    pub edp_optimal: String,
+    /// Name of the tCDP-optimal design.
+    pub tcdp_optimal: String,
+}
+
+/// Runs the Fig. 6 analysis for one domain over a design space.
+///
+/// # Errors
+///
+/// Returns an error if `points` is empty.
+pub fn domain_analysis(
+    points: &[DesignPoint],
+    domain: DomainClass,
+) -> Result<DomainAnalysis, CarbonError> {
+    let context = context_for_embodied_share(points, domain.ci_use(), domain.embodied_share())?;
+    let edp: Vec<f64> = points.iter().map(|p| p.edp().value()).collect();
+    let tcdp: Vec<f64> = points.iter().map(|p| p.tcdp(&context).value()).collect();
+    let correlation = log_pearson(&edp, &tcdp).unwrap_or(0.0);
+
+    // Iso-EDP spread: pairs within 25 % EDP of each other.
+    let mut spread: f64 = 1.0;
+    for i in 0..points.len() {
+        for j in (i + 1)..points.len() {
+            let edp_ratio = (edp[i] / edp[j]).max(edp[j] / edp[i]);
+            if edp_ratio < 1.25 {
+                spread = spread.max((tcdp[i] / tcdp[j]).max(tcdp[j] / tcdp[i]));
+            }
+        }
+    }
+
+    let argmin = |vs: &[f64]| {
+        vs.iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .expect("points non-empty")
+            .0
+    };
+    Ok(DomainAnalysis {
+        domain,
+        context,
+        edp_optimal: points[argmin(&edp)].name.clone(),
+        tcdp_optimal: points[argmin(&tcdp)].name.clone(),
+        edp,
+        tcdp,
+        correlation,
+        iso_edp_tcdp_spread: spread,
+    })
+}
+
+/// Evaluates a design's tCDP under a *time-varying* intensity source by
+/// replacing `CI_use` with the source's lifetime mean (valid for constant
+/// power, eq. IV.7).
+#[must_use]
+pub fn tcdp_under_source(
+    point: &DesignPoint,
+    source: &dyn CiSource,
+    tasks: f64,
+    lifetime: Seconds,
+) -> f64 {
+    let mean_ci = source.mean_over(lifetime, 10_000);
+    let ctx = OperationalContext {
+        tasks,
+        ci_use: mean_ci,
+    };
+    point.tcdp(&ctx).value()
+}
+
+/// Worst-case regret of each design across a set of intensity scenarios:
+/// `max_s tCDP(design, s) / tCDP(optimal(s), s)`.
+///
+/// The design minimizing this is the robust choice when the grid's future
+/// is unknown (§IV-B / §VI-C).
+///
+/// # Errors
+///
+/// Returns an error if `points` or `scenarios` is empty.
+pub fn scenario_regret(
+    points: &[DesignPoint],
+    scenarios: &[&dyn CiSource],
+    tasks: f64,
+    lifetime: Seconds,
+) -> Result<Vec<f64>, CarbonError> {
+    if points.is_empty() {
+        return Err(CarbonError::Empty {
+            what: "design points",
+        });
+    }
+    if scenarios.is_empty() {
+        return Err(CarbonError::Empty { what: "scenarios" });
+    }
+    let mut regret = vec![1.0f64; points.len()];
+    for &s in scenarios {
+        let tcdps: Vec<f64> = points
+            .iter()
+            .map(|p| tcdp_under_source(p, s, tasks, lifetime))
+            .collect();
+        let best = tcdps.iter().cloned().fold(f64::INFINITY, f64::min);
+        for (r, t) in regret.iter_mut().zip(&tcdps) {
+            *r = r.max(t / best);
+        }
+    }
+    Ok(regret)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cordoba_carbon::intensity::{ConstantCi, TrendCi};
+    use cordoba_carbon::units::{GramsCo2e, Joules, SquareCentimeters};
+
+    fn point(name: &str, d: f64, e: f64, emb: f64) -> DesignPoint {
+        DesignPoint::new(
+            name,
+            Seconds::new(d),
+            Joules::new(e),
+            GramsCo2e::new(emb),
+            SquareCentimeters::new(1.0),
+        )
+        .unwrap()
+    }
+
+    fn space() -> Vec<DesignPoint> {
+        vec![
+            point("tiny", 4.0, 0.5, 20.0),
+            point("small", 2.0, 1.0, 60.0),
+            point("mid", 1.0, 2.5, 200.0),
+            point("big", 0.5, 3.0, 800.0),
+            point("huge", 0.4, 20.0, 4000.0),
+        ]
+    }
+
+    #[test]
+    fn bisection_hits_target_share() {
+        let pts = space();
+        for share in [0.95, 0.72, 0.50, 0.10] {
+            let ctx = context_for_embodied_share(&pts, grids::US_AVERAGE, share).unwrap();
+            let mean: f64 =
+                pts.iter().map(|p| p.embodied_share(&ctx)).sum::<f64>() / pts.len() as f64;
+            assert!((mean - share).abs() < 0.01, "share {share} got {mean}");
+        }
+    }
+
+    #[test]
+    fn bisection_validation() {
+        assert!(context_for_embodied_share(&[], grids::US_AVERAGE, 0.5).is_err());
+        assert!(context_for_embodied_share(&space(), grids::US_AVERAGE, 0.0).is_err());
+        assert!(context_for_embodied_share(&space(), grids::US_AVERAGE, 1.0).is_err());
+    }
+
+    #[test]
+    fn correlation_strengthens_toward_operational_dominance() {
+        // Fig. 6: wearables show the weakest EDP-tCDP correlation,
+        // datacenters the strongest.
+        let pts = space();
+        let wearable = domain_analysis(&pts, DomainClass::Wearable).unwrap();
+        let datacenter = domain_analysis(&pts, DomainClass::Datacenter).unwrap();
+        assert!(
+            datacenter.correlation > wearable.correlation,
+            "dc {} vs wearable {}",
+            datacenter.correlation,
+            wearable.correlation
+        );
+    }
+
+    #[test]
+    fn edp_and_tcdp_optima_diverge_when_embodied_dominates() {
+        let pts = space();
+        let wearable = domain_analysis(&pts, DomainClass::Wearable).unwrap();
+        assert_ne!(wearable.edp_optimal, wearable.tcdp_optimal);
+        assert!(wearable.iso_edp_tcdp_spread >= 1.0);
+    }
+
+    #[test]
+    fn domain_metadata() {
+        assert_eq!(DomainClass::ALL.len(), 3);
+        assert!(DomainClass::Wearable.embodied_share() > DomainClass::Mobile.embodied_share());
+        assert!(DomainClass::Mobile.embodied_share() > DomainClass::Datacenter.embodied_share());
+        assert_eq!(DomainClass::Wearable.label(), "wearable");
+    }
+
+    #[test]
+    fn tcdp_under_constant_source_matches_direct() {
+        let p = point("x", 1.0, 3.6e6, 500.0);
+        let constant = ConstantCi::new(grids::US_AVERAGE);
+        let via_source = tcdp_under_source(&p, &constant, 100.0, Seconds::from_years(3.0));
+        let direct = p.tcdp(&OperationalContext::us_grid(100.0)).value();
+        assert!((via_source - direct).abs() / direct < 1e-9);
+    }
+
+    #[test]
+    fn decarbonizing_grid_lowers_tcdp() {
+        let p = point("x", 1.0, 3.6e6, 500.0);
+        let flat = ConstantCi::new(grids::US_AVERAGE);
+        let trend = TrendCi::new(grids::US_AVERAGE, 0.10).unwrap();
+        let life = Seconds::from_years(5.0);
+        assert!(
+            tcdp_under_source(&p, &trend, 100.0, life)
+                < tcdp_under_source(&p, &flat, 100.0, life)
+        );
+    }
+
+    #[test]
+    fn regret_identifies_robust_design() {
+        let pts = space();
+        let clean = ConstantCi::new(grids::SOLAR);
+        let dirty = ConstantCi::new(grids::COAL);
+        let scenarios: Vec<&dyn CiSource> = vec![&clean, &dirty];
+        let regret =
+            scenario_regret(&pts, &scenarios, 1e4, Seconds::from_years(3.0)).unwrap();
+        assert_eq!(regret.len(), pts.len());
+        // Every regret >= 1; at least one design is not universally optimal.
+        assert!(regret.iter().all(|&r| r >= 1.0 - 1e-12));
+        let min = regret.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = regret.iter().cloned().fold(0.0f64, f64::max);
+        assert!(max > min);
+        // Empty inputs are errors.
+        assert!(scenario_regret(&[], &scenarios, 1.0, Seconds::new(1.0)).is_err());
+        assert!(scenario_regret(&pts, &[], 1.0, Seconds::new(1.0)).is_err());
+    }
+}

@@ -1,0 +1,116 @@
+//! Heterogeneous CPU core models for the VR SoC case study (§VI-D).
+//!
+//! The Snapdragon XR2-class SoC in the paper's Quest 2 study is an
+//! octa-core: four efficiency ("silver") cores, three performance ("gold")
+//! cores and one "prime" gold core (eq. VI.12). Per-core areas are sized as
+//! *core slices* (core + private L2 + its share of the L3/interconnect) so
+//! that the 8-core SoC lands on the paper's 2.25 cm² and the 4-core variant
+//! on 1.35 cm² (Table V).
+
+use cordoba_carbon::units::{SquareCentimeters, SquareMillimeters, Watts};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A CPU core class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum CoreKind {
+    /// Efficiency core (Cortex-A55 class).
+    Silver,
+    /// Performance core (Cortex-A77 class).
+    Gold,
+    /// Highest-clocked performance core.
+    Prime,
+}
+
+impl CoreKind {
+    /// Single-thread throughput relative to a silver core.
+    #[must_use]
+    pub fn performance(self) -> f64 {
+        match self {
+            Self::Silver => 1.0,
+            Self::Gold => 2.5,
+            Self::Prime => 3.0,
+        }
+    }
+
+    /// Core-slice area (core + private caches + fabric share).
+    #[must_use]
+    pub fn slice_area(self) -> SquareCentimeters {
+        let mm2 = match self {
+            Self::Silver => 17.5,
+            Self::Gold => 27.5,
+            Self::Prime => 32.5,
+        };
+        SquareMillimeters::new(mm2).to_square_centimeters()
+    }
+
+    /// Dynamic power at full utilization.
+    #[must_use]
+    pub fn dynamic_power(self) -> Watts {
+        match self {
+            Self::Silver => Watts::new(0.45),
+            Self::Gold => Watts::new(1.70),
+            Self::Prime => Watts::new(2.20),
+        }
+    }
+
+    /// Leakage power (always on while the SoC is powered).
+    #[must_use]
+    pub fn leakage_power(self) -> Watts {
+        match self {
+            Self::Silver => Watts::new(0.015),
+            Self::Gold => Watts::new(0.040),
+            Self::Prime => Watts::new(0.050),
+        }
+    }
+
+    /// Energy per unit of work (one silver-core-second of demand) on this
+    /// core. Big cores race to idle: they finish the same work faster but
+    /// draw proportionally more power, with a small efficiency penalty.
+    #[must_use]
+    pub fn energy_per_work(self) -> f64 {
+        self.dynamic_power().value() / self.performance()
+    }
+}
+
+impl fmt::Display for CoreKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Self::Silver => "silver",
+            Self::Gold => "gold",
+            Self::Prime => "prime",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn performance_ordering() {
+        assert!(CoreKind::Silver.performance() < CoreKind::Gold.performance());
+        assert!(CoreKind::Gold.performance() < CoreKind::Prime.performance());
+    }
+
+    #[test]
+    fn big_cores_cost_more_area_and_power() {
+        assert!(CoreKind::Silver.slice_area() < CoreKind::Gold.slice_area());
+        assert!(CoreKind::Gold.slice_area() < CoreKind::Prime.slice_area());
+        assert!(CoreKind::Silver.dynamic_power() < CoreKind::Gold.dynamic_power());
+        assert!(CoreKind::Gold.leakage_power() < CoreKind::Prime.leakage_power());
+    }
+
+    #[test]
+    fn efficiency_cores_are_more_energy_efficient_per_work() {
+        assert!(CoreKind::Silver.energy_per_work() < CoreKind::Gold.energy_per_work());
+        assert!(CoreKind::Gold.energy_per_work() < CoreKind::Prime.energy_per_work());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(CoreKind::Silver.to_string(), "silver");
+        assert_eq!(CoreKind::Prime.to_string(), "prime");
+    }
+}

@@ -1,0 +1,240 @@
+//! Heterogeneous-core trace scheduler.
+//!
+//! Replays a thread-activity trace on a provisioned SoC and reports the
+//! stretched execution time, energy, and average power. The model:
+//!
+//! * each segment has `k` runnable threads with demands from the app model
+//!   (a heavy main thread + lighter background threads), in silver-core
+//!   throughput units;
+//! * with `k <= cores`, the i-th most demanding thread runs on the i-th
+//!   fastest core; the segment stretches by `max_i(demand_i / perf_i)` when
+//!   any thread outstrips its core;
+//! * with `k > cores`, threads time-multiplex: the segment stretches by
+//!   `max(1, main/perf_1, Σdemand / Σperf)` plus a context-switch overhead
+//!   proportional to the oversubscription;
+//! * CPU dynamic energy is work-proportional (race-to-idle); the uncore
+//!   (GPU/display/DSP) draws constant power while active, which dominates —
+//!   matching the paper's observation (Table V) that task energy is nearly
+//!   unchanged by provisioning while delay moves slightly.
+
+use crate::apps::VrApp;
+use crate::soc::SocConfig;
+use crate::traces::ActivityTrace;
+use cordoba_carbon::units::{Joules, Seconds, Watts};
+use serde::{Deserialize, Serialize};
+
+/// Context-switch stretch per unit of oversubscription (`(k - m) / m`).
+pub const CONTEXT_SWITCH_OVERHEAD: f64 = 0.25;
+/// Constant uncore power (GPU, display pipeline, DSP) while active.
+pub const UNCORE_ACTIVE_POWER: Watts = Watts::new(5.5);
+
+/// Result of replaying a trace on a SoC.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleResult {
+    /// Wall-clock duration of the (possibly stretched) trace.
+    pub duration: Seconds,
+    /// Total energy consumed (CPU dynamic + uncore + leakage).
+    pub energy: Joules,
+    /// CPU work completed, in silver-core-seconds (config-invariant).
+    pub work: f64,
+}
+
+impl ScheduleResult {
+    /// Average power over the run.
+    #[must_use]
+    pub fn average_power(&self) -> Watts {
+        self.energy / self.duration
+    }
+}
+
+/// Stretch factor of one segment with the given thread demands on `soc`.
+///
+/// Threads migrate freely (work-stealing scheduler), so the segment is
+/// bound by the serial main thread on the fastest core and by aggregate
+/// throughput; oversubscription (`k > cores`) adds context-switch overhead.
+fn segment_stretch(demands: &[f64], soc: &SocConfig) -> f64 {
+    let cores = soc.cores();
+    let k = demands.len();
+    let m = cores.len();
+    if k == 0 {
+        return 1.0;
+    }
+    let total: f64 = demands.iter().sum();
+    let main_bound = demands[0] / cores[0].performance();
+    let throughput_bound = total / soc.capacity();
+    let base = main_bound.max(throughput_bound).max(1.0);
+    let overhead = if k > m {
+        CONTEXT_SWITCH_OVERHEAD * (k - m) as f64 / m as f64
+    } else {
+        0.0
+    };
+    base + overhead
+}
+
+/// CPU dynamic power during one segment (work-proportional: the same
+/// demand spread over a stretched segment draws proportionally less power).
+fn segment_cpu_power(demands: &[f64], soc: &SocConfig, stretch: f64) -> Watts {
+    if demands.is_empty() {
+        return Watts::ZERO;
+    }
+    let total: f64 = demands.iter().sum();
+    let util = (total / soc.capacity() / stretch).min(1.0);
+    soc.cores()
+        .iter()
+        .map(|c| c.dynamic_power() * util)
+        .sum::<Watts>()
+}
+
+/// Replays `trace` (with `app`'s per-thread demands) on `soc`.
+///
+/// # Examples
+///
+/// ```
+/// use cordoba_soc::apps::VrApp;
+/// use cordoba_soc::scheduler::schedule;
+/// use cordoba_soc::soc::SocConfig;
+/// use cordoba_soc::traces::ActivityTrace;
+///
+/// let app = VrApp::m1();
+/// let trace = ActivityTrace::deterministic(&app);
+/// let full = schedule(&trace, &app, &SocConfig::quest2());
+/// let lean = schedule(&trace, &app, &SocConfig::provisioned(4)?);
+/// // Media barely slows down on 4 cores (TLP ~3.5).
+/// assert!(lean.duration.value() / full.duration.value() < 1.05);
+/// # Ok::<(), cordoba_carbon::CarbonError>(())
+/// ```
+#[must_use]
+pub fn schedule(trace: &ActivityTrace, app: &VrApp, soc: &SocConfig) -> ScheduleResult {
+    let leakage = soc.leakage_power();
+    let mut duration = Seconds::ZERO;
+    let mut energy = Joules::ZERO;
+    let mut work = 0.0;
+    for segment in trace.segments() {
+        let demands = app.thread_demands(segment.threads);
+        let stretch = segment_stretch(&demands, soc);
+        let seg_time = segment.duration * stretch;
+        let cpu = segment_cpu_power(&demands, soc, stretch);
+        let uncore = if segment.threads > 0 {
+            UNCORE_ACTIVE_POWER
+        } else {
+            Watts::ZERO
+        };
+        duration += seg_time;
+        energy += (cpu + uncore + leakage) * seg_time;
+        work += demands.iter().sum::<f64>() * segment.duration.value();
+    }
+    ScheduleResult {
+        duration,
+        energy,
+        work,
+    }
+}
+
+/// Convenience: deterministic trace + schedule in one call.
+#[must_use]
+pub fn schedule_app(app: &VrApp, soc: &SocConfig) -> ScheduleResult {
+    schedule(&ActivityTrace::deterministic(app), app, soc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_soc_runs_all_apps_without_stretch_dominated_delay() {
+        let soc = SocConfig::quest2();
+        for app in VrApp::studied_tasks() {
+            let r = schedule_app(&app, &soc);
+            let nominal = app.session.value();
+            assert!(
+                r.duration.value() < nominal * 1.02,
+                "{} stretched to {} on 8 cores",
+                app.name,
+                r.duration
+            );
+        }
+    }
+
+    #[test]
+    fn media_barely_slows_on_four_cores() {
+        // The paper's M-1 result: ~0.98 normalized FPS at 4 cores.
+        let app = VrApp::m1();
+        let full = schedule_app(&app, &SocConfig::quest2());
+        let lean = schedule_app(&app, &SocConfig::provisioned(4).unwrap());
+        let slowdown = lean.duration.value() / full.duration.value();
+        assert!(
+            (1.0..1.05).contains(&slowdown),
+            "M-1 4-core slowdown {slowdown}"
+        );
+    }
+
+    #[test]
+    fn browser_slows_more_than_media_on_four_cores() {
+        // B-1 (TLP 4.15, heavy threads) degrades noticeably more than M-1.
+        let four = SocConfig::provisioned(4).unwrap();
+        let eight = SocConfig::quest2();
+        let slow = |app: &VrApp| {
+            schedule_app(app, &four).duration.value() / schedule_app(app, &eight).duration.value()
+        };
+        let m1 = slow(&VrApp::m1());
+        let b1 = slow(&VrApp::b1());
+        assert!(b1 > m1 + 0.02, "B-1 {b1} vs M-1 {m1}");
+    }
+
+    #[test]
+    fn work_is_config_invariant() {
+        let app = VrApp::sg1();
+        let a = schedule_app(&app, &SocConfig::quest2());
+        let b = schedule_app(&app, &SocConfig::provisioned(4).unwrap());
+        assert!((a.work - b.work).abs() < 1e-9);
+        assert!(a.work > 0.0);
+    }
+
+    #[test]
+    fn energy_is_roughly_provisioning_invariant() {
+        // Table V: E = 332 J both before and after optimization. Our model
+        // should keep task energy within a few percent across provisioning.
+        let app = VrApp::m1();
+        let a = schedule_app(&app, &SocConfig::quest2());
+        let b = schedule_app(&app, &SocConfig::provisioned(4).unwrap());
+        let ratio = b.energy.value() / a.energy.value();
+        assert!((0.93..1.07).contains(&ratio), "energy ratio {ratio}");
+    }
+
+    #[test]
+    fn power_magnitude_matches_table_v() {
+        // Table V: P_total 8.3 W over the 40 s M-1 task (E = 332 J).
+        let r = schedule_app(&VrApp::m1(), &SocConfig::quest2());
+        let p = r.average_power().value();
+        assert!((6.0..10.5).contains(&p), "average power {p} W");
+    }
+
+    #[test]
+    fn stretch_edges() {
+        let soc = SocConfig::provisioned(4).unwrap();
+        assert_eq!(segment_stretch(&[], &soc), 1.0);
+        // One light thread never stretches.
+        assert_eq!(segment_stretch(&[0.5], &soc), 1.0);
+        // A thread demanding more than the prime core stretches.
+        assert!(segment_stretch(&[4.0], &soc) > 1.3);
+        // Oversubscription adds context-switch overhead even when demand
+        // fits capacity.
+        let light = vec![0.2; 8];
+        assert!(segment_stretch(&light, &soc) > 1.0);
+    }
+
+    #[test]
+    fn idle_segments_cost_only_leakage() {
+        let app = VrApp::m1();
+        let soc = SocConfig::quest2();
+        let trace = ActivityTrace::new(vec![crate::traces::Segment {
+            duration: Seconds::new(10.0),
+            threads: 0,
+        }])
+        .unwrap();
+        let r = schedule(&trace, &app, &soc);
+        let expected = soc.leakage_power().value() * 10.0;
+        assert!((r.energy.value() - expected).abs() < 1e-9);
+        assert_eq!(r.work, 0.0);
+    }
+}

@@ -1,0 +1,247 @@
+//! SoC configurations for the hardware-provisioning study (§VI-D).
+//!
+//! Provisioning is expressed exactly as eq. VI.12: the SoC has a full
+//! complement of cores and a 0/1 selection vector picks which are
+//! populated. [`SocConfig::provisioned`] reproduces the paper's 4- to
+//! 8-core sweep.
+
+use crate::cores::CoreKind;
+use cordoba_carbon::embodied::{Die, EmbodiedModel};
+use cordoba_carbon::fab::ProcessNode;
+use cordoba_carbon::units::{GramsCo2e, SquareCentimeters, SquareMillimeters, Watts};
+use cordoba_carbon::CarbonError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A provisioned SoC: a set of CPU cores plus fixed uncore (GPU, DSP,
+/// memory controllers) area and power.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SocConfig {
+    name: String,
+    cores: Vec<CoreKind>,
+    uncore_area: SquareCentimeters,
+    uncore_leakage: Watts,
+    node: ProcessNode,
+}
+
+impl SocConfig {
+    /// Uncore area of the XR2-class SoC model (GPU, DSP, modem, I/O).
+    pub const UNCORE_AREA_MM2: f64 = 40.0;
+
+    /// Creates a SoC from an explicit core list.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `cores` is empty.
+    pub fn new(name: impl Into<String>, cores: Vec<CoreKind>) -> Result<Self, CarbonError> {
+        if cores.is_empty() {
+            return Err(CarbonError::Empty { what: "soc cores" });
+        }
+        let mut cores = cores;
+        // Keep fastest-first order; the scheduler relies on it.
+        cores.sort_by(|a, b| b.performance().total_cmp(&a.performance()));
+        Ok(Self {
+            name: name.into(),
+            cores,
+            uncore_area: SquareMillimeters::new(Self::UNCORE_AREA_MM2).to_square_centimeters(),
+            uncore_leakage: Watts::new(0.10),
+            node: ProcessNode::N7,
+        })
+    }
+
+    /// The full octa-core Quest-2-class SoC: 4 silver + 3 gold + 1 prime.
+    #[must_use]
+    pub fn quest2() -> Self {
+        Self::provisioned(8).expect("8 is a valid provisioning level")
+    }
+
+    /// The paper's provisioning sweep: `count` populated cores, 4..=8.
+    ///
+    /// Cores are removed from the full SoC in balanced silver/gold pairs,
+    /// matching the eq. VI.12 selection (the 4-core point keeps 2 silver +
+    /// 1 gold + 1 prime, i.e. "2 gold-class + 2 silver" in Table V's
+    /// simplified description).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `count` is outside `4..=8`.
+    pub fn provisioned(count: u32) -> Result<Self, CarbonError> {
+        let (silver, gold) = match count {
+            8 => (4, 3),
+            7 => (3, 3),
+            6 => (3, 2),
+            5 => (2, 2),
+            4 => (2, 1),
+            _ => {
+                return Err(CarbonError::out_of_range(
+                    "provisioned cores",
+                    f64::from(count),
+                    4.0,
+                    8.0,
+                ))
+            }
+        };
+        let mut cores = vec![CoreKind::Prime];
+        cores.extend(std::iter::repeat_n(CoreKind::Gold, gold));
+        cores.extend(std::iter::repeat_n(CoreKind::Silver, silver));
+        Self::new(format!("{count}-core"), cores)
+    }
+
+    /// The configuration name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The populated cores, fastest first.
+    #[must_use]
+    pub fn cores(&self) -> &[CoreKind] {
+        &self.cores
+    }
+
+    /// Number of populated cores.
+    #[must_use]
+    pub fn core_count(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// The process node.
+    #[must_use]
+    pub fn node(&self) -> ProcessNode {
+        self.node
+    }
+
+    /// Total die area: core slices + uncore.
+    #[must_use]
+    pub fn die_area(&self) -> SquareCentimeters {
+        self.cores
+            .iter()
+            .map(|c| c.slice_area())
+            .sum::<SquareCentimeters>()
+            + self.uncore_area
+    }
+
+    /// Total aggregate compute capacity (sum of core performances, in
+    /// silver-core units).
+    #[must_use]
+    pub fn capacity(&self) -> f64 {
+        self.cores.iter().map(|c| c.performance()).sum()
+    }
+
+    /// Total leakage power (cores + uncore).
+    #[must_use]
+    pub fn leakage_power(&self) -> Watts {
+        self.cores
+            .iter()
+            .map(|c| c.leakage_power())
+            .sum::<Watts>()
+            + self.uncore_leakage
+    }
+
+    /// Embodied carbon of the SoC die.
+    ///
+    /// # Errors
+    ///
+    /// Propagates die-construction errors (cannot occur for validated
+    /// configurations).
+    pub fn embodied_carbon(&self, model: &EmbodiedModel) -> Result<GramsCo2e, CarbonError> {
+        let die = Die::new(self.name.clone(), self.die_area(), self.node)?;
+        Ok(model.die_carbon(&die))
+    }
+}
+
+impl fmt::Display for SocConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let silver = self.cores.iter().filter(|c| **c == CoreKind::Silver).count();
+        let gold = self.cores.iter().filter(|c| **c == CoreKind::Gold).count();
+        let prime = self.cores.iter().filter(|c| **c == CoreKind::Prime).count();
+        write!(
+            f,
+            "{} ({silver} silver + {gold} gold + {prime} prime, {:.2} cm^2)",
+            self.name,
+            self.die_area().value()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quest2_matches_paper_area() {
+        // Table V "before": 2.25 cm^2, 8 cores.
+        let soc = SocConfig::quest2();
+        assert_eq!(soc.core_count(), 8);
+        assert!((soc.die_area().value() - 2.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn four_core_matches_paper_area() {
+        // Table V "after": 1.35 cm^2 (1.67x reduction).
+        let soc = SocConfig::provisioned(4).unwrap();
+        assert_eq!(soc.core_count(), 4);
+        assert!((soc.die_area().value() - 1.35).abs() < 1e-9);
+        let ratio = SocConfig::quest2().die_area().value() / soc.die_area().value();
+        assert!((ratio - 1.67).abs() < 0.01);
+    }
+
+    #[test]
+    fn provisioning_sweep_is_monotone() {
+        let mut prev_area = 0.0;
+        let mut prev_capacity = 0.0;
+        for count in 4..=8 {
+            let soc = SocConfig::provisioned(count).unwrap();
+            assert_eq!(soc.core_count() as u32, count);
+            assert!(soc.die_area().value() > prev_area);
+            assert!(soc.capacity() > prev_capacity);
+            prev_area = soc.die_area().value();
+            prev_capacity = soc.capacity();
+        }
+        assert!(SocConfig::provisioned(3).is_err());
+        assert!(SocConfig::provisioned(9).is_err());
+    }
+
+    #[test]
+    fn cores_sorted_fastest_first() {
+        let soc = SocConfig::quest2();
+        for pair in soc.cores().windows(2) {
+            assert!(pair[0].performance() >= pair[1].performance());
+        }
+        assert_eq!(soc.cores()[0], CoreKind::Prime);
+    }
+
+    #[test]
+    fn embodied_scales_with_provisioning() {
+        let model = EmbodiedModel::default();
+        let big = SocConfig::quest2().embodied_carbon(&model).unwrap();
+        let small = SocConfig::provisioned(4)
+            .unwrap()
+            .embodied_carbon(&model)
+            .unwrap();
+        // Smaller die + better yield: close to the paper's ~2x.
+        let ratio = big.value() / small.value();
+        assert!(ratio > 1.6 && ratio < 2.2, "ratio {ratio}");
+    }
+
+    #[test]
+    fn leakage_falls_with_fewer_cores() {
+        assert!(
+            SocConfig::provisioned(4).unwrap().leakage_power()
+                < SocConfig::quest2().leakage_power()
+        );
+    }
+
+    #[test]
+    fn display_shows_mix() {
+        let s = SocConfig::provisioned(4).unwrap().to_string();
+        assert!(s.contains("2 silver + 1 gold + 1 prime"), "{s}");
+    }
+
+    #[test]
+    fn custom_core_list() {
+        let soc = SocConfig::new("custom", vec![CoreKind::Silver, CoreKind::Prime]).unwrap();
+        assert_eq!(soc.cores()[0], CoreKind::Prime);
+        assert!(SocConfig::new("empty", vec![]).is_err());
+    }
+}

@@ -1,0 +1,229 @@
+//! Synthetic thread-activity traces.
+//!
+//! Stands in for the paper's adb/Simpleperf/Perfetto profiling of production
+//! Quest 2 devices (§V): a trace is a timeline of how many threads are
+//! runnable. Traces can be synthesized deterministically (segment durations
+//! exactly proportional to the app's concurrency distribution — used by the
+//! benches for reproducibility) or stochastically (Markov-style sampling —
+//! used to stress-test the scheduler).
+
+use crate::apps::VrApp;
+use cordoba_carbon::units::Seconds;
+use cordoba_carbon::CarbonError;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A contiguous span of time with a fixed number of runnable threads.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Segment {
+    /// Span duration.
+    pub duration: Seconds,
+    /// Number of runnable threads (0 = idle).
+    pub threads: u32,
+}
+
+/// A thread-activity timeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ActivityTrace {
+    segments: Vec<Segment>,
+}
+
+impl ActivityTrace {
+    /// Builds a trace from raw segments.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `segments` is empty or any duration is not
+    /// positive.
+    pub fn new(segments: Vec<Segment>) -> Result<Self, CarbonError> {
+        if segments.is_empty() {
+            return Err(CarbonError::Empty {
+                what: "activity trace",
+            });
+        }
+        for s in &segments {
+            CarbonError::require_positive("segment duration", s.duration.value())?;
+        }
+        Ok(Self { segments })
+    }
+
+    /// Deterministic synthesis: one segment per concurrency level, with
+    /// duration exactly `c_k * session`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cordoba_soc::apps::VrApp;
+    /// use cordoba_soc::traces::ActivityTrace;
+    ///
+    /// let trace = ActivityTrace::deterministic(&VrApp::m1());
+    /// assert!((trace.total_duration().value() - 40.0).abs() < 1e-9);
+    /// ```
+    #[must_use]
+    pub fn deterministic(app: &VrApp) -> Self {
+        let segments = app
+            .concurrency
+            .iter()
+            .enumerate()
+            .filter(|&(_, c)| *c > 0.0)
+            .map(|(k, &c)| Segment {
+                duration: app.session * c,
+                threads: k as u32,
+            })
+            .collect();
+        Self { segments }
+    }
+
+    /// Stochastic synthesis: `steps` fixed-width slices whose thread counts
+    /// are sampled i.i.d. from the app's concurrency distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps == 0`.
+    #[must_use]
+    pub fn sampled<R: Rng + ?Sized>(rng: &mut R, app: &VrApp, steps: usize) -> Self {
+        assert!(steps > 0, "steps must be > 0");
+        let dt = app.session / steps as f64;
+        let segments = (0..steps)
+            .map(|_| {
+                let mut x: f64 = rng.gen();
+                let mut threads = 0u32;
+                for (k, &c) in app.concurrency.iter().enumerate() {
+                    if x < c {
+                        threads = k as u32;
+                        break;
+                    }
+                    x -= c;
+                    threads = k as u32;
+                }
+                Segment {
+                    duration: dt,
+                    threads,
+                }
+            })
+            .collect();
+        Self { segments }
+    }
+
+    /// The segments of the trace.
+    #[must_use]
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Total trace duration.
+    #[must_use]
+    pub fn total_duration(&self) -> Seconds {
+        self.segments.iter().map(|s| s.duration).sum()
+    }
+
+    /// Non-idle duration.
+    #[must_use]
+    pub fn active_duration(&self) -> Seconds {
+        self.segments
+            .iter()
+            .filter(|s| s.threads > 0)
+            .map(|s| s.duration)
+            .sum()
+    }
+
+    /// Thread-level parallelism of the trace:
+    /// `Σ k·t_k / Σ_{k≥1} t_k` (cores activated concurrently over non-idle
+    /// time \[6\]).
+    #[must_use]
+    pub fn tlp(&self) -> f64 {
+        let active = self.active_duration().value();
+        if active == 0.0 {
+            return 0.0;
+        }
+        let weighted: f64 = self
+            .segments
+            .iter()
+            .map(|s| f64::from(s.threads) * s.duration.value())
+            .sum();
+        weighted / active
+    }
+
+    /// Peak concurrency in the trace.
+    #[must_use]
+    pub fn peak_threads(&self) -> u32 {
+        self.segments.iter().map(|s| s.threads).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn deterministic_trace_reproduces_app_tlp() {
+        for app in VrApp::studied_tasks() {
+            let trace = ActivityTrace::deterministic(&app);
+            assert!(
+                (trace.tlp() - app.tlp()).abs() < 1e-9,
+                "{} trace TLP {} vs app {}",
+                app.name,
+                trace.tlp(),
+                app.tlp()
+            );
+            assert!((trace.total_duration().value() - app.session.value()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sampled_trace_converges_to_app_tlp() {
+        let app = VrApp::b1();
+        let mut rng = StdRng::seed_from_u64(11);
+        let trace = ActivityTrace::sampled(&mut rng, &app, 200_000);
+        assert!(
+            (trace.tlp() - app.tlp()).abs() < 0.05,
+            "sampled TLP {} vs {}",
+            trace.tlp(),
+            app.tlp()
+        );
+    }
+
+    #[test]
+    fn active_duration_excludes_idle() {
+        let app = VrApp::m1();
+        let trace = ActivityTrace::deterministic(&app);
+        let expected_active = app.session.value() * (1.0 - app.idle_fraction());
+        assert!((trace.active_duration().value() - expected_active).abs() < 1e-9);
+    }
+
+    #[test]
+    fn peak_threads() {
+        let trace = ActivityTrace::deterministic(&VrApp::m1());
+        assert_eq!(trace.peak_threads(), 8);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(ActivityTrace::new(vec![]).is_err());
+        assert!(ActivityTrace::new(vec![Segment {
+            duration: Seconds::ZERO,
+            threads: 1
+        }])
+        .is_err());
+        let ok = ActivityTrace::new(vec![Segment {
+            duration: Seconds::new(1.0),
+            threads: 2,
+        }])
+        .unwrap();
+        assert_eq!(ok.segments().len(), 1);
+        assert_eq!(ok.tlp(), 2.0);
+    }
+
+    #[test]
+    fn all_idle_trace_has_zero_tlp() {
+        let t = ActivityTrace::new(vec![Segment {
+            duration: Seconds::new(1.0),
+            threads: 0,
+        }])
+        .unwrap();
+        assert_eq!(t.tlp(), 0.0);
+        assert_eq!(t.active_duration(), Seconds::ZERO);
+    }
+}

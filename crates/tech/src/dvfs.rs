@@ -1,0 +1,264 @@
+//! Dynamic voltage and frequency scaling (DVFS) operating points.
+//!
+//! Builds on the alpha-power gate model to expose a frequency/voltage curve:
+//! the maximum clock frequency at a supply voltage is the reciprocal of the
+//! critical-path delay. Used by the Table VI bench to sweep the `V_DD` knob
+//! and by §III-C's discussion of `ED²P`/`tCD²P` for DVFS designs.
+
+use crate::mosfet::{GateModel, OperatingPoint};
+use cordoba_carbon::units::{CarbonIntensity, GramsCo2e, Hertz, Joules, Watts};
+use cordoba_carbon::CarbonError;
+use serde::{Deserialize, Serialize};
+
+/// A concrete DVFS point of a calibrated circuit.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DvfsPoint {
+    /// Supply voltage, in volts.
+    pub v_dd: f64,
+    /// Maximum clock frequency at this voltage.
+    pub frequency: Hertz,
+    /// Energy per cycle (dynamic + leakage share).
+    pub energy_per_cycle: Joules,
+    /// Leakage power at this point.
+    pub leakage_power: Watts,
+}
+
+/// A circuit calibrated at a nominal frequency and energy, scaled across
+/// voltages with the alpha-power model.
+///
+/// # Examples
+///
+/// ```
+/// use cordoba_tech::dvfs::DvfsCurve;
+/// use cordoba_tech::mosfet::GateModel;
+/// use cordoba_carbon::units::{Hertz, Joules, Watts};
+///
+/// let curve = DvfsCurve::new(
+///     GateModel::default(),
+///     Hertz::from_gigahertz(1.0),
+///     Joules::from_nanojoules(2.0),
+///     Watts::new(0.3),
+/// );
+/// let slow = curve.point(0.6)?;
+/// let fast = curve.point(1.0)?;
+/// assert!(slow.frequency < fast.frequency);
+/// assert!(slow.energy_per_cycle < fast.energy_per_cycle);
+/// # Ok::<(), cordoba_carbon::CarbonError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DvfsCurve {
+    gate: GateModel,
+    nominal_frequency: Hertz,
+    nominal_energy_per_cycle: Joules,
+    nominal_leakage: Watts,
+}
+
+impl DvfsCurve {
+    /// Calibrates a curve at the gate model's nominal operating point.
+    #[must_use]
+    pub fn new(
+        gate: GateModel,
+        nominal_frequency: Hertz,
+        nominal_energy_per_cycle: Joules,
+        nominal_leakage: Watts,
+    ) -> Self {
+        Self {
+            gate,
+            nominal_frequency,
+            nominal_energy_per_cycle,
+            nominal_leakage,
+        }
+    }
+
+    /// The DVFS point at supply voltage `v_dd` (device `V_T`, unit width).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `v_dd` does not exceed the device threshold.
+    pub fn point(&self, v_dd: f64) -> Result<DvfsPoint, CarbonError> {
+        let op = OperatingPoint::new(v_dd, self.gate.device().v_t, 1.0)?;
+        let ch = self.gate.characteristics(op);
+        let frequency = self.nominal_frequency / ch.delay;
+        let dynamic = self.nominal_energy_per_cycle * ch.dynamic_energy;
+        // Leakage power scales with the relative leakage; normalize by the
+        // nominal relative leakage so the calibrated wattage is recovered
+        // at the nominal point.
+        let nominal_rel = self
+            .gate
+            .characteristics(self.gate.nominal())
+            .leakage_power;
+        let leakage_power = if nominal_rel > 0.0 {
+            self.nominal_leakage * (ch.leakage_power / nominal_rel)
+        } else {
+            Watts::ZERO
+        };
+        let leakage_per_cycle = leakage_power * frequency.period();
+        Ok(DvfsPoint {
+            v_dd,
+            frequency,
+            energy_per_cycle: dynamic + leakage_per_cycle,
+            leakage_power,
+        })
+    }
+
+    /// Selects the DVFS point minimizing **tCDP** for a task of
+    /// `cycles_per_task` cycles run `tasks` times over the hardware's life,
+    /// with the given embodied carbon and use-phase intensity.
+    ///
+    /// This is the §III-C DVFS discussion made concrete: at short
+    /// operational lifetimes (embodied-dominant) the carbon-optimal point
+    /// is the *fastest* voltage (minimize `D`); at long lifetimes it slides
+    /// down toward the EDP-optimal voltage — and, unlike `ED²P`/`tCD²P`,
+    /// the tCDP selection has a direct budget interpretation.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the sweep range is invalid or the inputs are not
+    /// positive.
+    #[allow(clippy::too_many_arguments)]
+    pub fn tcdp_optimal_point(
+        &self,
+        cycles_per_task: f64,
+        embodied: GramsCo2e,
+        tasks: f64,
+        ci_use: CarbonIntensity,
+        v_lo: f64,
+        v_hi: f64,
+        steps: usize,
+    ) -> Result<DvfsPoint, CarbonError> {
+        CarbonError::require_positive("cycles per task", cycles_per_task)?;
+        CarbonError::require_positive("tasks", tasks)?;
+        CarbonError::require_in_range("embodied", embodied.value(), 0.0, f64::MAX)?;
+        let points = self.sweep(v_lo, v_hi, steps)?;
+        points
+            .into_iter()
+            .min_by(|a, b| {
+                let tcdp = |p: &DvfsPoint| {
+                    let delay = cycles_per_task / p.frequency.value();
+                    let energy = p.energy_per_cycle * cycles_per_task;
+                    let operational =
+                        ci_use * (energy * tasks).to_kilowatt_hours();
+                    (embodied + operational).value() * delay
+                };
+                tcdp(a).total_cmp(&tcdp(b))
+            })
+            .ok_or(CarbonError::Empty {
+                what: "dvfs sweep points",
+            })
+    }
+
+    /// Sweeps `n` evenly spaced points over `[v_lo, v_hi]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the range is invalid or any voltage is at or
+    /// below threshold.
+    pub fn sweep(&self, v_lo: f64, v_hi: f64, n: usize) -> Result<Vec<DvfsPoint>, CarbonError> {
+        if n < 2 || v_hi <= v_lo {
+            return Err(CarbonError::out_of_range("sweep range", v_hi, v_lo, 2.0));
+        }
+        (0..n)
+            .map(|i| {
+                let v = v_lo + (v_hi - v_lo) * i as f64 / (n - 1) as f64;
+                self.point(v)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn curve() -> DvfsCurve {
+        DvfsCurve::new(
+            GateModel::default(),
+            Hertz::from_gigahertz(1.0),
+            Joules::from_nanojoules(2.0),
+            Watts::new(0.3),
+        )
+    }
+
+    #[test]
+    fn nominal_point_recovers_calibration() {
+        let c = curve();
+        let p = c.point(0.8).unwrap();
+        assert!((p.frequency.to_gigahertz() - 1.0).abs() < 1e-9);
+        assert!((p.leakage_power.value() - 0.3).abs() < 1e-9);
+        // Energy per cycle = dynamic + leakage share.
+        let expected = 2e-9 + 0.3 * 1e-9;
+        assert!((p.energy_per_cycle.value() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn frequency_monotonic_in_vdd() {
+        let c = curve();
+        let pts = c.sweep(0.5, 1.1, 7).unwrap();
+        for w in pts.windows(2) {
+            assert!(w[1].frequency > w[0].frequency);
+        }
+    }
+
+    #[test]
+    fn high_vdd_pays_quadratic_energy() {
+        let c = curve();
+        let lo = c.point(0.8).unwrap();
+        let hi = c.point(1.2).unwrap();
+        // Dynamic energy alone scales (1.2/0.8)^2 = 2.25x; leakage-per-cycle
+        // shrinks with the faster clock, so the ratio is slightly below.
+        let ratio = hi.energy_per_cycle.value() / lo.energy_per_cycle.value();
+        assert!(ratio > 1.9 && ratio < 2.3, "ratio {ratio}");
+    }
+
+    #[test]
+    fn sweep_validation() {
+        let c = curve();
+        assert!(c.sweep(1.0, 0.5, 5).is_err());
+        assert!(c.sweep(0.5, 1.0, 1).is_err());
+        assert!(c.point(0.2).is_err()); // below threshold
+    }
+
+    #[test]
+    fn tcdp_optimal_voltage_falls_as_operational_time_grows() {
+        // Embodied-dominant: run fast (high V_DD). Operational-dominant:
+        // run near the EDP-optimal voltage.
+        let c = curve();
+        let embodied = GramsCo2e::new(1_000.0);
+        let ci = CarbonIntensity::new(380.0);
+        let cycles = 1e9;
+        let pick = |tasks: f64| {
+            c.tcdp_optimal_point(cycles, embodied, tasks, ci, 0.45, 1.2, 64)
+                .unwrap()
+                .v_dd
+        };
+        let short_life = pick(1.0);
+        let long_life = pick(1e9);
+        assert!(
+            short_life > long_life + 0.05,
+            "short {short_life} vs long {long_life}"
+        );
+        assert!((short_life - 1.2).abs() < 1e-9, "embodied-dominant runs flat out");
+        // The long-life choice is interior (not the minimum voltage either:
+        // leakage and delay push back).
+        assert!(long_life > 0.45 + 1e-9);
+    }
+
+    #[test]
+    fn tcdp_selection_validation() {
+        let c = curve();
+        let g = GramsCo2e::new(1.0);
+        let ci = CarbonIntensity::new(380.0);
+        assert!(c.tcdp_optimal_point(0.0, g, 1.0, ci, 0.5, 1.0, 8).is_err());
+        assert!(c.tcdp_optimal_point(1.0, g, 0.0, ci, 0.5, 1.0, 8).is_err());
+        assert!(c.tcdp_optimal_point(1.0, g, 1.0, ci, 1.0, 0.5, 8).is_err());
+    }
+
+    #[test]
+    fn near_threshold_leakage_dominates_energy_per_cycle() {
+        let c = curve();
+        let p = c.point(0.42).unwrap();
+        let leak_per_cycle = p.leakage_power * p.frequency.period();
+        // At near-threshold speeds the leakage share is significant.
+        assert!(leak_per_cycle.value() / p.energy_per_cycle.value() > 0.2);
+    }
+}

@@ -1,0 +1,43 @@
+//! # cordoba-tech
+//!
+//! Technology/device substrate for the CORDOBA framework.
+//!
+//! Implements the device-physics models the paper's metric discussion
+//! (§III) and design-knob discussion (§VII, Table VI) rest on:
+//!
+//! * [`mosfet`] — alpha-power-law MOSFET gate model \[42\]: delay, dynamic
+//!   energy, and subthreshold leakage versus `V_DD`, `V_T`, and width,
+//!   including the ideal-square-law special case under which `ED²` is
+//!   `V_DD`-independent;
+//! * [`dvfs`] — calibrated voltage/frequency curves for DVFS sweeps;
+//! * [`scaling`] — porting a fixed logic design across process nodes,
+//!   coupling energy/area gains against rising per-area embodied carbon;
+//! * [`knobs`] — programmatic evaluation of the paper's Table VI.
+//!
+//! # Example
+//!
+//! ```
+//! use cordoba_tech::mosfet::{GateModel, OperatingPoint};
+//!
+//! let gate = GateModel::default();
+//! let low_power = OperatingPoint::new(0.6, 0.3, 1.0)?;
+//! let ch = gate.characteristics(low_power);
+//! assert!(ch.dynamic_energy < 1.0 && ch.delay > 1.0);
+//! # Ok::<(), cordoba_carbon::CarbonError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod dvfs;
+pub mod knobs;
+pub mod mosfet;
+pub mod scaling;
+
+/// Convenience re-exports of the most commonly used items.
+pub mod prelude {
+    pub use crate::dvfs::{DvfsCurve, DvfsPoint};
+    pub use crate::knobs::{evaluate_knobs, Direction, Knob, KnobEffect};
+    pub use crate::mosfet::{DeviceParams, GateCharacteristics, GateModel, OperatingPoint};
+    pub use crate::scaling::{LogicDesign, ScalingRow};
+}

@@ -1,0 +1,369 @@
+//! Alpha-power-law MOSFET model (Sakurai–Newton \[42\]).
+//!
+//! The paper's §III-A argues that `ED²` was only a `V_DD`-independent metric
+//! under the antiquated ideal square-law model (`α = 2`, `V_T = 0`, energy
+//! `∝ C·V_DD²`, no leakage) and that those assumptions fail for modern
+//! short-channel devices. This module implements the alpha-power model so
+//! that claim can be demonstrated quantitatively (see the `ed2p` tests and
+//! the Table VI bench).
+//!
+//! All outputs are *relative* quantities (normalized to a nominal operating
+//! point); the absolute calibration lives in the fab profiles of
+//! `cordoba-carbon` and in `cordoba-accel`.
+
+use cordoba_carbon::CarbonError;
+use serde::{Deserialize, Serialize};
+
+/// Device-level parameters of a logic technology.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeviceParams {
+    /// Velocity-saturation index `α` (2.0 for the ideal square law,
+    /// ~1.3 for modern short-channel devices).
+    pub alpha: f64,
+    /// Threshold voltage, in volts.
+    pub v_t: f64,
+    /// Subthreshold swing factor `n·v_T` in volts (≈ 0.036 V at 300 K for
+    /// n = 1.4); controls how leakage grows as `V_T` drops.
+    pub subthreshold_swing: f64,
+    /// Fraction of nominal total power that is leakage at the nominal
+    /// operating point.
+    pub leakage_fraction_nominal: f64,
+}
+
+impl DeviceParams {
+    /// A modern short-channel FinFET-like device.
+    #[must_use]
+    pub fn modern() -> Self {
+        Self {
+            alpha: 1.3,
+            v_t: 0.30,
+            subthreshold_swing: 0.036,
+            leakage_fraction_nominal: 0.15,
+        }
+    }
+
+    /// The ideal long-channel square-law device of Dennard-era analyses
+    /// (`α = 2`, `V_T = 0`, no leakage). Under this device, `ED²` is
+    /// `V_DD`-independent.
+    #[must_use]
+    pub fn ideal_square_law() -> Self {
+        Self {
+            alpha: 2.0,
+            v_t: 0.0,
+            subthreshold_swing: 0.036,
+            leakage_fraction_nominal: 0.0,
+        }
+    }
+
+    /// Validates the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `alpha` is outside `[1, 2]`, `v_t` is negative,
+    /// or fractions are outside `[0, 1)`.
+    pub fn validate(&self) -> Result<(), CarbonError> {
+        CarbonError::require_in_range("alpha", self.alpha, 1.0, 2.0)?;
+        CarbonError::require_in_range("v_t", self.v_t, 0.0, 2.0)?;
+        CarbonError::require_positive("subthreshold swing", self.subthreshold_swing)?;
+        CarbonError::require_in_range(
+            "leakage fraction",
+            self.leakage_fraction_nominal,
+            0.0,
+            1.0 - 1e-9,
+        )?;
+        Ok(())
+    }
+}
+
+impl Default for DeviceParams {
+    fn default() -> Self {
+        Self::modern()
+    }
+}
+
+/// An operating point: supply and threshold voltage, plus a relative
+/// transistor width.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OperatingPoint {
+    /// Supply voltage, in volts.
+    pub v_dd: f64,
+    /// Threshold voltage, in volts (overrides the device nominal when the
+    /// design uses a different `V_T` flavor).
+    pub v_t: f64,
+    /// Transistor width relative to nominal (1.0 = nominal).
+    pub width: f64,
+}
+
+impl OperatingPoint {
+    /// Creates an operating point.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless `v_dd > v_t >= 0` and `width > 0`.
+    pub fn new(v_dd: f64, v_t: f64, width: f64) -> Result<Self, CarbonError> {
+        CarbonError::require_in_range("v_t", v_t, 0.0, 2.0)?;
+        CarbonError::require_positive("width", width)?;
+        CarbonError::require_positive("v_dd", v_dd)?;
+        if v_dd <= v_t {
+            return Err(CarbonError::out_of_range("v_dd", v_dd, v_t + 1e-9, 2.0));
+        }
+        Ok(Self { v_dd, v_t, width })
+    }
+
+    /// The nominal point for a device: `V_DD = 0.8 V`, device `V_T`,
+    /// unit width.
+    #[must_use]
+    pub fn nominal(device: &DeviceParams) -> Self {
+        Self {
+            v_dd: 0.8,
+            v_t: device.v_t,
+            width: 1.0,
+        }
+    }
+}
+
+/// Evaluated gate characteristics at an operating point, relative to the
+/// device's nominal point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GateCharacteristics {
+    /// Gate delay relative to nominal (lower is faster).
+    pub delay: f64,
+    /// Dynamic switching energy relative to nominal.
+    pub dynamic_energy: f64,
+    /// Leakage power relative to nominal *total* power.
+    pub leakage_power: f64,
+}
+
+/// The alpha-power-law gate model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GateModel {
+    device: DeviceParams,
+    nominal: OperatingPoint,
+}
+
+impl GateModel {
+    /// Creates a model around the device's nominal operating point.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the device parameters are invalid.
+    pub fn new(device: DeviceParams) -> Result<Self, CarbonError> {
+        device.validate()?;
+        Ok(Self {
+            nominal: OperatingPoint::nominal(&device),
+            device,
+        })
+    }
+
+    /// The device parameters.
+    #[must_use]
+    pub fn device(&self) -> &DeviceParams {
+        &self.device
+    }
+
+    /// The nominal operating point.
+    #[must_use]
+    pub fn nominal(&self) -> OperatingPoint {
+        self.nominal
+    }
+
+    /// Drive current relative to nominal: `I ∝ W (V_DD - V_T)^α`.
+    #[must_use]
+    pub fn drive_current(&self, op: OperatingPoint) -> f64 {
+        let num = op.width * (op.v_dd - op.v_t).max(0.0).powf(self.device.alpha);
+        let den = self.nominal.width
+            * (self.nominal.v_dd - self.nominal.v_t)
+                .max(0.0)
+                .powf(self.device.alpha);
+        num / den
+    }
+
+    /// Evaluates gate characteristics at `op`, relative to nominal.
+    ///
+    /// * delay `∝ C V_DD / I` with `C ∝ W`;
+    /// * dynamic energy `∝ C V_DD²`;
+    /// * leakage power `∝ W V_DD e^(-V_T / swing)`, scaled so that it equals
+    ///   `leakage_fraction_nominal / (1 - leakage_fraction_nominal)` of the
+    ///   nominal dynamic power at the nominal point.
+    #[must_use]
+    pub fn characteristics(&self, op: OperatingPoint) -> GateCharacteristics {
+        let nom = self.nominal;
+        // Delay: C*V / I, C ∝ width; width cancels within drive current.
+        let delay = (op.width * op.v_dd / self.drive_current(op))
+            / (nom.width * nom.v_dd / self.drive_current(nom));
+        let dynamic_energy =
+            (op.width * op.v_dd * op.v_dd) / (nom.width * nom.v_dd * nom.v_dd);
+        let leak_rel = (op.width * op.v_dd * (-(op.v_t) / self.device.subthreshold_swing).exp())
+            / (nom.width * nom.v_dd * (-(nom.v_t) / self.device.subthreshold_swing).exp());
+        let lf = self.device.leakage_fraction_nominal;
+        // Normalize so leakage_power is in units of "nominal dynamic power".
+        let leakage_power = if lf > 0.0 {
+            leak_rel * lf / (1.0 - lf)
+        } else {
+            0.0
+        };
+        GateCharacteristics {
+            delay,
+            dynamic_energy,
+            leakage_power,
+        }
+    }
+
+    /// Energy per operation including leakage, relative to nominal dynamic
+    /// energy, for a circuit whose critical path sets the cycle time:
+    /// `E = E_dyn + P_leak · delay`.
+    #[must_use]
+    pub fn energy_per_op(&self, op: OperatingPoint) -> f64 {
+        let ch = self.characteristics(op);
+        ch.dynamic_energy + ch.leakage_power * ch.delay
+    }
+
+    /// Energy-delay product relative to nominal.
+    #[must_use]
+    pub fn edp(&self, op: OperatingPoint) -> f64 {
+        let ch = self.characteristics(op);
+        self.energy_per_op(op) * ch.delay
+    }
+
+    /// Energy-delay² product relative to nominal.
+    #[must_use]
+    pub fn ed2p(&self, op: OperatingPoint) -> f64 {
+        let ch = self.characteristics(op);
+        self.energy_per_op(op) * ch.delay * ch.delay
+    }
+}
+
+impl Default for GateModel {
+    fn default() -> Self {
+        Self::new(DeviceParams::modern()).expect("modern device params are valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op(v_dd: f64, v_t: f64, width: f64) -> OperatingPoint {
+        OperatingPoint::new(v_dd, v_t, width).unwrap()
+    }
+
+    #[test]
+    fn nominal_point_is_unity() {
+        let m = GateModel::default();
+        let ch = m.characteristics(m.nominal());
+        assert!((ch.delay - 1.0).abs() < 1e-12);
+        assert!((ch.dynamic_energy - 1.0).abs() < 1e-12);
+        // Leakage fraction 0.15 -> P_leak = 0.15/0.85 of dynamic power.
+        assert!((ch.leakage_power - 0.15 / 0.85).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lowering_vdd_saves_energy_costs_delay() {
+        // Table VI row 1: V_DD ↓ -> E ↓ (good), D ↑ (bad).
+        let m = GateModel::default();
+        let low = m.characteristics(op(0.6, 0.3, 1.0));
+        assert!(low.dynamic_energy < 1.0);
+        assert!(low.delay > 1.0);
+    }
+
+    #[test]
+    fn raising_vt_cuts_leakage_costs_delay() {
+        // Table VI row 2: V_T ↑ -> E ↓ (leakage), D ↑.
+        let m = GateModel::default();
+        let hi_vt = m.characteristics(op(0.8, 0.4, 1.0));
+        let nominal = m.characteristics(m.nominal());
+        assert!(hi_vt.leakage_power < nominal.leakage_power / 5.0);
+        assert!(hi_vt.delay > 1.0);
+        assert!((hi_vt.dynamic_energy - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn narrower_transistors_save_energy_cost_nothing_on_gate_delay_alone() {
+        // Width scales both C and I, so intrinsic gate delay is unchanged,
+        // but in real circuits narrower devices drive fixed wire loads more
+        // slowly; here energy strictly improves.
+        let m = GateModel::default();
+        let narrow = m.characteristics(op(0.8, 0.3, 0.5));
+        assert!(narrow.dynamic_energy < 1.0);
+        assert!(narrow.leakage_power < m.characteristics(m.nominal()).leakage_power);
+    }
+
+    #[test]
+    fn drive_current_follows_alpha_power() {
+        let m = GateModel::new(DeviceParams {
+            alpha: 1.3,
+            v_t: 0.3,
+            subthreshold_swing: 0.036,
+            leakage_fraction_nominal: 0.15,
+        })
+        .unwrap();
+        let i = m.drive_current(op(1.0, 0.3, 1.0));
+        let expected = ((1.0f64 - 0.3) / (0.8 - 0.3)).powf(1.3);
+        assert!((i - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ed2p_is_vdd_independent_only_for_ideal_square_law() {
+        // §III-A: under α=2, V_T=0, no leakage, ED² is V_DD-independent.
+        let ideal = GateModel::new(DeviceParams::ideal_square_law()).unwrap();
+        let a = ideal.ed2p(op(0.5, 0.0, 1.0));
+        let b = ideal.ed2p(op(1.0, 0.0, 1.0));
+        assert!(
+            (a - b).abs() / b < 1e-9,
+            "ideal ED2P should be V_DD-independent: {a} vs {b}"
+        );
+
+        // For a modern device it is strongly V_DD-dependent.
+        let modern = GateModel::default();
+        let a = modern.ed2p(op(0.5, 0.3, 1.0));
+        let b = modern.ed2p(op(1.0, 0.3, 1.0));
+        assert!(
+            (a - b).abs() / b > 0.3,
+            "modern ED2P should vary with V_DD: {a} vs {b}"
+        );
+    }
+
+    #[test]
+    fn edp_has_interior_optimum_in_vdd() {
+        // EDP improves as V_DD drops from high values, then worsens as the
+        // device approaches V_T (delay explodes) — an interior optimum, the
+        // reason EDP "automatically selects" V_DD (§III-A).
+        let m = GateModel::default();
+        let edps: Vec<f64> = [0.40, 0.55, 0.8, 1.2]
+            .iter()
+            .map(|&v| m.edp(op(v, 0.3, 1.0)))
+            .collect();
+        let min = edps.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(min < edps[0], "EDP at 0.40 V should not be optimal");
+        assert!(min < edps[3], "EDP at 1.2 V should not be optimal");
+    }
+
+    #[test]
+    fn energy_per_op_includes_leakage_at_low_vdd() {
+        // Near-threshold operation: dynamic energy falls but leakage energy
+        // per op rises with the longer cycle.
+        let m = GateModel::default();
+        let low = op(0.42, 0.3, 1.0);
+        let ch = m.characteristics(low);
+        let total = m.energy_per_op(low);
+        assert!(total > ch.dynamic_energy);
+    }
+
+    #[test]
+    fn operating_point_validation() {
+        assert!(OperatingPoint::new(0.3, 0.3, 1.0).is_err()); // v_dd <= v_t
+        assert!(OperatingPoint::new(0.8, -0.1, 1.0).is_err());
+        assert!(OperatingPoint::new(0.8, 0.3, 0.0).is_err());
+        assert!(OperatingPoint::new(0.8, 0.3, 1.0).is_ok());
+    }
+
+    #[test]
+    fn device_validation() {
+        let mut d = DeviceParams::modern();
+        d.alpha = 3.0;
+        assert!(GateModel::new(d).is_err());
+        let mut d = DeviceParams::modern();
+        d.leakage_fraction_nominal = 1.0;
+        assert!(GateModel::new(d).is_err());
+    }
+}

@@ -1,0 +1,218 @@
+//! Process-node scaling of a fixed logic design (§VII, Table VI).
+//!
+//! Couples the per-node fab profiles of `cordoba-carbon` with a logic design
+//! to answer: *if I port this design to node N, what happens to its area,
+//! energy, delay, leakage — and its embodied carbon per die?*
+//!
+//! The paper's headline tension: advancing the node improves energy/op and
+//! area (thus delay at iso-architecture), but raises embodied carbon *per
+//! unit area* — so the embodied carbon of a fixed design falls slower than
+//! its energy does, and can even rise once per-area fab intensity outpaces
+//! density gains.
+
+use cordoba_carbon::embodied::{Die, EmbodiedModel};
+use cordoba_carbon::fab::ProcessNode;
+use cordoba_carbon::units::{GramsCo2e, SquareCentimeters};
+use cordoba_carbon::CarbonError;
+use serde::{Deserialize, Serialize};
+
+/// A fixed logic design characterized at a reference node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LogicDesign {
+    /// Human-readable name.
+    pub name: String,
+    /// Die area when fabricated at the reference node.
+    pub reference_area: SquareCentimeters,
+    /// The node the design is characterized at.
+    pub reference_node: ProcessNode,
+    /// Relative energy per operation at the reference node (1.0 = the
+    /// reference node's own `energy_per_op`).
+    pub reference_energy: f64,
+}
+
+impl LogicDesign {
+    /// Creates a design.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the area is not positive.
+    pub fn new(
+        name: impl Into<String>,
+        reference_area: SquareCentimeters,
+        reference_node: ProcessNode,
+    ) -> Result<Self, CarbonError> {
+        CarbonError::require_positive("reference area", reference_area.value())?;
+        Ok(Self {
+            name: name.into(),
+            reference_area,
+            reference_node,
+            reference_energy: 1.0,
+        })
+    }
+
+    /// The design's die area when ported to `node`.
+    #[must_use]
+    pub fn area_at(&self, node: ProcessNode) -> SquareCentimeters {
+        let ref_density = self.reference_node.profile().logic_density;
+        let density = node.profile().logic_density;
+        self.reference_area * (ref_density / density)
+    }
+
+    /// Relative energy per operation when ported to `node`
+    /// (1.0 = reference node).
+    #[must_use]
+    pub fn energy_at(&self, node: ProcessNode) -> f64 {
+        let ref_e = self.reference_node.profile().energy_per_op;
+        node.profile().energy_per_op / ref_e * self.reference_energy
+    }
+
+    /// Relative delay per operation when ported to `node`. We model delay
+    /// as improving with the same trend as energy but more slowly
+    /// (sqrt), reflecting post-Dennard wire-dominated scaling.
+    #[must_use]
+    pub fn delay_at(&self, node: ProcessNode) -> f64 {
+        self.energy_at(node).sqrt()
+    }
+
+    /// Embodied carbon of one die of this design at `node`.
+    #[must_use]
+    pub fn embodied_at(&self, node: ProcessNode, model: &EmbodiedModel) -> GramsCo2e {
+        let die = Die {
+            name: self.name.clone(),
+            area: self.area_at(node),
+            node,
+        };
+        model.die_carbon(&die)
+    }
+
+    /// Full scaling row for `node`: (area, relative energy, relative delay,
+    /// embodied carbon).
+    #[must_use]
+    pub fn scaling_row(&self, node: ProcessNode, model: &EmbodiedModel) -> ScalingRow {
+        ScalingRow {
+            node,
+            area: self.area_at(node),
+            energy: self.energy_at(node),
+            delay: self.delay_at(node),
+            embodied: self.embodied_at(node, model),
+        }
+    }
+
+    /// Scaling rows for every node on the roadmap.
+    #[must_use]
+    pub fn roadmap(&self, model: &EmbodiedModel) -> Vec<ScalingRow> {
+        ProcessNode::ALL
+            .iter()
+            .map(|&n| self.scaling_row(n, model))
+            .collect()
+    }
+}
+
+/// One node's scaling characteristics for a fixed design.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScalingRow {
+    /// The node.
+    pub node: ProcessNode,
+    /// Die area at this node.
+    pub area: SquareCentimeters,
+    /// Energy per op relative to the design's reference node.
+    pub energy: f64,
+    /// Delay per op relative to the design's reference node.
+    pub delay: f64,
+    /// Embodied carbon of one die.
+    pub embodied: GramsCo2e,
+}
+
+impl ScalingRow {
+    /// Relative energy-delay product.
+    #[must_use]
+    pub fn edp(&self) -> f64 {
+        self.energy * self.delay
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn design() -> LogicDesign {
+        LogicDesign::new("soc", SquareCentimeters::new(4.0), ProcessNode::N28).unwrap()
+    }
+
+    #[test]
+    fn porting_forward_shrinks_area_and_energy() {
+        let d = design();
+        let a7 = d.area_at(ProcessNode::N7);
+        assert!(a7 < d.reference_area);
+        assert!((a7.value() - 4.0 / 6.7).abs() < 1e-9);
+        assert!(d.energy_at(ProcessNode::N7) < 1.0);
+        assert!(d.delay_at(ProcessNode::N7) < 1.0);
+        assert!((d.energy_at(ProcessNode::N28) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn edp_always_improves_with_scaling() {
+        // §VII: "scaling has always improved energy efficiency (EDP)".
+        let d = design();
+        let model = EmbodiedModel::default();
+        let rows = d.roadmap(&model);
+        for w in rows.windows(2) {
+            assert!(
+                w[1].edp() < w[0].edp(),
+                "EDP should improve {} -> {}",
+                w[0].node,
+                w[1].node
+            );
+        }
+    }
+
+    #[test]
+    fn embodied_per_area_rises_even_as_die_shrinks() {
+        // The embodied carbon of the fixed design falls much more slowly
+        // than its area: per-area fab carbon rises with newer nodes.
+        let d = design();
+        let model = EmbodiedModel::default();
+        let r28 = d.scaling_row(ProcessNode::N28, &model);
+        let r3 = d.scaling_row(ProcessNode::N3, &model);
+        let area_ratio = r28.area.value() / r3.area.value();
+        let carbon_ratio = r28.embodied.value() / r3.embodied.value();
+        assert!(
+            carbon_ratio < area_ratio / 2.0,
+            "embodied should shrink far slower than area: area {area_ratio}, carbon {carbon_ratio}"
+        );
+    }
+
+    #[test]
+    fn node_knob_trades_energy_efficiency_against_embodied_per_area() {
+        // Table VI bottom row: Tech node ↓ (advance) -> E↓ D↓ (good) but
+        // per-area embodied ↑ (bad).
+        let model = EmbodiedModel::default();
+        let unit = SquareCentimeters::new(1.0);
+        for pair in ProcessNode::ALL.windows(2) {
+            let old = model.die_carbon(&Die {
+                name: "u".into(),
+                area: unit,
+                node: pair[0],
+            });
+            let new = model.die_carbon(&Die {
+                name: "u".into(),
+                area: unit,
+                node: pair[1],
+            });
+            assert!(new > old, "per-area embodied must rise {} -> {}", pair[0], pair[1]);
+        }
+    }
+
+    #[test]
+    fn roadmap_covers_all_nodes_in_order() {
+        let rows = design().roadmap(&EmbodiedModel::default());
+        assert_eq!(rows.len(), ProcessNode::ALL.len());
+        assert_eq!(rows[0].node, ProcessNode::N28);
+        assert_eq!(rows.last().unwrap().node, ProcessNode::N3);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(LogicDesign::new("x", SquareCentimeters::ZERO, ProcessNode::N7).is_err());
+    }
+}

@@ -1,0 +1,323 @@
+//! Task delay and energy evaluation (paper eq. IV.2 and IV.4).
+//!
+//! Given per-kernel costs measured on some hardware target (from the
+//! accelerator simulator or a CPU model), a task's delay is
+//! `D_T = Σ_K N_{T,K} · D_K` and its energy is
+//! `E_T = Σ_K N_{T,K} · P_dyn,K · D_K + P_leak · D_T`.
+
+use crate::kernel::KernelId;
+use crate::task::Task;
+use cordoba_carbon::units::{Joules, Seconds, Watts};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Cost of one kernel invocation on some hardware target.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KernelCost {
+    /// Execution time of one invocation (`D_K`).
+    pub delay: Seconds,
+    /// Average dynamic power while executing (`P_dyn,K`).
+    pub dynamic_power: Watts,
+}
+
+impl KernelCost {
+    /// Creates a cost entry.
+    #[must_use]
+    pub fn new(delay: Seconds, dynamic_power: Watts) -> Self {
+        Self {
+            delay,
+            dynamic_power,
+        }
+    }
+
+    /// Dynamic energy of one invocation.
+    #[must_use]
+    pub fn dynamic_energy(&self) -> Joules {
+        self.dynamic_power * self.delay
+    }
+}
+
+/// A table of per-kernel costs on one hardware target.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct CostTable {
+    costs: BTreeMap<KernelId, KernelCost>,
+    /// Hardware leakage power, applied for the full task duration.
+    pub leakage_power: Watts,
+}
+
+impl CostTable {
+    /// Creates an empty table with the given leakage power.
+    #[must_use]
+    pub fn new(leakage_power: Watts) -> Self {
+        Self {
+            costs: BTreeMap::new(),
+            leakage_power,
+        }
+    }
+
+    /// Inserts (or replaces) the cost of a kernel, returning `self` for
+    /// chaining.
+    pub fn with(mut self, kernel: KernelId, cost: KernelCost) -> Self {
+        self.costs.insert(kernel, cost);
+        self
+    }
+
+    /// Inserts (or replaces) the cost of a kernel.
+    pub fn insert(&mut self, kernel: KernelId, cost: KernelCost) -> Option<KernelCost> {
+        self.costs.insert(kernel, cost)
+    }
+
+    /// Looks up a kernel's cost.
+    #[must_use]
+    pub fn get(&self, kernel: KernelId) -> Option<KernelCost> {
+        self.costs.get(&kernel).copied()
+    }
+
+    /// Number of kernels with known costs.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.costs.len()
+    }
+
+    /// `true` when no costs are recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.costs.is_empty()
+    }
+
+    /// Task delay `D_T = Σ N_{T,K} · D_K` (eq. IV.2).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MissingKernel`] if the task references a kernel this table
+    /// has no cost for.
+    pub fn task_delay(&self, task: &Task) -> Result<Seconds, MissingKernel> {
+        let mut total = Seconds::ZERO;
+        for (kernel, calls) in task.entries() {
+            let cost = self.get(kernel).ok_or(MissingKernel { kernel })?;
+            total += cost.delay * calls;
+        }
+        Ok(total)
+    }
+
+    /// Task energy `E_T = Σ N_{T,K} · P_dyn,K · D_K + P_leak · D_T`
+    /// (eq. IV.4).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MissingKernel`] if the task references a kernel this table
+    /// has no cost for.
+    pub fn task_energy(&self, task: &Task) -> Result<Joules, MissingKernel> {
+        let mut dynamic = Joules::ZERO;
+        for (kernel, calls) in task.entries() {
+            let cost = self.get(kernel).ok_or(MissingKernel { kernel })?;
+            dynamic += cost.dynamic_energy() * calls;
+        }
+        let delay = self.task_delay(task)?;
+        Ok(dynamic + self.leakage_power * delay)
+    }
+
+    /// Average power over a task execution (`E_T / D_T`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MissingKernel`] if the task references an unknown kernel.
+    pub fn task_power(&self, task: &Task) -> Result<Watts, MissingKernel> {
+        Ok(self.task_energy(task)? / self.task_delay(task)?)
+    }
+}
+
+impl FromIterator<(KernelId, KernelCost)> for CostTable {
+    fn from_iter<I: IntoIterator<Item = (KernelId, KernelCost)>>(iter: I) -> Self {
+        Self {
+            costs: iter.into_iter().collect(),
+            leakage_power: Watts::ZERO,
+        }
+    }
+}
+
+impl Extend<(KernelId, KernelCost)> for CostTable {
+    fn extend<I: IntoIterator<Item = (KernelId, KernelCost)>>(&mut self, iter: I) {
+        self.costs.extend(iter);
+    }
+}
+
+/// Error: a task references a kernel with no recorded cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MissingKernel {
+    /// The kernel that was missing.
+    pub kernel: KernelId,
+}
+
+impl std::fmt::Display for MissingKernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "no cost recorded for kernel {}", self.kernel)
+    }
+}
+
+impl std::error::Error for MissingKernel {}
+
+/// The multi-task matrix form of eq. IV.2/IV.4: evaluates delay and energy
+/// vectors for a set of tasks over a shared cost table.
+///
+/// # Examples
+///
+/// ```
+/// use cordoba_workloads::cost::{CostTable, KernelCost, TaskVector};
+/// use cordoba_workloads::kernel::KernelId;
+/// use cordoba_workloads::task::Task;
+/// use cordoba_carbon::units::{Seconds, Watts};
+///
+/// let table = CostTable::new(Watts::new(0.1))
+///     .with(KernelId::ResNet18, KernelCost::new(Seconds::new(0.01), Watts::new(2.0)));
+/// let tasks = vec![Task::new("t", vec![(KernelId::ResNet18, 3.0)])?];
+/// let vec = TaskVector::evaluate(&tasks, &table)?;
+/// assert!((vec.total_delay().value() - 0.03).abs() < 1e-12);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskVector {
+    delays: Vec<Seconds>,
+    energies: Vec<Joules>,
+}
+
+impl TaskVector {
+    /// Evaluates the delay and energy of every task.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MissingKernel`] if any task references an unknown kernel.
+    pub fn evaluate(tasks: &[Task], table: &CostTable) -> Result<Self, MissingKernel> {
+        let mut delays = Vec::with_capacity(tasks.len());
+        let mut energies = Vec::with_capacity(tasks.len());
+        for task in tasks {
+            delays.push(table.task_delay(task)?);
+            energies.push(table.task_energy(task)?);
+        }
+        Ok(Self { delays, energies })
+    }
+
+    /// Per-task delays (`D` of eq. IV.2).
+    #[must_use]
+    pub fn delays(&self) -> &[Seconds] {
+        &self.delays
+    }
+
+    /// Per-task energies (`E` of eq. IV.4).
+    #[must_use]
+    pub fn energies(&self) -> &[Joules] {
+        &self.energies
+    }
+
+    /// `1ᵀ D` — the sum of all task delays.
+    #[must_use]
+    pub fn total_delay(&self) -> Seconds {
+        self.delays.iter().sum()
+    }
+
+    /// `1ᵀ E` — the sum of all task energies (feeds eq. IV.6).
+    #[must_use]
+    pub fn total_energy(&self) -> Joules {
+        self.energies.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> CostTable {
+        CostTable::new(Watts::new(0.5))
+            .with(
+                KernelId::ResNet18,
+                KernelCost::new(Seconds::new(0.010), Watts::new(2.0)),
+            )
+            .with(
+                KernelId::Sr512,
+                KernelCost::new(Seconds::new(0.040), Watts::new(4.0)),
+            )
+    }
+
+    #[test]
+    fn delay_is_weighted_sum() {
+        let t = Task::new(
+            "mix",
+            vec![(KernelId::ResNet18, 2.0), (KernelId::Sr512, 1.0)],
+        )
+        .unwrap();
+        let d = table().task_delay(&t).unwrap();
+        assert!((d.value() - (2.0 * 0.010 + 0.040)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_adds_leakage_over_task_delay() {
+        let t = Task::new(
+            "mix",
+            vec![(KernelId::ResNet18, 2.0), (KernelId::Sr512, 1.0)],
+        )
+        .unwrap();
+        let tbl = table();
+        let e = tbl.task_energy(&t).unwrap();
+        let dynamic = 2.0 * 2.0 * 0.010 + 4.0 * 0.040;
+        let leak = 0.5 * (2.0 * 0.010 + 0.040);
+        assert!((e.value() - (dynamic + leak)).abs() < 1e-12);
+        let p = tbl.task_power(&t).unwrap();
+        assert!((p.value() - e.value() / 0.06).abs() < 1e-9);
+    }
+
+    #[test]
+    fn missing_kernel_is_an_error() {
+        let t = Task::uniform("u", [KernelId::UNet]).unwrap();
+        let err = table().task_delay(&t).unwrap_err();
+        assert_eq!(err.kernel, KernelId::UNet);
+        assert!(err.to_string().contains("UNet"));
+        assert!(table().task_energy(&t).is_err());
+    }
+
+    #[test]
+    fn task_vector_matches_scalar_path() {
+        let tasks = vec![
+            Task::uniform("a", [KernelId::ResNet18]).unwrap(),
+            Task::new("b", vec![(KernelId::Sr512, 3.0)]).unwrap(),
+        ];
+        let tbl = table();
+        let v = TaskVector::evaluate(&tasks, &tbl).unwrap();
+        assert_eq!(v.delays().len(), 2);
+        for (i, task) in tasks.iter().enumerate() {
+            assert_eq!(v.delays()[i], tbl.task_delay(task).unwrap());
+            assert_eq!(v.energies()[i], tbl.task_energy(task).unwrap());
+        }
+        assert_eq!(v.total_delay(), v.delays().iter().copied().sum());
+        assert_eq!(v.total_energy(), v.energies().iter().copied().sum());
+    }
+
+    #[test]
+    fn cost_table_collection_traits() {
+        let mut t: CostTable = [(
+            KernelId::UNet,
+            KernelCost::new(Seconds::new(1.0), Watts::new(1.0)),
+        )]
+        .into_iter()
+        .collect();
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+        t.extend([(
+            KernelId::Denoise,
+            KernelCost::new(Seconds::new(2.0), Watts::new(1.0)),
+        )]);
+        assert_eq!(t.len(), 2);
+        let prev = t.insert(
+            KernelId::UNet,
+            KernelCost::new(Seconds::new(3.0), Watts::new(1.0)),
+        );
+        assert!(prev.is_some());
+        assert_eq!(t.get(KernelId::UNet).unwrap().delay, Seconds::new(3.0));
+        assert!(CostTable::default().is_empty());
+    }
+
+    #[test]
+    fn dynamic_energy_of_cost() {
+        let c = KernelCost::new(Seconds::new(0.5), Watts::new(3.0));
+        assert_eq!(c.dynamic_energy(), Joules::new(1.5));
+    }
+}

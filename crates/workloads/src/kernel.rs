@@ -1,0 +1,254 @@
+//! The fifteen AI/XR kernels the paper evaluates (§V, Table IV).
+//!
+//! Each kernel is characterized by the three quantities the accelerator
+//! simulator needs: compute (multiply-accumulate operations per inference),
+//! peak activation footprint, and weight footprint. The absolute values are
+//! synthesized from the public architectures the paper cites (\[23\], \[43\],
+//! \[51\], ...) assuming 8-bit inference; what the results depend on is the
+//! *relative* structure — e.g. super-resolution kernels having activation
+//! footprints that grow 4x per resolution step and dwarf on-chip SRAM.
+
+use cordoba_carbon::units::Bytes;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of one of the fifteen evaluated kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum KernelId {
+    /// ResNet-18 image classification \[23\].
+    ResNet18,
+    /// ResNet-50 image classification \[23\].
+    ResNet50,
+    /// ResNet-152 image classification \[23\].
+    ResNet152,
+    /// GoogleNet image classification \[51\].
+    GoogleNet,
+    /// MobileNet-V2 image classification \[43\].
+    MobileNetV2,
+    /// Eye tracking (SegNet-based) \[4\].
+    EyeTracking,
+    /// Depth estimation, 3D aggregation network \[30\].
+    DepthAgg3d,
+    /// Depth estimation / pose, high-resolution network \[49\].
+    Hrnet,
+    /// Emotion detection (E-FAN) \[52\].
+    EmotionFan,
+    /// Hand tracking, joint-location prediction \[33\].
+    HandJlp,
+    /// Image denoising, U-Net \[40\].
+    UNet,
+    /// Image denoising, feature-align network \[55\].
+    Denoise,
+    /// Super-resolution at 256x256 \[5\].
+    Sr256,
+    /// Super-resolution at 512x512 \[5\].
+    Sr512,
+    /// Super-resolution at 1024x1024 \[5\].
+    Sr1024,
+}
+
+impl KernelId {
+    /// All fifteen kernels.
+    pub const ALL: [KernelId; 15] = [
+        Self::ResNet18,
+        Self::ResNet50,
+        Self::ResNet152,
+        Self::GoogleNet,
+        Self::MobileNetV2,
+        Self::EyeTracking,
+        Self::DepthAgg3d,
+        Self::Hrnet,
+        Self::EmotionFan,
+        Self::HandJlp,
+        Self::UNet,
+        Self::Denoise,
+        Self::Sr256,
+        Self::Sr512,
+        Self::Sr1024,
+    ];
+
+    /// The short name used in the paper's Table IV.
+    #[must_use]
+    pub fn short_name(self) -> &'static str {
+        match self {
+            Self::ResNet18 => "RN-18",
+            Self::ResNet50 => "RN-50",
+            Self::ResNet152 => "RN-152",
+            Self::GoogleNet => "GN",
+            Self::MobileNetV2 => "MN2",
+            Self::EyeTracking => "ET",
+            Self::DepthAgg3d => "3D-Agg",
+            Self::Hrnet => "HRN",
+            Self::EmotionFan => "E-FAN",
+            Self::HandJlp => "JLP",
+            Self::UNet => "UNet",
+            Self::Denoise => "DN",
+            Self::Sr256 => "SR (256x256)",
+            Self::Sr512 => "SR (512x512)",
+            Self::Sr1024 => "SR (1024x1024)",
+        }
+    }
+
+    /// The workload descriptor for this kernel.
+    #[must_use]
+    pub fn descriptor(self) -> KernelDescriptor {
+        // Columns: GMACs/inference, peak activation MiB, weight MiB (INT8).
+        let (gmacs, act_mib, weight_mib) = match self {
+            Self::ResNet18 => (1.8, 3.0, 11.7),
+            Self::ResNet50 => (4.1, 9.0, 25.6),
+            Self::ResNet152 => (11.5, 12.0, 60.2),
+            Self::GoogleNet => (1.5, 5.0, 7.0),
+            Self::MobileNetV2 => (0.3, 4.0, 3.5),
+            Self::EyeTracking => (3.0, 12.0, 29.5),
+            Self::DepthAgg3d => (5.5, 30.0, 20.0),
+            Self::Hrnet => (8.0, 40.0, 28.5),
+            Self::EmotionFan => (2.0, 8.0, 24.0),
+            Self::HandJlp => (1.2, 6.0, 12.0),
+            Self::UNet => (10.0, 48.0, 31.0),
+            Self::Denoise => (6.0, 36.0, 15.0),
+            Self::Sr256 => (4.0, 18.0, 12.0),
+            Self::Sr512 => (16.0, 72.0, 12.0),
+            Self::Sr1024 => (64.0, 288.0, 12.0),
+        };
+        KernelDescriptor {
+            id: self,
+            macs: gmacs * 1e9,
+            activation: Bytes::from_mebibytes(act_mib),
+            weights: Bytes::from_mebibytes(weight_mib),
+        }
+    }
+
+    /// Whether this kernel has high activation-memory requirements (the
+    /// paper's depth-estimation / denoising / super-resolution group).
+    #[must_use]
+    pub fn is_activation_heavy(self) -> bool {
+        self.descriptor().activation.to_mebibytes() > 16.0
+    }
+}
+
+impl fmt::Display for KernelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.short_name())
+    }
+}
+
+/// Compute/memory characterization of one kernel inference.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KernelDescriptor {
+    /// Which kernel this describes.
+    pub id: KernelId,
+    /// Multiply-accumulate operations per inference.
+    pub macs: f64,
+    /// Peak activation working-set size.
+    pub activation: Bytes,
+    /// Weight footprint.
+    pub weights: Bytes,
+}
+
+impl KernelDescriptor {
+    /// Arithmetic intensity proxy: MACs per byte of activation + weight
+    /// traffic if nothing is cached. Low values are memory-bound.
+    #[must_use]
+    pub fn arithmetic_intensity(&self) -> f64 {
+        self.macs / (self.activation.value() + self.weights.value())
+    }
+
+    /// Activation bytes per MAC — the pressure a kernel puts on on-chip
+    /// activation memory relative to its compute.
+    #[must_use]
+    pub fn activation_per_mac(&self) -> f64 {
+        self.activation.value() / self.macs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifteen_kernels() {
+        assert_eq!(KernelId::ALL.len(), 15);
+        // All distinct.
+        let mut names: Vec<_> = KernelId::ALL.iter().map(|k| k.short_name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 15);
+    }
+
+    #[test]
+    fn descriptors_are_positive_and_consistent() {
+        for k in KernelId::ALL {
+            let d = k.descriptor();
+            assert_eq!(d.id, k);
+            assert!(d.macs > 0.0, "{k} macs");
+            assert!(d.activation.is_positive(), "{k} activation");
+            assert!(d.weights.is_positive(), "{k} weights");
+            assert!(d.arithmetic_intensity() > 0.0);
+        }
+    }
+
+    #[test]
+    fn super_resolution_scales_4x_per_resolution_step() {
+        let a256 = KernelId::Sr256.descriptor().activation.value();
+        let a512 = KernelId::Sr512.descriptor().activation.value();
+        let a1024 = KernelId::Sr1024.descriptor().activation.value();
+        assert!((a512 / a256 - 4.0).abs() < 1e-9);
+        assert!((a1024 / a512 - 4.0).abs() < 1e-9);
+        let m512 = KernelId::Sr512.descriptor().macs;
+        let m1024 = KernelId::Sr1024.descriptor().macs;
+        assert!((m1024 / m512 - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn activation_heavy_group_matches_paper() {
+        // §V: depth estimation, image denoising and super-resolution suffer
+        // from high activation memory requirements.
+        for k in [
+            KernelId::DepthAgg3d,
+            KernelId::Hrnet,
+            KernelId::UNet,
+            KernelId::Denoise,
+            KernelId::Sr256,
+            KernelId::Sr512,
+            KernelId::Sr1024,
+        ] {
+            assert!(k.is_activation_heavy(), "{k} should be activation-heavy");
+        }
+        for k in [
+            KernelId::ResNet18,
+            KernelId::ResNet50,
+            KernelId::GoogleNet,
+            KernelId::MobileNetV2,
+            KernelId::EyeTracking,
+            KernelId::HandJlp,
+            KernelId::EmotionFan,
+        ] {
+            assert!(!k.is_activation_heavy(), "{k} should not be activation-heavy");
+        }
+    }
+
+    #[test]
+    fn resnets_order_by_depth() {
+        let m18 = KernelId::ResNet18.descriptor().macs;
+        let m50 = KernelId::ResNet50.descriptor().macs;
+        let m152 = KernelId::ResNet152.descriptor().macs;
+        assert!(m18 < m50 && m50 < m152);
+    }
+
+    #[test]
+    fn super_resolution_pressures_activation_memory_more_than_resnets() {
+        // §V: SR kernels stress activation memory/bandwidth; classification
+        // kernels are compute-dominated per activation byte.
+        let rn = KernelId::ResNet50.descriptor().activation_per_mac();
+        let sr = KernelId::Sr1024.descriptor().activation_per_mac();
+        assert!(sr > 1.5 * rn, "sr {sr} vs rn {rn}");
+    }
+
+    #[test]
+    fn display_matches_table_iv_names() {
+        assert_eq!(KernelId::Sr512.to_string(), "SR (512x512)");
+        assert_eq!(KernelId::DepthAgg3d.to_string(), "3D-Agg");
+        assert_eq!(KernelId::MobileNetV2.to_string(), "MN2");
+    }
+}

@@ -1,0 +1,681 @@
+//! Per-layer kernel models.
+//!
+//! The paper's simulator (Fig. 5) consumes PyTorch models layer by layer;
+//! the aggregate [`KernelDescriptor`]
+//! numbers summarize that structure.
+//!
+//! [`KernelDescriptor`]: crate::kernel::KernelDescriptor This module rebuilds the layer level:
+//! each kernel is a sequence of conv/depthwise/FC layers (generated from
+//! compact backbone recipes) plus *resident* buffers (burst frames, skip
+//! connections) that stay live across layers. The accelerator simulator can
+//! then resolve SRAM pressure per layer instead of per kernel.
+//!
+//! All tensors are INT8 (1 byte/element), matching the aggregate tables.
+
+use crate::kernel::{KernelDescriptor, KernelId};
+use cordoba_carbon::units::Bytes;
+use serde::{Deserialize, Serialize};
+
+/// One neural-network layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Layer {
+    /// Standard 2-D convolution.
+    Conv2d {
+        /// Output feature-map height.
+        out_h: u32,
+        /// Output feature-map width.
+        out_w: u32,
+        /// Input channels.
+        in_c: u32,
+        /// Output channels.
+        out_c: u32,
+        /// Square kernel size.
+        kernel: u32,
+        /// Stride (input resolution is `out * stride`).
+        stride: u32,
+    },
+    /// Depthwise 2-D convolution.
+    DepthwiseConv2d {
+        /// Output feature-map height.
+        out_h: u32,
+        /// Output feature-map width.
+        out_w: u32,
+        /// Channels.
+        channels: u32,
+        /// Square kernel size.
+        kernel: u32,
+        /// Stride.
+        stride: u32,
+    },
+    /// Fully connected layer.
+    FullyConnected {
+        /// Input features.
+        inputs: u32,
+        /// Output features.
+        outputs: u32,
+    },
+}
+
+impl Layer {
+    /// Multiply-accumulate operations of this layer.
+    #[must_use]
+    pub fn macs(&self) -> f64 {
+        match *self {
+            Self::Conv2d {
+                out_h,
+                out_w,
+                in_c,
+                out_c,
+                kernel,
+                ..
+            } => {
+                f64::from(out_h) * f64::from(out_w) * f64::from(in_c) * f64::from(out_c)
+                    * f64::from(kernel * kernel)
+            }
+            Self::DepthwiseConv2d {
+                out_h,
+                out_w,
+                channels,
+                kernel,
+                ..
+            } => f64::from(out_h) * f64::from(out_w) * f64::from(channels)
+                * f64::from(kernel * kernel),
+            Self::FullyConnected { inputs, outputs } => f64::from(inputs) * f64::from(outputs),
+        }
+    }
+
+    /// Bytes of the layer's input activation tensor.
+    #[must_use]
+    pub fn input_bytes(&self) -> Bytes {
+        match *self {
+            Self::Conv2d {
+                out_h,
+                out_w,
+                in_c,
+                stride,
+                ..
+            } => Bytes::new(
+                f64::from(out_h * stride) * f64::from(out_w * stride) * f64::from(in_c),
+            ),
+            Self::DepthwiseConv2d {
+                out_h,
+                out_w,
+                channels,
+                stride,
+                ..
+            } => Bytes::new(
+                f64::from(out_h * stride) * f64::from(out_w * stride) * f64::from(channels),
+            ),
+            Self::FullyConnected { inputs, .. } => Bytes::new(f64::from(inputs)),
+        }
+    }
+
+    /// Bytes of the layer's output activation tensor.
+    #[must_use]
+    pub fn output_bytes(&self) -> Bytes {
+        match *self {
+            Self::Conv2d {
+                out_h, out_w, out_c, ..
+            } => Bytes::new(f64::from(out_h) * f64::from(out_w) * f64::from(out_c)),
+            Self::DepthwiseConv2d {
+                out_h,
+                out_w,
+                channels,
+                ..
+            } => Bytes::new(f64::from(out_h) * f64::from(out_w) * f64::from(channels)),
+            Self::FullyConnected { outputs, .. } => Bytes::new(f64::from(outputs)),
+        }
+    }
+
+    /// Bytes of the layer's weights.
+    #[must_use]
+    pub fn weight_bytes(&self) -> Bytes {
+        match *self {
+            Self::Conv2d {
+                in_c, out_c, kernel, ..
+            } => Bytes::new(f64::from(in_c) * f64::from(out_c) * f64::from(kernel * kernel)),
+            Self::DepthwiseConv2d {
+                channels, kernel, ..
+            } => Bytes::new(f64::from(channels) * f64::from(kernel * kernel)),
+            Self::FullyConnected { inputs, outputs } => {
+                Bytes::new(f64::from(inputs) * f64::from(outputs))
+            }
+        }
+    }
+
+    /// The layer's transient working set: input + output activations.
+    #[must_use]
+    pub fn working_set(&self) -> Bytes {
+        self.input_bytes() + self.output_bytes()
+    }
+}
+
+/// A kernel expressed as layers plus resident (cross-layer) buffers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayeredKernel {
+    /// Which kernel this realizes.
+    pub id: KernelId,
+    /// The layer sequence.
+    pub layers: Vec<Layer>,
+    /// Buffers live across the whole network: burst frames, skip
+    /// connections, reference features.
+    pub resident: Bytes,
+}
+
+impl LayeredKernel {
+    /// Total MACs per inference.
+    #[must_use]
+    pub fn total_macs(&self) -> f64 {
+        self.layers.iter().map(Layer::macs).sum()
+    }
+
+    /// Total weight bytes.
+    #[must_use]
+    pub fn total_weights(&self) -> Bytes {
+        self.layers.iter().map(Layer::weight_bytes).sum()
+    }
+
+    /// Peak activation footprint: resident buffers plus the largest
+    /// per-layer working set.
+    #[must_use]
+    pub fn peak_activation(&self) -> Bytes {
+        let peak_layer = self
+            .layers
+            .iter()
+            .map(|l| l.working_set())
+            .fold(Bytes::ZERO, Bytes::max);
+        self.resident + peak_layer
+    }
+
+    /// Collapses the layered model back into an aggregate descriptor.
+    #[must_use]
+    pub fn to_descriptor(&self) -> KernelDescriptor {
+        KernelDescriptor {
+            id: self.id,
+            macs: self.total_macs(),
+            activation: self.peak_activation(),
+            weights: self.total_weights(),
+        }
+    }
+
+
+    /// Builds the layered model for a kernel.
+    ///
+    /// Generator parameters (stage widths, stem strides, resident and
+    /// auxiliary-weight constants) are calibrated so the collapsed totals
+    /// track the aggregate [`KernelDescriptor`] table; the classifier
+    /// recipes for the ResNets are the canonical architectures.
+    #[must_use]
+    pub fn for_kernel(id: KernelId) -> Self {
+        match id {
+            KernelId::ResNet18 => classifier(
+                id, 224, 64, &[(2, 64), (2, 128), (2, 256), (2, 512)], false, 1000, 2.0, 0.0,
+            ),
+            KernelId::ResNet50 => classifier(
+                id, 224, 64, &[(3, 64), (4, 128), (6, 256), (3, 512)], true, 1000, 8.0, 0.0,
+            ),
+            KernelId::ResNet152 => classifier(
+                id, 224, 64, &[(3, 64), (8, 128), (36, 256), (3, 512)], true, 1000, 10.8, 0.0,
+            ),
+            KernelId::GoogleNet => classifier(
+                id, 224, 64, &[(2, 72), (2, 128), (2, 192), (2, 256)], false, 1000, 3.2, 3.0,
+            ),
+            KernelId::MobileNetV2 => mobilenet(id, 224, 1.0, 1.1, 1.2),
+            KernelId::EyeTracking => encoder_decoder(id, 320, 2, 34, 3, 7.0, 28.6),
+            KernelId::DepthAgg3d => encoder_decoder(id, 384, 2, 38, 3, 21.0, 19.0),
+            KernelId::Hrnet => encoder_decoder(id, 448, 2, 40, 3, 29.0, 26.5),
+            KernelId::EmotionFan => classifier(
+                id, 256, 64, &[(2, 80), (2, 150), (2, 235), (2, 300)], false, 512, 6.0, 14.0,
+            ),
+            KernelId::HandJlp => encoder_decoder(id, 256, 2, 26, 3, 4.0, 11.5),
+            KernelId::UNet => encoder_decoder(id, 512, 2, 34, 4, 36.0, 28.7),
+            KernelId::Denoise => encoder_decoder(id, 448, 2, 34, 3, 26.0, 13.8),
+            KernelId::Sr256 => super_resolution(id, 256),
+            KernelId::Sr512 => super_resolution(id, 512),
+            KernelId::Sr1024 => super_resolution(id, 1024),
+        }
+    }
+
+    /// Layered models for all fifteen kernels.
+    #[must_use]
+    pub fn all() -> Vec<Self> {
+        KernelId::ALL.iter().map(|&id| Self::for_kernel(id)).collect()
+    }
+}
+
+/// A ResNet-style classifier: strided 7x7 stem, four stages of residual
+/// blocks (basic 2-conv or bottleneck 1-3-1 with 4x expansion) at falling
+/// resolution, final FC. `resident_mib` models framework buffers; 
+/// `extra_weight_mib` models auxiliary heads/embeddings not expressed as
+/// layers.
+#[allow(clippy::too_many_arguments)]
+fn classifier(
+    id: KernelId,
+    input: u32,
+    stem_c: u32,
+    stages: &[(u32, u32)],
+    bottleneck: bool,
+    classes: u32,
+    resident_mib: f64,
+    extra_weight_mib: f64,
+) -> LayeredKernel {
+    let mut layers = vec![Layer::Conv2d {
+        out_h: input / 2,
+        out_w: input / 2,
+        in_c: 3,
+        out_c: stem_c,
+        kernel: 7,
+        stride: 2,
+    }];
+    let mut res = input / 4;
+    let mut in_c = stem_c;
+    for (stage_idx, &(blocks, width)) in stages.iter().enumerate() {
+        for b in 0..blocks {
+            let out_c = if bottleneck { width * 4 } else { width };
+            // Stages after the first downsample on their first block.
+            let stride = if b == 0 && stage_idx > 0 { 2 } else { 1 };
+            let out_res = if stride == 2 { res / 2 } else { res };
+            if bottleneck {
+                layers.push(Layer::Conv2d {
+                    out_h: res,
+                    out_w: res,
+                    in_c,
+                    out_c: width,
+                    kernel: 1,
+                    stride: 1,
+                });
+                layers.push(Layer::Conv2d {
+                    out_h: out_res,
+                    out_w: out_res,
+                    in_c: width,
+                    out_c: width,
+                    kernel: 3,
+                    stride,
+                });
+                layers.push(Layer::Conv2d {
+                    out_h: out_res,
+                    out_w: out_res,
+                    in_c: width,
+                    out_c,
+                    kernel: 1,
+                    stride: 1,
+                });
+            } else {
+                layers.push(Layer::Conv2d {
+                    out_h: out_res,
+                    out_w: out_res,
+                    in_c,
+                    out_c,
+                    kernel: 3,
+                    stride,
+                });
+                layers.push(Layer::Conv2d {
+                    out_h: out_res,
+                    out_w: out_res,
+                    in_c: out_c,
+                    out_c,
+                    kernel: 3,
+                    stride: 1,
+                });
+            }
+            res = out_res;
+            in_c = out_c;
+        }
+    }
+    layers.push(Layer::FullyConnected {
+        inputs: in_c,
+        outputs: classes,
+    });
+    if extra_weight_mib > 0.0 {
+        // Auxiliary heads / embeddings, folded into one FC.
+        let params = (extra_weight_mib * 1024.0 * 1024.0) as u32;
+        layers.push(Layer::FullyConnected {
+            inputs: 1024,
+            outputs: params / 1024,
+        });
+    }
+    LayeredKernel {
+        id,
+        layers,
+        resident: Bytes::from_mebibytes(resident_mib),
+    }
+}
+
+/// A MobileNet-V2-style inverted-residual stack.
+fn mobilenet(
+    id: KernelId,
+    input: u32,
+    width: f64,
+    resident_mib: f64,
+    extra_weight_mib: f64,
+) -> LayeredKernel {
+    let c = |base: u32| ((f64::from(base) * width) as u32).max(8);
+    let mut layers = vec![Layer::Conv2d {
+        out_h: input / 2,
+        out_w: input / 2,
+        in_c: 3,
+        out_c: c(32),
+        kernel: 3,
+        stride: 2,
+    }];
+    let mut res = input / 2;
+    let mut in_c = c(32);
+    for &(channels, stride, repeats) in &[
+        (c(24), 2u32, 2u32),
+        (c(32), 2, 3),
+        (c(64), 2, 4),
+        (c(96), 1, 3),
+        (c(160), 2, 3),
+    ] {
+        for r in 0..repeats {
+            let s = if r == 0 { stride } else { 1 };
+            let out_res = res / s;
+            let expanded = in_c * 6;
+            layers.push(Layer::Conv2d {
+                out_h: res,
+                out_w: res,
+                in_c,
+                out_c: expanded,
+                kernel: 1,
+                stride: 1,
+            });
+            layers.push(Layer::DepthwiseConv2d {
+                out_h: out_res,
+                out_w: out_res,
+                channels: expanded,
+                kernel: 3,
+                stride: s,
+            });
+            layers.push(Layer::Conv2d {
+                out_h: out_res,
+                out_w: out_res,
+                in_c: expanded,
+                out_c: channels,
+                kernel: 1,
+                stride: 1,
+            });
+            res = out_res;
+            in_c = channels;
+        }
+    }
+    layers.push(Layer::FullyConnected {
+        inputs: in_c * 7,
+        outputs: 1000,
+    });
+    if extra_weight_mib > 0.0 {
+        let params = (extra_weight_mib * 1024.0 * 1024.0) as u32;
+        layers.push(Layer::FullyConnected {
+            inputs: 1024,
+            outputs: params / 1024,
+        });
+    }
+    LayeredKernel {
+        id,
+        layers,
+        resident: Bytes::from_mebibytes(resident_mib),
+    }
+}
+
+/// A U-Net/SegNet-style encoder-decoder with skip connections: the
+/// network processes at `input / stem_stride` internally; encoder feature
+/// maps stay resident until the decoder consumes them.
+/// `extra_weight_mib` folds in the deep narrow-resolution trunk layers not
+/// modeled individually.
+fn encoder_decoder(
+    id: KernelId,
+    input: u32,
+    stem_stride: u32,
+    base_c: u32,
+    depth: u32,
+    extra_resident_mib: f64,
+    extra_weight_mib: f64,
+) -> LayeredKernel {
+    let c = |level: u32| base_c << level.min(3);
+    let mut layers = Vec::new();
+    let mut resident = Bytes::from_mebibytes(extra_resident_mib);
+    // Stem (strided).
+    layers.push(Layer::Conv2d {
+        out_h: input / stem_stride,
+        out_w: input / stem_stride,
+        in_c: 3,
+        out_c: base_c,
+        kernel: 3,
+        stride: stem_stride,
+    });
+    let mut res = input / stem_stride;
+    let mut in_c = base_c;
+    // Encoder.
+    for level in 0..depth {
+        let out_c = c(level);
+        layers.push(Layer::Conv2d {
+            out_h: res,
+            out_w: res,
+            in_c,
+            out_c,
+            kernel: 3,
+            stride: 1,
+        });
+        layers.push(Layer::Conv2d {
+            out_h: res / 2,
+            out_w: res / 2,
+            in_c: out_c,
+            out_c,
+            kernel: 3,
+            stride: 2,
+        });
+        // Skip connection: the pre-downsample map stays live.
+        resident += Bytes::new(f64::from(res) * f64::from(res) * f64::from(out_c));
+        in_c = out_c;
+        res /= 2;
+    }
+    // Decoder.
+    for level in (0..depth).rev() {
+        let out_c = c(level);
+        res *= 2;
+        layers.push(Layer::Conv2d {
+            out_h: res,
+            out_w: res,
+            in_c: in_c + out_c, // concatenated skip
+            out_c,
+            kernel: 3,
+            stride: 1,
+        });
+        in_c = out_c;
+    }
+    // Output head at full input resolution.
+    layers.push(Layer::Conv2d {
+        out_h: input,
+        out_w: input,
+        in_c,
+        out_c: 3,
+        kernel: 3,
+        stride: 1,
+    });
+    if extra_weight_mib > 0.0 {
+        let params = (extra_weight_mib * 1024.0 * 1024.0) as u32;
+        layers.push(Layer::FullyConnected {
+            inputs: 1024,
+            outputs: params / 1024,
+        });
+    }
+    LayeredKernel {
+        id,
+        layers,
+        resident,
+    }
+}
+
+/// A burst super-resolution network \[5\]: several input frames are aligned
+/// and fused, so burst feature buffers stay resident while a
+/// constant-resolution conv body runs.
+fn super_resolution(id: KernelId, res: u32) -> LayeredKernel {
+    let channels = 24u32;
+    let body_layers = 11usize;
+    let burst_frames = 8.0;
+    let mut layers = vec![Layer::Conv2d {
+        out_h: res,
+        out_w: res,
+        in_c: 3,
+        out_c: channels,
+        kernel: 3,
+        stride: 1,
+    }];
+    for _ in 0..body_layers {
+        layers.push(Layer::Conv2d {
+            out_h: res,
+            out_w: res,
+            in_c: channels,
+            out_c: channels,
+            kernel: 3,
+            stride: 1,
+        });
+    }
+    layers.push(Layer::Conv2d {
+        out_h: res,
+        out_w: res,
+        in_c: channels,
+        out_c: 3,
+        kernel: 3,
+        stride: 1,
+    });
+    // Frame alignment / fusion network weights (resolution-independent),
+    // folded into one FC.
+    layers.push(Layer::FullyConnected {
+        inputs: 1024,
+        outputs: (11.9 * 1024.0) as u32,
+    });
+    // Burst frame features resident across the body.
+    let resident = Bytes::new(f64::from(res) * f64::from(res) * f64::from(channels) * burst_frames);
+    LayeredKernel {
+        id,
+        layers,
+        resident,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layer_arithmetic() {
+        let conv = Layer::Conv2d {
+            out_h: 56,
+            out_w: 56,
+            in_c: 64,
+            out_c: 128,
+            kernel: 3,
+            stride: 2,
+        };
+        assert!((conv.macs() - 56.0 * 56.0 * 64.0 * 128.0 * 9.0).abs() < 1.0);
+        assert_eq!(conv.input_bytes(), Bytes::new(112.0 * 112.0 * 64.0));
+        assert_eq!(conv.output_bytes(), Bytes::new(56.0 * 56.0 * 128.0));
+        assert_eq!(conv.weight_bytes(), Bytes::new(64.0 * 128.0 * 9.0));
+        assert_eq!(conv.working_set(), conv.input_bytes() + conv.output_bytes());
+
+        let dw = Layer::DepthwiseConv2d {
+            out_h: 28,
+            out_w: 28,
+            channels: 192,
+            kernel: 3,
+            stride: 1,
+        };
+        assert!((dw.macs() - 28.0 * 28.0 * 192.0 * 9.0).abs() < 1.0);
+        assert_eq!(dw.weight_bytes(), Bytes::new(192.0 * 9.0));
+
+        let fc = Layer::FullyConnected {
+            inputs: 512,
+            outputs: 1000,
+        };
+        assert!((fc.macs() - 512_000.0).abs() < 1.0);
+        assert_eq!(fc.weight_bytes(), Bytes::new(512_000.0));
+        assert_eq!(fc.working_set(), Bytes::new(1512.0));
+    }
+
+    #[test]
+    fn every_kernel_has_a_layered_model() {
+        let all = LayeredKernel::all();
+        assert_eq!(all.len(), 15);
+        for lk in &all {
+            assert!(!lk.layers.is_empty(), "{:?}", lk.id);
+            assert!(lk.total_macs() > 0.0);
+            assert!(lk.total_weights().is_positive());
+            assert!(lk.peak_activation().is_positive());
+        }
+    }
+
+    #[test]
+    fn layered_totals_track_aggregate_descriptors() {
+        // The layered generators are calibrated to the aggregate table;
+        // every axis must land within 1.4x.
+        for lk in LayeredKernel::all() {
+            let agg = lk.id.descriptor();
+            let derived = lk.to_descriptor();
+            let check = |name: &str, a: f64, b: f64, tol: f64| {
+                let ratio = (a / b).max(b / a);
+                assert!(
+                    ratio < tol,
+                    "{:?} {name}: layered {a:.3e} vs aggregate {b:.3e} ({ratio:.2}x)",
+                    lk.id
+                );
+            };
+            check("macs", derived.macs, agg.macs, 1.4);
+            check(
+                "activation",
+                derived.activation.value(),
+                agg.activation.value(),
+                1.4,
+            );
+            check("weights", derived.weights.value(), agg.weights.value(), 1.4);
+        }
+    }
+
+    #[test]
+    fn sr_resolution_scaling_is_quadratic_in_layers_too() {
+        let s256 = LayeredKernel::for_kernel(KernelId::Sr256);
+        let s1024 = LayeredKernel::for_kernel(KernelId::Sr1024);
+        assert!((s1024.total_macs() / s256.total_macs() - 16.0).abs() < 0.1);
+        assert!(
+            (s1024.peak_activation().value() / s256.peak_activation().value() - 16.0).abs() < 0.5
+        );
+        // Weights are resolution-independent.
+        assert!(
+            (s1024.total_weights().value() / s256.total_weights().value() - 1.0).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn encoder_decoder_keeps_skip_connections_resident() {
+        let unet = LayeredKernel::for_kernel(KernelId::UNet);
+        assert!(unet.resident.is_positive());
+        // Resident buffers dominate the peak for skip-heavy networks.
+        assert!(unet.resident.value() > 0.3 * unet.peak_activation().value());
+    }
+
+    #[test]
+    fn classifier_activations_shrink_with_depth() {
+        let rn = LayeredKernel::for_kernel(KernelId::ResNet18);
+        let first = rn.layers.first().unwrap().working_set();
+        let last_conv = rn
+            .layers
+            .iter()
+            .rev()
+            .find(|l| matches!(l, Layer::Conv2d { .. }))
+            .unwrap()
+            .working_set();
+        assert!(first.value() > last_conv.value());
+    }
+
+    #[test]
+    fn mobilenet_is_mac_lean_but_layer_rich() {
+        let mn = LayeredKernel::for_kernel(KernelId::MobileNetV2);
+        let rn = LayeredKernel::for_kernel(KernelId::ResNet18);
+        assert!(mn.total_macs() < rn.total_macs());
+        assert!(mn.layers.len() > rn.layers.len());
+        assert!(mn
+            .layers
+            .iter()
+            .any(|l| matches!(l, Layer::DepthwiseConv2d { .. })));
+    }
+}

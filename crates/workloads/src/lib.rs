@@ -1,0 +1,46 @@
+//! # cordoba-workloads
+//!
+//! Workload substrate for the CORDOBA framework: the fifteen AI/XR kernels
+//! and five evaluation tasks of the paper's §V / Table IV, plus the
+//! vectorized task-cost equations (eq. IV.2, IV.4).
+//!
+//! * [`kernel`] — per-kernel compute/activation/weight descriptors;
+//! * [`task`] — tasks as `N_{T,K}` call-count rows, with the Table IV suite;
+//! * [`cost`] — task delay/energy evaluation over per-kernel cost tables;
+//! * [`mixes`] — randomized workload mixes for uncertainty stress tests.
+//!
+//! # Example
+//!
+//! ```
+//! use cordoba_workloads::prelude::*;
+//! use cordoba_carbon::units::{Seconds, Watts};
+//!
+//! // Cost every kernel at a flat 10 ms / 2 W (a real table comes from the
+//! // accelerator simulator in `cordoba-accel`).
+//! let mut table = CostTable::new(Watts::new(0.2));
+//! for k in KernelId::ALL {
+//!     table.insert(k, KernelCost::new(Seconds::new(0.01), Watts::new(2.0)));
+//! }
+//! let task = Task::xr_10_kernels();
+//! let delay = table.task_delay(&task)?;
+//! assert!((delay.value() - 0.1).abs() < 1e-12);
+//! # Ok::<(), cordoba_workloads::cost::MissingKernel>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod cost;
+pub mod kernel;
+pub mod layers;
+pub mod mixes;
+pub mod task;
+
+/// Convenience re-exports of the most commonly used items.
+pub mod prelude {
+    pub use crate::cost::{CostTable, KernelCost, MissingKernel, TaskVector};
+    pub use crate::kernel::{KernelDescriptor, KernelId};
+    pub use crate::layers::{Layer, LayeredKernel};
+    pub use crate::mixes::{perturb_task, random_task};
+    pub use crate::task::Task;
+}

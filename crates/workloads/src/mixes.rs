@@ -1,0 +1,111 @@
+//! Randomized workload-mix generation.
+//!
+//! The paper notes the Fig. 8 analysis "can also be adjusted to account for
+//! varying workloads over the system's lifetime". This module generates
+//! randomized task mixes (perturbed call counts, kernel subsets) so the DSE
+//! and robustness analyses can be stress-tested against workload
+//! uncertainty, not just the five fixed Table IV tasks.
+
+use crate::kernel::KernelId;
+use crate::task::Task;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Generates a random task of `kernel_count` distinct kernels with call
+/// counts uniform in `[1, max_calls]`.
+///
+/// # Panics
+///
+/// Panics if `kernel_count` is zero or exceeds the number of kernels, or if
+/// `max_calls < 1`.
+pub fn random_task<R: Rng + ?Sized>(
+    rng: &mut R,
+    name: impl Into<String>,
+    kernel_count: usize,
+    max_calls: u32,
+) -> Task {
+    assert!(
+        (1..=KernelId::ALL.len()).contains(&kernel_count),
+        "kernel_count must be in 1..=15"
+    );
+    assert!(max_calls >= 1, "max_calls must be >= 1");
+    let mut pool = KernelId::ALL.to_vec();
+    pool.shuffle(rng);
+    let calls = pool
+        .into_iter()
+        .take(kernel_count)
+        .map(|k| (k, f64::from(rng.gen_range(1..=max_calls))))
+        .collect();
+    Task::new(name, calls).expect("generated calls are positive and distinct")
+}
+
+/// Perturbs every call count of `task` by a multiplicative factor drawn
+/// uniformly from `[1/(1+spread), 1+spread]`, modeling uncertainty in the
+/// profiled workload mix.
+///
+/// # Panics
+///
+/// Panics if `spread` is not positive and finite.
+pub fn perturb_task<R: Rng + ?Sized>(rng: &mut R, task: &Task, spread: f64) -> Task {
+    assert!(spread > 0.0 && spread.is_finite(), "spread must be > 0");
+    let calls = task
+        .entries()
+        .map(|(k, n)| {
+            let factor = rng.gen_range(1.0 / (1.0 + spread)..=(1.0 + spread));
+            (k, n * factor)
+        })
+        .collect();
+    Task::new(format!("{} (perturbed)", task.name()), calls)
+        .expect("perturbed calls remain positive and distinct")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_task_has_requested_shape() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = random_task(&mut rng, "rand", 6, 4);
+        assert_eq!(t.kernels().count(), 6);
+        for (_, n) in t.entries() {
+            assert!((1.0..=4.0).contains(&n));
+        }
+    }
+
+    #[test]
+    fn random_task_is_deterministic_per_seed() {
+        let a = random_task(&mut StdRng::seed_from_u64(42), "a", 5, 3);
+        let b = random_task(&mut StdRng::seed_from_u64(42), "a", 5, 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn perturbation_keeps_membership_and_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let base = Task::xr_5_kernels();
+        let p = perturb_task(&mut rng, &base, 0.5);
+        assert_eq!(p.kernels().count(), base.kernels().count());
+        for (k, n) in p.entries() {
+            let orig = base.calls_for(k);
+            assert!(n >= orig / 1.5 - 1e-12 && n <= orig * 1.5 + 1e-12);
+        }
+        assert!(p.name().contains("perturbed"));
+    }
+
+    #[test]
+    #[should_panic(expected = "kernel_count")]
+    fn random_task_rejects_zero_kernels() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = random_task(&mut rng, "bad", 0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "spread")]
+    fn perturb_rejects_bad_spread() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = perturb_task(&mut rng, &Task::ai_5_kernels(), 0.0);
+    }
+}

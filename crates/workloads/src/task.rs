@@ -1,0 +1,288 @@
+//! Tasks: sets of kernels with per-kernel call counts (`N_{T,K}`).
+//!
+//! A task is one row of the paper's `N` matrix (eq. IV.2): an application is
+//! a weighted combination of kernel invocations. Table IV's five evaluation
+//! tasks are provided as constructors.
+
+use crate::kernel::KernelId;
+use cordoba_carbon::CarbonError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A task: a named set of `(kernel, calls)` pairs.
+///
+/// # Examples
+///
+/// ```
+/// use cordoba_workloads::task::Task;
+/// use cordoba_workloads::kernel::KernelId;
+///
+/// let task = Task::ai_5_kernels();
+/// assert_eq!(task.kernels().count(), 5);
+/// assert!(task.calls_for(KernelId::ResNet50) > 0.0);
+/// assert_eq!(task.calls_for(KernelId::Sr1024), 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Task {
+    name: String,
+    calls: Vec<(KernelId, f64)>,
+}
+
+impl Task {
+    /// Creates a task from `(kernel, calls)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `calls` is empty, contains duplicate kernels,
+    /// or any call count is not positive and finite.
+    pub fn new(name: impl Into<String>, calls: Vec<(KernelId, f64)>) -> Result<Self, CarbonError> {
+        if calls.is_empty() {
+            return Err(CarbonError::Empty {
+                what: "task kernel list",
+            });
+        }
+        for &(_, n) in &calls {
+            CarbonError::require_positive("kernel calls", n)?;
+        }
+        let mut ids: Vec<KernelId> = calls.iter().map(|&(k, _)| k).collect();
+        ids.sort_unstable();
+        let before = ids.len();
+        ids.dedup();
+        if ids.len() != before {
+            return Err(CarbonError::NotMonotonic {
+                what: "task kernel ids (duplicates)",
+            });
+        }
+        Ok(Self {
+            name: name.into(),
+            calls,
+        })
+    }
+
+    /// Creates a task invoking each given kernel once.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `kernels` is empty or has duplicates.
+    pub fn uniform(
+        name: impl Into<String>,
+        kernels: impl IntoIterator<Item = KernelId>,
+    ) -> Result<Self, CarbonError> {
+        Self::new(name, kernels.into_iter().map(|k| (k, 1.0)).collect())
+    }
+
+    /// The task name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Iterates over `(kernel, calls)` pairs.
+    pub fn entries(&self) -> impl Iterator<Item = (KernelId, f64)> + '_ {
+        self.calls.iter().copied()
+    }
+
+    /// Iterates over the kernels in the task.
+    pub fn kernels(&self) -> impl Iterator<Item = KernelId> + '_ {
+        self.calls.iter().map(|&(k, _)| k)
+    }
+
+    /// `N_{T,K}` — calls of `kernel` per task execution (0 when the kernel
+    /// is not part of the task).
+    #[must_use]
+    pub fn calls_for(&self, kernel: KernelId) -> f64 {
+        self.calls
+            .iter()
+            .find(|&&(k, _)| k == kernel)
+            .map_or(0.0, |&(_, n)| n)
+    }
+
+    /// Total kernel invocations per task execution.
+    #[must_use]
+    pub fn total_calls(&self) -> f64 {
+        self.calls.iter().map(|&(_, n)| n).sum()
+    }
+
+    // ---- Table IV tasks -------------------------------------------------
+
+    /// "All kernels": every one of the fifteen kernels once.
+    #[must_use]
+    pub fn all_kernels() -> Self {
+        Self::uniform("All kernels", KernelId::ALL).expect("static kernel list is valid")
+    }
+
+    /// "XR (10 kernels)": 3D-Agg, ET, JLP, HRN, UNet, E-FAN, DN, SR x3.
+    #[must_use]
+    pub fn xr_10_kernels() -> Self {
+        Self::uniform(
+            "XR 10 kernels",
+            [
+                KernelId::DepthAgg3d,
+                KernelId::EyeTracking,
+                KernelId::HandJlp,
+                KernelId::Hrnet,
+                KernelId::UNet,
+                KernelId::EmotionFan,
+                KernelId::Denoise,
+                KernelId::Sr256,
+                KernelId::Sr512,
+                KernelId::Sr1024,
+            ],
+        )
+        .expect("static kernel list is valid")
+    }
+
+    /// "AI (10 kernels)": RN-18/50/152, GN, MN2, 3D-Agg, ET, UNet, JLP, HRN.
+    #[must_use]
+    pub fn ai_10_kernels() -> Self {
+        Self::uniform(
+            "AI 10 kernels",
+            [
+                KernelId::ResNet18,
+                KernelId::ResNet50,
+                KernelId::ResNet152,
+                KernelId::GoogleNet,
+                KernelId::MobileNetV2,
+                KernelId::DepthAgg3d,
+                KernelId::EyeTracking,
+                KernelId::UNet,
+                KernelId::HandJlp,
+                KernelId::Hrnet,
+            ],
+        )
+        .expect("static kernel list is valid")
+    }
+
+    /// "XR (5 kernels)": 3D-Agg, HRN, DN, SR (512), SR (1024).
+    #[must_use]
+    pub fn xr_5_kernels() -> Self {
+        Self::uniform(
+            "XR 5 kernels",
+            [
+                KernelId::DepthAgg3d,
+                KernelId::Hrnet,
+                KernelId::Denoise,
+                KernelId::Sr512,
+                KernelId::Sr1024,
+            ],
+        )
+        .expect("static kernel list is valid")
+    }
+
+    /// "AI (5 kernels)": RN-18/50/152, GN, MN2.
+    #[must_use]
+    pub fn ai_5_kernels() -> Self {
+        Self::uniform(
+            "AI 5 kernels",
+            [
+                KernelId::ResNet18,
+                KernelId::ResNet50,
+                KernelId::ResNet152,
+                KernelId::GoogleNet,
+                KernelId::MobileNetV2,
+            ],
+        )
+        .expect("static kernel list is valid")
+    }
+
+    /// The five Table IV evaluation tasks, in the paper's order.
+    #[must_use]
+    pub fn evaluation_suite() -> Vec<Self> {
+        vec![
+            Self::all_kernels(),
+            Self::xr_10_kernels(),
+            Self::ai_10_kernels(),
+            Self::xr_5_kernels(),
+            Self::ai_5_kernels(),
+        ]
+    }
+}
+
+impl fmt::Display for Task {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({} kernels)", self.name, self.calls.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_iv_membership() {
+        assert_eq!(Task::all_kernels().kernels().count(), 15);
+        assert_eq!(Task::xr_10_kernels().kernels().count(), 10);
+        assert_eq!(Task::ai_10_kernels().kernels().count(), 10);
+        assert_eq!(Task::xr_5_kernels().kernels().count(), 5);
+        assert_eq!(Task::ai_5_kernels().kernels().count(), 5);
+    }
+
+    #[test]
+    fn xr5_is_subset_of_xr10() {
+        let xr10 = Task::xr_10_kernels();
+        for k in Task::xr_5_kernels().kernels() {
+            assert!(xr10.calls_for(k) > 0.0, "{k} missing from XR 10");
+        }
+    }
+
+    #[test]
+    fn ai5_is_subset_of_ai10() {
+        let ai10 = Task::ai_10_kernels();
+        for k in Task::ai_5_kernels().kernels() {
+            assert!(ai10.calls_for(k) > 0.0, "{k} missing from AI 10");
+        }
+    }
+
+    #[test]
+    fn xr_tasks_are_activation_heavy_on_average() {
+        let heavy =
+            |t: &Task| t.kernels().filter(|k| k.is_activation_heavy()).count() as f64
+                / t.kernels().count() as f64;
+        assert!(heavy(&Task::xr_5_kernels()) > heavy(&Task::ai_5_kernels()));
+        assert_eq!(heavy(&Task::ai_5_kernels()), 0.0);
+        assert_eq!(heavy(&Task::xr_5_kernels()), 1.0);
+    }
+
+    #[test]
+    fn calls_for_absent_kernel_is_zero() {
+        // "A zero value of N_{T,K} indicates that a kernel K is not part of
+        // task T."
+        let ai5 = Task::ai_5_kernels();
+        assert_eq!(ai5.calls_for(KernelId::Sr1024), 0.0);
+        assert_eq!(ai5.calls_for(KernelId::ResNet18), 1.0);
+    }
+
+    #[test]
+    fn weighted_calls() {
+        let t = Task::new(
+            "xr-game",
+            vec![
+                (KernelId::EyeTracking, 4.0),
+                (KernelId::HandJlp, 2.0),
+                (KernelId::Sr512, 1.0),
+            ],
+        )
+        .unwrap();
+        assert_eq!(t.calls_for(KernelId::EyeTracking), 4.0);
+        assert_eq!(t.total_calls(), 7.0);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(Task::new("empty", vec![]).is_err());
+        assert!(Task::new("zero", vec![(KernelId::UNet, 0.0)]).is_err());
+        assert!(Task::new(
+            "dup",
+            vec![(KernelId::UNet, 1.0), (KernelId::UNet, 2.0)]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn display_and_suite() {
+        assert_eq!(Task::ai_5_kernels().to_string(), "AI 5 kernels (5 kernels)");
+        let suite = Task::evaluation_suite();
+        assert_eq!(suite.len(), 5);
+        assert_eq!(suite[0].name(), "All kernels");
+    }
+}

@@ -1,0 +1,69 @@
+//! Quickstart: compute the metrics CORDOBA optimizes for a single design,
+//! then see why tCDP picks a different winner than EDP.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use cordoba::prelude::*;
+use cordoba_carbon::prelude::*;
+
+fn main() -> Result<(), CarbonError> {
+    // 1. Describe two candidate systems by delay, energy, and embodied
+    //    carbon. "frugal" sips energy but was cheap to manufacture slowly;
+    //    "fast" burns more energy on bigger, carbon-heavier silicon.
+    let frugal = DesignPoint::new(
+        "frugal",
+        Seconds::new(2.0),              // task delay D
+        Joules::new(1.2),               // task energy E
+        GramsCo2e::new(120.0),          // embodied carbon
+        SquareCentimeters::new(0.5),    // die area
+    )?;
+    let fast = DesignPoint::new(
+        "fast",
+        Seconds::new(0.4),
+        Joules::new(3.0),
+        GramsCo2e::new(900.0),
+        SquareCentimeters::new(2.0),
+    )?;
+    let candidates = vec![frugal, fast];
+
+    // 2. Metrics need an operational context: how many times will the task
+    //    run over the hardware's life, and on which grid?
+    for tasks in [1e3, 1e6, 1e9] {
+        let ctx = OperationalContext::new(tasks, grids::US_AVERAGE)?;
+        println!("-- lifetime task count: {tasks:.0e} --");
+        for p in &candidates {
+            println!(
+                "  {:8}  EDP {:>9.3e} J*s | tC {:>10.1} gCO2e ({:>4.1}% embodied) | tCDP {:>10.3e} gCO2e*s",
+                p.name,
+                p.edp().value(),
+                p.total_carbon(&ctx).value(),
+                p.embodied_share(&ctx) * 100.0,
+                p.tcdp(&ctx).value(),
+            );
+        }
+        let edp_winner = argmin(&candidates, MetricKind::Edp, &ctx).expect("non-empty");
+        let tcdp_winner = argmin(&candidates, MetricKind::Tcdp, &ctx).expect("non-empty");
+        println!(
+            "  EDP picks {:8} | tCDP picks {:8}{}",
+            edp_winner.name,
+            tcdp_winner.name,
+            if edp_winner.name == tcdp_winner.name {
+                ""
+            } else {
+                "   <-- carbon efficiency changes the winner"
+            }
+        );
+    }
+
+    // 3. The same machinery solves constrained problems (eq. IV.1).
+    let problem = OptimizationProblem::tcdp(candidates)
+        .with_constraints(Constraints::none().with_max_delay(Seconds::new(1.0)));
+    let ctx = OperationalContext::new(1e3, grids::US_AVERAGE)?;
+    if let Some(solution) = problem.solve(&ctx) {
+        println!(
+            "\nWith a 1 s QoS ceiling, the best feasible design is `{}` (tCDP {:.3e}).",
+            solution.best.name, solution.objective_value
+        );
+    }
+    Ok(())
+}

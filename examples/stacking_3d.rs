@@ -1,0 +1,64 @@
+//! 3D-integration case study (§VI-E): is stacking separately fabricated
+//! SRAM dice on the accelerator worth its embodied carbon?
+//!
+//! Simulates the SR(512x512) super-resolution kernel on the 2D baseline and
+//! six 3D-stacked configurations, and evaluates tCDP at embodied-dominant
+//! and operational-dominant operational times.
+//!
+//! Run with: `cargo run --example stacking_3d`
+
+use cordoba::prelude::*;
+use cordoba_accel::sim::simulate;
+use cordoba_accel::stacking::study_configs;
+use cordoba_carbon::embodied::EmbodiedModel;
+use cordoba_carbon::CarbonError;
+use cordoba_workloads::kernel::KernelId;
+
+fn main() -> Result<(), CarbonError> {
+    let model = EmbodiedModel::default();
+    let kernel = KernelId::Sr512.descriptor();
+
+    println!("SR(512x512) on the Fig. 11 configurations:\n");
+    let mut points = Vec::new();
+    for cfg in study_configs() {
+        let sim = simulate(&cfg, &kernel);
+        let energy = sim.dynamic_energy + cfg.leakage_power() * sim.latency;
+        let embodied = cfg.embodied_carbon(&model)?;
+        println!(
+            "  {:14} latency {:7.2} ms | energy {:6.2} mJ | DRAM {:7.1} MiB | embodied {:6.1} g{}",
+            cfg.name(),
+            sim.latency.value() * 1e3,
+            energy.value() * 1e3,
+            sim.dram_traffic.to_mebibytes(),
+            embodied.value(),
+            if sim.is_memory_bound() { "  [memory-bound]" } else { "" }
+        );
+        points.push(DesignPoint::new(
+            cfg.name(),
+            sim.latency,
+            energy,
+            embodied,
+            cfg.total_area(),
+        )?);
+    }
+
+    // Embodied-dominant vs operational-dominant cases (80% / 8% embodied).
+    for (label, share) in [("embodied-dominant", 0.80), ("operational-dominant", 0.08)] {
+        let ctx = context_for_embodied_share(
+            &points,
+            cordoba_carbon::intensity::grids::US_AVERAGE,
+            share,
+        )?;
+        let best = argmin(&points, MetricKind::Tcdp, &ctx).expect("non-empty");
+        let baseline = &points[0];
+        println!(
+            "\n{label} case ({:.1e} inferences): winner {} with {:.2}x tCDP improvement over {}",
+            ctx.tasks,
+            best.name,
+            baseline.tcdp(&ctx).value() / best.tcdp(&ctx).value(),
+            baseline.name
+        );
+    }
+    println!("\nPaper: 3D_2K_4M wins the embodied case (1.08x), 3D_2K_8M the operational case (6.9x).");
+    Ok(())
+}

@@ -1,0 +1,80 @@
+//! Optimizing carbon efficiency when `CI_use(t)` is unknown (§IV-B).
+//!
+//! Even without knowing the future grid mix, designs that are off the
+//! Pareto curve of `E·D` versus `C_embodied·D` can never be tCDP-optimal
+//! and are safely eliminated; the Lagrange-multiplier β-sweep then shows
+//! which survivor wins once a scenario is committed.
+//!
+//! Run with: `cargo run --example uncertain_ci`
+
+use cordoba::prelude::*;
+use cordoba_carbon::intensity::{ConstantCi, TrendCi};
+use cordoba_carbon::prelude::*;
+
+fn main() -> Result<(), CarbonError> {
+    // Five candidate systems with different energy/embodied trade-offs.
+    let mk = |name: &str, d: f64, e: f64, emb: f64| {
+        DesignPoint::new(
+            name,
+            Seconds::new(d),
+            Joules::new(e),
+            GramsCo2e::new(emb),
+            SquareCentimeters::new(1.0),
+        )
+    };
+    let candidates = vec![
+        mk("lean", 1.6, 1.0, 90.0)?,
+        mk("balanced", 0.9, 1.8, 160.0)?,
+        mk("beefy", 0.5, 4.0, 420.0)?,
+        mk("wasteful", 1.6, 3.0, 300.0)?, // dominated on both axes
+        mk("extreme", 0.45, 12.0, 2_000.0)?,
+    ];
+
+    // 1. Eliminate without knowing CI_use(t).
+    let sweep = BetaSweep::run(&candidates);
+    println!("E*D vs C_emb*D objective space:");
+    for p in &sweep.points {
+        println!("  {:9} C_emb*D = {:8.1}   E*D = {:6.2}", p.name, p.x, p.y);
+    }
+    println!(
+        "\nEliminated for ANY CI_use(t): {:?}",
+        sweep.eliminated_names()
+    );
+    println!("Survivors (X*): {:?}", sweep.surviving_names());
+
+    // 2. Commit to concrete scenarios and watch the winner move along the
+    //    Pareto curve as beta = N * CI / 3.6e6 grows.
+    println!("\nconcrete scenarios:");
+    for (label, tasks, ci) in [
+        ("short life, dirty grid", 1e3, grids::COAL),
+        ("long life, dirty grid", 1e7, grids::COAL),
+        ("long life, clean grid", 1e7, grids::SOLAR),
+    ] {
+        let ctx = OperationalContext::new(tasks, ci)?;
+        let beta = beta_for_context(&ctx);
+        let winner = &candidates[sweep.optimal_for_beta(beta).expect("non-empty")];
+        println!(
+            "  {label:24} beta = {beta:9.3e} -> tCDP-optimal: {}",
+            winner.name
+        );
+    }
+
+    // 3. Time-varying grids: worst-case regret across scenarios picks the
+    //    robust survivor.
+    let flat = ConstantCi::new(grids::US_AVERAGE);
+    let fast_decarb = TrendCi::new(grids::US_AVERAGE, 0.15)?;
+    let coal = ConstantCi::new(grids::COAL);
+    let scenarios: Vec<&dyn CiSource> = vec![&flat, &fast_decarb, &coal];
+    let regret = scenario_regret(&candidates, &scenarios, 1e6, Seconds::from_years(5.0))?;
+    println!("\nworst-case tCDP regret across grid scenarios:");
+    for (p, r) in candidates.iter().zip(&regret) {
+        println!("  {:9} {:.3}x", p.name, r);
+    }
+    let robust = candidates
+        .iter()
+        .zip(&regret)
+        .min_by(|a, b| a.1.total_cmp(b.1))
+        .expect("non-empty");
+    println!("robust choice: {}", robust.0.name);
+    Ok(())
+}

@@ -1,0 +1,227 @@
+//! Integration: the framework extensions the paper's conclusion calls for —
+//! memory/storage embodied models, lifetime workload mixes, two-factor
+//! elimination (unknown `CI_fab` *and* `CI_use`), and carbon-aware DVFS.
+
+use cordoba::prelude::*;
+use cordoba_accel::space::{config_by_name, design_space};
+use cordoba_carbon::prelude::*;
+use cordoba_tech::dvfs::DvfsCurve;
+use cordoba_tech::mosfet::GateModel;
+use cordoba_workloads::task::Task;
+
+#[test]
+fn headset_bom_includes_memory_carbon() {
+    // A Quest-2-class BOM: SoC + 8 GB LPDDR + 256 GB flash.
+    let model = EmbodiedModel::default();
+    let mut bom = SystemBom::new("headset");
+    bom.add_die(Die::new("xr2", SquareCentimeters::new(2.25), ProcessNode::N7).unwrap());
+    bom.add_memory(MemoryDevice::new(MemoryKind::Dram, 8.0).unwrap());
+    bom.add_memory(MemoryDevice::new(MemoryKind::Nand, 256.0).unwrap());
+    let soc_only = model.packaged_die_carbon(&bom.dice()[0]);
+    let total = bom.embodied_carbon(&model);
+    assert!(total > soc_only);
+    // Memory is a first-class share of the footprint, per ACT.
+    let share = bom.memory_share(&model);
+    assert!((0.3..0.9).contains(&share), "memory share {share}");
+}
+
+#[test]
+fn lifetime_mix_sweep_still_eliminates_most_of_the_space() {
+    let mix = LifetimeMix::new(vec![
+        (Task::ai_5_kernels(), 0.6),
+        (Task::xr_5_kernels(), 0.4),
+    ])
+    .unwrap();
+    let points = mix
+        .evaluate_space(&design_space(), &EmbodiedModel::default())
+        .unwrap();
+    let sweep = OpTimeSweep::new(points, log_sweep(4, 11, 4), grids::US_AVERAGE).unwrap();
+    assert!(sweep.elimination_fraction() > 0.9);
+}
+
+#[test]
+fn mix_optimum_sits_between_member_optima_in_sram() {
+    let configs = design_space();
+    let model = EmbodiedModel::default();
+    let ctx = OperationalContext::us_grid(1e8);
+    let sram_of = |task_mix: &LifetimeMix| {
+        let pts = task_mix.evaluate_space(&configs, &model).unwrap();
+        let best = argmin(&pts, MetricKind::Tcdp, &ctx).unwrap();
+        config_by_name(&best.name).unwrap().sram().to_mebibytes()
+    };
+    let ai = sram_of(&LifetimeMix::single(Task::ai_5_kernels()));
+    let xr = sram_of(&LifetimeMix::single(Task::xr_5_kernels()));
+    let blend = sram_of(
+        &LifetimeMix::new(vec![
+            (Task::ai_5_kernels(), 0.5),
+            (Task::xr_5_kernels(), 0.5),
+        ])
+        .unwrap(),
+    );
+    assert!(ai <= blend && blend <= xr, "{ai} <= {blend} <= {xr}");
+}
+
+#[test]
+fn two_factor_elimination_over_the_stacking_study() {
+    // Eliminate stacking configs when neither CI_use nor CI_fab is known.
+    let model = EmbodiedModel::default();
+    let kernel = cordoba_workloads::kernel::KernelId::Sr512.descriptor();
+    let candidates: Vec<(DesignPoint, cordoba_carbon::embodied::EmbodiedBreakdown)> =
+        cordoba_accel::stacking::study_configs()
+            .iter()
+            .map(|cfg| {
+                let sim = cordoba_accel::sim::simulate(cfg, &kernel);
+                let energy = sim.dynamic_energy + cfg.leakage_power() * sim.latency;
+                let point = DesignPoint::new(
+                    cfg.name(),
+                    sim.latency,
+                    energy,
+                    cfg.embodied_carbon(&model).unwrap(),
+                    cfg.total_area(),
+                )
+                .unwrap();
+                (point, cfg.embodied_breakdown(&model).unwrap())
+            })
+            .collect();
+
+    let two = TwoFactorSweep::run(&candidates);
+    // The 2-factor survivors must include the 1-factor survivors (the
+    // known-CI_fab case is one slice of the unknown-CI_fab problem).
+    let one = BetaSweep::run(
+        &candidates
+            .iter()
+            .map(|(p, _)| p.clone())
+            .collect::<Vec<_>>(),
+    );
+    for name in one.surviving_names() {
+        assert!(
+            two.surviving_names().contains(&name),
+            "1-factor survivor {name} missing from 2-factor survivors"
+        );
+    }
+    // And every concrete intensity pair picks a 2-factor survivor.
+    for ci_fab in [50.0, 380.0, 820.0] {
+        for beta in [0.0, 1e2, 1e6] {
+            let idx = two
+                .optimal_for(CarbonIntensity::new(ci_fab), beta)
+                .unwrap();
+            assert!(two
+                .surviving_names()
+                .contains(&two.points[idx].name.as_str()));
+        }
+    }
+    // Something must still be eliminated.
+    assert!(two.elimination_fraction() > 0.0);
+}
+
+#[test]
+fn breakdown_matches_combined_embodied_for_every_config() {
+    let model = EmbodiedModel::default();
+    for cfg in cordoba_accel::stacking::study_configs() {
+        let combined = cfg.embodied_carbon(&model).unwrap();
+        let split = cfg.embodied_breakdown(&model).unwrap();
+        let reassembled = split.total(model.ci_fab());
+        assert!(
+            (combined.value() - reassembled.value()).abs() < 1e-9 * combined.value(),
+            "{}",
+            cfg.name()
+        );
+    }
+}
+
+#[test]
+fn carbon_aware_dvfs_tracks_operational_time() {
+    let curve = DvfsCurve::new(
+        GateModel::default(),
+        Hertz::from_gigahertz(1.5),
+        Joules::from_nanojoules(1.0),
+        Watts::new(0.2),
+    );
+    let embodied = GramsCo2e::new(2_000.0);
+    let pick = |tasks: f64| {
+        curve
+            .tcdp_optimal_point(
+                5e8,
+                embodied,
+                tasks,
+                grids::US_AVERAGE,
+                0.5,
+                1.15,
+                48,
+            )
+            .unwrap()
+            .v_dd
+    };
+    // Monotone non-increasing optimal voltage as lifetime work grows.
+    let mut prev = f64::INFINITY;
+    for tasks in [1.0, 1e4, 1e6, 1e8, 1e10] {
+        let v = pick(tasks);
+        assert!(v <= prev + 1e-9, "voltage should not rise with lifetime");
+        prev = v;
+    }
+}
+
+#[test]
+fn layered_and_aggregate_simulators_rank_configs_alike() {
+    // The per-layer path is finer-grained, but across the design space it
+    // must tell the same story as the calibrated aggregate path: config
+    // rankings for a task correlate strongly.
+    use cordoba::stats::spearman;
+    use cordoba_accel::layered_sim::layered_cost_table;
+    use cordoba_accel::sim::full_cost_table;
+    let task = Task::xr_10_kernels();
+    let configs: Vec<_> = ["a1", "a23", "a37", "a48", "a60", "a72", "a84", "a96", "a108"]
+        .iter()
+        .map(|n| config_by_name(n).unwrap())
+        .collect();
+    let layered: Vec<f64> = configs
+        .iter()
+        .map(|c| layered_cost_table(c).task_delay(&task).unwrap().value())
+        .collect();
+    let aggregate: Vec<f64> = configs
+        .iter()
+        .map(|c| full_cost_table(c).task_delay(&task).unwrap().value())
+        .collect();
+    let rho = spearman(&layered, &aggregate).unwrap();
+    assert!(rho > 0.8, "rank correlation {rho}");
+}
+
+#[test]
+fn layered_dse_reproduces_the_elimination_story() {
+    // Drive the op-time DSE entirely through the per-layer simulator.
+    use cordoba_accel::layered_sim::layered_cost_table;
+    let model = EmbodiedModel::default();
+    let task = Task::ai_5_kernels();
+    let points: Vec<DesignPoint> = design_space()
+        .iter()
+        .map(|cfg| {
+            let table = layered_cost_table(cfg);
+            DesignPoint::new(
+                cfg.name(),
+                table.task_delay(&task).unwrap(),
+                table.task_energy(&task).unwrap(),
+                cfg.embodied_carbon(&model).unwrap(),
+                cfg.total_area(),
+            )
+            .unwrap()
+        })
+        .collect();
+    let sweep = OpTimeSweep::new(points, log_sweep(4, 11, 2), grids::US_AVERAGE).unwrap();
+    assert!(sweep.elimination_fraction() > 0.9);
+    // Optimum still grows with operational time.
+    let first = &sweep.points[sweep.optimal_at(0)];
+    let last = &sweep.points[sweep.optimal_at(sweep.task_counts.len() - 1)];
+    assert!(last.area >= first.area);
+}
+
+#[test]
+fn wafer_die_placement_refines_embodied_for_accelerators() {
+    let model = EmbodiedModel::default();
+    let wafer = Wafer::new_300mm();
+    let cfg = config_by_name("a84").unwrap();
+    let die = Die::new("a84", cfg.logic_die_area(), ProcessNode::N7).unwrap();
+    let by_area = model.die_carbon(&die);
+    let by_wafer = model.die_carbon_via_wafer(&die, &wafer).unwrap();
+    assert!(by_wafer > by_area);
+    assert!(by_wafer.value() / by_area.value() < 1.2);
+}

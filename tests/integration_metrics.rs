@@ -1,0 +1,129 @@
+//! Cross-crate integration: metrics computed from the accelerator
+//! simulator + workload equations must compose consistently with the
+//! carbon substrate.
+
+use cordoba::prelude::*;
+use cordoba_accel::prelude::*;
+use cordoba_carbon::prelude::*;
+use cordoba_workloads::prelude::*;
+
+fn point_for(config_name: &str, task: &Task) -> DesignPoint {
+    let cfg = config_by_name(config_name).expect("valid config name");
+    cordoba::dse::accel_design_point(&cfg, task, &EmbodiedModel::default())
+        .expect("valid design point")
+}
+
+#[test]
+fn task_delay_is_sum_of_kernel_latencies_through_the_stack() {
+    let cfg = config_by_name("a48").unwrap();
+    let task = Task::ai_5_kernels();
+    let point = point_for("a48", &task);
+    let by_hand: Seconds = task
+        .kernels()
+        .map(|k| simulate(&cfg, &k.descriptor()).latency)
+        .sum();
+    assert!((point.delay.value() - by_hand.value()).abs() / by_hand.value() < 1e-12);
+}
+
+#[test]
+fn task_energy_includes_leakage_over_task_delay() {
+    let cfg = config_by_name("a48").unwrap();
+    let task = Task::ai_5_kernels();
+    let point = point_for("a48", &task);
+    let dynamic: Joules = task
+        .kernels()
+        .map(|k| simulate(&cfg, &k.descriptor()).dynamic_energy)
+        .sum();
+    let expected = dynamic + cfg.leakage_power() * point.delay;
+    assert!((point.energy.value() - expected.value()).abs() / expected.value() < 1e-9);
+}
+
+#[test]
+fn total_carbon_decomposes_into_embodied_plus_operational() {
+    let point = point_for("a37", &Task::xr_10_kernels());
+    for tasks in [1.0, 1e4, 1e8] {
+        let ctx = OperationalContext::us_grid(tasks);
+        let total = point.total_carbon(&ctx);
+        let sum = point.embodied + point.operational(&ctx);
+        assert!((total.value() - sum.value()).abs() < 1e-9);
+        // And operational matches the carbon crate directly.
+        let direct = operational_carbon(grids::US_AVERAGE, point.energy * tasks);
+        assert!((point.operational(&ctx).value() - direct.value()).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn tcdp_grows_linearly_in_task_count_once_operational_dominates() {
+    let point = point_for("a23", &Task::ai_5_kernels());
+    let a = point.tcdp(&OperationalContext::us_grid(1e10)).value();
+    let b = point.tcdp(&OperationalContext::us_grid(1e11)).value();
+    let ratio = b / a;
+    assert!(
+        (ratio - 10.0).abs() < 0.5,
+        "operational-dominated tCDP should scale ~linearly, got {ratio}"
+    );
+}
+
+#[test]
+fn embodied_share_sweeps_from_one_to_zero() {
+    let point = point_for("a48", &Task::all_kernels());
+    let lo = point.embodied_share(&OperationalContext::us_grid(1e-3));
+    let hi = point.embodied_share(&OperationalContext::us_grid(1e14));
+    assert!(lo > 0.999, "share at tiny op time {lo}");
+    assert!(hi < 0.001, "share at huge op time {hi}");
+}
+
+#[test]
+fn cleaner_grid_reduces_tcdp_but_not_edp() {
+    let point = point_for("a48", &Task::xr_5_kernels());
+    let dirty = OperationalContext::new(1e8, grids::COAL).unwrap();
+    let clean = OperationalContext::new(1e8, grids::SOLAR).unwrap();
+    assert!(point.tcdp(&dirty) > point.tcdp(&clean));
+    assert_eq!(point.edp(), point.edp()); // EDP is grid-independent
+    assert!(
+        (MetricKind::Edp.evaluate(&point, &dirty) - MetricKind::Edp.evaluate(&point, &clean))
+            .abs()
+            < 1e-15
+    );
+}
+
+#[test]
+fn cost_tables_and_task_vectors_agree() {
+    let cfg = config_by_name("a60").unwrap();
+    let table = full_cost_table(&cfg);
+    let tasks = Task::evaluation_suite();
+    let vector = TaskVector::evaluate(&tasks, &table).unwrap();
+    for (i, task) in tasks.iter().enumerate() {
+        assert_eq!(vector.delays()[i], table.task_delay(task).unwrap());
+        assert_eq!(vector.energies()[i], table.task_energy(task).unwrap());
+    }
+    assert!(vector.total_delay() >= vector.delays()[0]);
+}
+
+#[test]
+fn metric_units_compose_across_crates() {
+    // A full sentence through the type system: simulate -> energy (J),
+    // power (W), embodied (g), tCDP (g*s).
+    let cfg = config_by_name("a1").unwrap();
+    let sim = simulate(&cfg, &KernelId::MobileNetV2.descriptor());
+    let energy: Joules = sim.dynamic_energy;
+    let power: Watts = energy / sim.latency;
+    assert!((power.value() - sim.dynamic_power().value()).abs() < 1e-12);
+    let embodied: GramsCo2e = cfg.embodied_carbon(&EmbodiedModel::default()).unwrap();
+    let tcdp: GramSecondsCo2e = embodied * sim.latency;
+    assert!(tcdp.value() > 0.0);
+}
+
+#[test]
+fn usage_profile_amortization_bridges_soc_and_carbon() {
+    // Eq. IV.3 through real components: amortizing a SoC's embodied carbon
+    // over the M-1 task's share of operational life.
+    use cordoba_soc::prelude::*;
+    let soc = SocConfig::quest2();
+    let embodied = soc.embodied_carbon(&EmbodiedModel::default()).unwrap();
+    let usage = UsageProfile::from_daily_hours(5.0, 2.0).unwrap();
+    let task_time = Seconds::new(40.0);
+    let amortized = usage.amortized_embodied(embodied, task_time);
+    let sessions = usage.operational_time().value() / 40.0;
+    assert!((amortized.value() * sessions - embodied.value()).abs() / embodied.value() < 1e-9);
+}

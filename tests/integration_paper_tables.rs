@@ -1,0 +1,111 @@
+//! Integration: the §III six-IC worked example must reproduce the paper's
+//! Table I and Table II numbers (these are exact, not shape-only — the
+//! tables are closed-form).
+
+use cordoba::case_ics::{candidates, design_points, table_one, table_two, Scenario};
+use cordoba::prelude::*;
+
+#[test]
+fn table_one_rows_match_published_numbers() {
+    let rows = table_one(&Scenario::default());
+    // (name, throughput, overall power, energy/inf, budget throughput, EDP)
+    let expected = [
+        ("A", 0.2, 190.0, 0.19, 10.0, 0.950),
+        ("B", 2.0, 200.0, 0.20, 95.0, 0.100),
+        ("C", 4.0, 250.0, 0.25, 152.0, 0.0625),
+        ("D", 8.0, 400.0, 0.40, 190.0, 0.050),
+        ("E", 16.0, 1000.0, 1.00, 152.0, 0.0625),
+        ("F", 32.0, 5000.0, 5.00, 60.8, 0.15625),
+    ];
+    for (name, tput, power, e_inf, budget_tput, edp) in expected {
+        let row = rows.iter().find(|r| r.ic.name == name).unwrap();
+        assert!((row.throughput - tput).abs() / tput < 1e-9, "{name} throughput");
+        assert!((row.overall_power - power).abs() / power < 1e-9, "{name} power");
+        assert!(
+            (row.energy_per_inference - e_inf).abs() / e_inf < 1e-9,
+            "{name} energy"
+        );
+        assert!(
+            (row.budget_throughput - budget_tput).abs() / budget_tput < 1e-3,
+            "{name} budget throughput"
+        );
+        assert!((row.edp - edp).abs() / edp < 1e-9, "{name} EDP");
+    }
+}
+
+#[test]
+fn table_two_rows_match_published_numbers() {
+    let rows = table_two(&Scenario::default());
+    // (name, time/inf, CCI x 1e5, tC, tCDP) from the paper's Table II.
+    let expected = [
+        ("A", 5.0, 4.86, 5108.0, 25541.2),
+        ("B", 0.5, 4.96, 5219.0, 2609.6),
+        ("C", 0.25, 5.49, 5774.0, 1443.5),
+        ("D", 0.125, 7.08, 7438.0, 929.8),
+        ("E", 0.0625, 13.4, 14096.0, 881.0),
+        ("F", 0.03125, 55.6, 58480.0, 1827.5),
+    ];
+    for (name, t_inf, cci_e5, tc, tcdp) in expected {
+        let row = rows.iter().find(|r| r.ic.name == name).unwrap();
+        assert!((row.time_per_inference - t_inf).abs() < 1e-9, "{name} time");
+        assert!((row.cci * 1e5 - cci_e5).abs() / cci_e5 < 0.01, "{name} CCI");
+        assert!((row.total_carbon - tc).abs() / tc < 0.01, "{name} tC");
+        assert!((row.tcdp - tcdp).abs() / tcdp < 0.01, "{name} tCDP");
+    }
+}
+
+#[test]
+fn headline_story_holds() {
+    let scenario = Scenario::default();
+    let t1 = table_one(&scenario);
+    let t2 = table_two(&scenario);
+    // Table I: D is EDP-optimal and wins the energy budget.
+    let edp_opt = t1.iter().min_by(|a, b| a.edp.total_cmp(&b.edp)).unwrap();
+    assert_eq!(edp_opt.ic.name, "D");
+    // Table II: E is tCDP-optimal and wins the carbon budget; A minimizes
+    // tC/CCI but is 80x slower than E.
+    let tcdp_opt = t2.iter().min_by(|a, b| a.tcdp.total_cmp(&b.tcdp)).unwrap();
+    assert_eq!(tcdp_opt.ic.name, "E");
+    let tc_opt = t2
+        .iter()
+        .min_by(|a, b| a.total_carbon.total_cmp(&b.total_carbon))
+        .unwrap();
+    assert_eq!(tc_opt.ic.name, "A");
+    assert!(tc_opt.time_per_inference / tcdp_opt.time_per_inference > 50.0);
+}
+
+#[test]
+fn throughput_is_proportional_to_inverse_tcdp() {
+    // The §III-B identity: relative throughput == relative 1/tCDP.
+    let rows = table_two(&Scenario::default());
+    let products: Vec<f64> = rows.iter().map(|r| r.budget_throughput * r.tcdp).collect();
+    let (min, max) = products
+        .iter()
+        .fold((f64::INFINITY, 0.0f64), |(lo, hi), &p| (lo.min(p), hi.max(p)));
+    assert!((max - min) / min < 1e-9, "products vary: {products:?}");
+}
+
+#[test]
+fn beta_sweep_on_the_six_ics_matches_tcdp_ranking() {
+    let scenario = Scenario::default();
+    let (points, ctx) = design_points(&scenario);
+    let sweep = BetaSweep::run(&points);
+    let beta = beta_for_context(&ctx);
+    let via_beta = sweep.optimal_for_beta(beta).unwrap();
+    assert_eq!(points[via_beta].name, "E");
+    // All ICs share the same embodied carbon, so C_emb*D is minimized by
+    // the fastest IC and E*D by the EDP-optimal: both extremes survive.
+    let survivors = sweep.surviving_names();
+    assert!(survivors.contains(&"F"), "fastest IC should survive");
+    assert!(survivors.contains(&"D"), "EDP-optimal IC should survive");
+}
+
+#[test]
+fn scenario_derivations_match_paper_constants() {
+    let s = Scenario::default();
+    assert!((s.inferences_per_lifetime() - 1.05e8).abs() < 1.0);
+    assert!((s.carbon_budget().value() - 1.003e-3).abs() < 2e-6);
+    let ics = candidates();
+    assert_eq!(ics.len(), 6);
+    assert!((ics[3].power().value() - 3.2).abs() < 1e-9); // IC "D": 3.2 W
+}

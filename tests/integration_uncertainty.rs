@@ -1,0 +1,182 @@
+//! Integration: uncertainty analyses over the real 121-design space —
+//! Fig. 6 domain studies and §IV-B/§VI-C robustness machinery.
+
+use cordoba::prelude::*;
+use cordoba_accel::space::design_space;
+use cordoba_carbon::embodied::EmbodiedModel;
+use cordoba_carbon::intensity::{grids, CiSource, ConstantCi, DiurnalCi, TrendCi};
+use cordoba_carbon::units::{CarbonIntensity, Seconds};
+use cordoba_workloads::task::Task;
+
+fn space_points() -> Vec<DesignPoint> {
+    evaluate_space(&design_space(), &Task::all_kernels(), &EmbodiedModel::default()).unwrap()
+}
+
+#[test]
+fn domain_contexts_hit_their_embodied_shares() {
+    let points = space_points();
+    for domain in DomainClass::ALL {
+        let analysis = domain_analysis(&points, domain).unwrap();
+        let mean_share: f64 = points
+            .iter()
+            .map(|p| p.embodied_share(&analysis.context))
+            .sum::<f64>()
+            / points.len() as f64;
+        assert!(
+            (mean_share - domain.embodied_share()).abs() < 0.02,
+            "{}: share {mean_share}",
+            domain.label()
+        );
+    }
+}
+
+#[test]
+fn correlation_orders_wearable_mobile_datacenter() {
+    // Fig. 6: EDP-tCDP correlation strengthens as operational carbon
+    // dominates.
+    let points = space_points();
+    let corr: Vec<f64> = DomainClass::ALL
+        .iter()
+        .map(|&d| domain_analysis(&points, d).unwrap().correlation)
+        .collect();
+    assert!(corr[0] < corr[1], "wearable {} vs mobile {}", corr[0], corr[1]);
+    assert!(corr[1] < corr[2], "mobile {} vs datacenter {}", corr[1], corr[2]);
+    assert!(corr[2] > 0.9, "datacenter correlation {}", corr[2]);
+}
+
+#[test]
+fn iso_edp_designs_spread_widely_in_tcdp_when_embodied_dominates() {
+    // Fig. 6: "two EDP-equivalent designs exhibit 100x difference in tCDP".
+    let points = space_points();
+    let wearable = domain_analysis(&points, DomainClass::Wearable).unwrap();
+    assert!(
+        wearable.iso_edp_tcdp_spread > 5.0,
+        "spread {:.1}x",
+        wearable.iso_edp_tcdp_spread
+    );
+    let datacenter = domain_analysis(&points, DomainClass::Datacenter).unwrap();
+    assert!(wearable.iso_edp_tcdp_spread > datacenter.iso_edp_tcdp_spread);
+}
+
+#[test]
+fn edp_and_tcdp_optima_differ_except_under_operational_dominance() {
+    let points = space_points();
+    let wearable = domain_analysis(&points, DomainClass::Wearable).unwrap();
+    assert_ne!(wearable.edp_optimal, wearable.tcdp_optimal);
+    // At an extreme operational-dominant context the two coincide.
+    let ctx = OperationalContext::us_grid(1e15);
+    let edp_best = argmin(&points, MetricKind::Edp, &ctx).unwrap();
+    let tcdp_best = argmin(&points, MetricKind::Tcdp, &ctx).unwrap();
+    assert_eq!(edp_best.name, tcdp_best.name);
+}
+
+#[test]
+fn time_varying_ci_preserves_beta_elimination_guarantee() {
+    // Any design eliminated by the beta sweep must also lose under every
+    // concrete CI trajectory (evaluated via lifetime-mean CI).
+    let points = space_points();
+    let sweep = BetaSweep::run(&points);
+    let eliminated = sweep.eliminated_names();
+    let lifetime = Seconds::from_years(4.0);
+    let flat = ConstantCi::new(grids::US_AVERAGE);
+    let diurnal = DiurnalCi::new(grids::US_AVERAGE, CarbonIntensity::new(120.0)).unwrap();
+    let trend = TrendCi::new(grids::COAL, 0.12).unwrap();
+    let sources: [&dyn CiSource; 3] = [&flat, &diurnal, &trend];
+    for source in sources {
+        for tasks in [1e5, 1e9] {
+            let best = points
+                .iter()
+                .min_by(|a, b| {
+                    tcdp_under_source(a, source, tasks, lifetime)
+                        .total_cmp(&tcdp_under_source(b, source, tasks, lifetime))
+                })
+                .unwrap();
+            assert!(
+                !eliminated.contains(&best.name.as_str()),
+                "eliminated design {} won under {source:?}",
+                best.name
+            );
+        }
+    }
+}
+
+#[test]
+fn regret_ranks_robust_designs_over_the_real_space() {
+    let points = space_points();
+    let clean = ConstantCi::new(grids::SOLAR);
+    let dirty = ConstantCi::new(grids::COAL);
+    let decarb = TrendCi::new(grids::US_AVERAGE, 0.10).unwrap();
+    let scenarios: Vec<&dyn CiSource> = vec![&clean, &dirty, &decarb];
+    let regret = scenario_regret(&points, &scenarios, 1e8, Seconds::from_years(4.0)).unwrap();
+    let (best_idx, best_regret) = regret
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.total_cmp(b.1))
+        .unwrap();
+    assert!(*best_regret < 2.0, "robust regret {best_regret}");
+    // The robust design must survive the beta sweep as well.
+    let sweep = BetaSweep::run(&points);
+    assert!(sweep
+        .surviving_names()
+        .contains(&points[best_idx].name.as_str()));
+}
+
+#[test]
+fn seasonal_grid_profiles_drive_regret_analysis() {
+    use cordoba_carbon::intensity::SeasonalCi;
+    let points = space_points();
+    let solar = SeasonalCi::solar_rich();
+    let coal = SeasonalCi::coal_heavy();
+    let wind = SeasonalCi::wind_hydro();
+    let scenarios: Vec<&dyn CiSource> = vec![&solar, &coal, &wind];
+    let regret = scenario_regret(&points, &scenarios, 1e8, Seconds::from_years(5.0)).unwrap();
+    // The robust design under realistic composite grids still survives the
+    // beta sweep (mean-CI equivalence holds for constant power, eq. IV.7).
+    let best_idx = regret
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.total_cmp(b.1))
+        .unwrap()
+        .0;
+    let sweep = BetaSweep::run(&points);
+    assert!(sweep
+        .surviving_names()
+        .contains(&points[best_idx].name.as_str()));
+    // Dirtier grids make operational carbon dominate and favor the
+    // energy-efficient end of the Pareto set.
+    let coal_best = points
+        .iter()
+        .min_by(|a, b| {
+            tcdp_under_source(a, &coal, 1e8, Seconds::from_years(5.0))
+                .total_cmp(&tcdp_under_source(b, &coal, 1e8, Seconds::from_years(5.0)))
+        })
+        .unwrap();
+    let wind_best = points
+        .iter()
+        .min_by(|a, b| {
+            tcdp_under_source(a, &wind, 1e8, Seconds::from_years(5.0))
+                .total_cmp(&tcdp_under_source(b, &wind, 1e8, Seconds::from_years(5.0)))
+        })
+        .unwrap();
+    assert!(coal_best.edp() <= wind_best.edp());
+    assert!(coal_best.embodied >= wind_best.embodied);
+}
+
+#[test]
+fn robustness_score_trades_peak_optimality_for_average() {
+    let points = space_points();
+    let sweep = OpTimeSweep::new(points, log_sweep(4, 11, 4), grids::US_AVERAGE).unwrap();
+    let robust = sweep.robust_choice();
+    let early = sweep.optimal_at(0);
+    // The early specialist is worse on average; the robust pick is worse
+    // than 1.0 somewhere but best on average.
+    assert!(sweep.robustness_score(robust) <= sweep.robustness_score(early));
+    assert!(sweep.robustness_score(robust) >= 1.0);
+    // Paper: the early specialist can be >10x off at 1e11 inferences.
+    let last = sweep.task_counts.len() - 1;
+    assert!(
+        sweep.normalized_at(last)[early] > 2.0,
+        "early specialist only {:.1}x off at the far end",
+        sweep.normalized_at(last)[early]
+    );
+}

@@ -1,0 +1,116 @@
+//! Data-structure hygiene tests across all crates: every public data type
+//! must be cloneable with equality round trips, have a non-empty `Debug`
+//! representation (C-DEBUG-NONEMPTY), and implement Serde's
+//! `Serialize`/`Deserialize` (C-SERDE) so downstream crates can persist
+//! results in the format of their choice (no serialization format crate is
+//! vendored offline, so the Serde bound is asserted at compile time).
+
+use cordoba::prelude::*;
+use cordoba_accel::prelude::*;
+use cordoba_carbon::prelude::*;
+use cordoba_soc::prelude::*;
+use cordoba_workloads::prelude::*;
+
+fn assert_clone_eq<T: Clone + PartialEq + std::fmt::Debug>(value: &T) {
+    let copy = value.clone();
+    assert_eq!(&copy, value);
+    let debug = format!("{value:?}");
+    assert!(!debug.is_empty(), "Debug must be non-empty (C-DEBUG-NONEMPTY)");
+}
+
+#[test]
+fn core_types_clone_and_compare() {
+    let point = DesignPoint::new(
+        "x",
+        Seconds::new(1.0),
+        Joules::new(2.0),
+        GramsCo2e::new(3.0),
+        SquareCentimeters::new(4.0),
+    )
+    .unwrap();
+    assert_clone_eq(&point);
+    assert_clone_eq(&OperationalContext::us_grid(10.0));
+    assert_clone_eq(&Constraints::none().with_max_delay(Seconds::new(1.0)));
+    assert_clone_eq(&Point2::new("p", 1.0, 2.0));
+    assert_clone_eq(&PointK::new("k", vec![1.0, 2.0, 3.0]));
+    assert_clone_eq(&BetaSweep::run(std::slice::from_ref(&point)));
+    assert_clone_eq(&Scenario::default());
+}
+
+#[test]
+fn carbon_types_clone_and_compare() {
+    assert_clone_eq(&Die::new("d", SquareCentimeters::new(1.0), ProcessNode::N7).unwrap());
+    assert_clone_eq(&EmbodiedModel::default());
+    assert_clone_eq(&YieldModel::Murphy);
+    assert_clone_eq(&Wafer::new_300mm());
+    assert_clone_eq(&UsageProfile::from_daily_hours(5.0, 2.0).unwrap());
+    assert_clone_eq(&ConstantCi::new(grids::US_AVERAGE));
+    assert_clone_eq(&TrendCi::new(grids::US_AVERAGE, 0.05).unwrap());
+    assert_clone_eq(&MemoryDevice::new(MemoryKind::Dram, 8.0).unwrap());
+    let mut bom = SystemBom::new("sys");
+    bom.add_memory(MemoryDevice::new(MemoryKind::Nand, 64.0).unwrap());
+    assert_clone_eq(&bom);
+    assert_clone_eq(
+        &TraceCi::new(vec![
+            (Seconds::new(0.0), CarbonIntensity::new(1.0)),
+            (Seconds::new(1.0), CarbonIntensity::new(2.0)),
+        ])
+        .unwrap(),
+    );
+}
+
+#[test]
+fn workload_and_accel_types_clone_and_compare() {
+    assert_clone_eq(&Task::xr_10_kernels());
+    assert_clone_eq(&KernelId::Sr512.descriptor());
+    assert_clone_eq(&LayeredKernel::for_kernel(KernelId::UNet));
+    assert_clone_eq(&config_by_name("a48").unwrap());
+    assert_clone_eq(&TechTuning::n7());
+    let cfg = config_by_name("a48").unwrap();
+    assert_clone_eq(&simulate(&cfg, &KernelId::ResNet50.descriptor()));
+    assert_clone_eq(&simulate_layered(&cfg, &LayeredKernel::for_kernel(KernelId::ResNet50)));
+    assert_clone_eq(&full_cost_table(&cfg));
+}
+
+#[test]
+fn soc_types_clone_and_compare() {
+    assert_clone_eq(&SocConfig::quest2());
+    assert_clone_eq(&VrApp::m1());
+    assert_clone_eq(&ActivityTrace::deterministic(&VrApp::b1()));
+    assert_clone_eq(&schedule_app(&VrApp::m1(), &SocConfig::quest2()));
+    let rows = sweep(&VrApp::m1(), &Deployment::default()).unwrap();
+    assert_clone_eq(&rows[0]);
+}
+
+#[test]
+fn serde_serialize_is_implemented_for_key_types() {
+    // Compile-time assertion that Serialize/Deserialize bounds hold for
+    // data-structure types (C-SERDE); a downstream crate can pick any
+    // format.
+    fn assert_serde<T: serde::Serialize + serde::de::DeserializeOwned>() {}
+    assert_serde::<DesignPoint>();
+    assert_serde::<OperationalContext>();
+    assert_serde::<Point2>();
+    assert_serde::<PointK>();
+    assert_serde::<Task>();
+    assert_serde::<KernelDescriptor>();
+    assert_serde::<LayeredKernel>();
+    assert_serde::<AcceleratorConfig>();
+    assert_serde::<TechTuning>();
+    assert_serde::<KernelSim>();
+    assert_serde::<LayeredSim>();
+    assert_serde::<SocConfig>();
+    assert_serde::<VrApp>();
+    assert_serde::<ActivityTrace>();
+    assert_serde::<ProvisioningRow>();
+    assert_serde::<EmbodiedModel>();
+    assert_serde::<Die>();
+    assert_serde::<Wafer>();
+    assert_serde::<YieldModel>();
+    assert_serde::<UsageProfile>();
+    assert_serde::<MemoryDevice>();
+    assert_serde::<SystemBom>();
+    assert_serde::<Seconds>();
+    assert_serde::<GramsCo2e>();
+    assert_serde::<CarbonIntensity>();
+}
