@@ -64,8 +64,18 @@ impl AcceleratorConfig {
     /// # Errors
     ///
     /// Returns an error if `mac_units` is zero or `sram` is not positive.
-    pub fn on_die(name: impl Into<String>, mac_units: u32, sram: Bytes) -> Result<Self, CarbonError> {
-        Self::with_tuning(name, mac_units, sram, MemoryIntegration::OnDie, TechTuning::n7())
+    pub fn on_die(
+        name: impl Into<String>,
+        mac_units: u32,
+        sram: Bytes,
+    ) -> Result<Self, CarbonError> {
+        Self::with_tuning(
+            name,
+            mac_units,
+            sram,
+            MemoryIntegration::OnDie,
+            TechTuning::n7(),
+        )
     }
 
     /// Creates a 3D-stacked configuration at 7 nm with `dies` memory dice
@@ -160,8 +170,8 @@ impl AcceleratorConfig {
     /// on-die.
     #[must_use]
     pub fn logic_die_area(&self) -> SquareCentimeters {
-        let mut mm2 = f64::from(self.mac_units) * self.tuning.mac_unit_area_mm2
-            + self.tuning.base_area_mm2;
+        let mut mm2 =
+            f64::from(self.mac_units) * self.tuning.mac_unit_area_mm2 + self.tuning.base_area_mm2;
         if self.integration == MemoryIntegration::OnDie {
             mm2 += self.sram.to_mebibytes() * self.tuning.sram_area_mm2_per_mib;
         }
@@ -210,14 +220,21 @@ impl AcceleratorConfig {
         let node = self.tuning.node;
         match self.integration {
             MemoryIntegration::OnDie => Assembly::new(
-                vec![Die::new(format!("{}-logic", self.name), self.logic_die_area(), node)?],
+                vec![Die::new(
+                    format!("{}-logic", self.name),
+                    self.logic_die_area(),
+                    node,
+                )?],
                 0.0,
                 1.0,
                 GramsCo2e::ZERO,
             ),
             MemoryIntegration::Stacked3d { dies } => {
-                let mut stack =
-                    vec![Die::new(format!("{}-logic", self.name), self.logic_die_area(), node)?];
+                let mut stack = vec![Die::new(
+                    format!("{}-logic", self.name),
+                    self.logic_die_area(),
+                    node,
+                )?];
                 for i in 0..dies {
                     stack.push(Die::new(
                         format!("{}-mem{}", self.name, i),
@@ -268,7 +285,11 @@ impl fmt::Display for AcceleratorConfig {
             self.name,
             self.mac_units,
             self.sram.to_mebibytes(),
-            if self.integration.is_stacked() { ", 3D" } else { "" }
+            if self.integration.is_stacked() {
+                ", 3D"
+            } else {
+                ""
+            }
         )
     }
 }
@@ -293,8 +314,8 @@ mod tests {
 
     #[test]
     fn stacked_area_splits_dies() {
-        let c = AcceleratorConfig::stacked_3d("3D_2K_8M", 16, Bytes::from_mebibytes(4.0), 2)
-            .unwrap();
+        let c =
+            AcceleratorConfig::stacked_3d("3D_2K_8M", 16, Bytes::from_mebibytes(4.0), 2).unwrap();
         assert!((c.sram().to_mebibytes() - 8.0).abs() < 1e-12);
         // Logic die excludes SRAM: 16*0.6 + 0.5 = 10.1 mm^2.
         assert!((c.logic_die_area().to_square_millimeters().value() - 10.1).abs() < 1e-9);
@@ -361,8 +382,8 @@ mod tests {
 
     #[test]
     fn display_format() {
-        let c = AcceleratorConfig::stacked_3d("3D_1K_2M", 8, Bytes::from_mebibytes(2.0), 1)
-            .unwrap();
+        let c =
+            AcceleratorConfig::stacked_3d("3D_1K_2M", 8, Bytes::from_mebibytes(2.0), 1).unwrap();
         assert_eq!(c.to_string(), "3D_1K_2M (8 MAC units, 2 MiB SRAM, 3D)");
         assert_eq!(cfg(4, 1.0).to_string(), "t (4 MAC units, 1 MiB SRAM)");
     }

@@ -55,7 +55,6 @@ impl LayeredSim {
     pub fn dynamic_power(&self) -> Watts {
         self.dynamic_energy / self.latency
     }
-
 }
 
 /// Simulates one inference of `kernel` (layer by layer) on `config`.
@@ -92,8 +91,8 @@ pub fn simulate_layered(config: &AcceleratorConfig, kernel: &LayeredKernel) -> L
         let footprint = kernel.resident + layer.working_set();
         let overflow = footprint.value() / sram.value();
         if overflow > 1.0 {
-            dram += layer.working_set()
-                * (t.refetch_scale * (overflow.powf(t.refetch_exponent) - 1.0));
+            dram +=
+                layer.working_set() * (t.refetch_scale * (overflow.powf(t.refetch_exponent) - 1.0));
         }
         let memory_time: Seconds = dram / t.dram_bandwidth;
 
@@ -199,9 +198,8 @@ mod tests {
         for kernel in LayeredKernel::all() {
             let layered = simulate_layered(&config, &kernel);
             let aggregate = simulate(&config, &kernel.id.descriptor());
-            let lat_ratio = (layered.latency.value() / aggregate.latency.value()).max(
-                aggregate.latency.value() / layered.latency.value(),
-            );
+            let lat_ratio = (layered.latency.value() / aggregate.latency.value())
+                .max(aggregate.latency.value() / layered.latency.value());
             assert!(
                 lat_ratio < 5.0,
                 "{:?}: layered {} vs aggregate {} latency",

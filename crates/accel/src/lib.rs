@@ -27,9 +27,6 @@
 //! # Ok::<(), cordoba_workloads::cost::MissingKernel>(())
 //! ```
 
-#![warn(missing_docs)]
-#![warn(clippy::all)]
-
 pub mod config;
 pub mod layered_sim;
 pub mod params;
@@ -40,8 +37,8 @@ pub mod stacking;
 /// Convenience re-exports of the most commonly used items.
 pub mod prelude {
     pub use crate::config::{AcceleratorConfig, MemoryIntegration};
-    pub use crate::params::{TechTuning, MACS_PER_UNIT};
     pub use crate::layered_sim::{layered_cost_table, simulate_layered, LayerSim, LayeredSim};
+    pub use crate::params::{TechTuning, MACS_PER_UNIT};
     pub use crate::sim::{cost_table, full_cost_table, simulate, KernelSim};
     pub use crate::space::{config_by_name, design_space, GridIndex, SPACE_SIZE};
     pub use crate::stacking::{baseline, stacked_configs, study_configs};

@@ -39,12 +39,9 @@ fn bench_op_time_sweep(c: &mut Criterion) {
     let counts = log_sweep(4, 11, 4);
     c.bench_function("dse/op_time_sweep_121x29", |b| {
         b.iter(|| {
-            let sweep = OpTimeSweep::new(
-                black_box(points.clone()),
-                counts.clone(),
-                grids::US_AVERAGE,
-            )
-            .unwrap();
+            let sweep =
+                OpTimeSweep::new(black_box(points.clone()), counts.clone(), grids::US_AVERAGE)
+                    .unwrap();
             black_box(sweep.elimination_fraction())
         })
     });

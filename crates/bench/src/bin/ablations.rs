@@ -57,8 +57,8 @@ fn simulator_granularity_ablation() {
 
 fn yield_ablation() {
     heading("Ablation 1: yield model vs embodied carbon (2.25 cm^2 die, 7 nm)");
-    let die = Die::new("soc", SquareCentimeters::new(2.25), ProcessNode::N7)
-        .expect("positive area");
+    let die =
+        Die::new("soc", SquareCentimeters::new(2.25), ProcessNode::N7).expect("positive area");
     let mut t = Table::new(vec![
         "yield_model".into(),
         "yield".into(),
@@ -96,7 +96,10 @@ fn ci_profile_ablation() {
         DutyCycledPower::daily(Watts::new(8.3), Watts::ZERO, 2.0).expect("valid duty cycle");
     let life = usage.lifetime();
     let profiles: Vec<(&str, Box<dyn CiSource>)> = vec![
-        ("constant US grid", Box::new(ConstantCi::new(grids::US_AVERAGE))),
+        (
+            "constant US grid",
+            Box::new(ConstantCi::new(grids::US_AVERAGE)),
+        ),
         (
             "diurnal +/-140",
             Box::new(
@@ -114,12 +117,8 @@ fn ci_profile_ablation() {
         ),
         ("always solar", Box::new(ConstantCi::new(grids::SOLAR))),
     ];
-    let baseline = operational_carbon_profile(
-        &ConstantCi::new(grids::US_AVERAGE),
-        &power,
-        life,
-        20_000,
-    );
+    let baseline =
+        operational_carbon_profile(&ConstantCi::new(grids::US_AVERAGE), &power, life, 20_000);
     let mut t = Table::new(vec![
         "ci_profile".into(),
         "operational_gco2e".into(),
@@ -154,12 +153,18 @@ fn elimination_rule_ablation() {
     t.row(vec![
         "pareto frontier".into(),
         sweep.pareto.len().to_string(),
-        format!("{:.1}%", 100.0 * (1.0 - sweep.pareto.len() as f64 / n as f64)),
+        format!(
+            "{:.1}%",
+            100.0 * (1.0 - sweep.pareto.len() as f64 / n as f64)
+        ),
     ]);
     t.row(vec![
         "lower convex hull (beta support)".into(),
         sweep.support.len().to_string(),
-        format!("{:.1}%", 100.0 * (1.0 - sweep.support.len() as f64 / n as f64)),
+        format!(
+            "{:.1}%",
+            100.0 * (1.0 - sweep.support.len() as f64 / n as f64)
+        ),
     ]);
     emit(&t, "ablation_elimination");
     println!("The hull is a subset of the frontier: every hull design wins some beta,");

@@ -54,7 +54,11 @@ fn main() {
     for &n in &op_times {
         let ctx = OperationalContext::new(n, grids::US_AVERAGE).expect("valid tasks");
         let best = argmin(&points, MetricKind::Edp, &ctx).expect("non-empty");
-        b.row(vec![fmt_num(n), best.name.clone(), fmt_num(best.edp().value())]);
+        b.row(vec![
+            fmt_num(n),
+            best.name.clone(),
+            fmt_num(best.edp().value()),
+        ]);
     }
     emit(&b, "fig7b");
 

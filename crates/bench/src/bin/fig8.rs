@@ -129,11 +129,7 @@ fn main() {
             let gidx = general.index_near(n_target);
             let spec = sweep.tcdp_at(idx, sweep.optimal_at(idx));
             let gen = general.tcdp_at(gidx, general.optimal_at(gidx));
-            s.row(vec![
-                fmt_num(n_target),
-                name.clone(),
-                fmt_ratio(gen / spec),
-            ]);
+            s.row(vec![fmt_num(n_target), name.clone(), fmt_ratio(gen / spec)]);
         }
     }
     emit(&s, "fig8_specialization");

@@ -72,8 +72,8 @@ fn main() {
     // ASCII rendering of the "All kernels" normalized-tCDP curves: the
     // early specialist degrades rightward, the late specialist leftward,
     // the robust choice stays flat.
-    let points = evaluate_space(&configs, &Task::all_kernels(), &model)
-        .expect("static space evaluates");
+    let points =
+        evaluate_space(&configs, &Task::all_kernels(), &model).expect("static space evaluates");
     let sweep = OpTimeSweep::new(points, counts, grids::US_AVERAGE).expect("valid sweep");
     let mut chart = AsciiChart::new(64, 12).with_log_y();
     let mut interesting = vec![

@@ -26,9 +26,7 @@ fn main() {
         cells.extend(rows.iter().map(|r| fmt_num(f(r))));
         table.row(cells);
     };
-    push("[1] clock frequency (GHz)", &|r| {
-        r.ic.clock.to_gigahertz()
-    });
+    push("[1] clock frequency (GHz)", &|r| r.ic.clock.to_gigahertz());
     push("[2] energy per cycle (nJ)", &|r| {
         r.ic.energy_per_cycle.value() * 1e9
     });

@@ -58,5 +58,7 @@ fn main() {
     let products: Vec<f64> = rows.iter().map(|r| r.budget_throughput * r.tcdp).collect();
     let spread = products.iter().cloned().fold(0.0f64, f64::max)
         / products.iter().cloned().fold(f64::INFINITY, f64::min);
-    println!("throughput x tCDP constant across ICs: max/min spread = {spread:.6} (paper: exactly 1)");
+    println!(
+        "throughput x tCDP constant across ICs: max/min spread = {spread:.6} (paper: exactly 1)"
+    );
 }

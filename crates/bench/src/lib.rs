@@ -4,9 +4,6 @@
 //! paper, printing the same rows/series the paper reports and writing a
 //! CSV copy into `results/`.
 
-#![warn(missing_docs)]
-#![warn(clippy::all)]
-
 use cordoba::report::Table;
 use std::path::{Path, PathBuf};
 

@@ -73,8 +73,7 @@ impl StackingStudy {
 
         let ci = grids::US_AVERAGE;
         let embodied_ctx = context_for_embodied_share(&points, ci, EMBODIED_DOMINANT_SHARE)?;
-        let operational_ctx =
-            context_for_embodied_share(&points, ci, OPERATIONAL_DOMINANT_SHARE)?;
+        let operational_ctx = context_for_embodied_share(&points, ci, OPERATIONAL_DOMINANT_SHARE)?;
 
         let rows = points
             .iter()

@@ -146,7 +146,8 @@ impl EmbodiedModel {
     pub fn die_carbon(&self, die: &Die) -> GramsCo2e {
         let profile = die.node.profile();
         let per_area_fab: GramsCo2e = self.ci_fab * (profile.epa * SquareCentimeters::new(1.0));
-        let per_area = per_area_fab + profile.mpa * SquareCentimeters::new(1.0)
+        let per_area = per_area_fab
+            + profile.mpa * SquareCentimeters::new(1.0)
             + profile.gpa * SquareCentimeters::new(1.0);
         let effective = self
             .yield_model
@@ -171,7 +172,8 @@ impl EmbodiedModel {
             .effective_area(die.area, profile.defect_density);
         EmbodiedBreakdown {
             fab_energy: profile.epa * effective,
-            materials: (profile.mpa + profile.gpa) * SquareCentimeters::new(1.0)
+            materials: (profile.mpa + profile.gpa)
+                * SquareCentimeters::new(1.0)
                 * effective.value(),
         }
     }
@@ -214,7 +216,8 @@ impl EmbodiedModel {
     ) -> Result<GramsCo2e, CarbonError> {
         let profile = die.node.profile();
         let per_area_fab: GramsCo2e = self.ci_fab * (profile.epa * SquareCentimeters::new(1.0));
-        let per_area = per_area_fab + profile.mpa * SquareCentimeters::new(1.0)
+        let per_area = per_area_fab
+            + profile.mpa * SquareCentimeters::new(1.0)
             + profile.gpa * SquareCentimeters::new(1.0);
         let wafer_carbon = per_area * wafer.usable_area().value();
         let gross = wafer.gross_dies(die.area)?;
@@ -311,7 +314,8 @@ impl Assembly {
     /// Compound yield across all bonding steps.
     #[must_use]
     pub fn compound_bond_yield(&self) -> f64 {
-        self.bond_yield_per_interface.powi(self.interfaces() as i32)
+        let n = i32::try_from(self.interfaces()).unwrap_or(i32::MAX);
+        self.bond_yield_per_interface.powi(n)
     }
 
     /// Total silicon area including TSV overhead.
@@ -369,8 +373,10 @@ mod tests {
     #[test]
     fn newer_node_costs_more_per_area() {
         let model = EmbodiedModel::default();
-        let old = model.die_carbon(&Die::new("a", SquareCentimeters::new(1.0), ProcessNode::N28).unwrap());
-        let new = model.die_carbon(&Die::new("b", SquareCentimeters::new(1.0), ProcessNode::N3).unwrap());
+        let old = model
+            .die_carbon(&Die::new("a", SquareCentimeters::new(1.0), ProcessNode::N28).unwrap());
+        let new =
+            model.die_carbon(&Die::new("b", SquareCentimeters::new(1.0), ProcessNode::N3).unwrap());
         assert!(new.value() > 1.5 * old.value());
     }
 
@@ -385,11 +391,7 @@ mod tests {
 
     #[test]
     fn packaging_adder_applies_once() {
-        let model = EmbodiedModel::new(
-            grids::COAL,
-            YieldModel::Murphy,
-            GramsCo2e::new(50.0),
-        );
+        let model = EmbodiedModel::new(grids::COAL, YieldModel::Murphy, GramsCo2e::new(50.0));
         let d = die(1.0);
         let bare = model.die_carbon(&d);
         let packaged = model.packaged_die_carbon(&d);
@@ -398,7 +400,11 @@ mod tests {
 
     #[test]
     fn assembly_pays_tsv_and_bond_yield() {
-        let model = EmbodiedModel::new(grids::COAL, YieldModel::fixed(1.0).unwrap(), GramsCo2e::ZERO);
+        let model = EmbodiedModel::new(
+            grids::COAL,
+            YieldModel::fixed(1.0).unwrap(),
+            GramsCo2e::ZERO,
+        );
         let dice = vec![die(1.0), die(1.0)];
         let asm = Assembly::new(dice, 0.05, 0.99, GramsCo2e::new(10.0)).unwrap();
         assert_eq!(asm.interfaces(), 1);
@@ -411,8 +417,13 @@ mod tests {
 
     #[test]
     fn assembly_geometry() {
-        let asm = Assembly::new(vec![die(2.0), die(1.0), die(1.0)], 0.10, 0.98, GramsCo2e::ZERO)
-            .unwrap();
+        let asm = Assembly::new(
+            vec![die(2.0), die(1.0), die(1.0)],
+            0.10,
+            0.98,
+            GramsCo2e::ZERO,
+        )
+        .unwrap();
         assert_eq!(asm.interfaces(), 2);
         assert!((asm.total_area().value() - 4.4).abs() < 1e-12);
         assert!((asm.footprint().value() - 2.2).abs() < 1e-12);
@@ -455,11 +466,7 @@ mod tests {
 
     #[test]
     fn assembly_breakdown_reassembles_to_assembly_carbon() {
-        let model = EmbodiedModel::new(
-            grids::COAL,
-            YieldModel::Murphy,
-            GramsCo2e::new(50.0),
-        );
+        let model = EmbodiedModel::new(grids::COAL, YieldModel::Murphy, GramsCo2e::new(50.0));
         let asm = Assembly::new(
             vec![die(1.0), die(0.5), die(0.5)],
             0.05,
@@ -486,9 +493,7 @@ mod tests {
         assert!(
             (sum.fab_energy.value() - a.fab_energy.value() - b.fab_energy.value()).abs() < 1e-12
         );
-        assert!(
-            (sum.materials.value() - a.materials.value() - b.materials.value()).abs() < 1e-9
-        );
+        assert!((sum.materials.value() - a.materials.value() - b.materials.value()).abs() < 1e-9);
     }
 
     #[test]

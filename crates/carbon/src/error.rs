@@ -151,7 +151,10 @@ mod tests {
     #[test]
     fn display_messages_are_lowercase_and_specific() {
         let e = CarbonError::out_of_range("yield", 1.5, 0.0, 1.0);
-        assert_eq!(e.to_string(), "parameter `yield` must be in [0, 1], got 1.5");
+        assert_eq!(
+            e.to_string(),
+            "parameter `yield` must be in [0, 1], got 1.5"
+        );
         let e = CarbonError::non_finite("area", f64::NAN);
         assert!(e.to_string().starts_with("parameter `area` must be finite"));
         let e = CarbonError::Empty { what: "trace" };

@@ -7,7 +7,7 @@
 //! implementations, plus published grid-average constants in [`grids`].
 
 use crate::error::CarbonError;
-use crate::units::{CarbonIntensity, Seconds, SECONDS_PER_DAY, SECONDS_PER_YEAR};
+use crate::units::{count_f64, CarbonIntensity, Seconds, SECONDS_PER_DAY, SECONDS_PER_YEAR};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -64,11 +64,11 @@ pub trait CiSource: fmt::Debug {
     /// Panics if `samples == 0`.
     fn mean_over(&self, duration: Seconds, samples: usize) -> CarbonIntensity {
         assert!(samples > 0, "samples must be > 0");
-        let dt = duration.value() / samples as f64;
+        let dt = duration.value() / count_f64(samples);
         let sum: f64 = (0..samples)
-            .map(|i| self.at(Seconds::new((i as f64 + 0.5) * dt)).value())
+            .map(|i| self.at(Seconds::new((count_f64(i) + 0.5) * dt)).value())
             .sum();
-        CarbonIntensity::new(sum / samples as f64)
+        CarbonIntensity::new(sum / count_f64(samples))
     }
 }
 
@@ -138,7 +138,7 @@ impl DiurnalCi {
 impl CiSource for DiurnalCi {
     fn at(&self, t: Seconds) -> CarbonIntensity {
         let phase = core::f64::consts::TAU * t.value() / self.period.value();
-        CarbonIntensity::new(self.mean.value() + self.amplitude.value() * phase.cos())
+        self.mean + self.amplitude * phase.cos()
     }
 }
 
@@ -173,7 +173,7 @@ impl TrendCi {
 impl CiSource for TrendCi {
     fn at(&self, t: Seconds) -> CarbonIntensity {
         let years = t.value() / SECONDS_PER_YEAR;
-        CarbonIntensity::new(self.start.value() * (1.0 - self.annual_decline).powf(years))
+        self.start * (1.0 - self.annual_decline).powf(years)
     }
 }
 
@@ -235,7 +235,7 @@ impl CiSource for TraceCi {
             let (t1, c1) = window[1];
             if t.value() <= t1.value() {
                 let frac = (t.value() - t0.value()) / (t1.value() - t0.value());
-                return CarbonIntensity::new(c0.value() + frac * (c1.value() - c0.value()));
+                return c0 + (c1 - c0) * frac;
             }
         }
         self.samples[self.samples.len() - 1].1
@@ -291,7 +291,7 @@ impl SeasonalCi {
     #[must_use]
     pub fn solar_rich() -> Self {
         Self::new(CarbonIntensity::new(260.0), 0.45, 0.10, 0.06)
-            .expect("static parameters are valid")
+            .expect("static parameters are valid") // cordoba-lint: allow(no-panic) — parameters are compile-time constants, validated by tests
     }
 
     /// A coal-heavy grid: high baseline, weak daily structure, slow
@@ -303,7 +303,7 @@ impl SeasonalCi {
     #[must_use]
     pub fn coal_heavy() -> Self {
         Self::new(CarbonIntensity::new(680.0), 0.08, 0.12, 0.015)
-            .expect("static parameters are valid")
+            .expect("static parameters are valid") // cordoba-lint: allow(no-panic) — parameters are compile-time constants, validated by tests
     }
 
     /// A wind/hydro grid: low baseline with strong seasonal variation.
@@ -314,7 +314,7 @@ impl SeasonalCi {
     #[must_use]
     pub fn wind_hydro() -> Self {
         Self::new(CarbonIntensity::new(90.0), 0.10, 0.35, 0.04)
-            .expect("static parameters are valid")
+            .expect("static parameters are valid") // cordoba-lint: allow(no-panic) — parameters are compile-time constants, validated by tests
     }
 }
 
@@ -323,12 +323,10 @@ impl CiSource for SeasonalCi {
         let years = t.value() / SECONDS_PER_YEAR;
         let day_phase = core::f64::consts::TAU * t.value() / SECONDS_PER_DAY;
         let year_phase = core::f64::consts::TAU * years;
-        CarbonIntensity::new(
-            self.mean.value()
-                * (1.0 - self.annual_decline).powf(years)
+        self.mean
+            * ((1.0 - self.annual_decline).powf(years)
                 * (1.0 + self.diurnal_amplitude * day_phase.cos())
-                * (1.0 + self.seasonal_amplitude * year_phase.cos()),
-        )
+                * (1.0 + self.seasonal_amplitude * year_phase.cos()))
     }
 }
 

@@ -41,9 +41,6 @@
 //! # Ok::<(), cordoba_carbon::CarbonError>(())
 //! ```
 
-#![warn(missing_docs)]
-#![warn(clippy::all)]
-
 pub mod embodied;
 pub mod error;
 pub mod fab;

@@ -212,7 +212,10 @@ impl SystemBom {
     /// Embodied carbon of the memory devices alone.
     #[must_use]
     pub fn memory_carbon(&self) -> GramsCo2e {
-        self.memories.iter().map(MemoryDevice::embodied_carbon).sum()
+        self.memories
+            .iter()
+            .map(MemoryDevice::embodied_carbon)
+            .sum()
     }
 
     /// Total embodied carbon of the system.
@@ -225,6 +228,7 @@ impl SystemBom {
     #[must_use]
     pub fn memory_share(&self, model: &EmbodiedModel) -> f64 {
         let total = self.embodied_carbon(model).value();
+        // cordoba-lint: allow(float-eq) — exact-zero sentinel guarding division
         if total == 0.0 {
             0.0
         } else {

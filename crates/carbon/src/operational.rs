@@ -6,7 +6,7 @@
 
 use crate::error::CarbonError;
 use crate::intensity::CiSource;
-use crate::units::{CarbonIntensity, GramsCo2e, Joules, Seconds, Watts};
+use crate::units::{count_f64, CarbonIntensity, GramsCo2e, Joules, Seconds, Watts};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -41,9 +41,9 @@ pub trait PowerProfile: fmt::Debug {
     /// Panics if `steps == 0`.
     fn energy_over(&self, duration: Seconds, steps: usize) -> Joules {
         assert!(steps > 0, "steps must be > 0");
-        let dt = duration.value() / steps as f64;
+        let dt = duration.value() / count_f64(steps);
         let sum: f64 = (0..steps)
-            .map(|i| self.at(Seconds::new((i as f64 + 0.5) * dt)).value())
+            .map(|i| self.at(Seconds::new((count_f64(i) + 0.5) * dt)).value())
             .sum();
         Joules::new(sum * dt)
     }
@@ -87,7 +87,12 @@ impl DutyCycledPower {
     ///
     /// Returns an error if `duty` is outside `[0, 1]`, the period is not
     /// positive, or either power is negative.
-    pub fn new(active: Watts, idle: Watts, period: Seconds, duty: f64) -> Result<Self, CarbonError> {
+    pub fn new(
+        active: Watts,
+        idle: Watts,
+        period: Seconds,
+        duty: f64,
+    ) -> Result<Self, CarbonError> {
         CarbonError::require_in_range("duty", duty, 0.0, 1.0)?;
         CarbonError::require_positive("period", period.value())?;
         CarbonError::require_in_range("active power", active.value(), 0.0, f64::MAX)?;
@@ -143,10 +148,10 @@ pub fn operational_carbon_profile(
     steps: usize,
 ) -> GramsCo2e {
     assert!(steps > 0, "steps must be > 0");
-    let dt = lifetime.value() / steps as f64;
+    let dt = lifetime.value() / count_f64(steps);
     let mut grams = 0.0;
     for i in 0..steps {
-        let t = Seconds::new((i as f64 + 0.5) * dt);
+        let t = Seconds::new((count_f64(i) + 0.5) * dt);
         let p = power.at(t);
         let e = (p * Seconds::new(dt)).to_kilowatt_hours();
         grams += (ci.at(t) * e).value();
@@ -182,10 +187,11 @@ mod tests {
         // 2 h/day active at 8.3 W, idle at 0.5 W.
         let p = DutyCycledPower::daily(Watts::new(8.3), Watts::new(0.5), 2.0).unwrap();
         let day = p.energy_over(Seconds::from_days(1.0), 24 * 60);
-        let expected = 8.3 * 2.0 * 3600.0 + 0.5 * 22.0 * 3600.0;
+        let expected = 8.3 * 2.0 * crate::units::SECONDS_PER_HOUR
+            + 0.5 * 22.0 * crate::units::SECONDS_PER_HOUR;
         assert!((day.value() - expected).abs() / expected < 1e-6);
         let mean = p.mean_power();
-        assert!((mean.value() - expected / 86_400.0).abs() < 1e-9);
+        assert!((mean.value() - expected / crate::units::SECONDS_PER_DAY).abs() < 1e-9);
     }
 
     #[test]
@@ -201,7 +207,9 @@ mod tests {
     #[test]
     fn duty_cycle_validation() {
         assert!(DutyCycledPower::daily(Watts::new(1.0), Watts::new(0.1), 25.0).is_err());
-        assert!(DutyCycledPower::new(Watts::new(1.0), Watts::new(0.1), Seconds::ZERO, 0.5).is_err());
+        assert!(
+            DutyCycledPower::new(Watts::new(1.0), Watts::new(0.1), Seconds::ZERO, 0.5).is_err()
+        );
         assert!(
             DutyCycledPower::new(Watts::new(-1.0), Watts::new(0.1), Seconds::new(1.0), 0.5)
                 .is_err()
@@ -234,10 +242,8 @@ mod tests {
         let life = Seconds::from_days(5.0);
         let night_c = operational_carbon_profile(&ci, &night, life, 24_000);
         // Same energy at constant mean CI.
-        let mean_c = operational_carbon(
-            CarbonIntensity::new(380.0),
-            night.energy_over(life, 24_000),
-        );
+        let mean_c =
+            operational_carbon(CarbonIntensity::new(380.0), night.energy_over(life, 24_000));
         // Overnight window catches the high-CI phase.
         assert!(night_c > mean_c);
     }

@@ -364,6 +364,55 @@ dimensional!(CarbonIntensity, KilowattHours => GramsCo2e);
 dimensional!(EnergyPerArea, SquareCentimeters => KilowattHours);
 dimensional!(CarbonPerArea, SquareCentimeters => GramsCo2e);
 dimensional!(BytesPerSecond, Seconds => Bytes);
+dimensional!(Joules, Hertz => Watts);
+
+// `Hertz` is the inverse of `Seconds`: their product is a dimensionless
+// cycle count, and a cycle count divided by one of them yields the other.
+// These cross the `dimensional!` grid (whose output is always a quantity),
+// so they are written out by hand.
+impl Mul<Seconds> for Hertz {
+    type Output = f64;
+    #[inline]
+    fn mul(self, rhs: Seconds) -> f64 {
+        self.value() * rhs.value()
+    }
+}
+
+impl Mul<Hertz> for Seconds {
+    type Output = f64;
+    #[inline]
+    fn mul(self, rhs: Hertz) -> f64 {
+        self.value() * rhs.value()
+    }
+}
+
+impl Div<Hertz> for f64 {
+    type Output = Seconds;
+    #[inline]
+    fn div(self, rhs: Hertz) -> Seconds {
+        Seconds::new(self / rhs.value())
+    }
+}
+
+impl Div<Seconds> for f64 {
+    type Output = Hertz;
+    #[inline]
+    fn div(self, rhs: Seconds) -> Hertz {
+        Hertz::new(self / rhs.value())
+    }
+}
+
+/// Exact `f64` of a count (simulation steps, sample indices, die tallies).
+///
+/// `usize as f64` silently rounds above 2^53; every count in CORDOBA is far
+/// below that, and this helper is the single audited site for the cast, so
+/// kernels never need a bare `as`.
+#[must_use]
+#[inline]
+pub fn count_f64(n: usize) -> f64 {
+    // cordoba-lint: allow(lossy-cast) — audited: counts stay far below 2^53.
+    n as f64
+}
 
 impl Seconds {
     /// Builds a duration from hours.
@@ -473,13 +522,13 @@ impl Bytes {
     /// Builds a data volume from mebibytes (2^20 bytes).
     #[must_use]
     pub fn from_mebibytes(mib: f64) -> Self {
-        Self::new(mib * (1u64 << 20) as f64)
+        Self::new(mib * f64::from(1u32 << 20))
     }
 
     /// The volume expressed in mebibytes.
     #[must_use]
     pub fn to_mebibytes(self) -> f64 {
-        self.value() / (1u64 << 20) as f64
+        self.value() / f64::from(1u32 << 20)
     }
 }
 

@@ -127,19 +127,16 @@ impl Wafer {
         }
         let mut count = 0u64;
         // Grid cells with corners at integer multiples of (w, h), centered.
-        let cols = (2.0 * r / w).ceil() as i64 + 1;
-        let rows = (2.0 * r / h).ceil() as i64 + 1;
+        // Grid extents are bounded by wafer diameter / die size (a few
+        // hundred), so the f64→i64 truncation below is exact.
+        let cols = (2.0 * r / w).ceil() as i64 + 1; // cordoba-lint: allow(lossy-cast)
+        let rows = (2.0 * r / h).ceil() as i64 + 1; // cordoba-lint: allow(lossy-cast)
         for i in -cols..cols {
             for j in -rows..rows {
-                let x0 = i as f64 * w;
-                let y0 = j as f64 * h;
-                // All four corners must lie inside the circle of radius r.
-                let corners = [
-                    (x0, y0),
-                    (x0 + w, y0),
-                    (x0, y0 + h),
-                    (x0 + w, y0 + h),
-                ];
+                let x0 = i as f64 * w; // cordoba-lint: allow(lossy-cast) — |i| ≤ cols ≪ 2^53
+                let y0 = j as f64 * h; // cordoba-lint: allow(lossy-cast) — |j| ≤ rows ≪ 2^53
+                                       // All four corners must lie inside the circle of radius r.
+                let corners = [(x0, y0), (x0 + w, y0), (x0, y0 + h), (x0 + w, y0 + h)];
                 if corners.iter().all(|&(x, y)| x * x + y * y <= r * r) {
                     count += 1;
                 }
@@ -208,7 +205,10 @@ mod tests {
     #[test]
     fn placed_dies_degenerate_inputs() {
         let w = Wafer::new_300mm();
-        assert_eq!(w.placed_dies(Millimeters::new(0.0), Millimeters::new(10.0)), 0);
+        assert_eq!(
+            w.placed_dies(Millimeters::new(0.0), Millimeters::new(10.0)),
+            0
+        );
         assert_eq!(
             w.placed_dies(Millimeters::new(400.0), Millimeters::new(10.0)),
             0

@@ -75,7 +75,10 @@ impl YieldModel {
             }
             Self::Poisson => (-x).exp(),
             Self::Seeds => (-x.sqrt()).exp(),
-            Self::BoseEinstein { layers } => (1.0 + x).powi(-(layers as i32)),
+            Self::BoseEinstein { layers } => {
+                let n = i32::try_from(layers).unwrap_or(i32::MAX);
+                (1.0 + x).powi(-n)
+            }
             Self::Fixed { fraction } => fraction,
         }
     }

@@ -203,7 +203,11 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(ArgError::MissingValue("x".into()).to_string().contains("--x"));
-        assert!(ArgError::Missing("task name").to_string().contains("task name"));
+        assert!(ArgError::MissingValue("x".into())
+            .to_string()
+            .contains("--x"));
+        assert!(ArgError::Missing("task name")
+            .to_string()
+            .contains("task name"));
     }
 }

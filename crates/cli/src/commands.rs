@@ -130,11 +130,15 @@ fn task_by_name(name: &str) -> Result<Task, CliError> {
 
 fn cmd_metrics(args: &Args) -> Result<String, CliError> {
     if args.flag("help") {
-        return Ok("cordoba metrics --delay <s> --energy <J> --embodied <gCO2e> \
+        return Ok(
+            "cordoba metrics --delay <s> --energy <J> --embodied <gCO2e> \
                    [--area <cm2>] [--tasks <N>] [--grid <name|gCO2e/kWh>]\n"
-            .to_owned());
+                .to_owned(),
+        );
     }
-    args.expect_only(&["delay", "energy", "embodied", "area", "tasks", "grid", "help"])?;
+    args.expect_only(&[
+        "delay", "energy", "embodied", "area", "tasks", "grid", "help",
+    ])?;
     let delay = args
         .get("delay")
         .ok_or(CliError::Args(ArgError::Missing("--delay")))?;
@@ -189,15 +193,18 @@ fn cmd_metrics(args: &Args) -> Result<String, CliError> {
 
 fn cmd_dse(args: &Args) -> Result<String, CliError> {
     if args.flag("help") {
-        return Ok("cordoba dse --task <all|xr10|ai10|xr5|ai5> [--grid <name>] \
+        return Ok(
+            "cordoba dse --task <all|xr10|ai10|xr5|ai5> [--grid <name>] \
                    [--lo <decade>] [--hi <decade>]\n"
-            .to_owned());
+                .to_owned(),
+        );
     }
     args.expect_only(&["task", "grid", "lo", "hi", "help"])?;
     let task = task_by_name(args.get("task").unwrap_or("all"))?;
     let ci = grid_by_name(args.get("grid").unwrap_or("us"))?;
     let decade = |key: &'static str, default: f64| -> Result<i32, CliError> {
         let v = args.get_f64(key, default)?;
+        // cordoba-lint: allow(float-eq) — fract() of a whole number is exactly 0.0
         if v.fract() != 0.0 || !(-300.0..=300.0).contains(&v) {
             return Err(CliError::Usage(format!(
                 "--{key} must be a whole decade exponent, got {v}"
@@ -220,7 +227,8 @@ fn cmd_dse(args: &Args) -> Result<String, CliError> {
     for n in 0..sweep.task_counts.len() {
         let best = &sweep.points[sweep.optimal_at(n)];
         if best.name != last {
-            let cfg = config_by_name(&best.name).expect("space names decode");
+            let cfg = config_by_name(&best.name)
+                .ok_or_else(|| CliError::Usage(format!("unknown configuration `{}`", best.name)))?;
             let _ = writeln!(
                 out,
                 "  from {:>9.2e} tasks: {:5} ({} MAC units, {:.0} MiB SRAM)",
@@ -247,8 +255,7 @@ fn cmd_dse(args: &Args) -> Result<String, CliError> {
 fn cmd_provision(args: &Args) -> Result<String, CliError> {
     if args.flag("help") {
         return Ok(
-            "cordoba provision --app <m1|g2|b1|sg1|all> [--years <f>] [--grid <name>]\n"
-                .to_owned(),
+            "cordoba provision --app <m1|g2|b1|sg1|all> [--years <f>] [--grid <name>]\n".to_owned(),
         );
     }
     args.expect_only(&["app", "years", "grid", "help"])?;
@@ -270,7 +277,13 @@ fn cmd_provision(args: &Args) -> Result<String, CliError> {
 
     let rows = sweep(&app, &deployment)?;
     let mut out = String::new();
-    let _ = writeln!(out, "{} (TLP {:.2}) over {} years:", app.name, app.tlp(), deployment.lifetime_years);
+    let _ = writeln!(
+        out,
+        "{} (TLP {:.2}) over {} years:",
+        app.name,
+        app.tlp(),
+        deployment.lifetime_years
+    );
     for r in &rows {
         let marker = if r.cores == optimal_cores(&rows) {
             "  <== optimal"
@@ -314,7 +327,8 @@ fn cmd_stacking(args: &Args) -> Result<String, CliError> {
         )?);
     }
     let ctx = context_for_embodied_share(&points, grids::US_AVERAGE, share)?;
-    let best = argmin(&points, MetricKind::Tcdp, &ctx).expect("non-empty study");
+    let best = argmin(&points, MetricKind::Tcdp, &ctx)
+        .ok_or_else(|| CliError::Usage("empty design study".to_owned()))?;
     let base = &points[0];
     let mut out = String::new();
     let _ = writeln!(
@@ -324,8 +338,17 @@ fn cmd_stacking(args: &Args) -> Result<String, CliError> {
         ctx.tasks
     );
     for p in &points {
-        let marker = if p.name == best.name { "  <== optimal" } else { "" };
-        let _ = writeln!(out, "  {:14} tCDP {:.4e}{marker}", p.name, p.tcdp(&ctx).value());
+        let marker = if p.name == best.name {
+            "  <== optimal"
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            out,
+            "  {:14} tCDP {:.4e}{marker}",
+            p.name,
+            p.tcdp(&ctx).value()
+        );
     }
     let _ = writeln!(
         out,
@@ -487,9 +510,8 @@ mod tests {
 
     #[test]
     fn metrics_computes_tcdp() {
-        let out =
-            run_str("metrics --delay 0.5 --energy 2.0 --embodied 450 --tasks 1e8 --grid us")
-                .unwrap();
+        let out = run_str("metrics --delay 0.5 --energy 2.0 --embodied 450 --tasks 1e8 --grid us")
+            .unwrap();
         assert!(out.contains("tCDP"));
         assert!(out.contains("% embodied"));
         // Missing required option.

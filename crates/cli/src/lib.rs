@@ -11,9 +11,6 @@
 //! $ cordoba eliminate --csv designs.csv
 //! ```
 
-#![warn(missing_docs)]
-#![warn(clippy::all)]
-
 pub mod args;
 pub mod commands;
 

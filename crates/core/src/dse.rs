@@ -34,10 +34,10 @@ pub fn accel_design_point(
     let table = full_cost_table(config);
     let delay = table
         .task_delay(task)
-        .expect("full cost table covers all kernels");
+        .expect("full cost table covers all kernels"); // cordoba-lint: allow(no-panic) — full_cost_table inserts every KernelId
     let energy = table
         .task_energy(task)
-        .expect("full cost table covers all kernels");
+        .expect("full cost table covers all kernels"); // cordoba-lint: allow(no-panic) — full_cost_table inserts every KernelId
     DesignPoint::new(
         config.name(),
         delay,
@@ -148,7 +148,7 @@ impl OpTimeSweep {
             .iter()
             .enumerate()
             .min_by(|a, b| a.1.total_cmp(b.1))
-            .expect("points is non-empty")
+            .expect("points is non-empty") // cordoba-lint: allow(no-panic) — OpTimeSweep::new rejects empty point lists
             .0
     }
 
@@ -218,7 +218,7 @@ impl OpTimeSweep {
             .into_iter()
             .enumerate()
             .min_by(|a, b| a.1.total_cmp(&b.1))
-            .expect("points is non-empty")
+            .expect("points is non-empty") // cordoba-lint: allow(no-panic) — OpTimeSweep::new rejects empty point lists
             .0
     }
 
@@ -255,7 +255,7 @@ impl OpTimeSweep {
                     .abs()
                     .total_cmp(&(b.1.ln() - n.ln()).abs())
             })
-            .expect("task_counts is non-empty")
+            .expect("task_counts is non-empty") // cordoba-lint: allow(no-panic) — OpTimeSweep::new rejects empty sweeps
             .0
     }
 }
@@ -406,8 +406,7 @@ mod tests {
     #[test]
     fn sweep_validation() {
         let cfg = config_by_name("a1").unwrap();
-        let p = accel_design_point(&cfg, &Task::ai_5_kernels(), &EmbodiedModel::default())
-            .unwrap();
+        let p = accel_design_point(&cfg, &Task::ai_5_kernels(), &EmbodiedModel::default()).unwrap();
         assert!(OpTimeSweep::new(vec![], log_sweep(0, 1, 1), grids::US_AVERAGE).is_err());
         assert!(OpTimeSweep::new(vec![p.clone()], vec![], grids::US_AVERAGE).is_err());
         assert!(OpTimeSweep::new(vec![p], vec![-1.0], grids::US_AVERAGE).is_err());

@@ -54,7 +54,10 @@ impl BetaSweep {
     /// Pareto criterion.
     #[must_use]
     pub fn surviving_names(&self) -> Vec<&str> {
-        self.pareto.iter().map(|&i| self.points[i].name.as_str()).collect()
+        self.pareto
+            .iter()
+            .map(|&i| self.points[i].name.as_str())
+            .collect()
     }
 
     /// Names of the designs eliminated under the Pareto criterion —
@@ -134,7 +137,10 @@ impl TwoFactorSweep {
     /// Names of designs that survive for some `(CI_fab, CI_use)` pair.
     #[must_use]
     pub fn surviving_names(&self) -> Vec<&str> {
-        self.pareto.iter().map(|&i| self.points[i].name.as_str()).collect()
+        self.pareto
+            .iter()
+            .map(|&i| self.points[i].name.as_str())
+            .collect()
     }
 
     /// Names of designs eliminated for every `(CI_fab, CI_use)` pair.
@@ -226,11 +232,9 @@ mod tests {
         let survivors = sweep.surviving_names();
         for &tasks in &[1.0, 1e2, 1e4, 1e6, 1e8] {
             for ci in [10.0, 380.0, 820.0] {
-                let ctx = OperationalContext::new(
-                    tasks,
-                    cordoba_carbon::units::CarbonIntensity::new(ci),
-                )
-                .unwrap();
+                let ctx =
+                    OperationalContext::new(tasks, cordoba_carbon::units::CarbonIntensity::new(ci))
+                        .unwrap();
                 let best = argmin(&cands, MetricKind::Tcdp, &ctx).unwrap();
                 assert!(
                     survivors.contains(&best.name.as_str()),
@@ -352,9 +356,7 @@ mod tests {
         let cands = two_factor_candidates();
         let sweep = TwoFactorSweep::run(&cands);
         // ci_fab huge, beta 0: minimize fab_energy*D -> "duv".
-        let idx = sweep
-            .optimal_for(CarbonIntensity::new(1e12), 0.0)
-            .unwrap();
+        let idx = sweep.optimal_for(CarbonIntensity::new(1e12), 0.0).unwrap();
         assert_eq!(sweep.points[idx].name, "duv");
         // beta huge: minimize E*D -> "eco".
         let idx = sweep.optimal_for(CarbonIntensity::new(0.0), 1e12).unwrap();

@@ -53,9 +53,6 @@
 //! # Ok::<(), cordoba_carbon::CarbonError>(())
 //! ```
 
-#![warn(missing_docs)]
-#![warn(clippy::all)]
-
 pub mod case_ics;
 pub mod chart;
 pub mod dse;
@@ -71,16 +68,16 @@ pub mod uncertainty;
 /// Convenience re-exports of the most commonly used items.
 pub mod prelude {
     pub use crate::case_ics::{candidates, design_points, table_one, table_two, Scenario};
+    pub use crate::chart::AsciiChart;
     pub use crate::dse::{accel_design_point, evaluate_space, log_sweep, OpTimeSweep};
     pub use crate::lagrange::{beta_for_context, BetaSweep, TwoFactorSweep};
     pub use crate::metrics::{argmin, DesignPoint, MetricKind, OperationalContext};
     pub use crate::mix::LifetimeMix;
     pub use crate::optimize::{Constraints, OptimizationProblem, Solution};
     pub use crate::pareto::{
-        elimination_fraction, lower_hull_indices, pareto_front, pareto_indices,
-        pareto_indices_kd, Point2, PointK,
+        elimination_fraction, lower_hull_indices, pareto_front, pareto_indices, pareto_indices_kd,
+        Point2, PointK,
     };
-    pub use crate::chart::AsciiChart;
     pub use crate::report::{fmt_num, fmt_ratio, Table};
     pub use crate::uncertainty::{
         context_for_embodied_share, domain_analysis, scenario_regret, tcdp_under_source,

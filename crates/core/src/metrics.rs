@@ -178,7 +178,7 @@ impl OperationalContext {
     #[must_use]
     pub fn us_grid(tasks: f64) -> Self {
         Self::new(tasks, cordoba_carbon::intensity::grids::US_AVERAGE)
-            .expect("tasks must be positive")
+            .expect("tasks must be positive") // cordoba-lint: allow(no-panic) — documented "# Panics" contract
     }
 }
 
@@ -259,6 +259,7 @@ pub fn argmin<'a>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cordoba_carbon::units::JOULES_PER_KILOWATT_HOUR;
 
     fn point(name: &str, d: f64, e: f64, emb: f64) -> DesignPoint {
         DesignPoint::new(
@@ -281,7 +282,7 @@ mod tests {
 
     #[test]
     fn total_carbon_splits_into_components() {
-        let p = point("x", 1.0, 3.6e6, 1000.0); // 1 kWh per task
+        let p = point("x", 1.0, JOULES_PER_KILOWATT_HOUR, 1000.0); // 1 kWh per task
         let ctx = OperationalContext::us_grid(10.0);
         assert!((p.operational(&ctx).value() - 3800.0).abs() < 1e-9);
         assert!((p.total_carbon(&ctx).value() - 4800.0).abs() < 1e-9);
@@ -303,7 +304,10 @@ mod tests {
     #[test]
     fn fig12_axes() {
         let p = point("x", 2.0, 5.0, 100.0);
-        assert_eq!(p.embodied_delay(), GramsCo2e::new(100.0) * Seconds::new(2.0));
+        assert_eq!(
+            p.embodied_delay(),
+            GramsCo2e::new(100.0) * Seconds::new(2.0)
+        );
         assert_eq!(p.energy_delay(), Joules::new(5.0) * Seconds::new(2.0));
     }
 

@@ -53,10 +53,7 @@ impl LifetimeMix {
             CarbonError::require_positive("mix weight", w)?;
         }
         let total: f64 = entries.iter().map(|&(_, w)| w).sum();
-        let entries = entries
-            .into_iter()
-            .map(|(t, w)| (t, w / total))
-            .collect();
+        let entries = entries.into_iter().map(|(t, w)| (t, w / total)).collect();
         Ok(Self { entries })
     }
 
@@ -67,7 +64,7 @@ impl LifetimeMix {
     /// Never panics (a weight of 1.0 is always valid).
     #[must_use]
     pub fn single(task: Task) -> Self {
-        Self::new(vec![(task, 1.0)]).expect("single positive weight is valid")
+        Self::new(vec![(task, 1.0)]).expect("single positive weight is valid") // cordoba-lint: allow(no-panic) — documented "Never panics"
     }
 
     /// The normalized `(task, weight)` entries.
@@ -107,7 +104,7 @@ impl LifetimeMix {
             energy += point.energy * *weight;
             base = Some(point);
         }
-        let base = base.expect("mix is non-empty");
+        let base = base.expect("mix is non-empty"); // cordoba-lint: allow(no-panic) — Mix::new rejects empty entry lists
         DesignPoint::new(config.name(), delay, energy, base.embodied, base.area)
     }
 

@@ -112,6 +112,7 @@ impl Table {
 #[must_use]
 pub fn fmt_num(v: f64) -> String {
     let a = v.abs();
+    // cordoba-lint: allow(float-eq) — exact zero formats as "0", not 0.000e0
     if v == 0.0 {
         "0".into()
     } else if !(1e-3..1e6).contains(&a) {

@@ -21,6 +21,7 @@ pub fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
         sxx += (x - mx) * (x - mx);
         syy += (y - my) * (y - my);
     }
+    // cordoba-lint: allow(float-eq) — exact-zero variance sentinel (None below)
     if sxx == 0.0 || syy == 0.0 {
         return None;
     }

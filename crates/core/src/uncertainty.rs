@@ -139,7 +139,7 @@ pub fn domain_analysis(
         vs.iter()
             .enumerate()
             .min_by(|a, b| a.1.total_cmp(b.1))
-            .expect("points non-empty")
+            .expect("points non-empty") // cordoba-lint: allow(no-panic) — caller validates the point list above
             .0
     };
     Ok(DomainAnalysis {
@@ -213,7 +213,7 @@ pub fn scenario_regret(
 mod tests {
     use super::*;
     use cordoba_carbon::intensity::{ConstantCi, TrendCi};
-    use cordoba_carbon::units::{GramsCo2e, Joules, SquareCentimeters};
+    use cordoba_carbon::units::{GramsCo2e, Joules, SquareCentimeters, JOULES_PER_KILOWATT_HOUR};
 
     fn point(name: &str, d: f64, e: f64, emb: f64) -> DesignPoint {
         DesignPoint::new(
@@ -287,7 +287,7 @@ mod tests {
 
     #[test]
     fn tcdp_under_constant_source_matches_direct() {
-        let p = point("x", 1.0, 3.6e6, 500.0);
+        let p = point("x", 1.0, JOULES_PER_KILOWATT_HOUR, 500.0);
         let constant = ConstantCi::new(grids::US_AVERAGE);
         let via_source = tcdp_under_source(&p, &constant, 100.0, Seconds::from_years(3.0));
         let direct = p.tcdp(&OperationalContext::us_grid(100.0)).value();
@@ -296,13 +296,12 @@ mod tests {
 
     #[test]
     fn decarbonizing_grid_lowers_tcdp() {
-        let p = point("x", 1.0, 3.6e6, 500.0);
+        let p = point("x", 1.0, JOULES_PER_KILOWATT_HOUR, 500.0);
         let flat = ConstantCi::new(grids::US_AVERAGE);
         let trend = TrendCi::new(grids::US_AVERAGE, 0.10).unwrap();
         let life = Seconds::from_years(5.0);
         assert!(
-            tcdp_under_source(&p, &trend, 100.0, life)
-                < tcdp_under_source(&p, &flat, 100.0, life)
+            tcdp_under_source(&p, &trend, 100.0, life) < tcdp_under_source(&p, &flat, 100.0, life)
         );
     }
 
@@ -312,8 +311,7 @@ mod tests {
         let clean = ConstantCi::new(grids::SOLAR);
         let dirty = ConstantCi::new(grids::COAL);
         let scenarios: Vec<&dyn CiSource> = vec![&clean, &dirty];
-        let regret =
-            scenario_regret(&pts, &scenarios, 1e4, Seconds::from_years(3.0)).unwrap();
+        let regret = scenario_regret(&pts, &scenarios, 1e4, Seconds::from_years(3.0)).unwrap();
         assert_eq!(regret.len(), pts.len());
         // Every regret >= 1; at least one design is not universally optimal.
         assert!(regret.iter().all(|&r| r >= 1.0 - 1e-12));

@@ -1,0 +1,31 @@
+//! Fixture: every violation below carries an allow marker, so the linter
+//! must report nothing. Not compiled — parsed by tests.
+
+fn sentinel(x: f64) -> bool {
+    // cordoba-lint: allow(float-eq) — exact-zero sentinel
+    x == 0.0
+}
+
+fn trusted(v: Option<f64>) -> f64 {
+    v.expect("validated upstream") // cordoba-lint: allow(no-panic) — invariant documented
+}
+
+fn bounded(steps: usize) -> f64 {
+    // cordoba-lint: allow(lossy-cast) — steps ≪ 2^53
+    steps as f64
+}
+
+// cordoba-lint: allow-file(raw-constant)
+fn kwh(j: f64) -> f64 {
+    j / 3.6e6
+}
+
+fn relabel(a: Seconds, b: Hertz) -> Seconds {
+    // cordoba-lint: allow(unit-laundering) — deliberate renormalization
+    Seconds::new(a.value() * b.value())
+}
+
+// cordoba-lint: allow(missing-must-use)
+pub fn fire_and_forget() -> Seconds {
+    Seconds::ZERO
+}

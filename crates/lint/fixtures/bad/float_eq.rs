@@ -1,0 +1,8 @@
+//! Fixture: `float-eq` positive case. Not compiled — parsed by tests.
+
+fn compare(x: f64) -> bool {
+    if x == 1.5 {
+        return true;
+    }
+    x != 0.25 && -2.0 == x
+}

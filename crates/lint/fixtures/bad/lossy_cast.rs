@@ -1,0 +1,7 @@
+//! Fixture: `lossy-cast` positive case. Not compiled — parsed by tests.
+
+fn truncate(steps: usize, raw: f64) -> f64 {
+    let n = steps as f64;
+    let k = raw as u32;
+    n + f64::from(k)
+}

@@ -1,0 +1,9 @@
+//! Fixture: `missing-must-use` positive case. Not compiled — parsed by tests.
+
+pub fn total_energy(a: Joules, b: Joules) -> Joules {
+    a + b
+}
+
+pub fn qualified() -> units::Seconds {
+    units::Seconds::ZERO
+}

@@ -1,0 +1,14 @@
+//! Fixture: `no-panic` positive case. Not compiled — parsed by tests.
+
+fn boom(v: Option<f64>) -> f64 {
+    let x = v.unwrap();
+    if x < 0.0 {
+        panic!("negative");
+    }
+    let y = v.expect("present");
+    x + y
+}
+
+fn unfinished() {
+    unreachable!()
+}

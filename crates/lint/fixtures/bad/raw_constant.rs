@@ -1,0 +1,13 @@
+//! Fixture: `raw-constant` positive case. Not compiled — parsed by tests.
+
+fn joules_to_kwh(j: f64) -> f64 {
+    j / 3.6e6
+}
+
+fn days(s: f64) -> f64 {
+    s / 86_400.0
+}
+
+fn hours(s: f64) -> f64 {
+    s / 3_600.0
+}

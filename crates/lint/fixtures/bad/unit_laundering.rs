@@ -1,0 +1,9 @@
+//! Fixture: `unit-laundering` positive case. Not compiled — parsed by tests.
+
+fn launder(a: Seconds, b: Hertz) -> Seconds {
+    Seconds::new(a.value() * b.value())
+}
+
+fn launder_sum(e: Joules, t: Seconds) -> Watts {
+    Watts::new(e.value() / t.value() + 1.0)
+}

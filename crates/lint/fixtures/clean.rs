@@ -1,0 +1,32 @@
+//! Fixture: negative case — every rule must stay silent on this file.
+//! Not compiled — parsed by tests.
+
+/// Typed arithmetic, no laundering, no panics, no bare casts.
+#[must_use]
+pub fn total_energy(p: Watts, t: Seconds) -> Joules {
+    p * t
+}
+
+/// Fallible paths propagate errors instead of panicking.
+pub fn checked(v: Option<f64>) -> Result<f64, String> {
+    let x = v.ok_or_else(|| "missing".to_owned())?;
+    if x.abs() < 1e-12 {
+        return Err("zero".to_owned());
+    }
+    Ok(units::JOULES_PER_KILOWATT_HOUR / x)
+}
+
+/// Exact conversions only.
+pub fn widen(k: u32) -> f64 {
+    f64::from(k)
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code may unwrap freely.
+    #[test]
+    fn unwrap_is_fine_here() {
+        let v: Option<f64> = Some(1.0);
+        assert!(v.unwrap() > 0.5);
+    }
+}

@@ -1,0 +1,281 @@
+//! Per-file lint context: tokens, file classification, test regions, and
+//! suppression markers, computed once and shared by every rule.
+
+use std::collections::BTreeSet;
+
+use crate::lexer::{tokenize, Token, TokenKind};
+use crate::markers::Markers;
+
+/// Where a file sits in the workspace, which decides rule applicability.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FileKind {
+    /// `crates/<name>/src/**` — library/binary source of a workspace crate.
+    CrateSrc(String),
+    /// Integration tests (`tests/**` at root or under a crate).
+    Test,
+    /// Benchmark sources (`benches/**`).
+    Bench,
+    /// Example programs (`examples/**`).
+    Example,
+    /// Anything else (including fixture snippets checked explicitly):
+    /// every rule applies, so stand-alone snippets are fully linted.
+    Unknown,
+}
+
+/// Everything a rule needs to know about one source file.
+#[derive(Debug)]
+pub struct FileContext {
+    /// Workspace-relative path (used in diagnostics).
+    pub rel: String,
+    /// Bare file name (`units.rs`).
+    pub file_name: String,
+    /// Classification from the relative path.
+    pub kind: FileKind,
+    /// Lexed tokens.
+    pub tokens: Vec<Token>,
+    /// Suppression markers parsed from raw source.
+    pub markers: Markers,
+    /// Half-open token-index ranges covered by `#[cfg(test)]` / `#[test]`
+    /// items; library-only rules skip these.
+    pub test_regions: Vec<(usize, usize)>,
+}
+
+impl FileContext {
+    /// Builds a context from a workspace-relative path and file contents.
+    #[must_use]
+    pub fn new(rel: &str, source: &str) -> Self {
+        let tokens = tokenize(source);
+        let test_regions = find_test_regions(&tokens);
+        Self {
+            rel: rel.to_string(),
+            file_name: rel.rsplit('/').next().unwrap_or(rel).to_string(),
+            kind: classify(rel),
+            tokens,
+            markers: Markers::parse(source),
+            test_regions,
+        }
+    }
+
+    /// `true` when token index `i` is inside test-only code.
+    #[must_use]
+    pub fn in_test_code(&self, i: usize) -> bool {
+        self.kind == FileKind::Test || self.test_regions.iter().any(|&(lo, hi)| i >= lo && i < hi)
+    }
+
+    /// Extracts the names declared by `quantity!( ... Name, "unit" )`
+    /// invocations, so the unit-type set tracks `units.rs` automatically.
+    #[must_use]
+    pub fn declared_quantities(&self) -> BTreeSet<String> {
+        let mut units = BTreeSet::new();
+        let t = &self.tokens;
+        for i in 0..t.len() {
+            if t[i].is_ident("quantity")
+                && t.get(i + 1).is_some_and(|n| n.is_punct("!"))
+                && t.get(i + 2).is_some_and(|n| n.is_open('('))
+            {
+                // First identifier inside the invocation that is not part of
+                // a doc attribute is the type name.
+                let mut j = i + 3;
+                let mut depth = 1;
+                while j < t.len() && depth > 0 {
+                    if t[j].is_open('(') {
+                        depth += 1;
+                    } else if t[j].is_close(')') {
+                        depth -= 1;
+                    } else if t[j].is_punct("#") && t.get(j + 1).is_some_and(|n| n.is_open('[')) {
+                        // Skip `#[doc = "..."]` attributes.
+                        j += 1;
+                        let mut bdepth = 0;
+                        while j < t.len() {
+                            if t[j].is_open('[') {
+                                bdepth += 1;
+                            } else if t[j].is_close(']') {
+                                bdepth -= 1;
+                                if bdepth == 0 {
+                                    break;
+                                }
+                            }
+                            j += 1;
+                        }
+                    } else if t[j].kind == TokenKind::Ident {
+                        units.insert(t[j].text.clone());
+                        break;
+                    }
+                    j += 1;
+                }
+            }
+        }
+        units
+    }
+}
+
+fn classify(rel: &str) -> FileKind {
+    let parts: Vec<&str> = rel.split('/').collect();
+    if parts.contains(&"benches") {
+        return FileKind::Bench;
+    }
+    if parts.contains(&"tests") {
+        return FileKind::Test;
+    }
+    if parts.contains(&"examples") {
+        return FileKind::Example;
+    }
+    if parts.len() >= 3 && parts[0] == "crates" && parts[2] == "src" {
+        return FileKind::CrateSrc(parts[1].to_string());
+    }
+    FileKind::Unknown
+}
+
+/// Finds token ranges belonging to `#[cfg(test)]` or `#[test]` items.
+fn find_test_regions(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].is_punct("#") && tokens.get(i + 1).is_some_and(|t| t.is_open('[')) {
+            // Collect the attribute's tokens.
+            let mut j = i + 1;
+            let mut depth = 0;
+            let attr_start = i + 2;
+            while j < tokens.len() {
+                if tokens[j].is_open('[') {
+                    depth += 1;
+                } else if tokens[j].is_close(']') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                j += 1;
+            }
+            let attr = &tokens[attr_start..j.min(tokens.len())];
+            if is_test_attribute(attr) {
+                // Skip any further attributes, then find the item's body.
+                let mut k = j + 1;
+                while k + 1 < tokens.len() && tokens[k].is_punct("#") && tokens[k + 1].is_open('[')
+                {
+                    let mut bdepth = 0;
+                    k += 1;
+                    while k < tokens.len() {
+                        if tokens[k].is_open('[') {
+                            bdepth += 1;
+                        } else if tokens[k].is_close(']') {
+                            bdepth -= 1;
+                            if bdepth == 0 {
+                                break;
+                            }
+                        }
+                        k += 1;
+                    }
+                    k += 1;
+                }
+                // Scan to the item's opening brace (or `;` for non-block
+                // items such as `#[cfg(test)] use ...;`).
+                let mut body_start = None;
+                while k < tokens.len() {
+                    if tokens[k].is_open('{') {
+                        body_start = Some(k);
+                        break;
+                    }
+                    if tokens[k].is_punct(";") {
+                        break;
+                    }
+                    k += 1;
+                }
+                if let Some(open) = body_start {
+                    let mut bdepth = 0;
+                    let mut end = open;
+                    while end < tokens.len() {
+                        if tokens[end].is_open('{') {
+                            bdepth += 1;
+                        } else if tokens[end].is_close('}') {
+                            bdepth -= 1;
+                            if bdepth == 0 {
+                                break;
+                            }
+                        }
+                        end += 1;
+                    }
+                    regions.push((i, (end + 1).min(tokens.len())));
+                    i = end + 1;
+                    continue;
+                }
+            }
+            i = j + 1;
+            continue;
+        }
+        i += 1;
+    }
+    regions
+}
+
+/// `true` for `#[test]` and `#[cfg(test)]` (but not `#[cfg(not(test))]`).
+fn is_test_attribute(attr: &[Token]) -> bool {
+    if attr.len() == 1 && attr[0].is_ident("test") {
+        return true;
+    }
+    attr.len() == 4
+        && attr[0].is_ident("cfg")
+        && attr[1].is_open('(')
+        && attr[2].is_ident("test")
+        && attr[3].is_close(')')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{classify, FileContext, FileKind};
+
+    #[test]
+    fn classification_follows_workspace_layout() {
+        assert_eq!(
+            classify("crates/carbon/src/units.rs"),
+            FileKind::CrateSrc("carbon".into())
+        );
+        assert_eq!(classify("tests/integration_dse.rs"), FileKind::Test);
+        assert_eq!(
+            classify("crates/bench/benches/sim_perf.rs"),
+            FileKind::Bench
+        );
+        assert_eq!(classify("examples/quickstart.rs"), FileKind::Example);
+        assert_eq!(classify("snippet.rs"), FileKind::Unknown);
+    }
+
+    #[test]
+    fn cfg_test_mod_is_a_test_region() {
+        let src = "fn lib() { }\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\n";
+        let ctx = FileContext::new("crates/x/src/lib.rs", src);
+        let unwrap_at = ctx
+            .tokens
+            .iter()
+            .position(|t| t.is_ident("unwrap"))
+            .expect("unwrap token");
+        assert!(ctx.in_test_code(unwrap_at));
+        let lib_at = ctx
+            .tokens
+            .iter()
+            .position(|t| t.is_ident("lib"))
+            .expect("lib token");
+        assert!(!ctx.in_test_code(lib_at));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_region() {
+        let src = "#[cfg(not(test))]\nfn lib() { x.unwrap(); }\n";
+        let ctx = FileContext::new("crates/x/src/lib.rs", src);
+        let unwrap_at = ctx
+            .tokens
+            .iter()
+            .position(|t| t.is_ident("unwrap"))
+            .expect("unwrap token");
+        assert!(!ctx.in_test_code(unwrap_at));
+    }
+
+    #[test]
+    fn quantity_names_are_extracted() {
+        let src =
+            "quantity!(\n    /// Docs.\n    Seconds,\n    \"s\"\n);\nquantity!(Watts, \"W\");\n";
+        let ctx = FileContext::new("crates/carbon/src/units.rs", src);
+        let units = ctx.declared_quantities();
+        assert!(units.contains("Seconds"));
+        assert!(units.contains("Watts"));
+    }
+}

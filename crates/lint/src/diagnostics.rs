@@ -1,0 +1,58 @@
+//! Diagnostic type and rendering.
+
+use core::fmt;
+
+/// One finding produced by a lint rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path of the offending file.
+    pub file: String,
+    /// 1-based line of the finding.
+    pub line: u32,
+    /// Name of the rule that fired (e.g. `unit-laundering`).
+    pub rule: &'static str,
+    /// Human-readable explanation with a suggested fix.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Builds a diagnostic.
+    #[must_use]
+    pub fn new(file: &str, line: u32, rule: &'static str, message: impl Into<String>) -> Self {
+        Self {
+            file: file.to_string(),
+            line,
+            rule,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Sorts diagnostics by file then line then rule for stable output.
+pub fn sort(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Diagnostic;
+
+    #[test]
+    fn renders_as_file_line_rule_message() {
+        let d = Diagnostic::new("crates/x/src/lib.rs", 7, "float-eq", "exact comparison");
+        assert_eq!(
+            d.to_string(),
+            "crates/x/src/lib.rs:7: [float-eq] exact comparison"
+        );
+    }
+}

@@ -1,0 +1,436 @@
+//! A small, self-contained Rust tokenizer.
+//!
+//! `cordoba-lint` must run in fully-offline builds, so it cannot depend on
+//! `syn`/`proc-macro2`. This lexer produces a flat token stream — identifiers,
+//! literals, multi-character operators, and delimiters, each tagged with a
+//! 1-based source line — which is all the pattern-matching rules need.
+//! Comments are skipped (allow-markers are recovered separately from raw
+//! source lines by [`crate::markers`]); strings, raw strings, char literals,
+//! and lifetimes are handled so that tokens inside them are never
+//! misinterpreted as code.
+
+/// Kind of a lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `as`, `unwrap`, `Seconds`, ...).
+    Ident,
+    /// Lifetime (`'a`); the text excludes the leading quote.
+    Lifetime,
+    /// Integer literal (`42`, `0xff`, `1_000u64`).
+    Int,
+    /// Float literal (`1.0`, `3.6e6`, `1f64`).
+    Float,
+    /// String, raw-string, byte-string, or char literal.
+    Text,
+    /// Operator or other punctuation; multi-character operators such as
+    /// `==`, `::`, and `..=` are joined into a single token.
+    Punct,
+    /// Opening delimiter: `(`, `[`, or `{`.
+    Open,
+    /// Closing delimiter: `)`, `]`, or `}`.
+    Close,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What sort of token this is.
+    pub kind: TokenKind,
+    /// The token text (for [`TokenKind::Text`], the opening quote only, to
+    /// keep the stream small; rules never need string contents).
+    pub text: String,
+    /// 1-based line on which the token starts.
+    pub line: u32,
+}
+
+impl Token {
+    /// `true` when the token is an identifier with exactly this text.
+    #[must_use]
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == text
+    }
+
+    /// `true` when the token is punctuation with exactly this text.
+    #[must_use]
+    pub fn is_punct(&self, text: &str) -> bool {
+        self.kind == TokenKind::Punct && self.text == text
+    }
+
+    /// `true` for an opening delimiter of the given character.
+    #[must_use]
+    pub fn is_open(&self, ch: char) -> bool {
+        self.kind == TokenKind::Open && self.text.starts_with(ch)
+    }
+
+    /// `true` for a closing delimiter of the given character.
+    #[must_use]
+    pub fn is_close(&self, ch: char) -> bool {
+        self.kind == TokenKind::Close && self.text.starts_with(ch)
+    }
+}
+
+/// Multi-character operators, longest first so greedy matching is correct.
+const OPERATORS: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "==", "!=", "<=", ">=", "&&", "||", "::", "->", "=>", "..", "+=",
+    "-=", "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>",
+];
+
+/// Tokenizes `source`, skipping comments and whitespace.
+#[must_use]
+pub fn tokenize(source: &str) -> Vec<Token> {
+    let chars: Vec<char> = source.chars().collect();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    let mut line: u32 = 1;
+    let n = chars.len();
+
+    let count_lines = |text: &[char]| text.iter().filter(|&&c| c == '\n').count() as u32;
+
+    while i < n {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            // Line comment (also doc comments `///`, `//!`).
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                while i < n && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            // Block comment, possibly nested.
+            '/' if chars.get(i + 1) == Some(&'*') => {
+                let mut depth = 1;
+                i += 2;
+                while i < n && depth > 0 {
+                    if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if chars[i] == '\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            // Raw strings: r"..." / r#"..."# (and br variants via the ident
+            // path below falling through when followed by quote handling).
+            'r' | 'b' if starts_raw_or_byte_string(&chars, i) => {
+                let start = i;
+                i = skip_string_like(&chars, i);
+                line += count_lines(&chars[start..i]);
+                tokens.push(Token {
+                    kind: TokenKind::Text,
+                    text: "\"".into(),
+                    line,
+                });
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < n && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident,
+                    text: chars[start..i].iter().collect(),
+                    line,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let (tok, next) = lex_number(&chars, i, line);
+                i = next;
+                tokens.push(tok);
+            }
+            '"' => {
+                let start = i;
+                i = skip_string_like(&chars, i);
+                line += count_lines(&chars[start..i]);
+                tokens.push(Token {
+                    kind: TokenKind::Text,
+                    text: "\"".into(),
+                    line,
+                });
+            }
+            '\'' => {
+                // Lifetime (`'a` not closed by another quote) vs char literal.
+                let is_lifetime = matches!(
+                    chars.get(i + 1),
+                    Some(c2) if (c2.is_alphabetic() || *c2 == '_')
+                ) && chars.get(i + 2) != Some(&'\'');
+                if is_lifetime {
+                    let start = i + 1;
+                    i += 1;
+                    while i < n && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                        i += 1;
+                    }
+                    tokens.push(Token {
+                        kind: TokenKind::Lifetime,
+                        text: chars[start..i].iter().collect(),
+                        line,
+                    });
+                } else {
+                    i += 1; // opening quote
+                    while i < n && chars[i] != '\'' {
+                        if chars[i] == '\\' {
+                            i += 1;
+                        }
+                        i += 1;
+                    }
+                    i += 1; // closing quote
+                    tokens.push(Token {
+                        kind: TokenKind::Text,
+                        text: "'".into(),
+                        line,
+                    });
+                }
+            }
+            '(' | '[' | '{' => {
+                tokens.push(Token {
+                    kind: TokenKind::Open,
+                    text: c.to_string(),
+                    line,
+                });
+                i += 1;
+            }
+            ')' | ']' | '}' => {
+                tokens.push(Token {
+                    kind: TokenKind::Close,
+                    text: c.to_string(),
+                    line,
+                });
+                i += 1;
+            }
+            _ => {
+                let mut matched = false;
+                for op in OPERATORS {
+                    let oc: Vec<char> = op.chars().collect();
+                    if chars[i..].starts_with(&oc) {
+                        tokens.push(Token {
+                            kind: TokenKind::Punct,
+                            text: (*op).into(),
+                            line,
+                        });
+                        i += oc.len();
+                        matched = true;
+                        break;
+                    }
+                }
+                if !matched {
+                    tokens.push(Token {
+                        kind: TokenKind::Punct,
+                        text: c.to_string(),
+                        line,
+                    });
+                    i += 1;
+                }
+            }
+        }
+    }
+    tokens
+}
+
+/// `true` when position `i` starts `r"..."`, `r#"..."#`, `b"..."`,
+/// `br"..."`, or `br#"..."#`. Raw identifiers (`r#type`) do not match
+/// because the `#` run must be followed by a quote.
+fn starts_raw_or_byte_string(chars: &[char], i: usize) -> bool {
+    let rest = &chars[i..];
+    let quote_after_hashes = |mut k: usize| {
+        while rest.get(k) == Some(&'#') {
+            k += 1;
+        }
+        rest.get(k) == Some(&'"')
+    };
+    match rest.first() {
+        Some('r') => quote_after_hashes(1),
+        Some('b') => match rest.get(1) {
+            Some('"') => true,
+            Some('r') => quote_after_hashes(2),
+            _ => false, // byte char `b'x'` handled by the '\'' arm later
+        },
+        _ => false,
+    }
+}
+
+/// Skips a string-like literal starting at `i` (plain, raw, or byte string),
+/// returning the index one past its closing quote.
+fn skip_string_like(chars: &[char], mut i: usize) -> usize {
+    let n = chars.len();
+    // Optional b / r prefixes.
+    if chars.get(i) == Some(&'b') {
+        i += 1;
+    }
+    let raw = chars.get(i) == Some(&'r');
+    if raw {
+        i += 1;
+    }
+    let mut hashes = 0;
+    while chars.get(i) == Some(&'#') {
+        hashes += 1;
+        i += 1;
+    }
+    debug_assert_eq!(chars.get(i), Some(&'"'));
+    i += 1;
+    while i < n {
+        if chars[i] == '\\' && !raw {
+            i += 2;
+            continue;
+        }
+        if chars[i] == '"' {
+            let mut k = 0;
+            while k < hashes && chars.get(i + 1 + k) == Some(&'#') {
+                k += 1;
+            }
+            if k == hashes {
+                return i + 1 + hashes;
+            }
+        }
+        i += 1;
+    }
+    n
+}
+
+/// Lexes a numeric literal starting at `i`; returns the token and the index
+/// one past its end.
+fn lex_number(chars: &[char], mut i: usize, line: u32) -> (Token, usize) {
+    let n = chars.len();
+    let start = i;
+    let mut is_float = false;
+
+    if chars[i] == '0' && matches!(chars.get(i + 1), Some('x' | 'o' | 'b')) {
+        // Radix literal: always an integer.
+        i += 2;
+        while i < n && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+            i += 1;
+        }
+    } else {
+        while i < n && (chars[i].is_ascii_digit() || chars[i] == '_') {
+            i += 1;
+        }
+        // Fractional part: a dot followed by a digit (excludes `0..9` ranges,
+        // tuple access, and method calls on literals like `1.max(2)`).
+        if i + 1 < n && chars[i] == '.' && chars[i + 1].is_ascii_digit() {
+            is_float = true;
+            i += 1;
+            while i < n && (chars[i].is_ascii_digit() || chars[i] == '_') {
+                i += 1;
+            }
+        } else if i < n
+            && chars[i] == '.'
+            && !matches!(chars.get(i + 1), Some('.') | Some('_'))
+            && !matches!(chars.get(i + 1), Some(c) if c.is_alphabetic())
+        {
+            // Trailing-dot float like `1.` (before `)`, `,`, whitespace, ...).
+            is_float = true;
+            i += 1;
+        }
+        // Exponent.
+        if i < n && matches!(chars[i], 'e' | 'E') {
+            let mut j = i + 1;
+            if matches!(chars.get(j), Some('+') | Some('-')) {
+                j += 1;
+            }
+            if matches!(chars.get(j), Some(c) if c.is_ascii_digit()) {
+                is_float = true;
+                i = j;
+                while i < n && (chars[i].is_ascii_digit() || chars[i] == '_') {
+                    i += 1;
+                }
+            }
+        }
+    }
+    // Type suffix (`u32`, `f64`, ...).
+    let suffix_start = i;
+    while i < n && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+        i += 1;
+    }
+    let suffix: String = chars[suffix_start..i].iter().collect();
+    if suffix.starts_with('f') {
+        is_float = true;
+    }
+
+    let kind = if is_float {
+        TokenKind::Float
+    } else {
+        TokenKind::Int
+    };
+    (
+        Token {
+            kind,
+            text: chars[start..i].iter().collect(),
+            line,
+        },
+        i,
+    )
+}
+
+/// Parses a float-literal token's text to its numeric value, ignoring `_`
+/// separators and any `f32`/`f64` suffix. Returns `None` for non-floats.
+#[must_use]
+pub fn float_literal_value(text: &str) -> Option<f64> {
+    let cleaned: String = text.chars().filter(|&c| c != '_').collect();
+    let cleaned = cleaned.strip_suffix("f64").unwrap_or(&cleaned);
+    let cleaned = cleaned.strip_suffix("f32").unwrap_or(cleaned);
+    cleaned.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{float_literal_value, tokenize, TokenKind};
+
+    #[test]
+    fn idents_numbers_and_operators() {
+        let toks = tokenize("let x = a.value() * 3.6e6; // c\nx != 0.0");
+        let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(
+            texts,
+            ["let", "x", "=", "a", ".", "value", "(", ")", "*", "3.6e6", ";", "x", "!=", "0.0"]
+        );
+        assert_eq!(toks[9].kind, TokenKind::Float);
+        assert_eq!(toks[12].kind, TokenKind::Punct);
+        assert_eq!(toks[13].line, 2);
+    }
+
+    #[test]
+    fn ranges_and_tuple_access_are_not_floats() {
+        let toks = tokenize("0..9 self.0 1.0.abs()");
+        assert_eq!(toks[0].kind, TokenKind::Int);
+        assert_eq!(toks[1].text, "..");
+        let zero = toks.iter().find(|t| t.text == "0" && t.line == 1).unwrap();
+        assert_eq!(zero.kind, TokenKind::Int);
+        assert!(toks
+            .iter()
+            .any(|t| t.text == "1.0" && t.kind == TokenKind::Float));
+    }
+
+    #[test]
+    fn strings_chars_and_lifetimes() {
+        let toks = tokenize("fn f<'a>(s: &'a str) { let c = '\\n'; \"x == 1.0\" }");
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokenKind::Lifetime && t.text == "a"));
+        // The `==` inside the string must not become a token.
+        assert!(!toks.iter().any(|t| t.text == "=="));
+    }
+
+    #[test]
+    fn raw_strings_and_comments_are_skipped() {
+        let toks = tokenize("/* a /* nested */ == */ r\"lit == 2.0\" b\"by\" done");
+        assert!(!toks.iter().any(|t| t.text == "=="));
+        assert!(toks.iter().any(|t| t.is_ident("done")));
+    }
+
+    #[test]
+    fn float_values_parse_with_separators() {
+        // The physical-constant values below are the test subject itself.
+        // cordoba-lint: allow-file(raw-constant)
+        assert_eq!(float_literal_value("86_400.0"), Some(86_400.0));
+        assert_eq!(float_literal_value("3.6e6"), Some(3.6e6));
+        assert_eq!(float_literal_value("1f64"), Some(1.0));
+    }
+}

@@ -1,0 +1,195 @@
+//! `cordoba-lint` — domain-aware static analysis for the CORDOBA workspace.
+//!
+//! CORDOBA's carbon arithmetic is only trustworthy because it runs on typed
+//! physical quantities (`cordoba_carbon::units`); this crate mechanically
+//! enforces the conventions the type system cannot, across every `.rs` file
+//! in the workspace:
+//!
+//! | rule | what it forbids |
+//! |------|-----------------|
+//! | `unit-laundering` | `Quantity::new(x.value() * y.value())` outside `units.rs` |
+//! | `no-panic` | `unwrap`/`expect`/`panic!`/`unreachable!` in library code |
+//! | `float-eq` | `==`/`!=` against float literals |
+//! | `lossy-cast` | bare numeric `as` casts in the carbon/tech kernels |
+//! | `raw-constant` | bare literals equal to known physical constants |
+//! | `missing-must-use` | public fns returning unit quantities without `#[must_use]` |
+//!
+//! Run it as `cargo run -p cordoba-lint -- check` (exit 0 clean, 1 with
+//! `file:line` diagnostics) — the workspace self-check test runs the same
+//! pass under `cargo test`. Findings are suppressed with
+//! `// cordoba-lint: allow(<rule>)` markers (see [`markers`]).
+//!
+//! The analysis is a hand-rolled tokenizer plus per-rule pattern matchers
+//! rather than a full AST walk: the crate must build with **zero
+//! dependencies** so the lint gate works in fully-offline environments
+//! (no `syn`).
+
+pub mod context;
+pub mod diagnostics;
+pub mod lexer;
+pub mod markers;
+pub mod rules;
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use context::FileContext;
+use diagnostics::Diagnostic;
+use rules::{Rule, RuleInputs};
+
+/// Directory names never descended into while walking.
+const SKIP_DIRS: &[&str] = &["target", "vendor", ".git", "fixtures", "results"];
+
+/// A configured lint run: which rules are active, plus the unit-type set.
+pub struct Linter {
+    rules: Vec<Box<dyn Rule>>,
+    units: BTreeSet<String>,
+}
+
+impl Default for Linter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Linter {
+    /// A linter with every registered rule enabled.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            rules: rules::all_rules(),
+            units: rules::default_units(),
+        }
+    }
+
+    /// Restricts the run to the named rules. Unknown names are an error so
+    /// typos in CI configs fail loudly.
+    pub fn restrict_to(&mut self, names: &[&str]) -> Result<(), String> {
+        for n in names {
+            if !rules::rule_names().contains(n) {
+                return Err(format!(
+                    "unknown rule `{n}` (known: {})",
+                    rules::rule_names().join(", ")
+                ));
+            }
+        }
+        self.rules.retain(|r| names.contains(&r.name()));
+        Ok(())
+    }
+
+    /// Disables the named rules, keeping the rest.
+    pub fn skip(&mut self, names: &[&str]) -> Result<(), String> {
+        for n in names {
+            if !rules::rule_names().contains(n) {
+                return Err(format!(
+                    "unknown rule `{n}` (known: {})",
+                    rules::rule_names().join(", ")
+                ));
+            }
+        }
+        self.rules.retain(|r| !names.contains(&r.name()));
+        Ok(())
+    }
+
+    /// Lints a single file's source under a workspace-relative path. Used by
+    /// fixture tests and the path-walking entry points.
+    #[must_use]
+    pub fn check_source(&self, rel: &str, source: &str) -> Vec<Diagnostic> {
+        let file = FileContext::new(rel, source);
+        let inputs = RuleInputs {
+            file: &file,
+            units: &self.units,
+        };
+        let mut diags: Vec<Diagnostic> = self
+            .rules
+            .iter()
+            .flat_map(|rule| rule.check(&inputs))
+            .filter(|d| !file.markers.is_allowed(d.rule, d.line))
+            .collect();
+        diagnostics::sort(&mut diags);
+        diags
+    }
+
+    /// Walks `root` for `.rs` files and lints them all. Any `quantity!`
+    /// declarations found are unioned into the unit set *before* linting, so
+    /// newly added quantities are covered without touching the lint crate.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error encountered while walking or reading files.
+    pub fn check_path(&mut self, root: &Path) -> io::Result<Vec<Diagnostic>> {
+        let mut files = Vec::new();
+        collect_rs_files(root, &mut files)?;
+        files.sort();
+
+        // Pass 1: learn unit types from every units.rs in the tree.
+        for path in &files {
+            if path.file_name().is_some_and(|n| n == "units.rs") {
+                let source = fs::read_to_string(path)?;
+                let rel = relative(root, path);
+                self.units
+                    .extend(FileContext::new(&rel, &source).declared_quantities());
+            }
+        }
+
+        // Pass 2: lint.
+        let mut diags = Vec::new();
+        for path in &files {
+            let source = fs::read_to_string(path)?;
+            diags.extend(self.check_source(&relative(root, path), &source));
+        }
+        diagnostics::sort(&mut diags);
+        Ok(diags)
+    }
+
+    /// Names of the active rules.
+    #[must_use]
+    pub fn active_rules(&self) -> Vec<&'static str> {
+        self.rules.iter().map(|r| r.name()).collect()
+    }
+}
+
+/// Workspace-relative display path with forward slashes. When `root` is the
+/// file itself (single-file check), falls back to the full path.
+fn relative(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    let rel = if rel.as_os_str().is_empty() {
+        path
+    } else {
+        rel
+    };
+    rel.to_string_lossy()
+        .replace(std::path::MAIN_SEPARATOR, "/")
+}
+
+/// Recursively collects `.rs` files, skipping [`SKIP_DIRS`].
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    if dir.is_file() {
+        if dir.extension().is_some_and(|e| e == "rs") {
+            out.push(dir.to_path_buf());
+        }
+        return Ok(());
+    }
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name.as_ref()) && !name.starts_with('.') {
+                collect_rs_files(&path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// The CORDOBA workspace root, derived from this crate's manifest directory.
+#[must_use]
+pub fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}

@@ -1,0 +1,104 @@
+//! CLI driver for `cordoba-lint`.
+//!
+//! ```text
+//! cordoba-lint check [--rules a,b] [--skip a,b] [PATH ...]
+//! cordoba-lint rules
+//! ```
+//!
+//! `check` with no paths lints the whole workspace. Exit codes: 0 clean,
+//! 1 findings, 2 usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use cordoba_lint::rules::all_rules;
+use cordoba_lint::{workspace_root, Linter};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => run_check(&args[1..]),
+        Some("rules") => {
+            for rule in all_rules() {
+                println!("{:<18} {}", rule.name(), rule.description());
+            }
+            ExitCode::SUCCESS
+        }
+        Some("--help" | "-h") | None => {
+            print_usage();
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("cordoba-lint: unknown command `{other}`");
+            print_usage();
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn print_usage() {
+    eprintln!(
+        "usage: cordoba-lint check [--rules a,b] [--skip a,b] [PATH ...]\n       \
+         cordoba-lint rules\n\n\
+         `check` with no PATH lints the whole workspace. Suppress a finding\n\
+         with `// cordoba-lint: allow(<rule>)` on or above the offending line."
+    );
+}
+
+fn run_check(args: &[String]) -> ExitCode {
+    let mut linter = Linter::new();
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let configure = |list: Option<&String>,
+                         f: &mut dyn FnMut(&[&str]) -> Result<(), String>| {
+            let Some(list) = list else {
+                return Err("missing comma-separated rule list".to_string());
+            };
+            f(&list.split(',').map(str::trim).collect::<Vec<_>>())
+        };
+        let result = match arg.as_str() {
+            "--rules" => configure(it.next(), &mut |names| linter.restrict_to(names)),
+            "--skip" => configure(it.next(), &mut |names| linter.skip(names)),
+            flag if flag.starts_with("--") => Err(format!("unknown flag `{flag}`")),
+            path => {
+                paths.push(PathBuf::from(path));
+                Ok(())
+            }
+        };
+        if let Err(msg) = result {
+            eprintln!("cordoba-lint: {msg}");
+            return ExitCode::from(2);
+        }
+    }
+
+    if paths.is_empty() {
+        paths.push(workspace_root());
+    }
+
+    let mut diags = Vec::new();
+    for path in &paths {
+        match linter.check_path(path) {
+            Ok(d) => diags.extend(d),
+            Err(err) => {
+                eprintln!("cordoba-lint: failed to read {}: {err}", path.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    for d in &diags {
+        println!("{d}");
+    }
+    if diags.is_empty() {
+        eprintln!(
+            "cordoba-lint: clean ({} rules: {})",
+            linter.active_rules().len(),
+            linter.active_rules().join(", ")
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("cordoba-lint: {} finding(s)", diags.len());
+        ExitCode::FAILURE
+    }
+}

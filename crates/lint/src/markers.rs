@@ -1,0 +1,125 @@
+//! Suppression markers.
+//!
+//! A finding can be silenced in source with a line comment:
+//!
+//! ```text
+//! // cordoba-lint: allow(no-panic) — length checked two lines above
+//! let first = items.first().unwrap();
+//! ```
+//!
+//! The marker suppresses matching diagnostics on its own line and on the
+//! line directly below it. A whole file can opt out of a rule with
+//! `// cordoba-lint: allow-file(rule-name)` anywhere in the file (typically
+//! next to the crate docs). Multiple rules may be listed, comma-separated.
+
+use std::collections::{HashMap, HashSet};
+
+/// Parsed suppression markers for one file.
+#[derive(Debug, Default, Clone)]
+pub struct Markers {
+    /// Rules allowed on a specific line (and the line after it).
+    line_allows: HashMap<u32, HashSet<String>>,
+    /// Rules allowed for the whole file.
+    file_allows: HashSet<String>,
+}
+
+impl Markers {
+    /// Scans raw source for `cordoba-lint:` markers.
+    #[must_use]
+    pub fn parse(source: &str) -> Self {
+        let mut markers = Self::default();
+        for (idx, raw_line) in source.lines().enumerate() {
+            let line = idx as u32 + 1;
+            // Markers must live in a line comment.
+            let Some(comment_at) = raw_line.find("//") else {
+                continue;
+            };
+            let comment = &raw_line[comment_at..];
+            let Some(tag_at) = comment.find("cordoba-lint:") else {
+                continue;
+            };
+            let directive = comment[tag_at + "cordoba-lint:".len()..].trim_start();
+            let (file_wide, rest) = if let Some(r) = directive.strip_prefix("allow-file") {
+                (true, r)
+            } else if let Some(r) = directive.strip_prefix("allow") {
+                (false, r)
+            } else {
+                continue;
+            };
+            let rest = rest.trim_start();
+            let Some(inner) = rest.strip_prefix('(').and_then(|r| r.split(')').next()) else {
+                continue;
+            };
+            for rule in inner.split(',').map(str::trim).filter(|r| !r.is_empty()) {
+                if file_wide {
+                    markers.file_allows.insert(rule.to_string());
+                } else {
+                    markers
+                        .line_allows
+                        .entry(line)
+                        .or_default()
+                        .insert(rule.to_string());
+                }
+            }
+        }
+        markers
+    }
+
+    /// `true` when a diagnostic for `rule` at `line` is suppressed.
+    #[must_use]
+    pub fn is_allowed(&self, rule: &str, line: u32) -> bool {
+        if self.file_allows.contains(rule) {
+            return true;
+        }
+        let on = |l: u32| {
+            self.line_allows
+                .get(&l)
+                .is_some_and(|set| set.contains(rule))
+        };
+        on(line) || (line > 1 && on(line - 1))
+    }
+
+    /// Every rule name mentioned by any marker (for validation).
+    #[must_use]
+    pub fn mentioned_rules(&self) -> HashSet<&str> {
+        self.file_allows
+            .iter()
+            .map(String::as_str)
+            .chain(self.line_allows.values().flatten().map(String::as_str))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Markers;
+
+    #[test]
+    fn line_marker_covers_same_and_next_line() {
+        let m = Markers::parse("let a = 1; // cordoba-lint: allow(no-panic)\nlet b = 2;\n");
+        assert!(m.is_allowed("no-panic", 1));
+        assert!(m.is_allowed("no-panic", 2));
+        assert!(!m.is_allowed("no-panic", 3));
+        assert!(!m.is_allowed("float-eq", 1));
+    }
+
+    #[test]
+    fn file_marker_covers_everything() {
+        let m = Markers::parse("//! docs\n// cordoba-lint: allow-file(raw-constant)\n");
+        assert!(m.is_allowed("raw-constant", 999));
+    }
+
+    #[test]
+    fn multiple_rules_and_justification_text() {
+        let m = Markers::parse("// cordoba-lint: allow(float-eq, lossy-cast) — sentinel\n");
+        assert!(m.is_allowed("float-eq", 2));
+        assert!(m.is_allowed("lossy-cast", 2));
+        assert_eq!(m.mentioned_rules().len(), 2);
+    }
+
+    #[test]
+    fn non_comment_text_is_ignored() {
+        let m = Markers::parse("let s = \"cordoba-lint: allow(no-panic)\";\n");
+        assert!(!m.is_allowed("no-panic", 1));
+    }
+}

@@ -1,0 +1,61 @@
+//! `float-eq`: flags `==` / `!=` comparisons against float literals.
+//!
+//! Exact float equality is almost never what a numeric model wants: after
+//! any arithmetic, `x == 0.1` is false for values that print as `0.1`.
+//! Compare with an epsilon (`(x - y).abs() < tol`), or — for genuine
+//! sentinel checks such as division-by-zero guards against a value that was
+//! *assigned* `0.0` — keep the comparison and add an explicit
+//! `// cordoba-lint: allow(float-eq)` marker stating why exactness is
+//! intended. The literal-pattern heuristic never sees types, so variable ==
+//! variable float comparisons are out of scope (clippy::float_cmp covers
+//! those).
+
+use crate::diagnostics::Diagnostic;
+use crate::lexer::TokenKind;
+use crate::rules::{Rule, RuleInputs};
+
+/// See module docs.
+#[derive(Debug, Clone, Copy)]
+pub struct FloatEq;
+
+impl Rule for FloatEq {
+    fn name(&self) -> &'static str {
+        "float-eq"
+    }
+
+    fn description(&self) -> &'static str {
+        "==/!= against a float literal — compare with an epsilon or mark the sentinel"
+    }
+
+    fn check(&self, inputs: &RuleInputs<'_>) -> Vec<Diagnostic> {
+        let t = &inputs.file.tokens;
+        let mut diags = Vec::new();
+        for i in 0..t.len() {
+            if !(t[i].is_punct("==") || t[i].is_punct("!=")) || inputs.file.in_test_code(i) {
+                continue;
+            }
+            let prev_is_float = i > 0 && t[i - 1].kind == TokenKind::Float;
+            let next_is_float = match t.get(i + 1) {
+                Some(n) if n.kind == TokenKind::Float => true,
+                // `== -1.0`
+                Some(n) if n.is_punct("-") => {
+                    t.get(i + 2).is_some_and(|n2| n2.kind == TokenKind::Float)
+                }
+                _ => false,
+            };
+            if prev_is_float || next_is_float {
+                diags.push(Diagnostic::new(
+                    &inputs.file.rel,
+                    t[i].line,
+                    self.name(),
+                    format!(
+                        "exact `{}` against a float literal; compare with an epsilon or \
+                         mark an intentional sentinel with `// cordoba-lint: allow(float-eq)`",
+                        t[i].text
+                    ),
+                ));
+            }
+        }
+        diags
+    }
+}

@@ -1,0 +1,66 @@
+//! `lossy-cast`: flags `as`-casts between numeric types in the carbon and
+//! tech numeric kernels.
+//!
+//! `as` silently truncates, wraps, and loses precision (`u64 as f64` above
+//! 2^53, `f64 as u32` of a negative). In the crates that own the ACT-style
+//! carbon equations those bugs corrupt estimates without any runtime signal,
+//! so conversions there must go through `From`/`TryFrom` or a documented
+//! helper; sites where the cast is provably safe carry an explicit
+//! `// cordoba-lint: allow(lossy-cast)` marker with the argument.
+
+use crate::context::FileKind;
+use crate::diagnostics::Diagnostic;
+use crate::rules::{Rule, RuleInputs};
+
+/// Crates whose numeric kernels must not use bare `as` casts.
+const STRICT_CAST_CRATES: &[&str] = &["carbon", "tech"];
+
+/// Numeric primitive type names that make an `as` cast suspicious.
+const NUMERIC_TYPES: &[&str] = &[
+    "f32", "f64", "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128",
+    "isize",
+];
+
+/// See module docs.
+#[derive(Debug, Clone, Copy)]
+pub struct LossyCast;
+
+impl Rule for LossyCast {
+    fn name(&self) -> &'static str {
+        "lossy-cast"
+    }
+
+    fn description(&self) -> &'static str {
+        "numeric `as` cast in carbon/tech kernels — use From/TryFrom or a documented helper"
+    }
+
+    fn check(&self, inputs: &RuleInputs<'_>) -> Vec<Diagnostic> {
+        match &inputs.file.kind {
+            FileKind::CrateSrc(krate) if STRICT_CAST_CRATES.contains(&krate.as_str()) => {}
+            FileKind::Unknown => {}
+            _ => return Vec::new(),
+        }
+        let t = &inputs.file.tokens;
+        let mut diags = Vec::new();
+        for i in 0..t.len() {
+            if t[i].is_ident("as")
+                && !inputs.file.in_test_code(i)
+                && t.get(i + 1)
+                    .is_some_and(|n| NUMERIC_TYPES.contains(&n.text.as_str()))
+            {
+                diags.push(Diagnostic::new(
+                    &inputs.file.rel,
+                    t[i].line,
+                    self.name(),
+                    format!(
+                        "bare `as {}` cast in a numeric kernel; prefer `{}::from`/`try_from` \
+                         (or justify with `// cordoba-lint: allow(lossy-cast)`)",
+                        t[i + 1].text,
+                        t[i + 1].text
+                    ),
+                ));
+            }
+        }
+        diags
+    }
+}

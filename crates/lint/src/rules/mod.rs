@@ -1,0 +1,97 @@
+//! Rule trait and registry.
+//!
+//! Each rule is independently toggleable (CLI `--rules`/`--skip`) and
+//! suppressible in source via `// cordoba-lint: allow(<rule>)` markers (see
+//! [`crate::markers`]). Rules receive the shared [`FileContext`] plus the
+//! workspace-wide unit-type set and return raw findings; the driver filters
+//! suppressed ones.
+
+use std::collections::BTreeSet;
+
+use crate::context::FileContext;
+use crate::diagnostics::Diagnostic;
+
+mod float_eq;
+mod lossy_cast;
+mod must_use;
+mod no_panic;
+mod raw_constant;
+mod unit_laundering;
+
+pub use float_eq::FloatEq;
+pub use lossy_cast::LossyCast;
+pub use must_use::MissingMustUse;
+pub use no_panic::NoPanic;
+pub use raw_constant::RawConstant;
+pub use unit_laundering::UnitLaundering;
+
+/// Shared inputs available to every rule.
+#[derive(Debug)]
+pub struct RuleInputs<'a> {
+    /// The file under analysis.
+    pub file: &'a FileContext,
+    /// Names of all typed physical quantities (seeded with the known set,
+    /// augmented from `quantity!` declarations found while walking).
+    pub units: &'a BTreeSet<String>,
+}
+
+/// A single domain lint.
+pub trait Rule {
+    /// Stable kebab-case name used in diagnostics, CLI toggles, and
+    /// suppression markers.
+    fn name(&self) -> &'static str;
+
+    /// One-line description shown by `cordoba-lint rules`.
+    fn description(&self) -> &'static str;
+
+    /// Runs the rule over one file, returning unfiltered findings.
+    fn check(&self, inputs: &RuleInputs<'_>) -> Vec<Diagnostic>;
+}
+
+/// All rules, in the order they are listed in the documentation.
+#[must_use]
+pub fn all_rules() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(UnitLaundering),
+        Box::new(NoPanic),
+        Box::new(FloatEq),
+        Box::new(LossyCast),
+        Box::new(RawConstant),
+        Box::new(MissingMustUse),
+    ]
+}
+
+/// The names of all registered rules.
+#[must_use]
+pub fn rule_names() -> Vec<&'static str> {
+    all_rules().iter().map(|r| r.name()).collect()
+}
+
+/// The unit-type names `cordoba-lint` knows about even before reading
+/// `units.rs` (kept in sync by the workspace self-check, which also unions
+/// in every `quantity!` declaration it finds while walking).
+#[must_use]
+pub fn default_units() -> BTreeSet<String> {
+    [
+        "Seconds",
+        "Hertz",
+        "Joules",
+        "KilowattHours",
+        "Watts",
+        "GramsCo2e",
+        "SquareCentimeters",
+        "SquareMillimeters",
+        "CarbonIntensity",
+        "EnergyPerArea",
+        "CarbonPerArea",
+        "JouleSeconds",
+        "GramSecondsCo2e",
+        "DefectDensity",
+        "Millimeters",
+        "Bytes",
+        "BytesPerSecond",
+    ]
+    .into_iter()
+    .map(String::from)
+    .collect()
+}

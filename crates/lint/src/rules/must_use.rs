@@ -1,0 +1,168 @@
+//! `missing-must-use`: public functions returning a bare unit quantity must
+//! be `#[must_use]`.
+//!
+//! Dropping a computed `GramsCo2e` or `Joules` on the floor is always a bug
+//! in an accounting library — the caller either wanted the number or should
+//! not have paid for the computation. `#[must_use]` makes the compiler say
+//! so. Functions returning `Result<Quantity, _>` are already covered by
+//! `Result`'s own `#[must_use]` and are not flagged.
+
+use crate::context::FileKind;
+use crate::diagnostics::Diagnostic;
+use crate::lexer::{Token, TokenKind};
+use crate::rules::{Rule, RuleInputs};
+
+/// See module docs.
+#[derive(Debug, Clone, Copy)]
+pub struct MissingMustUse;
+
+impl Rule for MissingMustUse {
+    fn name(&self) -> &'static str {
+        "missing-must-use"
+    }
+
+    fn description(&self) -> &'static str {
+        "public fn returning a unit quantity without #[must_use]"
+    }
+
+    fn check(&self, inputs: &RuleInputs<'_>) -> Vec<Diagnostic> {
+        if !matches!(inputs.file.kind, FileKind::CrateSrc(_) | FileKind::Unknown) {
+            return Vec::new();
+        }
+        let t = &inputs.file.tokens;
+        let mut diags = Vec::new();
+        let mut i = 0;
+        while i < t.len() {
+            if !t[i].is_ident("pub") || inputs.file.in_test_code(i) {
+                i += 1;
+                continue;
+            }
+            let pub_at = i;
+            i += 1;
+            // Restricted visibility (`pub(crate)`, `pub(super)`) is not
+            // public API.
+            if t.get(i).is_some_and(|n| n.is_open('(')) {
+                continue;
+            }
+            // Allow fn qualifiers, but bail if this `pub` introduces some
+            // other item (struct, use, const item, ...).
+            while t
+                .get(i)
+                .is_some_and(|n| n.is_ident("const") || n.is_ident("async") || n.is_ident("unsafe"))
+            {
+                i += 1;
+            }
+            if !t.get(i).is_some_and(|n| n.is_ident("fn")) {
+                continue;
+            }
+            let Some(fn_name) = t.get(i + 1).map(|n| n.text.clone()) else {
+                continue;
+            };
+            i += 2;
+            // Skip generics (angle depth; `>>` closes two levels).
+            let mut angle: i32 = 0;
+            while i < t.len() {
+                match t[i].text.as_str() {
+                    "<" => angle += 1,
+                    ">" => angle -= 1,
+                    ">>" => angle -= 2,
+                    _ => {}
+                }
+                if angle == 0 && t[i].is_open('(') {
+                    break;
+                }
+                i += 1;
+            }
+            // Skip the parameter list.
+            let mut depth = 0;
+            while i < t.len() {
+                if t[i].is_open('(') {
+                    depth += 1;
+                } else if t[i].is_close(')') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                i += 1;
+            }
+            i += 1;
+            if !t.get(i).is_some_and(|n| n.is_punct("->")) {
+                continue;
+            }
+            // Collect the return type up to the body / where-clause / `;`.
+            let mut ret: Vec<&Token> = Vec::new();
+            let mut j = i + 1;
+            while j < t.len() {
+                if t[j].is_open('{') || t[j].is_punct(";") || t[j].is_ident("where") {
+                    break;
+                }
+                ret.push(&t[j]);
+                j += 1;
+            }
+            if returns_bare_unit(&ret, inputs) && !has_must_use_attr(t, pub_at) {
+                diags.push(Diagnostic::new(
+                    &inputs.file.rel,
+                    t[pub_at].line,
+                    self.name(),
+                    format!(
+                        "public fn `{fn_name}` returns `{}` without `#[must_use]`; \
+                         dropping a computed quantity is always a bug",
+                        ret.last().map_or("?", |tok| tok.text.as_str())
+                    ),
+                ));
+            }
+            i = j;
+        }
+        diags
+    }
+}
+
+/// `true` when the return tokens are exactly a (possibly path-qualified)
+/// unit type: `Seconds`, `units::Seconds`, `cordoba_carbon::units::Seconds`.
+fn returns_bare_unit(ret: &[&Token], inputs: &RuleInputs<'_>) -> bool {
+    if ret.is_empty() {
+        return false;
+    }
+    let last = ret[ret.len() - 1];
+    if last.kind != TokenKind::Ident || !inputs.units.contains(&last.text) {
+        return false;
+    }
+    // Every preceding token must be part of a plain path (`seg ::`).
+    ret[..ret.len() - 1].chunks(2).all(|pair| match pair {
+        [seg, sep] => seg.kind == TokenKind::Ident && sep.is_punct("::"),
+        _ => false,
+    })
+}
+
+/// Walks attribute groups immediately above `pub` looking for `must_use`.
+fn has_must_use_attr(t: &[Token], pub_at: usize) -> bool {
+    let mut j = pub_at;
+    while j >= 2 && t[j - 1].is_close(']') {
+        // Find the matching `[`.
+        let mut depth = 0;
+        let mut open = j - 1;
+        loop {
+            if t[open].is_close(']') {
+                depth += 1;
+            } else if t[open].is_open('[') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            if open == 0 {
+                return false;
+            }
+            open -= 1;
+        }
+        if open == 0 || !t[open - 1].is_punct("#") {
+            return false;
+        }
+        if t[open..j].iter().any(|tok| tok.is_ident("must_use")) {
+            return true;
+        }
+        j = open - 1;
+    }
+    false
+}

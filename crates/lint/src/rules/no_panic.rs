@@ -1,0 +1,77 @@
+//! `no-panic`: forbids `unwrap()`, `expect(...)`, `panic!`, `unreachable!`,
+//! `todo!`, and `unimplemented!` in non-test library code.
+//!
+//! CORDOBA is meant to run as a long-lived service; a panic in the carbon
+//! kernels takes a whole shard down. Library code should surface errors as
+//! `Result` (see `cordoba_carbon::error`). APIs with a documented "Panics
+//! if" contract may keep an explicit `// cordoba-lint: allow(no-panic)`
+//! marker next to the panic site.
+
+use crate::context::FileKind;
+use crate::diagnostics::Diagnostic;
+use crate::rules::{Rule, RuleInputs};
+
+/// Crates whose `src/` trees must stay panic-free (test modules excluded).
+const PANIC_FREE_CRATES: &[&str] = &["carbon", "tech", "workloads", "core", "cli", "lint"];
+
+/// Macros that abort the process when reached.
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// See module docs.
+#[derive(Debug, Clone, Copy)]
+pub struct NoPanic;
+
+impl Rule for NoPanic {
+    fn name(&self) -> &'static str {
+        "no-panic"
+    }
+
+    fn description(&self) -> &'static str {
+        "unwrap/expect/panic!/unreachable! in library code — return Result instead"
+    }
+
+    fn check(&self, inputs: &RuleInputs<'_>) -> Vec<Diagnostic> {
+        match &inputs.file.kind {
+            FileKind::CrateSrc(krate) if PANIC_FREE_CRATES.contains(&krate.as_str()) => {}
+            FileKind::Unknown => {}
+            _ => return Vec::new(),
+        }
+        let t = &inputs.file.tokens;
+        let mut diags = Vec::new();
+        for i in 0..t.len() {
+            if inputs.file.in_test_code(i) {
+                continue;
+            }
+            let found = if (t[i].is_ident("unwrap") || t[i].is_ident("expect"))
+                && i > 0
+                && t[i - 1].is_punct(".")
+                && t.get(i + 1).is_some_and(|n| n.is_open('('))
+            {
+                Some(format!(
+                    "`.{}(...)` can panic at runtime; propagate a Result (or document the \
+                     invariant and add `// cordoba-lint: allow(no-panic)`)",
+                    t[i].text
+                ))
+            } else if PANIC_MACROS.contains(&t[i].text.as_str())
+                && t[i].kind == crate::lexer::TokenKind::Ident
+                && t.get(i + 1).is_some_and(|n| n.is_punct("!"))
+            {
+                Some(format!(
+                    "`{}!` aborts the caller; return a typed error from library code",
+                    t[i].text
+                ))
+            } else {
+                None
+            };
+            if let Some(message) = found {
+                diags.push(Diagnostic::new(
+                    &inputs.file.rel,
+                    t[i].line,
+                    self.name(),
+                    message,
+                ));
+            }
+        }
+        diags
+    }
+}

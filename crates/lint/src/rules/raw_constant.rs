@@ -1,0 +1,65 @@
+//! `raw-constant`: flags bare float literals that equal known physical
+//! constants, outside `units.rs`.
+//!
+//! `3.6e6` scattered through the code is a silent re-derivation of
+//! `JOULES_PER_KILOWATT_HOUR`; if one site ever types `3.6e5` the carbon
+//! estimate is off by 10× with no test of the constant itself failing. All
+//! such conversions must reference the named constants in
+//! `cordoba_carbon::units`.
+
+use crate::diagnostics::Diagnostic;
+use crate::lexer::{float_literal_value, TokenKind};
+use crate::rules::{Rule, RuleInputs};
+
+// This file necessarily spells out the constant values it hunts for.
+// cordoba-lint: allow-file(raw-constant)
+
+/// Known constants: value ↔ the name to use instead.
+const KNOWN_CONSTANTS: &[(f64, &str)] = &[
+    (3.6e6, "units::JOULES_PER_KILOWATT_HOUR"),
+    (3_600.0, "units::SECONDS_PER_HOUR"),
+    (86_400.0, "units::SECONDS_PER_DAY"),
+    (31_536_000.0, "units::SECONDS_PER_YEAR"),
+];
+
+/// See module docs.
+#[derive(Debug, Clone, Copy)]
+pub struct RawConstant;
+
+impl Rule for RawConstant {
+    fn name(&self) -> &'static str {
+        "raw-constant"
+    }
+
+    fn description(&self) -> &'static str {
+        "bare float equal to a known physical constant — use the named units:: const"
+    }
+
+    fn check(&self, inputs: &RuleInputs<'_>) -> Vec<Diagnostic> {
+        if inputs.file.file_name == "units.rs" {
+            return Vec::new();
+        }
+        let t = &inputs.file.tokens;
+        let mut diags = Vec::new();
+        for tok in t {
+            if tok.kind != TokenKind::Float {
+                continue;
+            }
+            let Some(value) = float_literal_value(&tok.text) else {
+                continue;
+            };
+            if let Some((_, name)) = KNOWN_CONSTANTS.iter().find(|(v, _)| *v == value) {
+                diags.push(Diagnostic::new(
+                    &inputs.file.rel,
+                    tok.line,
+                    self.name(),
+                    format!(
+                        "bare `{}` duplicates a physical constant; use `{name}`",
+                        tok.text
+                    ),
+                ));
+            }
+        }
+        diags
+    }
+}

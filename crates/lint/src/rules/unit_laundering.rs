@@ -1,0 +1,79 @@
+//! `unit-laundering`: flags `Quantity::new(...)` calls whose argument
+//! contains `.value()`, outside `units.rs` itself.
+//!
+//! `Watts::new(e.value() / t.value())` silently re-labels a raw `f64` with a
+//! unit the type system never checked — the classic way carbon-accounting
+//! math goes wrong (a `W*s` vs `kWh` slip changes results by 3.6e6×). The
+//! fix is almost always a dimensional operator on the typed quantities
+//! (`e / t`), adding the missing `dimensional!` impl in `units.rs` if the
+//! combination does not exist yet.
+
+use crate::diagnostics::Diagnostic;
+use crate::rules::{Rule, RuleInputs};
+
+/// See module docs.
+#[derive(Debug, Clone, Copy)]
+pub struct UnitLaundering;
+
+impl Rule for UnitLaundering {
+    fn name(&self) -> &'static str {
+        "unit-laundering"
+    }
+
+    fn description(&self) -> &'static str {
+        "Quantity::new(..) fed from .value() — use dimensional operators on typed quantities"
+    }
+
+    fn check(&self, inputs: &RuleInputs<'_>) -> Vec<Diagnostic> {
+        // units.rs is where the checked arithmetic itself lives.
+        if inputs.file.file_name == "units.rs" {
+            return Vec::new();
+        }
+        let t = &inputs.file.tokens;
+        let mut diags = Vec::new();
+        for i in 0..t.len() {
+            if !inputs.units.contains(&t[i].text) {
+                continue;
+            }
+            if !(t.get(i + 1).is_some_and(|n| n.is_punct("::"))
+                && t.get(i + 2).is_some_and(|n| n.is_ident("new"))
+                && t.get(i + 3).is_some_and(|n| n.is_open('(')))
+            {
+                continue;
+            }
+            let open = i + 3;
+            // Walk the balanced argument list looking for `.value()`.
+            let mut depth = 0;
+            let mut j = open;
+            while j < t.len() {
+                if t[j].is_open('(') {
+                    depth += 1;
+                } else if t[j].is_close(')') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                } else if t[j].is_punct(".")
+                    && t.get(j + 1).is_some_and(|n| n.is_ident("value"))
+                    && t.get(j + 2).is_some_and(|n| n.is_open('('))
+                    && t.get(j + 3).is_some_and(|n| n.is_close(')'))
+                {
+                    diags.push(Diagnostic::new(
+                        &inputs.file.rel,
+                        t[i].line,
+                        self.name(),
+                        format!(
+                            "`{}::new(...)` launders a raw f64 built from `.value()`; \
+                             use dimensional operators on the typed quantities (add a \
+                             `dimensional!` impl in units.rs if the combination is missing)",
+                            t[i].text
+                        ),
+                    ));
+                    break;
+                }
+                j += 1;
+            }
+        }
+        diags
+    }
+}

@@ -1,0 +1,107 @@
+//! Fixture-driven rule tests: every rule must fire on its `bad/` fixture,
+//! stay silent on `clean.rs`, and be suppressed by the markers in
+//! `allowed.rs`.
+
+use cordoba_lint::Linter;
+
+/// Lints a fixture file under its on-disk relative path.
+fn lint_fixture(name: &str) -> Vec<cordoba_lint::diagnostics::Diagnostic> {
+    let path = format!("{}/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    let source =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("fixture {path} unreadable: {e}"));
+    Linter::new().check_source(&format!("fixtures/{name}"), &source)
+}
+
+/// Asserts the fixture triggers `rule` at every line in `lines`, and that
+/// every diagnostic it produces is of that rule (fixtures are single-rule
+/// by construction, so cross-talk is a bug in another rule).
+fn assert_rule_fires(fixture: &str, rule: &str, lines: &[u32]) {
+    let diags = lint_fixture(fixture);
+    for d in &diags {
+        assert_eq!(
+            d.rule, rule,
+            "unexpected cross-rule finding in {fixture}: {d}"
+        );
+    }
+    let got: Vec<u32> = diags.iter().map(|d| d.line).collect();
+    assert_eq!(got, lines, "wrong lines for {rule} in {fixture}: {diags:?}");
+}
+
+#[test]
+fn unit_laundering_fires() {
+    assert_rule_fires("bad/unit_laundering.rs", "unit-laundering", &[4, 8]);
+}
+
+#[test]
+fn no_panic_fires() {
+    assert_rule_fires("bad/no_panic.rs", "no-panic", &[4, 6, 8, 13]);
+}
+
+#[test]
+fn float_eq_fires() {
+    assert_rule_fires("bad/float_eq.rs", "float-eq", &[4, 7, 7]);
+}
+
+#[test]
+fn lossy_cast_fires() {
+    assert_rule_fires("bad/lossy_cast.rs", "lossy-cast", &[4, 5]);
+}
+
+#[test]
+fn raw_constant_fires() {
+    assert_rule_fires("bad/raw_constant.rs", "raw-constant", &[4, 8, 12]);
+}
+
+#[test]
+fn missing_must_use_fires() {
+    assert_rule_fires("bad/missing_must_use.rs", "missing-must-use", &[3, 7]);
+}
+
+#[test]
+fn clean_fixture_is_clean() {
+    let diags = lint_fixture("clean.rs");
+    assert!(diags.is_empty(), "clean fixture flagged: {diags:?}");
+}
+
+#[test]
+fn allow_markers_suppress_everything() {
+    let diags = lint_fixture("allowed.rs");
+    assert!(diags.is_empty(), "allow markers ignored: {diags:?}");
+
+    // Sanity: the same source without its markers is far from clean, so the
+    // empty result above is the markers' doing.
+    let path = format!("{}/fixtures/allowed.rs", env!("CARGO_MANIFEST_DIR"));
+    let source = std::fs::read_to_string(path).expect("fixture readable");
+    let stripped: String = source
+        .lines()
+        .map(|l| {
+            let l = l.split("// cordoba-lint:").next().unwrap_or(l);
+            format!("{l}\n")
+        })
+        .collect();
+    let unsuppressed = Linter::new().check_source("fixtures/allowed.rs", &stripped);
+    assert!(
+        unsuppressed.len() >= 6,
+        "expected one finding per rule once markers are stripped: {unsuppressed:?}"
+    );
+}
+
+#[test]
+fn rule_selection_filters_findings() {
+    let mut linter = Linter::new();
+    linter.restrict_to(&["float-eq"]).expect("known rule");
+    let path = format!("{}/fixtures/bad/no_panic.rs", env!("CARGO_MANIFEST_DIR"));
+    let source = std::fs::read_to_string(path).expect("fixture readable");
+    assert!(linter
+        .check_source("fixtures/bad/no_panic.rs", &source)
+        .is_empty());
+
+    let mut linter = Linter::new();
+    linter.skip(&["no-panic"]).expect("known rule");
+    assert!(linter
+        .check_source("fixtures/bad/no_panic.rs", &source)
+        .is_empty());
+
+    assert!(Linter::new().restrict_to(&["not-a-rule"]).is_err());
+    assert!(Linter::new().skip(&["not-a-rule"]).is_err());
+}

@@ -1,0 +1,50 @@
+//! The workspace self-check: the full lint pass over the repository must be
+//! clean, and the CLI must report the same verdict via its exit code.
+
+use std::process::Command;
+
+use cordoba_lint::{workspace_root, Linter};
+
+#[test]
+fn workspace_is_lint_clean() {
+    let diags = Linter::new()
+        .check_path(&workspace_root())
+        .expect("workspace walk succeeds");
+    assert!(
+        diags.is_empty(),
+        "workspace has lint findings:\n{}",
+        diags
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn cli_exit_codes_reflect_findings() {
+    let bin = env!("CARGO_BIN_EXE_cordoba-lint");
+
+    let clean = Command::new(bin)
+        .args(["check", &workspace_root().to_string_lossy()])
+        .output()
+        .expect("lint binary runs");
+    assert_eq!(clean.status.code(), Some(0), "workspace check must exit 0");
+
+    let bad_dir = format!("{}/fixtures/bad", env!("CARGO_MANIFEST_DIR"));
+    let dirty = Command::new(bin)
+        .args(["check", &bad_dir])
+        .output()
+        .expect("lint binary runs");
+    assert_eq!(dirty.status.code(), Some(1), "bad fixtures must exit 1");
+    assert!(
+        !String::from_utf8_lossy(&dirty.stdout).is_empty(),
+        "diagnostics go to stdout"
+    );
+
+    let usage = Command::new(bin)
+        .args(["check", "--rules", "not-a-rule"])
+        .output()
+        .expect("lint binary runs");
+    assert_eq!(usage.status.code(), Some(2), "bad usage must exit 2");
+}

@@ -131,7 +131,9 @@ impl VrApp {
         Self {
             name: "SG-1".into(),
             category: AppCategory::SocialGaming,
-            concurrency: [0.035, 0.058, 0.106, 0.174, 0.270, 0.183, 0.097, 0.048, 0.029],
+            concurrency: [
+                0.035, 0.058, 0.106, 0.174, 0.270, 0.183, 0.097, 0.048, 0.029,
+            ],
             main_demand: 2.7,
             background_demand: 1.10,
             session: Seconds::new(40.0),

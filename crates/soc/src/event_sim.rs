@@ -183,8 +183,7 @@ mod tests {
         let soc = SocConfig::quest2();
         let analytic = schedule(&trace, &app, &soc);
         let event = simulate_events(&trace, &app, &soc, 400);
-        let rel =
-            (event.energy.value() - analytic.energy.value()).abs() / analytic.energy.value();
+        let rel = (event.energy.value() - analytic.energy.value()).abs() / analytic.energy.value();
         assert!(rel < 0.15, "energy mismatch {rel:.3}");
     }
 

@@ -24,9 +24,6 @@
 //! # Ok::<(), cordoba_carbon::CarbonError>(())
 //! ```
 
-#![warn(missing_docs)]
-#![warn(clippy::all)]
-
 pub mod apps;
 pub mod cores;
 pub mod event_sim;

@@ -199,9 +199,7 @@ mod tests {
     fn totals_compose() {
         let rows = sweep(&VrApp::g2(), &Deployment::default()).unwrap();
         for r in &rows {
-            assert!(
-                (r.total_carbon().value() - (r.embodied + r.operational).value()).abs() < 1e-9
-            );
+            assert!((r.total_carbon().value() - (r.embodied + r.operational).value()).abs() < 1e-9);
             assert!(
                 (r.tcdp.value() - r.total_carbon().value() * r.delay.value()).abs()
                     < 1e-6 * r.tcdp.value()

@@ -131,11 +131,7 @@ impl SocConfig {
     /// Total leakage power (cores + uncore).
     #[must_use]
     pub fn leakage_power(&self) -> Watts {
-        self.cores
-            .iter()
-            .map(|c| c.leakage_power())
-            .sum::<Watts>()
-            + self.uncore_leakage
+        self.cores.iter().map(|c| c.leakage_power()).sum::<Watts>() + self.uncore_leakage
     }
 
     /// Embodied carbon of the SoC die.
@@ -152,7 +148,11 @@ impl SocConfig {
 
 impl fmt::Display for SocConfig {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let silver = self.cores.iter().filter(|c| **c == CoreKind::Silver).count();
+        let silver = self
+            .cores
+            .iter()
+            .filter(|c| **c == CoreKind::Silver)
+            .count();
         let gold = self.cores.iter().filter(|c| **c == CoreKind::Gold).count();
         let prime = self.cores.iter().filter(|c| **c == CoreKind::Prime).count();
         write!(

@@ -133,6 +133,7 @@ impl ActivityTrace {
     #[must_use]
     pub fn tlp(&self) -> f64 {
         let active = self.active_duration().value();
+        // cordoba-lint: allow(float-eq) — exact-zero sentinel guarding division
         if active == 0.0 {
             return 0.0;
         }

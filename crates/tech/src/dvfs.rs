@@ -6,7 +6,7 @@
 //! and by §III-C's discussion of `ED²P`/`tCD²P` for DVFS designs.
 
 use crate::mosfet::{GateModel, OperatingPoint};
-use cordoba_carbon::units::{CarbonIntensity, GramsCo2e, Hertz, Joules, Watts};
+use cordoba_carbon::units::{count_f64, CarbonIntensity, GramsCo2e, Hertz, Joules, Watts};
 use cordoba_carbon::CarbonError;
 use serde::{Deserialize, Serialize};
 
@@ -83,10 +83,7 @@ impl DvfsCurve {
         // Leakage power scales with the relative leakage; normalize by the
         // nominal relative leakage so the calibrated wattage is recovered
         // at the nominal point.
-        let nominal_rel = self
-            .gate
-            .characteristics(self.gate.nominal())
-            .leakage_power;
+        let nominal_rel = self.gate.characteristics(self.gate.nominal()).leakage_power;
         let leakage_power = if nominal_rel > 0.0 {
             self.nominal_leakage * (ch.leakage_power / nominal_rel)
         } else {
@@ -136,8 +133,7 @@ impl DvfsCurve {
                 let tcdp = |p: &DvfsPoint| {
                     let delay = cycles_per_task / p.frequency.value();
                     let energy = p.energy_per_cycle * cycles_per_task;
-                    let operational =
-                        ci_use * (energy * tasks).to_kilowatt_hours();
+                    let operational = ci_use * (energy * tasks).to_kilowatt_hours();
                     (embodied + operational).value() * delay
                 };
                 tcdp(a).total_cmp(&tcdp(b))
@@ -159,7 +155,7 @@ impl DvfsCurve {
         }
         (0..n)
             .map(|i| {
-                let v = v_lo + (v_hi - v_lo) * i as f64 / (n - 1) as f64;
+                let v = v_lo + (v_hi - v_lo) * count_f64(i) / count_f64(n - 1);
                 self.point(v)
             })
             .collect()
@@ -237,7 +233,10 @@ mod tests {
             short_life > long_life + 0.05,
             "short {short_life} vs long {long_life}"
         );
-        assert!((short_life - 1.2).abs() < 1e-9, "embodied-dominant runs flat out");
+        assert!(
+            (short_life - 1.2).abs() < 1e-9,
+            "embodied-dominant runs flat out"
+        );
         // The long-life choice is interior (not the minimum voltage either:
         // leakage and delay push back).
         assert!(long_life > 0.45 + 1e-9);

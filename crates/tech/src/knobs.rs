@@ -164,8 +164,7 @@ pub fn evaluate_knobs() -> Result<Vec<KnobEffect>, CarbonError> {
         let op = OperatingPoint::new(nominal.v_dd, nominal.v_t, 0.6)?;
         let ch = gate.characteristics(op);
         let wire_share = 0.3;
-        let delay_with_wires =
-            ch.delay * (1.0 - wire_share) + ch.delay * wire_share / op.width;
+        let delay_with_wires = ch.delay * (1.0 - wire_share) + ch.delay * wire_share / op.width;
         effects.push(KnobEffect {
             knob: Knob::ShrinkWidth,
             energy: Direction::from_relative_change(gate.energy_per_op(op) / nominal_energy - 1.0),

@@ -26,9 +26,6 @@
 //! # Ok::<(), cordoba_carbon::CarbonError>(())
 //! ```
 
-#![warn(missing_docs)]
-#![warn(clippy::all)]
-
 pub mod dvfs;
 pub mod knobs;
 pub mod mosfet;

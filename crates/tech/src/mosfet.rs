@@ -191,8 +191,7 @@ impl GateModel {
         // Delay: C*V / I, C ∝ width; width cancels within drive current.
         let delay = (op.width * op.v_dd / self.drive_current(op))
             / (nom.width * nom.v_dd / self.drive_current(nom));
-        let dynamic_energy =
-            (op.width * op.v_dd * op.v_dd) / (nom.width * nom.v_dd * nom.v_dd);
+        let dynamic_energy = (op.width * op.v_dd * op.v_dd) / (nom.width * nom.v_dd * nom.v_dd);
         let leak_rel = (op.width * op.v_dd * (-(op.v_t) / self.device.subthreshold_swing).exp())
             / (nom.width * nom.v_dd * (-(nom.v_t) / self.device.subthreshold_swing).exp());
         let lf = self.device.leakage_fraction_nominal;
@@ -235,6 +234,7 @@ impl GateModel {
 
 impl Default for GateModel {
     fn default() -> Self {
+        // cordoba-lint: allow(no-panic) — static modern() params, validated by tests
         Self::new(DeviceParams::modern()).expect("modern device params are valid")
     }
 }

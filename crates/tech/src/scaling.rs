@@ -199,7 +199,12 @@ mod tests {
                 area: unit,
                 node: pair[1],
             });
-            assert!(new > old, "per-area embodied must rise {} -> {}", pair[0], pair[1]);
+            assert!(
+                new > old,
+                "per-area embodied must rise {} -> {}",
+                pair[0],
+                pair[1]
+            );
         }
     }
 

@@ -224,7 +224,10 @@ mod tests {
             KernelId::HandJlp,
             KernelId::EmotionFan,
         ] {
-            assert!(!k.is_activation_heavy(), "{k} should not be activation-heavy");
+            assert!(
+                !k.is_activation_heavy(),
+                "{k} should not be activation-heavy"
+            );
         }
     }
 

@@ -70,7 +70,10 @@ impl Layer {
                 kernel,
                 ..
             } => {
-                f64::from(out_h) * f64::from(out_w) * f64::from(in_c) * f64::from(out_c)
+                f64::from(out_h)
+                    * f64::from(out_w)
+                    * f64::from(in_c)
+                    * f64::from(out_c)
                     * f64::from(kernel * kernel)
             }
             Self::DepthwiseConv2d {
@@ -79,8 +82,12 @@ impl Layer {
                 channels,
                 kernel,
                 ..
-            } => f64::from(out_h) * f64::from(out_w) * f64::from(channels)
-                * f64::from(kernel * kernel),
+            } => {
+                f64::from(out_h)
+                    * f64::from(out_w)
+                    * f64::from(channels)
+                    * f64::from(kernel * kernel)
+            }
             Self::FullyConnected { inputs, outputs } => f64::from(inputs) * f64::from(outputs),
         }
     }
@@ -95,9 +102,9 @@ impl Layer {
                 in_c,
                 stride,
                 ..
-            } => Bytes::new(
-                f64::from(out_h * stride) * f64::from(out_w * stride) * f64::from(in_c),
-            ),
+            } => {
+                Bytes::new(f64::from(out_h * stride) * f64::from(out_w * stride) * f64::from(in_c))
+            }
             Self::DepthwiseConv2d {
                 out_h,
                 out_w,
@@ -116,7 +123,10 @@ impl Layer {
     pub fn output_bytes(&self) -> Bytes {
         match *self {
             Self::Conv2d {
-                out_h, out_w, out_c, ..
+                out_h,
+                out_w,
+                out_c,
+                ..
             } => Bytes::new(f64::from(out_h) * f64::from(out_w) * f64::from(out_c)),
             Self::DepthwiseConv2d {
                 out_h,
@@ -133,7 +143,10 @@ impl Layer {
     pub fn weight_bytes(&self) -> Bytes {
         match *self {
             Self::Conv2d {
-                in_c, out_c, kernel, ..
+                in_c,
+                out_c,
+                kernel,
+                ..
             } => Bytes::new(f64::from(in_c) * f64::from(out_c) * f64::from(kernel * kernel)),
             Self::DepthwiseConv2d {
                 channels, kernel, ..
@@ -199,7 +212,6 @@ impl LayeredKernel {
         }
     }
 
-
     /// Builds the layered model for a kernel.
     ///
     /// Generator parameters (stage widths, stem strides, resident and
@@ -210,23 +222,58 @@ impl LayeredKernel {
     pub fn for_kernel(id: KernelId) -> Self {
         match id {
             KernelId::ResNet18 => classifier(
-                id, 224, 64, &[(2, 64), (2, 128), (2, 256), (2, 512)], false, 1000, 2.0, 0.0,
+                id,
+                224,
+                64,
+                &[(2, 64), (2, 128), (2, 256), (2, 512)],
+                false,
+                1000,
+                2.0,
+                0.0,
             ),
             KernelId::ResNet50 => classifier(
-                id, 224, 64, &[(3, 64), (4, 128), (6, 256), (3, 512)], true, 1000, 8.0, 0.0,
+                id,
+                224,
+                64,
+                &[(3, 64), (4, 128), (6, 256), (3, 512)],
+                true,
+                1000,
+                8.0,
+                0.0,
             ),
             KernelId::ResNet152 => classifier(
-                id, 224, 64, &[(3, 64), (8, 128), (36, 256), (3, 512)], true, 1000, 10.8, 0.0,
+                id,
+                224,
+                64,
+                &[(3, 64), (8, 128), (36, 256), (3, 512)],
+                true,
+                1000,
+                10.8,
+                0.0,
             ),
             KernelId::GoogleNet => classifier(
-                id, 224, 64, &[(2, 72), (2, 128), (2, 192), (2, 256)], false, 1000, 3.2, 3.0,
+                id,
+                224,
+                64,
+                &[(2, 72), (2, 128), (2, 192), (2, 256)],
+                false,
+                1000,
+                3.2,
+                3.0,
             ),
             KernelId::MobileNetV2 => mobilenet(id, 224, 1.0, 1.1, 1.2),
             KernelId::EyeTracking => encoder_decoder(id, 320, 2, 34, 3, 7.0, 28.6),
             KernelId::DepthAgg3d => encoder_decoder(id, 384, 2, 38, 3, 21.0, 19.0),
             KernelId::Hrnet => encoder_decoder(id, 448, 2, 40, 3, 29.0, 26.5),
             KernelId::EmotionFan => classifier(
-                id, 256, 64, &[(2, 80), (2, 150), (2, 235), (2, 300)], false, 512, 6.0, 14.0,
+                id,
+                256,
+                64,
+                &[(2, 80), (2, 150), (2, 235), (2, 300)],
+                false,
+                512,
+                6.0,
+                14.0,
             ),
             KernelId::HandJlp => encoder_decoder(id, 256, 2, 26, 3, 4.0, 11.5),
             KernelId::UNet => encoder_decoder(id, 512, 2, 34, 4, 36.0, 28.7),
@@ -240,13 +287,16 @@ impl LayeredKernel {
     /// Layered models for all fifteen kernels.
     #[must_use]
     pub fn all() -> Vec<Self> {
-        KernelId::ALL.iter().map(|&id| Self::for_kernel(id)).collect()
+        KernelId::ALL
+            .iter()
+            .map(|&id| Self::for_kernel(id))
+            .collect()
     }
 }
 
 /// A ResNet-style classifier: strided 7x7 stem, four stages of residual
 /// blocks (basic 2-conv or bottleneck 1-3-1 with 4x expansion) at falling
-/// resolution, final FC. `resident_mib` models framework buffers; 
+/// resolution, final FC. `resident_mib` models framework buffers;
 /// `extra_weight_mib` models auxiliary heads/embeddings not expressed as
 /// layers.
 #[allow(clippy::too_many_arguments)]
@@ -640,9 +690,7 @@ mod tests {
             (s1024.peak_activation().value() / s256.peak_activation().value() - 16.0).abs() < 0.5
         );
         // Weights are resolution-independent.
-        assert!(
-            (s1024.total_weights().value() / s256.total_weights().value() - 1.0).abs() < 1e-9
-        );
+        assert!((s1024.total_weights().value() / s256.total_weights().value() - 1.0).abs() < 1e-9);
     }
 
     #[test]

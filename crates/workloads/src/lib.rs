@@ -27,9 +27,6 @@
 //! # Ok::<(), cordoba_workloads::cost::MissingKernel>(())
 //! ```
 
-#![warn(missing_docs)]
-#![warn(clippy::all)]
-
 pub mod cost;
 pub mod kernel;
 pub mod layers;

@@ -108,6 +108,7 @@ impl Task {
     /// "All kernels": every one of the fifteen kernels once.
     #[must_use]
     pub fn all_kernels() -> Self {
+        // cordoba-lint: allow(no-panic) — compile-time kernel list
         Self::uniform("All kernels", KernelId::ALL).expect("static kernel list is valid")
     }
 
@@ -129,7 +130,7 @@ impl Task {
                 KernelId::Sr1024,
             ],
         )
-        .expect("static kernel list is valid")
+        .expect("static kernel list is valid") // cordoba-lint: allow(no-panic) — compile-time kernel list
     }
 
     /// "AI (10 kernels)": RN-18/50/152, GN, MN2, 3D-Agg, ET, UNet, JLP, HRN.
@@ -150,7 +151,7 @@ impl Task {
                 KernelId::Hrnet,
             ],
         )
-        .expect("static kernel list is valid")
+        .expect("static kernel list is valid") // cordoba-lint: allow(no-panic) — compile-time kernel list
     }
 
     /// "XR (5 kernels)": 3D-Agg, HRN, DN, SR (512), SR (1024).
@@ -166,7 +167,7 @@ impl Task {
                 KernelId::Sr1024,
             ],
         )
-        .expect("static kernel list is valid")
+        .expect("static kernel list is valid") // cordoba-lint: allow(no-panic) — compile-time kernel list
     }
 
     /// "AI (5 kernels)": RN-18/50/152, GN, MN2.
@@ -182,7 +183,7 @@ impl Task {
                 KernelId::MobileNetV2,
             ],
         )
-        .expect("static kernel list is valid")
+        .expect("static kernel list is valid") // cordoba-lint: allow(no-panic) — compile-time kernel list
     }
 
     /// The five Table IV evaluation tasks, in the paper's order.
@@ -235,9 +236,10 @@ mod tests {
 
     #[test]
     fn xr_tasks_are_activation_heavy_on_average() {
-        let heavy =
-            |t: &Task| t.kernels().filter(|k| k.is_activation_heavy()).count() as f64
-                / t.kernels().count() as f64;
+        let heavy = |t: &Task| {
+            t.kernels().filter(|k| k.is_activation_heavy()).count() as f64
+                / t.kernels().count() as f64
+        };
         assert!(heavy(&Task::xr_5_kernels()) > heavy(&Task::ai_5_kernels()));
         assert_eq!(heavy(&Task::ai_5_kernels()), 0.0);
         assert_eq!(heavy(&Task::xr_5_kernels()), 1.0);
@@ -271,11 +273,7 @@ mod tests {
     fn validation() {
         assert!(Task::new("empty", vec![]).is_err());
         assert!(Task::new("zero", vec![(KernelId::UNet, 0.0)]).is_err());
-        assert!(Task::new(
-            "dup",
-            vec![(KernelId::UNet, 1.0), (KernelId::UNet, 2.0)]
-        )
-        .is_err());
+        assert!(Task::new("dup", vec![(KernelId::UNet, 1.0), (KernelId::UNet, 2.0)]).is_err());
     }
 
     #[test]

@@ -12,10 +12,10 @@ fn main() -> Result<(), CarbonError> {
     //    "fast" burns more energy on bigger, carbon-heavier silicon.
     let frugal = DesignPoint::new(
         "frugal",
-        Seconds::new(2.0),              // task delay D
-        Joules::new(1.2),               // task energy E
-        GramsCo2e::new(120.0),          // embodied carbon
-        SquareCentimeters::new(0.5),    // die area
+        Seconds::new(2.0),           // task delay D
+        Joules::new(1.2),            // task energy E
+        GramsCo2e::new(120.0),       // embodied carbon
+        SquareCentimeters::new(0.5), // die area
     )?;
     let fast = DesignPoint::new(
         "fast",

@@ -31,7 +31,11 @@ fn main() -> Result<(), CarbonError> {
             energy.value() * 1e3,
             sim.dram_traffic.to_mebibytes(),
             embodied.value(),
-            if sim.is_memory_bound() { "  [memory-bound]" } else { "" }
+            if sim.is_memory_bound() {
+                "  [memory-bound]"
+            } else {
+                ""
+            }
         );
         points.push(DesignPoint::new(
             cfg.name(),
@@ -59,6 +63,8 @@ fn main() -> Result<(), CarbonError> {
             baseline.name
         );
     }
-    println!("\nPaper: 3D_2K_4M wins the embodied case (1.08x), 3D_2K_8M the operational case (6.9x).");
+    println!(
+        "\nPaper: 3D_2K_4M wins the embodied case (1.08x), 3D_2K_8M the operational case (6.9x)."
+    );
     Ok(())
 }

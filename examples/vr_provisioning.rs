@@ -24,7 +24,11 @@ fn main() -> Result<(), CarbonError> {
             app.daily_hours
         );
         for r in &rows {
-            let marker = if r.cores == optimal_cores(&rows) { " <== optimal" } else { "" };
+            let marker = if r.cores == optimal_cores(&rows) {
+                " <== optimal"
+            } else {
+                ""
+            };
             println!(
                 "  {} cores: D {:6.2} s | E {:5.1} J | C_emb {:7.1} g | C_op {:8.1} g | tCDP {:9.3e}{}",
                 r.cores,

@@ -165,8 +165,12 @@ fn optimal_vs_average_benefit_exceeds_paper_minimum() {
 
 #[test]
 fn constrained_problem_respects_area_budget_over_the_space() {
-    let points =
-        evaluate_space(&design_space(), &Task::all_kernels(), &EmbodiedModel::default()).unwrap();
+    let points = evaluate_space(
+        &design_space(),
+        &Task::all_kernels(),
+        &EmbodiedModel::default(),
+    )
+    .unwrap();
     let ctx = OperationalContext::us_grid(1e8);
     let unconstrained = OptimizationProblem::tcdp(points.clone())
         .solve(&ctx)
@@ -185,11 +189,16 @@ fn constrained_problem_respects_area_budget_over_the_space() {
 fn qos_constraint_can_forbid_the_tcdp_optimum() {
     // §III-C scenario (a) on the real space: a tight latency ceiling moves
     // the choice off the tCDP optimum.
-    let points =
-        evaluate_space(&design_space(), &Task::xr_10_kernels(), &EmbodiedModel::default())
-            .unwrap();
+    let points = evaluate_space(
+        &design_space(),
+        &Task::xr_10_kernels(),
+        &EmbodiedModel::default(),
+    )
+    .unwrap();
     let ctx = OperationalContext::us_grid(1e5);
-    let free = OptimizationProblem::tcdp(points.clone()).solve(&ctx).unwrap();
+    let free = OptimizationProblem::tcdp(points.clone())
+        .solve(&ctx)
+        .unwrap();
     let ceiling = free.best.delay * 0.5;
     let constrained = OptimizationProblem::tcdp(points)
         .with_constraints(Constraints::none().with_max_delay(ceiling))

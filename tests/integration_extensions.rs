@@ -102,9 +102,7 @@ fn two_factor_elimination_over_the_stacking_study() {
     // And every concrete intensity pair picks a 2-factor survivor.
     for ci_fab in [50.0, 380.0, 820.0] {
         for beta in [0.0, 1e2, 1e6] {
-            let idx = two
-                .optimal_for(CarbonIntensity::new(ci_fab), beta)
-                .unwrap();
+            let idx = two.optimal_for(CarbonIntensity::new(ci_fab), beta).unwrap();
             assert!(two
                 .surviving_names()
                 .contains(&two.points[idx].name.as_str()));
@@ -140,15 +138,7 @@ fn carbon_aware_dvfs_tracks_operational_time() {
     let embodied = GramsCo2e::new(2_000.0);
     let pick = |tasks: f64| {
         curve
-            .tcdp_optimal_point(
-                5e8,
-                embodied,
-                tasks,
-                grids::US_AVERAGE,
-                0.5,
-                1.15,
-                48,
-            )
+            .tcdp_optimal_point(5e8, embodied, tasks, grids::US_AVERAGE, 0.5, 1.15, 48)
             .unwrap()
             .v_dd
     };
@@ -170,10 +160,12 @@ fn layered_and_aggregate_simulators_rank_configs_alike() {
     use cordoba_accel::layered_sim::layered_cost_table;
     use cordoba_accel::sim::full_cost_table;
     let task = Task::xr_10_kernels();
-    let configs: Vec<_> = ["a1", "a23", "a37", "a48", "a60", "a72", "a84", "a96", "a108"]
-        .iter()
-        .map(|n| config_by_name(n).unwrap())
-        .collect();
+    let configs: Vec<_> = [
+        "a1", "a23", "a37", "a48", "a60", "a72", "a84", "a96", "a108",
+    ]
+    .iter()
+    .map(|n| config_by_name(n).unwrap())
+    .collect();
     let layered: Vec<f64> = configs
         .iter()
         .map(|c| layered_cost_table(c).task_delay(&task).unwrap().value())

@@ -81,8 +81,7 @@ fn cleaner_grid_reduces_tcdp_but_not_edp() {
     assert!(point.tcdp(&dirty) > point.tcdp(&clean));
     assert_eq!(point.edp(), point.edp()); // EDP is grid-independent
     assert!(
-        (MetricKind::Edp.evaluate(&point, &dirty) - MetricKind::Edp.evaluate(&point, &clean))
-            .abs()
+        (MetricKind::Edp.evaluate(&point, &dirty) - MetricKind::Edp.evaluate(&point, &clean)).abs()
             < 1e-15
     );
 }

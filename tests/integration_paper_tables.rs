@@ -19,8 +19,14 @@ fn table_one_rows_match_published_numbers() {
     ];
     for (name, tput, power, e_inf, budget_tput, edp) in expected {
         let row = rows.iter().find(|r| r.ic.name == name).unwrap();
-        assert!((row.throughput - tput).abs() / tput < 1e-9, "{name} throughput");
-        assert!((row.overall_power - power).abs() / power < 1e-9, "{name} power");
+        assert!(
+            (row.throughput - tput).abs() / tput < 1e-9,
+            "{name} throughput"
+        );
+        assert!(
+            (row.overall_power - power).abs() / power < 1e-9,
+            "{name} power"
+        );
         assert!(
             (row.energy_per_inference - e_inf).abs() / e_inf < 1e-9,
             "{name} energy"
@@ -81,7 +87,9 @@ fn throughput_is_proportional_to_inverse_tcdp() {
     let products: Vec<f64> = rows.iter().map(|r| r.budget_throughput * r.tcdp).collect();
     let (min, max) = products
         .iter()
-        .fold((f64::INFINITY, 0.0f64), |(lo, hi), &p| (lo.min(p), hi.max(p)));
+        .fold((f64::INFINITY, 0.0f64), |(lo, hi), &p| {
+            (lo.min(p), hi.max(p))
+        });
     assert!((max - min) / min < 1e-9, "products vary: {products:?}");
 }
 

@@ -16,7 +16,10 @@ fn m1_reproduces_table_v_shape() {
 
     // Embodied ~2x better (paper: 2.0x; yield makes ours ~1.8x).
     let emb_ratio = before.embodied.value() / after.embodied.value();
-    assert!((1.6..2.2).contains(&emb_ratio), "embodied ratio {emb_ratio}");
+    assert!(
+        (1.6..2.2).contains(&emb_ratio),
+        "embodied ratio {emb_ratio}"
+    );
 
     // Delay ~0.98x normalized FPS (slightly slower after).
     let fps = before.delay.value() / after.delay.value();
@@ -24,9 +27,15 @@ fn m1_reproduces_table_v_shape() {
 
     // Total carbon improves ~1.27x; tCDP ~1.25x.
     let carbon_ratio = before.total_carbon().value() / after.total_carbon().value();
-    assert!((1.1..1.5).contains(&carbon_ratio), "carbon ratio {carbon_ratio}");
+    assert!(
+        (1.1..1.5).contains(&carbon_ratio),
+        "carbon ratio {carbon_ratio}"
+    );
     let tcdp_ratio = before.tcdp.value() / after.tcdp.value();
-    assert!((1.15..1.45).contains(&tcdp_ratio), "tCDP ratio {tcdp_ratio}");
+    assert!(
+        (1.15..1.45).contains(&tcdp_ratio),
+        "tCDP ratio {tcdp_ratio}"
+    );
 
     // EDP slightly *worse* after optimization (paper: 0.98x) — the point
     // being that carbon efficiency improves even as energy efficiency dips.

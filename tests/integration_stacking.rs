@@ -105,8 +105,18 @@ fn lifetime_change_acts_like_ci_change_through_beta() {
     let rank = |ctx: &OperationalContext| {
         let mut names: Vec<&str> = points.iter().map(|p| p.name.as_str()).collect();
         names.sort_by(|x, y| {
-            let px = points.iter().find(|p| p.name == *x).unwrap().tcdp(ctx).value();
-            let py = points.iter().find(|p| p.name == *y).unwrap().tcdp(ctx).value();
+            let px = points
+                .iter()
+                .find(|p| p.name == *x)
+                .unwrap()
+                .tcdp(ctx)
+                .value();
+            let py = points
+                .iter()
+                .find(|p| p.name == *y)
+                .unwrap()
+                .tcdp(ctx)
+                .value();
             px.total_cmp(&py)
         });
         names.first().map(|s| (*s).to_owned()).unwrap()

@@ -9,7 +9,12 @@ use cordoba_carbon::units::{CarbonIntensity, Seconds};
 use cordoba_workloads::task::Task;
 
 fn space_points() -> Vec<DesignPoint> {
-    evaluate_space(&design_space(), &Task::all_kernels(), &EmbodiedModel::default()).unwrap()
+    evaluate_space(
+        &design_space(),
+        &Task::all_kernels(),
+        &EmbodiedModel::default(),
+    )
+    .unwrap()
 }
 
 #[test]
@@ -39,8 +44,18 @@ fn correlation_orders_wearable_mobile_datacenter() {
         .iter()
         .map(|&d| domain_analysis(&points, d).unwrap().correlation)
         .collect();
-    assert!(corr[0] < corr[1], "wearable {} vs mobile {}", corr[0], corr[1]);
-    assert!(corr[1] < corr[2], "mobile {} vs datacenter {}", corr[1], corr[2]);
+    assert!(
+        corr[0] < corr[1],
+        "wearable {} vs mobile {}",
+        corr[0],
+        corr[1]
+    );
+    assert!(
+        corr[1] < corr[2],
+        "mobile {} vs datacenter {}",
+        corr[1],
+        corr[2]
+    );
     assert!(corr[2] > 0.9, "datacenter correlation {}", corr[2]);
 }
 

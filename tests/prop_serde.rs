@@ -15,7 +15,10 @@ fn assert_clone_eq<T: Clone + PartialEq + std::fmt::Debug>(value: &T) {
     let copy = value.clone();
     assert_eq!(&copy, value);
     let debug = format!("{value:?}");
-    assert!(!debug.is_empty(), "Debug must be non-empty (C-DEBUG-NONEMPTY)");
+    assert!(
+        !debug.is_empty(),
+        "Debug must be non-empty (C-DEBUG-NONEMPTY)"
+    );
 }
 
 #[test]
@@ -68,7 +71,10 @@ fn workload_and_accel_types_clone_and_compare() {
     assert_clone_eq(&TechTuning::n7());
     let cfg = config_by_name("a48").unwrap();
     assert_clone_eq(&simulate(&cfg, &KernelId::ResNet50.descriptor()));
-    assert_clone_eq(&simulate_layered(&cfg, &LayeredKernel::for_kernel(KernelId::ResNet50)));
+    assert_clone_eq(&simulate_layered(
+        &cfg,
+        &LayeredKernel::for_kernel(KernelId::ResNet50),
+    ));
     assert_clone_eq(&full_cost_table(&cfg));
 }
 

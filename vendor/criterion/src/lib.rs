@@ -1,0 +1,238 @@
+//! Offline stub of `criterion` 0.5.
+//!
+//! A minimal wall-clock micro-benchmark harness exposing the subset of the
+//! criterion API the workspace's benches use (`Criterion`, `Bencher`,
+//! benchmark groups, `BenchmarkId`, the `criterion_group!`/`criterion_main!`
+//! macros). It reports mean/min/max per benchmark on stdout; statistical
+//! analysis, plotting, and baseline comparison require the real crate.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark harness configuration and registry.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets how long to warm up before sampling.
+    #[must_use]
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the total sampling budget per benchmark.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark under this configuration.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            config: self.clone(),
+            report: None,
+        };
+        f(&mut bencher);
+        bencher.print(&id.into());
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// Timing statistics for one benchmark, in nanoseconds per iteration.
+#[derive(Debug, Clone, Copy)]
+struct Report {
+    mean_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+    iters: u64,
+}
+
+/// Per-benchmark timing driver handed to the closure.
+#[derive(Debug)]
+pub struct Bencher {
+    config: Criterion,
+    report: Option<Report>,
+}
+
+impl Bencher {
+    /// Times repeated calls of `f`, recording per-iteration statistics.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm up and estimate per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.config.warm_up_time || warm_iters < 3 {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+
+        // Split the measurement budget into samples of >= 1 iteration each.
+        let samples = self.config.sample_size;
+        let budget = self.config.measurement_time.as_secs_f64();
+        let iters_per_sample =
+            ((budget / samples as f64 / per_iter.max(1e-9)).ceil() as u64).max(1);
+
+        let mut mean_acc = 0.0;
+        let mut min_ns = f64::INFINITY;
+        let mut max_ns: f64 = 0.0;
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            let ns = start.elapsed().as_secs_f64() * 1e9 / iters_per_sample as f64;
+            mean_acc += ns;
+            min_ns = min_ns.min(ns);
+            max_ns = max_ns.max(ns);
+        }
+        self.report = Some(Report {
+            mean_ns: mean_acc / samples as f64,
+            min_ns,
+            max_ns,
+            iters: iters_per_sample * samples as u64,
+        });
+    }
+
+    fn print(&self, id: &str) {
+        match &self.report {
+            Some(r) => println!(
+                "{id:<48} mean {:>12} min {:>12} max {:>12} ({} iters)",
+                fmt_ns(r.mean_ns),
+                fmt_ns(r.min_ns),
+                fmt_ns(r.max_ns),
+                r.iters
+            ),
+            None => println!("{id:<48} (no measurement: Bencher::iter never called)"),
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} us", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Identifier for a parameterized benchmark (`function_name/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a displayed parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            full: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+/// A named collection of related benchmarks sharing a `Criterion` config.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        self.criterion.bench_function(full, f);
+        self
+    }
+
+    /// Runs one parameterized benchmark inside the group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.full);
+        self.criterion.bench_function(full, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (stub: nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        /// Benchmark group entry point (generated by `criterion_group!`).
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,323 @@
+//! Offline stub of `proptest`.
+//!
+//! Provides the `proptest!`, `prop_assert!`, `prop_assert_eq!`, and
+//! `prop_assume!` macros plus the small strategy algebra the workspace's
+//! property tests use: numeric ranges, tuples, `prop::collection::vec`, and
+//! `prop::sample::select`. Each `proptest!` test runs a fixed number of
+//! deterministic cases (seeded from the test name), so failures are
+//! reproducible; shrinking and persistence (`.proptest-regressions`) are not
+//! implemented — regression files are simply ignored.
+
+/// Test-runner plumbing used by the macros.
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::{RngCore, SeedableRng};
+
+    /// Number of cases each `proptest!` test executes.
+    pub const CASES: usize = 96;
+
+    /// Maximum `prop_assume!` rejections before the test aborts.
+    pub const MAX_REJECTS: usize = 4096;
+
+    /// Outcome of a single property-test case.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// A `prop_assert!` failed: the property does not hold.
+        Fail(String),
+        /// A `prop_assume!` rejected the inputs: re-draw and retry.
+        Reject(String),
+    }
+
+    /// Deterministic RNG for strategies (xoshiro via the vendored `rand`).
+    #[derive(Debug, Clone)]
+    pub struct TestRng(StdRng);
+
+    impl TestRng {
+        /// Seeds the generator from the test name so every test draws a
+        /// distinct but reproducible stream.
+        #[must_use]
+        pub fn deterministic(name: &str) -> Self {
+            // FNV-1a over the test name.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            Self(StdRng::seed_from_u64(h))
+        }
+    }
+
+    impl RngCore for TestRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+}
+
+/// Strategy trait and combinators.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use core::ops::{Range, RangeInclusive};
+    use rand::Rng;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).sample(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($ty:ty),* $(,)?) => {
+            $(
+                impl Strategy for Range<$ty> {
+                    type Value = $ty;
+                    fn sample(&self, rng: &mut TestRng) -> $ty {
+                        rng.gen_range(self.clone())
+                    }
+                }
+                impl Strategy for RangeInclusive<$ty> {
+                    type Value = $ty;
+                    fn sample(&self, rng: &mut TestRng) -> $ty {
+                        rng.gen_range(self.clone())
+                    }
+                }
+            )*
+        };
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident / $idx:tt),+)),* $(,)?) => {
+            $(
+                impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                    type Value = ($($name::Value,)+);
+                    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                        ($(self.$idx.sample(rng),)+)
+                    }
+                }
+            )*
+        };
+    }
+
+    impl_tuple_strategy!(
+        (A / 0),
+        (A / 0, B / 1),
+        (A / 0, B / 1, C / 2),
+        (A / 0, B / 1, C / 2, D / 3),
+        (A / 0, B / 1, C / 2, D / 3, E / 4),
+    );
+
+    /// Strategy that always yields a clone of one fixed value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+}
+
+/// `prop::collection` — strategies for collections.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use core::ops::{Range, RangeInclusive};
+    use rand::Rng;
+
+    /// Inclusive-exclusive size bounds for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            Self {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            let (lo, hi) = r.into_inner();
+            Self { lo, hi: hi + 1 }
+        }
+    }
+
+    /// Strategy producing a `Vec` of values drawn from an element strategy.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Builds a [`VecStrategy`] with sizes drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.gen_range(self.size.lo..self.size.hi);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// `prop::sample` — strategies choosing among fixed alternatives.
+pub mod sample {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::seq::SliceRandom;
+
+    /// Strategy drawing uniformly from a fixed set of values.
+    #[derive(Debug, Clone)]
+    pub struct Select<T: Clone>(Vec<T>);
+
+    /// Builds a [`Select`] over `options` (must be non-empty).
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "prop::sample::select: empty options");
+        Select(options)
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            self.0.choose(rng).expect("select is non-empty").clone()
+        }
+    }
+}
+
+/// Common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Declares property tests. Each `fn name(arg in strategy, ...) { body }`
+/// expands to a `fn name()` that runs [`test_runner::CASES`] deterministic
+/// cases, re-drawing on `prop_assume!` rejections.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut rng = $crate::test_runner::TestRng::deterministic(stringify!($name));
+                let mut accepted = 0usize;
+                let mut rejected = 0usize;
+                while accepted < $crate::test_runner::CASES {
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng);)+
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    match outcome {
+                        ::std::result::Result::Ok(()) => accepted += 1,
+                        ::std::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Reject(_),
+                        ) => {
+                            rejected += 1;
+                            assert!(
+                                rejected < $crate::test_runner::MAX_REJECTS,
+                                "proptest: too many prop_assume! rejections in {}",
+                                stringify!($name),
+                            );
+                        }
+                        ::std::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Fail(msg),
+                        ) => panic!("proptest case failed in {}: {}", stringify!($name), msg),
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a property inside a `proptest!` body (fails the case, with the
+/// condition text or a formatted message).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!(
+                    "assertion failed: {} at {}:{}",
+                    stringify!($cond),
+                    file!(),
+                    line!()
+                ),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// `prop_assert!` specialization for equality.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+}
+
+/// `prop_assert!` specialization for inequality.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+}
+
+/// Rejects the current case (inputs re-drawn) when `cond` is false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}

@@ -1,0 +1,86 @@
+//! Offline stub of `serde`.
+//!
+//! The build environment has no network access to crates.io, so this crate
+//! stands in for the real `serde`: it defines `Serialize` and `Deserialize`
+//! as *marker traits* (no methods) and re-exports the sibling stub derive
+//! macros. Code that derives the traits and asserts the bounds at compile
+//! time works unchanged; code that actually serializes to a wire format
+//! would need the real crate (none of the workspace does — no format crate
+//! is vendored).
+//!
+//! Swapping the real `serde` back in is a one-line change in the root
+//! `Cargo.toml` (`[workspace.dependencies]`).
+
+/// Marker stand-in for `serde::Serialize` (no methods in the offline stub).
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize` (no methods in the offline stub).
+pub trait Deserialize<'de>: Sized {}
+
+/// Stand-in for the `serde::de` module.
+pub mod de {
+    /// Marker stand-in for `serde::de::DeserializeOwned`.
+    pub trait DeserializeOwned: Sized {}
+    impl<T> DeserializeOwned for T where T: for<'de> super::Deserialize<'de> {}
+}
+
+/// Stand-in for the `serde::ser` module.
+pub mod ser {
+    pub use super::Serialize;
+}
+
+macro_rules! impl_markers {
+    ($($ty:ty),* $(,)?) => {
+        $(
+            impl Serialize for $ty {}
+            impl<'de> Deserialize<'de> for $ty {}
+        )*
+    };
+}
+
+impl_markers!(
+    bool,
+    char,
+    u8,
+    u16,
+    u32,
+    u64,
+    u128,
+    usize,
+    i8,
+    i16,
+    i32,
+    i64,
+    i128,
+    isize,
+    f32,
+    f64,
+    String,
+    ()
+);
+
+impl Serialize for str {}
+impl<T: Serialize + ?Sized> Serialize for &T {}
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}
+impl<T: Serialize> Serialize for Box<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {}
+impl<T: Serialize, const N: usize> Serialize for [T; N] {}
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {}
+impl<T: Serialize> Serialize for [T] {}
+
+macro_rules! impl_tuple_markers {
+    ($(($($name:ident),+)),* $(,)?) => {
+        $(
+            impl<$($name: Serialize),+> Serialize for ($($name,)+) {}
+            impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {}
+        )*
+    };
+}
+
+impl_tuple_markers!((A), (A, B), (A, B, C), (A, B, C, D), (A, B, C, D, E));
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

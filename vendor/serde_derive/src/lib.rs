@@ -1,0 +1,185 @@
+//! Offline stub of `serde_derive`.
+//!
+//! The real `serde_derive` generates full (de)serialization logic. This
+//! vendored stand-in only emits empty impls of the marker traits exposed by
+//! the sibling `serde` stub, which is enough for code that derives
+//! `Serialize`/`Deserialize` and asserts the bounds at compile time, but
+//! never actually encodes to a wire format (no format crate is vendored).
+//!
+//! The item parser is hand-rolled on `proc_macro::TokenStream` (no `syn`
+//! available offline) and supports structs/enums/unions with lifetime, type,
+//! and const generic parameters, including bounds and defaults.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// A single generic parameter split into its impl-side declaration and its
+/// type-argument form (`const N: usize` vs `N`, `'a: 'b` vs `'a`, ...).
+struct Param {
+    decl: String,
+    arg: String,
+}
+
+/// Extracts `(name, params)` from a `struct`/`enum`/`union` item.
+fn parse_item(input: TokenStream) -> (String, Vec<Param>) {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Skip outer attributes (`#[...]`) and visibility (`pub`, `pub(crate)`).
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 1; // the `[...]` group
+                if matches!(&tokens[i], TokenTree::Group(g) if g.delimiter() == Delimiter::Bracket)
+                {
+                    i += 1;
+                }
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if matches!(&tokens[i], TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+            }
+            TokenTree::Ident(id)
+                if matches!(id.to_string().as_str(), "struct" | "enum" | "union") =>
+            {
+                i += 1;
+                break;
+            }
+            _ => i += 1,
+        }
+    }
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde stub derive: expected type name, found `{other}`"),
+    };
+    i += 1;
+    let mut params = Vec::new();
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            let mut depth = 1;
+            let mut generic = Vec::new();
+            i += 1;
+            while i < tokens.len() && depth > 0 {
+                match &tokens[i] {
+                    TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                    TokenTree::Punct(p) if p.as_char() == '>' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                generic.push(tokens[i].clone());
+                i += 1;
+            }
+            params = split_params(&generic);
+        }
+    }
+    (name, params)
+}
+
+/// Splits the token list inside `<...>` on top-level commas and classifies
+/// each parameter.
+fn split_params(tokens: &[TokenTree]) -> Vec<Param> {
+    let mut groups: Vec<Vec<TokenTree>> = vec![Vec::new()];
+    let mut depth = 0;
+    for t in tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                groups.push(Vec::new());
+                continue;
+            }
+            _ => {}
+        }
+        groups.last_mut().expect("non-empty").push(t.clone());
+    }
+    groups
+        .iter()
+        .filter(|g| !g.is_empty())
+        .map(|g| classify_param(g))
+        .collect()
+}
+
+fn classify_param(tokens: &[TokenTree]) -> Param {
+    match &tokens[0] {
+        // Lifetime parameter: `'a` (optionally with bounds, which we drop).
+        TokenTree::Punct(p) if p.as_char() == '\'' => {
+            let life = format!("'{}", tokens[1]);
+            Param {
+                decl: life.clone(),
+                arg: life,
+            }
+        }
+        // Const parameter: keep `const N: Ty`, drop any default.
+        TokenTree::Ident(id) if id.to_string() == "const" => {
+            let name = tokens[1].to_string();
+            let mut decl = String::from("const ");
+            for t in &tokens[1..] {
+                if matches!(t, TokenTree::Punct(p) if p.as_char() == '=') {
+                    break;
+                }
+                decl.push_str(&t.to_string());
+                decl.push(' ');
+            }
+            Param {
+                decl: decl.trim_end().to_string(),
+                arg: name,
+            }
+        }
+        // Type parameter: keep just the name, drop bounds and defaults.
+        TokenTree::Ident(id) => {
+            let name = id.to_string();
+            Param {
+                decl: name.clone(),
+                arg: name,
+            }
+        }
+        other => panic!("serde stub derive: unsupported generic parameter `{other}`"),
+    }
+}
+
+fn impl_header(extra: Option<&str>, params: &[Param]) -> (String, String) {
+    let mut decls: Vec<String> = Vec::new();
+    if let Some(e) = extra {
+        decls.push(e.to_string());
+    }
+    decls.extend(params.iter().map(|p| p.decl.clone()));
+    let impl_generics = if decls.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", decls.join(", "))
+    };
+    let args: Vec<String> = params.iter().map(|p| p.arg.clone()).collect();
+    let ty_generics = if args.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", args.join(", "))
+    };
+    (impl_generics, ty_generics)
+}
+
+/// Derives an empty `serde::Serialize` marker impl. `#[serde(...)]`
+/// attributes are accepted and ignored.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, params) = parse_item(input);
+    let (impl_generics, ty_generics) = impl_header(None, &params);
+    format!("impl {impl_generics} ::serde::Serialize for {name} {ty_generics} {{}}")
+        .parse()
+        .expect("serde stub derive: generated invalid Serialize impl")
+}
+
+/// Derives an empty `serde::Deserialize` marker impl. `#[serde(...)]`
+/// attributes are accepted and ignored.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, params) = parse_item(input);
+    let (impl_generics, ty_generics) = impl_header(Some("'serde_de"), &params);
+    format!("impl {impl_generics} ::serde::Deserialize<'serde_de> for {name} {ty_generics} {{}}")
+        .parse()
+        .expect("serde stub derive: generated invalid Deserialize impl")
+}
