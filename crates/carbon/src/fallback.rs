@@ -1,0 +1,411 @@
+//! Fallback chains of carbon-intensity sources.
+//!
+//! A production deployment ideally runs on a live grid-intensity trace, but
+//! feeds go down, cover a bounded time window, and occasionally emit
+//! garbage. [`FallbackCi`] chains several [`CiSource`]s in priority order —
+//! typically trace → diurnal model → constant grid average — with an
+//! optional validity window per tier, so a trace outage degrades to a model
+//! instead of failing (or silently extrapolating) the run.
+//!
+//! Every query is counted per serving tier, so [`FallbackCi::health`] can
+//! report after the fact how often the chain degraded below its primary
+//! source.
+
+use crate::error::CarbonError;
+use crate::intensity::{CiSource, ConstantCi, DiurnalCi, TraceCi};
+use crate::units::{CarbonIntensity, Seconds};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One prioritized source in a [`FallbackCi`] chain.
+#[derive(Debug)]
+struct Tier {
+    /// Human-readable name used in health reports.
+    label: String,
+    /// The underlying intensity source.
+    source: Box<dyn CiSource>,
+    /// Inclusive `[from, until]` validity window; `None` means always valid.
+    window: Option<(Seconds, Seconds)>,
+    /// Queries this tier answered.
+    hits: AtomicU64,
+    /// Queries this tier was consulted for but answered with a non-finite
+    /// or negative intensity.
+    rejected: AtomicU64,
+}
+
+impl Tier {
+    /// `true` when the tier is willing to answer for time `t`.
+    fn covers(&self, t: Seconds) -> bool {
+        match self.window {
+            None => true,
+            Some((from, until)) => t.value() >= from.value() && t.value() <= until.value(),
+        }
+    }
+}
+
+/// Builder for [`FallbackCi`] chains; tiers are consulted in the order they
+/// are added.
+#[derive(Debug, Default)]
+pub struct FallbackCiBuilder {
+    tiers: Vec<Tier>,
+}
+
+impl FallbackCiBuilder {
+    /// Appends an always-valid tier.
+    #[must_use]
+    pub fn tier(mut self, label: impl Into<String>, source: Box<dyn CiSource>) -> Self {
+        self.tiers.push(Tier {
+            label: label.into(),
+            source,
+            window: None,
+            hits: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+        });
+        self
+    }
+
+    /// Appends a tier that only answers for `t` in `[from, until]`.
+    #[must_use]
+    pub fn tier_within(
+        mut self,
+        label: impl Into<String>,
+        source: Box<dyn CiSource>,
+        from: Seconds,
+        until: Seconds,
+    ) -> Self {
+        self.tiers.push(Tier {
+            label: label.into(),
+            source,
+            window: Some((from, until)),
+            hits: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+        });
+        self
+    }
+
+    /// Finalizes the chain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CarbonError::Empty`] when no tier was added, and
+    /// [`CarbonError::NotMonotonic`] when a tier's validity window is
+    /// inverted (`from > until`) or non-finite.
+    pub fn build(self) -> Result<FallbackCi, CarbonError> {
+        if self.tiers.is_empty() {
+            return Err(CarbonError::Empty {
+                what: "fallback chain",
+            });
+        }
+        for tier in &self.tiers {
+            if let Some((from, until)) = tier.window {
+                if !from.is_finite() || !until.is_finite() || from.value() > until.value() {
+                    return Err(CarbonError::NotMonotonic {
+                        what: "fallback tier validity window",
+                    });
+                }
+            }
+        }
+        Ok(FallbackCi {
+            tiers: self.tiers,
+            queries: AtomicU64::new(0),
+            exhausted: AtomicU64::new(0),
+        })
+    }
+}
+
+/// A prioritized chain of [`CiSource`]s with per-tier validity windows and
+/// query accounting.
+///
+/// [`CiSource::at`] walks the tiers in order and returns the first finite,
+/// non-negative answer from a tier whose window covers `t`. If every tier
+/// declines, the chain returns [`CarbonIntensity::ZERO`] and counts the
+/// query as exhausted — callers watching [`FallbackCi::health`] can tell a
+/// healthy run from a degraded one.
+///
+/// # Examples
+///
+/// ```
+/// use cordoba_carbon::fallback::FallbackCi;
+/// use cordoba_carbon::intensity::{grids, CiSource, TraceCi};
+/// use cordoba_carbon::units::{CarbonIntensity, Seconds};
+///
+/// let trace = TraceCi::new(vec![
+///     (Seconds::new(0.0), CarbonIntensity::new(300.0)),
+///     (Seconds::new(3_600.0), CarbonIntensity::new(420.0)),
+/// ])?;
+/// let chain = FallbackCi::standard(trace, None, grids::US_AVERAGE)?;
+///
+/// // Inside the trace span: answered by the trace.
+/// assert_eq!(chain.at(Seconds::new(0.0)), CarbonIntensity::new(300.0));
+/// // Far beyond it: degrades to the constant grid average.
+/// assert_eq!(chain.at(Seconds::from_days(30.0)), grids::US_AVERAGE);
+/// assert!(chain.health().degraded());
+/// # Ok::<(), cordoba_carbon::CarbonError>(())
+/// ```
+#[derive(Debug)]
+pub struct FallbackCi {
+    tiers: Vec<Tier>,
+    /// Total queries served.
+    queries: AtomicU64,
+    /// Queries no tier could answer (served as zero intensity).
+    exhausted: AtomicU64,
+}
+
+impl FallbackCi {
+    /// Starts building a chain.
+    #[must_use]
+    pub fn builder() -> FallbackCiBuilder {
+        FallbackCiBuilder::default()
+    }
+
+    /// The canonical trace → diurnal → constant chain from the design docs:
+    /// the trace answers inside its covered span, an optional diurnal model
+    /// answers elsewhere, and `constant` is the unconditional backstop.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the trace span is invalid (cannot happen for a
+    /// constructed [`TraceCi`]).
+    pub fn standard(
+        trace: TraceCi,
+        diurnal: Option<DiurnalCi>,
+        constant: CarbonIntensity,
+    ) -> Result<Self, CarbonError> {
+        let (from, until) = trace.span();
+        let mut builder = Self::builder().tier_within("trace", Box::new(trace), from, until);
+        if let Some(model) = diurnal {
+            builder = builder.tier("diurnal", Box::new(model));
+        }
+        builder
+            .tier("constant", Box::new(ConstantCi::new(constant)))
+            .build()
+    }
+
+    /// Snapshot of the chain's query accounting.
+    #[must_use]
+    pub fn health(&self) -> FallbackHealth {
+        FallbackHealth {
+            tiers: self
+                .tiers
+                .iter()
+                .map(|tier| TierHealth {
+                    label: tier.label.clone(),
+                    hits: tier.hits.load(Ordering::Relaxed),
+                    rejected: tier.rejected.load(Ordering::Relaxed),
+                })
+                .collect(),
+            queries: self.queries.load(Ordering::Relaxed),
+            exhausted: self.exhausted.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl CiSource for FallbackCi {
+    fn at(&self, t: Seconds) -> CarbonIntensity {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        for tier in &self.tiers {
+            if !tier.covers(t) {
+                continue;
+            }
+            let value = tier.source.at(t);
+            if value.is_finite() && value.value() >= 0.0 {
+                tier.hits.fetch_add(1, Ordering::Relaxed);
+                return value;
+            }
+            tier.rejected.fetch_add(1, Ordering::Relaxed);
+        }
+        self.exhausted.fetch_add(1, Ordering::Relaxed);
+        CarbonIntensity::ZERO
+    }
+}
+
+/// Query accounting for one tier of a [`FallbackCi`] chain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TierHealth {
+    /// The tier's label.
+    pub label: String,
+    /// Queries this tier answered.
+    pub hits: u64,
+    /// Queries this tier answered with an invalid (non-finite or negative)
+    /// intensity, forcing a further fallback.
+    pub rejected: u64,
+}
+
+/// Snapshot of a [`FallbackCi`] chain's accounting, from
+/// [`FallbackCi::health`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FallbackHealth {
+    /// Per-tier accounting, in chain priority order.
+    pub tiers: Vec<TierHealth>,
+    /// Total queries served by the chain.
+    pub queries: u64,
+    /// Queries no tier could answer (served as zero intensity).
+    pub exhausted: u64,
+}
+
+impl FallbackHealth {
+    /// `true` when any query was answered below the primary tier (or not at
+    /// all) — i.e. the chain has actually degraded at least once.
+    #[must_use]
+    pub fn degraded(&self) -> bool {
+        let primary_hits = self.tiers.first().map_or(0, |t| t.hits);
+        self.exhausted > 0 || primary_hits < self.queries
+    }
+}
+
+impl fmt::Display for FallbackHealth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "fallback chain: {} queries, {} exhausted ({})",
+            self.queries,
+            self.exhausted,
+            if self.degraded() {
+                "DEGRADED"
+            } else {
+                "healthy"
+            }
+        )?;
+        for (i, tier) in self.tiers.iter().enumerate() {
+            write!(
+                f,
+                "{}  tier {} `{}`: {} hits, {} rejected",
+                if i > 0 { "\n" } else { "" },
+                i,
+                tier.label,
+                tier.hits,
+                tier.rejected
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::intensity::grids;
+
+    fn short_trace() -> TraceCi {
+        TraceCi::new(vec![
+            (Seconds::new(0.0), CarbonIntensity::new(100.0)),
+            (Seconds::new(100.0), CarbonIntensity::new(200.0)),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn empty_chain_is_rejected() {
+        assert!(matches!(
+            FallbackCi::builder().build(),
+            Err(CarbonError::Empty { .. })
+        ));
+    }
+
+    #[test]
+    fn inverted_window_is_rejected() {
+        let err = FallbackCi::builder()
+            .tier_within(
+                "bad",
+                Box::new(short_trace()),
+                Seconds::new(10.0),
+                Seconds::new(0.0),
+            )
+            .build();
+        assert!(matches!(err, Err(CarbonError::NotMonotonic { .. })));
+    }
+
+    #[test]
+    fn primary_tier_answers_inside_its_window() {
+        let chain = FallbackCi::standard(short_trace(), None, grids::US_AVERAGE).unwrap();
+        assert_eq!(chain.at(Seconds::new(50.0)), CarbonIntensity::new(150.0));
+        let health = chain.health();
+        assert_eq!(health.queries, 1);
+        assert_eq!(health.tiers[0].hits, 1);
+        assert!(!health.degraded());
+    }
+
+    #[test]
+    fn falls_back_outside_the_window() {
+        let diurnal =
+            DiurnalCi::new(CarbonIntensity::new(400.0), CarbonIntensity::new(100.0)).unwrap();
+        let chain = FallbackCi::standard(short_trace(), Some(diurnal), grids::US_AVERAGE).unwrap();
+        // t = 0 h after the span: diurnal peak (mean + amplitude at phase 0
+        // of the day)... actually t=200 s is near the overnight peak.
+        let v = chain.at(Seconds::new(200.0));
+        assert!(v.value() > 400.0);
+        let health = chain.health();
+        assert_eq!(health.tiers[0].hits, 0);
+        assert_eq!(health.tiers[1].hits, 1);
+        assert!(health.degraded());
+    }
+
+    #[test]
+    fn rejects_invalid_values_and_keeps_falling() {
+        /// A deliberately broken source for testing.
+        #[derive(Debug)]
+        struct NanCi;
+        impl CiSource for NanCi {
+            fn at(&self, _t: Seconds) -> CarbonIntensity {
+                CarbonIntensity::new(f64::NAN)
+            }
+        }
+
+        let chain = FallbackCi::builder()
+            .tier("broken", Box::new(NanCi))
+            .tier("constant", Box::new(ConstantCi::new(grids::WIND)))
+            .build()
+            .unwrap();
+        assert_eq!(chain.at(Seconds::ZERO), grids::WIND);
+        let health = chain.health();
+        assert_eq!(health.tiers[0].rejected, 1);
+        assert_eq!(health.tiers[1].hits, 1);
+        assert!(health.degraded());
+    }
+
+    #[test]
+    fn exhausted_chain_returns_zero_not_nan() {
+        #[derive(Debug)]
+        struct NegativeCi;
+        impl CiSource for NegativeCi {
+            fn at(&self, _t: Seconds) -> CarbonIntensity {
+                CarbonIntensity::new(-10.0)
+            }
+        }
+
+        let chain = FallbackCi::builder()
+            .tier("negative", Box::new(NegativeCi))
+            .build()
+            .unwrap();
+        assert_eq!(chain.at(Seconds::new(5.0)), CarbonIntensity::ZERO);
+        let health = chain.health();
+        assert_eq!(health.exhausted, 1);
+        assert!(health.degraded());
+    }
+
+    #[test]
+    fn nan_query_time_degrades_gracefully() {
+        let chain = FallbackCi::standard(short_trace(), None, grids::US_AVERAGE).unwrap();
+        let v = chain.at(Seconds::new(f64::NAN));
+        // The windowed trace tier declines (NaN comparisons are false); the
+        // constant backstop answers.
+        assert_eq!(v, grids::US_AVERAGE);
+    }
+
+    #[test]
+    fn health_display_lists_tiers() {
+        let chain = FallbackCi::standard(short_trace(), None, grids::US_AVERAGE).unwrap();
+        let _ = chain.at(Seconds::new(1e9));
+        let text = chain.health().to_string();
+        assert!(text.contains("DEGRADED"));
+        assert!(text.contains("`trace`"));
+        assert!(text.contains("`constant`"));
+    }
+
+    #[test]
+    fn mean_over_integrates_through_the_chain() {
+        let chain = FallbackCi::standard(short_trace(), None, grids::US_AVERAGE).unwrap();
+        let mean = chain.mean_over(Seconds::new(100.0), 100);
+        assert!(mean.value() > 100.0 && mean.value() < 200.0);
+    }
+}

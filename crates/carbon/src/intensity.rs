@@ -222,6 +222,17 @@ impl TraceCi {
     pub fn is_empty(&self) -> bool {
         self.samples.is_empty()
     }
+
+    /// The `[first, last]` timestamp range the trace actually covers.
+    ///
+    /// Outside this span [`CiSource::at`] holds the boundary value flat, so
+    /// fallback chains use the span as the trace tier's validity window.
+    #[must_use]
+    pub fn span(&self) -> (Seconds, Seconds) {
+        let first = self.samples.first().map_or(Seconds::ZERO, |s| s.0);
+        let last = self.samples.last().map_or(Seconds::ZERO, |s| s.0);
+        (first, last)
+    }
 }
 
 impl CiSource for TraceCi {

@@ -44,10 +44,12 @@
 pub mod embodied;
 pub mod error;
 pub mod fab;
+pub mod fallback;
 pub mod intensity;
 pub mod lifetime;
 pub mod memory;
 pub mod operational;
+pub mod sanitize;
 pub mod units;
 pub mod wafer;
 pub mod yield_model;
@@ -59,6 +61,7 @@ pub mod prelude {
     pub use crate::embodied::{Assembly, Die, EmbodiedModel};
     pub use crate::error::CarbonError;
     pub use crate::fab::{FabProfile, ProcessNode};
+    pub use crate::fallback::{FallbackCi, FallbackCiBuilder, FallbackHealth, TierHealth};
     pub use crate::intensity::{
         grids, CiSource, ConstantCi, DiurnalCi, SeasonalCi, TraceCi, TrendCi,
     };
@@ -68,6 +71,7 @@ pub mod prelude {
         operational_carbon, operational_carbon_profile, ConstantPower, DutyCycledPower,
         PowerProfile,
     };
+    pub use crate::sanitize::{Gap, SanitizePolicy, SanitizeReport};
     pub use crate::units::{
         Bytes, BytesPerSecond, CarbonIntensity, CarbonPerArea, DefectDensity, EnergyPerArea,
         GramSecondsCo2e, GramsCo2e, Hertz, JouleSeconds, Joules, KilowattHours, Millimeters,

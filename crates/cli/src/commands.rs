@@ -19,6 +19,8 @@ pub enum CliError {
     Args(ArgError),
     /// A model rejected its inputs.
     Carbon(CarbonError),
+    /// A framework evaluation failed (carbon model or cost table).
+    Core(CoreError),
     /// Free-form usage error.
     Usage(String),
 }
@@ -28,6 +30,7 @@ impl std::fmt::Display for CliError {
         match self {
             Self::Args(e) => write!(f, "{e}"),
             Self::Carbon(e) => write!(f, "{e}"),
+            Self::Core(e) => write!(f, "{e}"),
             Self::Usage(msg) => f.write_str(msg),
         }
     }
@@ -47,6 +50,12 @@ impl From<CarbonError> for CliError {
     }
 }
 
+impl From<CoreError> for CliError {
+    fn from(e: CoreError) -> Self {
+        Self::Core(e)
+    }
+}
+
 /// Top-level usage text.
 pub const USAGE: &str = "\
 cordoba — carbon-efficient optimization framework (tCDP)
@@ -60,10 +69,14 @@ COMMANDS:
     provision  sweep VR SoC core counts for an app
     stacking   evaluate the 3D-integration study
     eliminate  Pareto/beta-sweep elimination over designs from a CSV
+    doctor     sanity-check a trace/design CSV and print repair reports
     kernels    list the workload kernels
     tasks      list the evaluation tasks
     grids      list built-in carbon intensities
     help       show this message
+
+Commands that ingest data accept `--lenient` to quarantine bad rows or
+configurations and continue with the rest instead of aborting.
 
 Run `cordoba <COMMAND> --help` for per-command options.
 ";
@@ -84,6 +97,7 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "provision" => cmd_provision(&args),
         "stacking" => cmd_stacking(&args),
         "eliminate" => cmd_eliminate(&args),
+        "doctor" => cmd_doctor(&args),
         "kernels" => cmd_kernels(&args),
         "tasks" => cmd_tasks(&args),
         "grids" => cmd_grids(&args),
@@ -195,11 +209,13 @@ fn cmd_dse(args: &Args) -> Result<String, CliError> {
     if args.flag("help") {
         return Ok(
             "cordoba dse --task <all|xr10|ai10|xr5|ai5> [--grid <name>] \
-                   [--lo <decade>] [--hi <decade>]\n"
+                   [--lo <decade>] [--hi <decade>] [--lenient]\n\
+                   --lenient quarantines configurations that fail to \
+                   evaluate and sweeps the rest\n"
                 .to_owned(),
         );
     }
-    args.expect_only(&["task", "grid", "lo", "hi", "help"])?;
+    args.expect_only(&["task", "grid", "lo", "hi", "lenient", "help"])?;
     let task = task_by_name(args.get("task").unwrap_or("all"))?;
     let ci = grid_by_name(args.get("grid").unwrap_or("us"))?;
     let decade = |key: &'static str, default: f64| -> Result<i32, CliError> {
@@ -218,10 +234,31 @@ fn cmd_dse(args: &Args) -> Result<String, CliError> {
         return Err(CliError::Usage("--hi must exceed --lo".to_owned()));
     }
 
-    let points = evaluate_space(&design_space(), &task, &EmbodiedModel::default())?;
+    let mut out = String::new();
+    let points = if args.flag("lenient") {
+        let eval = evaluate_space_resilient(&design_space(), &task, &EmbodiedModel::default());
+        if eval.degraded() {
+            let _ = writeln!(
+                out,
+                "quarantined {} of {} configurations:",
+                eval.failures.len(),
+                eval.points.len() + eval.failures.len()
+            );
+            for failure in &eval.failures {
+                let _ = writeln!(out, "  {failure}");
+            }
+        }
+        if eval.points.is_empty() {
+            return Err(CliError::Usage(
+                "every configuration failed to evaluate".to_owned(),
+            ));
+        }
+        eval.points
+    } else {
+        evaluate_space(&design_space(), &task, &EmbodiedModel::default())?
+    };
     let sweep = OpTimeSweep::new(points, log_sweep(lo, hi, 2), ci)?;
 
-    let mut out = String::new();
     let _ = writeln!(out, "task: {task} | grid: {ci}");
     let mut last = String::new();
     for n in 0..sweep.task_counts.len() {
@@ -362,19 +399,31 @@ fn cmd_stacking(args: &Args) -> Result<String, CliError> {
 
 fn cmd_eliminate(args: &Args) -> Result<String, CliError> {
     if args.flag("help") {
-        return Ok("cordoba eliminate --csv <file>\n\
-                   CSV columns: name,delay_s,energy_j,embodied_gco2e\n"
+        return Ok("cordoba eliminate --csv <file> [--lenient]\n\
+                   CSV columns: name,delay_s,energy_j,embodied_gco2e\n\
+                   --lenient skips malformed rows (reported) instead of aborting\n"
             .to_owned());
     }
-    args.expect_only(&["csv", "help"])?;
+    args.expect_only(&["csv", "lenient", "help"])?;
     let path = args
         .get("csv")
         .ok_or(CliError::Args(ArgError::Missing("--csv <file>")))?;
     let content = std::fs::read_to_string(path)
         .map_err(|e| CliError::Usage(format!("cannot read {path}: {e}")))?;
-    let points = parse_design_csv(&content)?;
-    let sweep = BetaSweep::run(&points);
     let mut out = String::new();
+    let points = if args.flag("lenient") {
+        let report = parse_design_csv_lenient(&content)?;
+        if !report.skipped.is_empty() {
+            let _ = writeln!(out, "skipped {} malformed rows:", report.skipped.len());
+            for reason in &report.skipped {
+                let _ = writeln!(out, "  {reason}");
+            }
+        }
+        report.points
+    } else {
+        parse_design_csv(&content)?
+    };
+    let sweep = BetaSweep::run(&points);
     let _ = writeln!(out, "{} candidates:", points.len());
     let _ = writeln!(out, "  survivors:  {}", sweep.surviving_names().join(", "));
     let _ = writeln!(out, "  eliminated: {}", sweep.eliminated_names().join(", "));
@@ -386,13 +435,43 @@ fn cmd_eliminate(args: &Args) -> Result<String, CliError> {
     Ok(out)
 }
 
-/// Parses the `eliminate` command's CSV format.
-///
-/// # Errors
-///
-/// Returns a usage error for malformed rows.
-pub fn parse_design_csv(content: &str) -> Result<Vec<DesignPoint>, CliError> {
-    let mut points = Vec::new();
+/// Outcome of a lenient design-CSV parse: the rows that survived plus a
+/// line-numbered reason for every row that was dropped.
+#[derive(Debug, Clone, Default)]
+pub struct DesignCsvReport {
+    /// Successfully parsed design points.
+    pub points: Vec<DesignPoint>,
+    /// One `line N: reason` entry per skipped row.
+    pub skipped: Vec<String>,
+}
+
+/// Parses one non-comment, non-header CSV row into a design point.
+fn parse_design_row(lineno: usize, line: &str) -> Result<DesignPoint, CliError> {
+    let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+    if fields.len() != 4 {
+        return Err(CliError::Usage(format!(
+            "line {lineno}: expected 4 comma-separated fields, got {}",
+            fields.len()
+        )));
+    }
+    let num = |i: usize| -> Result<f64, CliError> {
+        fields[i]
+            .parse()
+            .map_err(|_| CliError::Usage(format!("line {lineno}: `{}` is not a number", fields[i])))
+    };
+    DesignPoint::new(
+        fields[0],
+        Seconds::new(num(1)?),
+        Joules::new(num(2)?),
+        GramsCo2e::new(num(3)?),
+        SquareCentimeters::new(1.0),
+    )
+    .map_err(|e| CliError::Usage(format!("line {lineno}: {e}")))
+}
+
+/// Runs `per_row` over every data row of the `eliminate`/`doctor` CSV
+/// format, skipping blank lines, `#` comments, and a leading header.
+fn for_each_csv_row(content: &str, mut per_row: impl FnMut(usize, &str)) {
     let mut seen_data = false;
     for (lineno, line) in content.lines().enumerate() {
         let line = line.trim();
@@ -404,35 +483,185 @@ pub fn parse_design_csv(content: &str) -> Result<Vec<DesignPoint>, CliError> {
             continue;
         }
         seen_data = true;
-        let fields: Vec<&str> = line.split(',').map(str::trim).collect();
-        if fields.len() != 4 {
-            return Err(CliError::Usage(format!(
-                "line {}: expected 4 comma-separated fields, got {}",
-                lineno + 1,
-                fields.len()
-            )));
+        per_row(lineno + 1, line);
+    }
+}
+
+/// Parses the `eliminate` command's CSV format, aborting on the first
+/// malformed row.
+///
+/// # Errors
+///
+/// Returns a line-numbered usage error for the first malformed row, or an
+/// error when no data rows are present.
+pub fn parse_design_csv(content: &str) -> Result<Vec<DesignPoint>, CliError> {
+    let mut points = Vec::new();
+    let mut first_err = None;
+    for_each_csv_row(content, |lineno, line| {
+        if first_err.is_some() {
+            return;
         }
-        let num = |i: usize| -> Result<f64, CliError> {
-            fields[i].parse().map_err(|_| {
-                CliError::Usage(format!(
-                    "line {}: `{}` is not a number",
-                    lineno + 1,
-                    fields[i]
-                ))
-            })
-        };
-        points.push(DesignPoint::new(
-            fields[0],
-            Seconds::new(num(1)?),
-            Joules::new(num(2)?),
-            GramsCo2e::new(num(3)?),
-            SquareCentimeters::new(1.0),
-        )?);
+        match parse_design_row(lineno, line) {
+            Ok(point) => points.push(point),
+            Err(e) => first_err = Some(e),
+        }
+    });
+    if let Some(e) = first_err {
+        return Err(e);
     }
     if points.is_empty() {
         return Err(CliError::Usage("no design rows found".to_owned()));
     }
     Ok(points)
+}
+
+/// Parses the `eliminate` CSV format leniently: malformed rows are skipped
+/// and reported in the returned [`DesignCsvReport`] instead of aborting
+/// the parse.
+///
+/// # Errors
+///
+/// Returns an error only when *no* row parses (there is nothing to
+/// continue with).
+pub fn parse_design_csv_lenient(content: &str) -> Result<DesignCsvReport, CliError> {
+    let mut report = DesignCsvReport::default();
+    for_each_csv_row(content, |lineno, line| {
+        match parse_design_row(lineno, line) {
+            Ok(point) => report.points.push(point),
+            Err(e) => report.skipped.push(e.to_string()),
+        }
+    });
+    if report.points.is_empty() {
+        return Err(CliError::Usage(format!(
+            "no usable design rows found ({} malformed)",
+            report.skipped.len()
+        )));
+    }
+    Ok(report)
+}
+
+fn cmd_doctor(args: &Args) -> Result<String, CliError> {
+    if args.flag("help") {
+        return Ok("cordoba doctor [--trace <csv>] [--designs <csv>] \
+                   [--policy <lenient|production>] [--grid <name>]\n\
+                   Ingests messy CSVs and prints sanitize/repair reports.\n\
+                   Trace CSV columns: time_s,ci_gco2e_per_kwh\n\
+                   Design CSV columns: name,delay_s,energy_j,embodied_gco2e\n"
+            .to_owned());
+    }
+    args.expect_only(&["trace", "designs", "policy", "grid", "help"])?;
+    let mut out = String::new();
+    if let Some(path) = args.get("trace") {
+        doctor_trace(args, path, &mut out)?;
+    }
+    if let Some(path) = args.get("designs") {
+        doctor_designs(path, &mut out)?;
+    }
+    if out.is_empty() {
+        return Err(CliError::Args(ArgError::Missing(
+            "--trace <csv> and/or --designs <csv>",
+        )));
+    }
+    Ok(out)
+}
+
+/// Sanitizes a `time_s,ci` trace CSV and reports every repair; diagnosis
+/// never fails, so an unusable trace is reported rather than returned as
+/// an error.
+fn doctor_trace(args: &Args, path: &str, out: &mut String) -> Result<(), CliError> {
+    let policy = match args.get("policy").unwrap_or("lenient") {
+        "lenient" => SanitizePolicy::lenient(),
+        "production" => SanitizePolicy::production(),
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown policy `{other}` (lenient | production)"
+            )))
+        }
+    };
+    let content = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Usage(format!("cannot read {path}: {e}")))?;
+    let mut samples: Vec<(Seconds, CarbonIntensity)> = Vec::new();
+    let mut unparseable: Vec<String> = Vec::new();
+    for_each_csv_row(&content, |lineno, line| {
+        // The trace header starts with `time...`, which `for_each_csv_row`
+        // does not recognize; swallow it here.
+        if samples.is_empty() && unparseable.is_empty() && line.to_lowercase().starts_with("time") {
+            return;
+        }
+        let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+        let parsed = match fields.as_slice() {
+            [t, ci] => t
+                .parse::<f64>()
+                .and_then(|t| ci.parse::<f64>().map(|ci| (t, ci)))
+                .ok(),
+            _ => None,
+        };
+        match parsed {
+            Some((t, ci)) => samples.push((Seconds::new(t), CarbonIntensity::new(ci))),
+            None => unparseable.push(format!("line {lineno}: expected `time_s,ci`")),
+        }
+    });
+    let _ = writeln!(
+        out,
+        "trace {path}: {} rows parsed, {} unparseable",
+        samples.len(),
+        unparseable.len()
+    );
+    for reason in &unparseable {
+        let _ = writeln!(out, "  {reason}");
+    }
+    match TraceCi::sanitize(samples, &policy) {
+        Ok((trace, report)) => {
+            let _ = writeln!(out, "  {report}");
+            let (from, until) = trace.span();
+            let _ = writeln!(out, "  span: {from} .. {until}");
+            let _ = writeln!(
+                out,
+                "  status: {}",
+                if report.is_clean() {
+                    "clean"
+                } else {
+                    "DEGRADED (repairs applied)"
+                }
+            );
+        }
+        Err(e) => {
+            let _ = writeln!(out, "  status: UNUSABLE ({e})");
+        }
+    }
+    Ok(())
+}
+
+/// Leniently parses a design CSV and reports the rows that were dropped.
+fn doctor_designs(path: &str, out: &mut String) -> Result<(), CliError> {
+    let content = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Usage(format!("cannot read {path}: {e}")))?;
+    match parse_design_csv_lenient(&content) {
+        Ok(report) => {
+            let _ = writeln!(
+                out,
+                "designs {path}: {} rows parsed, {} skipped",
+                report.points.len(),
+                report.skipped.len()
+            );
+            for reason in &report.skipped {
+                let _ = writeln!(out, "  {reason}");
+            }
+            let _ = writeln!(
+                out,
+                "  status: {}",
+                if report.skipped.is_empty() {
+                    "clean"
+                } else {
+                    "DEGRADED (rows dropped)"
+                }
+            );
+        }
+        Err(e) => {
+            let _ = writeln!(out, "designs {path}: status UNUSABLE ({e})");
+        }
+    }
+    Ok(())
 }
 
 fn cmd_kernels(args: &Args) -> Result<String, CliError> {
@@ -603,9 +832,101 @@ mod tests {
 
     #[test]
     fn help_flags_per_command() {
-        for cmd in ["metrics", "dse", "provision", "stacking", "eliminate"] {
+        for cmd in [
+            "metrics",
+            "dse",
+            "provision",
+            "stacking",
+            "eliminate",
+            "doctor",
+        ] {
             let out = run_str(&format!("{cmd} --help")).unwrap();
             assert!(out.contains("cordoba"), "{cmd}");
         }
+    }
+
+    #[test]
+    fn lenient_csv_parser_reports_line_numbers() {
+        let csv = "name,delay,energy,embodied\n\
+                   good,1.0,1.0,10\n\
+                   bad,row\n\
+                   worse,1.0,banana,30\n\
+                   fine,2.0,2.0,20\n";
+        // Strict mode aborts on the first malformed row with its line.
+        let err = parse_design_csv(csv).unwrap_err().to_string();
+        assert!(err.contains("line 3"), "{err}");
+        // Lenient mode keeps the good rows and reports each skip.
+        let report = parse_design_csv_lenient(csv).unwrap();
+        assert_eq!(report.points.len(), 2);
+        assert_eq!(report.skipped.len(), 2);
+        assert!(report.skipped[0].contains("line 3"));
+        assert!(report.skipped[1].contains("line 4"));
+        assert!(report.skipped[1].contains("banana"));
+        // A fully malformed file is still an error.
+        assert!(parse_design_csv_lenient("junk,row\n").is_err());
+    }
+
+    #[test]
+    fn lenient_eliminate_skips_bad_rows() {
+        let dir = std::env::temp_dir().join("cordoba-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("messy.csv");
+        std::fs::write(&path, "a,1.0,1.0,10\nnot a row\nb,2.0,2.0,20\n").unwrap();
+        let arg = format!("eliminate --csv {}", path.display());
+        assert!(run_str(&arg).is_err(), "strict mode must abort");
+        let out = run_str(&format!("{arg} --lenient")).unwrap();
+        assert!(out.contains("skipped 1 malformed rows"));
+        assert!(out.contains("line 2"));
+        assert!(out.contains("2 candidates"));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn dse_lenient_matches_strict_on_clean_space() {
+        let strict = run_str("dse --task xr5 --lo 5 --hi 7").unwrap();
+        let lenient = run_str("dse --task xr5 --lo 5 --hi 7 --lenient").unwrap();
+        // The built-in space is clean, so no quarantine block appears and
+        // the sweep output is identical.
+        assert_eq!(strict, lenient);
+    }
+
+    #[test]
+    fn doctor_reports_trace_repairs() {
+        let dir = std::env::temp_dir().join("cordoba-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.csv");
+        std::fs::write(
+            &path,
+            "time_s,ci\n0,400\n3600,nan\n7200,-5\n7200,410\n10800,420\nbroken line\n",
+        )
+        .unwrap();
+        let out = run_str(&format!("doctor --trace {}", path.display())).unwrap();
+        assert!(out.contains("5 rows parsed, 1 unparseable"), "{out}");
+        assert!(out.contains("line 7"), "{out}");
+        assert!(out.contains("DEGRADED"), "{out}");
+        assert!(out.contains("span:"), "{out}");
+        // Unknown policy is rejected; known policies both work.
+        assert!(run_str(&format!("doctor --trace {} --policy bogus", path.display())).is_err());
+        let out = run_str(&format!(
+            "doctor --trace {} --policy production",
+            path.display()
+        ))
+        .unwrap();
+        assert!(out.contains("sanitized"), "{out}");
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn doctor_reports_design_rows_and_requires_input() {
+        let dir = std::env::temp_dir().join("cordoba-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("doctor-designs.csv");
+        std::fs::write(&path, "a,1.0,1.0,10\nbad\n").unwrap();
+        let out = run_str(&format!("doctor --designs {}", path.display())).unwrap();
+        assert!(out.contains("1 rows parsed, 1 skipped"), "{out}");
+        assert!(out.contains("DEGRADED"), "{out}");
+        let _ = std::fs::remove_file(path);
+        // No input at all is a usage error.
+        assert!(run_str("doctor").is_err());
     }
 }

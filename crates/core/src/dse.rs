@@ -8,6 +8,7 @@
 //! survivors are exactly the candidates a designer must choose between
 //! under uncertainty.
 
+use crate::error::CoreError;
 use crate::metrics::{DesignPoint, OperationalContext};
 use cordoba_accel::config::AcceleratorConfig;
 use cordoba_accel::sim::full_cost_table;
@@ -17,6 +18,7 @@ use cordoba_carbon::CarbonError;
 use cordoba_workloads::task::Task;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
+use std::fmt;
 
 /// Characterizes one accelerator configuration as a [`DesignPoint`] for a
 /// task: delay and energy from the roofline simulator via eq. IV.2/IV.4,
@@ -24,43 +26,105 @@ use std::collections::BTreeSet;
 ///
 /// # Errors
 ///
-/// Propagates carbon-model errors (cannot occur for validated
-/// configurations).
+/// Returns [`CoreError::MissingKernel`] when the task references a kernel
+/// the config's cost table cannot price, and [`CoreError::Carbon`] when the
+/// config yields an invalid carbon model or design point (e.g. a corrupted
+/// tuning producing non-finite area).
 pub fn accel_design_point(
     config: &AcceleratorConfig,
     task: &Task,
     embodied: &EmbodiedModel,
-) -> Result<DesignPoint, CarbonError> {
+) -> Result<DesignPoint, CoreError> {
     let table = full_cost_table(config);
-    let delay = table
-        .task_delay(task)
-        .expect("full cost table covers all kernels"); // cordoba-lint: allow(no-panic) — full_cost_table inserts every KernelId
-    let energy = table
-        .task_energy(task)
-        .expect("full cost table covers all kernels"); // cordoba-lint: allow(no-panic) — full_cost_table inserts every KernelId
-    DesignPoint::new(
+    let delay = table.task_delay(task)?;
+    let energy = table.task_energy(task)?;
+    Ok(DesignPoint::new(
         config.name(),
         delay,
         energy,
         config.embodied_carbon(embodied)?,
         config.total_area(),
-    )
+    )?)
 }
 
-/// Characterizes a whole configuration list for a task.
+/// Characterizes a whole configuration list for a task, aborting on the
+/// first invalid configuration.
+///
+/// For sweeps over untrusted or generated spaces, prefer
+/// [`evaluate_space_resilient`], which quarantines failures instead.
 ///
 /// # Errors
 ///
-/// Propagates carbon-model errors.
+/// Propagates the first per-configuration error (see
+/// [`accel_design_point`]).
 pub fn evaluate_space(
     configs: &[AcceleratorConfig],
     task: &Task,
     embodied: &EmbodiedModel,
-) -> Result<Vec<DesignPoint>, CarbonError> {
+) -> Result<Vec<DesignPoint>, CoreError> {
     configs
         .iter()
         .map(|c| accel_design_point(c, task, embodied))
         .collect()
+}
+
+/// One configuration that failed resilient evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalFailure {
+    /// Name of the failing configuration.
+    pub name: String,
+    /// Why it failed.
+    pub error: CoreError,
+}
+
+impl fmt::Display for EvalFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "`{}`: {}", self.name, self.error)
+    }
+}
+
+/// Outcome of [`evaluate_space_resilient`]: the points that evaluated
+/// cleanly plus a quarantine report for those that did not.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ResilientEval {
+    /// Successfully characterized design points, in input order.
+    pub points: Vec<DesignPoint>,
+    /// Configurations that failed, with their errors, in input order.
+    pub failures: Vec<EvalFailure>,
+}
+
+impl ResilientEval {
+    /// `true` when at least one configuration was quarantined.
+    #[must_use]
+    pub fn degraded(&self) -> bool {
+        !self.failures.is_empty()
+    }
+}
+
+/// Characterizes a configuration list for a task, isolating
+/// per-configuration failures instead of aborting the sweep.
+///
+/// A poisoned configuration (corrupted tuning, unpriceable kernel) lands in
+/// [`ResilientEval::failures`] with its structured error; every healthy
+/// configuration is still evaluated. On a clean space the returned points
+/// are exactly those of [`evaluate_space`].
+#[must_use]
+pub fn evaluate_space_resilient(
+    configs: &[AcceleratorConfig],
+    task: &Task,
+    embodied: &EmbodiedModel,
+) -> ResilientEval {
+    let mut result = ResilientEval::default();
+    for config in configs {
+        match accel_design_point(config, task, embodied) {
+            Ok(point) => result.points.push(point),
+            Err(error) => result.failures.push(EvalFailure {
+                name: config.name().to_string(),
+                error,
+            }),
+        }
+    }
+    result
 }
 
 /// A logarithmic sweep of task counts: `per_decade` points per decade from
@@ -401,6 +465,54 @@ mod tests {
         let sweep = small_sweep(&Task::ai_5_kernels());
         let idx = sweep.index_near(1e6);
         assert!((sweep.task_counts[idx].log10() - 6.0).abs() < 0.3);
+    }
+
+    #[test]
+    fn resilient_matches_strict_on_clean_space() {
+        let configs = design_space();
+        let task = Task::ai_5_kernels();
+        let strict = evaluate_space(&configs, &task, &EmbodiedModel::default()).unwrap();
+        let resilient = evaluate_space_resilient(&configs, &task, &EmbodiedModel::default());
+        assert!(!resilient.degraded());
+        assert!(resilient.failures.is_empty());
+        assert_eq!(resilient.points, strict);
+    }
+
+    #[test]
+    fn resilient_quarantines_poisoned_config_and_keeps_sweeping() {
+        use cordoba_accel::config::MemoryIntegration;
+        use cordoba_accel::params::TechTuning;
+        use cordoba_carbon::units::Bytes;
+
+        let mut configs = design_space();
+        let healthy = configs.len();
+        let mut tuning = TechTuning::n7();
+        tuning.mac_unit_area_mm2 = f64::NAN;
+        configs.insert(
+            healthy / 2,
+            AcceleratorConfig::with_tuning(
+                "poison",
+                16,
+                Bytes::from_mebibytes(8.0),
+                MemoryIntegration::OnDie,
+                tuning,
+            )
+            .unwrap(),
+        );
+
+        let task = Task::ai_5_kernels();
+        // Strict evaluation aborts the whole sweep...
+        assert!(evaluate_space(&configs, &task, &EmbodiedModel::default()).is_err());
+        // ...resilient evaluation quarantines the one bad config.
+        let result = evaluate_space_resilient(&configs, &task, &EmbodiedModel::default());
+        assert!(result.degraded());
+        assert_eq!(result.points.len(), healthy);
+        assert_eq!(result.failures.len(), 1);
+        assert_eq!(result.failures[0].name, "poison");
+        assert!(result.failures[0].to_string().contains("poison"));
+        for p in &result.points {
+            assert!(p.delay.is_finite() && p.energy.is_finite());
+        }
     }
 
     #[test]

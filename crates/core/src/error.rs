@@ -1,0 +1,80 @@
+//! Framework-level error type.
+//!
+//! The framework layer composes substrate crates with their own error
+//! types: carbon-model validation ([`CarbonError`]) and cost-table lookups
+//! ([`MissingKernel`]). [`CoreError`] unifies them so design-space
+//! evaluation can propagate either without panicking (the
+//! `evaluate_space`/`accel_design_point` paths formerly `expect`ed
+//! cost-table hits).
+
+use cordoba_carbon::CarbonError;
+use cordoba_workloads::cost::MissingKernel;
+use core::fmt;
+
+/// Errors produced by the framework layer.
+///
+/// # Examples
+///
+/// ```
+/// use cordoba::CoreError;
+/// use cordoba_carbon::CarbonError;
+///
+/// let err = CoreError::from(CarbonError::Empty { what: "design points" });
+/// assert!(err.to_string().contains("design points"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A carbon-model parameter or result was invalid.
+    Carbon(CarbonError),
+    /// A task referenced a kernel the cost table has no entry for.
+    MissingKernel(MissingKernel),
+}
+
+impl From<CarbonError> for CoreError {
+    fn from(err: CarbonError) -> Self {
+        Self::Carbon(err)
+    }
+}
+
+impl From<MissingKernel> for CoreError {
+    fn from(err: MissingKernel) -> Self {
+        Self::MissingKernel(err)
+    }
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Carbon(err) => err.fmt(f),
+            Self::MissingKernel(err) => err.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Carbon(err) => Some(err),
+            Self::MissingKernel(err) => Some(err),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source_delegate() {
+        let err = CoreError::from(CarbonError::Empty { what: "trace" });
+        assert_eq!(err.to_string(), "trace must not be empty");
+        assert!(std::error::Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<CoreError>();
+    }
+}

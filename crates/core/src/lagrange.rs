@@ -11,6 +11,7 @@ use crate::metrics::DesignPoint;
 use crate::pareto::{lower_hull_indices, pareto_indices, pareto_indices_kd, Point2, PointK};
 use cordoba_carbon::embodied::EmbodiedBreakdown;
 use cordoba_carbon::units::CarbonIntensity;
+use cordoba_carbon::CarbonError;
 use serde::{Deserialize, Serialize};
 
 /// The two Fig. 12 objectives for a design point.
@@ -89,6 +90,147 @@ impl BetaSweep {
             let fb = self.points[b].x + beta * self.points[b].y;
             fa.total_cmp(&fb)
         })
+    }
+
+    /// Locates the β values where the tCDP argmin changes hands over
+    /// `[beta_lo, beta_hi]`, by budgeted interval bisection.
+    ///
+    /// Each objective `C_emb·D + β·E·D` is linear in β, so the argmin
+    /// follows the lower envelope of lines and each design wins one
+    /// contiguous β interval; an interval whose endpoints agree therefore
+    /// contains no transition and is discarded, while a disagreeing
+    /// interval is bisected until narrower than `tol`. Every argmin
+    /// evaluation consumes one unit of `budget`; when the budget runs out
+    /// the solver stops and reports the transitions found so far as
+    /// [`BetaSolve::NotConverged`] instead of iterating silently.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an empty candidate set, non-finite or negative
+    /// `beta_lo`, `beta_hi <= beta_lo`, or a non-positive `tol`.
+    pub fn solve_transitions(
+        &self,
+        beta_lo: f64,
+        beta_hi: f64,
+        tol: f64,
+        budget: usize,
+    ) -> Result<BetaSolve, CarbonError> {
+        if self.points.is_empty() {
+            return Err(CarbonError::Empty {
+                what: "beta-sweep candidates",
+            });
+        }
+        CarbonError::require_in_range("beta_lo", beta_lo, 0.0, f64::MAX)?;
+        CarbonError::require_finite("beta_hi", beta_hi)?;
+        if beta_hi <= beta_lo {
+            return Err(CarbonError::out_of_range(
+                "beta_hi",
+                beta_hi,
+                beta_lo,
+                f64::MAX,
+            ));
+        }
+        CarbonError::require_positive("tol", tol)?;
+
+        let mut evaluations = 0usize;
+        let mut transitions: Vec<BetaTransition> = Vec::new();
+        let eval = |beta: f64, evaluations: &mut usize| -> Option<usize> {
+            if *evaluations >= budget {
+                return None;
+            }
+            *evaluations += 1;
+            self.optimal_for_beta(beta)
+        };
+
+        let not_converged = |transitions: Vec<BetaTransition>, evaluations: usize| {
+            Ok(BetaSolve::NotConverged {
+                best_so_far: transitions,
+                evaluations,
+            })
+        };
+
+        let Some(lo_arg) = eval(beta_lo, &mut evaluations) else {
+            return not_converged(transitions, evaluations);
+        };
+        let Some(hi_arg) = eval(beta_hi, &mut evaluations) else {
+            return not_converged(transitions, evaluations);
+        };
+
+        // LIFO stack, right half pushed first, so intervals are refined
+        // left-to-right and transitions come out in ascending β order.
+        let mut stack = vec![(beta_lo, lo_arg, beta_hi, hi_arg)];
+        while let Some((lo, lo_arg, hi, hi_arg)) = stack.pop() {
+            if lo_arg == hi_arg {
+                continue;
+            }
+            let mid = f64::midpoint(lo, hi);
+            if hi - lo <= tol {
+                transitions.push(BetaTransition {
+                    beta: mid,
+                    from_index: lo_arg,
+                    to_index: hi_arg,
+                });
+                continue;
+            }
+            let Some(mid_arg) = eval(mid, &mut evaluations) else {
+                return not_converged(transitions, evaluations);
+            };
+            stack.push((mid, mid_arg, hi, hi_arg));
+            stack.push((lo, lo_arg, mid, mid_arg));
+        }
+
+        Ok(BetaSolve::Converged {
+            transitions,
+            evaluations,
+        })
+    }
+}
+
+/// One change of the tCDP-optimal design along the β axis.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BetaTransition {
+    /// The β at which the optimum changes hands (to within the solver
+    /// tolerance).
+    pub beta: f64,
+    /// Candidate index optimal just below `beta`.
+    pub from_index: usize,
+    /// Candidate index optimal just above `beta`.
+    pub to_index: usize,
+}
+
+/// Outcome of [`BetaSweep::solve_transitions`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum BetaSolve {
+    /// Every disputed interval was refined below tolerance.
+    Converged {
+        /// The located transitions, ascending in β.
+        transitions: Vec<BetaTransition>,
+        /// Argmin evaluations spent.
+        evaluations: usize,
+    },
+    /// The evaluation budget ran out first.
+    NotConverged {
+        /// Transitions already located when the budget ran out.
+        best_so_far: Vec<BetaTransition>,
+        /// Argmin evaluations spent (equals the budget).
+        evaluations: usize,
+    },
+}
+
+impl BetaSolve {
+    /// The located transitions, complete or partial.
+    #[must_use]
+    pub fn transitions(&self) -> &[BetaTransition] {
+        match self {
+            Self::Converged { transitions, .. } => transitions,
+            Self::NotConverged { best_so_far, .. } => best_so_far,
+        }
+    }
+
+    /// `true` when the solver finished within budget.
+    #[must_use]
+    pub fn converged(&self) -> bool {
+        matches!(self, Self::Converged { .. })
     }
 }
 
@@ -288,6 +430,52 @@ mod tests {
             .unwrap()
             .0;
         assert_eq!(idx, min_ed);
+    }
+
+    #[test]
+    fn solver_locates_the_balanced_to_frugal_transition() {
+        // Lines x + βy for candidates(): "balanced" (150 + 3β) wins at
+        // β = 0 and hands over to "frugal" (200 + 2β) exactly at β = 50;
+        // "fast" and "dominated" never win.
+        let cands = candidates();
+        let sweep = BetaSweep::run(&cands);
+        let solve = sweep.solve_transitions(0.0, 1e4, 1e-6, 10_000).unwrap();
+        assert!(solve.converged());
+        let transitions = solve.transitions();
+        assert_eq!(transitions.len(), 1);
+        let t = transitions[0];
+        assert!((t.beta - 50.0).abs() < 1e-3, "beta {}", t.beta);
+        assert_eq!(cands[t.from_index].name, "balanced");
+        assert_eq!(cands[t.to_index].name, "frugal");
+        // Transition endpoints agree with direct argmin on either side.
+        assert_eq!(sweep.optimal_for_beta(t.beta - 0.01), Some(t.from_index));
+        assert_eq!(sweep.optimal_for_beta(t.beta + 0.01), Some(t.to_index));
+    }
+
+    #[test]
+    fn solver_respects_its_budget() {
+        let sweep = BetaSweep::run(&candidates());
+        let solve = sweep.solve_transitions(0.0, 1e4, 1e-9, 3).unwrap();
+        assert!(!solve.converged());
+        match solve {
+            BetaSolve::NotConverged { evaluations, .. } => assert!(evaluations <= 3),
+            BetaSolve::Converged { .. } => panic!("expected NotConverged"),
+        }
+        // Zero budget still yields a structured result, not a hang.
+        let none = sweep.solve_transitions(0.0, 1.0, 0.5, 0).unwrap();
+        assert!(!none.converged());
+        assert!(none.transitions().is_empty());
+    }
+
+    #[test]
+    fn solver_validates_parameters() {
+        let sweep = BetaSweep::run(&candidates());
+        assert!(sweep.solve_transitions(-1.0, 1.0, 0.1, 100).is_err());
+        assert!(sweep.solve_transitions(1.0, 1.0, 0.1, 100).is_err());
+        assert!(sweep.solve_transitions(0.0, f64::NAN, 0.1, 100).is_err());
+        assert!(sweep.solve_transitions(0.0, 1.0, 0.0, 100).is_err());
+        let empty = BetaSweep::run(&[]);
+        assert!(empty.solve_transitions(0.0, 1.0, 0.1, 100).is_err());
     }
 
     #[test]

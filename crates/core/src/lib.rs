@@ -50,12 +50,13 @@
 //! // ...and sweep operational time to find every possibly-optimal design.
 //! let sweep = OpTimeSweep::new(points, log_sweep(4, 10, 2), grids::US_AVERAGE)?;
 //! assert!(sweep.elimination_fraction() > 0.9);
-//! # Ok::<(), cordoba_carbon::CarbonError>(())
+//! # Ok::<(), cordoba::CoreError>(())
 //! ```
 
 pub mod case_ics;
 pub mod chart;
 pub mod dse;
+pub mod error;
 pub mod lagrange;
 pub mod metrics;
 pub mod mix;
@@ -65,12 +66,20 @@ pub mod report;
 pub mod stats;
 pub mod uncertainty;
 
+pub use error::CoreError;
+
 /// Convenience re-exports of the most commonly used items.
 pub mod prelude {
     pub use crate::case_ics::{candidates, design_points, table_one, table_two, Scenario};
     pub use crate::chart::AsciiChart;
-    pub use crate::dse::{accel_design_point, evaluate_space, log_sweep, OpTimeSweep};
-    pub use crate::lagrange::{beta_for_context, BetaSweep, TwoFactorSweep};
+    pub use crate::dse::{
+        accel_design_point, evaluate_space, evaluate_space_resilient, log_sweep, EvalFailure,
+        OpTimeSweep, ResilientEval,
+    };
+    pub use crate::error::CoreError;
+    pub use crate::lagrange::{
+        beta_for_context, BetaSolve, BetaSweep, BetaTransition, TwoFactorSweep,
+    };
     pub use crate::metrics::{argmin, DesignPoint, MetricKind, OperationalContext};
     pub use crate::mix::LifetimeMix;
     pub use crate::optimize::{Constraints, OptimizationProblem, Solution};

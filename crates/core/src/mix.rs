@@ -8,6 +8,7 @@
 //! unchanged.
 
 use crate::dse::accel_design_point;
+use crate::error::CoreError;
 use crate::metrics::DesignPoint;
 use cordoba_accel::config::AcceleratorConfig;
 use cordoba_carbon::embodied::EmbodiedModel;
@@ -89,12 +90,12 @@ impl LifetimeMix {
     ///
     /// # Errors
     ///
-    /// Propagates carbon-model errors.
+    /// Propagates carbon-model and cost-table errors.
     pub fn design_point(
         &self,
         config: &AcceleratorConfig,
         embodied: &EmbodiedModel,
-    ) -> Result<DesignPoint, CarbonError> {
+    ) -> Result<DesignPoint, CoreError> {
         let mut delay = cordoba_carbon::units::Seconds::ZERO;
         let mut energy = cordoba_carbon::units::Joules::ZERO;
         let mut base = None;
@@ -105,19 +106,25 @@ impl LifetimeMix {
             base = Some(point);
         }
         let base = base.expect("mix is non-empty"); // cordoba-lint: allow(no-panic) — Mix::new rejects empty entry lists
-        DesignPoint::new(config.name(), delay, energy, base.embodied, base.area)
+        Ok(DesignPoint::new(
+            config.name(),
+            delay,
+            energy,
+            base.embodied,
+            base.area,
+        )?)
     }
 
     /// Characterizes a whole configuration list for this mix.
     ///
     /// # Errors
     ///
-    /// Propagates carbon-model errors.
+    /// Propagates carbon-model and cost-table errors.
     pub fn evaluate_space(
         &self,
         configs: &[AcceleratorConfig],
         embodied: &EmbodiedModel,
-    ) -> Result<Vec<DesignPoint>, CarbonError> {
+    ) -> Result<Vec<DesignPoint>, CoreError> {
         configs
             .iter()
             .map(|c| self.design_point(c, embodied))

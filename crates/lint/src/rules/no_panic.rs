@@ -12,7 +12,15 @@ use crate::diagnostics::Diagnostic;
 use crate::rules::{Rule, RuleInputs};
 
 /// Crates whose `src/` trees must stay panic-free (test modules excluded).
-const PANIC_FREE_CRATES: &[&str] = &["carbon", "tech", "workloads", "core", "cli", "lint"];
+const PANIC_FREE_CRATES: &[&str] = &[
+    "carbon",
+    "tech",
+    "workloads",
+    "core",
+    "cli",
+    "lint",
+    "robust",
+];
 
 /// Macros that abort the process when reached.
 const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];

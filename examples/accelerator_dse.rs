@@ -9,10 +9,9 @@ use cordoba::prelude::*;
 use cordoba_accel::space::{config_by_name, design_space};
 use cordoba_carbon::embodied::EmbodiedModel;
 use cordoba_carbon::intensity::grids;
-use cordoba_carbon::CarbonError;
 use cordoba_workloads::task::Task;
 
-fn main() -> Result<(), CarbonError> {
+fn main() -> Result<(), CoreError> {
     let task = Task::xr_10_kernels();
     println!("Workload: {task}");
 
