@@ -1,0 +1,265 @@
+//! Embodied-carbon memoization for multi-task sweeps.
+//!
+//! [`AcceleratorConfig::embodied_carbon`] is task-independent: the yield,
+//! wafer, and packaging math depends only on the die geometry and the
+//! [`EmbodiedModel`], never on the workload. Multi-task design-space sweeps
+//! nevertheless recompute it once per (config, task) pair, so a 121-config x
+//! 29-task `OpTimeSweep` grid runs the same assembly accounting 29x per
+//! design point. [`EmbodiedCache`] memoizes the result per configuration
+//! *for one model*: each cache instance is bound to the [`EmbodiedModel`] it
+//! was constructed with, which makes invalidation trivial — a different
+//! model means a different cache, never a stale entry.
+//!
+//! The cache key is a structural fingerprint of everything
+//! `embodied_carbon` reads from the configuration (MAC units, SRAM
+//! capacity, integration style, and the area/node fields of
+//! [`TechTuning`](crate::params::TechTuning)); the display name is
+//! deliberately excluded so identically shaped configurations share one
+//! entry. Floating-point fields are fingerprinted by IEEE-754 bit pattern,
+//! so two configs collide only when every field is bit-identical and the
+//! cached value is exactly the value a fresh computation would produce.
+//!
+//! The cache is `Sync` (interior `Mutex`) so one instance can serve all
+//! workers of a `cordoba_par` sweep.
+//!
+//! # Examples
+//!
+//! ```
+//! use cordoba_accel::cache::EmbodiedCache;
+//! use cordoba_accel::config::AcceleratorConfig;
+//! use cordoba_carbon::embodied::EmbodiedModel;
+//! use cordoba_carbon::units::Bytes;
+//!
+//! let cache = EmbodiedCache::new(EmbodiedModel::default());
+//! let cfg = AcceleratorConfig::on_die("a1", 8, Bytes::from_mebibytes(4.0))?;
+//! let first = cache.embodied(&cfg)?;
+//! let second = cache.embodied(&cfg)?;
+//! assert_eq!(first, second);
+//! assert_eq!(cache.stats().hits, 1);
+//! assert_eq!(cache.stats().misses, 1);
+//! # Ok::<(), cordoba_carbon::CarbonError>(())
+//! ```
+
+use crate::config::{AcceleratorConfig, MemoryIntegration};
+use cordoba_carbon::embodied::EmbodiedModel;
+use cordoba_carbon::units::GramsCo2e;
+use cordoba_carbon::CarbonError;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Hit/miss counters for an [`EmbodiedCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that ran the full embodied-carbon computation.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Total lookups served.
+    #[must_use]
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+}
+
+/// A memoized view of one [`EmbodiedModel`]'s embodied-carbon computation.
+///
+/// See the [module docs](self) for the keying and invalidation contract.
+#[derive(Debug)]
+pub struct EmbodiedCache {
+    model: EmbodiedModel,
+    entries: Mutex<HashMap<u64, GramsCo2e>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl EmbodiedCache {
+    /// Creates an empty cache bound to `model`.
+    #[must_use]
+    pub fn new(model: EmbodiedModel) -> Self {
+        Self {
+            model,
+            entries: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The model whose results this cache memoizes.
+    #[must_use]
+    pub fn model(&self) -> &EmbodiedModel {
+        &self.model
+    }
+
+    /// The embodied carbon of `config` under this cache's model, computed
+    /// at most once per distinct configuration shape.
+    ///
+    /// # Errors
+    ///
+    /// Propagates assembly-construction errors from
+    /// [`AcceleratorConfig::embodied_carbon`] (cannot occur for validated
+    /// configurations). Errors are not cached.
+    pub fn embodied(&self, config: &AcceleratorConfig) -> Result<GramsCo2e, CarbonError> {
+        let key = fingerprint(config);
+        if let Some(cached) = self.lock().get(&key).copied() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(cached);
+        }
+        // Compute outside the lock so concurrent sweep workers are not
+        // serialized on the yield/wafer math; a racing duplicate insert is
+        // harmless because both workers compute the identical value.
+        let value = config.embodied_carbon(&self.model)?;
+        self.lock().insert(key, value);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        Ok(value)
+    }
+
+    /// Hit/miss counters accumulated since construction.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of distinct configuration shapes cached so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// `true` if no configuration has been cached yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<u64, GramsCo2e>> {
+        match self.entries.lock() {
+            Ok(guard) => guard,
+            // A poisoned map only means another worker panicked mid-insert;
+            // every stored value is still a completed, correct computation.
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+/// FNV-1a structural fingerprint over everything `embodied_carbon` reads.
+fn fingerprint(config: &AcceleratorConfig) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    let mut mix = |word: u64| {
+        for byte in word.to_le_bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(PRIME);
+        }
+    };
+    mix(u64::from(config.mac_units()));
+    mix(config.sram().value().to_bits());
+    match config.integration() {
+        MemoryIntegration::OnDie => mix(0),
+        MemoryIntegration::Stacked3d { dies } => {
+            mix(1);
+            mix(u64::from(dies));
+        }
+    }
+    let tuning = config.tuning();
+    mix(u64::from(tuning.node.nanometers()));
+    mix(tuning.mac_unit_area_mm2.to_bits());
+    mix(tuning.sram_area_mm2_per_mib.to_bits());
+    mix(tuning.base_area_mm2.to_bits());
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::TechTuning;
+    use cordoba_carbon::fab::ProcessNode;
+    use cordoba_carbon::units::Bytes;
+
+    fn cfg(name: &str, units: u32, sram_mib: f64) -> AcceleratorConfig {
+        AcceleratorConfig::on_die(name, units, Bytes::from_mebibytes(sram_mib)).unwrap()
+    }
+
+    #[test]
+    fn cached_value_matches_direct_computation() {
+        let model = EmbodiedModel::default();
+        let cache = EmbodiedCache::new(model.clone());
+        for units in [1, 8, 64] {
+            for sram in [1.0, 4.0, 32.0] {
+                let c = cfg("x", units, sram);
+                let direct = c.embodied_carbon(&model).unwrap();
+                assert_eq!(cache.embodied(&c).unwrap(), direct);
+                // Second lookup hits and returns the identical bits.
+                assert_eq!(cache.embodied(&c).unwrap(), direct);
+            }
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 9);
+        assert_eq!(stats.hits, 9);
+        assert_eq!(cache.len(), 9);
+    }
+
+    #[test]
+    fn name_is_not_part_of_the_key() {
+        let cache = EmbodiedCache::new(EmbodiedModel::default());
+        let a = cache.embodied(&cfg("a48", 16, 8.0)).unwrap();
+        let b = cache.embodied(&cfg("renamed", 16, 8.0)).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_shapes_get_distinct_entries() {
+        let cache = EmbodiedCache::new(EmbodiedModel::default());
+        let flat = cache.embodied(&cfg("f", 16, 8.0)).unwrap();
+        let stacked =
+            AcceleratorConfig::stacked_3d("s", 16, Bytes::from_mebibytes(4.0), 2).unwrap();
+        let stacked_carbon = cache.embodied(&stacked).unwrap();
+        assert!(stacked_carbon.value() > flat.value());
+        assert_eq!(cache.stats().misses, 2);
+
+        // Same geometry on a different node must not share an entry.
+        let n5 = AcceleratorConfig::with_tuning(
+            "n5",
+            16,
+            Bytes::from_mebibytes(8.0),
+            crate::config::MemoryIntegration::OnDie,
+            TechTuning::for_node(ProcessNode::N5),
+        )
+        .unwrap();
+        let n5_carbon = cache.embodied(&n5).unwrap();
+        assert_eq!(cache.stats().misses, 3);
+        assert!((n5_carbon.value() - flat.value()).abs() > f64::EPSILON);
+    }
+
+    #[test]
+    fn concurrent_lookups_agree() {
+        let cache = EmbodiedCache::new(EmbodiedModel::default());
+        let configs: Vec<AcceleratorConfig> = (1..=32).map(|u| cfg("c", u, f64::from(u))).collect();
+        let expected: Vec<GramsCo2e> = configs
+            .iter()
+            .map(|c| c.embodied_carbon(cache.model()).unwrap())
+            .collect();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for (c, want) in configs.iter().zip(&expected) {
+                        assert_eq!(cache.embodied(c).unwrap(), *want);
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.len(), 32);
+        let stats = cache.stats();
+        assert_eq!(stats.lookups(), 4 * 32);
+        assert!(stats.hits >= 3 * 32 - 32, "most lookups should hit");
+    }
+}

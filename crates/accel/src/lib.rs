@@ -5,6 +5,8 @@
 //! paper uses (Fig. 5, based on \[48\], \[44\]) plus its 3D-stacking extension
 //! \[54\].
 //!
+//! * [`cache`] — embodied-carbon memoization keyed by configuration shape,
+//!   so multi-task sweeps run the yield/wafer math once per design point;
 //! * [`params`] — per-node technology tuning (MAC/SRAM/DRAM energies, area,
 //!   leakage, LPDDR4 bandwidth);
 //! * [`config`] — accelerator design points: MAC units x SRAM, 2D or
@@ -27,6 +29,7 @@
 //! # Ok::<(), cordoba_workloads::cost::MissingKernel>(())
 //! ```
 
+pub mod cache;
 pub mod config;
 pub mod layered_sim;
 pub mod params;
@@ -36,6 +39,7 @@ pub mod stacking;
 
 /// Convenience re-exports of the most commonly used items.
 pub mod prelude {
+    pub use crate::cache::{CacheStats, EmbodiedCache};
     pub use crate::config::{AcceleratorConfig, MemoryIntegration};
     pub use crate::layered_sim::{layered_cost_table, simulate_layered, LayerSim, LayeredSim};
     pub use crate::params::{TechTuning, MACS_PER_UNIT};

@@ -1,0 +1,118 @@
+//! Smoke-mode performance record for the parallel sweep engine.
+//!
+//! Times the headline sweeps with plain wall-clock measurement (the
+//! vendored `criterion` is a stub, so this binary is the source of truth
+//! for recorded numbers) and writes `BENCH_3.json` at the repository
+//! root: a flat map of bench name to median nanoseconds.
+//!
+//! Each parallel bench is run twice — once pinned to one worker and once
+//! with the default pool — so the thread-scaling ratio is visible in the
+//! recorded file. On a single-core runner the two entries are expected to
+//! be close; the comparison is a record, not a regression gate.
+//!
+//! Usage: `cargo run -p cordoba-bench --release --bin bench_smoke [-- --quick]`
+//! where `--quick` trims iteration counts for CI.
+
+use cordoba::prelude::*;
+use cordoba_accel::space::design_space;
+use cordoba_carbon::embodied::EmbodiedModel;
+use cordoba_carbon::intensity::grids;
+use cordoba_workloads::task::Task;
+use std::hint::black_box;
+use std::num::NonZeroUsize;
+use std::time::Instant;
+
+/// Median wall-clock nanoseconds over `iters` calls of `f`.
+fn median_ns(iters: usize, mut f: impl FnMut()) -> u128 {
+    let mut samples: Vec<u128> = (0..iters.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_nanos()
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// Deterministic pseudo-random point cloud (xorshift, no RNG dependency).
+fn synthetic_cloud(n: usize) -> Vec<Point2> {
+    let mut state = 0x243f_6a88_85a3_08d3u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    (0..n)
+        .map(|i| {
+            let x = next() * 100.0 + 1.0;
+            let y = 100.0 / x + next() * 10.0;
+            Point2::new(format!("p{i}"), x, y)
+        })
+        .collect()
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let iters = if quick { 3 } else { 11 };
+    let heavy_iters = if quick { 1 } else { 5 };
+    let thread_modes = [("threads=1", NonZeroUsize::new(1)), ("threads=auto", None)];
+    let mut results: Vec<(String, u128)> = Vec::new();
+
+    // dse/evaluate_space — 121 configs x all-kernels roofline characterization.
+    let configs = design_space();
+    let model = EmbodiedModel::default();
+    let task = Task::all_kernels();
+    for (label, threads) in thread_modes {
+        cordoba_par::set_threads(threads);
+        let ns = median_ns(iters, || {
+            black_box(evaluate_space(black_box(&configs), &task, &model).unwrap());
+        });
+        results.push((format!("dse/evaluate_space/{label}"), ns));
+    }
+
+    // dse/op_time_sweep_121x29 — the Fig. 8 tCDP matrix.
+    let points = evaluate_space(&configs, &task, &model).unwrap();
+    let counts = log_sweep(4, 11, 4);
+    for (label, threads) in thread_modes {
+        cordoba_par::set_threads(threads);
+        let ns = median_ns(iters, || {
+            let sweep =
+                OpTimeSweep::new(black_box(points.clone()), counts.clone(), grids::US_AVERAGE)
+                    .unwrap();
+            black_box(sweep.elimination_fraction());
+        });
+        results.push((format!("dse/op_time_sweep_121x29/{label}"), ns));
+    }
+    cordoba_par::set_threads(None);
+
+    // pareto/frontier_10000 — sort-based skyline vs the all-pairs scan.
+    let cloud = synthetic_cloud(10_000);
+    let skyline = pareto_indices(&cloud);
+    let naive = pareto_indices_naive(&cloud);
+    assert_eq!(skyline, naive, "skyline and naive fronts must agree");
+    results.push((
+        "pareto/frontier_10000/skyline".to_owned(),
+        median_ns(iters, || {
+            black_box(pareto_indices(black_box(&cloud)));
+        }),
+    ));
+    results.push((
+        "pareto/frontier_10000/naive".to_owned(),
+        median_ns(heavy_iters, || {
+            black_box(pareto_indices_naive(black_box(&cloud)));
+        }),
+    ));
+
+    let mut json = String::from("{\n");
+    for (i, (name, ns)) in results.iter().enumerate() {
+        let sep = if i + 1 < results.len() { "," } else { "" };
+        json.push_str(&format!("  \"{name}\": {ns}{sep}\n"));
+        println!("{name:<45} {ns:>14} ns");
+    }
+    json.push_str("}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_3.json");
+    std::fs::write(path, &json).expect("write BENCH_3.json");
+    println!("wrote {path}");
+}

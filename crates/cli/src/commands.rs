@@ -78,6 +78,10 @@ COMMANDS:
 Commands that ingest data accept `--lenient` to quarantine bad rows or
 configurations and continue with the rest instead of aborting.
 
+Every command accepts `--threads <N>` to cap the worker threads used for
+parallel sweeps (default: all cores). Results are identical at any thread
+count; only wall-clock time changes.
+
 Run `cordoba <COMMAND> --help` for per-command options.
 ";
 
@@ -91,6 +95,7 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         return Ok(USAGE.to_owned());
     };
     let args = Args::parse(argv[1..].iter().cloned());
+    apply_threads(&args)?;
     match command.as_str() {
         "metrics" => cmd_metrics(&args),
         "dse" => cmd_dse(&args),
@@ -106,6 +111,24 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
             "unknown command `{other}`; run `cordoba help`"
         ))),
     }
+}
+
+/// Applies the global `--threads <N>` option: caps the process-wide worker
+/// pool every parallel sweep draws from. Absent means all available cores.
+fn apply_threads(args: &Args) -> Result<(), CliError> {
+    let Some(raw) = args.get("threads") else {
+        return Ok(());
+    };
+    let threads: Option<std::num::NonZeroUsize> = raw.parse().ok();
+    if threads.is_none() {
+        return Err(CliError::Args(ArgError::InvalidValue {
+            key: "threads".to_owned(),
+            value: raw.to_owned(),
+            expected: "a positive integer",
+        }));
+    }
+    cordoba_par::set_threads(threads);
+    Ok(())
 }
 
 fn grid_by_name(name: &str) -> Result<CarbonIntensity, CliError> {
@@ -151,7 +174,7 @@ fn cmd_metrics(args: &Args) -> Result<String, CliError> {
         );
     }
     args.expect_only(&[
-        "delay", "energy", "embodied", "area", "tasks", "grid", "help",
+        "delay", "energy", "embodied", "area", "tasks", "grid", "threads", "help",
     ])?;
     let delay = args
         .get("delay")
@@ -215,7 +238,7 @@ fn cmd_dse(args: &Args) -> Result<String, CliError> {
                 .to_owned(),
         );
     }
-    args.expect_only(&["task", "grid", "lo", "hi", "lenient", "help"])?;
+    args.expect_only(&["task", "grid", "lo", "hi", "lenient", "threads", "help"])?;
     let task = task_by_name(args.get("task").unwrap_or("all"))?;
     let ci = grid_by_name(args.get("grid").unwrap_or("us"))?;
     let decade = |key: &'static str, default: f64| -> Result<i32, CliError> {
@@ -295,7 +318,7 @@ fn cmd_provision(args: &Args) -> Result<String, CliError> {
             "cordoba provision --app <m1|g2|b1|sg1|all> [--years <f>] [--grid <name>]\n".to_owned(),
         );
     }
-    args.expect_only(&["app", "years", "grid", "help"])?;
+    args.expect_only(&["app", "years", "grid", "threads", "help"])?;
     let app = match args.get("app").unwrap_or("m1") {
         "m1" => VrApp::m1(),
         "g2" => VrApp::g2(),
@@ -347,7 +370,7 @@ fn cmd_stacking(args: &Args) -> Result<String, CliError> {
     if args.flag("help") {
         return Ok("cordoba stacking [--share <embodied fraction, default 0.8>]\n".to_owned());
     }
-    args.expect_only(&["share", "help"])?;
+    args.expect_only(&["share", "threads", "help"])?;
     let share = args.get_f64("share", 0.8)?;
     let model = EmbodiedModel::default();
     let kernel = KernelId::Sr512.descriptor();
@@ -404,7 +427,7 @@ fn cmd_eliminate(args: &Args) -> Result<String, CliError> {
                    --lenient skips malformed rows (reported) instead of aborting\n"
             .to_owned());
     }
-    args.expect_only(&["csv", "lenient", "help"])?;
+    args.expect_only(&["csv", "lenient", "threads", "help"])?;
     let path = args
         .get("csv")
         .ok_or(CliError::Args(ArgError::Missing("--csv <file>")))?;
@@ -549,7 +572,7 @@ fn cmd_doctor(args: &Args) -> Result<String, CliError> {
                    Design CSV columns: name,delay_s,energy_j,embodied_gco2e\n"
             .to_owned());
     }
-    args.expect_only(&["trace", "designs", "policy", "grid", "help"])?;
+    args.expect_only(&["trace", "designs", "policy", "grid", "threads", "help"])?;
     let mut out = String::new();
     if let Some(path) = args.get("trace") {
         doctor_trace(args, path, &mut out)?;
@@ -665,7 +688,7 @@ fn doctor_designs(path: &str, out: &mut String) -> Result<(), CliError> {
 }
 
 fn cmd_kernels(args: &Args) -> Result<String, CliError> {
-    args.expect_only(&["help"])?;
+    args.expect_only(&["threads", "help"])?;
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -688,7 +711,7 @@ fn cmd_kernels(args: &Args) -> Result<String, CliError> {
 }
 
 fn cmd_tasks(args: &Args) -> Result<String, CliError> {
-    args.expect_only(&["help"])?;
+    args.expect_only(&["threads", "help"])?;
     let mut out = String::new();
     for task in Task::evaluation_suite() {
         let kernels: Vec<&str> = task.kernels().map(KernelId::short_name).collect();
@@ -698,7 +721,7 @@ fn cmd_tasks(args: &Args) -> Result<String, CliError> {
 }
 
 fn cmd_grids(args: &Args) -> Result<String, CliError> {
-    args.expect_only(&["help"])?;
+    args.expect_only(&["threads", "help"])?;
     let mut out = String::new();
     for (name, ci) in [
         ("coal", grids::COAL),
@@ -754,6 +777,22 @@ mod tests {
     fn metrics_rejects_unknown_options() {
         let err = run_str("metrics --delay 1 --energy 1 --embodied 1 --bogus 3").unwrap_err();
         assert!(err.to_string().contains("bogus"));
+    }
+
+    #[test]
+    fn threads_option_is_global_and_validated() {
+        // Accepted on any command; results are thread-count invariant.
+        let capped = run_str("provision --app m1 --threads 2").unwrap();
+        let auto = run_str("provision --app m1").unwrap();
+        assert_eq!(capped, auto);
+        // Zero and non-numeric counts are rejected up front.
+        for bad in ["0", "x", "-1"] {
+            let err = run_str(&format!(
+                "metrics --delay 1 --energy 1 --embodied 1 --threads {bad}"
+            ))
+            .unwrap_err();
+            assert!(err.to_string().contains("threads"), "{bad}: {err}");
+        }
     }
 
     #[test]

@@ -10,6 +10,7 @@
 
 use crate::error::CoreError;
 use crate::metrics::{DesignPoint, OperationalContext};
+use cordoba_accel::cache::EmbodiedCache;
 use cordoba_accel::config::AcceleratorConfig;
 use cordoba_accel::sim::full_cost_table;
 use cordoba_carbon::embodied::EmbodiedModel;
@@ -50,22 +51,87 @@ pub fn accel_design_point(
 /// Characterizes a whole configuration list for a task, aborting on the
 /// first invalid configuration.
 ///
+/// Configurations are evaluated in parallel (see [`cordoba_par`]) but the
+/// returned points are in input order and bit-identical to a sequential
+/// `configs.iter().map(..).collect()` at any thread count.
+///
 /// For sweeps over untrusted or generated spaces, prefer
 /// [`evaluate_space_resilient`], which quarantines failures instead.
 ///
 /// # Errors
 ///
-/// Propagates the first per-configuration error (see
-/// [`accel_design_point`]).
+/// Propagates the error of the first (in input order) invalid
+/// configuration (see [`accel_design_point`]).
 pub fn evaluate_space(
     configs: &[AcceleratorConfig],
     task: &Task,
     embodied: &EmbodiedModel,
 ) -> Result<Vec<DesignPoint>, CoreError> {
-    configs
-        .iter()
-        .map(|c| accel_design_point(c, task, embodied))
-        .collect()
+    evaluate_space_with_threads(configs, task, embodied, cordoba_par::effective_threads())
+}
+
+/// [`evaluate_space`] with an explicit worker-thread count (1 = the exact
+/// sequential path). Results are identical at every thread count.
+///
+/// # Errors
+///
+/// Propagates the error of the first (in input order) invalid
+/// configuration (see [`accel_design_point`]).
+pub fn evaluate_space_with_threads(
+    configs: &[AcceleratorConfig],
+    task: &Task,
+    embodied: &EmbodiedModel,
+    threads: usize,
+) -> Result<Vec<DesignPoint>, CoreError> {
+    cordoba_par::try_par_map_with(configs, threads, |c| accel_design_point(c, task, embodied))
+}
+
+/// Characterizes a configuration list for *several* tasks at once, sharing
+/// the cost table and memoized embodied carbon of each configuration across
+/// all tasks.
+///
+/// The per-task result `out[t]` equals `evaluate_space(configs, &tasks[t],
+/// embodied)` exactly, but each configuration's roofline table is built
+/// once (instead of once per task) and the yield/wafer math behind
+/// [`AcceleratorConfig::embodied_carbon`] runs once per distinct
+/// configuration shape via [`EmbodiedCache`].
+///
+/// # Errors
+///
+/// Propagates the error of the first (in input order) configuration that
+/// fails on any task; within one configuration, the first failing task
+/// wins.
+pub fn evaluate_space_multi(
+    configs: &[AcceleratorConfig],
+    tasks: &[Task],
+    embodied: &EmbodiedModel,
+) -> Result<Vec<Vec<DesignPoint>>, CoreError> {
+    let cache = EmbodiedCache::new(embodied.clone());
+    let per_config: Vec<Vec<DesignPoint>> = cordoba_par::try_par_map(configs, |c| {
+        let table = full_cost_table(c);
+        let embodied_carbon = cache.embodied(c)?;
+        tasks
+            .iter()
+            .map(|task| {
+                let delay = table.task_delay(task)?;
+                let energy = table.task_energy(task)?;
+                Ok(DesignPoint::new(
+                    c.name(),
+                    delay,
+                    energy,
+                    embodied_carbon,
+                    c.total_area(),
+                )?)
+            })
+            .collect::<Result<Vec<DesignPoint>, CoreError>>()
+    })?;
+    let mut per_task = vec![Vec::with_capacity(configs.len()); tasks.len()];
+    for config_points in per_config {
+        for (t, point) in config_points.into_iter().enumerate() {
+            per_task[t].push(point);
+        }
+    }
+    Ok(per_task)
 }
 
 /// One configuration that failed resilient evaluation.
@@ -107,16 +173,33 @@ impl ResilientEval {
 /// A poisoned configuration (corrupted tuning, unpriceable kernel) lands in
 /// [`ResilientEval::failures`] with its structured error; every healthy
 /// configuration is still evaluated. On a clean space the returned points
-/// are exactly those of [`evaluate_space`].
+/// are exactly those of [`evaluate_space`]. Evaluation is parallel, but
+/// both `points` and `failures` preserve input (quarantine) order exactly
+/// as the sequential loop produced them.
 #[must_use]
 pub fn evaluate_space_resilient(
     configs: &[AcceleratorConfig],
     task: &Task,
     embodied: &EmbodiedModel,
 ) -> ResilientEval {
+    evaluate_space_resilient_with_threads(configs, task, embodied, cordoba_par::effective_threads())
+}
+
+/// [`evaluate_space_resilient`] with an explicit worker-thread count
+/// (1 = the exact sequential path). Results are identical at every thread
+/// count.
+#[must_use]
+pub fn evaluate_space_resilient_with_threads(
+    configs: &[AcceleratorConfig],
+    task: &Task,
+    embodied: &EmbodiedModel,
+    threads: usize,
+) -> ResilientEval {
+    let outcomes =
+        cordoba_par::par_map_with(configs, threads, |c| accel_design_point(c, task, embodied));
     let mut result = ResilientEval::default();
-    for config in configs {
-        match accel_design_point(config, task, embodied) {
+    for (config, outcome) in configs.iter().zip(outcomes) {
+        match outcome {
             Ok(point) => result.points.push(point),
             Err(error) => result.failures.push(EvalFailure {
                 name: config.name().to_string(),
@@ -159,6 +242,10 @@ pub struct OpTimeSweep {
 impl OpTimeSweep {
     /// Evaluates the sweep.
     ///
+    /// The tCDP matrix rows (one per task count) are computed in parallel;
+    /// each row is independent, so the matrix is bit-identical to the
+    /// sequential evaluation at any thread count.
+    ///
     /// # Errors
     ///
     /// Returns an error if `task_counts` is empty or contains non-positive
@@ -167,6 +254,27 @@ impl OpTimeSweep {
         points: Vec<DesignPoint>,
         task_counts: Vec<f64>,
         ci_use: CarbonIntensity,
+    ) -> Result<Self, CarbonError> {
+        Self::with_threads(
+            points,
+            task_counts,
+            ci_use,
+            cordoba_par::effective_threads(),
+        )
+    }
+
+    /// [`OpTimeSweep::new`] with an explicit worker-thread count (1 = the
+    /// exact sequential path). Results are identical at every thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `task_counts` is empty or contains non-positive
+    /// values, or `points` is empty.
+    pub fn with_threads(
+        points: Vec<DesignPoint>,
+        task_counts: Vec<f64>,
+        ci_use: CarbonIntensity,
+        threads: usize,
     ) -> Result<Self, CarbonError> {
         if points.is_empty() {
             return Err(CarbonError::Empty {
@@ -178,11 +286,10 @@ impl OpTimeSweep {
                 what: "task counts",
             });
         }
-        let mut tcdp = Vec::with_capacity(task_counts.len());
-        for &n in &task_counts {
+        let tcdp = cordoba_par::try_par_map_with(&task_counts, threads, |&n| {
             let ctx = OperationalContext::new(n, ci_use)?;
-            tcdp.push(points.iter().map(|p| p.tcdp(&ctx).value()).collect());
-        }
+            Ok(points.iter().map(|p| p.tcdp(&ctx).value()).collect())
+        })?;
         Ok(Self {
             points,
             task_counts,

@@ -104,6 +104,12 @@ impl BetaSweep {
     /// the solver stops and reports the transitions found so far as
     /// [`BetaSolve::NotConverged`] instead of iterating silently.
     ///
+    /// Refinement proceeds in waves (all still-disputed intervals bisect
+    /// together) and the midpoint argmins of one wave are evaluated in
+    /// parallel. Budget truncation is left-to-right within a wave, so the
+    /// outcome — transitions, evaluation count, convergence — is identical
+    /// at every thread count.
+    ///
     /// # Errors
     ///
     /// Returns an error for an empty candidate set, non-finite or negative
@@ -114,6 +120,31 @@ impl BetaSweep {
         beta_hi: f64,
         tol: f64,
         budget: usize,
+    ) -> Result<BetaSolve, CarbonError> {
+        self.solve_transitions_with_threads(
+            beta_lo,
+            beta_hi,
+            tol,
+            budget,
+            cordoba_par::effective_threads(),
+        )
+    }
+
+    /// [`BetaSweep::solve_transitions`] with an explicit worker-thread
+    /// count (1 = fully sequential). Results are identical at every thread
+    /// count.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an empty candidate set, non-finite or negative
+    /// `beta_lo`, `beta_hi <= beta_lo`, or a non-positive `tol`.
+    pub fn solve_transitions_with_threads(
+        &self,
+        beta_lo: f64,
+        beta_hi: f64,
+        tol: f64,
+        budget: usize,
+        threads: usize,
     ) -> Result<BetaSolve, CarbonError> {
         if self.points.is_empty() {
             return Err(CarbonError::Empty {
@@ -132,15 +163,10 @@ impl BetaSweep {
         }
         CarbonError::require_positive("tol", tol)?;
 
-        let mut evaluations = 0usize;
         let mut transitions: Vec<BetaTransition> = Vec::new();
-        let eval = |beta: f64, evaluations: &mut usize| -> Option<usize> {
-            if *evaluations >= budget {
-                return None;
-            }
-            *evaluations += 1;
-            self.optimal_for_beta(beta)
-        };
+        // The argmin exists because `points` is non-empty (checked above),
+        // so the fallback index is never used.
+        let argmin = |beta: f64| self.optimal_for_beta(beta).unwrap_or(0);
 
         let not_converged = |transitions: Vec<BetaTransition>, evaluations: usize| {
             Ok(BetaSolve::NotConverged {
@@ -149,36 +175,59 @@ impl BetaSweep {
             })
         };
 
-        let Some(lo_arg) = eval(beta_lo, &mut evaluations) else {
-            return not_converged(transitions, evaluations);
-        };
-        let Some(hi_arg) = eval(beta_hi, &mut evaluations) else {
-            return not_converged(transitions, evaluations);
-        };
+        if budget < 2 {
+            // The old sequential solver burned its whole budget on the
+            // endpoint argmins before giving up; preserve that count.
+            return not_converged(transitions, budget.min(1));
+        }
+        let lo_arg = argmin(beta_lo);
+        let hi_arg = argmin(beta_hi);
+        let mut evaluations = 2usize;
 
-        // LIFO stack, right half pushed first, so intervals are refined
-        // left-to-right and transitions come out in ascending β order.
-        let mut stack = vec![(beta_lo, lo_arg, beta_hi, hi_arg)];
-        while let Some((lo, lo_arg, hi, hi_arg)) = stack.pop() {
-            if lo_arg == hi_arg {
-                continue;
+        // Disputed intervals of the current wave, ascending in β.
+        let mut pending = vec![(beta_lo, lo_arg, beta_hi, hi_arg)];
+        while !pending.is_empty() {
+            let mut bisect: Vec<(f64, usize, f64, usize)> = Vec::new();
+            for (lo, lo_arg, hi, hi_arg) in pending {
+                if lo_arg == hi_arg {
+                    continue;
+                }
+                if hi - lo <= tol {
+                    transitions.push(BetaTransition {
+                        beta: f64::midpoint(lo, hi),
+                        from_index: lo_arg,
+                        to_index: hi_arg,
+                    });
+                    continue;
+                }
+                bisect.push((lo, lo_arg, hi, hi_arg));
             }
-            let mid = f64::midpoint(lo, hi);
-            if hi - lo <= tol {
-                transitions.push(BetaTransition {
-                    beta: mid,
-                    from_index: lo_arg,
-                    to_index: hi_arg,
-                });
-                continue;
+            if bisect.is_empty() {
+                break;
             }
-            let Some(mid_arg) = eval(mid, &mut evaluations) else {
+            // Left-to-right budget truncation: only the first `k` intervals
+            // of this wave get their midpoint evaluated.
+            let k = bisect.len().min(budget - evaluations);
+            let mids: Vec<f64> = bisect[..k]
+                .iter()
+                .map(|&(lo, _, hi, _)| f64::midpoint(lo, hi))
+                .collect();
+            let mid_args = cordoba_par::par_map_with(&mids, threads, |&beta| argmin(beta));
+            evaluations += k;
+            if k < bisect.len() {
+                transitions.sort_by(|a, b| a.beta.total_cmp(&b.beta));
                 return not_converged(transitions, evaluations);
-            };
-            stack.push((mid, mid_arg, hi, hi_arg));
-            stack.push((lo, lo_arg, mid, mid_arg));
+            }
+            pending = Vec::with_capacity(2 * k);
+            for ((lo, lo_arg, hi, hi_arg), (mid, mid_arg)) in
+                bisect.into_iter().zip(mids.into_iter().zip(mid_args))
+            {
+                pending.push((lo, lo_arg, mid, mid_arg));
+                pending.push((mid, mid_arg, hi, hi_arg));
+            }
         }
 
+        transitions.sort_by(|a, b| a.beta.total_cmp(&b.beta));
         Ok(BetaSolve::Converged {
             transitions,
             evaluations,

@@ -73,7 +73,8 @@ pub mod prelude {
     pub use crate::case_ics::{candidates, design_points, table_one, table_two, Scenario};
     pub use crate::chart::AsciiChart;
     pub use crate::dse::{
-        accel_design_point, evaluate_space, evaluate_space_resilient, log_sweep, EvalFailure,
+        accel_design_point, evaluate_space, evaluate_space_multi, evaluate_space_resilient,
+        evaluate_space_resilient_with_threads, evaluate_space_with_threads, log_sweep, EvalFailure,
         OpTimeSweep, ResilientEval,
     };
     pub use crate::error::CoreError;
@@ -85,11 +86,12 @@ pub mod prelude {
     pub use crate::optimize::{Constraints, OptimizationProblem, Solution};
     pub use crate::pareto::{
         elimination_fraction, lower_hull_indices, pareto_front, pareto_indices, pareto_indices_kd,
-        Point2, PointK,
+        pareto_indices_kd_naive, pareto_indices_naive, Point2, PointK,
     };
     pub use crate::report::{fmt_num, fmt_ratio, Table};
     pub use crate::uncertainty::{
-        context_for_embodied_share, domain_analysis, scenario_regret, tcdp_under_source,
-        DomainAnalysis, DomainClass,
+        context_for_embodied_share, domain_analysis, monte_carlo_regret, monte_carlo_tcdp,
+        scenario_regret, tcdp_under_source, DomainAnalysis, DomainClass, MonteCarloSpec,
+        MonteCarloSummary,
     };
 }

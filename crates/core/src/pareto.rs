@@ -41,7 +41,10 @@ impl Point2 {
 /// Indices of the Pareto-optimal (non-dominated) points, in input order.
 ///
 /// Duplicate coordinates are all retained (none strictly dominates the
-/// other).
+/// other). Runs in `O(n log n)` via a sort-based skyline scan and returns
+/// exactly the index set of the all-pairs reference
+/// [`pareto_indices_naive`] on every input, including NaN and infinite
+/// coordinates.
 ///
 /// # Examples
 ///
@@ -57,6 +60,73 @@ impl Point2 {
 /// ```
 #[must_use]
 pub fn pareto_indices(points: &[Point2]) -> Vec<usize> {
+    // NaN coordinates compare false to everything, so under the dominance
+    // rules such points never dominate and are never dominated: they
+    // always survive and play no part in the scan.
+    let mut survivors: Vec<usize> = Vec::new();
+    let mut order: Vec<usize> = Vec::with_capacity(points.len());
+    for (i, p) in points.iter().enumerate() {
+        if p.x.is_nan() || p.y.is_nan() {
+            survivors.push(i);
+        } else {
+            order.push(i);
+        }
+    }
+    // Sort by (x, y); `total_cmp` keeps -0.0 next to 0.0, and the group
+    // scan below treats numerically equal x values as one group.
+    order.sort_by(|&a, &b| {
+        points[a]
+            .x
+            .total_cmp(&points[b].x)
+            .then(points[a].y.total_cmp(&points[b].y))
+    });
+
+    // Skyline scan: walk groups of equal x left to right, tracking the
+    // best (smallest) y seen at strictly smaller x. A point survives iff
+    // nothing at strictly smaller x has y <= its own (that point would
+    // dominate via strictly better x) and nothing in its own group has a
+    // strictly smaller y (equal x, strictly better y). `has_prev`
+    // matters: seeding `best_prev` with +inf would wrongly dominate a
+    // first-group point whose y is +inf.
+    let mut best_prev = f64::INFINITY;
+    let mut has_prev = false;
+    let mut g = 0;
+    while g < order.len() {
+        let group_x = points[order[g]].x;
+        let mut end = g + 1;
+        // Numeric group boundary without float `==`: the sort is
+        // ascending, so a later point stays in the group exactly while
+        // `group_x >= x` — NaN was filtered above, and `>=` (unlike
+        // `total_cmp`) keeps -0.0 and 0.0 in one group.
+        while end < order.len() && group_x >= points[order[end]].x {
+            end += 1;
+        }
+        // The group is sorted by y, so its first element holds the
+        // group's minimum y.
+        let group_min_y = points[order[g]].y;
+        for &idx in &order[g..end] {
+            let y = points[idx].y;
+            let dominated_by_prev = has_prev && y >= best_prev;
+            let dominated_in_group = group_min_y < y;
+            if !dominated_by_prev && !dominated_in_group {
+                survivors.push(idx);
+            }
+        }
+        best_prev = best_prev.min(group_min_y);
+        has_prev = true;
+        g = end;
+    }
+    survivors.sort_unstable();
+    survivors
+}
+
+/// Reference all-pairs `O(n²)` Pareto filter.
+///
+/// Kept as the executable specification for [`pareto_indices`]: property
+/// tests assert index-set equality between the two on every seed, and the
+/// bench suite measures the skyline speedup against this baseline.
+#[must_use]
+pub fn pareto_indices_naive(points: &[Point2]) -> Vec<usize> {
     (0..points.len())
         .filter(|&i| {
             !points
@@ -177,6 +247,42 @@ impl PointK {
 /// ```
 #[must_use]
 pub fn pareto_indices_kd(points: &[PointK]) -> Vec<usize> {
+    // The pre-sort argument below needs finite sums: with an infinity (or
+    // NaN) in play, a dominator's objective sum is no longer strictly
+    // smaller than its victim's, so fall back to the all-pairs reference.
+    let all_finite = points
+        .iter()
+        .all(|p| p.objectives.iter().all(|o| o.is_finite()));
+    if !all_finite {
+        return pareto_indices_kd_naive(points);
+    }
+    // Sort by ascending objective sum. If `a` dominates `b` then `a` is
+    // <= everywhere and < somewhere, so sum(a) < sum(b) strictly: every
+    // dominator precedes its victims. By transitivity a rejected
+    // dominator's own (accepted) dominator also dominates the victim, so
+    // each candidate only needs checking against the accepted front —
+    // still O(n²) worst case, but the front is typically tiny and the
+    // scan short-circuits on the first hit.
+    let mut order: Vec<usize> = (0..points.len()).collect();
+    order.sort_by(|&a, &b| {
+        let sum = |i: usize| points[i].objectives.iter().sum::<f64>();
+        sum(a).total_cmp(&sum(b))
+    });
+    let mut front: Vec<usize> = Vec::new();
+    for &i in &order {
+        if !front.iter().any(|&j| points[j].dominates(&points[i])) {
+            front.push(i);
+        }
+    }
+    front.sort_unstable();
+    front
+}
+
+/// Reference all-pairs k-dimensional Pareto filter (the executable
+/// specification for [`pareto_indices_kd`]'s pre-sorted fast path, and its
+/// fallback for non-finite objectives).
+#[must_use]
+pub fn pareto_indices_kd_naive(points: &[PointK]) -> Vec<usize> {
     (0..points.len())
         .filter(|&i| {
             !points
@@ -220,8 +326,7 @@ mod tests {
         assert!(a.dominates(&c));
         assert!(!b.dominates(&a));
         assert!(!a.dominates(&d)); // equal points do not dominate
-        assert!(!c.dominates(&b) || c.dominates(&b)); // c dominates b (x smaller, y equal)
-        assert!(c.dominates(&b));
+        assert!(c.dominates(&b)); // c dominates b (x smaller, y equal)
     }
 
     #[test]
@@ -350,6 +455,82 @@ mod tests {
             .map(|(i, &(x, y))| PointK::new(format!("p{i}"), vec![x, y]))
             .collect();
         assert_eq!(pareto_indices(&p2), pareto_indices_kd(&pk));
+    }
+
+    /// Deterministic xorshift stream for the agreement tests.
+    fn xorshift_points(seed: u64, n: usize) -> Vec<Point2> {
+        let mut state = seed | 1;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n)
+            .map(|i| Point2::new(format!("r{i}"), next() * 100.0, next() * 100.0))
+            .collect()
+    }
+
+    #[test]
+    fn skyline_matches_naive_on_random_clouds() {
+        for seed in 1..=20u64 {
+            let points = xorshift_points(seed, 300);
+            assert_eq!(
+                pareto_indices(&points),
+                pareto_indices_naive(&points),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn skyline_matches_naive_on_degenerate_coordinates() {
+        let inf = f64::INFINITY;
+        let cases: Vec<Vec<Point2>> = vec![
+            pts(&[(0.0, -0.0), (-0.0, 0.0), (1.0, 1.0)]),
+            pts(&[(inf, 0.0), (0.0, inf), (inf, inf), (1.0, 1.0)]),
+            pts(&[(inf, inf), (inf, inf)]),
+            pts(&[(f64::NAN, 1.0), (1.0, f64::NAN), (0.5, 0.5), (2.0, 2.0)]),
+            pts(&[(1.0, 1.0), (1.0, 1.0), (1.0, 2.0), (2.0, 1.0)]),
+            pts(&[(-inf, 5.0), (0.0, 5.0), (-inf, 4.0)]),
+            Vec::new(),
+        ];
+        for (k, points) in cases.iter().enumerate() {
+            assert_eq!(
+                pareto_indices(points),
+                pareto_indices_naive(points),
+                "case {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn kd_presort_matches_naive() {
+        let mut state = 99u64;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for dims in [1usize, 2, 3, 4] {
+            let points: Vec<PointK> = (0..120)
+                .map(|i| PointK::new(format!("k{i}"), (0..dims).map(|_| next() * 10.0).collect()))
+                .collect();
+            assert_eq!(
+                pareto_indices_kd(&points),
+                pareto_indices_kd_naive(&points),
+                "dims {dims}"
+            );
+        }
+        // Non-finite objectives take the fallback and still agree.
+        let weird = vec![
+            PointK::new("a", vec![f64::INFINITY, 0.0]),
+            PointK::new("b", vec![0.0, f64::NAN]),
+            PointK::new("c", vec![1.0, 1.0]),
+            PointK::new("d", vec![2.0, 2.0]),
+        ];
+        assert_eq!(pareto_indices_kd(&weird), pareto_indices_kd_naive(&weird));
     }
 
     #[test]

@@ -6,6 +6,8 @@ use crate::stats::log_pearson;
 use cordoba_carbon::intensity::{grids, CiSource};
 use cordoba_carbon::units::{CarbonIntensity, Seconds};
 use cordoba_carbon::CarbonError;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 /// The computing domains of Fig. 6, distinguished by how much of their
@@ -209,6 +211,251 @@ pub fn scenario_regret(
     Ok(regret)
 }
 
+/// Samples per Monte Carlo RNG block: each block of this many scenarios
+/// gets its own seeded generator, so block `b` draws the same scenarios no
+/// matter which worker thread evaluates it.
+const MC_BLOCK: usize = 64;
+
+/// A reproducible Monte Carlo experiment over unknown `(N, CI_use)`
+/// scenarios (§VI-C's uncertainty, sampled instead of enumerated).
+///
+/// Task counts are drawn log-uniformly from
+/// `10^tasks_log10_lo ..= 10^tasks_log10_hi`; the use-phase carbon
+/// intensity uniformly from `ci_lo ..= ci_hi`. The draw stream is fully
+/// determined by `seed`: scenario `i` always comes from RNG block
+/// `i / MC_BLOCK`, regardless of how many threads evaluate the blocks, so
+/// results are bit-identical across thread counts and runs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MonteCarloSpec {
+    /// Number of sampled scenarios.
+    pub samples: usize,
+    /// RNG seed determining the whole scenario stream.
+    pub seed: u64,
+    /// Lower bound of the sampled use-phase intensity.
+    pub ci_lo: CarbonIntensity,
+    /// Upper bound of the sampled use-phase intensity.
+    pub ci_hi: CarbonIntensity,
+    /// `log10` of the smallest sampled task count.
+    pub tasks_log10_lo: f64,
+    /// `log10` of the largest sampled task count.
+    pub tasks_log10_hi: f64,
+}
+
+impl MonteCarloSpec {
+    /// A spec spanning the solar-to-coal intensity range and `1e3..=1e9`
+    /// tasks — the paper's full uncertainty envelope.
+    #[must_use]
+    pub fn new(samples: usize, seed: u64) -> Self {
+        Self {
+            samples,
+            seed,
+            ci_lo: grids::SOLAR,
+            ci_hi: grids::COAL,
+            tasks_log10_lo: 3.0,
+            tasks_log10_hi: 9.0,
+        }
+    }
+
+    fn validate(&self) -> Result<(), CarbonError> {
+        if self.samples == 0 {
+            return Err(CarbonError::Empty {
+                what: "monte carlo samples",
+            });
+        }
+        CarbonError::require_in_range("ci_lo", self.ci_lo.value(), 0.0, f64::MAX)?;
+        CarbonError::require_in_range("ci_hi", self.ci_hi.value(), self.ci_lo.value(), f64::MAX)?;
+        CarbonError::require_finite("tasks_log10_lo", self.tasks_log10_lo)?;
+        CarbonError::require_in_range(
+            "tasks_log10_hi",
+            self.tasks_log10_hi,
+            self.tasks_log10_lo,
+            308.0,
+        )?;
+        Ok(())
+    }
+
+    /// The generator for RNG block `block` — a pure function of
+    /// `(seed, block)`, which is what makes the stream thread-agnostic.
+    fn block_rng(&self, block: u64) -> StdRng {
+        StdRng::seed_from_u64(
+            self.seed
+                ^ block
+                    .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                    .wrapping_add(0x2545_f491_4f6c_dd1d),
+        )
+    }
+
+    /// The scenarios of block `block` (the last block may be short).
+    fn block_scenarios(&self, block: u64) -> Vec<OperationalContext> {
+        let start = block as usize * MC_BLOCK;
+        let len = MC_BLOCK.min(self.samples - start);
+        let mut rng = self.block_rng(block);
+        (0..len)
+            .map(|_| {
+                let u: f64 = rng.gen();
+                let v: f64 = rng.gen();
+                let ci = self.ci_lo.value() + (self.ci_hi.value() - self.ci_lo.value()) * u;
+                let log10_tasks =
+                    self.tasks_log10_lo + (self.tasks_log10_hi - self.tasks_log10_lo) * v;
+                OperationalContext {
+                    tasks: 10f64.powf(log10_tasks),
+                    ci_use: CarbonIntensity::new(ci),
+                }
+            })
+            .collect()
+    }
+
+    fn blocks(&self) -> Vec<u64> {
+        (0..self.samples.div_ceil(MC_BLOCK) as u64).collect()
+    }
+}
+
+/// Summary statistics of a sampled tCDP distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MonteCarloSummary {
+    /// Number of scenarios sampled.
+    pub samples: usize,
+    /// Mean tCDP across scenarios (gCO2e·s).
+    pub mean: f64,
+    /// Population standard deviation of the sampled tCDPs.
+    pub std_dev: f64,
+    /// Smallest sampled tCDP.
+    pub min: f64,
+    /// Largest sampled tCDP.
+    pub max: f64,
+}
+
+/// Per-block partial moments, combined sequentially in block order so the
+/// final statistics are bit-identical at every thread count.
+struct McPartial {
+    sum: f64,
+    sum_sq: f64,
+    min: f64,
+    max: f64,
+}
+
+/// Samples the tCDP distribution of one design across the spec's scenario
+/// envelope.
+///
+/// # Errors
+///
+/// Returns an error for a zero-sample spec or invalid scenario bounds.
+pub fn monte_carlo_tcdp(
+    point: &DesignPoint,
+    spec: &MonteCarloSpec,
+) -> Result<MonteCarloSummary, CarbonError> {
+    monte_carlo_tcdp_with_threads(point, spec, cordoba_par::effective_threads())
+}
+
+/// [`monte_carlo_tcdp`] with an explicit worker-thread count (1 = fully
+/// sequential). Results are bit-identical at every thread count.
+///
+/// # Errors
+///
+/// Returns an error for a zero-sample spec or invalid scenario bounds.
+pub fn monte_carlo_tcdp_with_threads(
+    point: &DesignPoint,
+    spec: &MonteCarloSpec,
+    threads: usize,
+) -> Result<MonteCarloSummary, CarbonError> {
+    spec.validate()?;
+    let partials = cordoba_par::par_map_with(&spec.blocks(), threads, |&block| {
+        let mut partial = McPartial {
+            sum: 0.0,
+            sum_sq: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        };
+        for ctx in spec.block_scenarios(block) {
+            let tcdp = point.tcdp(&ctx).value();
+            partial.sum += tcdp;
+            partial.sum_sq += tcdp * tcdp;
+            partial.min = partial.min.min(tcdp);
+            partial.max = partial.max.max(tcdp);
+        }
+        partial
+    });
+    let mut sum = 0.0f64;
+    let mut sum_sq = 0.0f64;
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    for p in partials {
+        sum += p.sum;
+        sum_sq += p.sum_sq;
+        min = min.min(p.min);
+        max = max.max(p.max);
+    }
+    let n = spec.samples as f64;
+    let mean = sum / n;
+    let variance = (sum_sq / n - mean * mean).max(0.0);
+    Ok(MonteCarloSummary {
+        samples: spec.samples,
+        mean,
+        std_dev: variance.sqrt(),
+        min,
+        max,
+    })
+}
+
+/// Mean tCDP regret of each design across sampled scenarios:
+/// `E_s[tCDP(design, s) / min_d tCDP(d, s)]`.
+///
+/// The sampled analogue of [`scenario_regret`]: instead of a handful of
+/// hand-picked intensity trajectories, the whole `(N, CI_use)` envelope is
+/// sampled. A mean regret of 1.0 means the design is optimal in every
+/// sampled scenario.
+///
+/// # Errors
+///
+/// Returns an error for an empty point list, a zero-sample spec, or
+/// invalid scenario bounds.
+pub fn monte_carlo_regret(
+    points: &[DesignPoint],
+    spec: &MonteCarloSpec,
+) -> Result<Vec<f64>, CarbonError> {
+    monte_carlo_regret_with_threads(points, spec, cordoba_par::effective_threads())
+}
+
+/// [`monte_carlo_regret`] with an explicit worker-thread count (1 = fully
+/// sequential). Results are bit-identical at every thread count.
+///
+/// # Errors
+///
+/// Returns an error for an empty point list, a zero-sample spec, or
+/// invalid scenario bounds.
+pub fn monte_carlo_regret_with_threads(
+    points: &[DesignPoint],
+    spec: &MonteCarloSpec,
+    threads: usize,
+) -> Result<Vec<f64>, CarbonError> {
+    if points.is_empty() {
+        return Err(CarbonError::Empty {
+            what: "design points",
+        });
+    }
+    spec.validate()?;
+    let partials = cordoba_par::par_map_with(&spec.blocks(), threads, |&block| {
+        let mut regret_sums = vec![0.0f64; points.len()];
+        for ctx in spec.block_scenarios(block) {
+            let tcdps: Vec<f64> = points.iter().map(|p| p.tcdp(&ctx).value()).collect();
+            let best = tcdps.iter().copied().fold(f64::INFINITY, f64::min);
+            for (sum, tcdp) in regret_sums.iter_mut().zip(&tcdps) {
+                *sum += tcdp / best;
+            }
+        }
+        regret_sums
+    });
+    let mut totals = vec![0.0f64; points.len()];
+    for partial in partials {
+        for (total, sum) in totals.iter_mut().zip(partial) {
+            *total += sum;
+        }
+    }
+    let n = spec.samples as f64;
+    totals.iter_mut().for_each(|t| *t /= n);
+    Ok(totals)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -303,6 +550,67 @@ mod tests {
         assert!(
             tcdp_under_source(&p, &trend, 100.0, life) < tcdp_under_source(&p, &flat, 100.0, life)
         );
+    }
+
+    #[test]
+    fn monte_carlo_is_bit_identical_across_thread_counts() {
+        let p = point("x", 1.0, 2.0, 500.0);
+        // 200 samples spans four RNG blocks, so multi-thread runs really
+        // do split the work.
+        let spec = MonteCarloSpec::new(200, 42);
+        let base = monte_carlo_tcdp_with_threads(&p, &spec, 1).unwrap();
+        for threads in [2, 4, 16] {
+            let par = monte_carlo_tcdp_with_threads(&p, &spec, threads).unwrap();
+            assert_eq!(base, par, "threads = {threads}");
+        }
+        assert_eq!(base.samples, 200);
+        assert!(base.min > 0.0);
+        assert!(base.min <= base.mean && base.mean <= base.max);
+        assert!(base.std_dev > 0.0);
+    }
+
+    #[test]
+    fn monte_carlo_seed_controls_the_stream() {
+        let p = point("x", 1.0, 2.0, 500.0);
+        let a = monte_carlo_tcdp(&p, &MonteCarloSpec::new(100, 1)).unwrap();
+        let b = monte_carlo_tcdp(&p, &MonteCarloSpec::new(100, 1)).unwrap();
+        let c = monte_carlo_tcdp(&p, &MonteCarloSpec::new(100, 2)).unwrap();
+        assert_eq!(a, b);
+        assert!(
+            (a.mean - c.mean).abs() > 0.0,
+            "different seeds should differ"
+        );
+    }
+
+    #[test]
+    fn monte_carlo_regret_finds_the_all_around_design() {
+        let pts = space();
+        let spec = MonteCarloSpec::new(512, 7);
+        let regret = monte_carlo_regret(&pts, &spec).unwrap();
+        assert_eq!(regret.len(), pts.len());
+        // Mean regret is at least 1 by construction.
+        assert!(regret.iter().all(|&r| r >= 1.0 - 1e-12));
+        // The sampled envelope spans embodied- and operational-dominated
+        // scenarios, so the extreme specialists ("huge") fare worse than
+        // the best all-rounder.
+        let best = regret.iter().copied().fold(f64::INFINITY, f64::min);
+        assert!(regret[4] > best, "huge should not be the robust choice");
+        // And parallel evaluation changes nothing.
+        let seq = monte_carlo_regret_with_threads(&pts, &spec, 1).unwrap();
+        assert_eq!(regret, seq);
+    }
+
+    #[test]
+    fn monte_carlo_validation() {
+        let p = point("x", 1.0, 2.0, 500.0);
+        assert!(monte_carlo_tcdp(&p, &MonteCarloSpec::new(0, 1)).is_err());
+        let mut bad = MonteCarloSpec::new(10, 1);
+        std::mem::swap(&mut bad.ci_lo, &mut bad.ci_hi);
+        assert!(monte_carlo_tcdp(&p, &bad).is_err());
+        let mut bad = MonteCarloSpec::new(10, 1);
+        bad.tasks_log10_hi = bad.tasks_log10_lo - 1.0;
+        assert!(monte_carlo_tcdp(&p, &bad).is_err());
+        assert!(monte_carlo_regret(&[], &MonteCarloSpec::new(10, 1)).is_err());
     }
 
     #[test]

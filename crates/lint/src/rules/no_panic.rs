@@ -20,6 +20,7 @@ const PANIC_FREE_CRATES: &[&str] = &[
     "cli",
     "lint",
     "robust",
+    "par",
 ];
 
 /// Macros that abort the process when reached.

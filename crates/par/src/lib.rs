@@ -1,0 +1,306 @@
+//! Deterministic data parallelism for CORDOBA's analytical sweeps.
+//!
+//! Every hot loop in the framework — design-space characterization, tCDP
+//! grids over operational time, β-transition solving, Monte Carlo
+//! uncertainty sampling — is a pure map over independent items. This crate
+//! parallelizes exactly that shape with **zero external dependencies**
+//! (`std::thread::scope` + `std::thread::available_parallelism`) under a
+//! strict determinism contract:
+//!
+//! * **Order-preserving**: [`par_map`] returns results in input order; for
+//!   a pure closure the output `Vec` is *byte-identical* to
+//!   `items.iter().map(f).collect()` at every thread count.
+//! * **Sequential fallback**: inputs shorter than [`MIN_PARALLEL_LEN`] (or
+//!   an effective thread count of 1) run inline on the calling thread with
+//!   no spawn overhead.
+//! * **Panic-safe**: a panicking worker is re-raised on the calling thread
+//!   via [`std::panic::resume_unwind`], so panics neither deadlock the
+//!   scope nor change observable behavior versus the sequential path.
+//!   Fallible work should instead return `Result` and use [`try_par_map`],
+//!   which preserves the sequential "first error in input order" contract.
+//!
+//! # Thread-count resolution
+//!
+//! Explicit `*_with` variants take a thread count directly. The plain
+//! variants consult the process-wide setting ([`set_threads`], wired to the
+//! CLI's `--threads N`) and fall back to
+//! [`std::thread::available_parallelism`]. A count of 1 is exactly the
+//! sequential path.
+//!
+//! # Examples
+//!
+//! ```
+//! let squares = cordoba_par::par_map(&[1u64, 2, 3, 4], |x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//!
+//! let sums = cordoba_par::par_map_indexed(&["a", "bb"], |i, s| s.len() + i);
+//! assert_eq!(sums, vec![1, 3]);
+//!
+//! let parsed: Result<Vec<i32>, _> =
+//!     cordoba_par::try_par_map(&["1", "2"], |s| s.parse::<i32>());
+//! assert_eq!(parsed.unwrap(), vec![1, 2]);
+//! ```
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Inputs shorter than this run sequentially even when more threads are
+/// available: spawn/join overhead (~10 µs per thread) dwarfs per-item work
+/// for tiny sweeps, and the output is identical either way.
+pub const MIN_PARALLEL_LEN: usize = 16;
+
+/// Process-wide thread-count override; 0 means "auto" (all cores).
+static CONFIGURED_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Memoized [`std::thread::available_parallelism`]; 0 means "not yet
+/// queried". The std call re-reads cgroup quota files on Linux (tens of
+/// microseconds), which would dominate small sweeps if paid per map.
+static AUTO_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Overrides the process-wide worker-thread count used by the non-`_with`
+/// entry points. `None` restores the default (all available cores).
+///
+/// The CLI's `--threads N` flag calls this once at startup. Because every
+/// map is order-preserving, changing the count never changes results —
+/// only wall-clock time.
+pub fn set_threads(threads: Option<NonZeroUsize>) {
+    CONFIGURED_THREADS.store(threads.map_or(0, NonZeroUsize::get), Ordering::Relaxed);
+}
+
+/// The explicit override installed by [`set_threads`], if any.
+#[must_use]
+pub fn configured_threads() -> Option<NonZeroUsize> {
+    NonZeroUsize::new(CONFIGURED_THREADS.load(Ordering::Relaxed))
+}
+
+/// The worker-thread count the non-`_with` entry points will use: the
+/// [`set_threads`] override if present, otherwise
+/// [`std::thread::available_parallelism`], otherwise 1.
+#[must_use]
+pub fn effective_threads() -> usize {
+    match configured_threads() {
+        Some(n) => n.get(),
+        None => match AUTO_THREADS.load(Ordering::Relaxed) {
+            0 => {
+                let auto = std::thread::available_parallelism().map_or(1, NonZeroUsize::get);
+                AUTO_THREADS.store(auto, Ordering::Relaxed);
+                auto
+            }
+            cached => cached,
+        },
+    }
+}
+
+/// Maps `f` over `items` in parallel, preserving input order.
+///
+/// Equivalent to `items.iter().map(f).collect()` for any pure `f`; uses
+/// [`effective_threads`] workers.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_map_indexed_with(items, effective_threads(), |_, item| f(item))
+}
+
+/// [`par_map`] with an explicit thread count (1 = sequential).
+pub fn par_map_with<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_map_indexed_with(items, threads, |_, item| f(item))
+}
+
+/// Maps `f(index, item)` over `items` in parallel, preserving input order.
+pub fn par_map_indexed<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    par_map_indexed_with(items, effective_threads(), f)
+}
+
+/// [`par_map_indexed`] with an explicit thread count (1 = sequential).
+///
+/// The input is split into at most `threads` contiguous chunks; each worker
+/// maps its chunk front to back and the chunk results are concatenated in
+/// chunk order, so the output order (and, for a pure `f`, every bit of the
+/// output) is independent of the thread count.
+pub fn par_map_indexed_with<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let threads = threads.clamp(1, items.len().max(1));
+    if threads == 1 || items.len() < MIN_PARALLEL_LEN {
+        return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
+    }
+    let chunk_len = items.len().div_ceil(threads);
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk_len)
+            .enumerate()
+            .map(|(chunk_idx, chunk)| {
+                let base = chunk_idx * chunk_len;
+                scope.spawn(move || {
+                    chunk
+                        .iter()
+                        .enumerate()
+                        .map(|(offset, item)| f(base + offset, item))
+                        .collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        let mut out = Vec::with_capacity(items.len());
+        for handle in handles {
+            match handle.join() {
+                Ok(part) => out.extend(part),
+                // Re-raise a worker panic on the caller, matching the
+                // sequential path's behavior.
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+        out
+    })
+}
+
+/// Fallible parallel map preserving the sequential error contract: on
+/// failure, returns the error of the *first* failing item in input order.
+///
+/// Unlike a sequential `try` loop this evaluates every item before
+/// reporting, but the returned value is identical.
+///
+/// # Errors
+///
+/// Returns the error produced by the earliest (by input index) failing
+/// invocation of `f`.
+pub fn try_par_map<T, R, E, F>(items: &[T], f: F) -> Result<Vec<R>, E>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    F: Fn(&T) -> Result<R, E> + Sync,
+{
+    try_par_map_with(items, effective_threads(), f)
+}
+
+/// [`try_par_map`] with an explicit thread count (1 = sequential).
+///
+/// # Errors
+///
+/// Returns the error produced by the earliest (by input index) failing
+/// invocation of `f`.
+pub fn try_par_map_with<T, R, E, F>(items: &[T], threads: usize, f: F) -> Result<Vec<R>, E>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    F: Fn(&T) -> Result<R, E> + Sync,
+{
+    par_map_with(items, threads, f).into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order_and_values_at_every_thread_count() {
+        let items: Vec<u64> = (0..1000).collect();
+        let expected: Vec<u64> = items.iter().map(|x| x.wrapping_mul(31) ^ 7).collect();
+        for threads in [1, 2, 3, 4, 7, 64, 1000, 5000] {
+            let got = par_map_indexed_with(&items, threads, |i, x| {
+                assert_eq!(*x, i as u64);
+                x.wrapping_mul(31) ^ 7
+            });
+            assert_eq!(got, expected, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map_with(&empty, 8, |x| *x).is_empty());
+        assert_eq!(par_map_with(&[5u32], 8, |x| x + 1), vec![6]);
+        // Below the cutoff the calling thread does all the work.
+        let caller = std::thread::current().id();
+        let ids = par_map_with(&[1, 2, 3], 8, |_| std::thread::current().id());
+        assert!(ids.iter().all(|id| *id == caller));
+    }
+
+    #[test]
+    fn float_results_are_bit_identical_across_thread_counts() {
+        let items: Vec<f64> = (0..500).map(|i| f64::from(i) * 0.1 + 0.3).collect();
+        let work = |x: &f64| (x.sin() * x.exp()).ln_1p() / (x + 1.0);
+        let seq: Vec<u64> = items.iter().map(|x| work(x).to_bits()).collect();
+        for threads in [2, 3, 8] {
+            let par: Vec<u64> = par_map_with(&items, threads, work)
+                .into_iter()
+                .map(f64::to_bits)
+                .collect();
+            assert_eq!(par, seq, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn try_map_reports_first_error_in_input_order() {
+        let items: Vec<i64> = (0..200).collect();
+        let f = |x: &i64| {
+            if *x % 71 == 13 {
+                Err(*x)
+            } else {
+                Ok(x * 2)
+            }
+        };
+        for threads in [1, 2, 4, 16] {
+            // 13 and 84 and 155 fail; 13 is first in input order.
+            assert_eq!(try_par_map_with(&items, threads, f), Err(13));
+        }
+        let clean: Vec<i64> = (0..100).collect();
+        let ok = try_par_map_with(&clean, 4, |x| Ok::<_, ()>(x + 1)).unwrap();
+        assert_eq!(ok, (1..=100).collect::<Vec<i64>>());
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_caller() {
+        let items: Vec<u32> = (0..100).collect();
+        let result = std::panic::catch_unwind(|| {
+            par_map_with(&items, 4, |x| {
+                assert!(*x != 57, "boom");
+                *x
+            })
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn global_thread_configuration_round_trips() {
+        assert!(effective_threads() >= 1);
+        set_threads(NonZeroUsize::new(3));
+        assert_eq!(configured_threads(), NonZeroUsize::new(3));
+        assert_eq!(effective_threads(), 3);
+        set_threads(None);
+        assert_eq!(configured_threads(), None);
+        assert!(effective_threads() >= 1);
+    }
+
+    #[test]
+    fn uses_multiple_threads_for_large_inputs() {
+        use std::collections::HashSet;
+        let items: Vec<u32> = (0..256).collect();
+        let ids = par_map_with(&items, 4, |_| {
+            // A short stall so chunks overlap in time rather than one
+            // worker finishing before the next spawns.
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            std::thread::current().id()
+        });
+        let distinct: HashSet<_> = ids.into_iter().collect();
+        assert!(distinct.len() > 1, "expected work on more than one thread");
+    }
+}

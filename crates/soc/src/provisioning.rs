@@ -77,6 +77,11 @@ impl ProvisioningRow {
 
 /// Sweeps core counts 4..=8 for `app` under `deployment`.
 ///
+/// Each core count is an independent trace replay, so the rows are
+/// evaluated in parallel (see [`cordoba_par`]); the returned list is in
+/// ascending core order and identical to the sequential sweep at every
+/// thread count.
+///
 /// # Errors
 ///
 /// Propagates model-construction errors (cannot occur for the default
@@ -84,8 +89,8 @@ impl ProvisioningRow {
 pub fn sweep(app: &VrApp, deployment: &Deployment) -> Result<Vec<ProvisioningRow>, CarbonError> {
     let usage = UsageProfile::from_daily_hours(deployment.lifetime_years, app.daily_hours)?;
     let sessions = usage.operational_time().value() / app.session.value();
-    let mut rows = Vec::with_capacity(5);
-    for cores in 4..=8 {
+    let core_counts: Vec<u32> = (4..=8).collect();
+    cordoba_par::try_par_map(&core_counts, |&cores| {
         let soc = SocConfig::provisioned(cores)?;
         let ScheduleResult {
             duration, energy, ..
@@ -96,7 +101,7 @@ pub fn sweep(app: &VrApp, deployment: &Deployment) -> Result<Vec<ProvisioningRow
         let lifetime_energy = energy * sessions;
         let operational = operational_carbon(deployment.ci_use, lifetime_energy);
         let total = embodied + operational;
-        rows.push(ProvisioningRow {
+        Ok(ProvisioningRow {
             cores,
             soc,
             delay: duration,
@@ -105,9 +110,8 @@ pub fn sweep(app: &VrApp, deployment: &Deployment) -> Result<Vec<ProvisioningRow
             operational,
             tcdp: total * duration,
             edp: energy.value() * duration.value(),
-        });
-    }
-    Ok(rows)
+        })
+    })
 }
 
 /// The core count with the lowest tCDP in `rows`.
