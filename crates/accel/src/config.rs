@@ -4,7 +4,12 @@
 use crate::params::{TechTuning, MACS_PER_UNIT};
 use cordoba_carbon::embodied::{Assembly, Die, EmbodiedModel};
 use cordoba_carbon::fab::ProcessNode;
-use cordoba_carbon::units::{Bytes, GramsCo2e, SquareCentimeters, SquareMillimeters, Watts};
+use cordoba_carbon::integral::{operational_carbon_exact, CiIntegral};
+use cordoba_carbon::lifetime::UsageProfile;
+use cordoba_carbon::operational::DutyCycledPower;
+use cordoba_carbon::units::{
+    Bytes, GramsCo2e, Seconds, SquareCentimeters, SquareMillimeters, Watts,
+};
 use cordoba_carbon::CarbonError;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -210,6 +215,32 @@ impl AcceleratorConfig {
             + self.tuning.leakage_per_sram_mib * self.sram.to_mebibytes()
     }
 
+    /// Exact lifetime operational carbon under a time-varying grid: the
+    /// accelerator draws `active` power for the usage profile's active
+    /// fraction of each day and its own [leakage
+    /// power](Self::leakage_power) the rest, integrated against `ci` over
+    /// the full deployed lifetime with the closed-form kernel
+    /// ([`operational_carbon_exact`]) — no sampling error, O(days) segment
+    /// visits.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `active` is negative (duty-cycle validation).
+    pub fn lifetime_operational_carbon(
+        &self,
+        active: Watts,
+        usage: &UsageProfile,
+        ci: &dyn CiIntegral,
+    ) -> Result<GramsCo2e, CarbonError> {
+        let profile = DutyCycledPower::new(
+            active,
+            self.leakage_power(),
+            Seconds::from_days(1.0),
+            usage.active_fraction(),
+        )?;
+        Ok(operational_carbon_exact(ci, &profile, usage.lifetime()))
+    }
+
     /// The dice of this design, for embodied-carbon accounting.
     ///
     /// # Errors
@@ -371,6 +402,39 @@ mod tests {
         assert!(big.value() > small.value());
         let expected = 0.020 + 64.0 * 0.002 + 64.0 * 0.008;
         assert!((big.value() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lifetime_operational_carbon_matches_closed_form_for_constant_ci() {
+        use cordoba_carbon::intensity::{grids, ConstantCi};
+        use cordoba_carbon::operational::operational_carbon;
+
+        let c = cfg(8, 2.0);
+        let usage = UsageProfile::from_daily_hours(3.0, 6.0).unwrap();
+        let active = Watts::new(8.3);
+        let got = c
+            .lifetime_operational_carbon(active, &usage, &ConstantCi::new(grids::US_AVERAGE))
+            .unwrap();
+        // Constant CI: exactly `CI * (E_active + E_idle)`.
+        let energy = active * usage.operational_time() + c.leakage_power() * usage.off_time();
+        let expected = operational_carbon(grids::US_AVERAGE, energy);
+        assert!((got.value() - expected.value()).abs() / expected.value() < 1e-9);
+    }
+
+    #[test]
+    fn cleaner_grids_cut_lifetime_operational_carbon() {
+        use cordoba_carbon::intensity::{grids, ConstantCi};
+
+        let c = cfg(8, 2.0);
+        let usage = UsageProfile::from_daily_hours(3.0, 6.0).unwrap();
+        let active = Watts::new(8.3);
+        let coal = c
+            .lifetime_operational_carbon(active, &usage, &ConstantCi::new(grids::COAL))
+            .unwrap();
+        let wind = c
+            .lifetime_operational_carbon(active, &usage, &ConstantCi::new(grids::WIND))
+            .unwrap();
+        assert!(coal.value() > wind.value());
     }
 
     #[test]

@@ -95,7 +95,7 @@ fn ci_profile_ablation() {
     let power =
         DutyCycledPower::daily(Watts::new(8.3), Watts::ZERO, 2.0).expect("valid duty cycle");
     let life = usage.lifetime();
-    let profiles: Vec<(&str, Box<dyn CiSource>)> = vec![
+    let profiles: Vec<(&str, Box<dyn CiIntegral>)> = vec![
         (
             "constant US grid",
             Box::new(ConstantCi::new(grids::US_AVERAGE)),
@@ -117,15 +117,14 @@ fn ci_profile_ablation() {
         ),
         ("always solar", Box::new(ConstantCi::new(grids::SOLAR))),
     ];
-    let baseline =
-        operational_carbon_profile(&ConstantCi::new(grids::US_AVERAGE), &power, life, 20_000);
+    let baseline = operational_carbon_exact(&ConstantCi::new(grids::US_AVERAGE), &power, life);
     let mut t = Table::new(vec![
         "ci_profile".into(),
         "operational_gco2e".into(),
         "vs_constant".into(),
     ]);
     for (name, src) in &profiles {
-        let c = operational_carbon_profile(src.as_ref(), &power, life, 20_000);
+        let c = operational_carbon_exact(src.as_ref(), &power, life);
         t.row(vec![
             (*name).into(),
             fmt_num(c.value()),

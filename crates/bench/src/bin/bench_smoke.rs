@@ -1,14 +1,18 @@
-//! Smoke-mode performance record for the parallel sweep engine.
+//! Smoke-mode performance record for the parallel sweep engine and the
+//! exact-integration carbon kernel.
 //!
 //! Times the headline sweeps with plain wall-clock measurement (the
 //! vendored `criterion` is a stub, so this binary is the source of truth
-//! for recorded numbers) and writes `BENCH_3.json` at the repository
-//! root: a flat map of bench name to median nanoseconds.
+//! for recorded numbers) and writes `BENCH_4.json` at the repository
+//! root: a flat map of bench name to median nanoseconds. If a committed
+//! `BENCH_3.json` is present, an informational comparison is printed (no
+//! gate — the files are usually recorded on different machines).
 //!
-//! Each parallel bench is run twice — once pinned to one worker and once
-//! with the default pool — so the thread-scaling ratio is visible in the
-//! recorded file. On a single-core runner the two entries are expected to
-//! be close; the comparison is a record, not a regression gate.
+//! Each parallel or kernel bench is run twice — once pinned to one worker
+//! and once with the default pool — so the thread-scaling ratio is visible
+//! in the recorded file. The `integral/` and `uncertainty/` groups pair
+//! each exact-kernel measurement with its sampled predecessor, so the
+//! recorded file documents the kernel speedup directly.
 //!
 //! Usage: `cargo run -p cordoba-bench --release --bin bench_smoke [-- --quick]`
 //! where `--quick` trims iteration counts for CI.
@@ -16,7 +20,9 @@
 use cordoba::prelude::*;
 use cordoba_accel::space::design_space;
 use cordoba_carbon::embodied::EmbodiedModel;
-use cordoba_carbon::intensity::grids;
+use cordoba_carbon::integral::CiIntegral;
+use cordoba_carbon::intensity::{grids, CiSource, ConstantCi, SeasonalCi, TraceCi, TrendCi};
+use cordoba_carbon::units::{CarbonIntensity, GramsCo2e, Joules, Seconds, SquareCentimeters};
 use cordoba_workloads::task::Task;
 use std::hint::black_box;
 use std::num::NonZeroUsize;
@@ -51,6 +57,63 @@ fn synthetic_cloud(n: usize) -> Vec<Point2> {
             Point2::new(format!("p{i}"), x, y)
         })
         .collect()
+}
+
+/// A deterministic `n`-sample hourly trace with grid-plausible values.
+fn synthetic_trace(n: usize) -> TraceCi {
+    let mut state = 0x9e37_79b9_7f4a_7c15u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let samples: Vec<(Seconds, CarbonIntensity)> = (0..n)
+        .map(|i| {
+            // Diurnal swing plus bounded measurement noise — smooth enough
+            // that the sampled baseline converges, like a real grid feed.
+            let diurnal = (i as f64 / 24.0 * std::f64::consts::TAU).cos();
+            (
+                Seconds::from_hours(i as f64),
+                CarbonIntensity::new(400.0 + 150.0 * diurnal + next() * 40.0),
+            )
+        })
+        .collect();
+    TraceCi::new(samples).expect("synthetic trace is monotonic")
+}
+
+/// The sampled interval-integral baseline the prefix-sum kernel replaced:
+/// midpoint integration with `samples` `at()` lookups.
+fn sampled_interval_integral(trace: &TraceCi, t0: Seconds, t1: Seconds, samples: usize) -> f64 {
+    let dt = (t1.value() - t0.value()) / samples as f64;
+    let mut sum = 0.0;
+    for i in 0..samples {
+        let tq = t0.value() + (i as f64 + 0.5) * dt;
+        sum += trace.at(Seconds::new(tq)).value();
+    }
+    sum * dt
+}
+
+/// Reads a flat `{"name": nanoseconds, ...}` bench record; empty when the
+/// file is missing or a line does not parse.
+fn read_flat_json(path: &str) -> Vec<(String, u128)> {
+    let Ok(content) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for line in content.lines() {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        let name = name.trim().trim_matches('"');
+        if name.is_empty() {
+            continue;
+        }
+        if let Ok(ns) = value.trim().trim_end_matches(',').parse::<u128>() {
+            out.push((name.to_owned(), ns));
+        }
+    }
+    out
 }
 
 fn main() {
@@ -105,14 +168,151 @@ fn main() {
         }),
     ));
 
+    // integral/trace_integral_10k_x256 — 256 interval integrals over a
+    // 10k-sample trace: two prefix-table lookups each vs the 1024-lookup
+    // midpoint baseline the kernel replaced. Single-threaded work; recorded
+    // under both modes so the file shape matches the other groups.
+    let trace = synthetic_trace(10_000);
+    let (first, last) = trace.span();
+    let span = last.value() - first.value();
+    let intervals: Vec<(Seconds, Seconds)> = (0..256)
+        .map(|i| {
+            let a = first.value() + span * (i as f64 / 256.0) * 0.5;
+            let b = (a + span * 0.25 + (i as f64 + 1.0) * 7.0).min(last.value());
+            (Seconds::new(a), Seconds::new(b))
+        })
+        .collect();
+    // Sanity: the two integrators must agree before being timed.
+    for &(a, b) in &intervals {
+        let exact = trace.integral_over(a, b).value();
+        let approx = sampled_interval_integral(&trace, a, b, 1_024);
+        let scale = exact.abs().max(1.0);
+        assert!(
+            (exact - approx).abs() / scale < 1e-2,
+            "sampled baseline diverged from prefix sums"
+        );
+    }
+    for (label, threads) in thread_modes {
+        cordoba_par::set_threads(threads);
+        results.push((
+            format!("integral/trace_integral_10k_x256/exact/{label}"),
+            median_ns(iters, || {
+                let mut acc = 0.0;
+                for &(a, b) in &intervals {
+                    acc += trace.integral_over(black_box(a), black_box(b)).value();
+                }
+                black_box(acc);
+            }),
+        ));
+        results.push((
+            format!("integral/trace_integral_10k_x256/sampled_1024/{label}"),
+            median_ns(iters, || {
+                let mut acc = 0.0;
+                for &(a, b) in &intervals {
+                    acc += sampled_interval_integral(&trace, black_box(a), black_box(b), 1_024);
+                }
+                black_box(acc);
+            }),
+        ));
+    }
+
+    // uncertainty/source_mc_256 — 256 Monte Carlo draws over time-varying
+    // sources: the exact kernel's O(1) lifetime means vs the 10k-lookup
+    // sampled means each draw used to cost.
+    let point = DesignPoint::new(
+        "bench",
+        Seconds::new(1e-3),
+        Joules::new(0.5),
+        GramsCo2e::new(500.0),
+        SquareCentimeters::new(1.0),
+    )
+    .expect("valid bench point");
+    let flat = ConstantCi::new(grids::US_AVERAGE);
+    let trend = TrendCi::new(grids::COAL, 0.10).expect("valid trend");
+    let seasonal = SeasonalCi::solar_rich();
+    let sources: [&dyn CiIntegral; 3] = [&flat, &trend, &seasonal];
+    let spec = SourceMonteCarloSpec::new(256, 42);
+    for (label, threads) in thread_modes {
+        cordoba_par::set_threads(threads);
+        results.push((
+            format!("uncertainty/source_mc_256/exact/{label}"),
+            median_ns(iters, || {
+                black_box(monte_carlo_source_tcdp(black_box(&point), &sources, &spec).unwrap());
+            }),
+        ));
+        results.push((
+            format!("uncertainty/source_mc_256/sampled_10000/{label}"),
+            median_ns(heavy_iters, || {
+                black_box(
+                    monte_carlo_source_tcdp_sampled_with_threads(
+                        black_box(&point),
+                        &sources,
+                        &spec,
+                        10_000,
+                        cordoba_par::effective_threads(),
+                    )
+                    .unwrap(),
+                );
+            }),
+        ));
+    }
+    cordoba_par::set_threads(None);
+
     let mut json = String::from("{\n");
     for (i, (name, ns)) in results.iter().enumerate() {
         let sep = if i + 1 < results.len() { "," } else { "" };
         json.push_str(&format!("  \"{name}\": {ns}{sep}\n"));
-        println!("{name:<45} {ns:>14} ns");
+        println!("{name:<55} {ns:>14} ns");
     }
     json.push_str("}\n");
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_3.json");
-    std::fs::write(path, &json).expect("write BENCH_3.json");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_4.json");
+    std::fs::write(path, &json).expect("write BENCH_4.json");
     println!("wrote {path}");
+
+    // Exact-vs-sampled kernel speedups, straight from this run's medians.
+    println!("\nkernel speedups (sampled baseline / exact kernel):");
+    let lookup = |name: &str| {
+        results
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, ns)| ns as f64)
+    };
+    for (group, exact, sampled) in [
+        (
+            "integral/trace_integral_10k_x256",
+            "integral/trace_integral_10k_x256/exact",
+            "integral/trace_integral_10k_x256/sampled_1024",
+        ),
+        (
+            "uncertainty/source_mc_256",
+            "uncertainty/source_mc_256/exact",
+            "uncertainty/source_mc_256/sampled_10000",
+        ),
+    ] {
+        for (label, _) in thread_modes {
+            if let (Some(e), Some(s)) = (
+                lookup(&format!("{exact}/{label}")),
+                lookup(&format!("{sampled}/{label}")),
+            ) {
+                println!("  {group} [{label}]: {:.1}x", s / e.max(1.0));
+            }
+        }
+    }
+
+    // Informational comparison against the previous recorded file; the
+    // shared names are the carried-over sweep benches.
+    let previous = read_flat_json(concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_3.json"));
+    if previous.is_empty() {
+        println!("\nno BENCH_3.json found; skipping comparison");
+    } else {
+        println!("\nvs BENCH_3.json (informational, not a gate):");
+        for (name, old_ns) in &previous {
+            if let Some(new_ns) = lookup(name) {
+                println!(
+                    "  {name:<45} {old_ns:>12} -> {new_ns:>12.0} ns ({:+.1}%)",
+                    (new_ns - *old_ns as f64) / *old_ns as f64 * 100.0
+                );
+            }
+        }
+    }
 }

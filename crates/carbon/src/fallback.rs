@@ -12,8 +12,9 @@
 //! source.
 
 use crate::error::CarbonError;
+use crate::integral::CiIntegral;
 use crate::intensity::{CiSource, ConstantCi, DiurnalCi, TraceCi};
-use crate::units::{CarbonIntensity, Seconds};
+use crate::units::{CarbonIntensity, CarbonIntensitySeconds, Seconds};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -23,7 +24,7 @@ struct Tier {
     /// Human-readable name used in health reports.
     label: String,
     /// The underlying intensity source.
-    source: Box<dyn CiSource>,
+    source: Box<dyn CiIntegral>,
     /// Inclusive `[from, until]` validity window; `None` means always valid.
     window: Option<(Seconds, Seconds)>,
     /// Queries this tier answered.
@@ -53,7 +54,7 @@ pub struct FallbackCiBuilder {
 impl FallbackCiBuilder {
     /// Appends an always-valid tier.
     #[must_use]
-    pub fn tier(mut self, label: impl Into<String>, source: Box<dyn CiSource>) -> Self {
+    pub fn tier(mut self, label: impl Into<String>, source: Box<dyn CiIntegral>) -> Self {
         self.tiers.push(Tier {
             label: label.into(),
             source,
@@ -69,7 +70,7 @@ impl FallbackCiBuilder {
     pub fn tier_within(
         mut self,
         label: impl Into<String>,
-        source: Box<dyn CiSource>,
+        source: Box<dyn CiIntegral>,
         from: Seconds,
         until: Seconds,
     ) -> Self {
@@ -219,6 +220,61 @@ impl CiSource for FallbackCi {
     }
 }
 
+impl CiIntegral for FallbackCi {
+    /// Exact interval integral through the chain.
+    ///
+    /// `[t0, t1]` is split at every tier window endpoint that falls strictly
+    /// inside it, so each sub-interval has a fixed covering-tier set. Each
+    /// sub-interval counts as one query: the first covering tier whose
+    /// integral is finite and non-negative serves it (a hit); tiers
+    /// producing invalid integrals are counted as rejected; a sub-interval
+    /// no tier can serve contributes zero and counts as exhausted —
+    /// mirroring [`CiSource::at`]'s accounting so [`FallbackCi::health`]
+    /// sees the integral path too.
+    fn integral_over(&self, t0: Seconds, t1: Seconds) -> CarbonIntensitySeconds {
+        // `partial_cmp` keeps the guard NaN-safe: a NaN bound is not
+        // `Greater`, so the interval is treated as empty.
+        if t1.value().partial_cmp(&t0.value()) != Some(std::cmp::Ordering::Greater) {
+            return CarbonIntensitySeconds::ZERO;
+        }
+        let mut cuts = vec![t0.value(), t1.value()];
+        for tier in &self.tiers {
+            if let Some((from, until)) = tier.window {
+                for edge in [from.value(), until.value()] {
+                    if edge > t0.value() && edge < t1.value() {
+                        cuts.push(edge);
+                    }
+                }
+            }
+        }
+        cuts.sort_by(f64::total_cmp);
+        cuts.dedup();
+        let mut total = 0.0;
+        for pair in cuts.windows(2) {
+            let (a, b) = (Seconds::new(pair[0]), Seconds::new(pair[1]));
+            self.queries.fetch_add(1, Ordering::Relaxed);
+            let mut served = false;
+            for tier in &self.tiers {
+                if !(tier.covers(a) && tier.covers(b)) {
+                    continue;
+                }
+                let part = tier.source.integral_over(a, b);
+                if part.is_finite() && part.value() >= 0.0 {
+                    tier.hits.fetch_add(1, Ordering::Relaxed);
+                    total += part.value();
+                    served = true;
+                    break;
+                }
+                tier.rejected.fetch_add(1, Ordering::Relaxed);
+            }
+            if !served {
+                self.exhausted.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        CarbonIntensitySeconds::new(total)
+    }
+}
+
 /// Query accounting for one tier of a [`FallbackCi`] chain.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TierHealth {
@@ -350,6 +406,11 @@ mod tests {
                 CarbonIntensity::new(f64::NAN)
             }
         }
+        impl CiIntegral for NanCi {
+            fn integral_over(&self, _t0: Seconds, _t1: Seconds) -> CarbonIntensitySeconds {
+                CarbonIntensitySeconds::new(f64::NAN)
+            }
+        }
 
         let chain = FallbackCi::builder()
             .tier("broken", Box::new(NanCi))
@@ -372,14 +433,25 @@ mod tests {
                 CarbonIntensity::new(-10.0)
             }
         }
+        impl CiIntegral for NegativeCi {
+            fn integral_over(&self, t0: Seconds, t1: Seconds) -> CarbonIntensitySeconds {
+                CarbonIntensity::new(-10.0) * (t1 - t0)
+            }
+        }
 
         let chain = FallbackCi::builder()
             .tier("negative", Box::new(NegativeCi))
             .build()
             .unwrap();
         assert_eq!(chain.at(Seconds::new(5.0)), CarbonIntensity::ZERO);
+        // The integral path also rejects the negative tier and serves zero.
+        assert_eq!(
+            chain.integral_over(Seconds::ZERO, Seconds::new(10.0)),
+            CarbonIntensitySeconds::ZERO
+        );
         let health = chain.health();
-        assert_eq!(health.exhausted, 1);
+        assert_eq!(health.exhausted, 2);
+        assert_eq!(health.tiers[0].rejected, 2);
         assert!(health.degraded());
     }
 
@@ -407,5 +479,47 @@ mod tests {
         let chain = FallbackCi::standard(short_trace(), None, grids::US_AVERAGE).unwrap();
         let mean = chain.mean_over(Seconds::new(100.0), 100);
         assert!(mean.value() > 100.0 && mean.value() < 200.0);
+    }
+
+    #[test]
+    fn interval_integral_falls_through_a_trace_gap() {
+        // The trace covers [0, 100] s; integrating over [50, 150] s must
+        // split at the window edge, serve the first half from the trace and
+        // the second from the diurnal tier, and account both.
+        let diurnal =
+            DiurnalCi::new(CarbonIntensity::new(400.0), CarbonIntensity::new(100.0)).unwrap();
+        let chain = FallbackCi::standard(
+            short_trace(),
+            Some(DiurnalCi::new(CarbonIntensity::new(400.0), CarbonIntensity::new(100.0)).unwrap()),
+            grids::US_AVERAGE,
+        )
+        .unwrap();
+        let total = chain.integral_over(Seconds::new(50.0), Seconds::new(150.0));
+        let trace_part = short_trace().integral_over(Seconds::new(50.0), Seconds::new(100.0));
+        let diurnal_part = diurnal.integral_over(Seconds::new(100.0), Seconds::new(150.0));
+        let expected = trace_part.value() + diurnal_part.value();
+        assert!((total.value() - expected).abs() < 1e-9 * expected.abs().max(1.0));
+
+        let health = chain.health();
+        assert_eq!(health.queries, 2);
+        assert_eq!(health.tiers[0].hits, 1, "trace serves [50, 100]");
+        assert_eq!(health.tiers[1].hits, 1, "diurnal serves [100, 150]");
+        assert_eq!(health.exhausted, 0);
+        assert!(health.degraded());
+    }
+
+    #[test]
+    fn interval_integral_matches_mean_exact_through_the_chain() {
+        let chain = FallbackCi::standard(short_trace(), None, grids::US_AVERAGE).unwrap();
+        // Fully inside the trace span: exact trapezoid of the linear ramp.
+        let inside = chain.integral_over(Seconds::ZERO, Seconds::new(100.0));
+        assert!((inside.value() - 150.0 * 100.0).abs() < 1e-9);
+        // Empty and inverted intervals serve zero without touching health.
+        let before = chain.health().queries;
+        assert_eq!(
+            chain.integral_over(Seconds::new(5.0), Seconds::new(5.0)),
+            CarbonIntensitySeconds::ZERO
+        );
+        assert_eq!(chain.health().queries, before);
     }
 }

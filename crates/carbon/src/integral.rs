@@ -1,0 +1,332 @@
+//! Exact-integration kernel for operational carbon (eq. IV.7 without
+//! sampling error).
+//!
+//! Every time-varying operational-carbon number in CORDOBA is an integral
+//! `∫ CI(t)·P(t) dt`. The sampled estimators ([`CiSource::mean_over`],
+//! [`crate::operational::PowerProfile::energy_over`],
+//! [`crate::operational::operational_carbon_profile`]) approximate it with
+//! thousands of midpoint lookups per evaluation; this module computes it in
+//! closed form:
+//!
+//! * [`CiIntegral`] — exact `∫ CI(t) dt` over an arbitrary interval, with
+//!   closed-form antiderivatives for the analytic sources (cosine and
+//!   exponential terms integrate analytically) and an O(log n) prefix-sum
+//!   lookup for traces;
+//! * [`PowerIntegral`] — exact `∫ P(t) dt` plus enumeration of a profile's
+//!   maximal constant-power segments;
+//! * [`operational_carbon_exact`] — the eq. IV.7 product, computed by
+//!   splitting the lifetime at power-segment boundaries and applying the CI
+//!   integral exactly on each constant-power piece.
+//!
+//! The sampled defaults remain in the API as *executable specifications*:
+//! the property suite (`tests/prop_integral.rs`) asserts they converge to
+//! these kernels as the sample count grows, and match exactly for constant
+//! sources.
+
+use crate::intensity::CiSource;
+use crate::operational::PowerProfile;
+use crate::units::{CarbonIntensity, CarbonIntensitySeconds, GramsCo2e, Joules, Seconds, Watts};
+
+/// Antiderivative of `e^{k·t}` evaluated at `t`, for `k <= 0` (decline
+/// rates are non-negative, so the exponent never grows).
+///
+/// For `k < 0` this is `e^{k·t}/k`; at `k = 0` the integrand is constant 1
+/// and the antiderivative is `t` itself. The branch is on sign rather than
+/// float equality: `k` is computed as `ln(1 - decline)/year`, which is
+/// exactly `0.0` when `decline == 0` and strictly negative otherwise.
+pub(crate) fn exp_antideriv(k: f64, t: f64) -> f64 {
+    if k < 0.0 {
+        (k * t).exp() / k
+    } else {
+        t
+    }
+}
+
+/// Antiderivative of `e^{k·t}·cos(w·t)` evaluated at `t`:
+/// `e^{k·t}·(k·cos(w·t) + w·sin(w·t)) / (k² + w²)`, valid for `w != 0`
+/// (and in particular for `k = 0`, where it reduces to `sin(w·t)/w`).
+pub(crate) fn exp_cos_antideriv(k: f64, w: f64, t: f64) -> f64 {
+    let e = (k * t).exp();
+    e * (k * (w * t).cos() + w * (w * t).sin()) / (k * k + w * w)
+}
+
+/// A carbon-intensity source whose time integral is available in closed
+/// form (or amortized closed form, for prefix-summed traces).
+///
+/// Implementations must satisfy `integral_over(a, b) + integral_over(b, c)
+/// == integral_over(a, c)` up to rounding, and agree with the sampled
+/// [`CiSource::mean_over`] estimator in the limit of infinitely many
+/// samples. `Send + Sync` is required so scenario sets can be evaluated by
+/// parallel Monte Carlo workers.
+///
+/// # Examples
+///
+/// ```
+/// use cordoba_carbon::integral::CiIntegral;
+/// use cordoba_carbon::intensity::{grids, ConstantCi};
+/// use cordoba_carbon::units::Seconds;
+///
+/// let ci = ConstantCi::new(grids::US_AVERAGE);
+/// let integral = ci.integral_over(Seconds::ZERO, Seconds::from_hours(1.0));
+/// assert!((integral.value() - 380.0 * 3_600.0).abs() < 1e-6);
+/// ```
+pub trait CiIntegral: CiSource + Send + Sync {
+    /// Exact `∫ CI(t) dt` over `[t0, t1]` (signed: swapping the bounds
+    /// negates the result).
+    #[must_use]
+    fn integral_over(&self, t0: Seconds, t1: Seconds) -> CarbonIntensitySeconds;
+
+    /// Exact mean intensity over `[t0, t1]` — the closed-form counterpart
+    /// of [`CiSource::mean_over`].
+    ///
+    /// For an empty interval (`t1 <= t0`) this degenerates to the point
+    /// value `at(t0)`.
+    #[must_use]
+    fn mean_exact(&self, t0: Seconds, t1: Seconds) -> CarbonIntensity {
+        let dt = t1 - t0;
+        if dt.value() > 0.0 {
+            self.integral_over(t0, t1) / dt
+        } else {
+            self.at(t0)
+        }
+    }
+}
+
+/// One maximal constant-power stretch of a piecewise-constant profile.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerSegment {
+    /// Segment start time.
+    pub start: Seconds,
+    /// Segment end time (`end > start`).
+    pub end: Seconds,
+    /// The constant draw across the segment.
+    pub power: Watts,
+}
+
+impl PowerSegment {
+    /// The segment's duration.
+    #[must_use]
+    pub fn duration(&self) -> Seconds {
+        self.end - self.start
+    }
+}
+
+/// A power profile whose energy integral is available in closed form and
+/// whose shape decomposes into constant-power segments.
+///
+/// The segment decomposition is what makes the eq. IV.7 product integral
+/// exact: on a constant-power segment, `∫ CI(t)·P dt = P·∫ CI(t) dt`, and
+/// the CI factor comes from [`CiIntegral`].
+pub trait PowerIntegral: PowerProfile + Send + Sync {
+    /// Exact `∫ P(t) dt` over `[t0, t1]` — the closed-form counterpart of
+    /// the sampled [`PowerProfile::energy_over`] (which always starts at
+    /// `t = 0`).
+    #[must_use]
+    fn energy_integral(&self, t0: Seconds, t1: Seconds) -> Joules;
+
+    /// Visits the maximal constant-power segments covering `[t0, t1]`, in
+    /// increasing time order. Does nothing when `t1 <= t0` (or either bound
+    /// is NaN).
+    fn for_each_segment(&self, t0: Seconds, t1: Seconds, visit: &mut dyn FnMut(PowerSegment));
+}
+
+/// Exact operational carbon for a time-varying intensity and a
+/// piecewise-constant power profile over `[0, lifetime]` (eq. IV.7):
+/// the lifetime is split at the profile's segment boundaries and each
+/// constant-power segment contributes `P · ∫ CI(t) dt` exactly.
+///
+/// This replaces the sampled
+/// [`crate::operational::operational_carbon_profile`], which remains as the
+/// executable specification the property suite checks convergence against.
+///
+/// # Examples
+///
+/// ```
+/// use cordoba_carbon::integral::operational_carbon_exact;
+/// use cordoba_carbon::intensity::{grids, ConstantCi};
+/// use cordoba_carbon::operational::{operational_carbon, ConstantPower};
+/// use cordoba_carbon::units::{Seconds, Watts};
+///
+/// let ci = ConstantCi::new(grids::US_AVERAGE);
+/// let p = ConstantPower::new(Watts::new(8.3));
+/// let life = Seconds::from_hours(1.0);
+/// let exact = operational_carbon_exact(&ci, &p, life);
+/// let closed = operational_carbon(grids::US_AVERAGE, Watts::new(8.3) * life);
+/// assert!((exact.value() - closed.value()).abs() < 1e-9);
+/// ```
+#[must_use]
+pub fn operational_carbon_exact(
+    ci: &dyn CiIntegral,
+    power: &dyn PowerIntegral,
+    lifetime: Seconds,
+) -> GramsCo2e {
+    let mut total = GramsCo2e::ZERO;
+    power.for_each_segment(Seconds::ZERO, lifetime, &mut |seg| {
+        total += ci
+            .integral_over(seg.start, seg.end)
+            .carbon_at_power(seg.power);
+    });
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::intensity::{grids, ConstantCi, DiurnalCi, SeasonalCi, TrendCi};
+    use crate::operational::{
+        operational_carbon, operational_carbon_profile, ConstantPower, DutyCycledPower,
+    };
+    use crate::units::SECONDS_PER_DAY;
+
+    #[test]
+    fn antiderivative_helpers_match_numeric_quadrature() {
+        // ∫_0^T e^{kt} dt and ∫_0^T e^{kt} cos(wt) dt vs a fine midpoint sum.
+        let quad = |f: &dyn Fn(f64) -> f64, t0: f64, t1: f64| {
+            let n = 200_000;
+            let dt = (t1 - t0) / f64::from(n);
+            (0..n)
+                .map(|i| f(t0 + (f64::from(i) + 0.5) * dt) * dt)
+                .sum::<f64>()
+        };
+        for (k, w, t0, t1) in [
+            (0.0, 2.0, 0.0, 3.0),
+            (-0.5, 1.0, 0.5, 4.0),
+            (-1e-3, 7.3, -2.0, 2.0),
+        ] {
+            let exact = exp_antideriv(k, t1) - exp_antideriv(k, t0);
+            let numeric = quad(&|t| (k * t).exp(), t0, t1);
+            assert!(
+                (exact - numeric).abs() < 1e-6,
+                "exp k={k}: {exact} vs {numeric}"
+            );
+
+            let exact = exp_cos_antideriv(k, w, t1) - exp_cos_antideriv(k, w, t0);
+            let numeric = quad(&|t| (k * t).exp() * (w * t).cos(), t0, t1);
+            assert!(
+                (exact - numeric).abs() < 1e-6,
+                "exp·cos k={k} w={w}: {exact} vs {numeric}"
+            );
+        }
+    }
+
+    #[test]
+    fn mean_exact_degenerates_to_point_value_on_empty_interval() {
+        let ci = DiurnalCi::new(CarbonIntensity::new(400.0), CarbonIntensity::new(100.0)).unwrap();
+        let t = Seconds::from_hours(5.0);
+        assert_eq!(ci.mean_exact(t, t), ci.at(t));
+        // Inverted interval also degenerates rather than dividing by a
+        // negative duration.
+        assert_eq!(ci.mean_exact(t, Seconds::ZERO), ci.at(t));
+    }
+
+    #[test]
+    fn integrals_are_additive_over_adjacent_intervals() {
+        let seasonal = SeasonalCi::solar_rich();
+        let (a, b, c) = (
+            Seconds::from_days(3.0),
+            Seconds::from_days(40.0),
+            Seconds::from_days(400.0),
+        );
+        let split = seasonal.integral_over(a, b) + seasonal.integral_over(b, c);
+        let whole = seasonal.integral_over(a, c);
+        assert!((split.value() - whole.value()).abs() / whole.value() < 1e-12);
+        // Swapped bounds negate.
+        let reversed = seasonal.integral_over(c, a);
+        assert!((reversed.value() + whole.value()).abs() / whole.value() < 1e-12);
+    }
+
+    #[test]
+    fn exact_product_matches_closed_form_for_constants() {
+        let ci = ConstantCi::new(grids::US_AVERAGE);
+        let p = ConstantPower::new(Watts::new(10.0));
+        let life = Seconds::from_days(30.0);
+        let exact = operational_carbon_exact(&ci, &p, life);
+        let closed = operational_carbon(grids::US_AVERAGE, Watts::new(10.0) * life);
+        assert!((exact.value() - closed.value()).abs() / closed.value() < 1e-12);
+    }
+
+    #[test]
+    fn exact_product_is_the_limit_of_the_sampled_profile_integral() {
+        let ci = DiurnalCi::new(CarbonIntensity::new(380.0), CarbonIntensity::new(120.0)).unwrap();
+        let p = DutyCycledPower::daily(Watts::new(8.3), Watts::new(0.5), 2.0).unwrap();
+        let life = Seconds::from_days(5.0);
+        let exact = operational_carbon_exact(&ci, &p, life);
+        let mut last_err = f64::INFINITY;
+        for steps in [1_000, 10_000, 100_000] {
+            let sampled = operational_carbon_profile(&ci, &p, life, steps);
+            let err = (sampled.value() - exact.value()).abs() / exact.value();
+            assert!(
+                err < last_err * 2.0,
+                "error should tighten: {err} after {last_err}"
+            );
+            last_err = err;
+        }
+        assert!(last_err < 1e-3, "final relative error {last_err}");
+    }
+
+    #[test]
+    fn duty_cycle_segments_tile_the_interval() {
+        let p = DutyCycledPower::new(Watts::new(4.0), Watts::new(1.0), Seconds::new(10.0), 0.3)
+            .unwrap();
+        let mut segments: Vec<PowerSegment> = Vec::new();
+        p.for_each_segment(Seconds::new(2.0), Seconds::new(27.0), &mut |s| {
+            segments.push(s);
+        });
+        // Segments are ordered, contiguous, and alternate with the duty shape.
+        assert_eq!(segments.first().unwrap().start, Seconds::new(2.0));
+        assert_eq!(segments.last().unwrap().end, Seconds::new(27.0));
+        for pair in segments.windows(2) {
+            assert_eq!(pair[0].end, pair[1].start);
+        }
+        // Each segment's power matches the profile at its midpoint.
+        for seg in &segments {
+            let mid_t = 0.5 * (seg.start.value() + seg.end.value());
+            assert_eq!(seg.power, p.at(Seconds::new(mid_t)), "segment {seg:?}");
+        }
+        // And the segment energies sum to the closed-form energy integral.
+        let summed: Joules = segments.iter().map(|s| s.power * s.duration()).sum();
+        let exact = p.energy_integral(Seconds::new(2.0), Seconds::new(27.0));
+        assert!((summed.value() - exact.value()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_duty_cycles_produce_single_power_segments() {
+        for (duty, expect) in [(0.0, 1.0), (1.0, 4.0)] {
+            let p =
+                DutyCycledPower::new(Watts::new(4.0), Watts::new(1.0), Seconds::new(10.0), duty)
+                    .unwrap();
+            let mut powers: Vec<f64> = Vec::new();
+            p.for_each_segment(Seconds::ZERO, Seconds::new(25.0), &mut |s| {
+                powers.push(s.power.value());
+            });
+            assert!(
+                powers.iter().all(|&w| (w - expect).abs() < 1e-12),
+                "duty {duty}: {powers:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_or_nan_interval_visits_no_segments() {
+        let p = DutyCycledPower::daily(Watts::new(2.0), Watts::new(1.0), 6.0).unwrap();
+        let mut count = 0usize;
+        let day = Seconds::new(SECONDS_PER_DAY);
+        p.for_each_segment(day, day, &mut |_| count += 1);
+        p.for_each_segment(day, Seconds::ZERO, &mut |_| count += 1);
+        p.for_each_segment(Seconds::new(f64::NAN), day, &mut |_| count += 1);
+        assert_eq!(count, 0);
+        assert_eq!(
+            operational_carbon_exact(&ConstantCi::new(grids::WIND), &p, Seconds::ZERO),
+            GramsCo2e::ZERO
+        );
+    }
+
+    #[test]
+    fn trend_integral_handles_zero_decline_exactly() {
+        let flat = TrendCi::new(grids::US_AVERAGE, 0.0).unwrap();
+        let life = Seconds::from_years(3.0);
+        let integral = flat.integral_over(Seconds::ZERO, life);
+        let expected = grids::US_AVERAGE * life;
+        assert!((integral.value() - expected.value()).abs() / expected.value() < 1e-15);
+    }
+}

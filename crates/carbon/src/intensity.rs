@@ -7,7 +7,10 @@
 //! implementations, plus published grid-average constants in [`grids`].
 
 use crate::error::CarbonError;
-use crate::units::{count_f64, CarbonIntensity, Seconds, SECONDS_PER_DAY, SECONDS_PER_YEAR};
+use crate::integral::{exp_antideriv, exp_cos_antideriv, CiIntegral};
+use crate::units::{
+    count_f64, CarbonIntensity, CarbonIntensitySeconds, Seconds, SECONDS_PER_DAY, SECONDS_PER_YEAR,
+};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -92,6 +95,18 @@ impl CiSource for ConstantCi {
     }
 }
 
+impl CiIntegral for ConstantCi {
+    fn integral_over(&self, t0: Seconds, t1: Seconds) -> CarbonIntensitySeconds {
+        self.intensity * (t1 - t0)
+    }
+
+    /// The mean of a constant is the constant, bit-exactly (no round trip
+    /// through multiply-then-divide).
+    fn mean_exact(&self, _t0: Seconds, _t1: Seconds) -> CarbonIntensity {
+        self.intensity
+    }
+}
+
 impl From<CarbonIntensity> for ConstantCi {
     fn from(intensity: CarbonIntensity) -> Self {
         Self::new(intensity)
@@ -142,6 +157,17 @@ impl CiSource for DiurnalCi {
     }
 }
 
+impl CiIntegral for DiurnalCi {
+    /// `∫ (m + a·cos(ωt)) dt = m·Δt + (a/ω)·(sin ωt₁ − sin ωt₀)`, here via
+    /// the shared `e^{kt}·cos(ωt)` antiderivative at `k = 0`.
+    fn integral_over(&self, t0: Seconds, t1: Seconds) -> CarbonIntensitySeconds {
+        let w = core::f64::consts::TAU / self.period.value();
+        let c1 = exp_cos_antideriv(0.0, w, t1.value());
+        let c0 = exp_cos_antideriv(0.0, w, t0.value());
+        self.mean * (t1 - t0) + self.amplitude * Seconds::new(c1 - c0)
+    }
+}
+
 /// An exponentially decarbonizing grid:
 /// `CI(t) = start * (1 - annual_decline)^(t in years)`.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -177,11 +203,31 @@ impl CiSource for TrendCi {
     }
 }
 
+impl CiIntegral for TrendCi {
+    /// `CI(t) = start·e^{kt}` with `k = ln(1 − decline)/year ≤ 0`, so
+    /// `∫ = start·(e^{kt₁} − e^{kt₀})/k` (and exactly `start·Δt` for a
+    /// zero decline, where `k` is exactly zero).
+    fn integral_over(&self, t0: Seconds, t1: Seconds) -> CarbonIntensitySeconds {
+        let k = (1.0 - self.annual_decline).ln() / SECONDS_PER_YEAR;
+        let e1 = exp_antideriv(k, t1.value());
+        let e0 = exp_antideriv(k, t0.value());
+        self.start * Seconds::new(e1 - e0)
+    }
+}
+
 /// A trace-driven intensity built from `(time, intensity)` samples with
 /// linear interpolation; values are held flat beyond the last sample.
+///
+/// Construction builds a cumulative trapezoid table (`prefix[i]` is the
+/// exact `∫ CI` from the first sample to sample `i`), so point lookups and
+/// interval integrals are both O(log n) binary searches instead of linear
+/// scans.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TraceCi {
     samples: Vec<(Seconds, CarbonIntensity)>,
+    /// `prefix[i] = ∫_{t_first}^{t_i} CI(t) dt` in (gCO2e/kWh)·s; the trace
+    /// is piecewise linear, so each increment is one exact trapezoid.
+    prefix: Vec<f64>,
 }
 
 impl TraceCi {
@@ -207,7 +253,45 @@ impl TraceCi {
         for &(_, ci) in &samples {
             CarbonError::require_in_range("trace intensity", ci.value(), 0.0, f64::MAX)?;
         }
-        Ok(Self { samples })
+        let mut prefix = Vec::with_capacity(samples.len());
+        prefix.push(0.0);
+        let mut acc = 0.0f64;
+        for window in samples.windows(2) {
+            let (t0, c0) = window[0];
+            let (t1, c1) = window[1];
+            acc += 0.5 * (c0.value() + c1.value()) * (t1.value() - t0.value());
+            prefix.push(acc);
+        }
+        Ok(Self { samples, prefix })
+    }
+
+    /// Index of the first sample at or after `t` (`len` when `t` is past
+    /// the last sample; 0 when it is at or before the first, or NaN).
+    fn upper_sample(&self, t: Seconds) -> usize {
+        self.samples
+            .partition_point(|&(ts, _)| ts.value() < t.value())
+    }
+
+    /// `∫ CI` from the first sample's timestamp to `t`, with the boundary
+    /// values extended flat outside the covered span (matching
+    /// [`CiSource::at`]).
+    fn cumulative(&self, t: Seconds) -> f64 {
+        let (first_t, first_c) = self.samples[0];
+        if t.value() <= first_t.value() {
+            return first_c.value() * (t.value() - first_t.value());
+        }
+        let idx = self.upper_sample(t);
+        let Some(&(t1, c1)) = self.samples.get(idx) else {
+            let (last_t, last_c) = self.samples[self.samples.len() - 1];
+            return self.prefix[self.prefix.len() - 1]
+                + last_c.value() * (t.value() - last_t.value());
+        };
+        // t > first_t, so idx >= 1 and (idx-1, idx) brackets t; the partial
+        // trapezoid up to the interpolated value completes the integral.
+        let (t0, c0) = self.samples[idx - 1];
+        let frac = (t.value() - t0.value()) / (t1.value() - t0.value());
+        let ci_at_t = c0.value() + (c1.value() - c0.value()) * frac;
+        self.prefix[idx - 1] + 0.5 * (c0.value() + ci_at_t) * (t.value() - t0.value())
     }
 
     /// The number of samples in the trace.
@@ -236,20 +320,31 @@ impl TraceCi {
 }
 
 impl CiSource for TraceCi {
+    /// O(log n) binary search for the bracketing samples, then the same
+    /// linear interpolation (bit-identically the same arithmetic) as the
+    /// linear scan it replaced.
     fn at(&self, t: Seconds) -> CarbonIntensity {
         let first = self.samples[0];
         if t.value() <= first.0.value() {
             return first.1;
         }
-        for window in self.samples.windows(2) {
-            let (t0, c0) = window[0];
-            let (t1, c1) = window[1];
-            if t.value() <= t1.value() {
-                let frac = (t.value() - t0.value()) / (t1.value() - t0.value());
-                return c0 + (c1 - c0) * frac;
-            }
-        }
-        self.samples[self.samples.len() - 1].1
+        let idx = self.upper_sample(t);
+        let Some(&(t1, c1)) = self.samples.get(idx) else {
+            return self.samples[self.samples.len() - 1].1;
+        };
+        let (t0, c0) = self.samples[idx - 1];
+        let frac = (t.value() - t0.value()) / (t1.value() - t0.value());
+        c0 + (c1 - c0) * frac
+    }
+}
+
+impl CiIntegral for TraceCi {
+    /// Difference of two O(log n) prefix-table lookups; exact for the
+    /// trace's piecewise-linear interpolation (each piece is a trapezoid).
+    fn integral_over(&self, t0: Seconds, t1: Seconds) -> CarbonIntensitySeconds {
+        let c1 = self.cumulative(t1);
+        let c0 = self.cumulative(t0);
+        CarbonIntensitySeconds::new(c1 - c0)
     }
 }
 
@@ -338,6 +433,30 @@ impl CiSource for SeasonalCi {
             * ((1.0 - self.annual_decline).powf(years)
                 * (1.0 + self.diurnal_amplitude * day_phase.cos())
                 * (1.0 + self.seasonal_amplitude * year_phase.cos()))
+    }
+}
+
+impl CiIntegral for SeasonalCi {
+    /// Expanding `e^{kt}·(1 + a_d·cos ω_d t)(1 + a_s·cos ω_s t)` gives four
+    /// analytically integrable terms; the cosine product folds into sum and
+    /// difference frequencies via
+    /// `cos A·cos B = (cos(A−B) + cos(A+B))/2`. All frequencies involved
+    /// (`ω_d`, `ω_s`, `ω_d ± ω_s`) are nonzero, so the shared
+    /// `e^{kt}·cos(ωt)` antiderivative applies throughout.
+    fn integral_over(&self, t0: Seconds, t1: Seconds) -> CarbonIntensitySeconds {
+        let k = (1.0 - self.annual_decline).ln() / SECONDS_PER_YEAR;
+        let wd = core::f64::consts::TAU / SECONDS_PER_DAY;
+        let ws = core::f64::consts::TAU / SECONDS_PER_YEAR;
+        let cross = 0.5 * self.diurnal_amplitude * self.seasonal_amplitude;
+        let antideriv = |t: f64| -> f64 {
+            exp_antideriv(k, t)
+                + self.diurnal_amplitude * exp_cos_antideriv(k, wd, t)
+                + self.seasonal_amplitude * exp_cos_antideriv(k, ws, t)
+                + cross * (exp_cos_antideriv(k, wd - ws, t) + exp_cos_antideriv(k, wd + ws, t))
+        };
+        let f1 = antideriv(t1.value());
+        let f0 = antideriv(t0.value());
+        self.mean * Seconds::new(f1 - f0)
     }
 }
 
@@ -463,6 +582,55 @@ mod tests {
         assert_eq!(trace.at(Seconds::new(5.0)), CarbonIntensity::new(200.0));
         assert_eq!(trace.at(Seconds::new(15.0)), CarbonIntensity::new(250.0));
         assert_eq!(trace.at(Seconds::new(99.0)), CarbonIntensity::new(200.0));
+    }
+
+    #[test]
+    fn single_sample_trace_is_flat_everywhere() {
+        let trace = TraceCi::new(vec![(Seconds::new(50.0), CarbonIntensity::new(321.0))]).unwrap();
+        assert_eq!(trace.len(), 1);
+        for t in [-1e9, 0.0, 50.0, 51.0, 1e12] {
+            assert_eq!(trace.at(Seconds::new(t)), CarbonIntensity::new(321.0));
+        }
+        assert_eq!(trace.span(), (Seconds::new(50.0), Seconds::new(50.0)));
+        // The integral is the flat extension on both sides of the
+        // zero-width span.
+        let integral = trace.integral_over(Seconds::new(40.0), Seconds::new(60.0));
+        assert!((integral.value() - 321.0 * 20.0).abs() < 1e-9);
+        assert_eq!(
+            trace.integral_over(Seconds::new(50.0), Seconds::new(50.0)),
+            CarbonIntensitySeconds::ZERO
+        );
+        // Sampled mean over a span that starts at 0 agrees too.
+        let sampled = trace.mean_over(Seconds::new(100.0), 16);
+        assert!((sampled.value() - 321.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_over_zero_duration_returns_the_point_value() {
+        let diurnal =
+            DiurnalCi::new(CarbonIntensity::new(400.0), CarbonIntensity::new(100.0)).unwrap();
+        // Every midpoint of a zero-length interval is t = 0.
+        let sampled = diurnal.mean_over(Seconds::ZERO, 64);
+        assert!((sampled.value() - diurnal.at(Seconds::ZERO).value()).abs() < 1e-12);
+        assert_eq!(
+            diurnal.mean_exact(Seconds::ZERO, Seconds::ZERO),
+            diurnal.at(Seconds::ZERO)
+        );
+    }
+
+    #[test]
+    fn mean_over_single_sample_is_the_midpoint_value() {
+        let diurnal =
+            DiurnalCi::new(CarbonIntensity::new(400.0), CarbonIntensity::new(100.0)).unwrap();
+        let d = Seconds::from_hours(6.0);
+        assert_eq!(diurnal.mean_over(d, 1), diurnal.at(d / 2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "samples must be > 0")]
+    fn mean_over_zero_samples_panics_as_documented() {
+        let ci = ConstantCi::new(grids::US_AVERAGE);
+        let _ = ci.mean_over(Seconds::from_days(1.0), 0);
     }
 
     #[test]

@@ -45,6 +45,7 @@ pub mod embodied;
 pub mod error;
 pub mod fab;
 pub mod fallback;
+pub mod integral;
 pub mod intensity;
 pub mod lifetime;
 pub mod memory;
@@ -62,6 +63,7 @@ pub mod prelude {
     pub use crate::error::CarbonError;
     pub use crate::fab::{FabProfile, ProcessNode};
     pub use crate::fallback::{FallbackCi, FallbackCiBuilder, FallbackHealth, TierHealth};
+    pub use crate::integral::{operational_carbon_exact, CiIntegral, PowerIntegral, PowerSegment};
     pub use crate::intensity::{
         grids, CiSource, ConstantCi, DiurnalCi, SeasonalCi, TraceCi, TrendCi,
     };
@@ -73,9 +75,9 @@ pub mod prelude {
     };
     pub use crate::sanitize::{Gap, SanitizePolicy, SanitizeReport};
     pub use crate::units::{
-        Bytes, BytesPerSecond, CarbonIntensity, CarbonPerArea, DefectDensity, EnergyPerArea,
-        GramSecondsCo2e, GramsCo2e, Hertz, JouleSeconds, Joules, KilowattHours, Millimeters,
-        Seconds, SquareCentimeters, SquareMillimeters, Watts,
+        Bytes, BytesPerSecond, CarbonIntensity, CarbonIntensitySeconds, CarbonPerArea,
+        DefectDensity, EnergyPerArea, GramSecondsCo2e, GramsCo2e, Hertz, JouleSeconds, Joules,
+        KilowattHours, Millimeters, Seconds, SquareCentimeters, SquareMillimeters, Watts,
     };
     pub use crate::wafer::Wafer;
     pub use crate::yield_model::YieldModel;

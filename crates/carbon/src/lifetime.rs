@@ -64,6 +64,12 @@ impl UsageProfile {
         self.lifetime
     }
 
+    /// Fraction of the lifetime the system is active, in `(0, 1]`.
+    #[must_use]
+    pub fn active_fraction(&self) -> f64 {
+        self.active_fraction
+    }
+
     /// Time the system is off or fully idle (`D_off`).
     #[must_use]
     pub fn off_time(&self) -> Seconds {

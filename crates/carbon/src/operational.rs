@@ -5,6 +5,7 @@
 //! profile: `C_operational = ∫ CI_use(t) P(t) dt`.
 
 use crate::error::CarbonError;
+use crate::integral::{PowerIntegral, PowerSegment};
 use crate::intensity::CiSource;
 use crate::units::{count_f64, CarbonIntensity, GramsCo2e, Joules, Seconds, Watts};
 use serde::{Deserialize, Serialize};
@@ -69,6 +70,22 @@ impl PowerProfile for ConstantPower {
     }
 }
 
+impl PowerIntegral for ConstantPower {
+    fn energy_integral(&self, t0: Seconds, t1: Seconds) -> Joules {
+        self.power * (t1 - t0)
+    }
+
+    fn for_each_segment(&self, t0: Seconds, t1: Seconds, visit: &mut dyn FnMut(PowerSegment)) {
+        if t1.value() > t0.value() {
+            visit(PowerSegment {
+                start: t0,
+                end: t1,
+                power: self.power,
+            });
+        }
+    }
+}
+
 /// A duty-cycled profile: `active` power for the first
 /// `duty` fraction of each period, `idle` power (off-state leakage — the
 /// paper notes idle time still consumes energy) for the rest.
@@ -123,6 +140,22 @@ impl DutyCycledPower {
     }
 }
 
+impl DutyCycledPower {
+    /// Exact `∫ P` from the period-aligned origin to `t`: whole periods at
+    /// the per-period energy plus the partial period's active-then-idle
+    /// split. The profile is periodic over all of `t`, so this works for
+    /// negative times too.
+    fn cumulative_energy(&self, t: Seconds) -> Joules {
+        let cycles = (t.value() / self.period.value()).floor();
+        let phase = t - self.period * cycles;
+        let active_len = self.period * self.duty;
+        let per_period = self.active * active_len + self.idle * (self.period - active_len);
+        let partial = self.active * phase.min(active_len)
+            + self.idle * (phase - active_len).max(Seconds::ZERO);
+        per_period * cycles + partial
+    }
+}
+
 impl PowerProfile for DutyCycledPower {
     fn at(&self, t: Seconds) -> Watts {
         let phase = (t.value() / self.period.value()).rem_euclid(1.0);
@@ -130,6 +163,53 @@ impl PowerProfile for DutyCycledPower {
             self.active
         } else {
             self.idle
+        }
+    }
+}
+
+impl PowerIntegral for DutyCycledPower {
+    fn energy_integral(&self, t0: Seconds, t1: Seconds) -> Joules {
+        self.cumulative_energy(t1) - self.cumulative_energy(t0)
+    }
+
+    /// Walks the periods overlapping `[t0, t1]`, clipping the active
+    /// (`[k·T, k·T + duty·T)`) and idle stretches of each to the requested
+    /// interval — the half-open active window matches
+    /// [`PowerProfile::at`]'s `phase < duty` rule. Zero-width stretches
+    /// (duty 0 or 1) are skipped, so degenerate cycles yield one segment
+    /// per period. O((t1 − t0)/period) segments.
+    fn for_each_segment(&self, t0: Seconds, t1: Seconds, visit: &mut dyn FnMut(PowerSegment)) {
+        // `partial_cmp` keeps the guard NaN-safe: a NaN bound is not
+        // `Greater`, so the interval is treated as empty.
+        if t1.value().partial_cmp(&t0.value()) != Some(std::cmp::Ordering::Greater) {
+            return;
+        }
+        let active_len = self.period * self.duty;
+        let mut cycle = (t0.value() / self.period.value()).floor();
+        loop {
+            let start = self.period * cycle;
+            if start.value() >= t1.value() {
+                break;
+            }
+            let a0 = start.max(t0);
+            let a1 = (start + active_len).min(t1);
+            if a1.value() > a0.value() {
+                visit(PowerSegment {
+                    start: a0,
+                    end: a1,
+                    power: self.active,
+                });
+            }
+            let i0 = (start + active_len).max(t0);
+            let i1 = (start + self.period).min(t1);
+            if i1.value() > i0.value() {
+                visit(PowerSegment {
+                    start: i0,
+                    end: i1,
+                    power: self.idle,
+                });
+            }
+            cycle += 1.0;
         }
     }
 }
@@ -254,5 +334,62 @@ mod tests {
             operational_carbon(grids::COAL, Joules::ZERO),
             GramsCo2e::ZERO
         );
+    }
+
+    #[test]
+    fn energy_over_zero_duration_is_zero() {
+        let p = DutyCycledPower::daily(Watts::new(8.3), Watts::new(0.5), 2.0).unwrap();
+        assert_eq!(p.energy_over(Seconds::ZERO, 100), Joules::ZERO);
+        assert_eq!(
+            p.energy_integral(Seconds::ZERO, Seconds::ZERO),
+            Joules::ZERO
+        );
+    }
+
+    #[test]
+    fn energy_over_one_step_is_the_midpoint_rectangle() {
+        // With a single midpoint sample the whole interval is billed at
+        // `at(duration / 2)`.
+        let p = DutyCycledPower::new(Watts::new(4.0), Watts::new(1.0), Seconds::new(10.0), 0.3)
+            .unwrap();
+        let d = Seconds::new(8.0);
+        let one = p.energy_over(d, 1);
+        let expected = p.at(Seconds::new(4.0)) * d;
+        assert_eq!(one, expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "steps must be > 0")]
+    fn energy_over_zero_steps_panics_as_documented() {
+        let p = ConstantPower::new(Watts::new(1.0));
+        let _ = p.energy_over(Seconds::new(1.0), 0);
+    }
+
+    #[test]
+    fn duty_cycle_exact_energy_matches_hand_count() {
+        // 2 h/day at 8.3 W active, 0.5 W idle: exact over 1 day and over a
+        // partial interval straddling the active/idle boundary.
+        let p = DutyCycledPower::daily(Watts::new(8.3), Watts::new(0.5), 2.0).unwrap();
+        let day = p.energy_integral(Seconds::ZERO, Seconds::from_days(1.0));
+        let expected = 8.3 * 2.0 * crate::units::SECONDS_PER_HOUR
+            + 0.5 * 22.0 * crate::units::SECONDS_PER_HOUR;
+        assert!((day.value() - expected).abs() / expected < 1e-12);
+        // [1 h, 3 h] covers one active hour then one idle hour.
+        let window = p.energy_integral(Seconds::from_hours(1.0), Seconds::from_hours(3.0));
+        let expected = (8.3 + 0.5) * crate::units::SECONDS_PER_HOUR;
+        assert!((window.value() - expected).abs() / expected < 1e-12);
+    }
+
+    #[test]
+    fn duty_cycle_exact_energy_is_additive_and_periodic() {
+        let p = DutyCycledPower::new(Watts::new(4.0), Watts::new(1.0), Seconds::new(10.0), 0.3)
+            .unwrap();
+        let a = p.energy_integral(Seconds::new(-7.0), Seconds::new(3.0));
+        let b = p.energy_integral(Seconds::new(3.0), Seconds::new(13.0));
+        let whole = p.energy_integral(Seconds::new(-7.0), Seconds::new(13.0));
+        assert!((a.value() + b.value() - whole.value()).abs() < 1e-9);
+        // One full period anywhere equals mean power times the period.
+        let per_period = p.mean_power() * Seconds::new(10.0);
+        assert!((a.value() - per_period.value()).abs() / per_period.value() < 1e-12);
     }
 }

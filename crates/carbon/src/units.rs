@@ -317,6 +317,18 @@ quantity!(
     "gCO2e/kWh"
 );
 quantity!(
+    /// A carbon intensity integrated over time — the value of
+    /// `∫ CI(t) dt` over an interval, in (gCO2e/kWh)·s.
+    ///
+    /// Dividing by the interval length recovers a mean [`CarbonIntensity`];
+    /// multiplying by a constant power (see
+    /// [`CarbonIntensitySeconds::carbon_at_power`]) yields the operational
+    /// carbon of that interval exactly (eq. IV.7 for piecewise-constant
+    /// power).
+    CarbonIntensitySeconds,
+    "gCO2e*s/kWh"
+);
+quantity!(
     /// Fab energy consumed per unit die area (the paper's `EPA`), in kWh/cm^2.
     EnergyPerArea,
     "kWh/cm^2"
@@ -361,6 +373,7 @@ dimensional!(Watts, Seconds => Joules);
 dimensional!(Joules, Seconds => JouleSeconds);
 dimensional!(GramsCo2e, Seconds => GramSecondsCo2e);
 dimensional!(CarbonIntensity, KilowattHours => GramsCo2e);
+dimensional!(CarbonIntensity, Seconds => CarbonIntensitySeconds);
 dimensional!(EnergyPerArea, SquareCentimeters => KilowattHours);
 dimensional!(CarbonPerArea, SquareCentimeters => GramsCo2e);
 dimensional!(BytesPerSecond, Seconds => Bytes);
@@ -494,6 +507,19 @@ impl Joules {
     }
 }
 
+impl CarbonIntensitySeconds {
+    /// Carbon emitted by a *constant* power draw across the interval this
+    /// integral covers: `∫ CI(t)·P dt = P·∫ CI(t) dt`, with the
+    /// (gCO2e/kWh)·s·W product converted to grams via the J-per-kWh factor.
+    ///
+    /// This is the exact eq. IV.7 product for one constant-power segment;
+    /// piecewise-constant profiles sum it over their segments.
+    #[must_use]
+    pub fn carbon_at_power(self, power: Watts) -> GramsCo2e {
+        GramsCo2e::new(self.value() * power.value() / JOULES_PER_KILOWATT_HOUR)
+    }
+}
+
 impl KilowattHours {
     /// Converts to joules.
     #[must_use]
@@ -586,6 +612,23 @@ mod tests {
         let e = (Watts::new(8.3) * Seconds::from_hours(1.0)).to_kilowatt_hours();
         let c = CarbonIntensity::new(380.0) * e;
         assert!((c.value() - 3.154).abs() < 1e-3);
+    }
+
+    #[test]
+    fn ci_integral_units_compose() {
+        // 380 gCO2e/kWh held for one hour, drawn at 8.3 W, is the Table III
+        // example: 3.154 gCO2e.
+        let integral: CarbonIntensitySeconds =
+            CarbonIntensity::new(380.0) * Seconds::from_hours(1.0);
+        assert_eq!(integral, CarbonIntensitySeconds::new(380.0 * 3_600.0));
+        let mean: CarbonIntensity = integral / Seconds::from_hours(1.0);
+        assert!((mean.value() - 380.0).abs() < 1e-12);
+        let carbon = integral.carbon_at_power(Watts::new(8.3));
+        assert!((carbon.value() - 3.154).abs() < 1e-3);
+        assert_eq!(
+            CarbonIntensitySeconds::ZERO.carbon_at_power(Watts::new(100.0)),
+            GramsCo2e::ZERO
+        );
     }
 
     #[test]

@@ -638,6 +638,8 @@ fn doctor_trace(args: &Args, path: &str, out: &mut String) -> Result<(), CliErro
             let _ = writeln!(out, "  {report}");
             let (from, until) = trace.span();
             let _ = writeln!(out, "  span: {from} .. {until}");
+            let mean = trace.mean_exact(from, until);
+            let _ = writeln!(out, "  mean CI over span (exact): {mean}");
             let _ = writeln!(
                 out,
                 "  status: {}",
@@ -944,6 +946,7 @@ mod tests {
         assert!(out.contains("line 7"), "{out}");
         assert!(out.contains("DEGRADED"), "{out}");
         assert!(out.contains("span:"), "{out}");
+        assert!(out.contains("mean CI over span (exact):"), "{out}");
         // Unknown policy is rejected; known policies both work.
         assert!(run_str(&format!("doctor --trace {} --policy bogus", path.display())).is_err());
         let out = run_str(&format!(

@@ -14,7 +14,8 @@ use cordoba_accel::cache::EmbodiedCache;
 use cordoba_accel::config::AcceleratorConfig;
 use cordoba_accel::sim::full_cost_table;
 use cordoba_carbon::embodied::EmbodiedModel;
-use cordoba_carbon::units::CarbonIntensity;
+use cordoba_carbon::integral::CiIntegral;
+use cordoba_carbon::units::{CarbonIntensity, Seconds};
 use cordoba_carbon::CarbonError;
 use cordoba_workloads::task::Task;
 use serde::{Deserialize, Serialize};
@@ -298,6 +299,25 @@ impl OpTimeSweep {
         })
     }
 
+    /// Evaluates the sweep under a *time-varying* intensity source: the
+    /// lifetime-mean `CI_use` comes from the exact integration kernel
+    /// ([`CiIntegral::mean_exact`] over `[0, lifetime]`), then the sweep is
+    /// evaluated as in [`OpTimeSweep::new`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `task_counts` is empty or contains non-positive
+    /// values, or `points` is empty.
+    pub fn under_source(
+        points: Vec<DesignPoint>,
+        task_counts: Vec<f64>,
+        source: &dyn CiIntegral,
+        lifetime: Seconds,
+    ) -> Result<Self, CarbonError> {
+        let ci_use = source.mean_exact(Seconds::ZERO, lifetime);
+        Self::new(points, task_counts, ci_use)
+    }
+
     /// tCDP of point `p` at sweep index `n`.
     ///
     /// # Panics
@@ -510,6 +530,35 @@ mod tests {
         // At long operational times the optimum approaches the EDP optimum,
         // so its energy efficiency (not necessarily raw energy) improves.
         assert!(last.edp() <= first.edp());
+    }
+
+    #[test]
+    fn under_source_uses_the_exact_lifetime_mean() {
+        let configs = design_space();
+        let task = Task::ai_5_kernels();
+        let points = evaluate_space(&configs, &task, &EmbodiedModel::default()).unwrap();
+        let counts = log_sweep(4, 8, 1);
+        // A constant source must reproduce the plain constructor exactly.
+        let constant = cordoba_carbon::intensity::ConstantCi::new(grids::US_AVERAGE);
+        let via_source = OpTimeSweep::under_source(
+            points.clone(),
+            counts.clone(),
+            &constant,
+            cordoba_carbon::units::Seconds::from_years(5.0),
+        )
+        .unwrap();
+        let direct = OpTimeSweep::new(points.clone(), counts.clone(), grids::US_AVERAGE).unwrap();
+        assert_eq!(via_source, direct);
+        // A decarbonizing trend lowers the effective CI below the start.
+        let trend = cordoba_carbon::intensity::TrendCi::new(grids::US_AVERAGE, 0.10).unwrap();
+        let decarb = OpTimeSweep::under_source(
+            points,
+            counts,
+            &trend,
+            cordoba_carbon::units::Seconds::from_years(5.0),
+        )
+        .unwrap();
+        assert!(decarb.ci_use < grids::US_AVERAGE);
     }
 
     #[test]

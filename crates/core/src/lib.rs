@@ -90,8 +90,9 @@ pub mod prelude {
     };
     pub use crate::report::{fmt_num, fmt_ratio, Table};
     pub use crate::uncertainty::{
-        context_for_embodied_share, domain_analysis, monte_carlo_regret, monte_carlo_tcdp,
-        scenario_regret, tcdp_under_source, DomainAnalysis, DomainClass, MonteCarloSpec,
-        MonteCarloSummary,
+        context_for_embodied_share, domain_analysis, monte_carlo_regret, monte_carlo_source_tcdp,
+        monte_carlo_source_tcdp_sampled_with_threads, monte_carlo_source_tcdp_with_threads,
+        monte_carlo_tcdp, scenario_regret, tcdp_under_source, tcdp_under_source_sampled,
+        DomainAnalysis, DomainClass, MonteCarloSpec, MonteCarloSummary, SourceMonteCarloSpec,
     };
 }

@@ -3,6 +3,7 @@
 
 use crate::metrics::{DesignPoint, OperationalContext};
 use crate::stats::log_pearson;
+use cordoba_carbon::integral::CiIntegral;
 use cordoba_carbon::intensity::{grids, CiSource};
 use cordoba_carbon::units::{CarbonIntensity, Seconds};
 use cordoba_carbon::CarbonError;
@@ -157,16 +158,47 @@ pub fn domain_analysis(
 }
 
 /// Evaluates a design's tCDP under a *time-varying* intensity source by
-/// replacing `CI_use` with the source's lifetime mean (valid for constant
-/// power, eq. IV.7).
+/// replacing `CI_use` with the source's exact lifetime mean (valid for
+/// constant power, eq. IV.7).
+///
+/// The mean comes from the closed-form integration kernel
+/// ([`CiIntegral::mean_exact`]), so this is O(1) for the analytic sources
+/// and O(log n) for traces — [`tcdp_under_source_sampled`] is the sampled
+/// executable spec it replaced.
 #[must_use]
 pub fn tcdp_under_source(
+    point: &DesignPoint,
+    source: &dyn CiIntegral,
+    tasks: f64,
+    lifetime: Seconds,
+) -> f64 {
+    let mean_ci = source.mean_exact(Seconds::ZERO, lifetime);
+    let ctx = OperationalContext {
+        tasks,
+        ci_use: mean_ci,
+    };
+    point.tcdp(&ctx).value()
+}
+
+/// The sampled predecessor of [`tcdp_under_source`]: estimates the lifetime
+/// mean intensity by midpoint sampling with `samples` lookups.
+///
+/// Kept as an executable specification — property tests assert it converges
+/// to the exact kernel as `samples → ∞` and matches it exactly for constant
+/// sources.
+///
+/// # Panics
+///
+/// Panics if `samples == 0` (see [`CiSource::mean_over`]).
+#[must_use]
+pub fn tcdp_under_source_sampled(
     point: &DesignPoint,
     source: &dyn CiSource,
     tasks: f64,
     lifetime: Seconds,
+    samples: usize,
 ) -> f64 {
-    let mean_ci = source.mean_over(lifetime, 10_000);
+    let mean_ci = source.mean_over(lifetime, samples);
     let ctx = OperationalContext {
         tasks,
         ci_use: mean_ci,
@@ -185,7 +217,7 @@ pub fn tcdp_under_source(
 /// Returns an error if `points` or `scenarios` is empty.
 pub fn scenario_regret(
     points: &[DesignPoint],
-    scenarios: &[&dyn CiSource],
+    scenarios: &[&dyn CiIntegral],
     tasks: f64,
     lifetime: Seconds,
 ) -> Result<Vec<f64>, CarbonError> {
@@ -334,6 +366,48 @@ struct McPartial {
     max: f64,
 }
 
+impl McPartial {
+    fn empty() -> Self {
+        Self {
+            sum: 0.0,
+            sum_sq: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    fn push(&mut self, value: f64) {
+        self.sum += value;
+        self.sum_sq += value * value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+}
+
+/// Folds per-block partials (in block order) into summary statistics.
+fn summarize(partials: Vec<McPartial>, samples: usize) -> MonteCarloSummary {
+    let mut sum = 0.0f64;
+    let mut sum_sq = 0.0f64;
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    for p in partials {
+        sum += p.sum;
+        sum_sq += p.sum_sq;
+        min = min.min(p.min);
+        max = max.max(p.max);
+    }
+    let n = samples as f64;
+    let mean = sum / n;
+    let variance = (sum_sq / n - mean * mean).max(0.0);
+    MonteCarloSummary {
+        samples,
+        mean,
+        std_dev: variance.sqrt(),
+        min,
+        max,
+    }
+}
+
 /// Samples the tCDP distribution of one design across the spec's scenario
 /// envelope.
 ///
@@ -360,41 +434,197 @@ pub fn monte_carlo_tcdp_with_threads(
 ) -> Result<MonteCarloSummary, CarbonError> {
     spec.validate()?;
     let partials = cordoba_par::par_map_with(&spec.blocks(), threads, |&block| {
-        let mut partial = McPartial {
-            sum: 0.0,
-            sum_sq: 0.0,
-            min: f64::INFINITY,
-            max: f64::NEG_INFINITY,
-        };
+        let mut partial = McPartial::empty();
         for ctx in spec.block_scenarios(block) {
-            let tcdp = point.tcdp(&ctx).value();
-            partial.sum += tcdp;
-            partial.sum_sq += tcdp * tcdp;
-            partial.min = partial.min.min(tcdp);
-            partial.max = partial.max.max(tcdp);
+            partial.push(point.tcdp(&ctx).value());
         }
         partial
     });
-    let mut sum = 0.0f64;
-    let mut sum_sq = 0.0f64;
-    let mut min = f64::INFINITY;
-    let mut max = f64::NEG_INFINITY;
-    for p in partials {
-        sum += p.sum;
-        sum_sq += p.sum_sq;
-        min = min.min(p.min);
-        max = max.max(p.max);
+    Ok(summarize(partials, spec.samples))
+}
+
+/// A reproducible Monte Carlo experiment over *time-varying* intensity
+/// sources and unknown `(N, lifetime)` — the source-level analogue of
+/// [`MonteCarloSpec`], which samples a constant `CI_use` instead.
+///
+/// Each scenario draws a source uniformly from the provided set, a task
+/// count log-uniformly from `10^tasks_log10_lo ..= 10^tasks_log10_hi`, and
+/// a lifetime uniformly from `lifetime_lo ..= lifetime_hi`; the design's
+/// tCDP is then evaluated under that source's lifetime-mean intensity via
+/// the exact integration kernel. The draw stream is fully determined by
+/// `seed` and blocked like [`MonteCarloSpec`], so results are bit-identical
+/// across thread counts.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SourceMonteCarloSpec {
+    /// Number of sampled scenarios.
+    pub samples: usize,
+    /// RNG seed determining the whole scenario stream.
+    pub seed: u64,
+    /// `log10` of the smallest sampled task count.
+    pub tasks_log10_lo: f64,
+    /// `log10` of the largest sampled task count.
+    pub tasks_log10_hi: f64,
+    /// Shortest sampled deployment lifetime.
+    pub lifetime_lo: Seconds,
+    /// Longest sampled deployment lifetime.
+    pub lifetime_hi: Seconds,
+}
+
+impl SourceMonteCarloSpec {
+    /// A spec spanning `1e3..=1e9` tasks and 1-to-8-year deployments.
+    #[must_use]
+    pub fn new(samples: usize, seed: u64) -> Self {
+        Self {
+            samples,
+            seed,
+            tasks_log10_lo: 3.0,
+            tasks_log10_hi: 9.0,
+            lifetime_lo: Seconds::from_years(1.0),
+            lifetime_hi: Seconds::from_years(8.0),
+        }
     }
-    let n = spec.samples as f64;
-    let mean = sum / n;
-    let variance = (sum_sq / n - mean * mean).max(0.0);
-    Ok(MonteCarloSummary {
-        samples: spec.samples,
-        mean,
-        std_dev: variance.sqrt(),
-        min,
-        max,
-    })
+
+    fn validate(&self, n_sources: usize) -> Result<(), CarbonError> {
+        if self.samples == 0 {
+            return Err(CarbonError::Empty {
+                what: "monte carlo samples",
+            });
+        }
+        if n_sources == 0 {
+            return Err(CarbonError::Empty {
+                what: "intensity sources",
+            });
+        }
+        CarbonError::require_finite("tasks_log10_lo", self.tasks_log10_lo)?;
+        CarbonError::require_in_range(
+            "tasks_log10_hi",
+            self.tasks_log10_hi,
+            self.tasks_log10_lo,
+            308.0,
+        )?;
+        CarbonError::require_positive("lifetime_lo", self.lifetime_lo.value())?;
+        CarbonError::require_in_range(
+            "lifetime_hi",
+            self.lifetime_hi.value(),
+            self.lifetime_lo.value(),
+            f64::MAX,
+        )?;
+        Ok(())
+    }
+
+    /// Same `(seed, block)` hashing as [`MonteCarloSpec::block_rng`].
+    fn block_rng(&self, block: u64) -> StdRng {
+        StdRng::seed_from_u64(
+            self.seed
+                ^ block
+                    .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                    .wrapping_add(0x2545_f491_4f6c_dd1d),
+        )
+    }
+
+    /// The `(source index, tasks, lifetime)` draws of block `block`.
+    fn block_draws(&self, block: u64, n_sources: usize) -> Vec<(usize, f64, Seconds)> {
+        let start = block as usize * MC_BLOCK;
+        let len = MC_BLOCK.min(self.samples - start);
+        let mut rng = self.block_rng(block);
+        (0..len)
+            .map(|_| {
+                let u: f64 = rng.gen();
+                let v: f64 = rng.gen();
+                let w: f64 = rng.gen();
+                let idx = ((u * n_sources as f64) as usize).min(n_sources - 1);
+                let log10_tasks =
+                    self.tasks_log10_lo + (self.tasks_log10_hi - self.tasks_log10_lo) * v;
+                let life = self.lifetime_lo.value()
+                    + (self.lifetime_hi.value() - self.lifetime_lo.value()) * w;
+                (idx, 10f64.powf(log10_tasks), Seconds::new(life))
+            })
+            .collect()
+    }
+
+    fn blocks(&self) -> Vec<u64> {
+        (0..self.samples.div_ceil(MC_BLOCK) as u64).collect()
+    }
+}
+
+/// Samples the tCDP distribution of one design across time-varying
+/// intensity sources, using the exact integration kernel for every draw's
+/// lifetime mean.
+///
+/// # Errors
+///
+/// Returns an error for a zero-sample spec, an empty source set, or
+/// invalid scenario bounds.
+pub fn monte_carlo_source_tcdp(
+    point: &DesignPoint,
+    sources: &[&dyn CiIntegral],
+    spec: &SourceMonteCarloSpec,
+) -> Result<MonteCarloSummary, CarbonError> {
+    monte_carlo_source_tcdp_with_threads(point, sources, spec, cordoba_par::effective_threads())
+}
+
+/// [`monte_carlo_source_tcdp`] with an explicit worker-thread count (1 =
+/// fully sequential). Results are bit-identical at every thread count.
+///
+/// # Errors
+///
+/// Returns an error for a zero-sample spec, an empty source set, or
+/// invalid scenario bounds.
+pub fn monte_carlo_source_tcdp_with_threads(
+    point: &DesignPoint,
+    sources: &[&dyn CiIntegral],
+    spec: &SourceMonteCarloSpec,
+    threads: usize,
+) -> Result<MonteCarloSummary, CarbonError> {
+    spec.validate(sources.len())?;
+    let partials = cordoba_par::par_map_with(&spec.blocks(), threads, |&block| {
+        let mut partial = McPartial::empty();
+        for (idx, tasks, lifetime) in spec.block_draws(block, sources.len()) {
+            partial.push(tcdp_under_source(point, sources[idx], tasks, lifetime));
+        }
+        partial
+    });
+    Ok(summarize(partials, spec.samples))
+}
+
+/// The sampled executable spec of [`monte_carlo_source_tcdp_with_threads`]:
+/// identical draw stream, but each draw's lifetime mean is estimated with
+/// `samples_per_draw` midpoint lookups instead of the exact kernel.
+///
+/// Exists for convergence property tests and as the benchmark baseline; new
+/// code should use the exact variant.
+///
+/// # Errors
+///
+/// Returns an error for a zero-sample spec, an empty source set, invalid
+/// scenario bounds, or `samples_per_draw == 0`.
+pub fn monte_carlo_source_tcdp_sampled_with_threads(
+    point: &DesignPoint,
+    sources: &[&dyn CiIntegral],
+    spec: &SourceMonteCarloSpec,
+    samples_per_draw: usize,
+    threads: usize,
+) -> Result<MonteCarloSummary, CarbonError> {
+    spec.validate(sources.len())?;
+    if samples_per_draw == 0 {
+        return Err(CarbonError::Empty {
+            what: "integration samples per draw",
+        });
+    }
+    let partials = cordoba_par::par_map_with(&spec.blocks(), threads, |&block| {
+        let mut partial = McPartial::empty();
+        for (idx, tasks, lifetime) in spec.block_draws(block, sources.len()) {
+            partial.push(tcdp_under_source_sampled(
+                point,
+                sources[idx],
+                tasks,
+                lifetime,
+                samples_per_draw,
+            ));
+        }
+        partial
+    });
+    Ok(summarize(partials, spec.samples))
 }
 
 /// Mean tCDP regret of each design across sampled scenarios:
@@ -538,7 +768,27 @@ mod tests {
         let constant = ConstantCi::new(grids::US_AVERAGE);
         let via_source = tcdp_under_source(&p, &constant, 100.0, Seconds::from_years(3.0));
         let direct = p.tcdp(&OperationalContext::us_grid(100.0)).value();
-        assert!((via_source - direct).abs() / direct < 1e-9);
+        // The exact kernel recovers the constant bit-for-bit.
+        assert!((via_source - direct).abs() / direct < f64::EPSILON);
+        // ... and so does the sampled spec, for a constant source.
+        let sampled = tcdp_under_source_sampled(&p, &constant, 100.0, Seconds::from_years(3.0), 7);
+        assert!((sampled - direct).abs() / direct < f64::EPSILON);
+    }
+
+    #[test]
+    fn sampled_tcdp_converges_to_the_exact_kernel() {
+        let p = point("x", 1.0, JOULES_PER_KILOWATT_HOUR, 500.0);
+        let trend = TrendCi::new(grids::US_AVERAGE, 0.08).unwrap();
+        let life = Seconds::from_years(5.0);
+        let exact = tcdp_under_source(&p, &trend, 100.0, life);
+        let mut prev = f64::INFINITY;
+        for samples in [10, 100, 1_000, 10_000] {
+            let err =
+                (tcdp_under_source_sampled(&p, &trend, 100.0, life, samples) - exact).abs() / exact;
+            assert!(err < prev * 1.5, "error should shrink: {err} vs {prev}");
+            prev = err;
+        }
+        assert!(prev < 1e-6, "10k samples should be within 1e-6: {prev}");
     }
 
     #[test]
@@ -618,7 +868,7 @@ mod tests {
         let pts = space();
         let clean = ConstantCi::new(grids::SOLAR);
         let dirty = ConstantCi::new(grids::COAL);
-        let scenarios: Vec<&dyn CiSource> = vec![&clean, &dirty];
+        let scenarios: Vec<&dyn CiIntegral> = vec![&clean, &dirty];
         let regret = scenario_regret(&pts, &scenarios, 1e4, Seconds::from_years(3.0)).unwrap();
         assert_eq!(regret.len(), pts.len());
         // Every regret >= 1; at least one design is not universally optimal.
@@ -629,5 +879,86 @@ mod tests {
         // Empty inputs are errors.
         assert!(scenario_regret(&[], &scenarios, 1.0, Seconds::new(1.0)).is_err());
         assert!(scenario_regret(&pts, &[], 1.0, Seconds::new(1.0)).is_err());
+    }
+
+    fn source_set() -> (ConstantCi, TrendCi) {
+        (
+            ConstantCi::new(grids::COAL),
+            TrendCi::new(grids::US_AVERAGE, 0.10).unwrap(),
+        )
+    }
+
+    #[test]
+    fn source_monte_carlo_is_bit_identical_across_thread_counts() {
+        let p = point("x", 1.0, 2.0, 500.0);
+        let (coal, trend) = source_set();
+        let sources: [&dyn CiIntegral; 2] = [&coal, &trend];
+        // 200 samples spans four RNG blocks.
+        let spec = SourceMonteCarloSpec::new(200, 42);
+        let base = monte_carlo_source_tcdp_with_threads(&p, &sources, &spec, 1).unwrap();
+        for threads in [2, 4, 16] {
+            let par = monte_carlo_source_tcdp_with_threads(&p, &sources, &spec, threads).unwrap();
+            assert_eq!(base, par, "threads = {threads}");
+        }
+        assert_eq!(base.samples, 200);
+        assert!(base.min > 0.0);
+        assert!(base.min <= base.mean && base.mean <= base.max);
+        assert!(base.std_dev > 0.0);
+    }
+
+    #[test]
+    fn source_monte_carlo_seed_controls_the_stream() {
+        let p = point("x", 1.0, 2.0, 500.0);
+        let (coal, trend) = source_set();
+        let sources: [&dyn CiIntegral; 2] = [&coal, &trend];
+        let a = monte_carlo_source_tcdp(&p, &sources, &SourceMonteCarloSpec::new(100, 1)).unwrap();
+        let b = monte_carlo_source_tcdp(&p, &sources, &SourceMonteCarloSpec::new(100, 1)).unwrap();
+        let c = monte_carlo_source_tcdp(&p, &sources, &SourceMonteCarloSpec::new(100, 2)).unwrap();
+        assert_eq!(a, b);
+        assert!(
+            (a.mean - c.mean).abs() > 0.0,
+            "different seeds should differ"
+        );
+    }
+
+    #[test]
+    fn sampled_source_monte_carlo_approaches_the_exact_one() {
+        let p = point("x", 1.0, 2.0, 500.0);
+        let (coal, trend) = source_set();
+        let sources: [&dyn CiIntegral; 2] = [&coal, &trend];
+        let spec = SourceMonteCarloSpec::new(128, 9);
+        let exact = monte_carlo_source_tcdp(&p, &sources, &spec).unwrap();
+        // Same draw stream, so the only difference is integration error.
+        let coarse =
+            monte_carlo_source_tcdp_sampled_with_threads(&p, &sources, &spec, 16, 1).unwrap();
+        let fine =
+            monte_carlo_source_tcdp_sampled_with_threads(&p, &sources, &spec, 4_096, 1).unwrap();
+        let coarse_err = (coarse.mean - exact.mean).abs() / exact.mean;
+        let fine_err = (fine.mean - exact.mean).abs() / exact.mean;
+        assert!(fine_err <= coarse_err);
+        assert!(fine_err < 1e-6, "4096-sample mean off by {fine_err}");
+    }
+
+    #[test]
+    fn source_monte_carlo_validation() {
+        let p = point("x", 1.0, 2.0, 500.0);
+        let (coal, _) = source_set();
+        let sources: [&dyn CiIntegral; 1] = [&coal];
+        assert!(monte_carlo_source_tcdp(&p, &sources, &SourceMonteCarloSpec::new(0, 1)).is_err());
+        assert!(monte_carlo_source_tcdp(&p, &[], &SourceMonteCarloSpec::new(10, 1)).is_err());
+        let mut bad = SourceMonteCarloSpec::new(10, 1);
+        std::mem::swap(&mut bad.lifetime_lo, &mut bad.lifetime_hi);
+        assert!(monte_carlo_source_tcdp(&p, &sources, &bad).is_err());
+        let mut bad = SourceMonteCarloSpec::new(10, 1);
+        bad.tasks_log10_hi = bad.tasks_log10_lo - 1.0;
+        assert!(monte_carlo_source_tcdp(&p, &sources, &bad).is_err());
+        assert!(monte_carlo_source_tcdp_sampled_with_threads(
+            &p,
+            &sources,
+            &SourceMonteCarloSpec::new(10, 1),
+            0,
+            1
+        )
+        .is_err());
     }
 }

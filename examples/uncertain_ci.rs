@@ -64,7 +64,7 @@ fn main() -> Result<(), CarbonError> {
     let flat = ConstantCi::new(grids::US_AVERAGE);
     let fast_decarb = TrendCi::new(grids::US_AVERAGE, 0.15)?;
     let coal = ConstantCi::new(grids::COAL);
-    let scenarios: Vec<&dyn CiSource> = vec![&flat, &fast_decarb, &coal];
+    let scenarios: Vec<&dyn CiIntegral> = vec![&flat, &fast_decarb, &coal];
     let regret = scenario_regret(&candidates, &scenarios, 1e6, Seconds::from_years(5.0))?;
     println!("\nworst-case tCDP regret across grid scenarios:");
     for (p, r) in candidates.iter().zip(&regret) {

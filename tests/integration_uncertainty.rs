@@ -4,7 +4,8 @@
 use cordoba::prelude::*;
 use cordoba_accel::space::design_space;
 use cordoba_carbon::embodied::EmbodiedModel;
-use cordoba_carbon::intensity::{grids, CiSource, ConstantCi, DiurnalCi, TrendCi};
+use cordoba_carbon::integral::CiIntegral;
+use cordoba_carbon::intensity::{grids, ConstantCi, DiurnalCi, TrendCi};
 use cordoba_carbon::units::{CarbonIntensity, Seconds};
 use cordoba_workloads::task::Task;
 
@@ -96,7 +97,7 @@ fn time_varying_ci_preserves_beta_elimination_guarantee() {
     let flat = ConstantCi::new(grids::US_AVERAGE);
     let diurnal = DiurnalCi::new(grids::US_AVERAGE, CarbonIntensity::new(120.0)).unwrap();
     let trend = TrendCi::new(grids::COAL, 0.12).unwrap();
-    let sources: [&dyn CiSource; 3] = [&flat, &diurnal, &trend];
+    let sources: [&dyn CiIntegral; 3] = [&flat, &diurnal, &trend];
     for source in sources {
         for tasks in [1e5, 1e9] {
             let best = points
@@ -121,7 +122,7 @@ fn regret_ranks_robust_designs_over_the_real_space() {
     let clean = ConstantCi::new(grids::SOLAR);
     let dirty = ConstantCi::new(grids::COAL);
     let decarb = TrendCi::new(grids::US_AVERAGE, 0.10).unwrap();
-    let scenarios: Vec<&dyn CiSource> = vec![&clean, &dirty, &decarb];
+    let scenarios: Vec<&dyn CiIntegral> = vec![&clean, &dirty, &decarb];
     let regret = scenario_regret(&points, &scenarios, 1e8, Seconds::from_years(4.0)).unwrap();
     let (best_idx, best_regret) = regret
         .iter()
@@ -143,7 +144,7 @@ fn seasonal_grid_profiles_drive_regret_analysis() {
     let solar = SeasonalCi::solar_rich();
     let coal = SeasonalCi::coal_heavy();
     let wind = SeasonalCi::wind_hydro();
-    let scenarios: Vec<&dyn CiSource> = vec![&solar, &coal, &wind];
+    let scenarios: Vec<&dyn CiIntegral> = vec![&solar, &coal, &wind];
     let regret = scenario_regret(&points, &scenarios, 1e8, Seconds::from_years(5.0)).unwrap();
     // The robust design under realistic composite grids still survives the
     // beta sweep (mean-CI equivalence holds for constant power, eq. IV.7).

@@ -8,12 +8,17 @@
 //! the suite, and every case compares `threads = 1` against 2, 4, and 16.
 
 use cordoba::prelude::*;
-use cordoba::uncertainty::{monte_carlo_regret_with_threads, monte_carlo_tcdp_with_threads};
+use cordoba::uncertainty::{
+    monte_carlo_regret_with_threads, monte_carlo_source_tcdp_sampled_with_threads,
+    monte_carlo_source_tcdp_with_threads, monte_carlo_tcdp_with_threads,
+};
 use cordoba_accel::config::{AcceleratorConfig, MemoryIntegration};
 use cordoba_accel::params::TechTuning;
 use cordoba_accel::space::design_space;
 use cordoba_carbon::embodied::EmbodiedModel;
+use cordoba_carbon::integral::CiIntegral;
 use cordoba_carbon::intensity::grids;
+use cordoba_carbon::intensity::{ConstantCi, SeasonalCi, TrendCi};
 use cordoba_carbon::units::Bytes;
 use cordoba_workloads::task::Task;
 use rand::rngs::StdRng;
@@ -132,6 +137,40 @@ fn monte_carlo_is_bit_identical_across_thread_counts() {
             assert_eq!(
                 regret_sequential, regret_parallel,
                 "regret: seed {seed}, {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn source_monte_carlo_is_bit_identical_across_thread_counts() {
+    let model = EmbodiedModel::default();
+    let space = design_space();
+    let task = Task::ai_5_kernels();
+    let points = evaluate_space_with_threads(&space, &task, &model, 1).unwrap();
+    let flat = ConstantCi::new(grids::US_AVERAGE);
+    let trend = TrendCi::new(grids::COAL, 0.12).unwrap();
+    let seasonal = SeasonalCi::solar_rich();
+    let sources: [&dyn CiIntegral; 3] = [&flat, &trend, &seasonal];
+    for seed in 0..40u64 {
+        let mut rng = StdRng::seed_from_u64(0x50C4 ^ seed);
+        let samples = 1 + index(&mut rng, 300);
+        let spec = SourceMonteCarloSpec::new(samples, rng.gen::<u64>());
+        let point = &points[index(&mut rng, points.len())];
+        let sequential = monte_carlo_source_tcdp_with_threads(point, &sources, &spec, 1).unwrap();
+        assert_eq!(sequential.samples, samples);
+        let sampled_sequential =
+            monte_carlo_source_tcdp_sampled_with_threads(point, &sources, &spec, 32, 1).unwrap();
+        for threads in THREAD_COUNTS {
+            let parallel =
+                monte_carlo_source_tcdp_with_threads(point, &sources, &spec, threads).unwrap();
+            assert_eq!(sequential, parallel, "seed {seed}, {threads} threads");
+            let sampled_parallel =
+                monte_carlo_source_tcdp_sampled_with_threads(point, &sources, &spec, 32, threads)
+                    .unwrap();
+            assert_eq!(
+                sampled_sequential, sampled_parallel,
+                "sampled: seed {seed}, {threads} threads"
             );
         }
     }
