@@ -106,6 +106,7 @@ impl EmbodiedCache {
         let key = fingerprint(config);
         if let Some(cached) = self.lock().get(&key).copied() {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            cordoba_obs::record(&cordoba_obs::Event::CacheHit);
             return Ok(cached);
         }
         // Compute outside the lock so concurrent sweep workers are not
@@ -114,6 +115,7 @@ impl EmbodiedCache {
         let value = config.embodied_carbon(&self.model)?;
         self.lock().insert(key, value);
         self.misses.fetch_add(1, Ordering::Relaxed);
+        cordoba_obs::record(&cordoba_obs::Event::CacheMiss);
         Ok(value)
     }
 

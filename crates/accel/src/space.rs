@@ -73,6 +73,7 @@ pub fn config_by_name(name: &str) -> Option<AcceleratorConfig> {
 /// ```
 #[must_use]
 pub fn design_space() -> Vec<AcceleratorConfig> {
+    let _span = cordoba_obs::span("accel/design_space");
     let mut configs = Vec::with_capacity(SPACE_SIZE);
     for mac_idx in 0..MAC_UNIT_SWEEP.len() {
         for sram_idx in 0..SRAM_MIB_SWEEP.len() {

@@ -1,20 +1,27 @@
-//! Smoke-mode performance record for the parallel sweep engine and the
-//! exact-integration carbon kernel.
+//! Smoke-mode performance record for the parallel sweep engine, the
+//! exact-integration carbon kernel, and the observability layer.
 //!
 //! Times the headline sweeps with plain wall-clock measurement (the
 //! vendored `criterion` is a stub, so this binary is the source of truth
-//! for recorded numbers) and writes `BENCH_4.json` at the repository
-//! root: a flat map of bench name to median nanoseconds. If a committed
-//! `BENCH_3.json` is present, an informational comparison is printed (no
-//! gate — the files are usually recorded on different machines).
+//! for recorded numbers) and writes `BENCH_<N+1>.json` at the repository
+//! root (where `N` is the highest committed record, so the current run
+//! lands in `BENCH_5.json`): a flat map of bench name to median
+//! nanoseconds. The highest committed record is also used for an
+//! informational comparison (no gate — the files are usually recorded on
+//! different machines). `--out <file>` overrides the output path.
 //!
 //! Each parallel or kernel bench is run twice — once pinned to one worker
 //! and once with the default pool — so the thread-scaling ratio is visible
 //! in the recorded file. The `integral/` and `uncertainty/` groups pair
 //! each exact-kernel measurement with its sampled predecessor, so the
-//! recorded file documents the kernel speedup directly.
+//! recorded file documents the kernel speedup directly. The `obs/` group
+//! records the cost of a disabled-registry counter bump next to the bare
+//! loop it instruments, and the run's own `cordoba-obs` counter values are
+//! appended as `obs/counter/...` entries so the recorded file shows what
+//! the sweeps actually did.
 //!
-//! Usage: `cargo run -p cordoba-bench --release --bin bench_smoke [-- --quick]`
+//! Usage: `cargo run -p cordoba-bench --release --bin bench_smoke \
+//!     [-- --quick] [-- --out <file>]`
 //! where `--quick` trims iteration counts for CI.
 
 use cordoba::prelude::*;
@@ -116,8 +123,49 @@ fn read_flat_json(path: &str) -> Vec<(String, u128)> {
     out
 }
 
+/// Repository root holding the `BENCH_N.json` records.
+const REPO_ROOT: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+
+/// The highest `N` for which `BENCH_N.json` exists at the repository root.
+fn latest_bench_generation() -> Option<u32> {
+    let entries = std::fs::read_dir(REPO_ROOT).ok()?;
+    entries
+        .filter_map(Result::ok)
+        .filter_map(|entry| {
+            let name = entry.file_name();
+            let name = name.to_str()?;
+            name.strip_prefix("BENCH_")?
+                .strip_suffix(".json")?
+                .parse::<u32>()
+                .ok()
+        })
+        .max()
+}
+
+/// Mean wall-clock nanoseconds per call over a batch of `batch` calls.
+fn per_call_ns(batch: u64, f: impl Fn()) -> u128 {
+    let start = Instant::now();
+    for _ in 0..batch {
+        f();
+    }
+    start.elapsed().as_nanos() / u128::from(batch.max(1))
+}
+
+/// The disabled-overhead probe counter (satellite guard: a disabled
+/// registry must cost a couple of relaxed loads per update, nothing more).
+static OVERHEAD_PROBE: cordoba_obs::Counter = cordoba_obs::Counter::new("bench/overhead_probe");
+/// Counts loop iterations in the baseline arm so both arms do one atomic
+/// add per iteration and the probe isolates the enablement-check cost.
+static BASELINE_SINK: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_override = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
     let iters = if quick { 3 } else { 11 };
     let heavy_iters = if quick { 1 } else { 5 };
     let thread_modes = [("threads=1", NonZeroUsize::new(1)), ("threads=auto", None)];
@@ -258,6 +306,37 @@ fn main() {
     }
     cordoba_par::set_threads(None);
 
+    // obs/disabled_overhead — per-update cost of an instrumented counter
+    // while the registry is disabled, next to a bare atomic add. Both arms
+    // do one relaxed `fetch_add` per iteration; the instrumented arm adds
+    // the enablement check every hot path pays when observability is off.
+    cordoba_obs::set_metrics_enabled(false);
+    let batch = if quick { 100_000 } else { 1_000_000 };
+    results.push((
+        "obs/disabled_overhead/baseline".to_owned(),
+        per_call_ns(batch, || {
+            BASELINE_SINK.fetch_add(black_box(1), std::sync::atomic::Ordering::Relaxed);
+        }),
+    ));
+    results.push((
+        "obs/disabled_overhead/instrumented".to_owned(),
+        per_call_ns(batch, || {
+            OVERHEAD_PROBE.add(black_box(1));
+        }),
+    ));
+
+    // With the registry live, re-run the cache-sharing sweep and a β-solve
+    // so the recorded file carries the counters those paths emit.
+    cordoba_obs::set_metrics_enabled(true);
+    let multi = evaluate_space_multi(&configs, std::slice::from_ref(&task), &model).unwrap();
+    black_box(&multi);
+    let beta = BetaSweep::run(&points);
+    black_box(beta.solve_transitions(0.0, 1e4, 1e-3, 10_000).unwrap());
+    for (name, value) in cordoba_obs::counter_snapshot() {
+        results.push((format!("obs/counter/{name}"), u128::from(value)));
+    }
+    cordoba_obs::set_metrics_enabled(false);
+
     let mut json = String::from("{\n");
     for (i, (name, ns)) in results.iter().enumerate() {
         let sep = if i + 1 < results.len() { "," } else { "" };
@@ -265,8 +344,14 @@ fn main() {
         println!("{name:<55} {ns:>14} ns");
     }
     json.push_str("}\n");
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_4.json");
-    std::fs::write(path, &json).expect("write BENCH_4.json");
+    let previous_generation = latest_bench_generation();
+    let path = out_override.unwrap_or_else(|| {
+        format!(
+            "{REPO_ROOT}/BENCH_{}.json",
+            previous_generation.map_or(1, |n| n + 1)
+        )
+    });
+    std::fs::write(&path, &json).unwrap_or_else(|e| panic!("write {path}: {e}"));
     println!("wrote {path}");
 
     // Exact-vs-sampled kernel speedups, straight from this run's medians.
@@ -299,13 +384,18 @@ fn main() {
         }
     }
 
-    // Informational comparison against the previous recorded file; the
+    // Informational comparison against the newest committed record; the
     // shared names are the carried-over sweep benches.
-    let previous = read_flat_json(concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_3.json"));
+    let previous_path = previous_generation.map(|n| format!("{REPO_ROOT}/BENCH_{n}.json"));
+    let previous = previous_path
+        .as_deref()
+        .map(read_flat_json)
+        .unwrap_or_default();
     if previous.is_empty() {
-        println!("\nno BENCH_3.json found; skipping comparison");
+        println!("\nno previous BENCH_N.json found; skipping comparison");
     } else {
-        println!("\nvs BENCH_3.json (informational, not a gate):");
+        let previous_name = previous_path.as_deref().unwrap_or("BENCH_N.json");
+        println!("\nvs {previous_name} (informational, not a gate):");
         for (name, old_ns) in &previous {
             if let Some(new_ns) = lookup(name) {
                 println!(

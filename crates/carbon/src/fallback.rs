@@ -15,8 +15,23 @@ use crate::error::CarbonError;
 use crate::integral::CiIntegral;
 use crate::intensity::{CiSource, ConstantCi, DiurnalCi, TraceCi};
 use crate::units::{CarbonIntensity, CarbonIntensitySeconds, Seconds};
+use cordoba_obs::{Counter, Event};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide mirrors of the per-chain accounting, surfaced through the
+/// cordoba-obs registry so `--metrics` and `doctor` can report fallback
+/// behavior without holding a reference to every chain. Tier switches and
+/// exhaustions additionally go through [`cordoba_obs::record`] as typed
+/// events; `crates/carbon/tests/obs_fallback.rs` pins these mirrors to
+/// [`FallbackCi::health`].
+static FALLBACK_QUERIES: Counter = Counter::new("carbon/fallback/queries");
+static FALLBACK_REJECTED: Counter = Counter::new("carbon/fallback/rejected");
+
+/// The zero-based tier index as the `u64` payload of a tier-switch event.
+fn tier_index(index: usize) -> u64 {
+    u64::try_from(index).unwrap_or(u64::MAX)
+}
 
 /// One prioritized source in a [`FallbackCi`] chain.
 #[derive(Debug)]
@@ -204,18 +219,26 @@ impl FallbackCi {
 impl CiSource for FallbackCi {
     fn at(&self, t: Seconds) -> CarbonIntensity {
         self.queries.fetch_add(1, Ordering::Relaxed);
-        for tier in &self.tiers {
+        FALLBACK_QUERIES.incr();
+        for (index, tier) in self.tiers.iter().enumerate() {
             if !tier.covers(t) {
                 continue;
             }
             let value = tier.source.at(t);
             if value.is_finite() && value.value() >= 0.0 {
                 tier.hits.fetch_add(1, Ordering::Relaxed);
+                if index > 0 {
+                    cordoba_obs::record(&Event::FallbackTierSwitch {
+                        tier: tier_index(index),
+                    });
+                }
                 return value;
             }
             tier.rejected.fetch_add(1, Ordering::Relaxed);
+            FALLBACK_REJECTED.incr();
         }
         self.exhausted.fetch_add(1, Ordering::Relaxed);
+        cordoba_obs::record(&Event::FallbackExhausted);
         CarbonIntensity::ZERO
     }
 }
@@ -253,22 +276,30 @@ impl CiIntegral for FallbackCi {
         for pair in cuts.windows(2) {
             let (a, b) = (Seconds::new(pair[0]), Seconds::new(pair[1]));
             self.queries.fetch_add(1, Ordering::Relaxed);
+            FALLBACK_QUERIES.incr();
             let mut served = false;
-            for tier in &self.tiers {
+            for (index, tier) in self.tiers.iter().enumerate() {
                 if !(tier.covers(a) && tier.covers(b)) {
                     continue;
                 }
                 let part = tier.source.integral_over(a, b);
                 if part.is_finite() && part.value() >= 0.0 {
                     tier.hits.fetch_add(1, Ordering::Relaxed);
+                    if index > 0 {
+                        cordoba_obs::record(&Event::FallbackTierSwitch {
+                            tier: tier_index(index),
+                        });
+                    }
                     total += part.value();
                     served = true;
                     break;
                 }
                 tier.rejected.fetch_add(1, Ordering::Relaxed);
+                FALLBACK_REJECTED.incr();
             }
             if !served {
                 self.exhausted.fetch_add(1, Ordering::Relaxed);
+                cordoba_obs::record(&Event::FallbackExhausted);
             }
         }
         CarbonIntensitySeconds::new(total)

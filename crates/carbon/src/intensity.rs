@@ -11,8 +11,16 @@ use crate::integral::{exp_antideriv, exp_cos_antideriv, CiIntegral};
 use crate::units::{
     count_f64, CarbonIntensity, CarbonIntensitySeconds, Seconds, SECONDS_PER_DAY, SECONDS_PER_YEAR,
 };
+use cordoba_obs::Counter;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+
+/// Integral-kernel traffic counters: how many point lookups and exact
+/// interval integrals the trace kernel served (`--metrics` surfaces these;
+/// a run dominated by lookups instead of integrals signals a consumer still
+/// on the sampled path).
+static TRACE_LOOKUPS: Counter = Counter::new("carbon/trace/lookups");
+static TRACE_INTEGRALS: Counter = Counter::new("carbon/trace/integrals");
 
 /// Published lifecycle carbon intensities of common energy sources, in
 /// gCO2e/kWh. Values follow IPCC/ACT-style lifecycle figures.
@@ -324,6 +332,7 @@ impl CiSource for TraceCi {
     /// linear interpolation (bit-identically the same arithmetic) as the
     /// linear scan it replaced.
     fn at(&self, t: Seconds) -> CarbonIntensity {
+        TRACE_LOOKUPS.incr();
         let first = self.samples[0];
         if t.value() <= first.0.value() {
             return first.1;
@@ -342,6 +351,7 @@ impl CiIntegral for TraceCi {
     /// Difference of two O(log n) prefix-table lookups; exact for the
     /// trace's piecewise-linear interpolation (each piece is a trapezoid).
     fn integral_over(&self, t0: Seconds, t1: Seconds) -> CarbonIntensitySeconds {
+        TRACE_INTEGRALS.incr();
         let c1 = self.cumulative(t1);
         let c0 = self.cumulative(t0);
         CarbonIntensitySeconds::new(c1 - c0)

@@ -205,6 +205,11 @@ impl TraceCi {
         samples: Vec<(Seconds, CarbonIntensity)>,
         policy: &SanitizePolicy,
     ) -> Result<(Self, SanitizeReport), CarbonError> {
+        let _span = cordoba_obs::span_with(
+            "carbon/sanitize",
+            "samples",
+            u64::try_from(samples.len()).unwrap_or(u64::MAX),
+        );
         let mut report = SanitizeReport {
             input_samples: samples.len(),
             ..SanitizeReport::default()
@@ -305,6 +310,13 @@ impl TraceCi {
         }
 
         report.output_samples = merged.len();
+        if !report.is_clean() {
+            let dropped = report.dropped_non_finite + report.dropped_negative;
+            cordoba_obs::record(&cordoba_obs::Event::SanitizeRejection {
+                dropped: u64::try_from(dropped).unwrap_or(u64::MAX),
+                repaired: u64::try_from(report.repairs() - dropped).unwrap_or(u64::MAX),
+            });
+        }
         let trace = Self::new(merged)?;
         Ok((trace, report))
     }

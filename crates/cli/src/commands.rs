@@ -5,6 +5,7 @@
 
 use crate::args::{ArgError, Args};
 use cordoba::prelude::*;
+use cordoba_accel::cache::EmbodiedCache;
 use cordoba_accel::space::{config_by_name, design_space};
 use cordoba_carbon::prelude::*;
 use cordoba_soc::prelude::*;
@@ -64,16 +65,18 @@ USAGE:
     cordoba <COMMAND> [OPTIONS]
 
 COMMANDS:
-    metrics    evaluate EDP/tC/CCI/tCDP for one design point
-    dse        explore the 121-accelerator space for a task
-    provision  sweep VR SoC core counts for an app
-    stacking   evaluate the 3D-integration study
-    eliminate  Pareto/beta-sweep elimination over designs from a CSV
-    doctor     sanity-check a trace/design CSV and print repair reports
-    kernels    list the workload kernels
-    tasks      list the evaluation tasks
-    grids      list built-in carbon intensities
-    help       show this message
+    metrics      evaluate EDP/tC/CCI/tCDP for one design point
+    dse          explore the 121-accelerator space for a task
+    provision    sweep VR SoC core counts for an app
+    stacking     evaluate the 3D-integration study
+    eliminate    Pareto/beta-sweep elimination over designs from a CSV
+    doctor       sanity-check a trace/design CSV and print repair reports
+                 (with --metrics alone: run the built-in self-check probe)
+    trace-check  validate a Chrome trace-event JSON file
+    kernels      list the workload kernels
+    tasks        list the evaluation tasks
+    grids        list built-in carbon intensities
+    help         show this message
 
 Commands that ingest data accept `--lenient` to quarantine bad rows or
 configurations and continue with the rest instead of aborting.
@@ -81,6 +84,12 @@ configurations and continue with the rest instead of aborting.
 Every command accepts `--threads <N>` to cap the worker threads used for
 parallel sweeps (default: all cores). Results are identical at any thread
 count; only wall-clock time changes.
+
+Observability (zero overhead when off; never changes results):
+    --trace-out <file>  record spans/events and write Chrome trace-event
+                        JSON (open in chrome://tracing or Perfetto)
+    --metrics           append the metrics registry (counters/histograms)
+                        to the output as JSON lines
 
 Run `cordoba <COMMAND> --help` for per-command options.
 ";
@@ -96,13 +105,16 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
     };
     let args = Args::parse(argv[1..].iter().cloned());
     apply_threads(&args)?;
-    match command.as_str() {
+    let obs = ObsOptions::from_args(&args);
+    obs.enable();
+    let result = match command.as_str() {
         "metrics" => cmd_metrics(&args),
         "dse" => cmd_dse(&args),
         "provision" => cmd_provision(&args),
         "stacking" => cmd_stacking(&args),
         "eliminate" => cmd_eliminate(&args),
         "doctor" => cmd_doctor(&args),
+        "trace-check" => cmd_trace_check(&args),
         "kernels" => cmd_kernels(&args),
         "tasks" => cmd_tasks(&args),
         "grids" => cmd_grids(&args),
@@ -110,6 +122,68 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         other => Err(CliError::Usage(format!(
             "unknown command `{other}`; run `cordoba help`"
         ))),
+    };
+    obs.finish(result)
+}
+
+/// The global observability options: `--trace-out <file>` and `--metrics`.
+///
+/// `--trace-out` enables both tracing *and* metrics (so the exported trace
+/// always carries counter tracks); `--metrics` enables the registry alone.
+/// Observation is a pure side channel: enabling either never changes a
+/// command's computed results, only what is reported about them.
+struct ObsOptions {
+    trace_out: Option<String>,
+    metrics: bool,
+}
+
+impl ObsOptions {
+    fn from_args(args: &Args) -> Self {
+        Self {
+            trace_out: args.get("trace-out").map(str::to_owned),
+            metrics: args.flag("metrics"),
+        }
+    }
+
+    fn enable(&self) {
+        if self.trace_out.is_some() {
+            cordoba_obs::set_tracing_enabled(true);
+            cordoba_obs::set_metrics_enabled(true);
+        }
+        if self.metrics {
+            cordoba_obs::set_metrics_enabled(true);
+        }
+    }
+
+    /// Appends the metrics dump and writes the trace file, then switches
+    /// both layers back off (draining the span buffer) so repeated
+    /// in-process `run` calls start from a clean slate.
+    fn finish(&self, mut result: Result<String, CliError>) -> Result<String, CliError> {
+        if self.metrics {
+            if let Ok(out) = &mut result {
+                out.push_str(&cordoba_obs::dump_json_lines());
+            }
+        }
+        if self.metrics || self.trace_out.is_some() {
+            cordoba_obs::set_metrics_enabled(false);
+        }
+        if let Some(path) = &self.trace_out {
+            let trace = cordoba_obs::drain_chrome_trace();
+            cordoba_obs::set_tracing_enabled(false);
+            if result.is_ok() {
+                match std::fs::write(path, &trace) {
+                    Ok(()) => {
+                        if let Ok(out) = &mut result {
+                            let _ = writeln!(out, "trace written to {path}");
+                        }
+                    }
+                    Err(e) => {
+                        result = Err(CliError::Usage(format!("cannot write {path}: {e}")));
+                    }
+                }
+            }
+        }
+        result
     }
 }
 
@@ -174,7 +248,16 @@ fn cmd_metrics(args: &Args) -> Result<String, CliError> {
         );
     }
     args.expect_only(&[
-        "delay", "energy", "embodied", "area", "tasks", "grid", "threads", "help",
+        "delay",
+        "energy",
+        "embodied",
+        "area",
+        "tasks",
+        "grid",
+        "threads",
+        "trace-out",
+        "metrics",
+        "help",
     ])?;
     let delay = args
         .get("delay")
@@ -238,7 +321,17 @@ fn cmd_dse(args: &Args) -> Result<String, CliError> {
                 .to_owned(),
         );
     }
-    args.expect_only(&["task", "grid", "lo", "hi", "lenient", "threads", "help"])?;
+    args.expect_only(&[
+        "task",
+        "grid",
+        "lo",
+        "hi",
+        "lenient",
+        "threads",
+        "trace-out",
+        "metrics",
+        "help",
+    ])?;
     let task = task_by_name(args.get("task").unwrap_or("all"))?;
     let ci = grid_by_name(args.get("grid").unwrap_or("us"))?;
     let decade = |key: &'static str, default: f64| -> Result<i32, CliError> {
@@ -318,7 +411,15 @@ fn cmd_provision(args: &Args) -> Result<String, CliError> {
             "cordoba provision --app <m1|g2|b1|sg1|all> [--years <f>] [--grid <name>]\n".to_owned(),
         );
     }
-    args.expect_only(&["app", "years", "grid", "threads", "help"])?;
+    args.expect_only(&[
+        "app",
+        "years",
+        "grid",
+        "threads",
+        "trace-out",
+        "metrics",
+        "help",
+    ])?;
     let app = match args.get("app").unwrap_or("m1") {
         "m1" => VrApp::m1(),
         "g2" => VrApp::g2(),
@@ -370,7 +471,7 @@ fn cmd_stacking(args: &Args) -> Result<String, CliError> {
     if args.flag("help") {
         return Ok("cordoba stacking [--share <embodied fraction, default 0.8>]\n".to_owned());
     }
-    args.expect_only(&["share", "threads", "help"])?;
+    args.expect_only(&["share", "threads", "trace-out", "metrics", "help"])?;
     let share = args.get_f64("share", 0.8)?;
     let model = EmbodiedModel::default();
     let kernel = KernelId::Sr512.descriptor();
@@ -427,7 +528,7 @@ fn cmd_eliminate(args: &Args) -> Result<String, CliError> {
                    --lenient skips malformed rows (reported) instead of aborting\n"
             .to_owned());
     }
-    args.expect_only(&["csv", "lenient", "threads", "help"])?;
+    args.expect_only(&["csv", "lenient", "threads", "trace-out", "metrics", "help"])?;
     let path = args
         .get("csv")
         .ok_or(CliError::Args(ArgError::Missing("--csv <file>")))?;
@@ -569,10 +670,22 @@ fn cmd_doctor(args: &Args) -> Result<String, CliError> {
                    [--policy <lenient|production>] [--grid <name>]\n\
                    Ingests messy CSVs and prints sanitize/repair reports.\n\
                    Trace CSV columns: time_s,ci_gco2e_per_kwh\n\
-                   Design CSV columns: name,delay_s,energy_j,embodied_gco2e\n"
+                   Design CSV columns: name,delay_s,energy_j,embodied_gco2e\n\
+                   With --metrics and no inputs: runs a built-in self-check\n\
+                   probe (sanitizer, fallback tiers, embodied cache) and\n\
+                   dumps the metrics registry it populated.\n"
             .to_owned());
     }
-    args.expect_only(&["trace", "designs", "policy", "grid", "threads", "help"])?;
+    args.expect_only(&[
+        "trace",
+        "designs",
+        "policy",
+        "grid",
+        "threads",
+        "trace-out",
+        "metrics",
+        "help",
+    ])?;
     let mut out = String::new();
     if let Some(path) = args.get("trace") {
         doctor_trace(args, path, &mut out)?;
@@ -581,11 +694,94 @@ fn cmd_doctor(args: &Args) -> Result<String, CliError> {
         doctor_designs(path, &mut out)?;
     }
     if out.is_empty() {
-        return Err(CliError::Args(ArgError::Missing(
-            "--trace <csv> and/or --designs <csv>",
-        )));
+        if args.flag("metrics") {
+            doctor_self_check(&mut out)?;
+        } else {
+            return Err(CliError::Args(ArgError::Missing(
+                "--trace <csv> and/or --designs <csv> (or --metrics for a self-check)",
+            )));
+        }
     }
     Ok(out)
+}
+
+/// The `doctor --metrics` self-check: drives a deliberately messy synthetic
+/// trace through the sanitizer and a standard fallback chain, probes the
+/// embodied-carbon cache, and reports tier health and cache hit rates. The
+/// probe populates the same counters and structured events the real hot
+/// paths emit, so the appended registry dump exercises the full pipeline.
+fn doctor_self_check(out: &mut String) -> Result<(), CliError> {
+    let _ = writeln!(out, "self-check: synthetic trace + fallback + cache probe");
+
+    // A messy diurnal-ish trace: one NaN and one negative sample force the
+    // sanitizer to repair (and emit a sanitize-rejection event).
+    let samples = vec![
+        (Seconds::new(0.0), CarbonIntensity::new(300.0)),
+        (Seconds::from_hours(1.0), CarbonIntensity::new(f64::NAN)),
+        (Seconds::from_hours(2.0), CarbonIntensity::new(-5.0)),
+        (Seconds::from_hours(3.0), CarbonIntensity::new(410.0)),
+        (Seconds::from_hours(4.0), CarbonIntensity::new(420.0)),
+    ];
+    let (trace, report) = TraceCi::sanitize(samples, &SanitizePolicy::lenient())?;
+    let _ = writeln!(out, "  sanitizer: {report}");
+
+    // Query the chain inside the trace span (primary tier) and far beyond
+    // it (constant backstop), plus one exact integral across the boundary.
+    let chain = FallbackCi::standard(trace, None, grids::US_AVERAGE)?;
+    for t in [0.0, 7_200.0, 14_000.0] {
+        let _ = chain.at(Seconds::new(t));
+    }
+    let _ = chain.at(Seconds::from_days(30.0));
+    let _ = chain.integral_over(Seconds::new(0.0), Seconds::from_days(1.0));
+    let _ = writeln!(out, "  {}", chain.health());
+
+    // Embodied-cache probe: repeated lookups of the same shapes must hit.
+    let cache = EmbodiedCache::new(EmbodiedModel::default());
+    for config in design_space().iter().take(4) {
+        let _ = cache.embodied(config)?;
+        let _ = cache.embodied(config)?;
+    }
+    let stats = cache.stats();
+    let _ = writeln!(
+        out,
+        "  embodied cache: {} hits / {} lookups ({} distinct shapes)",
+        stats.hits,
+        stats.lookups(),
+        cache.len()
+    );
+    let _ = writeln!(
+        out,
+        "  status: {}",
+        if stats.hits == stats.misses && !chain.health().tiers.is_empty() {
+            "ok"
+        } else {
+            "UNEXPECTED (see counters above)"
+        }
+    );
+    Ok(())
+}
+
+fn cmd_trace_check(args: &Args) -> Result<String, CliError> {
+    if args.flag("help") {
+        return Ok("cordoba trace-check <trace.json>\n\
+                   Validates a Chrome trace-event JSON file: parses the\n\
+                   document, checks ph/ts/pid/tid fields, and verifies\n\
+                   per-thread timestamp monotonicity.\n"
+            .to_owned());
+    }
+    args.expect_only(&["threads", "trace-out", "metrics", "help"])?;
+    let path = args
+        .positional()
+        .first()
+        .ok_or(CliError::Args(ArgError::Missing("<trace.json> path")))?;
+    let content = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Usage(format!("cannot read {path}: {e}")))?;
+    let check = cordoba_obs::validate_chrome_trace(&content)
+        .map_err(|e| CliError::Usage(format!("{path}: invalid Chrome trace: {e}")))?;
+    Ok(format!(
+        "{path}: OK ({} events: {} spans, {} counters, {} threads)\n",
+        check.events, check.spans, check.counters, check.threads
+    ))
 }
 
 /// Sanitizes a `time_s,ci` trace CSV and reports every repair; diagnosis
@@ -690,7 +886,7 @@ fn doctor_designs(path: &str, out: &mut String) -> Result<(), CliError> {
 }
 
 fn cmd_kernels(args: &Args) -> Result<String, CliError> {
-    args.expect_only(&["threads", "help"])?;
+    args.expect_only(&["threads", "trace-out", "metrics", "help"])?;
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -713,7 +909,7 @@ fn cmd_kernels(args: &Args) -> Result<String, CliError> {
 }
 
 fn cmd_tasks(args: &Args) -> Result<String, CliError> {
-    args.expect_only(&["threads", "help"])?;
+    args.expect_only(&["threads", "trace-out", "metrics", "help"])?;
     let mut out = String::new();
     for task in Task::evaluation_suite() {
         let kernels: Vec<&str> = task.kernels().map(KernelId::short_name).collect();
@@ -723,7 +919,7 @@ fn cmd_tasks(args: &Args) -> Result<String, CliError> {
 }
 
 fn cmd_grids(args: &Args) -> Result<String, CliError> {
-    args.expect_only(&["threads", "help"])?;
+    args.expect_only(&["threads", "trace-out", "metrics", "help"])?;
     let mut out = String::new();
     for (name, ci) in [
         ("coal", grids::COAL),

@@ -1,0 +1,84 @@
+//! End-to-end checks of the CLI's observability plumbing: `--trace-out`
+//! emits schema-valid Chrome trace-event JSON, `--metrics` appends the
+//! registry dump, `trace-check` validates a written file, and
+//! `doctor --metrics` runs the self-check probe.
+//!
+//! The obs switches are process-global, so everything lives in one
+//! `#[test]` in its own integration binary.
+
+use cordoba_cli::run;
+
+fn argv(parts: &[&str]) -> Vec<String> {
+    parts.iter().map(|s| (*s).to_owned()).collect()
+}
+
+#[test]
+fn trace_out_metrics_and_doctor_round_trip() {
+    let trace_path =
+        std::env::temp_dir().join(format!("cordoba_obs_cli_{}.json", std::process::id()));
+    let trace_path = trace_path.to_str().unwrap().to_owned();
+
+    // A small sweep with --trace-out writes a schema-valid Chrome trace.
+    let out = run(&argv(&[
+        "dse",
+        "--task",
+        "xr5",
+        "--lo",
+        "5",
+        "--hi",
+        "7",
+        "--trace-out",
+        &trace_path,
+    ]))
+    .unwrap();
+    assert!(
+        out.contains(&format!("trace written to {trace_path}")),
+        "{out}"
+    );
+    let text = std::fs::read_to_string(&trace_path).unwrap();
+    let check = cordoba_obs::validate_chrome_trace(&text).unwrap();
+    assert!(check.spans >= 1, "{check:?}");
+    assert!(check.counters >= 1, "{check:?}");
+    assert!(
+        text.contains("core/evaluate_space"),
+        "trace lacks the sweep span"
+    );
+
+    // The CLI's own validator agrees.
+    let checked = run(&argv(&["trace-check", &trace_path])).unwrap();
+    assert!(checked.contains("OK"), "{checked}");
+    std::fs::remove_file(&trace_path).ok();
+    assert!(run(&argv(&["trace-check", &trace_path])).is_err());
+
+    // --metrics appends the registry as JSON lines after the report.
+    let out = run(&argv(&[
+        "dse",
+        "--task",
+        "xr5",
+        "--lo",
+        "5",
+        "--hi",
+        "7",
+        "--metrics",
+    ]))
+    .unwrap();
+    assert!(out.contains("{\"type\":\"histogram\""), "{out}");
+    assert!(out.contains("\"name\":\"core/evaluate_space_ns\""), "{out}");
+
+    // doctor --metrics runs the built-in probe and dumps counters.
+    let out = run(&argv(&["doctor", "--metrics"])).unwrap();
+    assert!(out.contains("self-check"), "{out}");
+    assert!(out.contains("{\"type\":\"counter\""), "{out}");
+    assert!(
+        out.contains("\"name\":\"carbon/fallback/queries\""),
+        "{out}"
+    );
+
+    // Flags are opt-in: after the runs above the switches are off again.
+    assert!(!cordoba_obs::tracing_enabled());
+    assert!(!cordoba_obs::metrics_enabled());
+
+    // Plain doctor without inputs still explains what it needs.
+    let err = run(&argv(&["doctor"])).unwrap_err();
+    assert!(format!("{err:?}").contains("metrics"), "{err:?}");
+}

@@ -17,10 +17,16 @@ use cordoba_carbon::embodied::EmbodiedModel;
 use cordoba_carbon::integral::CiIntegral;
 use cordoba_carbon::units::{CarbonIntensity, Seconds};
 use cordoba_carbon::CarbonError;
+use cordoba_obs::{Event, Histogram};
 use cordoba_workloads::task::Task;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use std::fmt;
+
+/// Wall-clock distribution of [`evaluate_space_with_threads`] calls.
+static EVALUATE_SPACE_NS: Histogram = Histogram::new("core/evaluate_space_ns");
+/// Wall-clock distribution of [`OpTimeSweep::with_threads`] calls.
+static OP_TIME_SWEEP_NS: Histogram = Histogram::new("core/op_time_sweep_ns");
 
 /// Characterizes one accelerator configuration as a [`DesignPoint`] for a
 /// task: delay and energy from the roofline simulator via eq. IV.2/IV.4,
@@ -84,6 +90,7 @@ pub fn evaluate_space_with_threads(
     embodied: &EmbodiedModel,
     threads: usize,
 ) -> Result<Vec<DesignPoint>, CoreError> {
+    let _span = cordoba_obs::span_timed("core/evaluate_space", &EVALUATE_SPACE_NS);
     cordoba_par::try_par_map_with(configs, threads, |c| accel_design_point(c, task, embodied))
 }
 
@@ -107,6 +114,11 @@ pub fn evaluate_space_multi(
     tasks: &[Task],
     embodied: &EmbodiedModel,
 ) -> Result<Vec<Vec<DesignPoint>>, CoreError> {
+    let _span = cordoba_obs::span_with(
+        "core/evaluate_space_multi",
+        "tasks",
+        u64::try_from(tasks.len()).unwrap_or(u64::MAX),
+    );
     let cache = EmbodiedCache::new(embodied.clone());
     let per_config: Vec<Vec<DesignPoint>> = cordoba_par::try_par_map(configs, |c| {
         let table = full_cost_table(c);
@@ -196,16 +208,24 @@ pub fn evaluate_space_resilient_with_threads(
     embodied: &EmbodiedModel,
     threads: usize,
 ) -> ResilientEval {
+    let _span = cordoba_obs::span_with(
+        "core/evaluate_space_resilient",
+        "configs",
+        u64::try_from(configs.len()).unwrap_or(u64::MAX),
+    );
     let outcomes =
         cordoba_par::par_map_with(configs, threads, |c| accel_design_point(c, task, embodied));
     let mut result = ResilientEval::default();
     for (config, outcome) in configs.iter().zip(outcomes) {
         match outcome {
             Ok(point) => result.points.push(point),
-            Err(error) => result.failures.push(EvalFailure {
-                name: config.name().to_string(),
-                error,
-            }),
+            Err(error) => {
+                cordoba_obs::record(&Event::Quarantine);
+                result.failures.push(EvalFailure {
+                    name: config.name().to_string(),
+                    error,
+                });
+            }
         }
     }
     result
@@ -277,6 +297,7 @@ impl OpTimeSweep {
         ci_use: CarbonIntensity,
         threads: usize,
     ) -> Result<Self, CarbonError> {
+        let _span = cordoba_obs::span_timed("core/op_time_sweep", &OP_TIME_SWEEP_NS);
         if points.is_empty() {
             return Err(CarbonError::Empty {
                 what: "design points",

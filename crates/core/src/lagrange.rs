@@ -12,7 +12,11 @@ use crate::pareto::{lower_hull_indices, pareto_indices, pareto_indices_kd, Point
 use cordoba_carbon::embodied::EmbodiedBreakdown;
 use cordoba_carbon::units::CarbonIntensity;
 use cordoba_carbon::CarbonError;
+use cordoba_obs::{Counter, Event};
 use serde::{Deserialize, Serialize};
+
+/// Total argmin evaluations spent across all β-sweep solves.
+static BETA_EVALUATIONS: Counter = Counter::new("core/beta_evaluations");
 
 /// The two Fig. 12 objectives for a design point.
 #[must_use]
@@ -146,6 +150,11 @@ impl BetaSweep {
         budget: usize,
         threads: usize,
     ) -> Result<BetaSolve, CarbonError> {
+        let _span = cordoba_obs::span_with(
+            "core/beta_solve",
+            "candidates",
+            u64::try_from(self.points.len()).unwrap_or(u64::MAX),
+        );
         if self.points.is_empty() {
             return Err(CarbonError::Empty {
                 what: "beta-sweep candidates",
@@ -169,6 +178,10 @@ impl BetaSweep {
         let argmin = |beta: f64| self.optimal_for_beta(beta).unwrap_or(0);
 
         let not_converged = |transitions: Vec<BetaTransition>, evaluations: usize| {
+            BETA_EVALUATIONS.add(u64::try_from(evaluations).unwrap_or(u64::MAX));
+            cordoba_obs::record(&Event::BetaNotConverged {
+                evaluations: u64::try_from(evaluations).unwrap_or(u64::MAX),
+            });
             Ok(BetaSolve::NotConverged {
                 best_so_far: transitions,
                 evaluations,
@@ -228,6 +241,7 @@ impl BetaSweep {
         }
 
         transitions.sort_by(|a, b| a.beta.total_cmp(&b.beta));
+        BETA_EVALUATIONS.add(u64::try_from(evaluations).unwrap_or(u64::MAX));
         Ok(BetaSolve::Converged {
             transitions,
             evaluations,

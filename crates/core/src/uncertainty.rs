@@ -432,6 +432,11 @@ pub fn monte_carlo_tcdp_with_threads(
     spec: &MonteCarloSpec,
     threads: usize,
 ) -> Result<MonteCarloSummary, CarbonError> {
+    let _span = cordoba_obs::span_with(
+        "core/monte_carlo_tcdp",
+        "samples",
+        u64::try_from(spec.samples).unwrap_or(u64::MAX),
+    );
     spec.validate()?;
     let partials = cordoba_par::par_map_with(&spec.blocks(), threads, |&block| {
         let mut partial = McPartial::empty();
@@ -576,6 +581,11 @@ pub fn monte_carlo_source_tcdp_with_threads(
     spec: &SourceMonteCarloSpec,
     threads: usize,
 ) -> Result<MonteCarloSummary, CarbonError> {
+    let _span = cordoba_obs::span_with(
+        "core/monte_carlo_source_tcdp",
+        "samples",
+        u64::try_from(spec.samples).unwrap_or(u64::MAX),
+    );
     spec.validate(sources.len())?;
     let partials = cordoba_par::par_map_with(&spec.blocks(), threads, |&block| {
         let mut partial = McPartial::empty();
@@ -605,6 +615,11 @@ pub fn monte_carlo_source_tcdp_sampled_with_threads(
     samples_per_draw: usize,
     threads: usize,
 ) -> Result<MonteCarloSummary, CarbonError> {
+    let _span = cordoba_obs::span_with(
+        "core/monte_carlo_source_tcdp_sampled",
+        "samples",
+        u64::try_from(spec.samples).unwrap_or(u64::MAX),
+    );
     spec.validate(sources.len())?;
     if samples_per_draw == 0 {
         return Err(CarbonError::Empty {
@@ -658,6 +673,11 @@ pub fn monte_carlo_regret_with_threads(
     spec: &MonteCarloSpec,
     threads: usize,
 ) -> Result<Vec<f64>, CarbonError> {
+    let _span = cordoba_obs::span_with(
+        "core/monte_carlo_regret",
+        "samples",
+        u64::try_from(spec.samples).unwrap_or(u64::MAX),
+    );
     if points.is_empty() {
         return Err(CarbonError::Empty {
             what: "design points",

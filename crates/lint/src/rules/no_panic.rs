@@ -21,6 +21,7 @@ const PANIC_FREE_CRATES: &[&str] = &[
     "lint",
     "robust",
     "par",
+    "obs",
 ];
 
 /// Macros that abort the process when reached.

@@ -1,0 +1,107 @@
+//! Zero-dependency observability for CORDOBA's sweeps, solvers, and
+//! resilience machinery.
+//!
+//! The framework's hot paths — design-space characterization, β-transition
+//! solving, Monte Carlo sampling, fallback carbon-intensity chains — are
+//! instrumented with three layers, all of which cost a few relaxed atomic
+//! loads when disabled so instrumented code stays bit-identical to (and
+//! within noise of) uninstrumented code:
+//!
+//! * **Spans** ([`span`], [`span_with`], [`span_timed`]): RAII timed scopes
+//!   collected into a thread-aware, order-stable buffer and exported as
+//!   Chrome trace-event JSON ([`export_chrome_trace`]) loadable in Perfetto
+//!   or `chrome://tracing`.
+//! * **Metrics** ([`Counter`], [`Histogram`]): named atomic counters and
+//!   fixed-bucket (log₂) histograms that self-register into a global
+//!   registry on first touch and dump as JSON lines
+//!   ([`dump_json_lines`]).
+//! * **Structured events** ([`Event`], [`record`]): typed records for the
+//!   interesting state transitions — a `FallbackCi` tier switch, a sanitize
+//!   rejection, a quarantined evaluation, a solver that ran out of budget, a
+//!   watchdog truncation, an embodied-carbon cache hit or miss.
+//!
+//! Both layers are **opt-in at runtime**: nothing is recorded until
+//! [`set_metrics_enabled`] / [`set_tracing_enabled`] is called (the CLI
+//! wires these to `--metrics` and `--trace-out`). Instrumentation never
+//! changes results — observation is a side channel, and the sweep engine's
+//! determinism contract (bit-identical output at every thread count) holds
+//! with every layer enabled.
+//!
+//! # Examples
+//!
+//! ```
+//! use cordoba_obs::{Counter, Event};
+//!
+//! static SWEEPS: Counter = Counter::new("example/sweeps");
+//!
+//! cordoba_obs::set_metrics_enabled(true);
+//! cordoba_obs::set_tracing_enabled(true);
+//! {
+//!     let _span = cordoba_obs::span("example/work");
+//!     SWEEPS.incr();
+//!     cordoba_obs::record(&Event::CacheMiss);
+//! }
+//! assert_eq!(SWEEPS.value(), 1);
+//! let trace = cordoba_obs::drain_chrome_trace();
+//! assert!(cordoba_obs::validate_chrome_trace(&trace).is_ok());
+//! ```
+
+pub mod chrome;
+pub mod event;
+pub mod json;
+pub mod metrics;
+pub mod span;
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+pub use chrome::{drain_chrome_trace, export_chrome_trace, validate_chrome_trace, TraceCheck};
+pub use event::{record, Event};
+pub use metrics::{counter_snapshot, dump_json_lines, Counter, Histogram};
+pub use span::{clear_trace, span, span_timed, span_with, SpanGuard};
+
+/// Global metrics switch; off by default so instrumented code costs one
+/// relaxed load per counter touch.
+static METRICS_ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Global span/event-collection switch; off by default.
+static TRACING_ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Turns the metrics registry on or off. Counter and histogram updates are
+/// dropped while off; values accumulated earlier are retained.
+pub fn set_metrics_enabled(on: bool) {
+    METRICS_ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// `true` when counters and histograms are recording.
+#[inline]
+#[must_use]
+pub fn metrics_enabled() -> bool {
+    METRICS_ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns span and structured-event collection on or off. Enabling also pins
+/// the trace epoch (the `ts = 0` instant) on first use.
+pub fn set_tracing_enabled(on: bool) {
+    if on {
+        span::init_epoch();
+    }
+    TRACING_ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// `true` when spans and structured events are being collected.
+#[inline]
+#[must_use]
+pub fn tracing_enabled() -> bool {
+    TRACING_ENABLED.load(Ordering::Relaxed)
+}
+
+/// Serializes tests that toggle the global switches, which would otherwise
+/// race across the parallel test harness.
+#[cfg(test)]
+pub(crate) fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    match LOCK.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}

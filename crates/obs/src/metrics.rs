@@ -1,0 +1,313 @@
+//! Named atomic counters and fixed-bucket histograms with a global,
+//! opt-in registry.
+//!
+//! Metrics are declared as `static` items and self-register into the
+//! process-wide registry the first time they are touched while metrics are
+//! enabled. The update paths are allocation-free after that one-time
+//! registration: a disabled counter costs a single relaxed load, an enabled
+//! one a relaxed load plus a relaxed `fetch_add`. This keeps instrumented
+//! hot loops within measurement noise of uninstrumented ones (bench_smoke
+//! records the comparison as `obs/disabled_overhead/*`).
+
+use crate::metrics_enabled;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+/// Number of histogram buckets: one per power of two of a `u64` value,
+/// plus a zero bucket.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// Registered counters, in first-touch order (sorted by name at dump time).
+static COUNTERS: Mutex<Vec<&'static Counter>> = Mutex::new(Vec::new());
+
+/// Registered histograms, in first-touch order.
+static HISTOGRAMS: Mutex<Vec<&'static Histogram>> = Mutex::new(Vec::new());
+
+/// Recovers the guard from a poisoned registry lock: the registry holds
+/// plain pointers, so a panic mid-push cannot leave it inconsistent.
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    match mutex.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// A named monotonic counter backed by a relaxed `AtomicU64`.
+///
+/// Declare counters as `static` items so they live for the whole process
+/// and can self-register:
+///
+/// ```
+/// use cordoba_obs::Counter;
+///
+/// static LOOKUPS: Counter = Counter::new("example/lookups");
+///
+/// cordoba_obs::set_metrics_enabled(true);
+/// LOOKUPS.add(3);
+/// assert_eq!(LOOKUPS.value(), 3);
+/// ```
+#[derive(Debug)]
+pub struct Counter {
+    name: &'static str,
+    value: AtomicU64,
+    registered: AtomicBool,
+}
+
+impl Counter {
+    /// A new counter named `name`; names are `/`-separated paths like
+    /// `"carbon/fallback/queries"`.
+    #[must_use]
+    pub const fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            value: AtomicU64::new(0),
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    /// The counter's registry name.
+    #[must_use]
+    pub const fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Adds `n`; a no-op while metrics are disabled.
+    #[inline]
+    pub fn add(&'static self, n: u64) {
+        if !metrics_enabled() {
+            return;
+        }
+        if !self.registered.load(Ordering::Relaxed) {
+            self.register();
+        }
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one; a no-op while metrics are disabled.
+    #[inline]
+    pub fn incr(&'static self) {
+        self.add(1);
+    }
+
+    /// The current value (readable even while metrics are disabled).
+    #[must_use]
+    pub fn value(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// One-time registration into the global registry; the only counter
+    /// operation that allocates.
+    #[cold]
+    fn register(&'static self) {
+        if self.registered.swap(true, Ordering::Relaxed) {
+            return;
+        }
+        lock(&COUNTERS).push(self);
+    }
+}
+
+/// A named fixed-bucket histogram of `u64` samples (typically durations in
+/// nanoseconds), bucketed by power of two.
+///
+/// Bucket `0` holds exact zeros; bucket `i ≥ 1` holds values in
+/// `[2^(i-1), 2^i)`. Recording is allocation-free and lock-free: three
+/// relaxed `fetch_add`s when enabled, one relaxed load when disabled.
+#[derive(Debug)]
+pub struct Histogram {
+    name: &'static str,
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    registered: AtomicBool,
+}
+
+impl Histogram {
+    /// A new histogram named `name`.
+    #[must_use]
+    pub const fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: [const { AtomicU64::new(0) }; HISTOGRAM_BUCKETS],
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    /// The histogram's registry name.
+    #[must_use]
+    pub const fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Records one sample; a no-op while metrics are disabled.
+    #[inline]
+    pub fn record(&'static self, value: u64) {
+        if !metrics_enabled() {
+            return;
+        }
+        if !self.registered.load(Ordering::Relaxed) {
+            self.register();
+        }
+        let index = (u64::BITS - value.leading_zeros()) as usize;
+        self.buckets[index].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded samples (wrapping on `u64` overflow).
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// The inclusive lower bound of bucket `index`.
+    #[must_use]
+    pub fn bucket_floor(index: usize) -> u64 {
+        match index {
+            0 => 0,
+            i if i < HISTOGRAM_BUCKETS => 1u64 << (i - 1),
+            _ => u64::MAX,
+        }
+    }
+
+    /// Snapshot of the non-empty buckets as `(floor, count)` pairs.
+    #[must_use]
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, bucket)| {
+                let n = bucket.load(Ordering::Relaxed);
+                (n > 0).then(|| (Self::bucket_floor(i), n))
+            })
+            .collect()
+    }
+
+    /// One-time registration into the global registry.
+    #[cold]
+    fn register(&'static self) {
+        if self.registered.swap(true, Ordering::Relaxed) {
+            return;
+        }
+        lock(&HISTOGRAMS).push(self);
+    }
+}
+
+/// Snapshot of every registered counter as `(name, value)`, sorted by name.
+#[must_use]
+pub fn counter_snapshot() -> Vec<(&'static str, u64)> {
+    let mut out: Vec<(&'static str, u64)> = lock(&COUNTERS)
+        .iter()
+        .map(|c| (c.name, c.value()))
+        .collect();
+    out.sort_unstable_by_key(|(name, _)| *name);
+    out
+}
+
+/// Snapshot of every registered histogram, sorted by name.
+#[must_use]
+pub(crate) fn histogram_snapshot() -> Vec<&'static Histogram> {
+    let mut out: Vec<&'static Histogram> = lock(&HISTOGRAMS).iter().copied().collect();
+    out.sort_unstable_by_key(|h| h.name);
+    out
+}
+
+/// Dumps the registry as JSON lines — one object per registered counter and
+/// histogram, sorted by name within each kind:
+///
+/// ```text
+/// {"type":"counter","name":"carbon/fallback/queries","value":12}
+/// {"type":"histogram","name":"core/evaluate_space_ns","count":3,"sum":41872,"buckets":[[8192,2],[16384,1]]}
+/// ```
+#[must_use]
+pub fn dump_json_lines() -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for (name, value) in counter_snapshot() {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"counter\",\"name\":\"{}\",\"value\":{value}}}",
+            crate::chrome::escape_json(name)
+        );
+    }
+    for histogram in histogram_snapshot() {
+        let _ = write!(
+            out,
+            "{{\"type\":\"histogram\",\"name\":\"{}\",\"count\":{},\"sum\":{},\"buckets\":[",
+            crate::chrome::escape_json(histogram.name),
+            histogram.count(),
+            histogram.sum()
+        );
+        for (i, (floor, n)) in histogram.nonzero_buckets().into_iter().enumerate() {
+            let _ = write!(out, "{}[{floor},{n}]", if i > 0 { "," } else { "" });
+        }
+        out.push_str("]}\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_counter_records_nothing() {
+        static DISABLED: Counter = Counter::new("test/metrics/disabled");
+        let _guard = crate::test_lock();
+        crate::set_metrics_enabled(false);
+        DISABLED.add(7);
+        assert_eq!(DISABLED.value(), 0);
+    }
+
+    #[test]
+    fn enabled_counter_accumulates_and_registers() {
+        static ENABLED: Counter = Counter::new("test/metrics/enabled");
+        let _guard = crate::test_lock();
+        crate::set_metrics_enabled(true);
+        ENABLED.incr();
+        ENABLED.add(4);
+        assert_eq!(ENABLED.value(), 5);
+        assert!(counter_snapshot()
+            .iter()
+            .any(|(name, value)| *name == "test/metrics/enabled" && *value == 5));
+        let dump = dump_json_lines();
+        assert!(dump.contains("\"name\":\"test/metrics/enabled\",\"value\":5"));
+    }
+
+    #[test]
+    fn histogram_buckets_by_power_of_two() {
+        static HIST: Histogram = Histogram::new("test/metrics/hist");
+        let _guard = crate::test_lock();
+        crate::set_metrics_enabled(true);
+        HIST.record(0);
+        HIST.record(1);
+        HIST.record(1);
+        HIST.record(1000);
+        assert_eq!(HIST.count(), 4);
+        assert_eq!(HIST.sum(), 1002);
+        let buckets = HIST.nonzero_buckets();
+        assert!(buckets.contains(&(0, 1)), "zero bucket: {buckets:?}");
+        assert!(buckets.contains(&(1, 2)), "ones bucket: {buckets:?}");
+        // 1000 lands in [512, 1024).
+        assert!(buckets.contains(&(512, 1)), "512 bucket: {buckets:?}");
+        assert!(dump_json_lines().contains("\"name\":\"test/metrics/hist\""));
+    }
+
+    #[test]
+    fn bucket_floors_are_monotonic() {
+        let floors: Vec<u64> = (0..HISTOGRAM_BUCKETS)
+            .map(Histogram::bucket_floor)
+            .collect();
+        assert_eq!(floors[0], 0);
+        assert_eq!(floors[1], 1);
+        assert_eq!(floors[64], 1u64 << 63);
+        assert!(floors.windows(2).all(|w| w[0] < w[1]));
+    }
+}

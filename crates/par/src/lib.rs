@@ -149,6 +149,14 @@ where
             .map(|(chunk_idx, chunk)| {
                 let base = chunk_idx * chunk_len;
                 scope.spawn(move || {
+                    // Observability side channel only: the span never
+                    // touches the mapped values, so results stay
+                    // bit-identical with tracing on or off.
+                    let _span = cordoba_obs::span_with(
+                        "par/chunk",
+                        "items",
+                        u64::try_from(chunk.len()).unwrap_or(u64::MAX),
+                    );
                     chunk
                         .iter()
                         .enumerate()

@@ -66,6 +66,11 @@ pub fn simulate_events(
     ticks_per_segment: u32,
 ) -> EventSimResult {
     assert!(ticks_per_segment > 0, "ticks_per_segment must be > 0");
+    let _span = cordoba_obs::span_with(
+        "soc/event_sim",
+        "segments",
+        u64::try_from(trace.segments().len()).unwrap_or(u64::MAX),
+    );
     let cores = soc.cores();
     let m = cores.len();
     let leakage = soc.leakage_power();
@@ -144,6 +149,7 @@ pub fn simulate_events(
         }
         if remaining.iter().any(|&w| w > 1e-9) {
             truncated = true;
+            cordoba_obs::record(&cordoba_obs::Event::WatchdogTruncation);
         }
         duration += Seconds::new(t);
     }

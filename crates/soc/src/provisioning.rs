@@ -87,6 +87,7 @@ impl ProvisioningRow {
 /// Propagates model-construction errors (cannot occur for the default
 /// deployment).
 pub fn sweep(app: &VrApp, deployment: &Deployment) -> Result<Vec<ProvisioningRow>, CarbonError> {
+    let _span = cordoba_obs::span("soc/provisioning_sweep");
     let usage = UsageProfile::from_daily_hours(deployment.lifetime_years, app.daily_hours)?;
     let sessions = usage.operational_time().value() / app.session.value();
     let core_counts: Vec<u32> = (4..=8).collect();

@@ -105,6 +105,11 @@ fn segment_cpu_power(demands: &[f64], soc: &SocConfig, stretch: f64) -> Watts {
 /// ```
 #[must_use]
 pub fn schedule(trace: &ActivityTrace, app: &VrApp, soc: &SocConfig) -> ScheduleResult {
+    let _span = cordoba_obs::span_with(
+        "soc/schedule",
+        "segments",
+        u64::try_from(trace.segments().len()).unwrap_or(u64::MAX),
+    );
     let leakage = soc.leakage_power();
     let mut duration = Seconds::ZERO;
     let mut energy = Joules::ZERO;
