@@ -18,6 +18,10 @@
 //! entry. Floating-point fields are fingerprinted by IEEE-754 bit pattern,
 //! so two configs collide only when every field is bit-identical and the
 //! cached value is exactly the value a fresh computation would produce.
+//
+// cordoba-lint: allow-file(atomic-ordering) — hits/misses are monotonic
+// observability counters; cached values are handed off through the Mutex,
+// never through the counters, so Relaxed is sufficient.
 //!
 //! The cache is `Sync` (interior `Mutex`) so one instance can serve all
 //! workers of a `cordoba_par` sweep.

@@ -10,6 +10,10 @@
 //! Every query is counted per serving tier, so [`FallbackCi::health`] can
 //! report after the fact how often the chain degraded below its primary
 //! source.
+//
+// cordoba-lint: allow-file(atomic-ordering) — per-tier hit/rejected tallies
+// are monotonic observability counters read only by `health()` snapshots;
+// no data is published through them, so Relaxed is sufficient.
 
 use crate::error::CarbonError;
 use crate::integral::CiIntegral;

@@ -1,0 +1,41 @@
+//! Fixture: determinism findings suppressed by allow markers. Not compiled —
+//! parsed by tests.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+fn stable_enough(weights: &HashMap<String, f64>) -> Vec<String> {
+    // cordoba-lint: allow(nondet-iteration) — caller sorts before display
+    weights.keys().cloned().collect::<Vec<_>>()
+}
+
+fn coarse_timer() -> Instant {
+    // cordoba-lint: allow(wall-clock) — log timestamp only, never reaches results
+    Instant::now()
+}
+
+struct Tally {
+    value: AtomicU64,
+}
+
+impl Tally {
+    fn bump(&self) {
+        // cordoba-lint: allow(atomic-ordering) — monotonic counter
+        self.value.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+// cordoba-lint: allow-file(global-state)
+static SCRATCH_SLOTS: AtomicU64 = AtomicU64::new(0);
+
+fn ambient_region() -> String {
+    // cordoba-lint: allow(ambient-input) — documented escape hatch
+    std::env::var("CORDOBA_REGION").unwrap_or_default()
+}
+
+fn helper_thread() {
+    // cordoba-lint: allow(raw-thread) — joined before return, order-independent
+    let worker = std::thread::spawn(|| {});
+    let _ = worker.join();
+}

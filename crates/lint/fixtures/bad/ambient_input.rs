@@ -1,0 +1,16 @@
+//! Fixture: `ambient-input` positive cases. Not compiled — parsed by tests.
+
+use std::env;
+use std::fs;
+
+fn load_config() -> String {
+    let region = env::var("CORDOBA_REGION").unwrap_or_default();
+    let file = fs::read_to_string("cordoba.toml").unwrap_or_default();
+    let mut line = String::new();
+    let _ = std::io::stdin().read_line(&mut line);
+    format!("{region}{file}{line}")
+}
+
+fn parse_config_is_clean(text: &str) -> Vec<String> {
+    text.lines().map(str::to_owned).collect()
+}

@@ -1,0 +1,32 @@
+//! Fixture: `atomic-ordering` positive cases. Not compiled — parsed by tests.
+
+use std::sync::atomic::Ordering::Relaxed;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct Handoff {
+    ready: AtomicU64,
+}
+
+impl Handoff {
+    fn publish(&self) {
+        self.ready.store(1, Ordering::Relaxed);
+    }
+
+    fn poll(&self) -> u64 {
+        self.ready.load(Relaxed)
+    }
+
+    fn strong_is_clean(&self) -> u64 {
+        self.ready.load(Ordering::Acquire)
+    }
+}
+
+enum Mode {
+    Relaxed,
+    Strict,
+}
+
+fn variant_is_clean() -> Mode {
+    let _ = Mode::Strict;
+    Mode::Relaxed
+}

@@ -1,0 +1,24 @@
+//! Fixture: `global-state` positive cases. Not compiled — parsed by tests.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+static mut TOTAL_RUNS: u64 = 0;
+
+static RESULTS: Mutex<BTreeMap<u64, f64>> = Mutex::new(BTreeMap::new());
+
+thread_local! {
+    static SCRATCH: BTreeMap<u64, f64> = BTreeMap::new();
+}
+
+const LIMIT_IS_CLEAN: u64 = 64;
+
+static NAME_IS_CLEAN: &str = "cordoba";
+
+struct Wrapper {
+    inner: Mutex<u64>,
+}
+
+static WRAPPED: Wrapper = Wrapper {
+    inner: Mutex::new(0),
+};

@@ -1,0 +1,41 @@
+//! Fixture: `nondet-iteration` positive cases. Not compiled — parsed by tests.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+struct Index {
+    by_name: HashMap<String, u64>,
+}
+
+impl Index {
+    fn names(&self) -> Vec<String> {
+        self.by_name.keys().cloned().collect::<Vec<_>>()
+    }
+}
+
+fn report(weights: &HashMap<String, f64>) -> String {
+    let mut out = String::new();
+    for (name, _w) in weights.iter() {
+        out.push_str(name);
+    }
+    out
+}
+
+fn leaked_iter(tags: &HashSet<u64>) -> Vec<u64> {
+    let mut seen = HashSet::new();
+    seen.insert(1u64);
+    let mut all: Vec<u64> = tags.iter().copied().collect::<Vec<u64>>();
+    all.extend(seen.drain());
+    all
+}
+
+fn order_insensitive_is_clean(weights: &HashMap<String, f64>) -> f64 {
+    weights.values().sum()
+}
+
+fn sorted_is_clean(weights: &BTreeMap<String, f64>) -> usize {
+    let mut n = 0;
+    for _ in weights.keys() {
+        n += 1;
+    }
+    n
+}

@@ -1,0 +1,27 @@
+//! Fixture: `raw-thread` positive cases. Not compiled — parsed by tests.
+
+use std::sync::mpsc;
+use std::thread;
+
+fn fan_out() -> u64 {
+    let (tx, rx) = mpsc::channel();
+    let worker = thread::spawn(move || {
+        let _ = tx.send(1u64);
+    });
+    let _ = worker.join();
+    let mut total = 0u64;
+    while let Ok(v) = rx.recv() {
+        total += v;
+    }
+    total
+}
+
+struct Pool;
+
+impl Pool {
+    fn spawn(&self) {}
+}
+
+fn method_spawn_is_clean(pool: &Pool) {
+    pool.spawn();
+}

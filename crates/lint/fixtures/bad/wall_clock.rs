@@ -1,0 +1,23 @@
+//! Fixture: `wall-clock` positive cases. Not compiled — parsed by tests.
+
+use std::time::Instant as Clock;
+use std::time::SystemTime;
+
+fn measure() -> f64 {
+    let started = Clock::now();
+    let _wall = SystemTime::now();
+    let _precise = std::time::Instant::now();
+    started.elapsed().as_secs_f64()
+}
+
+struct Stamp;
+
+impl Stamp {
+    fn now() -> Self {
+        Stamp
+    }
+}
+
+fn workspace_clock_is_clean() -> Stamp {
+    Stamp::now()
+}

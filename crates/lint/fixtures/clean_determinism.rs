@@ -1,0 +1,33 @@
+//! Fixture: determinism-family negative cases — order-insensitive sinks,
+//! ordered containers, and locally-defined look-alike APIs. Not compiled —
+//! parsed by tests.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+
+fn total(weights: &HashMap<String, f64>) -> f64 {
+    weights.values().sum()
+}
+
+fn distinct(tags: &HashSet<u64>) -> usize {
+    tags.iter().count()
+}
+
+fn ordered_report(weights: &BTreeMap<String, f64>) -> String {
+    let mut out = String::new();
+    for name in weights.keys() {
+        out.push_str(name);
+    }
+    out
+}
+
+fn sorted_names(index: &HashMap<String, u64>) -> BTreeSet<String> {
+    index.keys().cloned().collect::<BTreeSet<String>>()
+}
+
+fn merge(dst: &mut BTreeMap<u64, f64>, src: &HashMap<u64, f64>) {
+    dst.extend(src.iter().map(|(k, v)| (*k, *v)));
+}
+
+fn bounded(values: &HashMap<u64, f64>) -> bool {
+    values.values().all(|v| v.is_finite())
+}

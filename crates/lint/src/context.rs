@@ -5,6 +5,7 @@ use std::collections::BTreeSet;
 
 use crate::lexer::{tokenize, Token, TokenKind};
 use crate::markers::Markers;
+use crate::parser::{parse_items, Item};
 
 /// Where a file sits in the workspace, which decides rule applicability.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -33,6 +34,9 @@ pub struct FileContext {
     pub kind: FileKind,
     /// Lexed tokens.
     pub tokens: Vec<Token>,
+    /// Parsed item tree (see [`crate::parser`]); structure-aware rules and
+    /// the workspace model are built from this.
+    pub items: Vec<Item>,
     /// Suppression markers parsed from raw source.
     pub markers: Markers,
     /// Half-open token-index ranges covered by `#[cfg(test)]` / `#[test]`
@@ -46,11 +50,13 @@ impl FileContext {
     pub fn new(rel: &str, source: &str) -> Self {
         let tokens = tokenize(source);
         let test_regions = find_test_regions(&tokens);
+        let items = parse_items(&tokens);
         Self {
             rel: rel.to_string(),
             file_name: rel.rsplit('/').next().unwrap_or(rel).to_string(),
             kind: classify(rel),
             tokens,
+            items,
             markers: Markers::parse(source),
             test_regions,
         }

@@ -1,6 +1,37 @@
-//! Diagnostic type and rendering.
+//! Diagnostic type, severity levels, and rendering.
 
 use core::fmt;
+
+/// How a finding affects the exit code.
+///
+/// `deny` findings fail the run (exit 1); `warn` findings are printed and
+/// counted but do not fail. Every rule declares a default
+/// ([`crate::rules::Rule::severity`]); the CLI can override per rule with
+/// `--deny`/`--warn`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Reported, counted, never fails the run.
+    Warn,
+    /// Fails the run unless baselined or suppressed.
+    Deny,
+}
+
+impl Severity {
+    /// Stable lowercase name (`deny` / `warn`) used in output and JSON.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Self::Warn => "warn",
+            Self::Deny => "deny",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
 
 /// One finding produced by a lint rule.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -11,18 +42,22 @@ pub struct Diagnostic {
     pub line: u32,
     /// Name of the rule that fired (e.g. `unit-laundering`).
     pub rule: &'static str,
+    /// Effective severity (rule default, possibly overridden by the CLI).
+    pub severity: Severity,
     /// Human-readable explanation with a suggested fix.
     pub message: String,
 }
 
 impl Diagnostic {
-    /// Builds a diagnostic.
+    /// Builds a diagnostic at the rule's default `deny` severity; the
+    /// driver stamps the effective severity before reporting.
     #[must_use]
     pub fn new(file: &str, line: u32, rule: &'static str, message: impl Into<String>) -> Self {
         Self {
             file: file.to_string(),
             line,
             rule,
+            severity: Severity::Deny,
             message: message.into(),
         }
     }
@@ -32,8 +67,8 @@ impl fmt::Display for Diagnostic {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{}:{}: [{}] {}",
-            self.file, self.line, self.rule, self.message
+            "{}:{}: {} [{}] {}",
+            self.file, self.line, self.severity, self.rule, self.message
         )
     }
 }
@@ -45,14 +80,17 @@ pub fn sort(diags: &mut [Diagnostic]) {
 
 #[cfg(test)]
 mod tests {
-    use super::Diagnostic;
+    use super::{Diagnostic, Severity};
 
     #[test]
-    fn renders_as_file_line_rule_message() {
+    fn renders_as_file_line_severity_rule_message() {
         let d = Diagnostic::new("crates/x/src/lib.rs", 7, "float-eq", "exact comparison");
         assert_eq!(
             d.to_string(),
-            "crates/x/src/lib.rs:7: [float-eq] exact comparison"
+            "crates/x/src/lib.rs:7: deny [float-eq] exact comparison"
         );
+        let mut w = d;
+        w.severity = Severity::Warn;
+        assert!(w.to_string().contains("warn [float-eq]"));
     }
 }

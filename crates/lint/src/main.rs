@@ -1,18 +1,20 @@
 //! CLI driver for `cordoba-lint`.
 //!
 //! ```text
-//! cordoba-lint check [--rules a,b] [--skip a,b] [PATH ...]
+//! cordoba-lint check [options] [PATH ...]
 //! cordoba-lint rules
 //! ```
 //!
-//! `check` with no paths lints the whole workspace. Exit codes: 0 clean,
-//! 1 findings, 2 usage or I/O error.
+//! `check` with no paths lints the whole workspace; multiple (even
+//! overlapping) paths are deduplicated into one run. See `--help` for
+//! options and exit codes.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use cordoba_lint::diagnostics::Severity;
 use cordoba_lint::rules::all_rules;
-use cordoba_lint::{workspace_root, Linter};
+use cordoba_lint::{json, workspace_root, Linter};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -20,7 +22,12 @@ fn main() -> ExitCode {
         Some("check") => run_check(&args[1..]),
         Some("rules") => {
             for rule in all_rules() {
-                println!("{:<18} {}", rule.name(), rule.description());
+                println!(
+                    "{:<18} {:<5} {}",
+                    rule.name(),
+                    rule.severity(),
+                    rule.description()
+                );
             }
             ExitCode::SUCCESS
         }
@@ -38,67 +45,205 @@ fn main() -> ExitCode {
 
 fn print_usage() {
     eprintln!(
-        "usage: cordoba-lint check [--rules a,b] [--skip a,b] [PATH ...]\n       \
+        "usage: cordoba-lint check [options] [PATH ...]\n       \
          cordoba-lint rules\n\n\
-         `check` with no PATH lints the whole workspace. Suppress a finding\n\
-         with `// cordoba-lint: allow(<rule>)` on or above the offending line."
+         options:\n  \
+         --rules a,b            run only these rules (`determinism` expands to the family)\n  \
+         --skip a,b             disable these rules\n  \
+         --deny a,b             escalate these rules' findings to deny\n  \
+         --warn a,b             demote these rules' findings to warn\n  \
+         --format text|json     output format (default: text)\n  \
+         --baseline FILE        tolerate findings recorded in FILE (JSON)\n  \
+         --write-baseline FILE  record current findings into FILE and exit 0\n\n\
+         `check` with no PATH lints the whole workspace; overlapping paths are\n\
+         deduplicated into a single run. Suppress a finding in source with\n\
+         `// cordoba-lint: allow(<rule>)` on or above the offending line.\n\n\
+         exit codes:\n  \
+         0  clean (no findings outside the baseline at `deny` severity)\n  \
+         1  new `deny` findings\n  \
+         2  usage or I/O error"
     );
 }
 
-fn run_check(args: &[String]) -> ExitCode {
-    let mut linter = Linter::new();
-    let mut paths: Vec<PathBuf> = Vec::new();
+struct CheckConfig {
+    linter: Linter,
+    paths: Vec<PathBuf>,
+    format: Format,
+    baseline: Option<PathBuf>,
+    write_baseline: Option<PathBuf>,
+}
+
+#[derive(PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
+}
+
+fn parse_args(args: &[String]) -> Result<CheckConfig, String> {
+    let mut cfg = CheckConfig {
+        linter: Linter::new(),
+        paths: Vec::new(),
+        format: Format::Text,
+        baseline: None,
+        write_baseline: None,
+    };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
-        let configure = |list: Option<&String>,
-                         f: &mut dyn FnMut(&[&str]) -> Result<(), String>| {
-            let Some(list) = list else {
-                return Err("missing comma-separated rule list".to_string());
-            };
-            f(&list.split(',').map(str::trim).collect::<Vec<_>>())
+        let mut value = |flag: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("`{flag}` needs a value"))
         };
-        let result = match arg.as_str() {
-            "--rules" => configure(it.next(), &mut |names| linter.restrict_to(names)),
-            "--skip" => configure(it.next(), &mut |names| linter.skip(names)),
-            flag if flag.starts_with("--") => Err(format!("unknown flag `{flag}`")),
-            path => {
-                paths.push(PathBuf::from(path));
-                Ok(())
+        match arg.as_str() {
+            "--rules" => {
+                let list = value("--rules")?;
+                cfg.linter.restrict_to(&split(&list))?;
             }
-        };
-        if let Err(msg) = result {
+            "--skip" => {
+                let list = value("--skip")?;
+                cfg.linter.skip(&split(&list))?;
+            }
+            "--deny" => {
+                let list = value("--deny")?;
+                cfg.linter.set_severity(&split(&list), Severity::Deny)?;
+            }
+            "--warn" => {
+                let list = value("--warn")?;
+                cfg.linter.set_severity(&split(&list), Severity::Warn)?;
+            }
+            "--format" => {
+                cfg.format = match value("--format")?.as_str() {
+                    "text" => Format::Text,
+                    "json" => Format::Json,
+                    other => return Err(format!("unknown format `{other}` (text|json)")),
+                };
+            }
+            "--baseline" => cfg.baseline = Some(PathBuf::from(value("--baseline")?)),
+            "--write-baseline" => {
+                cfg.write_baseline = Some(PathBuf::from(value("--write-baseline")?));
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
+            path => cfg.paths.push(PathBuf::from(path)),
+        }
+    }
+    if cfg.paths.is_empty() {
+        cfg.paths.push(workspace_root());
+    }
+    Ok(cfg)
+}
+
+fn split(list: &str) -> Vec<&str> {
+    list.split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect()
+}
+
+fn run_check(args: &[String]) -> ExitCode {
+    let cfg = match parse_args(args) {
+        Ok(cfg) => cfg,
+        Err(msg) => {
             eprintln!("cordoba-lint: {msg}");
             return ExitCode::from(2);
         }
+    };
+
+    let diags = match cfg.linter.run(&cfg.paths) {
+        Ok(d) => d,
+        Err(err) => {
+            eprintln!("cordoba-lint: I/O error: {err}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(path) = &cfg.write_baseline {
+        let text = json::baseline_to_json(&diags);
+        if let Err(err) = std::fs::write(path, text) {
+            eprintln!("cordoba-lint: cannot write {}: {err}", path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!(
+            "cordoba-lint: wrote baseline with {} finding(s) to {}",
+            diags.len(),
+            path.display()
+        );
+        return ExitCode::SUCCESS;
     }
 
-    if paths.is_empty() {
-        paths.push(workspace_root());
-    }
+    let (fresh, baselined) = match &cfg.baseline {
+        Some(path) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(err) => {
+                    eprintln!("cordoba-lint: cannot read {}: {err}", path.display());
+                    return ExitCode::from(2);
+                }
+            };
+            let entries = match json::parse_baseline(&text) {
+                Ok(e) => e,
+                Err(msg) => {
+                    eprintln!("cordoba-lint: {}: {msg}", path.display());
+                    return ExitCode::from(2);
+                }
+            };
+            json::apply_baseline(diags, &entries)
+        }
+        None => (diags, 0),
+    };
 
-    let mut diags = Vec::new();
-    for path in &paths {
-        match linter.check_path(path) {
-            Ok(d) => diags.extend(d),
-            Err(err) => {
-                eprintln!("cordoba-lint: failed to read {}: {err}", path.display());
-                return ExitCode::from(2);
+    match cfg.format {
+        Format::Json => print!("{}", json::report_to_json(&fresh, baselined)),
+        Format::Text => {
+            for d in &fresh {
+                println!("{d}");
             }
+            eprintln!("{}", summary_line(&cfg, &fresh, baselined));
         }
     }
 
-    for d in &diags {
-        println!("{d}");
-    }
-    if diags.is_empty() {
-        eprintln!(
-            "cordoba-lint: clean ({} rules: {})",
-            linter.active_rules().len(),
-            linter.active_rules().join(", ")
-        );
-        ExitCode::SUCCESS
-    } else {
-        eprintln!("cordoba-lint: {} finding(s)", diags.len());
+    if fresh.iter().any(|d| d.severity == Severity::Deny) {
         ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
     }
+}
+
+/// One-line human summary with per-rule counts:
+/// `cordoba-lint: 3 finding(s) (deny: 2, warn: 1; no-panic: 2, float-eq: 1), 4 baselined`.
+fn summary_line(
+    cfg: &CheckConfig,
+    fresh: &[cordoba_lint::diagnostics::Diagnostic],
+    baselined: usize,
+) -> String {
+    let suffix = if baselined > 0 {
+        format!(", {baselined} baselined")
+    } else {
+        String::new()
+    };
+    if fresh.is_empty() {
+        return format!(
+            "cordoba-lint: clean ({} rules: {}){suffix}",
+            cfg.linter.active_rules().len(),
+            cfg.linter.active_rules().join(", ")
+        );
+    }
+    let mut by_rule: std::collections::BTreeMap<&str, usize> = std::collections::BTreeMap::new();
+    let mut deny = 0usize;
+    let mut warn = 0usize;
+    for d in fresh {
+        *by_rule.entry(d.rule).or_insert(0) += 1;
+        match d.severity {
+            Severity::Deny => deny += 1,
+            Severity::Warn => warn += 1,
+        }
+    }
+    let rule_counts = by_rule
+        .iter()
+        .map(|(rule, n)| format!("{rule}: {n}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!(
+        "cordoba-lint: {} finding(s) (deny: {deny}, warn: {warn}; {rule_counts}){suffix}",
+        fresh.len()
+    )
 }

@@ -12,15 +12,19 @@
 //! `// cordoba-lint: allow-file(rule-name)` anywhere in the file (typically
 //! next to the crate docs). Multiple rules may be listed, comma-separated.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Parsed suppression markers for one file.
+///
+/// Containers are `BTree*` so [`Markers::mentioned_rules`] (and therefore
+/// any validation output derived from it) iterates in a stable order — the
+/// lint tool holds itself to its own `nondet-iteration` rule.
 #[derive(Debug, Default, Clone)]
 pub struct Markers {
     /// Rules allowed on a specific line (and the line after it).
-    line_allows: HashMap<u32, HashSet<String>>,
+    line_allows: BTreeMap<u32, BTreeSet<String>>,
     /// Rules allowed for the whole file.
-    file_allows: HashSet<String>,
+    file_allows: BTreeSet<String>,
 }
 
 impl Markers {
@@ -81,7 +85,7 @@ impl Markers {
 
     /// Every rule name mentioned by any marker (for validation).
     #[must_use]
-    pub fn mentioned_rules(&self) -> HashSet<&str> {
+    pub fn mentioned_rules(&self) -> BTreeSet<&str> {
         self.file_allows
             .iter()
             .map(String::as_str)

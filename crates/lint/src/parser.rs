@@ -1,0 +1,785 @@
+//! A lightweight item/block parser over the token stream.
+//!
+//! The per-file pattern matchers in the original rule set only needed a flat
+//! token window; the determinism family needs *structure*: which `fn` a
+//! token lives in, what the enclosing `impl`'s self type is, what a file
+//! `use`s, and which fields a `struct` declares. This module recovers that
+//! structure with a tolerant single-pass parser on top of
+//! [`crate::lexer::tokenize`] — no expression parsing, just item headers,
+//! brace-matched bodies, per-item attribute capture, flattened `use` trees,
+//! and struct-field types. Anything it does not recognize is skipped, so
+//! malformed or exotic input degrades to "no structure" rather than an
+//! error; rules built on it must treat absence of information as
+//! "do not flag".
+
+use crate::lexer::{Token, TokenKind};
+
+/// What kind of item a parsed node is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ItemKind {
+    /// `fn` (free or associated).
+    Fn,
+    /// `struct`.
+    Struct,
+    /// `enum`.
+    Enum,
+    /// `union`.
+    Union,
+    /// `trait`.
+    Trait,
+    /// `impl` block; `name` is the self-type head, children are its items.
+    Impl,
+    /// `mod`; inline bodies are parsed into `children`.
+    Mod,
+    /// `use` declaration; flatten with [`flatten_use`] over `header`.
+    Use,
+    /// `static` item; `mutable` is `true` for `static mut`.
+    Static {
+        /// `true` for `static mut`.
+        mutable: bool,
+    },
+    /// `const` item.
+    Const,
+    /// `type Name = ...;` alias; target tokens are in `header` after `=`.
+    TypeAlias,
+    /// `extern crate ...;`.
+    ExternCrate,
+    /// Item-position macro invocation (`thread_local! { ... }`,
+    /// `macro_rules! name { ... }`); `name` is the macro path head.
+    MacroCall,
+}
+
+/// One `#[...]` attribute attached to an item.
+#[derive(Debug, Clone)]
+pub struct Attr {
+    /// 1-based source line of the `#`.
+    pub line: u32,
+    /// First path segment inside the brackets (`cfg`, `must_use`, ...).
+    pub path: String,
+    /// Half-open token range of the attribute's interior.
+    pub range: (usize, usize),
+}
+
+/// One parsed item.
+#[derive(Debug, Clone)]
+pub struct Item {
+    /// Item kind.
+    pub kind: ItemKind,
+    /// Declared name (fn/struct/... name; for `impl`, the self-type head).
+    pub name: Option<String>,
+    /// Attributes captured immediately before the item.
+    pub attrs: Vec<Attr>,
+    /// 1-based line of the item keyword.
+    pub line: u32,
+    /// Token index of the item keyword.
+    pub kw: usize,
+    /// Half-open token range from the keyword up to (excluding) the body
+    /// brace or terminating semicolon — the signature/header tokens.
+    pub header: (usize, usize),
+    /// Half-open token range of the body interior (inside the braces), when
+    /// the item has a braced body.
+    pub body: Option<(usize, usize)>,
+    /// One past the item's final token.
+    pub end: usize,
+    /// Nested items (for `mod` and `impl` bodies).
+    pub children: Vec<Item>,
+}
+
+/// One flattened `use` import: the full path as written and the name it
+/// binds locally (the alias, the final segment, or `*` for globs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UseImport {
+    /// Path segments as written (`["std", "collections", "HashMap"]`).
+    pub path: Vec<String>,
+    /// Local binding name (`HashMap`, or the `as` alias, or `*`).
+    pub name: String,
+}
+
+/// Parses the whole token stream into a flat list of top-level items
+/// (with `mod`/`impl` children nested).
+#[must_use]
+pub fn parse_items(tokens: &[Token]) -> Vec<Item> {
+    parse_range(tokens, 0, tokens.len())
+}
+
+/// Index of the token matching the opening delimiter at `open`, or `end`
+/// when unmatched (callers clamp with `.min(end)` after `+ 1`).
+#[must_use]
+pub fn matching_close(t: &[Token], open: usize, end: usize) -> usize {
+    let oc = t[open].text.chars().next().unwrap_or('(');
+    let cc = match oc {
+        '(' => ')',
+        '[' => ']',
+        _ => '}',
+    };
+    let mut depth = 0i32;
+    let mut k = open;
+    while k < end {
+        if t[k].is_open(oc) {
+            depth += 1;
+        } else if t[k].is_close(cc) {
+            depth -= 1;
+            if depth == 0 {
+                return k;
+            }
+        }
+        k += 1;
+    }
+    end
+}
+
+fn parse_range(t: &[Token], mut i: usize, end: usize) -> Vec<Item> {
+    let mut items = Vec::new();
+    while i < end {
+        // Inner attribute `#![...]`: file/module metadata, skip.
+        if t[i].is_punct("#")
+            && t.get(i + 1).is_some_and(|n| n.is_punct("!"))
+            && t.get(i + 2).is_some_and(|n| n.is_open('['))
+        {
+            i = (matching_close(t, i + 2, end) + 1).min(end);
+            continue;
+        }
+        // Outer attributes.
+        let mut attrs = Vec::new();
+        while i + 1 < end && t[i].is_punct("#") && t[i + 1].is_open('[') {
+            let close = matching_close(t, i + 1, end);
+            let path = t
+                .get(i + 2)
+                .filter(|tok| tok.kind == TokenKind::Ident)
+                .map(|tok| tok.text.clone())
+                .unwrap_or_default();
+            attrs.push(Attr {
+                line: t[i].line,
+                path,
+                range: (i + 2, close),
+            });
+            i = (close + 1).min(end);
+        }
+        if i >= end {
+            break;
+        }
+        // Visibility and qualifiers.
+        let mut j = i;
+        loop {
+            if j < end && t[j].is_ident("pub") {
+                j += 1;
+                if j < end && t[j].is_open('(') {
+                    j = (matching_close(t, j, end) + 1).min(end);
+                }
+            } else if j < end
+                && (t[j].is_ident("unsafe") || t[j].is_ident("async") || t[j].is_ident("default"))
+            {
+                j += 1;
+            } else if j < end
+                && t[j].is_ident("extern")
+                && t.get(j + 1).is_some_and(|n| n.kind == TokenKind::Text)
+            {
+                j += 2;
+            } else if j < end
+                && t[j].is_ident("const")
+                && t.get(j + 1).is_some_and(|n| {
+                    n.is_ident("fn") || n.is_ident("unsafe") || n.is_ident("extern")
+                })
+            {
+                j += 1; // `const fn` qualifier; bare `const NAME` dispatches below
+            } else {
+                break;
+            }
+        }
+        if j >= end {
+            break;
+        }
+        match parse_one(t, j, end, attrs) {
+            Some(item) => {
+                i = item.end;
+                items.push(item);
+            }
+            None => i = j + 1,
+        }
+    }
+    items
+}
+
+/// Scans forward from `from` for a `{` or `;` at zero paren/bracket depth;
+/// returns `(index, is_brace)`. `end` when neither occurs.
+fn find_body_or_semi(t: &[Token], from: usize, end: usize) -> (usize, bool) {
+    let mut k = from;
+    while k < end {
+        if t[k].is_open('(') || t[k].is_open('[') {
+            k = (matching_close(t, k, end) + 1).min(end);
+            continue;
+        }
+        if t[k].is_open('{') {
+            return (k, true);
+        }
+        if t[k].is_punct(";") {
+            return (k, false);
+        }
+        k += 1;
+    }
+    (end, false)
+}
+
+/// Parses one item whose keyword is at `kw`; returns `None` for anything
+/// unrecognized (the caller then advances one token).
+fn parse_one(t: &[Token], kw: usize, end: usize, attrs: Vec<Attr>) -> Option<Item> {
+    let line = t[kw].line;
+    let name_at = |idx: usize| -> Option<String> {
+        t.get(idx)
+            .filter(|n| n.kind == TokenKind::Ident)
+            .map(|n| n.text.clone())
+    };
+    let make = |kind: ItemKind,
+                name: Option<String>,
+                attrs: Vec<Attr>,
+                header_end: usize,
+                body: Option<(usize, usize)>,
+                item_end: usize,
+                children: Vec<Item>| {
+        Some(Item {
+            kind,
+            name,
+            attrs,
+            line,
+            kw,
+            header: (kw, header_end),
+            body,
+            end: item_end.min(end),
+            children,
+        })
+    };
+
+    let kw_text = if t[kw].kind == TokenKind::Ident {
+        t[kw].text.as_str()
+    } else {
+        return None;
+    };
+    match kw_text {
+        "fn" => {
+            let name = name_at(kw + 1);
+            let (at, is_brace) = find_body_or_semi(t, kw + 2, end);
+            if is_brace {
+                let close = matching_close(t, at, end);
+                make(
+                    ItemKind::Fn,
+                    name,
+                    attrs,
+                    at,
+                    Some((at + 1, close)),
+                    close + 1,
+                    Vec::new(),
+                )
+            } else {
+                make(ItemKind::Fn, name, attrs, at, None, at + 1, Vec::new())
+            }
+        }
+        "struct" | "enum" | "union" | "trait" => {
+            let kind = match kw_text {
+                "struct" => ItemKind::Struct,
+                "enum" => ItemKind::Enum,
+                "union" => ItemKind::Union,
+                _ => ItemKind::Trait,
+            };
+            let name = name_at(kw + 1);
+            let (at, is_brace) = find_body_or_semi(t, kw + 2, end);
+            if is_brace {
+                let close = matching_close(t, at, end);
+                // Braced-then-semi tuple forms don't occur; `struct X { .. }`
+                // ends at the close brace.
+                make(
+                    kind,
+                    name,
+                    attrs,
+                    at,
+                    Some((at + 1, close)),
+                    close + 1,
+                    Vec::new(),
+                )
+            } else {
+                // Unit or tuple struct: `struct X;` / `struct X(A, B);`.
+                make(kind, name, attrs, at, None, at + 1, Vec::new())
+            }
+        }
+        "impl" => {
+            let mut k = kw + 1;
+            if k < end && t[k].text.starts_with('<') && t[k].kind == TokenKind::Punct {
+                k = skip_angles(t, k, end);
+            }
+            // Self type is everything up to `{`; with a trait impl, the part
+            // after `for`.
+            let (open, is_brace) = find_body_or_semi(t, k, end);
+            if !is_brace {
+                return make(
+                    ItemKind::Impl,
+                    None,
+                    attrs,
+                    open,
+                    None,
+                    open + 1,
+                    Vec::new(),
+                );
+            }
+            let mut ty_start = k;
+            let mut m = k;
+            while m < open {
+                if t[m].is_ident("for") && !t.get(m + 1).is_some_and(|n| n.is_punct("<")) {
+                    ty_start = m + 1;
+                }
+                if t[m].is_open('(') || t[m].is_open('[') {
+                    m = (matching_close(t, m, open) + 1).min(open);
+                    continue;
+                }
+                m += 1;
+            }
+            let name = type_path(&t[ty_start..open]).last().cloned();
+            let close = matching_close(t, open, end);
+            let children = parse_range(t, open + 1, close);
+            make(
+                ItemKind::Impl,
+                name,
+                attrs,
+                open,
+                Some((open + 1, close)),
+                close + 1,
+                children,
+            )
+        }
+        "mod" => {
+            let name = name_at(kw + 1);
+            let (at, is_brace) = find_body_or_semi(t, kw + 2, end);
+            if is_brace {
+                let close = matching_close(t, at, end);
+                let children = parse_range(t, at + 1, close);
+                make(
+                    ItemKind::Mod,
+                    name,
+                    attrs,
+                    at,
+                    Some((at + 1, close)),
+                    close + 1,
+                    children,
+                )
+            } else {
+                make(ItemKind::Mod, name, attrs, at, None, at + 1, Vec::new())
+            }
+        }
+        "use" => {
+            let mut k = kw + 1;
+            while k < end && !t[k].is_punct(";") {
+                if t[k].is_open('{') {
+                    k = (matching_close(t, k, end) + 1).min(end);
+                    continue;
+                }
+                k += 1;
+            }
+            make(ItemKind::Use, None, attrs, k, None, k + 1, Vec::new())
+        }
+        "static" => {
+            let mutable = t.get(kw + 1).is_some_and(|n| n.is_ident("mut"));
+            let name = name_at(kw + 1 + usize::from(mutable));
+            let (at, _) = find_body_or_semi(t, kw + 1, end);
+            make(
+                ItemKind::Static { mutable },
+                name,
+                attrs,
+                at,
+                None,
+                at + 1,
+                Vec::new(),
+            )
+        }
+        "const" => {
+            let name = name_at(kw + 1);
+            let (at, _) = find_body_or_semi(t, kw + 1, end);
+            make(ItemKind::Const, name, attrs, at, None, at + 1, Vec::new())
+        }
+        "type" => {
+            let name = name_at(kw + 1);
+            let (at, _) = find_body_or_semi(t, kw + 1, end);
+            make(
+                ItemKind::TypeAlias,
+                name,
+                attrs,
+                at,
+                None,
+                at + 1,
+                Vec::new(),
+            )
+        }
+        "extern" if t.get(kw + 1).is_some_and(|n| n.is_ident("crate")) => {
+            let (at, _) = find_body_or_semi(t, kw + 1, end);
+            make(
+                ItemKind::ExternCrate,
+                name_at(kw + 2),
+                attrs,
+                at,
+                None,
+                at + 1,
+                Vec::new(),
+            )
+        }
+        _ => {
+            // Item-position macro call: `name!(...)`, `name! { ... }`,
+            // `macro_rules! name { ... }`.
+            if t.get(kw + 1).is_some_and(|n| n.is_punct("!")) {
+                let name = Some(t[kw].text.clone());
+                let mut k = kw + 2;
+                if t.get(k).is_some_and(|n| n.kind == TokenKind::Ident) {
+                    k += 1; // `macro_rules! name`
+                }
+                if k < end && t[k].kind == TokenKind::Open {
+                    let brace = t[k].is_open('{');
+                    let close = matching_close(t, k, end);
+                    let mut item_end = close + 1;
+                    if !brace && t.get(item_end).is_some_and(|n| n.is_punct(";")) {
+                        item_end += 1;
+                    }
+                    return Some(Item {
+                        kind: ItemKind::MacroCall,
+                        name,
+                        attrs,
+                        line,
+                        kw,
+                        header: (kw, k),
+                        body: Some((k + 1, close)),
+                        end: item_end.min(end),
+                        children: Vec::new(),
+                    });
+                }
+            }
+            None
+        }
+    }
+}
+
+/// Skips a balanced `<...>` generic group starting at `from` (a token whose
+/// text begins with `<`); returns the index one past the closing `>`.
+#[must_use]
+pub fn skip_angles(t: &[Token], from: usize, end: usize) -> usize {
+    let mut depth = 0i32;
+    let mut k = from;
+    while k < end {
+        if t[k].kind == TokenKind::Punct {
+            match t[k].text.as_str() {
+                "<" | "<=" => depth += 1,
+                "<<" => depth += 2,
+                ">" | ">=" => depth -= 1,
+                ">>" => depth -= 2,
+                ";" if depth <= 0 => return k,
+                _ => {}
+            }
+            if depth <= 0 && matches!(t[k].text.as_str(), ">" | ">>" | ">=") {
+                return k + 1;
+            }
+        }
+        k += 1;
+    }
+    end
+}
+
+/// Extracts the leading type path from a type-position token slice:
+/// `&'a mut std::collections::HashMap<K, V>` → `["std", "collections",
+/// "HashMap"]`. Returns an empty path for shapes the heuristic does not
+/// understand (qualified paths, `dyn` objects behind pointers, tuples, ...).
+#[must_use]
+pub fn type_path(toks: &[Token]) -> Vec<String> {
+    let mut i = 0;
+    while i < toks.len() {
+        let tok = &toks[i];
+        let skip = tok.is_punct("&")
+            || tok.is_punct("*")
+            || tok.kind == TokenKind::Lifetime
+            || tok.is_ident("mut")
+            || tok.is_ident("const")
+            || tok.is_ident("dyn");
+        if skip {
+            i += 1;
+        } else {
+            break;
+        }
+    }
+    let mut path = Vec::new();
+    while i < toks.len() {
+        let tok = &toks[i];
+        if tok.kind == TokenKind::Ident {
+            path.push(tok.text.clone());
+            if toks.get(i + 1).is_some_and(|n| n.is_punct("::"))
+                && toks.get(i + 2).is_some_and(|n| n.kind == TokenKind::Ident)
+            {
+                i += 2;
+                continue;
+            }
+        }
+        break;
+    }
+    path
+}
+
+/// Flattens the use-tree in `toks` (the tokens between `use` and `;`) into
+/// individual imports.
+#[must_use]
+pub fn flatten_use(toks: &[Token]) -> Vec<UseImport> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    // Leading `::` for 2015-style absolute paths.
+    if toks.first().is_some_and(|tok| tok.is_punct("::")) {
+        i = 1;
+    }
+    walk_use(toks, &mut i, &[], &mut out);
+    out
+}
+
+fn finish_use(mut path: Vec<String>, alias: Option<String>, out: &mut Vec<UseImport>) {
+    // `use a::b::{self}` / `use a::b as c` binding names.
+    if path.last().is_some_and(|s| s == "self") && path.len() > 1 {
+        path.pop();
+    }
+    let name = match alias {
+        Some(a) => a,
+        None => match path.last() {
+            Some(last) => last.clone(),
+            None => return,
+        },
+    };
+    out.push(UseImport { path, name });
+}
+
+fn walk_use(t: &[Token], i: &mut usize, prefix: &[String], out: &mut Vec<UseImport>) {
+    let mut path = prefix.to_vec();
+    loop {
+        let Some(tok) = t.get(*i) else {
+            if path.len() > prefix.len() {
+                finish_use(path, None, out);
+            }
+            return;
+        };
+        if tok.kind == TokenKind::Ident && tok.text != "as" {
+            path.push(tok.text.clone());
+            *i += 1;
+            if t.get(*i).is_some_and(|n| n.is_punct("::")) {
+                *i += 1;
+                continue;
+            }
+            if t.get(*i).is_some_and(|n| n.is_ident("as")) {
+                *i += 1;
+                let alias = t.get(*i).filter(|n| n.kind == TokenKind::Ident).map(|n| {
+                    let a = n.text.clone();
+                    *i += 1;
+                    a
+                });
+                finish_use(path, alias, out);
+                return;
+            }
+            finish_use(path, None, out);
+            return;
+        } else if tok.is_open('{') {
+            *i += 1;
+            loop {
+                match t.get(*i) {
+                    None => return,
+                    Some(n) if n.is_close('}') => {
+                        *i += 1;
+                        return;
+                    }
+                    Some(n) if n.is_punct(",") => *i += 1,
+                    Some(_) => walk_use(t, i, &path, out),
+                }
+            }
+        } else if tok.is_punct("*") {
+            *i += 1;
+            out.push(UseImport {
+                path,
+                name: "*".to_string(),
+            });
+            return;
+        } else {
+            *i += 1;
+            return;
+        }
+    }
+}
+
+/// Extracts `(field, type_path)` pairs from a braced struct body.
+#[must_use]
+pub fn struct_fields(t: &[Token], body: (usize, usize)) -> Vec<(String, Vec<String>)> {
+    let (mut i, end) = body;
+    let mut out = Vec::new();
+    while i < end {
+        if t[i].is_punct("#") && t.get(i + 1).is_some_and(|n| n.is_open('[')) {
+            i = (matching_close(t, i + 1, end) + 1).min(end);
+            continue;
+        }
+        if t[i].is_ident("pub") {
+            i += 1;
+            if i < end && t[i].is_open('(') {
+                i = (matching_close(t, i, end) + 1).min(end);
+            }
+            continue;
+        }
+        if t[i].kind == TokenKind::Ident && t.get(i + 1).is_some_and(|n| n.is_punct(":")) {
+            let name = t[i].text.clone();
+            let ty_start = i + 2;
+            let mut k = ty_start;
+            let mut angle = 0i32;
+            while k < end {
+                if t[k].kind == TokenKind::Open {
+                    k = (matching_close(t, k, end) + 1).min(end);
+                    continue;
+                }
+                if t[k].kind == TokenKind::Punct {
+                    match t[k].text.as_str() {
+                        "<" => angle += 1,
+                        "<<" => angle += 2,
+                        ">" => angle -= 1,
+                        ">>" => angle -= 2,
+                        "," if angle <= 0 => break,
+                        _ => {}
+                    }
+                }
+                k += 1;
+            }
+            out.push((name, type_path(&t[ty_start..k])));
+            i = (k + 1).min(end);
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{flatten_use, parse_items, struct_fields, type_path, ItemKind};
+    use crate::lexer::tokenize;
+
+    fn first_use_imports(src: &str) -> Vec<(Vec<String>, String)> {
+        let toks = tokenize(src);
+        let items = parse_items(&toks);
+        let item = items
+            .iter()
+            .find(|i| i.kind == ItemKind::Use)
+            .expect("use item");
+        flatten_use(&toks[item.kw + 1..item.header.1])
+            .into_iter()
+            .map(|u| (u.path, u.name))
+            .collect()
+    }
+
+    #[test]
+    fn parses_fns_impls_and_mods() {
+        let src = "
+            pub fn free(x: u32) -> u32 { x + 1 }
+            struct Registry { by_name: std::collections::HashMap<String, u32> }
+            impl Registry {
+                pub fn len(&self) -> usize { 0 }
+            }
+            mod inner {
+                fn hidden() {}
+            }
+        ";
+        let toks = tokenize(src);
+        let items = parse_items(&toks);
+        let kinds: Vec<&ItemKind> = items.iter().map(|i| &i.kind).collect();
+        assert_eq!(
+            kinds,
+            [
+                &ItemKind::Fn,
+                &ItemKind::Struct,
+                &ItemKind::Impl,
+                &ItemKind::Mod
+            ]
+        );
+        assert_eq!(items[0].name.as_deref(), Some("free"));
+        assert_eq!(items[2].name.as_deref(), Some("Registry"));
+        assert_eq!(items[2].children.len(), 1);
+        assert_eq!(items[2].children[0].name.as_deref(), Some("len"));
+        assert_eq!(items[3].children.len(), 1);
+    }
+
+    #[test]
+    fn trait_impl_self_type_wins_over_trait_path() {
+        let src =
+            "impl<T: Clone> iter::Iterator for crate::model::Sweep<T> { fn next(&mut self) {} }";
+        let toks = tokenize(src);
+        let items = parse_items(&toks);
+        assert_eq!(items[0].kind, ItemKind::Impl);
+        assert_eq!(items[0].name.as_deref(), Some("Sweep"));
+    }
+
+    #[test]
+    fn use_trees_flatten_with_groups_aliases_and_globs() {
+        let imports = first_use_imports("use std::collections::{HashMap, BTreeMap as Sorted};");
+        assert!(imports.contains(&(
+            vec!["std".into(), "collections".into(), "HashMap".into()],
+            "HashMap".into()
+        )));
+        assert!(imports.contains(&(
+            vec!["std".into(), "collections".into(), "BTreeMap".into()],
+            "Sorted".into()
+        )));
+
+        let glob = first_use_imports("use cordoba_core::prelude::*;");
+        assert_eq!(glob[0].1, "*");
+
+        let selfish = first_use_imports("use std::fs::{self, File};");
+        assert!(selfish.contains(&(vec!["std".into(), "fs".into()], "fs".into())));
+        assert!(selfish.contains(&(
+            vec!["std".into(), "fs".into(), "File".into()],
+            "File".into()
+        )));
+    }
+
+    #[test]
+    fn struct_fields_capture_type_heads() {
+        let src = "struct Cache { entries: Mutex<HashMap<u64, f64>>, hits: AtomicU64, name: &'static str }";
+        let toks = tokenize(src);
+        let items = parse_items(&toks);
+        let body = items[0].body.expect("braced body");
+        let fields = struct_fields(&toks, body);
+        assert_eq!(fields[0], ("entries".into(), vec!["Mutex".into()]));
+        assert_eq!(fields[1], ("hits".into(), vec!["AtomicU64".into()]));
+        assert_eq!(fields[2], ("name".into(), vec!["str".into()]));
+    }
+
+    #[test]
+    fn type_path_strips_references_and_keeps_segments() {
+        let toks = tokenize("&'a mut std::collections::HashMap<String, u32>");
+        assert_eq!(
+            type_path(&toks),
+            ["std".to_string(), "collections".into(), "HashMap".into()]
+        );
+        let toks = tokenize("dyn Iterator<Item = u32>");
+        assert_eq!(type_path(&toks), ["Iterator".to_string()]);
+    }
+
+    #[test]
+    fn statics_consts_aliases_and_macros_parse() {
+        let src = "
+            static mut COUNTER: u64 = 0;
+            static TABLE: Mutex<Vec<u32>> = Mutex::new(Vec::new());
+            const LIMIT: usize = 8;
+            type Index = HashMap<u64, f64>;
+            thread_local! { static SLOT: RefCell<u32> = RefCell::new(0); }
+        ";
+        let toks = tokenize(src);
+        let items = parse_items(&toks);
+        assert_eq!(items[0].kind, ItemKind::Static { mutable: true });
+        assert_eq!(items[0].name.as_deref(), Some("COUNTER"));
+        assert_eq!(items[1].kind, ItemKind::Static { mutable: false });
+        assert_eq!(items[2].kind, ItemKind::Const);
+        assert_eq!(items[3].kind, ItemKind::TypeAlias);
+        assert_eq!(items[3].name.as_deref(), Some("Index"));
+        assert_eq!(items[4].kind, ItemKind::MacroCall);
+        assert_eq!(items[4].name.as_deref(), Some("thread_local"));
+    }
+
+    #[test]
+    fn attributes_attach_to_their_item() {
+        let src = "#[must_use]\n#[cfg(feature = \"x\")]\npub fn f() -> u32 { 1 }";
+        let toks = tokenize(src);
+        let items = parse_items(&toks);
+        assert_eq!(items[0].attrs.len(), 2);
+        assert_eq!(items[0].attrs[0].path, "must_use");
+        assert_eq!(items[0].attrs[1].path, "cfg");
+    }
+}

@@ -1,0 +1,89 @@
+//! `ambient-input`: forbids environment and filesystem reads in library
+//! crates.
+//!
+//! A kernel that consults `std::env::var` or reads a file computes a
+//! function of *machine state*, not of its inputs — the content-addressed
+//! result store (ROADMAP item 5) would happily serve a stale answer after
+//! the environment changes, with no key mismatch to save it. All I/O
+//! belongs at the edges: the CLI parses files into typed configs, the
+//! bench harness owns its result files, and the lint tool walks the tree.
+//! Library crates receive parsed, typed values.
+
+use crate::diagnostics::Diagnostic;
+use crate::rules::determinism::{in_scope, path_ending_at};
+use crate::rules::{Rule, RuleInputs};
+
+/// Crates whose job is I/O at the process edge.
+const SANCTIONED: &[&str] = &["cli", "bench", "lint"];
+
+/// `std::env` read functions (write access is rarer and stranger — flagged
+/// by the same env check).
+const ENV_READS: &[&str] = &["var", "vars", "var_os", "vars_os"];
+
+/// See module docs.
+#[derive(Debug, Clone, Copy)]
+pub struct AmbientInput;
+
+impl Rule for AmbientInput {
+    fn name(&self) -> &'static str {
+        "ambient-input"
+    }
+
+    fn description(&self) -> &'static str {
+        "env::var / std::fs access in library crates — take parsed inputs at the edge"
+    }
+
+    fn check(&self, inputs: &RuleInputs<'_>) -> Vec<Diagnostic> {
+        if !in_scope(&inputs.file.kind, SANCTIONED) {
+            return Vec::new();
+        }
+        let t = &inputs.file.tokens;
+        let rel = &inputs.file.rel;
+        let mut diags = Vec::new();
+        for i in 0..t.len() {
+            if t[i].kind != crate::lexer::TokenKind::Ident
+                || !t.get(i + 1).is_some_and(|n| n.is_open('('))
+                || inputs.file.in_test_code(i)
+            {
+                continue;
+            }
+            // Method calls are someone else's API surface.
+            if i > 0 && t[i - 1].is_punct(".") {
+                continue;
+            }
+            let resolved = inputs.model.resolve_path(rel, &path_ending_at(t, i));
+            if !matches!(resolved.first().map(String::as_str), Some("std" | "core")) {
+                continue;
+            }
+            let offending = if resolved.iter().any(|s| s == "env")
+                && resolved
+                    .last()
+                    .is_some_and(|l| ENV_READS.contains(&l.as_str()))
+            {
+                Some("reads the process environment")
+            } else if resolved.iter().any(|s| s == "fs") {
+                Some("touches the filesystem")
+            } else if resolved.ends_with(&["io".to_string(), "stdin".to_string()])
+                || (resolved.len() >= 2 && resolved.last().is_some_and(|l| l == "stdin"))
+            {
+                Some("reads stdin")
+            } else {
+                None
+            };
+            if let Some(what) = offending {
+                diags.push(Diagnostic::new(
+                    rel,
+                    t[i].line,
+                    self.name(),
+                    format!(
+                        "`{}` {what} from a library crate; results stop being a pure \
+                         function of their inputs — parse at the edge (cli/bench) and pass \
+                         typed values in",
+                        resolved.join("::"),
+                    ),
+                ));
+            }
+        }
+        diags
+    }
+}

@@ -1,0 +1,101 @@
+//! `atomic-ordering`: flags `Ordering::Relaxed` outside the obs counter
+//! registry.
+//!
+//! `Relaxed` is correct for monotonic statistics counters (the obs registry
+//! and cache hit/miss tallies) but silently wrong the moment an atomic is
+//! used to *hand data off* between threads: a relaxed flag read can observe
+//! the flag before the data it guards, producing once-in-a-blue-moon
+//! nondeterminism no seeded test reproduces. Because the distinction is
+//! semantic, this rule defaults to `warn`: legitimate counter sites keep a
+//! justified `// cordoba-lint: allow(atomic-ordering)` marker, everything
+//! else should use `Acquire`/`Release` (or `SeqCst` when in doubt).
+
+use crate::diagnostics::{Diagnostic, Severity};
+use crate::parser::{Item, ItemKind};
+use crate::rules::determinism::{in_scope, path_ending_at};
+use crate::rules::{Rule, RuleInputs};
+
+/// The obs registry owns its relaxed counters; bench's sink is a black box.
+const SANCTIONED: &[&str] = &["obs", "bench"];
+
+/// See module docs.
+#[derive(Debug, Clone, Copy)]
+pub struct AtomicOrdering;
+
+impl Rule for AtomicOrdering {
+    fn name(&self) -> &'static str {
+        "atomic-ordering"
+    }
+
+    fn description(&self) -> &'static str {
+        "Ordering::Relaxed outside the obs registry — Acquire/Release for data handoff"
+    }
+
+    fn severity(&self) -> Severity {
+        Severity::Warn
+    }
+
+    fn check(&self, inputs: &RuleInputs<'_>) -> Vec<Diagnostic> {
+        if !in_scope(&inputs.file.kind, SANCTIONED) {
+            return Vec::new();
+        }
+        let t = &inputs.file.tokens;
+        let rel = &inputs.file.rel;
+        // Enum bodies declare variant names and `use` items merely import
+        // them; neither is a use of the atomic ordering.
+        let mut decl_ranges = Vec::new();
+        collect_decl_ranges(&inputs.file.items, &mut decl_ranges);
+        let mut diags = Vec::new();
+        for i in 0..t.len() {
+            if !t[i].is_ident("Relaxed")
+                || inputs.file.in_test_code(i)
+                || decl_ranges.iter().any(|&(lo, hi)| i >= lo && i < hi)
+            {
+                continue;
+            }
+            let relaxed = if i >= 2 && t[i - 1].is_punct("::") {
+                // `Ordering::Relaxed` / `atomic::Ordering::Relaxed`: resolve
+                // the type part and require it to be the atomic Ordering
+                // (cmp::Ordering has no Relaxed variant, so a bare
+                // unimported `Ordering` counts too).
+                let path = path_ending_at(t, i);
+                let ty = &path[..path.len() - 1];
+                let resolved = inputs.model.resolve_path(rel, ty);
+                resolved.last().is_some_and(|l| l == "Ordering")
+                    && (resolved.len() == 1 || resolved.iter().any(|s| s == "atomic"))
+            } else {
+                // Bare `Relaxed` must be imported from the atomic module to
+                // count (otherwise it is some local enum's variant).
+                let resolved = inputs.model.resolve_name(rel, "Relaxed");
+                resolved.iter().any(|s| s == "atomic")
+            };
+            if relaxed {
+                diags.push(Diagnostic::new(
+                    rel,
+                    t[i].line,
+                    self.name(),
+                    "`Ordering::Relaxed` provides no happens-before edge; use \
+                     `Acquire`/`Release` for cross-thread data handoff, or justify a \
+                     monotonic counter with `// cordoba-lint: allow(atomic-ordering)`"
+                        .to_string(),
+                ));
+            }
+        }
+        diags
+    }
+}
+
+fn collect_decl_ranges(items: &[Item], out: &mut Vec<(usize, usize)>) {
+    for item in items {
+        match item.kind {
+            ItemKind::Enum => {
+                if let Some(body) = item.body {
+                    out.push(body);
+                }
+            }
+            ItemKind::Use => out.push((item.header.0, item.end)),
+            _ => {}
+        }
+        collect_decl_ranges(&item.children, out);
+    }
+}

@@ -1,0 +1,129 @@
+//! `global-state`: forbids mutable process-wide state outside the obs
+//! registry.
+//!
+//! `static mut`, interior-mutable statics (`Mutex`, `AtomicU64`,
+//! `OnceLock`, ...), and `thread_local!` slots make results depend on what
+//! ran *before* — call order, warm-up, other tests in the same process.
+//! The sanctioned channel for process-wide state is the `cordoba_obs`
+//! metrics registry: statics whose type resolves to an obs-owned type
+//! (`Counter`, `Histogram`) are allowed anywhere, because the registry is
+//! observability-only by construction and never feeds back into results.
+//! Interior mutability is resolved through the workspace model, so a
+//! static whose type is a local struct *wrapping* an `AtomicU64` three
+//! files away still fires.
+
+use crate::context::FileContext;
+use crate::diagnostics::Diagnostic;
+use crate::parser::{type_path, Item, ItemKind};
+use crate::rules::determinism::in_scope;
+use crate::rules::{Rule, RuleInputs};
+use crate::workspace::WorkspaceModel;
+
+/// obs owns the registry; bench may keep harness state.
+const SANCTIONED: &[&str] = &["obs", "bench"];
+
+/// See module docs.
+#[derive(Debug, Clone, Copy)]
+pub struct GlobalState;
+
+impl Rule for GlobalState {
+    fn name(&self) -> &'static str {
+        "global-state"
+    }
+
+    fn description(&self) -> &'static str {
+        "static mut / interior-mutable statics outside the obs registry"
+    }
+
+    fn check(&self, inputs: &RuleInputs<'_>) -> Vec<Diagnostic> {
+        if !in_scope(&inputs.file.kind, SANCTIONED) {
+            return Vec::new();
+        }
+        let mut diags = Vec::new();
+        walk(
+            self,
+            inputs.file,
+            inputs.model,
+            &inputs.file.items,
+            &mut diags,
+        );
+        diags
+    }
+}
+
+fn walk(
+    rule: &GlobalState,
+    file: &FileContext,
+    model: &WorkspaceModel,
+    items: &[Item],
+    diags: &mut Vec<Diagnostic>,
+) {
+    for item in items {
+        if file.in_test_code(item.kw) {
+            continue;
+        }
+        match &item.kind {
+            ItemKind::Static { mutable } => {
+                let name = item.name.as_deref().unwrap_or("_");
+                if *mutable {
+                    diags.push(Diagnostic::new(
+                        &file.rel,
+                        item.line,
+                        rule.name(),
+                        format!(
+                            "`static mut {name}` is process-wide mutable state; results \
+                             become order-dependent — pass state through arguments or use \
+                             the obs registry for metrics",
+                        ),
+                    ));
+                    continue;
+                }
+                let ty = static_type(file, item);
+                if ty.is_empty() || !model.is_interior_mutable_type(&file.rel, &ty) {
+                    continue;
+                }
+                // The sanctioned channel: obs registry types are fine
+                // anywhere (Counter/Histogram statics never feed results).
+                let canon = model.canonical_type(&file.rel, &ty);
+                if model.type_owner_crate(&file.rel, &canon).as_deref() == Some("obs") {
+                    continue;
+                }
+                diags.push(Diagnostic::new(
+                    &file.rel,
+                    item.line,
+                    rule.name(),
+                    format!(
+                        "static `{name}: {}` is interior-mutable process-wide state; \
+                         results become order-dependent — thread it through arguments, or \
+                         register an obs Counter/Histogram if this is a metric",
+                        ty.join("::"),
+                    ),
+                ));
+            }
+            ItemKind::MacroCall if item.name.as_deref() == Some("thread_local") => {
+                diags.push(Diagnostic::new(
+                    &file.rel,
+                    item.line,
+                    rule.name(),
+                    "`thread_local!` state differs per worker thread, so parallel and \
+                     sequential runs diverge — pass state through arguments instead"
+                        .to_string(),
+                ));
+            }
+            ItemKind::Mod | ItemKind::Impl => {
+                walk(rule, file, model, &item.children, diags);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// The declared type of a `static` item: tokens between `:` and `=` in its
+/// header. Empty when the shape is unexpected.
+fn static_type(file: &FileContext, item: &Item) -> Vec<String> {
+    let header = &file.tokens[item.kw..item.header.1];
+    let Some(colon) = header.iter().position(|t| t.is_punct(":")) else {
+        return Vec::new();
+    };
+    type_path(&header[colon + 1..])
+}

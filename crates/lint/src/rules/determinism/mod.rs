@@ -1,0 +1,78 @@
+//! The `determinism` rule family.
+//!
+//! CORDOBA's caching, replay, and parallel-equivalence guarantees all rest
+//! on one invariant: **every sweep result is a pure function of its
+//! inputs**. The property suites (`prop_parallel`, `prop_obs_determinism`)
+//! verify that after the fact; these rules enforce the sources of
+//! nondeterminism at commit time, using the [`crate::parser`] /
+//! [`crate::workspace`] layers to resolve names across files:
+//!
+//! | rule | what it forbids | sanctioned in |
+//! |------|-----------------|---------------|
+//! | `nondet-iteration` | iterating `HashMap`/`HashSet` where order can escape | — |
+//! | `wall-clock` | `SystemTime::now` / `Instant::now` | `obs`, `bench`, `cli` |
+//! | `raw-thread` | `std::thread` spawn/scope, `mpsc` channels | `par` |
+//! | `ambient-input` | `env::var`, `std::fs` reads in library crates | `cli`, `bench`, `lint` |
+//! | `atomic-ordering` | `Ordering::Relaxed` outside the obs counter registry | `obs`, `bench` |
+//! | `global-state` | `static mut`, interior-mutable statics, `thread_local!` | `obs`, `bench` |
+//!
+//! Test code (`#[cfg(test)]`, `tests/`) is exempt everywhere: tests may
+//! time, spawn, and read as they like. All rules are `deny` by default
+//! except `atomic-ordering` (`warn` — relaxed loads on monotonic stat
+//! counters are a legitimate pattern that deserves a justified
+//! `allow` marker rather than a failing gate).
+
+mod ambient_input;
+mod atomic_ordering;
+mod global_state;
+mod nondet_iteration;
+mod raw_thread;
+mod wall_clock;
+
+pub use ambient_input::AmbientInput;
+pub use atomic_ordering::AtomicOrdering;
+pub use global_state::GlobalState;
+pub use nondet_iteration::NondetIteration;
+pub use raw_thread::RawThread;
+pub use wall_clock::WallClock;
+
+use crate::context::FileKind;
+use crate::lexer::{Token, TokenKind};
+
+/// Names of every rule in the family (the `determinism` group in rule
+/// lists).
+pub const FAMILY: &[&str] = &[
+    "nondet-iteration",
+    "wall-clock",
+    "raw-thread",
+    "ambient-input",
+    "atomic-ordering",
+    "global-state",
+];
+
+/// `true` when a determinism rule applies to this file: crate sources
+/// outside the rule's sanctioned crates, plus stand-alone snippets.
+/// Tests, benches, and examples are never in scope.
+pub(crate) fn in_scope(kind: &FileKind, sanctioned: &[&str]) -> bool {
+    match kind {
+        FileKind::CrateSrc(k) => !sanctioned.contains(&k.as_str()),
+        FileKind::Unknown => true,
+        FileKind::Test | FileKind::Bench | FileKind::Example => false,
+    }
+}
+
+/// Collects the `a::b::c` path whose final segment is the identifier at
+/// token index `i` (walking `ident::` pairs backwards).
+pub(crate) fn path_ending_at(t: &[Token], i: usize) -> Vec<String> {
+    let mut start = i;
+    while start >= 2 && t[start - 1].is_punct("::") && t[start - 2].kind == TokenKind::Ident {
+        start -= 2;
+    }
+    let mut segs = Vec::new();
+    let mut k = start;
+    while k <= i {
+        segs.push(t[k].text.clone());
+        k += 2;
+    }
+    segs
+}

@@ -1,0 +1,377 @@
+//! `nondet-iteration`: forbids hash-ordered iteration where order can
+//! escape.
+//!
+//! `HashMap`/`HashSet` iteration order is randomized per process (SipHash
+//! keying), so any result that observes it — a `Vec` collected from
+//! `.keys()`, a `for` loop pushing into an output, a report string — varies
+//! run to run. The rule types iteration receivers through the workspace
+//! model (fn params, `let` bindings, `self.field` via the enclosing
+//! `impl`'s struct declared in any file of the crate, type aliases
+//! chased cross-file), then checks where the iterator's order goes:
+//!
+//! - **clean**: order-insensitive sinks (`sum`, `count`, `min`/`max`,
+//!   `any`/`all`, ...), `collect()` into an unordered or sorted container
+//!   (`HashMap`/`HashSet`/`BTreeMap`/`BTreeSet`), and feeding an
+//!   order-insensitive consumer (`extend`, `from_iter`);
+//! - **flagged**: everything else — `for` loops over hash containers,
+//!   chains ending in `collect::<Vec<_>>()`, or iterators that simply
+//!   escape.
+//!
+//! Receivers the model cannot type are never flagged (unknown = clean);
+//! the fix is almost always `BTreeMap`/`BTreeSet`, which cost one log
+//! factor and buy reproducible output.
+
+use std::collections::BTreeSet;
+
+use crate::context::FileContext;
+use crate::diagnostics::Diagnostic;
+use crate::lexer::{Token, TokenKind};
+use crate::parser::{matching_close, skip_angles, struct_fields, type_path, Item, ItemKind};
+use crate::rules::determinism::in_scope;
+use crate::rules::{Rule, RuleInputs};
+use crate::workspace::WorkspaceModel;
+
+/// Methods that begin iteration over a container.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "values",
+    "values_mut",
+    "into_keys",
+    "into_values",
+    "drain",
+];
+
+/// Chain sinks whose result does not depend on iteration order.
+const ORDER_INSENSITIVE_SINKS: &[&str] = &[
+    "sum",
+    "product",
+    "count",
+    "min",
+    "max",
+    "min_by",
+    "max_by",
+    "min_by_key",
+    "max_by_key",
+    "all",
+    "any",
+    "is_empty",
+    "len",
+];
+
+/// Callers that consume an iterator order-insensitively
+/// (`set.extend(map.keys())`).
+const ORDER_INSENSITIVE_CONSUMERS: &[&str] = &["extend", "from_iter"];
+
+/// `collect()` targets that erase or re-establish order.
+const ORDER_SAFE_COLLECT: &[&str] = &["HashMap", "HashSet", "BTreeMap", "BTreeSet", "BinaryHeap"];
+
+/// See module docs.
+#[derive(Debug, Clone, Copy)]
+pub struct NondetIteration;
+
+impl Rule for NondetIteration {
+    fn name(&self) -> &'static str {
+        "nondet-iteration"
+    }
+
+    fn description(&self) -> &'static str {
+        "HashMap/HashSet iteration where order reaches the result — use BTreeMap/BTreeSet"
+    }
+
+    fn check(&self, inputs: &RuleInputs<'_>) -> Vec<Diagnostic> {
+        if !in_scope(&inputs.file.kind, &[]) {
+            return Vec::new();
+        }
+        let mut lines = BTreeSet::new();
+        walk_fns(
+            inputs.file,
+            inputs.model,
+            &inputs.file.items,
+            None,
+            &mut lines,
+        );
+        lines
+            .into_iter()
+            .map(|line| {
+                Diagnostic::new(
+                    &inputs.file.rel,
+                    line,
+                    self.name(),
+                    "iterates a hash-ordered container where the order can reach the \
+                     result; HashMap/HashSet order is randomized per process — use \
+                     BTreeMap/BTreeSet, or sort before use"
+                        .to_string(),
+                )
+            })
+            .collect()
+    }
+}
+
+/// Recurses into every fn body, tracking the enclosing `impl` self type for
+/// `self.field` lookups.
+fn walk_fns(
+    file: &FileContext,
+    model: &WorkspaceModel,
+    items: &[Item],
+    self_ty: Option<&str>,
+    lines: &mut BTreeSet<u32>,
+) {
+    for item in items {
+        match &item.kind {
+            ItemKind::Fn => {
+                if let Some(body) = item.body {
+                    if !file.in_test_code(item.kw) {
+                        check_fn(file, model, item, body, self_ty, lines);
+                    }
+                }
+            }
+            ItemKind::Impl => {
+                walk_fns(file, model, &item.children, item.name.as_deref(), lines);
+            }
+            ItemKind::Mod => {
+                walk_fns(file, model, &item.children, self_ty, lines);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Typed bindings visible in one fn: parameters plus `let` bindings whose
+/// type is annotated or constructed in place.
+fn fn_bindings(
+    file: &FileContext,
+    item: &Item,
+    body: (usize, usize),
+) -> Vec<(String, Vec<String>)> {
+    let t = &file.tokens;
+    let mut bindings = Vec::new();
+    // Parameters share the `name: Type` shape with struct fields.
+    let mut k = item.header.0;
+    while k < item.header.1 && !t[k].is_open('(') {
+        k += 1;
+    }
+    if k < item.header.1 {
+        let close = matching_close(t, k, item.header.1);
+        bindings.extend(struct_fields(t, (k + 1, close)));
+    }
+    // `let [mut] name: Type = ...` and `let [mut] name = Type::new(...)`.
+    let (mut i, end) = body;
+    while i < end {
+        if !t[i].is_ident("let") {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        if j < end && t[j].is_ident("mut") {
+            j += 1;
+        }
+        if j >= end || t[j].kind != TokenKind::Ident {
+            i = j;
+            continue;
+        }
+        let name = t[j].text.clone();
+        let ty = match t.get(j + 1) {
+            Some(n) if n.is_punct(":") => type_path(&t[j + 2..end.min(j + 16)]),
+            Some(n) if n.is_punct("=") => {
+                // `= HashMap::new()` / `= HashMap::with_capacity(..)`.
+                let rhs = type_path(&t[j + 2..end.min(j + 16)]);
+                match rhs.last().map(String::as_str) {
+                    Some("new" | "with_capacity" | "default" | "from") if rhs.len() > 1 => {
+                        rhs[..rhs.len() - 1].to_vec()
+                    }
+                    _ => Vec::new(),
+                }
+            }
+            _ => Vec::new(),
+        };
+        if !ty.is_empty() {
+            bindings.push((name, ty));
+        }
+        i = j + 1;
+    }
+    bindings
+}
+
+fn check_fn(
+    file: &FileContext,
+    model: &WorkspaceModel,
+    item: &Item,
+    body: (usize, usize),
+    self_ty: Option<&str>,
+    lines: &mut BTreeSet<u32>,
+) {
+    let t = &file.tokens;
+    let bindings = fn_bindings(file, item, body);
+    let receiver_is_hash = |start: usize, i: usize| -> bool {
+        // `self.field` → field type from the enclosing impl's struct.
+        if t[start].is_ident("self")
+            && i == start + 2
+            && t[start + 1].is_punct(".")
+            && t[i].kind == TokenKind::Ident
+        {
+            let Some(ty_name) = self_ty else {
+                return false;
+            };
+            let Some(def) = model.struct_def(&file.rel, &[ty_name.to_string()]) else {
+                return false;
+            };
+            let Some(fty) = def.fields.get(&t[i].text) else {
+                return false;
+            };
+            let def_file = def.file.clone();
+            return model.is_hash_container(&def_file, fty);
+        }
+        // A plain local/param binding.
+        if start == i && t[i].kind == TokenKind::Ident {
+            let found = bindings.iter().rev().find(|(n, _)| *n == t[i].text);
+            return found.is_some_and(|(_, ty)| model.is_hash_container(&file.rel, ty));
+        }
+        false
+    };
+
+    let (mut i, end) = body;
+    while i < end {
+        // `for pat in <receiver><chain> {`
+        if t[i].is_ident("for") && !t.get(i + 1).is_some_and(|n| n.text.starts_with('<')) {
+            if let Some(in_at) = find_in_keyword(t, i + 1, end) {
+                let mut r = in_at + 1;
+                while r < end && (t[r].is_punct("&") || t[r].is_ident("mut")) {
+                    r += 1;
+                }
+                let (base_start, base_end) = receiver_span(t, r, end);
+                if base_end > base_start && receiver_is_hash(base_start, base_end - 1) {
+                    // A chain between the receiver and `{` may still fix the
+                    // order (`.collect::<BTreeSet<_>>()`); otherwise flag.
+                    if chain_orders_escape(t, base_end, end) {
+                        lines.insert(t[i].line);
+                    }
+                }
+                i = in_at + 1;
+                continue;
+            }
+        }
+        // `<receiver>.iter()`-style chains.
+        if i >= 2
+            && t[i].kind == TokenKind::Ident
+            && ITER_METHODS.contains(&t[i].text.as_str())
+            && t[i - 1].is_punct(".")
+            && t.get(i + 1).is_some_and(|n| n.is_open('('))
+        {
+            let (base_start, base_end) = receiver_before(t, i - 1, body.0);
+            if base_end > base_start
+                && receiver_is_hash(base_start, base_end - 1)
+                && !consumed_order_insensitively(t, base_start, body.0)
+                && chain_orders_escape(t, base_end, end)
+            {
+                lines.insert(t[i].line);
+            }
+        }
+        i += 1;
+    }
+}
+
+/// The `in` of a `for` loop: first `in` at zero delimiter depth.
+fn find_in_keyword(t: &[Token], from: usize, end: usize) -> Option<usize> {
+    let mut k = from;
+    while k < end {
+        if t[k].kind == TokenKind::Open {
+            k = (matching_close(t, k, end) + 1).min(end);
+            continue;
+        }
+        if t[k].is_ident("in") {
+            return Some(k);
+        }
+        if t[k].is_open('{') || t[k].is_punct(";") {
+            return None;
+        }
+        k += 1;
+    }
+    None
+}
+
+/// The receiver expression starting at `r`: `self.field` or a single
+/// identifier. Returns a half-open token span; empty when unrecognized.
+fn receiver_span(t: &[Token], r: usize, end: usize) -> (usize, usize) {
+    if r < end && t[r].is_ident("self") {
+        if r + 2 < end && t[r + 1].is_punct(".") && t[r + 2].kind == TokenKind::Ident {
+            return (r, r + 3);
+        }
+        return (r, r);
+    }
+    if r < end && t[r].kind == TokenKind::Ident {
+        // `ident.method(...)` chains leave the base as just `ident`; a
+        // deeper field path (`a.b.c`) is unknown → clean.
+        return (r, r + 1);
+    }
+    (r, r)
+}
+
+/// Walks back from the `.` at `dot` to find the receiver span.
+fn receiver_before(t: &[Token], dot: usize, floor: usize) -> (usize, usize) {
+    if dot == floor || t[dot - 1].kind != TokenKind::Ident {
+        return (dot, dot);
+    }
+    let id = dot - 1;
+    if id >= floor + 2 && t[id - 1].is_punct(".") && t[id - 2].is_ident("self") {
+        return (id - 2, id + 1);
+    }
+    if id > floor && (t[id - 1].is_punct(".") || t[id - 1].is_punct("::")) {
+        return (id, id); // deeper chain or path → unknown
+    }
+    (id, id + 1)
+}
+
+/// `true` when the receiver is an argument to an order-insensitive consumer:
+/// `set.extend(map.keys())`.
+fn consumed_order_insensitively(t: &[Token], base_start: usize, floor: usize) -> bool {
+    if base_start <= floor || !t[base_start - 1].is_open('(') {
+        return false;
+    }
+    base_start >= floor + 2
+        && t[base_start - 2].kind == TokenKind::Ident
+        && ORDER_INSENSITIVE_CONSUMERS.contains(&t[base_start - 2].text.as_str())
+}
+
+/// Scans the method chain starting right after the receiver at `from` and
+/// decides whether iteration order can escape. Conservative in the lint's
+/// favour: unknown sinks (`collect()` with no turbofish) are clean.
+fn chain_orders_escape(t: &[Token], from: usize, end: usize) -> bool {
+    let mut k = from;
+    while k + 1 < end && t[k].is_punct(".") && t[k + 1].kind == TokenKind::Ident {
+        let method = t[k + 1].text.as_str();
+        let mut after = k + 2;
+        // Turbofish: `collect::<BTreeMap<_, _>>()`.
+        let mut turbofish: Option<(usize, usize)> = None;
+        if t.get(after).is_some_and(|n| n.is_punct("::"))
+            && t.get(after + 1).is_some_and(|n| n.text.starts_with('<'))
+        {
+            let close = skip_angles(t, after + 1, end);
+            turbofish = Some((after + 1, close));
+            after = close;
+        }
+        if ORDER_INSENSITIVE_SINKS.contains(&method) {
+            return false;
+        }
+        if method == "collect" {
+            return match turbofish {
+                Some((lo, hi)) => !t[lo.min(end)..hi.min(end)]
+                    .iter()
+                    .any(|tok| ORDER_SAFE_COLLECT.contains(&tok.text.as_str())),
+                // No turbofish: the target type is unknown → clean.
+                None => false,
+            };
+        }
+        // Adapter (`map`, `filter`, `cloned`, ...): skip its args, continue.
+        if t.get(after).is_some_and(|n| n.is_open('(')) {
+            k = (matching_close(t, after, end) + 1).min(end);
+        } else {
+            k = after;
+        }
+    }
+    // Chain ended without an order-insensitive sink: the iterator (or the
+    // loop) observes hash order.
+    true
+}

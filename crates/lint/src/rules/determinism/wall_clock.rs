@@ -1,0 +1,87 @@
+//! `wall-clock`: forbids reading the system clock in result-producing code.
+//!
+//! A sweep result that depends on `Instant::now()` or `SystemTime::now()`
+//! cannot be cached, replayed, or compared across runs — the exact
+//! properties ROADMAP items 1 and 5 need. Timing belongs to the
+//! observability layer (`obs` spans), the benches, and the CLI; library
+//! kernels must take time as a typed input (`Seconds`) instead of sampling
+//! it ambiently. Import aliases are seen through: `use std::time::Instant
+//! as Clock; Clock::now()` still fires.
+
+use crate::diagnostics::Diagnostic;
+use crate::rules::determinism::{in_scope, path_ending_at};
+use crate::rules::{Rule, RuleInputs};
+
+/// Crates that own timing by design.
+const SANCTIONED: &[&str] = &["obs", "bench", "cli"];
+
+/// See module docs.
+#[derive(Debug, Clone, Copy)]
+pub struct WallClock;
+
+impl Rule for WallClock {
+    fn name(&self) -> &'static str {
+        "wall-clock"
+    }
+
+    fn description(&self) -> &'static str {
+        "SystemTime::now/Instant::now outside obs/bench/cli — take time as a typed input"
+    }
+
+    fn check(&self, inputs: &RuleInputs<'_>) -> Vec<Diagnostic> {
+        if !in_scope(&inputs.file.kind, SANCTIONED) {
+            return Vec::new();
+        }
+        let t = &inputs.file.tokens;
+        let mut diags = Vec::new();
+        for i in 0..t.len() {
+            if !(t[i].is_ident("now") && t.get(i + 1).is_some_and(|n| n.is_open('(')))
+                || inputs.file.in_test_code(i)
+            {
+                continue;
+            }
+            if !(i >= 2 && t[i - 1].is_punct("::")) {
+                continue;
+            }
+            let path = path_ending_at(t, i);
+            if path.len() < 2 {
+                continue;
+            }
+            let ty = &path[..path.len() - 1];
+            let resolved = inputs.model.resolve_path(&inputs.file.rel, ty);
+            if is_clock_type(inputs, &resolved) {
+                diags.push(Diagnostic::new(
+                    &inputs.file.rel,
+                    t[i].line,
+                    self.name(),
+                    format!(
+                        "`{}::now()` reads the wall clock, making the result \
+                         irreproducible; pass time in as a typed input (`Seconds`) or \
+                         move the timing into obs/bench/cli",
+                        resolved.join("::"),
+                    ),
+                ));
+            }
+        }
+        diags
+    }
+}
+
+/// `true` when the resolved type path denotes `std::time::Instant` or
+/// `std::time::SystemTime` (and is not shadowed by a workspace type).
+fn is_clock_type(inputs: &RuleInputs<'_>, resolved: &[String]) -> bool {
+    let Some(last) = resolved.last() else {
+        return false;
+    };
+    if last != "Instant" && last != "SystemTime" {
+        return false;
+    }
+    if resolved.len() == 1 {
+        // Bare name, no import: std's unless this crate defines its own.
+        return inputs
+            .model
+            .struct_def(&inputs.file.rel, resolved)
+            .is_none();
+    }
+    matches!(resolved[0].as_str(), "std" | "core") || resolved.iter().any(|s| s == "time")
+}

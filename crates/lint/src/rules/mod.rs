@@ -9,8 +9,10 @@
 use std::collections::BTreeSet;
 
 use crate::context::FileContext;
-use crate::diagnostics::Diagnostic;
+use crate::diagnostics::{Diagnostic, Severity};
+use crate::workspace::WorkspaceModel;
 
+pub mod determinism;
 mod float_eq;
 mod lossy_cast;
 mod must_use;
@@ -18,6 +20,9 @@ mod no_panic;
 mod raw_constant;
 mod unit_laundering;
 
+pub use determinism::{
+    AmbientInput, AtomicOrdering, GlobalState, NondetIteration, RawThread, WallClock,
+};
 pub use float_eq::FloatEq;
 pub use lossy_cast::LossyCast;
 pub use must_use::MissingMustUse;
@@ -33,6 +38,8 @@ pub struct RuleInputs<'a> {
     /// Names of all typed physical quantities (seeded with the known set,
     /// augmented from `quantity!` declarations found while walking).
     pub units: &'a BTreeSet<String>,
+    /// Cross-file workspace model built from every file in the run.
+    pub model: &'a WorkspaceModel,
 }
 
 /// A single domain lint.
@@ -43,6 +50,12 @@ pub trait Rule {
 
     /// One-line description shown by `cordoba-lint rules`.
     fn description(&self) -> &'static str;
+
+    /// Default severity; the CLI can override per rule with `--deny`/
+    /// `--warn`.
+    fn severity(&self) -> Severity {
+        Severity::Deny
+    }
 
     /// Runs the rule over one file, returning unfiltered findings.
     fn check(&self, inputs: &RuleInputs<'_>) -> Vec<Diagnostic>;
@@ -58,6 +71,12 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(LossyCast),
         Box::new(RawConstant),
         Box::new(MissingMustUse),
+        Box::new(NondetIteration),
+        Box::new(WallClock),
+        Box::new(RawThread),
+        Box::new(AmbientInput),
+        Box::new(AtomicOrdering),
+        Box::new(GlobalState),
     ]
 }
 
@@ -65,6 +84,17 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
 #[must_use]
 pub fn rule_names() -> Vec<&'static str> {
     all_rules().iter().map(|r| r.name()).collect()
+}
+
+/// Expands a rule-list entry: family names (`determinism`) become their
+/// member rules, everything else stays as written.
+#[must_use]
+pub fn expand(name: &str) -> Vec<&str> {
+    if name == "determinism" {
+        determinism::FAMILY.to_vec()
+    } else {
+        vec![name]
+    }
 }
 
 /// The unit-type names `cordoba-lint` knows about even before reading

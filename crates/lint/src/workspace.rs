@@ -1,0 +1,426 @@
+//! Workspace model: cross-file structure for name-based queries.
+//!
+//! The determinism rules need to answer questions no single file can:
+//! *does `Instant` here mean `std::time::Instant`?* (depends on this file's
+//! `use` list), *is `self.entries` a `HashMap`?* (depends on a struct
+//! declared in another file of the same crate), *is this static's type
+//! interior-mutable?* (depends on field types possibly declared in another
+//! crate). [`WorkspaceModel`] is built once per lint run from every parsed
+//! file and answers those queries:
+//!
+//! - each file is mapped to its **crate** (from its `crates/<name>/...`
+//!   path) and carries its flattened **import table** (`use` trees, aliases
+//!   included);
+//! - each crate indexes its **struct fields** and **type aliases** by name,
+//!   so `self.<field>` lookups and alias chains resolve across files;
+//! - **interior mutability** is propagated through struct fields to a
+//!   fixpoint, across crates (`cordoba_obs::Counter` wrapping an
+//!   `AtomicU64` is interior-mutable from any crate's point of view).
+//!
+//! Everything is name-based and deliberately approximate: a query that
+//! cannot be resolved returns "unknown", and rules must treat unknown as
+//! clean. All containers are `BTreeMap`/`BTreeSet` so lint output is itself
+//! deterministic.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::context::FileContext;
+use crate::parser::{flatten_use, struct_fields, type_path, Item, ItemKind};
+
+/// Type heads from `std`/`core` that carry interior mutability.
+const INTERIOR_MUTABLE_PRIMITIVES: &[&str] = &[
+    "Mutex",
+    "RwLock",
+    "Cell",
+    "RefCell",
+    "UnsafeCell",
+    "OnceCell",
+    "OnceLock",
+    "LazyCell",
+    "LazyLock",
+    "Condvar",
+];
+
+/// A struct declaration: where it lives and its field types.
+#[derive(Debug, Clone, Default)]
+pub struct StructDef {
+    /// Workspace-relative path of the declaring file.
+    pub file: String,
+    /// Field name → type path as written at the declaration.
+    pub fields: BTreeMap<String, Vec<String>>,
+}
+
+/// Everything the model knows about one crate.
+#[derive(Debug, Clone, Default)]
+pub struct CrateModel {
+    /// Struct name → declaration.
+    pub structs: BTreeMap<String, StructDef>,
+    /// `type Alias = Target;` → (declaring file, target type path).
+    pub aliases: BTreeMap<String, (String, Vec<String>)>,
+    /// Structs whose fields (transitively) contain interior mutability.
+    pub interior_mutable: BTreeSet<String>,
+}
+
+/// Per-file facts: owning crate and the flattened import table.
+#[derive(Debug, Clone, Default)]
+pub struct FileModel {
+    /// Crate key (`carbon`, `obs`, ...; empty for files outside `crates/`).
+    pub crate_key: String,
+    /// Local name → full path as written in the `use` declaration.
+    pub imports: BTreeMap<String, Vec<String>>,
+}
+
+/// The cross-file model for one lint run.
+#[derive(Debug, Default)]
+pub struct WorkspaceModel {
+    files: BTreeMap<String, FileModel>,
+    crates: BTreeMap<String, CrateModel>,
+}
+
+/// The crate key a workspace-relative path belongs to (`crates/<k>/...` →
+/// `k`; anything else shares the anonymous `""` crate so stand-alone
+/// snippets still resolve against themselves).
+#[must_use]
+pub fn crate_key_of(rel: &str) -> String {
+    let mut parts = rel.split('/');
+    if parts.next() == Some("crates") {
+        if let Some(name) = parts.next() {
+            return name.to_string();
+        }
+    }
+    String::new()
+}
+
+impl WorkspaceModel {
+    /// Builds the model from every file in the run.
+    #[must_use]
+    pub fn build(ctxs: &[FileContext]) -> Self {
+        let mut model = Self::default();
+        for ctx in ctxs {
+            let crate_key = crate_key_of(&ctx.rel);
+            let mut fm = FileModel {
+                crate_key: crate_key.clone(),
+                imports: BTreeMap::new(),
+            };
+            let cm = model.crates.entry(crate_key).or_default();
+            index_items(&ctx.items, ctx, &mut fm, cm);
+            model.files.insert(ctx.rel.clone(), fm);
+        }
+        model.propagate_interior_mutability();
+        model
+    }
+
+    /// The per-file model, when the file was part of this run.
+    #[must_use]
+    pub fn file(&self, rel: &str) -> Option<&FileModel> {
+        self.files.get(rel)
+    }
+
+    /// The crate model for a crate key.
+    #[must_use]
+    pub fn crate_model(&self, key: &str) -> Option<&CrateModel> {
+        self.crates.get(key)
+    }
+
+    /// Expands a single name through the file's import table; unresolved
+    /// names map to themselves.
+    #[must_use]
+    pub fn resolve_name(&self, rel: &str, name: &str) -> Vec<String> {
+        self.files
+            .get(rel)
+            .and_then(|f| f.imports.get(name))
+            .cloned()
+            .unwrap_or_else(|| vec![name.to_string()])
+    }
+
+    /// Expands the first segment of `path` through the file's import table.
+    /// Root segments (`std`, `core`, `alloc`, `crate`, `self`, `super`) are
+    /// kept as written.
+    #[must_use]
+    pub fn resolve_path(&self, rel: &str, path: &[String]) -> Vec<String> {
+        let Some(head) = path.first() else {
+            return Vec::new();
+        };
+        if matches!(
+            head.as_str(),
+            "std" | "core" | "alloc" | "crate" | "self" | "super"
+        ) {
+            return path.to_vec();
+        }
+        let mut base = self.resolve_name(rel, head);
+        base.extend(path.iter().skip(1).cloned());
+        base
+    }
+
+    /// Resolves `path` and chases workspace-local `type` aliases to a
+    /// canonical type path (bounded depth, cycles tolerated).
+    #[must_use]
+    pub fn canonical_type(&self, rel: &str, path: &[String]) -> Vec<String> {
+        let mut cur = self.resolve_path(rel, path);
+        let mut cur_file = rel.to_string();
+        for _ in 0..4 {
+            let Some(name) = cur.last().cloned() else {
+                break;
+            };
+            let Some(owner) = self.type_owner_crate(&cur_file, &cur) else {
+                break;
+            };
+            let Some((def_file, target)) =
+                self.crates.get(&owner).and_then(|c| c.aliases.get(&name))
+            else {
+                break;
+            };
+            let next_file = def_file.clone();
+            let next = self.resolve_path(&next_file, target);
+            if next == cur {
+                break;
+            }
+            cur = next;
+            cur_file = next_file;
+        }
+        cur
+    }
+
+    /// The workspace crate a canonical type path belongs to, if any:
+    /// `cordoba_x::...` → `x`; `crate`/`self`/`super`/bare names → the
+    /// current file's crate; `std`-family paths → `None`.
+    #[must_use]
+    pub fn type_owner_crate(&self, rel: &str, path: &[String]) -> Option<String> {
+        let head = path.first()?;
+        if let Some(stripped) = head.strip_prefix("cordoba_") {
+            return Some(stripped.to_string());
+        }
+        if matches!(head.as_str(), "std" | "core" | "alloc" | "hashbrown") {
+            return None;
+        }
+        Some(crate_key_of(rel))
+    }
+
+    /// Looks up the struct a type path names, across files of its crate.
+    #[must_use]
+    pub fn struct_def(&self, rel: &str, path: &[String]) -> Option<&StructDef> {
+        let canon = self.canonical_type(rel, path);
+        let name = canon.last()?;
+        let owner = self.type_owner_crate(rel, &canon)?;
+        self.crates.get(&owner)?.structs.get(name)
+    }
+
+    /// `true` when the type path (as written at `rel`) denotes a
+    /// hash-ordered container (`HashMap`/`HashSet` from std or hashbrown,
+    /// directly or through a type alias).
+    #[must_use]
+    pub fn is_hash_container(&self, rel: &str, path: &[String]) -> bool {
+        let canon = self.canonical_type(rel, path);
+        let Some(last) = canon.last() else {
+            return false;
+        };
+        if last != "HashMap" && last != "HashSet" {
+            return false;
+        }
+        if canon.len() == 1 {
+            // A bare `HashMap` with no import is assumed to be std's unless
+            // the crate declares its own type of that name.
+            let key = crate_key_of(rel);
+            return !self
+                .crates
+                .get(&key)
+                .is_some_and(|c| c.structs.contains_key(last) || c.aliases.contains_key(last));
+        }
+        matches!(canon[0].as_str(), "std" | "core" | "alloc" | "hashbrown")
+            || canon.iter().any(|s| s == "collections")
+    }
+
+    /// `true` when the type path denotes an interior-mutable type: a
+    /// std primitive (`Mutex`, `Atomic*`, `OnceLock`, ...) or a workspace
+    /// struct transitively containing one.
+    #[must_use]
+    pub fn is_interior_mutable_type(&self, rel: &str, path: &[String]) -> bool {
+        let canon = self.canonical_type(rel, path);
+        let Some(last) = canon.last() else {
+            return false;
+        };
+        if INTERIOR_MUTABLE_PRIMITIVES.contains(&last.as_str()) || last.starts_with("Atomic") {
+            return true;
+        }
+        let Some(owner) = self.type_owner_crate(rel, &canon) else {
+            return false;
+        };
+        self.crates
+            .get(&owner)
+            .is_some_and(|c| c.interior_mutable.contains(last))
+    }
+
+    /// Marks structs with (transitively) interior-mutable fields, to a
+    /// fixpoint across all crates.
+    fn propagate_interior_mutability(&mut self) {
+        loop {
+            let mut newly: Vec<(String, String)> = Vec::new();
+            for (ckey, cm) in &self.crates {
+                for (sname, sdef) in &cm.structs {
+                    if cm.interior_mutable.contains(sname) {
+                        continue;
+                    }
+                    let im = sdef
+                        .fields
+                        .values()
+                        .any(|ty| self.is_interior_mutable_type(&sdef.file, ty));
+                    if im {
+                        newly.push((ckey.clone(), sname.clone()));
+                    }
+                }
+            }
+            if newly.is_empty() {
+                return;
+            }
+            for (ckey, sname) in newly {
+                if let Some(cm) = self.crates.get_mut(&ckey) {
+                    cm.interior_mutable.insert(sname);
+                }
+            }
+        }
+    }
+}
+
+/// Indexes one file's items (recursively through `mod`/`impl` bodies) into
+/// its file model and crate model.
+fn index_items(items: &[Item], ctx: &FileContext, fm: &mut FileModel, cm: &mut CrateModel) {
+    for item in items {
+        match &item.kind {
+            ItemKind::Use => {
+                for import in flatten_use(&ctx.tokens[item.kw + 1..item.header.1]) {
+                    if import.name != "*" && import.name != "_" {
+                        fm.imports.insert(import.name, import.path);
+                    }
+                }
+            }
+            ItemKind::Struct => {
+                if let (Some(name), Some(body)) = (&item.name, item.body) {
+                    let fields = struct_fields(&ctx.tokens, body)
+                        .into_iter()
+                        .collect::<BTreeMap<_, _>>();
+                    cm.structs.insert(
+                        name.clone(),
+                        StructDef {
+                            file: ctx.rel.clone(),
+                            fields,
+                        },
+                    );
+                }
+            }
+            ItemKind::TypeAlias => {
+                if let Some(name) = &item.name {
+                    let header = &ctx.tokens[item.kw..item.header.1];
+                    if let Some(eq) = header.iter().position(|t| t.is_punct("=")) {
+                        let target = type_path(&header[eq + 1..]);
+                        if !target.is_empty() {
+                            cm.aliases.insert(name.clone(), (ctx.rel.clone(), target));
+                        }
+                    }
+                }
+            }
+            ItemKind::Mod | ItemKind::Impl => {
+                index_items(&item.children, ctx, fm, cm);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{crate_key_of, WorkspaceModel};
+    use crate::context::FileContext;
+
+    fn model(files: &[(&str, &str)]) -> (Vec<FileContext>, WorkspaceModel) {
+        let ctxs: Vec<FileContext> = files
+            .iter()
+            .map(|(rel, src)| FileContext::new(rel, src))
+            .collect();
+        let m = WorkspaceModel::build(&ctxs);
+        (ctxs, m)
+    }
+
+    #[test]
+    fn crate_keys_follow_layout() {
+        assert_eq!(crate_key_of("crates/carbon/src/units.rs"), "carbon");
+        assert_eq!(crate_key_of("crates/obs/tests/t.rs"), "obs");
+        assert_eq!(crate_key_of("examples/quickstart.rs"), "");
+    }
+
+    #[test]
+    fn imports_resolve_through_aliases() {
+        let (_, m) = model(&[(
+            "crates/x/src/lib.rs",
+            "use std::collections::HashMap as Fast;\nuse std::time::Instant;\n",
+        )]);
+        assert_eq!(
+            m.resolve_name("crates/x/src/lib.rs", "Fast"),
+            ["std", "collections", "HashMap"]
+        );
+        assert_eq!(
+            m.resolve_path(
+                "crates/x/src/lib.rs",
+                &["Instant".to_string(), "now".to_string()]
+            ),
+            ["std", "time", "Instant", "now"]
+        );
+        assert!(m.is_hash_container("crates/x/src/lib.rs", &["Fast".to_string()]));
+    }
+
+    #[test]
+    fn type_aliases_chase_across_files_of_a_crate() {
+        let (_, m) = model(&[
+            (
+                "crates/x/src/types.rs",
+                "use std::collections::HashMap;\npub type ShapeIndex = HashMap<u64, f64>;\n",
+            ),
+            (
+                "crates/x/src/consumer.rs",
+                "use crate::types::ShapeIndex;\n",
+            ),
+        ]);
+        assert!(m.is_hash_container("crates/x/src/consumer.rs", &["ShapeIndex".to_string()]));
+        assert!(!m.is_hash_container("crates/x/src/consumer.rs", &["Unrelated".to_string()]));
+    }
+
+    #[test]
+    fn struct_fields_resolve_cross_file() {
+        let (_, m) = model(&[
+            (
+                "crates/x/src/types.rs",
+                "use std::collections::HashMap;\npub struct Registry { pub by_name: HashMap<String, u32> }\n",
+            ),
+            ("crates/x/src/report.rs", "use crate::types::Registry;\n"),
+        ]);
+        let def = m
+            .struct_def("crates/x/src/report.rs", &["Registry".to_string()])
+            .expect("registry resolves");
+        assert_eq!(def.fields["by_name"], vec!["HashMap".to_string()]);
+    }
+
+    #[test]
+    fn interior_mutability_propagates_across_crates() {
+        let (_, m) = model(&[
+            (
+                "crates/obs/src/metrics.rs",
+                "use std::sync::atomic::AtomicU64;\npub struct Counter { value: AtomicU64 }\n",
+            ),
+            (
+                "crates/core/src/dse.rs",
+                "use cordoba_obs::Counter;\npub struct Wrapper { inner: Counter }\n",
+            ),
+        ]);
+        assert!(m.is_interior_mutable_type("crates/core/src/dse.rs", &["Counter".to_string()]));
+        assert!(m.is_interior_mutable_type("crates/core/src/dse.rs", &["Wrapper".to_string()]));
+        assert!(!m.is_interior_mutable_type("crates/core/src/dse.rs", &["u64".to_string()]));
+    }
+
+    #[test]
+    fn own_hashmap_type_is_not_std() {
+        let (_, m) = model(&[(
+            "crates/x/src/lib.rs",
+            "pub struct HashMap { items: u32 }\nfn f() {}\n",
+        )]);
+        assert!(!m.is_hash_container("crates/x/src/lib.rs", &["HashMap".to_string()]));
+    }
+}

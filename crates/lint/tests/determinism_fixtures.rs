@@ -1,0 +1,226 @@
+//! Fixture-driven tests for the `determinism` rule family, plus cross-file
+//! resolution tests that feed several in-memory sources to one run.
+
+use cordoba_lint::diagnostics::{Diagnostic, Severity};
+use cordoba_lint::rules::determinism::FAMILY;
+use cordoba_lint::Linter;
+
+/// Lints a fixture file under its on-disk relative path.
+fn lint_fixture(name: &str) -> Vec<Diagnostic> {
+    let path = format!("{}/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    let source =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("fixture {path} unreadable: {e}"));
+    Linter::new().check_source(&format!("fixtures/{name}"), &source)
+}
+
+/// Asserts the fixture triggers `rule` at every line in `lines`, and that
+/// every diagnostic it produces is of that rule (fixtures are single-rule
+/// by construction, so cross-talk is a bug in another rule).
+fn assert_rule_fires(fixture: &str, rule: &str, lines: &[u32]) {
+    let diags = lint_fixture(fixture);
+    for d in &diags {
+        assert_eq!(
+            d.rule, rule,
+            "unexpected cross-rule finding in {fixture}: {d}"
+        );
+    }
+    let got: Vec<u32> = diags.iter().map(|d| d.line).collect();
+    assert_eq!(got, lines, "wrong lines for {rule} in {fixture}: {diags:?}");
+}
+
+#[test]
+fn nondet_iteration_fires() {
+    assert_rule_fires("bad/nondet_iteration.rs", "nondet-iteration", &[11, 17, 26]);
+}
+
+#[test]
+fn wall_clock_fires() {
+    assert_rule_fires("bad/wall_clock.rs", "wall-clock", &[7, 8, 9]);
+}
+
+#[test]
+fn raw_thread_fires() {
+    assert_rule_fires("bad/raw_thread.rs", "raw-thread", &[7, 8]);
+}
+
+#[test]
+fn ambient_input_fires() {
+    assert_rule_fires("bad/ambient_input.rs", "ambient-input", &[7, 8, 10]);
+}
+
+#[test]
+fn atomic_ordering_fires() {
+    assert_rule_fires("bad/atomic_ordering.rs", "atomic-ordering", &[12, 16]);
+}
+
+#[test]
+fn global_state_fires() {
+    assert_rule_fires("bad/global_state.rs", "global-state", &[6, 8, 10, 22]);
+}
+
+#[test]
+fn clean_determinism_fixture_is_clean() {
+    let diags = lint_fixture("clean_determinism.rs");
+    assert!(diags.is_empty(), "clean fixture flagged: {diags:?}");
+}
+
+#[test]
+fn determinism_allow_markers_suppress_everything() {
+    let diags = lint_fixture("allowed_determinism.rs");
+    assert!(diags.is_empty(), "allow markers ignored: {diags:?}");
+
+    // Sanity: stripping the markers resurrects one finding per family rule,
+    // so the empty result above is the markers' doing.
+    let path = format!(
+        "{}/fixtures/allowed_determinism.rs",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    let source = std::fs::read_to_string(path).expect("fixture readable");
+    let stripped: String = source
+        .lines()
+        .map(|l| {
+            let l = l.split("// cordoba-lint:").next().unwrap_or(l);
+            format!("{l}\n")
+        })
+        .collect();
+    let unsuppressed = Linter::new().check_source("fixtures/allowed_determinism.rs", &stripped);
+    let rules: std::collections::BTreeSet<&str> = unsuppressed.iter().map(|d| d.rule).collect();
+    assert_eq!(
+        rules.len(),
+        FAMILY.len(),
+        "expected every determinism rule to fire once markers are stripped: {unsuppressed:?}"
+    );
+    for rule in &rules {
+        assert!(
+            FAMILY.contains(rule),
+            "non-determinism rule {rule} fired on the determinism fixture"
+        );
+    }
+}
+
+#[test]
+fn atomic_ordering_defaults_to_warn_others_to_deny() {
+    for d in lint_fixture("bad/atomic_ordering.rs") {
+        assert_eq!(d.severity, Severity::Warn, "default severity: {d}");
+    }
+    for d in lint_fixture("bad/global_state.rs") {
+        assert_eq!(d.severity, Severity::Deny, "default severity: {d}");
+    }
+}
+
+#[test]
+fn severity_overrides_expand_families() {
+    let path = format!(
+        "{}/fixtures/bad/atomic_ordering.rs",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    let source = std::fs::read_to_string(path).expect("fixture readable");
+
+    // `--deny determinism` escalates the family's warn-by-default member.
+    let mut linter = Linter::new();
+    linter
+        .set_severity(&["determinism"], Severity::Deny)
+        .expect("family name expands");
+    let escalated = linter.check_source("fixtures/bad/atomic_ordering.rs", &source);
+    assert!(!escalated.is_empty());
+    for d in &escalated {
+        assert_eq!(d.severity, Severity::Deny, "escalation ignored: {d}");
+    }
+
+    // And a targeted demotion goes the other way.
+    let wall = format!("{}/fixtures/bad/wall_clock.rs", env!("CARGO_MANIFEST_DIR"));
+    let wall_src = std::fs::read_to_string(wall).expect("fixture readable");
+    let mut linter = Linter::new();
+    linter
+        .set_severity(&["wall-clock"], Severity::Warn)
+        .expect("known rule");
+    let demoted = linter.check_source("fixtures/bad/wall_clock.rs", &wall_src);
+    assert!(!demoted.is_empty());
+    for d in &demoted {
+        assert_eq!(d.severity, Severity::Warn, "demotion ignored: {d}");
+    }
+}
+
+#[test]
+fn family_name_expands_in_rule_selection() {
+    let mut linter = Linter::new();
+    linter.restrict_to(&["determinism"]).expect("family known");
+    let mut active = linter.active_rules();
+    active.sort_unstable();
+    let mut family: Vec<&str> = FAMILY.to_vec();
+    family.sort_unstable();
+    assert_eq!(active, family);
+
+    let mut linter = Linter::new();
+    linter.skip(&["determinism"]).expect("family known");
+    assert!(linter.active_rules().iter().all(|r| !FAMILY.contains(r)));
+    assert!(!linter.active_rules().is_empty());
+}
+
+#[test]
+fn type_alias_resolves_across_files() {
+    let diags = Linter::new().check_sources(&[
+        (
+            "crates/core/src/types.rs",
+            "use std::collections::HashMap;\npub type ShapeIndex = HashMap<u64, f64>;\n",
+        ),
+        (
+            "crates/core/src/report.rs",
+            "use crate::types::ShapeIndex;\n\nfn dump(index: &ShapeIndex) -> Vec<u64> {\n    \
+             index.keys().copied().collect::<Vec<u64>>()\n}\n",
+        ),
+    ]);
+    assert_eq!(diags.len(), 1, "alias should resolve to HashMap: {diags:?}");
+    assert_eq!(diags[0].rule, "nondet-iteration");
+    assert_eq!(diags[0].file, "crates/core/src/report.rs");
+    assert_eq!(diags[0].line, 4);
+}
+
+#[test]
+fn sanctioned_crates_are_exempt_by_path() {
+    let source = "use std::time::Instant;\n\nfn stamp() -> Instant {\n    Instant::now()\n}\n";
+    let in_obs = Linter::new().check_sources(&[("crates/obs/src/trace.rs", source)]);
+    assert!(in_obs.is_empty(), "obs owns timing: {in_obs:?}");
+
+    let in_core = Linter::new().check_sources(&[("crates/core/src/trace.rs", source)]);
+    assert_eq!(
+        in_core.len(),
+        1,
+        "core must not read the clock: {in_core:?}"
+    );
+    assert_eq!(in_core[0].rule, "wall-clock");
+}
+
+#[test]
+fn obs_owned_statics_are_sanctioned_across_crates() {
+    let obs_metrics = (
+        "crates/obs/src/metrics.rs",
+        "use std::sync::atomic::AtomicU64;\n\npub struct Counter {\n    value: AtomicU64,\n}\n",
+    );
+    let core_counter = (
+        "crates/core/src/dse.rs",
+        "use cordoba_obs::Counter;\n\npub static EVALS: Counter = Counter::new();\n",
+    );
+    let core_holder_def = (
+        "crates/core/src/state.rs",
+        "use std::sync::Mutex;\n\npub struct Holder {\n    slot: Mutex<u64>,\n}\n",
+    );
+    let core_holder_static = (
+        "crates/core/src/globals.rs",
+        "use crate::state::Holder;\n\npub static SHARED: Holder = Holder::new();\n",
+    );
+    let diags = Linter::new().check_sources(&[
+        obs_metrics,
+        core_counter,
+        core_holder_def,
+        core_holder_static,
+    ]);
+    assert_eq!(
+        diags.len(),
+        1,
+        "only the core-owned interior-mutable static should fire: {diags:?}"
+    );
+    assert_eq!(diags[0].rule, "global-state");
+    assert_eq!(diags[0].file, "crates/core/src/globals.rs");
+    assert_eq!(diags[0].line, 3);
+}

@@ -22,6 +22,29 @@ fn workspace_is_lint_clean() {
 }
 
 #[test]
+fn workspace_is_clean_with_determinism_at_deny() {
+    // The CI gate escalates the whole family (including warn-by-default
+    // `atomic-ordering`) to deny; the workspace must stay clean even then,
+    // i.e. every Relaxed site carries a justified allow marker.
+    let mut linter = Linter::new();
+    linter
+        .set_severity(&["determinism"], cordoba_lint::diagnostics::Severity::Deny)
+        .expect("family name expands");
+    let diags = linter
+        .check_path(&workspace_root())
+        .expect("workspace walk succeeds");
+    assert!(
+        diags.is_empty(),
+        "workspace has determinism findings at deny:\n{}",
+        diags
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
 fn cli_exit_codes_reflect_findings() {
     let bin = env!("CARGO_BIN_EXE_cordoba-lint");
 

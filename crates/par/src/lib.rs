@@ -50,11 +50,19 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 pub const MIN_PARALLEL_LEN: usize = 16;
 
 /// Process-wide thread-count override; 0 means "auto" (all cores).
+///
+/// Thread count is a pure performance knob: every map in this crate is
+/// order-preserving, so results are bit-identical at any worker count and
+/// these statics can never reach a computed value. Relaxed suffices
+/// because each is a single word with no data published through it.
+// cordoba-lint: allow-file(atomic-ordering) — single-word config/memo cells, no cross-thread data handoff
+// cordoba-lint: allow(global-state) — perf-only knob, cannot affect results (maps are order-preserving)
 static CONFIGURED_THREADS: AtomicUsize = AtomicUsize::new(0);
 
 /// Memoized [`std::thread::available_parallelism`]; 0 means "not yet
 /// queried". The std call re-reads cgroup quota files on Linux (tens of
 /// microseconds), which would dominate small sweeps if paid per map.
+// cordoba-lint: allow(global-state) — memoized hardware probe, perf-only; cannot affect results
 static AUTO_THREADS: AtomicUsize = AtomicUsize::new(0);
 
 /// Overrides the process-wide worker-thread count used by the non-`_with`
