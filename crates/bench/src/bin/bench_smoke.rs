@@ -5,7 +5,7 @@
 //! vendored `criterion` is a stub, so this binary is the source of truth
 //! for recorded numbers) and writes `BENCH_<N+1>.json` at the repository
 //! root (where `N` is the highest committed record, so the current run
-//! lands in `BENCH_5.json`): a flat map of bench name to median
+//! lands in `BENCH_6.json`): a flat map of bench name to median
 //! nanoseconds. The highest committed record is also used for an
 //! informational comparison (no gate — the files are usually recorded on
 //! different machines). `--out <file>` overrides the output path.
@@ -14,7 +14,10 @@
 //! and once with the default pool — so the thread-scaling ratio is visible
 //! in the recorded file. The `integral/` and `uncertainty/` groups pair
 //! each exact-kernel measurement with its sampled predecessor, so the
-//! recorded file documents the kernel speedup directly. The `obs/` group
+//! recorded file documents the kernel speedup directly. The `supervise/`
+//! group pairs each headline pipeline with its supervised (unbounded)
+//! sibling, documenting the cost of the cooperative stop checks and
+//! per-item panic isolation when no deadline is set. The `obs/` group
 //! records the cost of a disabled-registry counter bump next to the bare
 //! loop it instruments, and the run's own `cordoba-obs` counter values are
 //! appended as `obs/counter/...` entries so the recorded file shows what
@@ -30,6 +33,7 @@ use cordoba_carbon::embodied::EmbodiedModel;
 use cordoba_carbon::integral::CiIntegral;
 use cordoba_carbon::intensity::{grids, CiSource, ConstantCi, SeasonalCi, TraceCi, TrendCi};
 use cordoba_carbon::units::{CarbonIntensity, GramsCo2e, Joules, Seconds, SquareCentimeters};
+use cordoba_par::supervise::Supervisor;
 use cordoba_workloads::task::Task;
 use std::hint::black_box;
 use std::num::NonZeroUsize;
@@ -46,6 +50,26 @@ fn median_ns(iters: usize, mut f: impl FnMut()) -> u128 {
         .collect();
     samples.sort_unstable();
     samples[samples.len() / 2]
+}
+
+/// Interleaved A/B medians for overhead ratios: alternates the two
+/// closures sample by sample so a slow machine phase lands on both sides
+/// equally — a ratio of two independently-taken medians cannot guarantee
+/// that on a shared machine.
+fn paired_median_ns(iters: usize, mut a: impl FnMut(), mut b: impl FnMut()) -> (u128, u128) {
+    let mut sa: Vec<u128> = Vec::with_capacity(iters.max(1));
+    let mut sb: Vec<u128> = Vec::with_capacity(iters.max(1));
+    for _ in 0..iters.max(1) {
+        let start = Instant::now();
+        a();
+        sa.push(start.elapsed().as_nanos());
+        let start = Instant::now();
+        b();
+        sb.push(start.elapsed().as_nanos());
+    }
+    sa.sort_unstable();
+    sb.sort_unstable();
+    (sa[sa.len() / 2], sb[sb.len() / 2])
 }
 
 /// Deterministic pseudo-random point cloud (xorshift, no RNG dependency).
@@ -195,6 +219,79 @@ fn main() {
             black_box(sweep.elimination_fraction());
         });
         results.push((format!("dse/op_time_sweep_121x29/{label}"), ns));
+    }
+    // supervise/* — each headline pipeline against its supervised
+    // (unbounded) sibling. With no deadline the added per-item cost is one
+    // relaxed flag load plus a catch_unwind frame; target <=2% overhead.
+    // The sweep pair widens the point set 8x so each row carries ~2.4us of
+    // real work: on the bare 121-point rows (~300ns each) the fixed
+    // per-row isolation cost and scheduler noise would dominate the ratio,
+    // which is not the regime the overhead target describes.
+    let wide_points: Vec<_> = std::iter::repeat_n(points.clone(), 8).flatten().collect();
+    for (label, threads) in thread_modes {
+        cordoba_par::set_threads(threads);
+        let workers = cordoba_par::effective_threads();
+        let (plain, supervised) = paired_median_ns(
+            iters * 3,
+            || {
+                black_box(
+                    evaluate_space_with_threads(black_box(&configs), &task, &model, workers)
+                        .unwrap(),
+                );
+            },
+            || {
+                let sup = Supervisor::unbounded();
+                let eval = evaluate_space_supervised_with_threads(
+                    black_box(&configs),
+                    &task,
+                    &model,
+                    &sup,
+                    workers,
+                );
+                black_box(eval.is_complete());
+            },
+        );
+        results.push((
+            format!("supervise/evaluate_space/unsupervised/{label}"),
+            plain,
+        ));
+        results.push((
+            format!("supervise/evaluate_space/supervised/{label}"),
+            supervised,
+        ));
+        let (plain, supervised) = paired_median_ns(
+            iters * 3,
+            || {
+                black_box(
+                    OpTimeSweep::new(
+                        black_box(wide_points.clone()),
+                        counts.clone(),
+                        grids::US_AVERAGE,
+                    )
+                    .unwrap(),
+                );
+            },
+            || {
+                let sup = Supervisor::unbounded();
+                black_box(
+                    op_time_sweep_supervised(
+                        black_box(wide_points.clone()),
+                        counts.clone(),
+                        grids::US_AVERAGE,
+                        &sup,
+                    )
+                    .unwrap(),
+                );
+            },
+        );
+        results.push((
+            format!("supervise/op_time_sweep/unsupervised/{label}"),
+            plain,
+        ));
+        results.push((
+            format!("supervise/op_time_sweep/supervised/{label}"),
+            supervised,
+        ));
     }
     cordoba_par::set_threads(None);
 
@@ -380,6 +477,22 @@ fn main() {
                 lookup(&format!("{sampled}/{label}")),
             ) {
                 println!("  {group} [{label}]: {:.1}x", s / e.max(1.0));
+            }
+        }
+    }
+
+    // Supervised-vs-unsupervised overhead, straight from this run's medians.
+    println!("\nsupervision overhead (supervised vs unsupervised, no deadline; target <=2%):");
+    for group in ["supervise/evaluate_space", "supervise/op_time_sweep"] {
+        for (label, _) in thread_modes {
+            if let (Some(plain), Some(supervised)) = (
+                lookup(&format!("{group}/unsupervised/{label}")),
+                lookup(&format!("{group}/supervised/{label}")),
+            ) {
+                println!(
+                    "  {group} [{label}]: {:+.1}%",
+                    (supervised - plain) / plain.max(1.0) * 100.0
+                );
             }
         }
     }

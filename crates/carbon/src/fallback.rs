@@ -201,6 +201,64 @@ impl FallbackCi {
             .build()
     }
 
+    /// Fraction of the query window `[from, until]` that each tier's
+    /// validity window covers, in chain priority order.
+    ///
+    /// This is the planning-side complement to [`FallbackCi::health`]:
+    /// health reports how queries *were* served, coverage reports how a
+    /// window *would* be served. A supervised sweep that is stopped early
+    /// integrates only a prefix of its lifetime window — pass that partial
+    /// window here to see which tiers back the truncated result (e.g. a
+    /// trace tier covering 100 % of a 5-hour prefix but 3 % of the full
+    /// deployment).
+    ///
+    /// A zero-length window (`from == until`) reports 1.0 for tiers whose
+    /// window contains the instant and 0.0 otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CarbonError::NotMonotonic`] when the window is non-finite
+    /// or inverted (`from > until`).
+    pub fn tier_coverage(
+        &self,
+        from: Seconds,
+        until: Seconds,
+    ) -> Result<Vec<TierCoverage>, CarbonError> {
+        if !from.is_finite() || !until.is_finite() || from.value() > until.value() {
+            return Err(CarbonError::NotMonotonic {
+                what: "fallback coverage query window",
+            });
+        }
+        let span = until.value() - from.value();
+        Ok(self
+            .tiers
+            .iter()
+            .map(|tier| {
+                let fraction = match tier.window {
+                    None => 1.0,
+                    Some((lo, hi)) => {
+                        // Degenerate point query: the window collapses to an
+                        // instant, so coverage is a membership test, not a
+                        // ratio. Exact zero is the intended sentinel — any
+                        // nonzero span, however small, divides fine below.
+                        // cordoba-lint: allow(float-eq)
+                        if span == 0.0 {
+                            f64::from(u8::from(tier.covers(from)))
+                        } else {
+                            let overlap =
+                                hi.value().min(until.value()) - lo.value().max(from.value());
+                            (overlap / span).clamp(0.0, 1.0)
+                        }
+                    }
+                };
+                TierCoverage {
+                    label: tier.label.clone(),
+                    fraction,
+                }
+            })
+            .collect())
+    }
+
     /// Snapshot of the chain's query accounting.
     #[must_use]
     pub fn health(&self) -> FallbackHealth {
@@ -308,6 +366,17 @@ impl CiIntegral for FallbackCi {
         }
         CarbonIntensitySeconds::new(total)
     }
+}
+
+/// Window-coverage of one tier over a queried interval, from
+/// [`FallbackCi::tier_coverage`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TierCoverage {
+    /// The tier's label.
+    pub label: String,
+    /// Fraction of the queried window the tier's validity window covers,
+    /// in `[0, 1]` (1.0 for unwindowed tiers).
+    pub fraction: f64,
 }
 
 /// Query accounting for one tier of a [`FallbackCi`] chain.
@@ -507,6 +576,50 @@ mod tests {
         assert!(text.contains("DEGRADED"));
         assert!(text.contains("`trace`"));
         assert!(text.contains("`constant`"));
+    }
+
+    #[test]
+    fn tier_coverage_reports_partial_windows() {
+        // Trace covers [0, 100] s; the diurnal and constant tiers are
+        // unwindowed.
+        let diurnal =
+            DiurnalCi::new(CarbonIntensity::new(400.0), CarbonIntensity::new(100.0)).unwrap();
+        let chain = FallbackCi::standard(short_trace(), Some(diurnal), grids::US_AVERAGE).unwrap();
+        // A truncated run that only reached t = 50 s: the trace fully backs
+        // the partial window.
+        let partial = chain
+            .tier_coverage(Seconds::ZERO, Seconds::new(50.0))
+            .unwrap();
+        assert_eq!(partial.len(), 3);
+        assert!((partial[0].fraction - 1.0).abs() < 1e-12);
+        assert!((partial[1].fraction - 1.0).abs() < 1e-12);
+        // The full deployment window: the trace backs only a quarter of it.
+        let full = chain
+            .tier_coverage(Seconds::ZERO, Seconds::new(400.0))
+            .unwrap();
+        assert!((full[0].fraction - 0.25).abs() < 1e-12);
+        assert!((full[2].fraction - 1.0).abs() < 1e-12);
+        // Entirely past the trace window: zero trace coverage.
+        let past = chain
+            .tier_coverage(Seconds::new(200.0), Seconds::new(300.0))
+            .unwrap();
+        assert!(past[0].fraction.abs() < 1e-12);
+        // Zero-length window: point containment.
+        let inside = chain
+            .tier_coverage(Seconds::new(50.0), Seconds::new(50.0))
+            .unwrap();
+        assert!((inside[0].fraction - 1.0).abs() < 1e-12);
+        let outside = chain
+            .tier_coverage(Seconds::new(500.0), Seconds::new(500.0))
+            .unwrap();
+        assert!(outside[0].fraction.abs() < 1e-12);
+        // Invalid windows are rejected.
+        assert!(chain
+            .tier_coverage(Seconds::new(10.0), Seconds::ZERO)
+            .is_err());
+        assert!(chain
+            .tier_coverage(Seconds::new(f64::NAN), Seconds::ZERO)
+            .is_err());
     }
 
     #[test]

@@ -62,7 +62,9 @@ pub mod prelude {
     pub use crate::embodied::{Assembly, Die, EmbodiedModel};
     pub use crate::error::CarbonError;
     pub use crate::fab::{FabProfile, ProcessNode};
-    pub use crate::fallback::{FallbackCi, FallbackCiBuilder, FallbackHealth, TierHealth};
+    pub use crate::fallback::{
+        FallbackCi, FallbackCiBuilder, FallbackHealth, TierCoverage, TierHealth,
+    };
     pub use crate::integral::{operational_carbon_exact, CiIntegral, PowerIntegral, PowerSegment};
     pub use crate::intensity::{
         grids, CiSource, ConstantCi, DiurnalCi, SeasonalCi, TraceCi, TrendCi,

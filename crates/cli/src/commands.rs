@@ -8,10 +8,12 @@ use cordoba::prelude::*;
 use cordoba_accel::cache::EmbodiedCache;
 use cordoba_accel::space::{config_by_name, design_space};
 use cordoba_carbon::prelude::*;
+use cordoba_par::supervise::{Outcome, Supervisor};
 use cordoba_soc::prelude::*;
 use cordoba_workloads::kernel::KernelId;
 use cordoba_workloads::task::Task;
 use std::fmt::Write as _;
+use std::time::Duration;
 
 /// Error type of the CLI layer.
 #[derive(Debug)]
@@ -205,6 +207,34 @@ fn apply_threads(args: &Args) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Parses a human-readable duration: a non-negative number with an
+/// optional `ms`/`s`/`m`/`h` suffix (bare numbers mean seconds).
+fn parse_duration(raw: &str) -> Result<Duration, CliError> {
+    let bad = || {
+        CliError::Usage(format!(
+            "bad duration `{raw}` (expected e.g. `500ms`, `5s`, `2m`, `1h`)"
+        ))
+    };
+    let (number, scale) = if let Some(v) = raw.strip_suffix("ms") {
+        (v, 1e-3)
+    } else if let Some(v) = raw.strip_suffix('s') {
+        (v, 1.0)
+    } else if let Some(v) = raw.strip_suffix('m') {
+        (v, 60.0)
+    } else if let Some(v) = raw.strip_suffix('h') {
+        (v, cordoba_carbon::units::SECONDS_PER_HOUR)
+    } else {
+        (raw, 1.0)
+    };
+    let value: f64 = number.trim().parse().map_err(|_| bad())?;
+    if !value.is_finite() || value < 0.0 {
+        return Err(bad());
+    }
+    // try_ rather than from_secs_f64: absurd magnitudes (`9e99h`) must be
+    // a usage error, not an overflow panic.
+    Duration::try_from_secs_f64(value * scale).map_err(|_| bad())
+}
+
 fn grid_by_name(name: &str) -> Result<CarbonIntensity, CliError> {
     Ok(match name {
         "coal" => grids::COAL,
@@ -316,8 +346,13 @@ fn cmd_dse(args: &Args) -> Result<String, CliError> {
         return Ok(
             "cordoba dse --task <all|xr10|ai10|xr5|ai5> [--grid <name>] \
                    [--lo <decade>] [--hi <decade>] [--lenient]\n\
+                   [--deadline <dur>] [--checkpoint <file>] [--resume <file>]\n\
                    --lenient quarantines configurations that fail to \
-                   evaluate and sweeps the rest\n"
+                   evaluate and sweeps the rest\n\
+                   --deadline bounds the sweep (e.g. 5s, 500ms); an \
+                   interrupted sweep writes its progress to --checkpoint\n\
+                   --resume continues a checkpointed sweep to the exact \
+                   result the uninterrupted run would have produced\n"
                 .to_owned(),
         );
     }
@@ -327,11 +362,25 @@ fn cmd_dse(args: &Args) -> Result<String, CliError> {
         "lo",
         "hi",
         "lenient",
+        "deadline",
+        "checkpoint",
+        "resume",
         "threads",
         "trace-out",
         "metrics",
         "help",
     ])?;
+    let deadline = args.get("deadline").map(parse_duration).transpose()?;
+    if let Some(path) = args.get("resume") {
+        for conflicting in ["task", "grid", "lo", "hi"] {
+            if args.get(conflicting).is_some() {
+                return Err(CliError::Usage(format!(
+                    "--resume restores every sweep input from the checkpoint; drop --{conflicting}"
+                )));
+            }
+        }
+        return dse_resume(args, path, deadline);
+    }
     let task = task_by_name(args.get("task").unwrap_or("all"))?;
     let ci = grid_by_name(args.get("grid").unwrap_or("us"))?;
     let decade = |key: &'static str, default: f64| -> Result<i32, CliError> {
@@ -373,9 +422,27 @@ fn cmd_dse(args: &Args) -> Result<String, CliError> {
     } else {
         evaluate_space(&design_space(), &task, &EmbodiedModel::default())?
     };
-    let sweep = OpTimeSweep::new(points, log_sweep(lo, hi, 2), ci)?;
-
     let _ = writeln!(out, "task: {task} | grid: {ci}");
+    // The evaluation stage above runs unsupervised (it is the fast part);
+    // the deadline budget governs the sweep, so even `--deadline 0s`
+    // leaves a resumable checkpoint behind.
+    let sup = match deadline {
+        Some(budget) => Supervisor::with_deadline(budget),
+        None => Supervisor::unbounded(),
+    };
+    let run = op_time_sweep_supervised(points, log_sweep(lo, hi, 2), ci, &sup)?;
+    match run {
+        SupervisedSweep::Complete(sweep) => {
+            render_sweep(&sweep, &mut out)?;
+            Ok(out)
+        }
+        SupervisedSweep::Partial(partial) => dse_checkpoint(args, partial, out),
+    }
+}
+
+/// Renders a completed operational-time sweep: the optimal-design
+/// crossover table plus the elimination summary.
+fn render_sweep(sweep: &OpTimeSweep, out: &mut String) -> Result<(), CliError> {
     let mut last = String::new();
     for n in 0..sweep.task_counts.len() {
         let best = &sweep.points[sweep.optimal_at(n)];
@@ -402,7 +469,72 @@ fn cmd_dse(args: &Args) -> Result<String, CliError> {
         sweep.elimination_fraction() * 100.0,
         sweep.points[sweep.robust_choice()].name
     );
+    Ok(())
+}
+
+/// Handles an interrupted `dse` sweep: writes the checkpoint to
+/// `--checkpoint` (an error without one — progress would be lost
+/// silently) and reports coverage plus the resume command.
+fn dse_checkpoint(args: &Args, partial: PartialSweep, mut out: String) -> Result<String, CliError> {
+    let report = partial.coverage_report();
+    let Some(path) = args.get("checkpoint") else {
+        return Err(CliError::Usage(format!(
+            "{report}; re-run with --checkpoint <file> to save progress"
+        )));
+    };
+    std::fs::write(path, partial.checkpoint.to_text())
+        .map_err(|e| CliError::Usage(format!("cannot write {path}: {e}")))?;
+    let _ = writeln!(out, "{report}");
+    let _ = writeln!(
+        out,
+        "checkpoint written to {path}; continue with `cordoba dse --resume {path}`"
+    );
     Ok(out)
+}
+
+/// The `dse --resume` path: restores a sweep checkpoint and computes the
+/// remaining rows (under a fresh deadline when `--deadline` is given
+/// again, otherwise to completion).
+fn dse_resume(args: &Args, path: &str, deadline: Option<Duration>) -> Result<String, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Usage(format!("cannot read {path}: {e}")))?;
+    let checkpoint =
+        SweepCheckpoint::from_text(&text).map_err(|e| CliError::Usage(format!("{path}: {e}")))?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "resuming {path}: {}/{} rows already complete | grid: {}",
+        checkpoint.completed_rows(),
+        checkpoint.total_rows(),
+        checkpoint.ci_use()
+    );
+    let sup = match deadline {
+        Some(budget) => Supervisor::with_deadline(budget),
+        None => Supervisor::unbounded(),
+    };
+    match checkpoint.resume(&sup)? {
+        SupervisedSweep::Complete(sweep) => {
+            render_sweep(&sweep, &mut out)?;
+            Ok(out)
+        }
+        // Interrupted again: save to --checkpoint if given, else back to
+        // the file being resumed (progress is monotone either way).
+        SupervisedSweep::Partial(partial) => {
+            if args.get("checkpoint").is_none() {
+                let report = partial.coverage_report();
+                std::fs::write(path, partial.checkpoint.to_text())
+                    .map_err(|e| CliError::Usage(format!("cannot write {path}: {e}")))?;
+                let _ = writeln!(out, "{report}");
+                let _ = writeln!(
+                    out,
+                    "checkpoint updated at {path}; continue with `cordoba dse --resume {path}`"
+                );
+                Ok(out)
+            } else {
+                dse_checkpoint(args, partial, out)
+            }
+        }
+    }
 }
 
 fn cmd_provision(args: &Args) -> Result<String, CliError> {
@@ -611,27 +743,31 @@ fn for_each_csv_row(content: &str, mut per_row: impl FnMut(usize, &str)) {
     }
 }
 
-/// Parses the `eliminate` command's CSV format, aborting on the first
-/// malformed row.
+/// Parses the `eliminate` command's CSV format strictly: any malformed
+/// row aborts the parse, but the whole file is scanned first so the error
+/// names *every* bad line at once — one fix-up pass instead of one per
+/// re-run.
 ///
 /// # Errors
 ///
-/// Returns a line-numbered usage error for the first malformed row, or an
-/// error when no data rows are present.
+/// Returns a usage error listing every malformed row with its line
+/// number, or an error when no data rows are present.
 pub fn parse_design_csv(content: &str) -> Result<Vec<DesignPoint>, CliError> {
     let mut points = Vec::new();
-    let mut first_err = None;
+    let mut errors: Vec<String> = Vec::new();
     for_each_csv_row(content, |lineno, line| {
-        if first_err.is_some() {
-            return;
-        }
         match parse_design_row(lineno, line) {
             Ok(point) => points.push(point),
-            Err(e) => first_err = Some(e),
+            Err(e) => errors.push(e.to_string()),
         }
     });
-    if let Some(e) = first_err {
-        return Err(e);
+    if !errors.is_empty() {
+        let mut msg = format!("{} malformed row(s):", errors.len());
+        for e in &errors {
+            msg.push_str("\n  ");
+            msg.push_str(e);
+        }
+        return Err(CliError::Usage(msg));
     }
     if points.is_empty() {
         return Err(CliError::Usage("no design rows found".to_owned()));
@@ -672,8 +808,10 @@ fn cmd_doctor(args: &Args) -> Result<String, CliError> {
                    Trace CSV columns: time_s,ci_gco2e_per_kwh\n\
                    Design CSV columns: name,delay_s,energy_j,embodied_gco2e\n\
                    With --metrics and no inputs: runs a built-in self-check\n\
-                   probe (sanitizer, fallback tiers, embodied cache) and\n\
-                   dumps the metrics registry it populated.\n"
+                   probe (sanitizer, fallback tiers, embodied cache, and\n\
+                   supervision health: deadline sweep, checkpoint\n\
+                   round-trip, panic isolation) and dumps the metrics\n\
+                   registry it populated.\n"
             .to_owned());
     }
     args.expect_only(&[
@@ -756,6 +894,152 @@ fn doctor_self_check(out: &mut String) -> Result<(), CliError> {
             "ok"
         } else {
             "UNEXPECTED (see counters above)"
+        }
+    );
+    doctor_supervision(out)?;
+    Ok(())
+}
+
+/// Marker carried by the doctor's deliberate probe panic so the filtering
+/// hook can swallow its report without touching any other panic.
+const PANIC_PROBE: &str = "[doctor-panic-probe]";
+
+/// Installs (once, lazily) a panic hook that suppresses the default
+/// report only for payloads carrying [`PANIC_PROBE`]; every other panic
+/// still reports through the previous hook.
+fn install_panic_probe_filter() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let probe = info
+                .payload()
+                .downcast_ref::<String>()
+                .is_some_and(|s| s.contains(PANIC_PROBE))
+                || info
+                    .payload()
+                    .downcast_ref::<&str>()
+                    .is_some_and(|s| s.contains(PANIC_PROBE));
+            if !probe {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// The supervision-health section of the `doctor --metrics` self-check:
+/// a deadline-bounded micro-sweep, a checkpoint serialize/restore/resume
+/// round-trip verified bit-for-bit against the uninterrupted sweep, and a
+/// panic-isolation probe. Each exercises the corresponding supervision
+/// counters, so the appended metrics dump carries the full family.
+fn doctor_supervision(out: &mut String) -> Result<(), CliError> {
+    let _ = writeln!(out, "supervision: deadline + checkpoint + panic probes");
+    let points = vec![
+        DesignPoint::new(
+            "probe-a",
+            Seconds::new(1.0),
+            Joules::new(40.0),
+            GramsCo2e::new(8000.0),
+            SquareCentimeters::new(0.5),
+        )?,
+        DesignPoint::new(
+            "probe-b",
+            Seconds::new(0.7),
+            Joules::new(70.0),
+            GramsCo2e::new(11000.0),
+            SquareCentimeters::new(0.8),
+        )?,
+    ];
+    let counts = log_sweep(4, 8, 1);
+    let rows = counts.len();
+
+    // A zero-budget deadline must interrupt before any row.
+    let deadline_ok = op_time_sweep_supervised_with_threads(
+        points.clone(),
+        counts.clone(),
+        grids::US_AVERAGE,
+        &Supervisor::with_deadline(Duration::ZERO),
+        1,
+    )?
+    .partial()
+    .is_some_and(|p| p.checkpoint.completed_rows() == 0);
+    let _ = writeln!(
+        out,
+        "  deadline-bounded sweep: {}",
+        if deadline_ok {
+            "interrupts"
+        } else {
+            "DID NOT STOP"
+        }
+    );
+
+    // Interrupt mid-sweep, round-trip the checkpoint through its text
+    // form, resume, and demand the uninterrupted sweep's exact bits.
+    let direct = OpTimeSweep::with_threads(points.clone(), counts.clone(), grids::US_AVERAGE, 1)?;
+    let partial = op_time_sweep_supervised_with_threads(
+        points,
+        counts,
+        grids::US_AVERAGE,
+        &Supervisor::tripping_after(u64::try_from(rows / 2).unwrap_or(1)),
+        1,
+    )?
+    .partial();
+    let (roundtrip_ok, resume_ok) = match partial {
+        Some(p) => {
+            let restored = SweepCheckpoint::from_text(&p.checkpoint.to_text()).ok();
+            let roundtrip = restored.as_ref() == Some(&p.checkpoint);
+            let resumed = restored
+                .and_then(|c| c.resume_with_threads(&Supervisor::unbounded(), 1).ok())
+                .and_then(SupervisedSweep::complete);
+            (roundtrip, resumed.as_ref() == Some(&direct))
+        }
+        None => (false, false),
+    };
+    let _ = writeln!(
+        out,
+        "  checkpoint round-trip: {}",
+        if roundtrip_ok { "bit-exact" } else { "LOSSY" }
+    );
+    let _ = writeln!(
+        out,
+        "  interrupted resume: {}",
+        if resume_ok {
+            "bit-identical to uninterrupted sweep"
+        } else {
+            "DIVERGED"
+        }
+    );
+
+    // Panic isolation: a deliberately panicking work unit must land as a
+    // quarantined outcome with the process intact and its peers computed.
+    install_panic_probe_filter();
+    let items = [0u32, 1, 2];
+    let run = cordoba_par::par_map_supervised_with(&items, 1, &Supervisor::unbounded(), |_, &x| {
+        if x == 1 {
+            // Deliberate: this probe exists to prove panics are isolated.
+            panic!("{PANIC_PROBE} deliberate probe panic"); // cordoba-lint: allow(no-panic)
+        }
+        x * 2
+    });
+    let isolation_ok = run.is_complete()
+        && matches!(run.outcomes.get(1), Some(Outcome::Panicked(_)))
+        && run.outcomes.iter().filter(|o| o.done().is_some()).count() == 2;
+    let _ = writeln!(
+        out,
+        "  panic isolation: {}",
+        if isolation_ok {
+            "quarantined (process intact)"
+        } else {
+            "NOT ISOLATED"
+        }
+    );
+    let _ = writeln!(
+        out,
+        "  supervision status: {}",
+        if deadline_ok && roundtrip_ok && resume_ok && isolation_ok {
+            "ok"
+        } else {
+            "UNEXPECTED (see lines above)"
         }
     );
     Ok(())
@@ -1125,6 +1409,123 @@ mod tests {
         // The built-in space is clean, so no quarantine block appears and
         // the sweep output is identical.
         assert_eq!(strict, lenient);
+    }
+
+    #[test]
+    fn parse_duration_accepts_suffixes_and_rejects_garbage() {
+        assert_eq!(parse_duration("5s").unwrap(), Duration::from_secs(5));
+        assert_eq!(parse_duration("500ms").unwrap(), Duration::from_millis(500));
+        assert_eq!(parse_duration("2m").unwrap(), Duration::from_secs(120));
+        assert_eq!(parse_duration("1h").unwrap(), Duration::from_secs(3600));
+        assert_eq!(parse_duration("0s").unwrap(), Duration::ZERO);
+        assert_eq!(parse_duration("1.5").unwrap(), Duration::from_millis(1500));
+        for bad in ["", "banana", "-3s", "nan", "9e99h", "5 s s"] {
+            assert!(parse_duration(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn strict_csv_parser_reports_every_malformed_line() {
+        let csv = "name,delay,energy,embodied\n\
+                   good,1.0,1.0,10\n\
+                   bad,row\n\
+                   worse,1.0,banana,30\n\
+                   fine,2.0,2.0,20\n";
+        let err = parse_design_csv(csv).unwrap_err().to_string();
+        assert!(err.contains("2 malformed row(s)"), "{err}");
+        assert!(err.contains("line 3"), "{err}");
+        assert!(err.contains("line 4"), "{err}");
+        assert!(err.contains("banana"), "{err}");
+    }
+
+    #[test]
+    fn dse_deadline_writes_checkpoint_and_resume_matches_direct_run() {
+        let dir = std::env::temp_dir().join("cordoba-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sweep.ckpt");
+        let _ = std::fs::remove_file(&path);
+        // A zero deadline interrupts before any row but after the
+        // (unsupervised) evaluation stage, so the checkpoint always lands.
+        let out = run_str(&format!(
+            "dse --task xr5 --lo 5 --hi 7 --deadline 0s --checkpoint {}",
+            path.display()
+        ))
+        .unwrap();
+        assert!(
+            out.contains("sweep interrupted (deadline-exceeded)"),
+            "{out}"
+        );
+        assert!(out.contains("checkpoint written"), "{out}");
+        let saved = std::fs::read_to_string(&path).unwrap();
+        assert!(saved.starts_with("cordoba-sweep-checkpoint v1"), "{saved}");
+        // Resuming completes the sweep and reproduces the direct run's
+        // crossover table and elimination summary exactly.
+        let resumed = run_str(&format!("dse --resume {}", path.display())).unwrap();
+        let direct = run_str("dse --task xr5 --lo 5 --hi 7").unwrap();
+        assert!(resumed.starts_with("resuming"), "{resumed}");
+        let resumed_body: Vec<&str> = resumed.lines().skip(1).collect();
+        let direct_body: Vec<&str> = direct.lines().skip(1).collect();
+        assert_eq!(resumed_body, direct_body);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn dse_deadline_without_checkpoint_is_an_error() {
+        let err = run_str("dse --task xr5 --lo 5 --hi 7 --deadline 0s").unwrap_err();
+        assert!(err.to_string().contains("--checkpoint"), "{err}");
+    }
+
+    #[test]
+    fn dse_resume_validates_inputs() {
+        // Resume with sweep-shaping options is contradictory.
+        let err = run_str("dse --resume whatever.ckpt --task xr5").unwrap_err();
+        assert!(err.to_string().contains("--task"), "{err}");
+        // Missing and corrupt checkpoint files are usage errors.
+        assert!(run_str("dse --resume /nonexistent/x.ckpt").is_err());
+        let dir = std::env::temp_dir().join("cordoba-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("corrupt.ckpt");
+        std::fs::write(&path, "not a checkpoint\n").unwrap();
+        let err = run_str(&format!("dse --resume {}", path.display())).unwrap_err();
+        assert!(err.to_string().contains("checkpoint"), "{err}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn dse_rejects_bad_deadline() {
+        let err = run_str("dse --task xr5 --deadline banana").unwrap_err();
+        assert!(err.to_string().contains("duration"), "{err}");
+    }
+
+    #[test]
+    fn doctor_self_check_reports_supervision_health() {
+        let out = run_str("doctor --metrics").unwrap();
+        assert!(
+            out.contains("supervision: deadline + checkpoint + panic probes"),
+            "{out}"
+        );
+        assert!(out.contains("deadline-bounded sweep: interrupts"), "{out}");
+        assert!(out.contains("checkpoint round-trip: bit-exact"), "{out}");
+        assert!(
+            out.contains("interrupted resume: bit-identical to uninterrupted sweep"),
+            "{out}"
+        );
+        assert!(
+            out.contains("panic isolation: quarantined (process intact)"),
+            "{out}"
+        );
+        assert!(out.contains("supervision status: ok"), "{out}");
+        // The probe populates the whole supervision counter family, so the
+        // appended metrics dump must carry it.
+        for counter in [
+            "supervision_deadline_exceeded",
+            "supervision_cancelled",
+            "supervision_chunk_panic",
+            "supervision_checkpoint_written",
+            "supervision_checkpoint_restored",
+        ] {
+            assert!(out.contains(counter), "missing {counter} in:\n{out}");
+        }
     }
 
     #[test]

@@ -17,7 +17,7 @@ use cordoba_carbon::embodied::EmbodiedModel;
 use cordoba_carbon::integral::CiIntegral;
 use cordoba_carbon::units::{CarbonIntensity, Seconds};
 use cordoba_carbon::CarbonError;
-use cordoba_obs::{Event, Histogram};
+use cordoba_obs::Histogram;
 use cordoba_workloads::task::Task;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
@@ -183,12 +183,13 @@ impl ResilientEval {
 /// Characterizes a configuration list for a task, isolating
 /// per-configuration failures instead of aborting the sweep.
 ///
-/// A poisoned configuration (corrupted tuning, unpriceable kernel) lands in
-/// [`ResilientEval::failures`] with its structured error; every healthy
-/// configuration is still evaluated. On a clean space the returned points
-/// are exactly those of [`evaluate_space`]. Evaluation is parallel, but
-/// both `points` and `failures` preserve input (quarantine) order exactly
-/// as the sequential loop produced them.
+/// A poisoned configuration (corrupted tuning, unpriceable kernel, or a
+/// *panicking* evaluation — panics are isolated per configuration by the
+/// supervised map) lands in [`ResilientEval::failures`] with its structured
+/// error; every healthy configuration is still evaluated. On a clean space
+/// the returned points are exactly those of [`evaluate_space`]. Evaluation
+/// is parallel, but both `points` and `failures` preserve input
+/// (quarantine) order exactly as the sequential loop produced them.
 #[must_use]
 pub fn evaluate_space_resilient(
     configs: &[AcceleratorConfig],
@@ -213,22 +214,13 @@ pub fn evaluate_space_resilient_with_threads(
         "configs",
         u64::try_from(configs.len()).unwrap_or(u64::MAX),
     );
-    let outcomes =
-        cordoba_par::par_map_with(configs, threads, |c| accel_design_point(c, task, embodied));
-    let mut result = ResilientEval::default();
-    for (config, outcome) in configs.iter().zip(outcomes) {
-        match outcome {
-            Ok(point) => result.points.push(point),
-            Err(error) => {
-                cordoba_obs::record(&Event::Quarantine);
-                result.failures.push(EvalFailure {
-                    name: config.name().to_string(),
-                    error,
-                });
-            }
-        }
-    }
-    result
+    let sup = cordoba_par::Supervisor::unbounded();
+    let eval = crate::supervise::evaluate_space_supervised_with_threads(
+        configs, task, embodied, &sup, threads,
+    );
+    // An unbounded supervisor never stops the map, so every slot resolves.
+    eval.to_resilient()
+        .expect("unbounded supervised evaluation always completes") // cordoba-lint: allow(no-panic)
 }
 
 /// A logarithmic sweep of task counts: `per_decade` points per decade from
@@ -318,6 +310,24 @@ impl OpTimeSweep {
             ci_use,
             tcdp,
         })
+    }
+
+    /// Assembles a sweep from rows computed elsewhere (the supervised
+    /// checkpoint/resume path). Callers guarantee `tcdp[n][p]` matches
+    /// `task_counts[n]` × `points[p]` — the supervised sweep only produces
+    /// rows through the same per-row computation as [`Self::with_threads`].
+    pub(crate) fn from_rows(
+        points: Vec<DesignPoint>,
+        task_counts: Vec<f64>,
+        ci_use: CarbonIntensity,
+        tcdp: Vec<Vec<f64>>,
+    ) -> Self {
+        Self {
+            points,
+            task_counts,
+            ci_use,
+            tcdp,
+        }
     }
 
     /// Evaluates the sweep under a *time-varying* intensity source: the

@@ -29,6 +29,13 @@ pub enum CoreError {
     Carbon(CarbonError),
     /// A task referenced a kernel the cost table has no entry for.
     MissingKernel(MissingKernel),
+    /// A supervised parallel worker panicked while evaluating this unit of
+    /// work; the panic was isolated (the process survived) and its payload
+    /// message is carried here.
+    Panicked(String),
+    /// A supervision-layer invariant failed: a serialized checkpoint did
+    /// not parse or validate, or a resume was fed mismatched inputs.
+    Supervision(String),
 }
 
 impl From<CarbonError> for CoreError {
@@ -48,6 +55,8 @@ impl fmt::Display for CoreError {
         match self {
             Self::Carbon(err) => err.fmt(f),
             Self::MissingKernel(err) => err.fmt(f),
+            Self::Panicked(message) => write!(f, "evaluation panicked: {message}"),
+            Self::Supervision(message) => write!(f, "supervision: {message}"),
         }
     }
 }
@@ -57,6 +66,7 @@ impl std::error::Error for CoreError {
         match self {
             Self::Carbon(err) => Some(err),
             Self::MissingKernel(err) => Some(err),
+            Self::Panicked(_) | Self::Supervision(_) => None,
         }
     }
 }

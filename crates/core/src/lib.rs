@@ -29,6 +29,8 @@
 //! * [`optimize`] — eq. IV.1 constrained minimization;
 //! * [`pareto`] / [`lagrange`] — §IV-B elimination under unknown `CI_use(t)`;
 //! * [`dse`] — operational-time sweeps and design-space elimination (Fig. 8);
+//! * [`supervise`] — deadlines, cancellation, panic isolation, and
+//!   checkpoint/resume for the long-running pipelines above;
 //! * [`uncertainty`] — Fig. 6 domain studies, robustness and regret;
 //! * [`stats`] / [`report`] — analysis and reporting helpers.
 //!
@@ -64,6 +66,7 @@ pub mod optimize;
 pub mod pareto;
 pub mod report;
 pub mod stats;
+pub mod supervise;
 pub mod uncertainty;
 
 pub use error::CoreError;
@@ -89,10 +92,18 @@ pub mod prelude {
         pareto_indices_kd_naive, pareto_indices_naive, Point2, PointK,
     };
     pub use crate::report::{fmt_num, fmt_ratio, Table};
+    pub use crate::supervise::{
+        evaluate_space_supervised, evaluate_space_supervised_with_threads,
+        op_time_sweep_supervised, op_time_sweep_supervised_with_threads, PartialSweep,
+        SupervisedEval, SupervisedSweep, SweepCheckpoint,
+    };
     pub use crate::uncertainty::{
-        context_for_embodied_share, domain_analysis, monte_carlo_regret, monte_carlo_source_tcdp,
-        monte_carlo_source_tcdp_sampled_with_threads, monte_carlo_source_tcdp_with_threads,
-        monte_carlo_tcdp, scenario_regret, tcdp_under_source, tcdp_under_source_sampled,
-        DomainAnalysis, DomainClass, MonteCarloSpec, MonteCarloSummary, SourceMonteCarloSpec,
+        context_for_embodied_share, domain_analysis, monte_carlo_regret,
+        monte_carlo_regret_supervised, monte_carlo_source_tcdp,
+        monte_carlo_source_tcdp_sampled_with_threads, monte_carlo_source_tcdp_supervised,
+        monte_carlo_source_tcdp_with_threads, monte_carlo_tcdp, monte_carlo_tcdp_supervised,
+        scenario_regret, tcdp_under_source, tcdp_under_source_sampled, DomainAnalysis, DomainClass,
+        MonteCarloSpec, MonteCarloSummary, SourceMonteCarloSpec, SupervisedMonteCarlo,
+        SupervisedRegret,
     };
 }

@@ -1,12 +1,14 @@
 //! Uncertainty analyses: domain studies (Fig. 6) and robustness to
 //! unknown usage and grid intensity (§VI-C).
 
+use crate::error::CoreError;
 use crate::metrics::{DesignPoint, OperationalContext};
 use crate::stats::log_pearson;
 use cordoba_carbon::integral::CiIntegral;
 use cordoba_carbon::intensity::{grids, CiSource};
 use cordoba_carbon::units::{CarbonIntensity, Seconds};
 use cordoba_carbon::CarbonError;
+use cordoba_par::supervise::{Outcome, StopReason, Supervisor};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -359,6 +361,7 @@ pub struct MonteCarloSummary {
 
 /// Per-block partial moments, combined sequentially in block order so the
 /// final statistics are bit-identical at every thread count.
+#[derive(Debug, Clone, PartialEq)]
 struct McPartial {
     sum: f64,
     sum_sq: f64,
@@ -706,6 +709,482 @@ pub fn monte_carlo_regret_with_threads(
     Ok(totals)
 }
 
+/// Computes the still-pending RNG blocks of a supervised Monte Carlo run
+/// under `sup`, filling `slots` by block index. Returns the stop reason
+/// when interrupted; a panicking block becomes [`CoreError::Panicked`]
+/// (first panicking block in block order).
+fn advance_blocks<P, F>(
+    slots: &mut [Option<P>],
+    sup: &Supervisor,
+    threads: usize,
+    eval: F,
+) -> Result<Option<StopReason>, CoreError>
+where
+    P: Send,
+    F: Fn(u64) -> P + Sync,
+{
+    let pending: Vec<u64> = slots
+        .iter()
+        .enumerate()
+        .filter_map(|(i, s)| s.is_none().then_some(i as u64))
+        .collect();
+    if pending.is_empty() {
+        return Ok(None);
+    }
+    let run = cordoba_par::par_map_supervised_with(&pending, threads, sup, |_, &block| eval(block));
+    let mut first_panic: Option<String> = None;
+    for (&block, outcome) in pending.iter().zip(run.outcomes) {
+        match outcome {
+            Outcome::Done(partial) => slots[block as usize] = Some(partial),
+            Outcome::Panicked(message) => {
+                if first_panic.is_none() {
+                    first_panic = Some(message);
+                }
+            }
+            Outcome::Skipped => {}
+        }
+    }
+    if let Some(message) = first_panic {
+        return Err(CoreError::Panicked(message));
+    }
+    Ok(run.stop)
+}
+
+/// A supervised Monte Carlo experiment in flight: per-RNG-block partial
+/// moments keyed by block index, resumable until every block is computed.
+///
+/// Blocks are the experiment's unit of supervision *and* of determinism
+/// (each block's scenarios are a pure function of `(seed, block)`), so a
+/// run interrupted at any block boundary and resumed — even at a different
+/// thread count — folds to the same [`MonteCarloSummary`] bits as an
+/// uninterrupted run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SupervisedMonteCarlo {
+    samples: usize,
+    partials: Vec<Option<McPartial>>,
+    stop: Option<StopReason>,
+}
+
+impl SupervisedMonteCarlo {
+    fn fresh(samples: usize, blocks: usize) -> Self {
+        Self {
+            samples,
+            partials: vec![None; blocks],
+            stop: None,
+        }
+    }
+
+    fn check_spec(&self, samples: usize, blocks: usize) -> Result<(), CoreError> {
+        if samples != self.samples || blocks != self.partials.len() {
+            return Err(CoreError::Supervision(format!(
+                "resume spec has {samples} samples / {blocks} blocks but the run was started \
+                 with {} samples / {} blocks",
+                self.samples,
+                self.partials.len()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Why the last run/resume stopped early, or `None` when complete.
+    #[must_use]
+    pub fn stop(&self) -> Option<StopReason> {
+        self.stop
+    }
+
+    /// `true` when every RNG block has been computed.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.stop.is_none()
+    }
+
+    /// RNG blocks computed so far.
+    #[must_use]
+    pub fn completed_blocks(&self) -> usize {
+        self.partials.iter().filter(|p| p.is_some()).count()
+    }
+
+    /// Total RNG blocks in the experiment.
+    #[must_use]
+    pub fn total_blocks(&self) -> usize {
+        self.partials.len()
+    }
+
+    /// Completed fraction in `[0, 1]`.
+    #[must_use]
+    pub fn coverage(&self) -> f64 {
+        if self.partials.is_empty() {
+            return 1.0;
+        }
+        self.completed_blocks() as f64 / self.partials.len() as f64
+    }
+
+    /// The folded summary statistics, or `None` while blocks are pending.
+    #[must_use]
+    pub fn summary(&self) -> Option<MonteCarloSummary> {
+        if !self.is_complete() {
+            return None;
+        }
+        let partials: Option<Vec<McPartial>> = self.partials.iter().cloned().collect();
+        Some(summarize(partials?, self.samples))
+    }
+
+    /// Computes the still-pending blocks of a constant-CI experiment
+    /// ([`monte_carlo_tcdp_supervised`]) under `sup`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Supervision`] when `spec` does not match the
+    /// run this state came from, and [`CoreError::Panicked`] when a block
+    /// evaluation panics.
+    pub fn resume_tcdp_with_threads(
+        &mut self,
+        point: &DesignPoint,
+        spec: &MonteCarloSpec,
+        sup: &Supervisor,
+        threads: usize,
+    ) -> Result<(), CoreError> {
+        self.check_spec(spec.samples, spec.blocks().len())?;
+        self.stop = advance_blocks(&mut self.partials, sup, threads, |block| {
+            let mut partial = McPartial::empty();
+            for ctx in spec.block_scenarios(block) {
+                partial.push(point.tcdp(&ctx).value());
+            }
+            partial
+        })?;
+        Ok(())
+    }
+
+    /// Computes the still-pending blocks of a time-varying-source
+    /// experiment ([`monte_carlo_source_tcdp_supervised`]) under `sup`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Supervision`] when `spec` does not match the
+    /// run this state came from, and [`CoreError::Panicked`] when a block
+    /// evaluation panics.
+    pub fn resume_source_with_threads(
+        &mut self,
+        point: &DesignPoint,
+        sources: &[&dyn CiIntegral],
+        spec: &SourceMonteCarloSpec,
+        sup: &Supervisor,
+        threads: usize,
+    ) -> Result<(), CoreError> {
+        self.check_spec(spec.samples, spec.blocks().len())?;
+        self.stop = advance_blocks(&mut self.partials, sup, threads, |block| {
+            let mut partial = McPartial::empty();
+            for (idx, tasks, lifetime) in spec.block_draws(block, sources.len()) {
+                partial.push(tcdp_under_source(point, sources[idx], tasks, lifetime));
+            }
+            partial
+        })?;
+        Ok(())
+    }
+
+    /// Computes the still-pending blocks of a sampled-integration
+    /// experiment ([`monte_carlo_source_tcdp_sampled_supervised_with_threads`])
+    /// under `sup`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Supervision`] when `spec` does not match the
+    /// run this state came from, and [`CoreError::Panicked`] when a block
+    /// evaluation panics.
+    pub fn resume_source_sampled_with_threads(
+        &mut self,
+        point: &DesignPoint,
+        sources: &[&dyn CiIntegral],
+        spec: &SourceMonteCarloSpec,
+        samples_per_draw: usize,
+        sup: &Supervisor,
+        threads: usize,
+    ) -> Result<(), CoreError> {
+        self.check_spec(spec.samples, spec.blocks().len())?;
+        self.stop = advance_blocks(&mut self.partials, sup, threads, |block| {
+            let mut partial = McPartial::empty();
+            for (idx, tasks, lifetime) in spec.block_draws(block, sources.len()) {
+                partial.push(tcdp_under_source_sampled(
+                    point,
+                    sources[idx],
+                    tasks,
+                    lifetime,
+                    samples_per_draw,
+                ));
+            }
+            partial
+        })?;
+        Ok(())
+    }
+}
+
+/// [`monte_carlo_tcdp`] under a [`Supervisor`]: evaluation stops on
+/// cancellation or deadline exhaustion at an RNG-block boundary and the
+/// returned state resumes via
+/// [`SupervisedMonteCarlo::resume_tcdp_with_threads`]. A worker panic is
+/// isolated per block and surfaced as [`CoreError::Panicked`].
+///
+/// # Errors
+///
+/// Returns an error for a zero-sample spec, invalid scenario bounds, or a
+/// panicking block evaluation.
+pub fn monte_carlo_tcdp_supervised(
+    point: &DesignPoint,
+    spec: &MonteCarloSpec,
+    sup: &Supervisor,
+) -> Result<SupervisedMonteCarlo, CoreError> {
+    monte_carlo_tcdp_supervised_with_threads(point, spec, sup, cordoba_par::effective_threads())
+}
+
+/// [`monte_carlo_tcdp_supervised`] with an explicit worker-thread count
+/// (1 = fully sequential). Completed blocks are bit-identical at every
+/// thread count.
+///
+/// # Errors
+///
+/// See [`monte_carlo_tcdp_supervised`].
+pub fn monte_carlo_tcdp_supervised_with_threads(
+    point: &DesignPoint,
+    spec: &MonteCarloSpec,
+    sup: &Supervisor,
+    threads: usize,
+) -> Result<SupervisedMonteCarlo, CoreError> {
+    let _span = cordoba_obs::span_with(
+        "core/monte_carlo_tcdp_supervised",
+        "samples",
+        u64::try_from(spec.samples).unwrap_or(u64::MAX),
+    );
+    spec.validate()?;
+    let mut mc = SupervisedMonteCarlo::fresh(spec.samples, spec.blocks().len());
+    mc.resume_tcdp_with_threads(point, spec, sup, threads)?;
+    Ok(mc)
+}
+
+/// [`monte_carlo_source_tcdp`] under a [`Supervisor`]; resumes via
+/// [`SupervisedMonteCarlo::resume_source_with_threads`].
+///
+/// # Errors
+///
+/// Returns an error for a zero-sample spec, an empty source set, invalid
+/// scenario bounds, or a panicking block evaluation.
+pub fn monte_carlo_source_tcdp_supervised(
+    point: &DesignPoint,
+    sources: &[&dyn CiIntegral],
+    spec: &SourceMonteCarloSpec,
+    sup: &Supervisor,
+) -> Result<SupervisedMonteCarlo, CoreError> {
+    monte_carlo_source_tcdp_supervised_with_threads(
+        point,
+        sources,
+        spec,
+        sup,
+        cordoba_par::effective_threads(),
+    )
+}
+
+/// [`monte_carlo_source_tcdp_supervised`] with an explicit worker-thread
+/// count (1 = fully sequential). Completed blocks are bit-identical at
+/// every thread count.
+///
+/// # Errors
+///
+/// See [`monte_carlo_source_tcdp_supervised`].
+pub fn monte_carlo_source_tcdp_supervised_with_threads(
+    point: &DesignPoint,
+    sources: &[&dyn CiIntegral],
+    spec: &SourceMonteCarloSpec,
+    sup: &Supervisor,
+    threads: usize,
+) -> Result<SupervisedMonteCarlo, CoreError> {
+    let _span = cordoba_obs::span_with(
+        "core/monte_carlo_source_tcdp_supervised",
+        "samples",
+        u64::try_from(spec.samples).unwrap_or(u64::MAX),
+    );
+    spec.validate(sources.len())?;
+    let mut mc = SupervisedMonteCarlo::fresh(spec.samples, spec.blocks().len());
+    mc.resume_source_with_threads(point, sources, spec, sup, threads)?;
+    Ok(mc)
+}
+
+/// [`monte_carlo_source_tcdp_sampled_with_threads`] under a [`Supervisor`];
+/// resumes via
+/// [`SupervisedMonteCarlo::resume_source_sampled_with_threads`].
+///
+/// # Errors
+///
+/// Returns an error for a zero-sample spec, an empty source set, invalid
+/// scenario bounds, `samples_per_draw == 0`, or a panicking block
+/// evaluation.
+pub fn monte_carlo_source_tcdp_sampled_supervised_with_threads(
+    point: &DesignPoint,
+    sources: &[&dyn CiIntegral],
+    spec: &SourceMonteCarloSpec,
+    samples_per_draw: usize,
+    sup: &Supervisor,
+    threads: usize,
+) -> Result<SupervisedMonteCarlo, CoreError> {
+    let _span = cordoba_obs::span_with(
+        "core/monte_carlo_source_tcdp_sampled_supervised",
+        "samples",
+        u64::try_from(spec.samples).unwrap_or(u64::MAX),
+    );
+    spec.validate(sources.len())?;
+    if samples_per_draw == 0 {
+        return Err(CoreError::Carbon(CarbonError::Empty {
+            what: "integration samples per draw",
+        }));
+    }
+    let mut mc = SupervisedMonteCarlo::fresh(spec.samples, spec.blocks().len());
+    mc.resume_source_sampled_with_threads(point, sources, spec, samples_per_draw, sup, threads)?;
+    Ok(mc)
+}
+
+/// A supervised regret experiment in flight: per-RNG-block regret sums
+/// keyed by block index, resumable until every block is computed. Folds to
+/// bits identical to [`monte_carlo_regret_with_threads`] once complete.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SupervisedRegret {
+    n_points: usize,
+    samples: usize,
+    partials: Vec<Option<Vec<f64>>>,
+    stop: Option<StopReason>,
+}
+
+impl SupervisedRegret {
+    /// Why the last run/resume stopped early, or `None` when complete.
+    #[must_use]
+    pub fn stop(&self) -> Option<StopReason> {
+        self.stop
+    }
+
+    /// `true` when every RNG block has been computed.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.stop.is_none()
+    }
+
+    /// RNG blocks computed so far.
+    #[must_use]
+    pub fn completed_blocks(&self) -> usize {
+        self.partials.iter().filter(|p| p.is_some()).count()
+    }
+
+    /// Total RNG blocks in the experiment.
+    #[must_use]
+    pub fn total_blocks(&self) -> usize {
+        self.partials.len()
+    }
+
+    /// The per-design mean regrets, or `None` while blocks are pending.
+    #[must_use]
+    pub fn regrets(&self) -> Option<Vec<f64>> {
+        if !self.is_complete() {
+            return None;
+        }
+        let mut totals = vec![0.0f64; self.n_points];
+        for partial in &self.partials {
+            let sums = partial.as_ref()?;
+            for (total, sum) in totals.iter_mut().zip(sums) {
+                *total += sum;
+            }
+        }
+        let n = self.samples as f64;
+        totals.iter_mut().for_each(|t| *t /= n);
+        Some(totals)
+    }
+
+    /// Computes the still-pending blocks under `sup`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Supervision`] when `points`/`spec` do not match
+    /// the run this state came from, and [`CoreError::Panicked`] when a
+    /// block evaluation panics.
+    pub fn resume_with_threads(
+        &mut self,
+        points: &[DesignPoint],
+        spec: &MonteCarloSpec,
+        sup: &Supervisor,
+        threads: usize,
+    ) -> Result<(), CoreError> {
+        if points.len() != self.n_points
+            || spec.samples != self.samples
+            || spec.blocks().len() != self.partials.len()
+        {
+            return Err(CoreError::Supervision(format!(
+                "resume got {} points / {} samples but the run was started with {} points / {} \
+                 samples",
+                points.len(),
+                spec.samples,
+                self.n_points,
+                self.samples
+            )));
+        }
+        self.stop = advance_blocks(&mut self.partials, sup, threads, |block| {
+            let mut regret_sums = vec![0.0f64; points.len()];
+            for ctx in spec.block_scenarios(block) {
+                let tcdps: Vec<f64> = points.iter().map(|p| p.tcdp(&ctx).value()).collect();
+                let best = tcdps.iter().copied().fold(f64::INFINITY, f64::min);
+                for (sum, tcdp) in regret_sums.iter_mut().zip(&tcdps) {
+                    *sum += tcdp / best;
+                }
+            }
+            regret_sums
+        })?;
+        Ok(())
+    }
+}
+
+/// [`monte_carlo_regret`] under a [`Supervisor`]; resumes via
+/// [`SupervisedRegret::resume_with_threads`].
+///
+/// # Errors
+///
+/// Returns an error for an empty point list, a zero-sample spec, invalid
+/// scenario bounds, or a panicking block evaluation.
+pub fn monte_carlo_regret_supervised(
+    points: &[DesignPoint],
+    spec: &MonteCarloSpec,
+    sup: &Supervisor,
+) -> Result<SupervisedRegret, CoreError> {
+    monte_carlo_regret_supervised_with_threads(points, spec, sup, cordoba_par::effective_threads())
+}
+
+/// [`monte_carlo_regret_supervised`] with an explicit worker-thread count
+/// (1 = fully sequential). Completed blocks are bit-identical at every
+/// thread count.
+///
+/// # Errors
+///
+/// See [`monte_carlo_regret_supervised`].
+pub fn monte_carlo_regret_supervised_with_threads(
+    points: &[DesignPoint],
+    spec: &MonteCarloSpec,
+    sup: &Supervisor,
+    threads: usize,
+) -> Result<SupervisedRegret, CoreError> {
+    let _span = cordoba_obs::span_with(
+        "core/monte_carlo_regret_supervised",
+        "samples",
+        u64::try_from(spec.samples).unwrap_or(u64::MAX),
+    );
+    if points.is_empty() {
+        return Err(CoreError::Carbon(CarbonError::Empty {
+            what: "design points",
+        }));
+    }
+    spec.validate()?;
+    let mut regret = SupervisedRegret {
+        n_points: points.len(),
+        samples: spec.samples,
+        partials: vec![None; spec.blocks().len()],
+        stop: None,
+    };
+    regret.resume_with_threads(points, spec, sup, threads)?;
+    Ok(regret)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -980,5 +1459,104 @@ mod tests {
             1
         )
         .is_err());
+    }
+
+    #[test]
+    fn supervised_monte_carlo_matches_unsupervised_when_unbounded() {
+        let p = point("x", 1.0, 2.0, 500.0);
+        let spec = MonteCarloSpec::new(300, 11);
+        let direct = monte_carlo_tcdp_with_threads(&p, &spec, 2).unwrap();
+        let sup = Supervisor::unbounded();
+        let mc = monte_carlo_tcdp_supervised_with_threads(&p, &spec, &sup, 2).unwrap();
+        assert!(mc.is_complete());
+        assert_eq!(mc.summary().unwrap(), direct);
+    }
+
+    #[test]
+    fn interrupted_monte_carlo_resumes_to_identical_bits() {
+        let p = point("x", 1.0, 2.0, 500.0);
+        // 300 samples = 5 blocks of 64 (last short).
+        let spec = MonteCarloSpec::new(300, 11);
+        let direct = monte_carlo_tcdp_with_threads(&p, &spec, 1).unwrap();
+        for trip in [0u64, 1, 3] {
+            let sup = Supervisor::tripping_after(trip);
+            let mut mc = monte_carlo_tcdp_supervised_with_threads(&p, &spec, &sup, 1).unwrap();
+            assert_eq!(mc.stop(), Some(StopReason::Cancelled), "trip {trip}");
+            assert_eq!(mc.completed_blocks(), trip as usize);
+            assert!(mc.summary().is_none());
+            mc.resume_tcdp_with_threads(&p, &spec, &Supervisor::unbounded(), 2)
+                .unwrap();
+            assert!(mc.is_complete());
+            assert_eq!(mc.summary().unwrap(), direct, "trip {trip}");
+        }
+    }
+
+    #[test]
+    fn supervised_source_monte_carlo_resumes_exactly() {
+        let p = point("x", 1.0, 2.0, 500.0);
+        let (coal, trend) = source_set();
+        let sources: [&dyn CiIntegral; 2] = [&coal, &trend];
+        let spec = SourceMonteCarloSpec::new(200, 7);
+        let exact = monte_carlo_source_tcdp_with_threads(&p, &sources, &spec, 1).unwrap();
+        let sup = Supervisor::tripping_after(1);
+        let mut mc =
+            monte_carlo_source_tcdp_supervised_with_threads(&p, &sources, &spec, &sup, 1).unwrap();
+        assert!(!mc.is_complete());
+        mc.resume_source_with_threads(&p, &sources, &spec, &Supervisor::unbounded(), 2)
+            .unwrap();
+        assert_eq!(mc.summary().unwrap(), exact);
+        // Sampled-integration path, same shape.
+        let sampled =
+            monte_carlo_source_tcdp_sampled_with_threads(&p, &sources, &spec, 16, 1).unwrap();
+        let sup = Supervisor::tripping_after(2);
+        let mut mc = monte_carlo_source_tcdp_sampled_supervised_with_threads(
+            &p, &sources, &spec, 16, &sup, 1,
+        )
+        .unwrap();
+        mc.resume_source_sampled_with_threads(&p, &sources, &spec, 16, &Supervisor::unbounded(), 1)
+            .unwrap();
+        assert_eq!(mc.summary().unwrap(), sampled);
+    }
+
+    #[test]
+    fn supervised_regret_resumes_exactly() {
+        let pts = space();
+        let spec = MonteCarloSpec::new(256, 3);
+        let direct = monte_carlo_regret_with_threads(&pts, &spec, 1).unwrap();
+        let sup = Supervisor::tripping_after(2);
+        let mut regret = monte_carlo_regret_supervised_with_threads(&pts, &spec, &sup, 1).unwrap();
+        assert_eq!(regret.stop(), Some(StopReason::Cancelled));
+        assert_eq!(regret.completed_blocks(), 2);
+        assert_eq!(regret.total_blocks(), 4);
+        assert!(regret.regrets().is_none());
+        regret
+            .resume_with_threads(&pts, &spec, &Supervisor::unbounded(), 2)
+            .unwrap();
+        assert_eq!(regret.regrets().unwrap(), direct);
+    }
+
+    #[test]
+    fn supervised_monte_carlo_rejects_mismatched_resume() {
+        let p = point("x", 1.0, 2.0, 500.0);
+        let spec = MonteCarloSpec::new(300, 11);
+        let sup = Supervisor::tripping_after(1);
+        let mut mc = monte_carlo_tcdp_supervised_with_threads(&p, &spec, &sup, 1).unwrap();
+        let other = MonteCarloSpec::new(301, 11);
+        assert!(mc
+            .resume_tcdp_with_threads(&p, &other, &Supervisor::unbounded(), 1)
+            .is_err());
+        let pts = space();
+        let sup = Supervisor::tripping_after(1);
+        let mut regret =
+            monte_carlo_regret_supervised_with_threads(&pts, &MonteCarloSpec::new(256, 3), &sup, 1)
+                .unwrap();
+        assert!(regret
+            .resume_with_threads(
+                &pts[..2],
+                &MonteCarloSpec::new(256, 3),
+                &Supervisor::unbounded(),
+                1
+            )
+            .is_err());
     }
 }

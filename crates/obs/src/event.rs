@@ -20,6 +20,11 @@ static BETA_NOT_CONVERGED: Counter = Counter::new("events/beta_not_converged");
 static WATCHDOG_TRUNCATION: Counter = Counter::new("events/event_sim_truncated");
 static CACHE_HIT: Counter = Counter::new("events/embodied_cache_hit");
 static CACHE_MISS: Counter = Counter::new("events/embodied_cache_miss");
+static DEADLINE_EXCEEDED: Counter = Counter::new("events/supervision_deadline_exceeded");
+static CANCELLED: Counter = Counter::new("events/supervision_cancelled");
+static CHUNK_PANIC: Counter = Counter::new("events/supervision_chunk_panic");
+static CHECKPOINT_WRITTEN: Counter = Counter::new("events/supervision_checkpoint_written");
+static CHECKPOINT_RESTORED: Counter = Counter::new("events/supervision_checkpoint_restored");
 
 /// An interesting state transition somewhere in the framework.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,6 +59,30 @@ pub enum Event {
     CacheHit,
     /// An `EmbodiedCache` lookup had to run the embodied-carbon model.
     CacheMiss,
+    /// A supervised run stopped because its deadline budget was exhausted;
+    /// `completed` is the number of work units finished before the stop.
+    DeadlineExceeded {
+        /// Work units completed before the deadline fired.
+        completed: u64,
+    },
+    /// A supervised run observed a cooperative cancellation request.
+    Cancelled {
+        /// Work units completed before the cancellation was observed.
+        completed: u64,
+    },
+    /// A parallel worker panicked inside a supervised map; the item was
+    /// quarantined instead of aborting the process.
+    ChunkPanic,
+    /// A sweep checkpoint was serialized for later resumption.
+    CheckpointWritten {
+        /// Work units (e.g. sweep rows) captured as complete.
+        completed: u64,
+    },
+    /// A sweep checkpoint was parsed back and its invariants verified.
+    CheckpointRestored {
+        /// Work units the restored checkpoint already covers.
+        completed: u64,
+    },
 }
 
 impl Event {
@@ -76,6 +105,17 @@ impl Event {
             Self::WatchdogTruncation => (&WATCHDOG_TRUNCATION, [None, None]),
             Self::CacheHit => (&CACHE_HIT, [None, None]),
             Self::CacheMiss => (&CACHE_MISS, [None, None]),
+            Self::DeadlineExceeded { completed } => {
+                (&DEADLINE_EXCEEDED, [Some(("completed", completed)), None])
+            }
+            Self::Cancelled { completed } => (&CANCELLED, [Some(("completed", completed)), None]),
+            Self::ChunkPanic => (&CHUNK_PANIC, [None, None]),
+            Self::CheckpointWritten { completed } => {
+                (&CHECKPOINT_WRITTEN, [Some(("completed", completed)), None])
+            }
+            Self::CheckpointRestored { completed } => {
+                (&CHECKPOINT_RESTORED, [Some(("completed", completed)), None])
+            }
         }
     }
 
@@ -146,6 +186,23 @@ mod tests {
         assert_eq!(
             Event::WatchdogTruncation.name(),
             "events/event_sim_truncated"
+        );
+        assert_eq!(
+            Event::DeadlineExceeded { completed: 3 }.name(),
+            "events/supervision_deadline_exceeded"
+        );
+        assert_eq!(
+            Event::Cancelled { completed: 0 }.name(),
+            "events/supervision_cancelled"
+        );
+        assert_eq!(Event::ChunkPanic.name(), "events/supervision_chunk_panic");
+        assert_eq!(
+            Event::CheckpointWritten { completed: 7 }.name(),
+            "events/supervision_checkpoint_written"
+        );
+        assert_eq!(
+            Event::CheckpointRestored { completed: 7 }.name(),
+            "events/supervision_checkpoint_restored"
         );
     }
 }

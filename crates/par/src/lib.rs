@@ -18,6 +18,11 @@
 //!   scope nor change observable behavior versus the sequential path.
 //!   Fallible work should instead return `Result` and use [`try_par_map`],
 //!   which preserves the sequential "first error in input order" contract.
+//! * **Supervisable**: [`par_map_supervised`] threads a
+//!   [`supervise::Supervisor`] (cooperative cancellation + deadline budget)
+//!   through the same chunked map and isolates per-item panics instead of
+//!   re-raising them — the substrate for the workspace's checkpoint/resume
+//!   pipelines (see [`supervise`]).
 //!
 //! # Thread-count resolution
 //!
@@ -40,6 +45,12 @@
 //!     cordoba_par::try_par_map(&["1", "2"], |s| s.parse::<i32>());
 //! assert_eq!(parsed.unwrap(), vec![1, 2]);
 //! ```
+
+pub mod supervise;
+
+pub use supervise::{
+    par_map_supervised, par_map_supervised_with, Outcome, StopReason, SupervisedMap, Supervisor,
+};
 
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};

@@ -21,6 +21,7 @@ const SALT_TRACE: u64 = 0x0074_7261_6365;
 const SALT_VALUES: u64 = 0x7661_6c73_0000;
 const SALT_TUNING: u64 = 0x7475_6e65_0000;
 const SALT_BUDGET: u64 = 0x6275_6467_0000;
+const SALT_TRIP: u64 = 0x7472_6970_0000;
 
 /// Clamps a probability knob into `[0, 1]`, mapping non-finite input to 0
 /// so `Rng::gen_bool` can never assert.
@@ -273,6 +274,19 @@ impl FaultPlan {
         let cap = nominal.min(3);
         rng.gen_range(0..=cap)
     }
+
+    /// A deterministic supervision trip point: a draw from `[0, total]`
+    /// marking how many progress units a supervised pipeline completes
+    /// before it is interrupted (feed it to `Supervisor::tripping_after`).
+    ///
+    /// The full range is inclusive on both ends so a suite of seeds covers
+    /// the edge cases — tripping before any work (`0`) and tripping after
+    /// the last unit (`total`, which never fires).
+    #[must_use]
+    pub fn trip_point(&self, total: u64) -> u64 {
+        let mut rng = self.rng(SALT_TRIP);
+        rng.gen_range(0..=total)
+    }
 }
 
 #[cfg(test)]
@@ -361,6 +375,23 @@ mod tests {
                 "seed {seed}: poison_tuning returned the clean tuning"
             );
         }
+    }
+
+    #[test]
+    fn trip_point_is_deterministic_and_in_range() {
+        for seed in 0..64 {
+            let plan = FaultPlan::new(seed);
+            let t = plan.trip_point(10);
+            assert_eq!(t, plan.trip_point(10), "seed {seed}: trip_point drifted");
+            assert!(t <= 10);
+            assert_eq!(plan.trip_point(0), 0);
+        }
+        let hits: std::collections::HashSet<u64> =
+            (0..64).map(|s| FaultPlan::new(s).trip_point(10)).collect();
+        assert!(
+            hits.len() > 4,
+            "64 seeds should spread trip points across [0, 10]"
+        );
     }
 
     #[test]

@@ -19,7 +19,12 @@
 //!   fails characterization (quarantined by `evaluate_space_resilient` in
 //!   the core crate);
 //! * **budget faults** — starve iteration budgets so solvers must report
-//!   `NotConverged` instead of spinning.
+//!   `NotConverged` instead of spinning;
+//! * **supervision faults** — interrupt long-running pipelines mid-flight
+//!   at seeded trip points ([`fault::FaultPlan::trip_point`]) to prove
+//!   that checkpoint/resume reproduces the uninterrupted result bit for
+//!   bit (the [`supervise`] module, re-exported from `cordoba-par`,
+//!   provides the [`supervise::Supervisor`] handle itself).
 //!
 //! Everything is derived from a single `u64` seed, so any failure found by
 //! the suite reproduces exactly from its seed alone.
@@ -40,7 +45,10 @@
 
 pub mod fault;
 
+pub use cordoba_par::supervise;
+
 /// Convenience re-exports of the most commonly used items.
 pub mod prelude {
     pub use crate::fault::FaultPlan;
+    pub use cordoba_par::supervise::{StopReason, Supervisor};
 }

@@ -13,6 +13,7 @@ use cordoba_carbon::lifetime::UsageProfile;
 use cordoba_carbon::operational::operational_carbon;
 use cordoba_carbon::units::{CarbonIntensity, GramSecondsCo2e, GramsCo2e, Joules, Seconds};
 use cordoba_carbon::CarbonError;
+use cordoba_par::supervise::{Outcome, StopReason, Supervisor};
 use serde::{Deserialize, Serialize};
 
 /// Deployment assumptions for the provisioning study.
@@ -92,27 +93,213 @@ pub fn sweep(app: &VrApp, deployment: &Deployment) -> Result<Vec<ProvisioningRow
     let sessions = usage.operational_time().value() / app.session.value();
     let core_counts: Vec<u32> = (4..=8).collect();
     cordoba_par::try_par_map(&core_counts, |&cores| {
-        let soc = SocConfig::provisioned(cores)?;
-        let ScheduleResult {
-            duration, energy, ..
-        } = schedule_app(app, &soc);
-        // The app occupies the device's full operational window for this
-        // study (each task is assessed as if it were the device's workload).
-        let embodied = soc.embodied_carbon(&deployment.embodied)?;
-        let lifetime_energy = energy * sessions;
-        let operational = operational_carbon(deployment.ci_use, lifetime_energy);
-        let total = embodied + operational;
-        Ok(ProvisioningRow {
-            cores,
-            soc,
-            delay: duration,
-            energy,
-            embodied,
-            operational,
-            tcdp: total * duration,
-            edp: energy.value() * duration.value(),
-        })
+        provision_row(cores, app, deployment, sessions)
     })
+}
+
+/// A supervised provisioning sweep in flight: one slot per core count,
+/// resumable until every configuration is evaluated.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SupervisedProvisioning {
+    core_counts: Vec<u32>,
+    slots: Vec<Option<ProvisioningRow>>,
+    stop: Option<StopReason>,
+    panics: Vec<(u32, String)>,
+}
+
+impl SupervisedProvisioning {
+    /// Why the last run/resume stopped early, or `None` when complete.
+    #[must_use]
+    pub fn stop(&self) -> Option<StopReason> {
+        self.stop
+    }
+
+    /// `true` when every core count has been evaluated.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.stop.is_none()
+    }
+
+    /// Core counts evaluated so far.
+    #[must_use]
+    pub fn completed(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Total core counts in the sweep.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Core counts whose trace replay panicked during the last
+    /// run/resume, with the isolated panic messages, in ascending core
+    /// order. The process survives; a resume retries these counts.
+    #[must_use]
+    pub fn panicked(&self) -> &[(u32, String)] {
+        &self.panics
+    }
+
+    /// The finished rows in ascending core order, or `None` while
+    /// configurations are pending or quarantined.
+    #[must_use]
+    pub fn rows(&self) -> Option<Vec<ProvisioningRow>> {
+        if !self.is_complete() {
+            return None;
+        }
+        self.slots.iter().cloned().collect()
+    }
+
+    /// Evaluates the still-pending core counts under `sup`, merging by
+    /// core-count index. A fresh unbounded supervisor completes the sweep
+    /// with rows bit-identical to [`sweep`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates model-construction errors for the first (lowest) failing
+    /// pending core count.
+    pub fn resume(
+        &mut self,
+        app: &VrApp,
+        deployment: &Deployment,
+        sup: &Supervisor,
+    ) -> Result<(), CarbonError> {
+        self.resume_with_threads(app, deployment, sup, cordoba_par::effective_threads())
+    }
+
+    /// [`resume`](Self::resume) with an explicit worker-thread count (1 =
+    /// the exact sequential path, where a count-tripped supervisor stops at
+    /// an exact configuration).
+    ///
+    /// # Errors
+    ///
+    /// See [`resume`](Self::resume).
+    pub fn resume_with_threads(
+        &mut self,
+        app: &VrApp,
+        deployment: &Deployment,
+        sup: &Supervisor,
+        threads: usize,
+    ) -> Result<(), CarbonError> {
+        let usage = UsageProfile::from_daily_hours(deployment.lifetime_years, app.daily_hours)?;
+        let sessions = usage.operational_time().value() / app.session.value();
+        let pending: Vec<usize> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.is_none().then_some(i))
+            .collect();
+        if pending.is_empty() {
+            self.stop = None;
+            return Ok(());
+        }
+        let run = cordoba_par::par_map_supervised_with(&pending, threads, sup, |_, &idx| {
+            provision_row(self.core_counts[idx], app, deployment, sessions)
+        });
+        let mut first_error: Option<CarbonError> = None;
+        self.panics.clear();
+        for (&idx, outcome) in pending.iter().zip(run.outcomes) {
+            match outcome {
+                Outcome::Done(Ok(row)) => self.slots[idx] = Some(row),
+                Outcome::Done(Err(error)) => {
+                    if first_error.is_none() {
+                        first_error = Some(error);
+                    }
+                }
+                // A panicking replay has no carbon-level error variant to
+                // carry its message; quarantine it here (the process
+                // survives) and leave the slot pending so a resume retries.
+                Outcome::Panicked(message) => {
+                    self.panics.push((self.core_counts[idx], message));
+                }
+                Outcome::Skipped => {}
+            }
+        }
+        if let Some(error) = first_error {
+            return Err(error);
+        }
+        self.stop = match run.stop {
+            Some(reason) => Some(reason),
+            // Quarantined counts are still unresolved: report a
+            // cancellation-shaped stop so `rows()` stays `None` and a
+            // resume knows there is work left.
+            None if !self.panics.is_empty() => Some(StopReason::Cancelled),
+            None => None,
+        };
+        Ok(())
+    }
+}
+
+/// One provisioning row for a single core count (shared by [`sweep`] and
+/// the supervised sweep, so both produce identical bits).
+fn provision_row(
+    cores: u32,
+    app: &VrApp,
+    deployment: &Deployment,
+    sessions: f64,
+) -> Result<ProvisioningRow, CarbonError> {
+    let soc = SocConfig::provisioned(cores)?;
+    let ScheduleResult {
+        duration, energy, ..
+    } = schedule_app(app, &soc);
+    // The app occupies the device's full operational window for this
+    // study (each task is assessed as if it were the device's workload).
+    let embodied = soc.embodied_carbon(&deployment.embodied)?;
+    let lifetime_energy = energy * sessions;
+    let operational = operational_carbon(deployment.ci_use, lifetime_energy);
+    let total = embodied + operational;
+    Ok(ProvisioningRow {
+        cores,
+        soc,
+        delay: duration,
+        energy,
+        embodied,
+        operational,
+        tcdp: total * duration,
+        edp: energy.value() * duration.value(),
+    })
+}
+
+/// [`sweep`] under a [`Supervisor`]: cancellation and deadline are checked
+/// before each core count's trace replay, a panicking replay is isolated
+/// into a structured error instead of aborting, and an interrupted sweep
+/// resumes in place via [`SupervisedProvisioning::resume`].
+///
+/// # Errors
+///
+/// Propagates model-construction errors (cannot occur for the default
+/// deployment).
+pub fn sweep_supervised(
+    app: &VrApp,
+    deployment: &Deployment,
+    sup: &Supervisor,
+) -> Result<SupervisedProvisioning, CarbonError> {
+    sweep_supervised_with_threads(app, deployment, sup, cordoba_par::effective_threads())
+}
+
+/// [`sweep_supervised`] with an explicit worker-thread count (1 = the
+/// exact sequential path). Completed rows are bit-identical at every
+/// thread count.
+///
+/// # Errors
+///
+/// See [`sweep_supervised`].
+pub fn sweep_supervised_with_threads(
+    app: &VrApp,
+    deployment: &Deployment,
+    sup: &Supervisor,
+    threads: usize,
+) -> Result<SupervisedProvisioning, CarbonError> {
+    let _span = cordoba_obs::span("soc/provisioning_sweep_supervised");
+    let core_counts: Vec<u32> = (4..=8).collect();
+    let mut sweep = SupervisedProvisioning {
+        slots: vec![None; core_counts.len()],
+        core_counts,
+        stop: None,
+        panics: Vec::new(),
+    };
+    sweep.resume_with_threads(app, deployment, sup, threads)?;
+    Ok(sweep)
 }
 
 /// The core count with the lowest tCDP in `rows`.
@@ -190,6 +377,45 @@ mod tests {
             (1.02..1.25).contains(&improvement),
             "All-tasks improvement {improvement}"
         );
+    }
+
+    #[test]
+    fn supervised_sweep_matches_unsupervised_when_unbounded() {
+        let direct = sweep(&VrApp::m1(), &Deployment::default()).unwrap();
+        let sup = Supervisor::unbounded();
+        let supervised = sweep_supervised(&VrApp::m1(), &Deployment::default(), &sup).unwrap();
+        assert!(supervised.is_complete());
+        assert!(supervised.panicked().is_empty());
+        assert_eq!(supervised.rows().unwrap(), direct);
+    }
+
+    #[test]
+    fn interrupted_provisioning_resumes_to_identical_rows() {
+        let direct = sweep(&VrApp::b1(), &Deployment::default()).unwrap();
+        for trip in [0u64, 2, 4] {
+            let sup = Supervisor::tripping_after(trip);
+            let mut supervised =
+                sweep_supervised_with_threads(&VrApp::b1(), &Deployment::default(), &sup, 1)
+                    .unwrap();
+            assert_eq!(
+                supervised.stop(),
+                Some(StopReason::Cancelled),
+                "trip {trip}"
+            );
+            assert!(supervised.rows().is_none());
+            assert_eq!(supervised.completed(), trip as usize);
+            supervised
+                .resume_with_threads(
+                    &VrApp::b1(),
+                    &Deployment::default(),
+                    &Supervisor::unbounded(),
+                    2,
+                )
+                .unwrap();
+            assert!(supervised.is_complete());
+            assert_eq!(supervised.completed(), supervised.total());
+            assert_eq!(supervised.rows().unwrap(), direct, "trip {trip}");
+        }
     }
 
     #[test]
