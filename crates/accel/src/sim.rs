@@ -15,8 +15,9 @@
 
 use crate::config::{AcceleratorConfig, MemoryIntegration};
 use cordoba_carbon::units::{Bytes, Joules, Seconds, Watts};
-use cordoba_workloads::cost::{CostTable, KernelCost};
+use cordoba_workloads::cost::{CostTable, KernelCost, MissingKernel};
 use cordoba_workloads::kernel::{KernelDescriptor, KernelId};
+use cordoba_workloads::task::Task;
 use serde::{Deserialize, Serialize};
 
 /// Result of simulating one kernel inference on one configuration.
@@ -134,6 +135,397 @@ pub fn cost_table(
 #[must_use]
 pub fn full_cost_table(config: &AcceleratorConfig) -> CostTable {
     cost_table(config, KernelId::ALL)
+}
+
+/// Per-kernel inputs of the batch simulator, laid out as contiguous arrays
+/// with the descriptor lookup and the utilization-knee clamp hoisted out of
+/// the per-config loop.
+///
+/// Kernels passed by id are deduplicated (first occurrence wins), so a slab
+/// built through [`KernelSlab::new`] or [`KernelSlab::full`] never exceeds
+/// [`KernelSlab::CAP`] kernels — the invariant [`SlabCosts`] relies on.
+#[derive(Debug, Clone)]
+pub struct KernelSlab {
+    ids: Vec<KernelId>,
+    /// MACs per inference.
+    macs: Vec<f64>,
+    /// `(macs / 1e9).clamp(0.5, 16.0)` — the knee scale of
+    /// [`crate::params::TechTuning::achieved_utilization`].
+    gmacs_clamped: Vec<f64>,
+    /// Peak activation footprint in bytes.
+    activation: Vec<f64>,
+    /// Weight footprint in bytes.
+    weights: Vec<f64>,
+}
+
+impl KernelSlab {
+    /// Upper bound on the kernel count of a deduplicated slab (the full
+    /// kernel catalog).
+    pub const CAP: usize = KernelId::ALL.len();
+
+    /// Lays out the descriptors of the given kernels, deduplicating by id
+    /// (first occurrence wins).
+    #[must_use]
+    pub fn new(kernels: impl IntoIterator<Item = KernelId>) -> Self {
+        let mut slab = Self {
+            ids: Vec::new(),
+            macs: Vec::new(),
+            gmacs_clamped: Vec::new(),
+            activation: Vec::new(),
+            weights: Vec::new(),
+        };
+        for id in kernels {
+            if slab.ids.contains(&id) {
+                continue;
+            }
+            let k = id.descriptor();
+            slab.ids.push(id);
+            slab.macs.push(k.macs);
+            slab.gmacs_clamped.push((k.macs / 1e9).clamp(0.5, 16.0));
+            slab.activation.push(k.activation.value());
+            slab.weights.push(k.weights.value());
+        }
+        slab
+    }
+
+    /// A slab covering all fifteen kernels, in [`KernelId::ALL`] order.
+    #[must_use]
+    pub fn full() -> Self {
+        Self::new(KernelId::ALL)
+    }
+
+    /// Number of kernels in the slab.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// `true` when the slab holds no kernels.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// The kernel ids, in slab order.
+    #[must_use]
+    pub fn ids(&self) -> &[KernelId] {
+        &self.ids
+    }
+
+    /// Slab index of a kernel, if present.
+    #[must_use]
+    pub fn index_of(&self, id: KernelId) -> Option<usize> {
+        self.ids.iter().position(|k| *k == id)
+    }
+}
+
+/// Struct-of-arrays layout of the per-config simulator inputs: every tuning
+/// parameter the roofline model reads, derived once per configuration so
+/// the config × kernel inner loop touches only contiguous `f64` arrays.
+///
+/// Hoisted per config (versus [`simulate`], which re-derives them per
+/// kernel): the kernel-independent throughput factor
+/// `units x MACS_PER_UNIT x clock`, the capacity-dependent SRAM energy per
+/// byte (a `powf`), the 3D-stacking energy factor, and the leakage power.
+/// Every hoist preserves the scalar path's exact operation order, so batch
+/// results are bit-identical to per-kernel [`simulate`] calls.
+#[derive(Debug, Clone)]
+pub struct ConfigBatch {
+    /// `units x MACS_PER_UNIT x clock` — peak throughput before the
+    /// utilization factor.
+    rate: Vec<f64>,
+    /// MAC units as `f64`.
+    units: Vec<f64>,
+    utilization: Vec<f64>,
+    knee_units: Vec<f64>,
+    /// SRAM capacity in bytes.
+    sram: Vec<f64>,
+    io_fraction: Vec<f64>,
+    refetch_scale: Vec<f64>,
+    refetch_exponent: Vec<f64>,
+    dram_bandwidth: Vec<f64>,
+    mac_energy: Vec<f64>,
+    /// Capacity-dependent SRAM energy per byte (the hoisted `powf`).
+    sram_energy_per_byte: Vec<f64>,
+    /// 1.0 on-die, the stacking factor for 3D memory.
+    sram_factor: Vec<f64>,
+    sram_bytes_per_mac: Vec<f64>,
+    dram_energy_per_byte: Vec<f64>,
+    /// Leakage power in watts.
+    leakage: Vec<f64>,
+}
+
+impl ConfigBatch {
+    /// Derives the per-config arrays from a configuration list.
+    #[must_use]
+    pub fn new(configs: &[AcceleratorConfig]) -> Self {
+        let n = configs.len();
+        let mut b = Self {
+            rate: Vec::with_capacity(n),
+            units: Vec::with_capacity(n),
+            utilization: Vec::with_capacity(n),
+            knee_units: Vec::with_capacity(n),
+            sram: Vec::with_capacity(n),
+            io_fraction: Vec::with_capacity(n),
+            refetch_scale: Vec::with_capacity(n),
+            refetch_exponent: Vec::with_capacity(n),
+            dram_bandwidth: Vec::with_capacity(n),
+            mac_energy: Vec::with_capacity(n),
+            sram_energy_per_byte: Vec::with_capacity(n),
+            sram_factor: Vec::with_capacity(n),
+            sram_bytes_per_mac: Vec::with_capacity(n),
+            dram_energy_per_byte: Vec::with_capacity(n),
+            leakage: Vec::with_capacity(n),
+        };
+        for config in configs {
+            let t = config.tuning();
+            let units = f64::from(config.mac_units());
+            b.rate
+                .push(units * f64::from(crate::params::MACS_PER_UNIT) * t.clock.value());
+            b.units.push(units);
+            b.utilization.push(t.utilization);
+            b.knee_units.push(t.utilization_knee_units);
+            b.sram.push(config.sram().value());
+            b.io_fraction.push(t.io_traffic_fraction);
+            b.refetch_scale.push(t.refetch_scale);
+            b.refetch_exponent.push(t.refetch_exponent);
+            b.dram_bandwidth.push(t.dram_bandwidth.value());
+            b.mac_energy.push(t.mac_energy.value());
+            b.sram_energy_per_byte
+                .push(t.sram_energy_per_byte(config.sram()).value());
+            b.sram_factor.push(match config.integration() {
+                MemoryIntegration::OnDie => 1.0,
+                MemoryIntegration::Stacked3d { .. } => t.stacked_sram_energy_factor,
+            });
+            b.sram_bytes_per_mac.push(t.sram_bytes_per_mac);
+            b.dram_energy_per_byte.push(t.dram_energy_per_byte.value());
+            b.leakage.push(config.leakage_power().value());
+        }
+        b
+    }
+
+    /// Number of configurations in the batch.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rate.len()
+    }
+
+    /// `true` when the batch holds no configurations.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rate.is_empty()
+    }
+
+    /// Leakage power of configuration `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `c` is out of range.
+    #[must_use]
+    pub fn leakage_power(&self, c: usize) -> Watts {
+        Watts::new(self.leakage[c])
+    }
+
+    /// Simulates kernel `k` of `slab` on configuration `c`, replicating the
+    /// scalar [`simulate`] operation for operation — same `f64` op order,
+    /// same results to the last bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `c` or `k` is out of range.
+    #[must_use]
+    pub fn simulate_at(&self, c: usize, slab: &KernelSlab, k: usize) -> KernelSim {
+        // Compute roofline: peak = (units x MACS x clock) x utilization,
+        // with the first three factors hoisted into `rate` (the scalar path
+        // multiplies left to right, so the grouping is identical).
+        let util = self.utilization[c]
+            / (1.0 + self.units[c] / (self.knee_units[c] * slab.gmacs_clamped[k]));
+        let peak = self.rate[c] * util;
+        let compute_time = slab.macs[k] / peak;
+
+        // DRAM traffic with SRAM-overflow re-fetch amplification.
+        let io = slab.activation[k] * self.io_fraction[c] + slab.weights[k];
+        let overflow = slab.activation[k] / self.sram[c];
+        let refetch = if overflow > 1.0 {
+            slab.activation[k]
+                * (self.refetch_scale[c] * (overflow.powf(self.refetch_exponent[c]) - 1.0))
+        } else {
+            0.0
+        };
+        let dram_traffic = io + refetch;
+        let memory_time = dram_traffic / self.dram_bandwidth[c];
+        let latency = compute_time.max(memory_time);
+
+        // Energy: MAC + SRAM (hoisted capacity-dependent per-byte energy,
+        // hoisted stacking factor) + DRAM.
+        let mac_energy = self.mac_energy[c] * slab.macs[k];
+        let sram_bytes = slab.macs[k] * self.sram_bytes_per_mac[c];
+        let sram_energy = self.sram_energy_per_byte[c] * sram_bytes * self.sram_factor[c];
+        let dram_energy = self.dram_energy_per_byte[c] * dram_traffic;
+        let dynamic_energy = mac_energy + sram_energy + dram_energy;
+
+        KernelSim {
+            kernel: slab.ids[k],
+            latency: Seconds::new(latency),
+            dynamic_energy: Joules::new(dynamic_energy),
+            dram_traffic: Bytes::new(dram_traffic),
+            compute_time: Seconds::new(compute_time),
+            memory_time: Seconds::new(memory_time),
+        }
+    }
+
+    /// Delay and dynamic power of every slab kernel on configuration `c`,
+    /// in one stack-allocated pass (no heap traffic per configuration).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `c` is out of range or the slab exceeds
+    /// [`KernelSlab::CAP`] kernels.
+    #[must_use]
+    pub fn slab_costs(&self, c: usize, slab: &KernelSlab) -> SlabCosts {
+        let mut costs = [KernelCost::new(Seconds::ZERO, Watts::ZERO); KernelSlab::CAP];
+        for (k, slot) in costs.iter_mut().enumerate().take(slab.len()) {
+            let sim = self.simulate_at(c, slab, k);
+            *slot = KernelCost::new(sim.latency, sim.dynamic_power());
+        }
+        SlabCosts {
+            costs,
+            len: slab.len(),
+        }
+    }
+
+    /// Task delay and energy of configuration `c` (paper eq. IV.2/IV.4),
+    /// replicating [`cordoba_workloads::cost::CostTable::task_delay`] and
+    /// [`CostTable::task_energy`] operation for operation over the plan's
+    /// entries — including re-deriving each kernel's dynamic energy as
+    /// `power x delay` rather than reusing the simulator's energy, because
+    /// `e / d * d` is not `e` in floating point.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `c` is out of range or `costs` was built from a slab
+    /// shorter than the plan's kernel indices.
+    #[must_use]
+    pub fn task_cost(&self, c: usize, costs: &SlabCosts, plan: &TaskPlan) -> (Seconds, Joules) {
+        let mut delay = Seconds::ZERO;
+        for &(k, calls) in &plan.entries {
+            delay += costs.get(k).delay * calls;
+        }
+        let mut dynamic = Joules::ZERO;
+        for &(k, calls) in &plan.entries {
+            dynamic += costs.get(k).dynamic_energy() * calls;
+        }
+        let energy = dynamic + Watts::new(self.leakage[c]) * delay;
+        (delay, energy)
+    }
+}
+
+/// Stack-allocated per-kernel costs of one configuration over one
+/// [`KernelSlab`] — the batch pipeline's replacement for the scalar path's
+/// `BTreeMap`-backed [`CostTable`].
+#[derive(Debug, Clone, Copy)]
+pub struct SlabCosts {
+    costs: [KernelCost; KernelSlab::CAP],
+    len: usize,
+}
+
+impl SlabCosts {
+    /// Cost of the kernel at slab index `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `k` is out of range.
+    #[must_use]
+    pub fn get(&self, k: usize) -> KernelCost {
+        assert!(k < self.len, "slab index {k} out of range ({})", self.len);
+        self.costs[k]
+    }
+
+    /// The costs in slab order.
+    #[must_use]
+    pub fn as_slice(&self) -> &[KernelCost] {
+        &self.costs[..self.len]
+    }
+}
+
+/// A task resolved against a [`KernelSlab`]: the task's `(kernel, calls)`
+/// entries in declaration order, with kernels replaced by slab indices so
+/// the evaluation loop does no map lookups.
+#[derive(Debug, Clone)]
+pub struct TaskPlan {
+    entries: Vec<(usize, f64)>,
+}
+
+impl TaskPlan {
+    /// Resolves `task` against `slab`, preserving the task's entry order
+    /// (which [`CostTable::task_delay`] / [`CostTable::task_energy`] sum
+    /// in).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MissingKernel`] when the task references a kernel the slab
+    /// does not carry.
+    pub fn new(task: &Task, slab: &KernelSlab) -> Result<Self, MissingKernel> {
+        let entries = task
+            .entries()
+            .map(|(kernel, calls)| {
+                slab.index_of(kernel)
+                    .map(|k| (k, calls))
+                    .ok_or(MissingKernel { kernel })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self { entries })
+    }
+
+    /// Number of `(kernel, calls)` entries in the plan.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when the plan has no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Simulates every kernel of `slab` on every configuration, row-major by
+/// configuration: entry `c * slab.len() + k` is kernel `k` on config `c`,
+/// bit-identical to `simulate(&configs[c], &slab.ids()[k].descriptor())`.
+#[must_use]
+pub fn simulate_batch(configs: &[AcceleratorConfig], slab: &KernelSlab) -> Vec<KernelSim> {
+    let batch = ConfigBatch::new(configs);
+    let mut out = Vec::with_capacity(configs.len() * slab.len());
+    for c in 0..batch.len() {
+        for k in 0..slab.len() {
+            out.push(batch.simulate_at(c, slab, k));
+        }
+    }
+    out
+}
+
+/// Batch sibling of [`full_cost_table`]: one [`CostTable`] per
+/// configuration, each bit-identical to `full_cost_table(&configs[c])`,
+/// with descriptor lookup and tuning derivation done once for the whole
+/// batch.
+#[must_use]
+pub fn full_cost_table_batch(configs: &[AcceleratorConfig]) -> Vec<CostTable> {
+    let slab = KernelSlab::full();
+    let batch = ConfigBatch::new(configs);
+    (0..batch.len())
+        .map(|c| {
+            let mut table = CostTable::new(batch.leakage_power(c));
+            for k in 0..slab.len() {
+                let sim = batch.simulate_at(c, &slab, k);
+                table.insert(
+                    slab.ids[k],
+                    KernelCost::new(sim.latency, sim.dynamic_power()),
+                );
+            }
+            table
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -257,6 +649,119 @@ mod tests {
         let starved = simulate(&cfg(16, 2.0), &k);
         // Memory-bound kernels demand the full DRAM bandwidth.
         assert!((starved.bandwidth_demand() - 16e9).abs() / 16e9 < 1e-9);
+    }
+
+    /// A small but shape-diverse batch: on-die and stacked, overflowing and
+    /// fitting SRAM, tiny and huge arrays.
+    fn mixed_batch() -> Vec<AcceleratorConfig> {
+        vec![
+            cfg(1, 1.0),
+            cfg(16, 8.0),
+            cfg(64, 512.0),
+            AcceleratorConfig::stacked_3d("s2", 16, Bytes::from_mebibytes(4.0), 2).unwrap(),
+            AcceleratorConfig::stacked_3d("s4", 128, Bytes::from_mebibytes(32.0), 4).unwrap(),
+        ]
+    }
+
+    fn sim_bits(s: &KernelSim) -> [u64; 5] {
+        [
+            s.latency.value().to_bits(),
+            s.dynamic_energy.value().to_bits(),
+            s.dram_traffic.value().to_bits(),
+            s.compute_time.value().to_bits(),
+            s.memory_time.value().to_bits(),
+        ]
+    }
+
+    #[test]
+    fn batch_simulation_is_bit_identical_to_scalar() {
+        let configs = mixed_batch();
+        let slab = KernelSlab::full();
+        let sims = simulate_batch(&configs, &slab);
+        assert_eq!(sims.len(), configs.len() * slab.len());
+        for (c, config) in configs.iter().enumerate() {
+            for (k, &id) in slab.ids().iter().enumerate() {
+                let scalar = simulate(config, &id.descriptor());
+                let batch = &sims[c * slab.len() + k];
+                assert_eq!(batch.kernel, scalar.kernel);
+                assert_eq!(
+                    sim_bits(batch),
+                    sim_bits(&scalar),
+                    "config {} kernel {id}",
+                    config.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_cost_tables_are_bit_identical_to_scalar() {
+        let configs = mixed_batch();
+        let tables = full_cost_table_batch(&configs);
+        assert_eq!(tables.len(), configs.len());
+        for (config, table) in configs.iter().zip(&tables) {
+            let scalar = full_cost_table(config);
+            assert_eq!(table.leakage_power, scalar.leakage_power);
+            for id in KernelId::ALL {
+                let b = table.get(id).unwrap();
+                let s = scalar.get(id).unwrap();
+                assert_eq!(b.delay.value().to_bits(), s.delay.value().to_bits());
+                assert_eq!(
+                    b.dynamic_power.value().to_bits(),
+                    s.dynamic_power.value().to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn task_cost_matches_cost_table_equations_bit_for_bit() {
+        let configs = mixed_batch();
+        let batch = ConfigBatch::new(&configs);
+        for task in [
+            Task::all_kernels(),
+            Task::ai_5_kernels(),
+            Task::xr_5_kernels(),
+            Task::xr_10_kernels(),
+        ] {
+            let slab = KernelSlab::new(task.kernels());
+            let plan = TaskPlan::new(&task, &slab).unwrap();
+            assert_eq!(plan.len(), task.kernels().count());
+            for (c, config) in configs.iter().enumerate() {
+                let costs = batch.slab_costs(c, &slab);
+                let (delay, energy) = batch.task_cost(c, &costs, &plan);
+                let table = full_cost_table(config);
+                let want_delay = table.task_delay(&task).unwrap();
+                let want_energy = table.task_energy(&task).unwrap();
+                assert_eq!(
+                    delay.value().to_bits(),
+                    want_delay.value().to_bits(),
+                    "{} delay on {}",
+                    task.name(),
+                    config.name()
+                );
+                assert_eq!(
+                    energy.value().to_bits(),
+                    want_energy.value().to_bits(),
+                    "{} energy on {}",
+                    task.name(),
+                    config.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn slab_dedups_and_resolves_indices() {
+        let slab = KernelSlab::new([KernelId::Sr512, KernelId::ResNet18, KernelId::Sr512]);
+        assert_eq!(slab.len(), 2);
+        assert!(!slab.is_empty());
+        assert_eq!(slab.index_of(KernelId::Sr512), Some(0));
+        assert_eq!(slab.index_of(KernelId::ResNet18), Some(1));
+        assert_eq!(slab.index_of(KernelId::UNet), None);
+        // A plan against a slab missing one of the task's kernels fails.
+        let task = Task::uniform("u", [KernelId::UNet]).unwrap();
+        assert!(TaskPlan::new(&task, &slab).is_err());
     }
 
     #[test]

@@ -12,12 +12,13 @@ use crate::error::CoreError;
 use crate::metrics::{DesignPoint, OperationalContext};
 use cordoba_accel::cache::EmbodiedCache;
 use cordoba_accel::config::AcceleratorConfig;
-use cordoba_accel::sim::full_cost_table;
+use cordoba_accel::sim::{full_cost_table, ConfigBatch, KernelSlab, TaskPlan};
 use cordoba_carbon::embodied::EmbodiedModel;
 use cordoba_carbon::integral::CiIntegral;
 use cordoba_carbon::units::{CarbonIntensity, Seconds};
 use cordoba_carbon::CarbonError;
 use cordoba_obs::Histogram;
+use cordoba_par::CostHint;
 use cordoba_workloads::task::Task;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
@@ -27,6 +28,65 @@ use std::fmt;
 static EVALUATE_SPACE_NS: Histogram = Histogram::new("core/evaluate_space_ns");
 /// Wall-clock distribution of [`OpTimeSweep::with_threads`] calls.
 static OP_TIME_SWEEP_NS: Histogram = Histogram::new("core/op_time_sweep_ns");
+
+/// Estimated cost of characterizing one configuration through the batch
+/// pipeline (roofline + task equations + memoized embodied carbon). Feeds
+/// the [`CostHint`] chunk sizing: the seed 121-config space stays on the
+/// calling thread while thousand-config spaces fan out.
+pub(crate) const EVAL_NS_PER_CONFIG: u64 = 1_200;
+/// Estimated cost of one tCDP matrix entry (one `DesignPoint::tcdp` call);
+/// a sweep row's hint is this times the point count.
+pub(crate) const TCDP_NS_PER_POINT: u64 = 40;
+
+/// The batch-evaluation state shared by every configuration of one
+/// `evaluate_space` call: the SoA simulator inputs, the task resolved to
+/// slab indices, and the embodied-carbon memo — everything the per-config
+/// scalar path re-derived on every call, hoisted out of the hot loop.
+///
+/// [`EvalBatch::design_point`] produces results bit-identical to
+/// [`accel_design_point`], including the error for an invalid
+/// configuration.
+pub(crate) struct EvalBatch<'a> {
+    configs: &'a [AcceleratorConfig],
+    batch: ConfigBatch,
+    slab: KernelSlab,
+    plan: TaskPlan,
+    cache: EmbodiedCache,
+}
+
+impl<'a> EvalBatch<'a> {
+    pub(crate) fn new(
+        configs: &'a [AcceleratorConfig],
+        task: &Task,
+        embodied: &EmbodiedModel,
+    ) -> Self {
+        // The slab covers only the task's kernel union (not all fifteen):
+        // per-kernel simulations are independent, so skipping unused
+        // kernels cannot change the bits of the ones the task sums.
+        let slab = KernelSlab::new(task.kernels());
+        let plan = TaskPlan::new(task, &slab).expect("slab was built from the task's own kernels"); // cordoba-lint: allow(no-panic)
+        Self {
+            configs,
+            batch: ConfigBatch::new(configs),
+            slab,
+            plan,
+            cache: EmbodiedCache::new(embodied.clone()),
+        }
+    }
+
+    pub(crate) fn design_point(&self, idx: usize) -> Result<DesignPoint, CoreError> {
+        let config = &self.configs[idx];
+        let costs = self.batch.slab_costs(idx, &self.slab);
+        let (delay, energy) = self.batch.task_cost(idx, &costs, &self.plan);
+        Ok(DesignPoint::new(
+            config.name(),
+            delay,
+            energy,
+            self.cache.embodied(config)?,
+            config.total_area(),
+        )?)
+    }
+}
 
 /// Characterizes one accelerator configuration as a [`DesignPoint`] for a
 /// task: delay and energy from the roofline simulator via eq. IV.2/IV.4,
@@ -91,7 +151,13 @@ pub fn evaluate_space_with_threads(
     threads: usize,
 ) -> Result<Vec<DesignPoint>, CoreError> {
     let _span = cordoba_obs::span_timed("core/evaluate_space", &EVALUATE_SPACE_NS);
-    cordoba_par::try_par_map_with(configs, threads, |c| accel_design_point(c, task, embodied))
+    let batch = EvalBatch::new(configs, task, embodied);
+    cordoba_par::try_par_map_indexed_hinted(
+        configs,
+        threads,
+        CostHint::per_item_ns(EVAL_NS_PER_CONFIG),
+        |idx, _| batch.design_point(idx),
+    )
 }
 
 /// Characterizes a configuration list for *several* tasks at once, sharing
@@ -120,24 +186,39 @@ pub fn evaluate_space_multi(
         u64::try_from(tasks.len()).unwrap_or(u64::MAX),
     );
     let cache = EmbodiedCache::new(embodied.clone());
-    let per_config: Vec<Vec<DesignPoint>> = cordoba_par::try_par_map(configs, |c| {
-        let table = full_cost_table(c);
-        let embodied_carbon = cache.embodied(c)?;
-        tasks
-            .iter()
-            .map(|task| {
-                let delay = table.task_delay(task)?;
-                let energy = table.task_energy(task)?;
-                Ok(DesignPoint::new(
-                    c.name(),
-                    delay,
-                    energy,
-                    embodied_carbon,
-                    c.total_area(),
-                )?)
-            })
-            .collect::<Result<Vec<DesignPoint>, CoreError>>()
-    })?;
+    // One slab over the union of every task's kernels; each task resolves
+    // to slab indices once, so the per-config loop simulates each kernel
+    // exactly once and does no map lookups.
+    let slab = KernelSlab::new(tasks.iter().flat_map(Task::kernels));
+    let plans = tasks
+        .iter()
+        .map(|task| TaskPlan::new(task, &slab))
+        .collect::<Result<Vec<_>, _>>()
+        .expect("slab was built from the tasks' own kernels"); // cordoba-lint: allow(no-panic)
+    let batch = ConfigBatch::new(configs);
+    let hint = CostHint::per_item_ns(EVAL_NS_PER_CONFIG.saturating_mul(tasks.len().max(1) as u64));
+    let per_config: Vec<Vec<DesignPoint>> = cordoba_par::try_par_map_indexed_hinted(
+        configs,
+        cordoba_par::effective_threads(),
+        hint,
+        |idx, c| {
+            let costs = batch.slab_costs(idx, &slab);
+            let embodied_carbon = cache.embodied(c)?;
+            plans
+                .iter()
+                .map(|plan| {
+                    let (delay, energy) = batch.task_cost(idx, &costs, plan);
+                    Ok(DesignPoint::new(
+                        c.name(),
+                        delay,
+                        energy,
+                        embodied_carbon,
+                        c.total_area(),
+                    )?)
+                })
+                .collect::<Result<Vec<DesignPoint>, CoreError>>()
+        },
+    )?;
     let mut per_task = vec![Vec::with_capacity(configs.len()); tasks.len()];
     for config_points in per_config {
         for (t, point) in config_points.into_iter().enumerate() {
@@ -248,8 +329,11 @@ pub struct OpTimeSweep {
     pub task_counts: Vec<f64>,
     /// The use-phase carbon intensity.
     pub ci_use: CarbonIntensity,
-    /// `tcdp[n][p]`: tCDP of point `p` at task count `n`.
-    tcdp: Vec<Vec<f64>>,
+    /// Flat row-major tCDP matrix: entry `n * points.len() + p` is the
+    /// tCDP of point `p` at task count `n`. One contiguous allocation
+    /// instead of one `Vec` per row, so row scans (optimum lookups,
+    /// robustness scores) stream linearly through memory.
+    tcdp: Vec<f64>,
 }
 
 impl OpTimeSweep {
@@ -300,34 +384,69 @@ impl OpTimeSweep {
                 what: "task counts",
             });
         }
-        let tcdp = cordoba_par::try_par_map_with(&task_counts, threads, |&n| {
-            let ctx = OperationalContext::new(n, ci_use)?;
-            Ok(points.iter().map(|p| p.tcdp(&ctx).value()).collect())
-        })?;
-        Ok(Self {
-            points,
-            task_counts,
-            ci_use,
-            tcdp,
-        })
+        let hint = CostHint::per_item_ns(TCDP_NS_PER_POINT.saturating_mul(points.len() as u64));
+        if hint.workers(task_counts.len(), threads) == 1 {
+            // Sequential path: stream entries straight into the flat
+            // row-major matrix, with no per-row allocation or merge copy.
+            let mut tcdp = Vec::with_capacity(points.len() * task_counts.len());
+            for &n in &task_counts {
+                let ctx = OperationalContext::new(n, ci_use)?;
+                tcdp.extend(points.iter().map(|p| p.tcdp(&ctx).value()));
+            }
+            return Ok(Self {
+                points,
+                task_counts,
+                ci_use,
+                tcdp,
+            });
+        }
+        let rows: Vec<Vec<f64>> =
+            cordoba_par::try_par_map_indexed_hinted(&task_counts, threads, hint, |_, &n| {
+                let ctx = OperationalContext::new(n, ci_use)?;
+                Ok(points.iter().map(|p| p.tcdp(&ctx).value()).collect())
+            })?;
+        Ok(Self::from_rows(points, task_counts, ci_use, rows))
     }
 
     /// Assembles a sweep from rows computed elsewhere (the supervised
-    /// checkpoint/resume path). Callers guarantee `tcdp[n][p]` matches
-    /// `task_counts[n]` × `points[p]` — the supervised sweep only produces
-    /// rows through the same per-row computation as [`Self::with_threads`].
+    /// checkpoint/resume path), flattening them into the row-major matrix.
+    /// Callers guarantee `rows[n][p]` matches `task_counts[n]` ×
+    /// `points[p]` — the supervised sweep only produces rows through the
+    /// same per-row computation as [`Self::with_threads`].
     pub(crate) fn from_rows(
         points: Vec<DesignPoint>,
         task_counts: Vec<f64>,
         ci_use: CarbonIntensity,
-        tcdp: Vec<Vec<f64>>,
+        rows: Vec<Vec<f64>>,
     ) -> Self {
+        let mut tcdp = Vec::with_capacity(points.len() * task_counts.len());
+        for row in rows {
+            tcdp.extend(row);
+        }
         Self {
             points,
             task_counts,
             ci_use,
             tcdp,
         }
+    }
+
+    /// The tCDP row for sweep index `n` (one value per design point).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is out of range.
+    #[must_use]
+    pub fn row(&self, n: usize) -> &[f64] {
+        let width = self.points.len();
+        &self.tcdp[n * width..(n + 1) * width]
+    }
+
+    /// The whole tCDP matrix, flat row-major: entry `n * points.len() + p`
+    /// is the tCDP of point `p` at task count `n`.
+    #[must_use]
+    pub fn tcdp_matrix(&self) -> &[f64] {
+        &self.tcdp
     }
 
     /// Evaluates the sweep under a *time-varying* intensity source: the
@@ -356,7 +475,8 @@ impl OpTimeSweep {
     /// Panics on out-of-range indices.
     #[must_use]
     pub fn tcdp_at(&self, n: usize, p: usize) -> f64 {
-        self.tcdp[n][p]
+        assert!(p < self.points.len(), "point index {p} out of range");
+        self.tcdp[n * self.points.len() + p]
     }
 
     /// Index of the tCDP-optimal design at sweep index `n`.
@@ -366,7 +486,7 @@ impl OpTimeSweep {
     /// Panics if `n` is out of range.
     #[must_use]
     pub fn optimal_at(&self, n: usize) -> usize {
-        self.tcdp[n]
+        self.row(n)
             .iter()
             .enumerate()
             .min_by(|a, b| a.1.total_cmp(b.1))
@@ -397,8 +517,9 @@ impl OpTimeSweep {
     /// Panics if `n` is out of range.
     #[must_use]
     pub fn normalized_at(&self, n: usize) -> Vec<f64> {
-        let best = self.tcdp[n][self.optimal_at(n)];
-        self.tcdp[n].iter().map(|v| v / best).collect()
+        let row = self.row(n);
+        let best = row[self.optimal_at(n)];
+        row.iter().map(|v| v / best).collect()
     }
 
     /// Mean normalized tCDP of design `p` across the whole sweep — the
@@ -422,7 +543,7 @@ impl OpTimeSweep {
     #[must_use]
     pub fn robustness_scores(&self) -> Vec<f64> {
         let mut sums = vec![0.0; self.points.len()];
-        for row in &self.tcdp {
+        for row in self.tcdp.chunks_exact(self.points.len()) {
             let best = row.iter().copied().fold(f64::INFINITY, f64::min);
             for (sum, v) in sums.iter_mut().zip(row) {
                 *sum += v / best;
@@ -452,7 +573,7 @@ impl OpTimeSweep {
     /// Panics if `n` is out of range.
     #[must_use]
     pub fn average_tcdp_at(&self, n: usize) -> f64 {
-        self.tcdp[n].iter().sum::<f64>() / self.points.len() as f64
+        self.row(n).iter().sum::<f64>() / self.points.len() as f64
     }
 
     /// Ratio of average to optimal tCDP at sweep index `n` — the headroom
@@ -463,7 +584,7 @@ impl OpTimeSweep {
     /// Panics if `n` is out of range.
     #[must_use]
     pub fn optimal_vs_average_at(&self, n: usize) -> f64 {
-        self.average_tcdp_at(n) / self.tcdp[n][self.optimal_at(n)]
+        self.average_tcdp_at(n) / self.row(n)[self.optimal_at(n)]
     }
 
     /// The sweep index closest to a task count of `n`.

@@ -26,7 +26,7 @@
 //! `interrupt-at-any-point + resume == uninterrupted` bit-for-bit at any
 //! thread count. The property suite in `crates/robust` pins this.
 
-use crate::dse::{accel_design_point, EvalFailure, OpTimeSweep, ResilientEval};
+use crate::dse::{EvalBatch, EvalFailure, OpTimeSweep, ResilientEval};
 use crate::error::CoreError;
 use crate::metrics::{DesignPoint, OperationalContext};
 use cordoba_accel::config::AcceleratorConfig;
@@ -166,9 +166,18 @@ impl SupervisedEval {
             self.stop = None;
             return;
         }
-        let run = cordoba_par::par_map_supervised_with(&pending, threads, sup, |_, &idx| {
-            accel_design_point(&configs[idx], task, embodied)
-        });
+        // The batch state (SoA tuning arrays, task plan, embodied memo) is
+        // built once per advance; the supervised map still isolates panics
+        // and checks the stop flag per configuration, so interrupt/resume
+        // semantics are unchanged from the scalar path.
+        let batch = EvalBatch::new(configs, task, embodied);
+        let run = cordoba_par::par_map_supervised_hinted(
+            &pending,
+            threads,
+            cordoba_par::CostHint::per_item_ns(crate::dse::EVAL_NS_PER_CONFIG),
+            sup,
+            |_, &idx| batch.design_point(idx),
+        );
         for (&idx, outcome) in pending.iter().zip(run.outcomes) {
             match outcome {
                 Outcome::Done(Ok(point)) => self.slots[idx] = EvalSlot::Done(point),
@@ -641,7 +650,10 @@ fn advance_rows(
     if pending.is_empty() {
         return Ok(None);
     }
-    let run = cordoba_par::par_map_supervised_with(&pending, threads, sup, |_, &idx| {
+    let hint = cordoba_par::CostHint::per_item_ns(
+        crate::dse::TCDP_NS_PER_POINT.saturating_mul(points.len() as u64),
+    );
+    let run = cordoba_par::par_map_supervised_hinted(&pending, threads, hint, sup, |_, &idx| {
         let ctx = OperationalContext::new(task_counts[idx], ci_use)?;
         Ok::<Vec<f64>, CarbonError>(points.iter().map(|p| p.tcdp(&ctx).value()).collect())
     });
@@ -839,6 +851,26 @@ mod tests {
                 .complete()
                 .unwrap();
             assert_eq!(resumed, direct, "trip {trip}");
+            // The resumed sweep stores the flat row-major matrix; rows and
+            // scalar lookups must agree with it bit-for-bit.
+            let width = resumed.points.len();
+            assert_eq!(
+                resumed.tcdp_matrix().len(),
+                width * resumed.task_counts.len()
+            );
+            for n in 0..resumed.task_counts.len() {
+                assert_eq!(
+                    resumed.row(n),
+                    &resumed.tcdp_matrix()[n * width..(n + 1) * width]
+                );
+                for p in 0..width {
+                    assert_eq!(
+                        resumed.tcdp_at(n, p).to_bits(),
+                        direct.tcdp_at(n, p).to_bits(),
+                        "trip {trip} row {n} point {p}"
+                    );
+                }
+            }
         }
     }
 

@@ -49,7 +49,8 @@
 pub mod supervise;
 
 pub use supervise::{
-    par_map_supervised, par_map_supervised_with, Outcome, StopReason, SupervisedMap, Supervisor,
+    par_map_supervised, par_map_supervised_hinted, par_map_supervised_with, Outcome, StopReason,
+    SupervisedMap, Supervisor,
 };
 
 use std::num::NonZeroUsize;
@@ -59,6 +60,71 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// available: spawn/join overhead (~10 µs per thread) dwarfs per-item work
 /// for tiny sweeps, and the output is identical either way.
 pub const MIN_PARALLEL_LEN: usize = 16;
+
+/// Caller-supplied per-item cost estimate steering the `_hinted` map
+/// variants.
+///
+/// The length-only [`MIN_PARALLEL_LEN`] cutoff cannot tell a 121-item sweep
+/// of microsecond work (where spawning threads *loses* time) from 121 items
+/// of millisecond work (where it pays). A `CostHint` replaces the length
+/// cutoff with a work-based one: a map stays on the calling thread until
+/// its estimated total work reaches [`CostHint::MIN_PARALLEL_WORK_NS`], and
+/// beyond that it uses only as many workers as keep each chunk above
+/// [`CostHint::TARGET_CHUNK_NS`] of estimated work, so spawn/join overhead
+/// (~10 µs per thread) stays a small fraction of every chunk.
+///
+/// The hint is a pure scheduling knob: every map in this crate is
+/// order-preserving, so results are bit-identical at any worker count and a
+/// wrong estimate can only cost wall-clock time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostHint {
+    ns_per_item: u64,
+}
+
+impl CostHint {
+    /// Estimated total work below which a hinted map runs on the calling
+    /// thread: ~200 µs of work saves at most ~100 µs by splitting in two,
+    /// which barely clears the spawn/join cost.
+    pub const MIN_PARALLEL_WORK_NS: u64 = 200_000;
+
+    /// Estimated work each chunk should carry when a hinted map does go
+    /// parallel, keeping per-thread spawn overhead around the percent
+    /// level.
+    pub const TARGET_CHUNK_NS: u64 = 100_000;
+
+    /// A hint of `ns` estimated nanoseconds per mapped item (0 is treated
+    /// as 1).
+    #[must_use]
+    pub const fn per_item_ns(ns: u64) -> Self {
+        Self {
+            ns_per_item: if ns == 0 { 1 } else { ns },
+        }
+    }
+
+    /// The estimated per-item cost in nanoseconds.
+    #[must_use]
+    pub const fn ns_per_item(self) -> u64 {
+        self.ns_per_item
+    }
+
+    /// Worker count for a map of `len` items with `threads` available:
+    /// 1 while the estimated total work is under
+    /// [`Self::MIN_PARALLEL_WORK_NS`], otherwise capped so each chunk
+    /// carries at least [`Self::TARGET_CHUNK_NS`] of estimated work.
+    #[must_use]
+    pub fn workers(self, len: usize, threads: usize) -> usize {
+        let threads = threads.clamp(1, len.max(1));
+        if threads == 1 {
+            return 1;
+        }
+        let total_ns = self.ns_per_item.saturating_mul(len as u64);
+        if total_ns < Self::MIN_PARALLEL_WORK_NS {
+            return 1;
+        }
+        let paying = usize::try_from(total_ns / Self::TARGET_CHUNK_NS).unwrap_or(usize::MAX);
+        threads.min(paying)
+    }
+}
 
 /// Process-wide thread-count override; 0 means "auto" (all cores).
 ///
@@ -155,11 +221,72 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
-    let threads = threads.clamp(1, items.len().max(1));
-    if threads == 1 || items.len() < MIN_PARALLEL_LEN {
+    chunked_map(items, length_workers(items.len(), threads), f)
+}
+
+/// [`par_map_indexed_with`] steered by a [`CostHint`] instead of the
+/// length-only [`MIN_PARALLEL_LEN`] cutoff: the map stays sequential until
+/// the estimated total work pays for spawning, and then uses only as many
+/// workers as keep each chunk's work above the spawn cost. Output is
+/// bit-identical to [`par_map_indexed_with`] for any pure `f`.
+pub fn par_map_indexed_hinted<T, R, F>(items: &[T], threads: usize, hint: CostHint, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    chunked_map(items, hint.workers(items.len(), threads), f)
+}
+
+/// [`try_par_map_with`] steered by a [`CostHint`] (see
+/// [`par_map_indexed_hinted`]), with the closure also receiving the item
+/// index.
+///
+/// # Errors
+///
+/// Returns the error produced by the earliest (by input index) failing
+/// invocation of `f`.
+pub fn try_par_map_indexed_hinted<T, R, E, F>(
+    items: &[T],
+    threads: usize,
+    hint: CostHint,
+    f: F,
+) -> Result<Vec<R>, E>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    F: Fn(usize, &T) -> Result<R, E> + Sync,
+{
+    par_map_indexed_hinted(items, threads, hint, f)
+        .into_iter()
+        .collect()
+}
+
+/// The pre-`CostHint` worker-count rule: requested threads, except that
+/// short inputs run sequentially.
+pub(crate) fn length_workers(len: usize, threads: usize) -> usize {
+    let threads = threads.clamp(1, len.max(1));
+    if threads == 1 || len < MIN_PARALLEL_LEN {
+        1
+    } else {
+        threads
+    }
+}
+
+/// Order-preserving chunked map over exactly `workers` contiguous chunks
+/// (1 = the sequential path); the shared engine behind every unsupervised
+/// map variant.
+fn chunked_map<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    if workers <= 1 {
         return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
     }
-    let chunk_len = items.len().div_ceil(threads);
+    let chunk_len = items.len().div_ceil(workers);
     let f = &f;
     std::thread::scope(|scope| {
         let handles: Vec<_> = items
@@ -315,6 +442,61 @@ mod tests {
         set_threads(None);
         assert_eq!(configured_threads(), None);
         assert!(effective_threads() >= 1);
+    }
+
+    #[test]
+    fn cost_hint_keeps_cheap_sweeps_sequential() {
+        // 121 items of ~1.2 µs (the seed evaluate_space shape): total work
+        // ~145 µs is under the parallel threshold, so no spawning.
+        let hint = CostHint::per_item_ns(1_200);
+        assert_eq!(hint.workers(121, 8), 1);
+        // 1000 items of the same work: parallel, but capped by the chunk
+        // budget (1.2 ms / 100 µs = 12 chunks).
+        assert_eq!(hint.workers(1000, 8), 8);
+        assert_eq!(hint.workers(1000, 64), 12);
+        // Expensive items parallelize even at short lengths.
+        assert_eq!(CostHint::per_item_ns(1_000_000).workers(4, 8), 4);
+        // Degenerate inputs.
+        assert_eq!(hint.workers(0, 8), 1);
+        assert_eq!(hint.workers(1, 8), 1);
+        assert_eq!(CostHint::per_item_ns(0).ns_per_item(), 1);
+    }
+
+    #[test]
+    fn hinted_maps_match_unhinted_bits_at_every_thread_count() {
+        let items: Vec<f64> = (0..300).map(|i| f64::from(i) * 0.7 + 0.1).collect();
+        let work = |x: &f64| (x.sqrt() * x.ln_1p()).sin();
+        let seq: Vec<u64> = items.iter().map(|x| work(x).to_bits()).collect();
+        for threads in [1, 2, 8] {
+            for hint_ns in [1, 1_000, 10_000_000] {
+                let hint = CostHint::per_item_ns(hint_ns);
+                let got: Vec<u64> =
+                    par_map_indexed_hinted(&items, threads, hint, |_, x| work(x).to_bits());
+                assert_eq!(got, seq, "threads = {threads}, hint = {hint_ns}");
+            }
+        }
+    }
+
+    #[test]
+    fn hinted_try_map_reports_first_error_in_input_order() {
+        let items: Vec<i64> = (0..200).collect();
+        let f = |_: usize, x: &i64| if *x % 71 == 13 { Err(*x) } else { Ok(x * 2) };
+        for hint_ns in [1, 100_000] {
+            let hint = CostHint::per_item_ns(hint_ns);
+            assert_eq!(try_par_map_indexed_hinted(&items, 4, hint, f), Err(13));
+        }
+    }
+
+    #[test]
+    fn hinted_map_stays_on_caller_below_work_threshold() {
+        let items: Vec<u32> = (0..100).collect();
+        let caller = std::thread::current().id();
+        // 100 items x 1 ns is far below the threshold despite exceeding
+        // MIN_PARALLEL_LEN.
+        let ids = par_map_indexed_hinted(&items, 8, CostHint::per_item_ns(1), |_, _| {
+            std::thread::current().id()
+        });
+        assert!(ids.iter().all(|id| *id == caller));
     }
 
     #[test]

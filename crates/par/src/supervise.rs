@@ -379,11 +379,42 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
-    let threads = threads.clamp(1, items.len().max(1));
-    let outcomes = if threads == 1 || items.len() < crate::MIN_PARALLEL_LEN {
+    run_supervised(items, crate::length_workers(items.len(), threads), sup, f)
+}
+
+/// [`par_map_supervised_with`] steered by a [`crate::CostHint`] instead of
+/// the length-only cutoff (see [`crate::par_map_indexed_hinted`]): small
+/// estimated workloads run on the calling thread, larger ones use only as
+/// many workers as the estimated work pays for. Chunking and merge order
+/// are otherwise identical, so completed outcomes stay bit-identical to the
+/// unsupervised map's at any thread count.
+pub fn par_map_supervised_hinted<T, R, F>(
+    items: &[T],
+    threads: usize,
+    hint: crate::CostHint,
+    sup: &Supervisor,
+    f: F,
+) -> SupervisedMap<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    run_supervised(items, hint.workers(items.len(), threads), sup, f)
+}
+
+/// Supervised chunked map over exactly `workers` contiguous chunks (1 = the
+/// sequential path); the shared engine behind both supervised entry points.
+fn run_supervised<T, R, F>(items: &[T], workers: usize, sup: &Supervisor, f: F) -> SupervisedMap<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let outcomes = if workers <= 1 {
         supervised_chunk(0, items, sup, &f)
     } else {
-        let chunk_len = items.len().div_ceil(threads);
+        let chunk_len = items.len().div_ceil(workers);
         let f = &f;
         std::thread::scope(|scope| {
             let handles: Vec<_> = items
@@ -533,6 +564,39 @@ mod tests {
             }
             assert_eq!(sup.progress().panicked, 4); // 13, 74, 135, 196
         }
+    }
+
+    #[test]
+    fn hinted_supervised_map_matches_unhinted_outcomes() {
+        let items: Vec<u64> = (0..400).collect();
+        let expected: Vec<u64> = items.iter().map(|x| x.wrapping_mul(41) ^ 5).collect();
+        for hint_ns in [1, 2_000] {
+            let sup = Supervisor::unbounded();
+            let run = par_map_supervised_hinted(
+                &items,
+                4,
+                crate::CostHint::per_item_ns(hint_ns),
+                &sup,
+                |_, x| x.wrapping_mul(41) ^ 5,
+            );
+            assert!(run.is_complete(), "hint = {hint_ns}");
+            let got: Vec<u64> = run
+                .outcomes
+                .into_iter()
+                .map(|o| match o {
+                    Outcome::Done(v) => v,
+                    other => panic!("unexpected outcome {other:?}"),
+                })
+                .collect();
+            assert_eq!(got, expected, "hint = {hint_ns}");
+        }
+        // A tripping supervisor still stops a hinted sequential run at the
+        // exact unit count.
+        let sup = Supervisor::tripping_after(9);
+        let run =
+            par_map_supervised_hinted(&items, 8, crate::CostHint::per_item_ns(1), &sup, |_, x| *x);
+        assert_eq!(run.stop, Some(StopReason::Cancelled));
+        assert_eq!(run.skipped_indices(), (9..400).collect::<Vec<_>>());
     }
 
     #[test]
