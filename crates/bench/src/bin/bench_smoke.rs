@@ -330,6 +330,92 @@ fn main() {
         seed_auto_ns * 100 / seed_one_ns.max(1),
     ));
 
+    // store/* — content-addressed persistent memoization over the same
+    // 1,000-config space, layered like the CLI: sub-entries memoize the
+    // space evaluation and the tCDP matrix (bit-identical restore), and a
+    // run-level entry memoizes the whole pipeline's product — what a
+    // repeated identical sweep is actually served from. Cold runs against
+    // an evicted store (compute + write-behind); `warm` is the run-level
+    // hit; `warm_decode` restores the full matrix from the sub-entries.
+    // The run-level warm path must pay for itself: >=10x over cold,
+    // asserted below.
+    let store_root =
+        std::env::temp_dir().join(format!("cordoba-bench-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_root);
+    let store = cordoba_store::Store::open(&store_root).expect("temp store opens");
+    let store_counts = log_sweep(4, 11, 4);
+    let run_key = {
+        let mut k = cordoba_store::KeyBuilder::new("bench-run");
+        k.push_u64(wide_space.len() as u64);
+        k.push_u64(store_counts.len() as u64);
+        k.push_f64(grids::US_AVERAGE.value());
+        k.finish()
+    };
+    let summarize = |sweep: &OpTimeSweep| -> Vec<String> {
+        vec![
+            format!("survivors {}", sweep.ever_optimal().len()),
+            format!("robust {}", sweep.points[sweep.robust_choice()].name),
+            format!(
+                "eliminated_x1e6 {}",
+                (sweep.elimination_fraction() * 1e6) as u64
+            ),
+        ]
+    };
+    let cold_store_ns = median_ns(iters, || {
+        store.evict(None);
+        let pts = evaluate_space_stored(black_box(&wide_space), &task, &model, &store).unwrap();
+        let sweep =
+            op_time_sweep_stored(pts, store_counts.clone(), grids::US_AVERAGE, &store).unwrap();
+        store
+            .put("bench-run", run_key, &summarize(&sweep))
+            .expect("run entry writes");
+    });
+    let warm_store_ns = median_ns(iters, || {
+        black_box(store.get("bench-run", run_key).expect("run entry is warm"));
+    });
+    let warm_decode_ns = median_ns(iters, || {
+        let pts = evaluate_space_stored(black_box(&wide_space), &task, &model, &store).unwrap();
+        black_box(
+            op_time_sweep_stored(pts, store_counts.clone(), grids::US_AVERAGE, &store).unwrap(),
+        );
+    });
+    results.push(("store/sweep_1000/cold".to_owned(), cold_store_ns));
+    results.push(("store/sweep_1000/warm".to_owned(), warm_store_ns));
+    results.push(("store/sweep_1000/warm_decode".to_owned(), warm_decode_ns));
+    results.push((
+        "store/sweep_1000/warm_speedup_x100".to_owned(),
+        cold_store_ns * 100 / warm_store_ns.max(1),
+    ));
+    // Replay through the CLI layer: `dse --store` warms the run entry,
+    // then `replay <hash>` serves the rendered output in one lookup.
+    let dse_argv: Vec<String> = format!("dse --task xr5 --store {}", store_root.display())
+        .split_whitespace()
+        .map(str::to_owned)
+        .collect();
+    let cold_cli = cordoba_cli::run(&dse_argv).expect("dse --store runs");
+    let run_hash = cold_cli
+        .lines()
+        .find_map(|l| l.strip_prefix("store: run "))
+        .expect("stored run prints its hash")
+        .to_owned();
+    let warm_cli_ns = median_ns(iters, || {
+        black_box(cordoba_cli::run(black_box(&dse_argv)).unwrap());
+    });
+    let replay_argv: Vec<String> = format!("replay {run_hash} --store {}", store_root.display())
+        .split_whitespace()
+        .map(str::to_owned)
+        .collect();
+    let replay_ns = median_ns(iters, || {
+        black_box(cordoba_cli::run(black_box(&replay_argv)).unwrap());
+    });
+    results.push(("store/cli_dse/warm".to_owned(), warm_cli_ns));
+    results.push(("store/cli_dse/replay".to_owned(), replay_ns));
+    assert!(
+        warm_store_ns * 10 <= cold_store_ns,
+        "warm store sweep must beat cold by >=10x: warm {warm_store_ns}ns vs cold {cold_store_ns}ns"
+    );
+    let _ = std::fs::remove_dir_all(&store_root);
+
     // supervise/* — each headline pipeline against its supervised
     // (unbounded) sibling. With no deadline the added per-item cost is one
     // relaxed flag load plus a catch_unwind frame; target <=2% overhead on

@@ -126,6 +126,13 @@ impl EmbodiedModel {
         self.yield_model
     }
 
+    /// Packaging carbon charged per die (content-addressed stores key on
+    /// this alongside `ci_fab` and the yield model).
+    #[must_use]
+    pub fn packaging_per_die(&self) -> GramsCo2e {
+        self.packaging_per_die
+    }
+
     /// Returns a copy using a different yield model (for ablations).
     #[must_use]
     pub fn with_yield_model(mut self, yield_model: YieldModel) -> Self {

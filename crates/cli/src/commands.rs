@@ -10,10 +10,14 @@ use cordoba_accel::space::{config_by_name, design_space};
 use cordoba_carbon::prelude::*;
 use cordoba_par::supervise::{Outcome, Supervisor};
 use cordoba_soc::prelude::*;
+use cordoba_store::{KeyBuilder, Store, StoreKey};
 use cordoba_workloads::kernel::KernelId;
 use cordoba_workloads::task::Task;
 use std::fmt::Write as _;
 use std::time::Duration;
+
+/// Store entry kind for whole rendered CLI runs (the `replay` payload).
+const RUN_KIND: &str = "run";
 
 /// Error type of the CLI layer.
 #[derive(Debug)]
@@ -75,10 +79,16 @@ COMMANDS:
     doctor       sanity-check a trace/design CSV and print repair reports
                  (with --metrics alone: run the built-in self-check probe)
     trace-check  validate a Chrome trace-event JSON file
+    replay       re-emit a stored run by hash without recomputing
+    cache        inspect or evict the persistent result store
     kernels      list the workload kernels
     tasks        list the evaluation tasks
     grids        list built-in carbon intensities
     help         show this message
+
+Persistent memoization: `dse --store <dir>` keys every expensive result by
+a content hash of its inputs, so a repeated sweep is a single lookup. Each
+stored run prints its hash; `replay <hash> --store <dir>` re-emits it.
 
 Commands that ingest data accept `--lenient` to quarantine bad rows or
 configurations and continue with the rest instead of aborting.
@@ -117,6 +127,8 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "eliminate" => cmd_eliminate(&args),
         "doctor" => cmd_doctor(&args),
         "trace-check" => cmd_trace_check(&args),
+        "replay" => cmd_replay(&args),
+        "cache" => cmd_cache(&args),
         "kernels" => cmd_kernels(&args),
         "tasks" => cmd_tasks(&args),
         "grids" => cmd_grids(&args),
@@ -347,12 +359,16 @@ fn cmd_dse(args: &Args) -> Result<String, CliError> {
             "cordoba dse --task <all|xr10|ai10|xr5|ai5> [--grid <name>] \
                    [--lo <decade>] [--hi <decade>] [--lenient]\n\
                    [--deadline <dur>] [--checkpoint <file>] [--resume <file>]\n\
+                   [--store <dir>]\n\
                    --lenient quarantines configurations that fail to \
                    evaluate and sweeps the rest\n\
                    --deadline bounds the sweep (e.g. 5s, 500ms); an \
                    interrupted sweep writes its progress to --checkpoint\n\
                    --resume continues a checkpointed sweep to the exact \
-                   result the uninterrupted run would have produced\n"
+                   result the uninterrupted run would have produced\n\
+                   --store memoizes results in a content-addressed store: \
+                   a repeat run is served bit-identically without \
+                   recomputing, and prints a hash usable with `replay`\n"
                 .to_owned(),
         );
     }
@@ -365,11 +381,23 @@ fn cmd_dse(args: &Args) -> Result<String, CliError> {
         "deadline",
         "checkpoint",
         "resume",
+        "store",
         "threads",
         "trace-out",
         "metrics",
         "help",
     ])?;
+    if args.get("store").is_some() {
+        // The store memoizes *complete* runs; supervision produces
+        // partial ones, so the two modes are mutually exclusive.
+        for conflicting in ["deadline", "checkpoint", "resume"] {
+            if args.get(conflicting).is_some() {
+                return Err(CliError::Usage(format!(
+                    "--store memoizes complete runs and cannot be combined with --{conflicting}"
+                )));
+            }
+        }
+    }
     let deadline = args.get("deadline").map(parse_duration).transpose()?;
     if let Some(path) = args.get("resume") {
         for conflicting in ["task", "grid", "lo", "hi"] {
@@ -397,6 +425,9 @@ fn cmd_dse(args: &Args) -> Result<String, CliError> {
     let hi = decade("hi", 11.0)?;
     if hi <= lo {
         return Err(CliError::Usage("--hi must exceed --lo".to_owned()));
+    }
+    if let Some(dir) = args.get("store") {
+        return dse_stored(dir, &task, ci, lo, hi, args.flag("lenient"));
     }
 
     let mut out = String::new();
@@ -470,6 +501,74 @@ fn render_sweep(sweep: &OpTimeSweep, out: &mut String) -> Result<(), CliError> {
         sweep.points[sweep.robust_choice()].name
     );
     Ok(())
+}
+
+/// Opens the persistent store at `dir` (creating it if needed).
+fn open_store(dir: &str) -> Result<Store, CliError> {
+    Store::open(dir).map_err(|e| CliError::Usage(format!("cannot open store {dir}: {e}")))
+}
+
+/// Content hash identifying a whole `dse` run: every input that shapes
+/// the rendered output participates, so two runs share a hash exactly
+/// when they would print identical results.
+fn dse_run_key(task: &Task, ci: CarbonIntensity, lo: i32, hi: i32, lenient: bool) -> StoreKey {
+    let mut key = KeyBuilder::new("dse");
+    key.push_str(task.name());
+    key.push_f64(ci.value());
+    key.push_u64(lo as i64 as u64);
+    key.push_u64(hi as i64 as u64);
+    key.push_u64(u64::from(lenient));
+    key.finish()
+}
+
+/// The `dse --store` path: the whole rendered run is memoized under a
+/// content hash of its inputs, and the expensive stages underneath
+/// (space evaluation, tCDP matrix) are memoized individually, so even a
+/// partial overlap with a prior run skips recomputation. Cold and warm
+/// outputs are byte-identical.
+fn dse_stored(
+    dir: &str,
+    task: &Task,
+    ci: CarbonIntensity,
+    lo: i32,
+    hi: i32,
+    lenient: bool,
+) -> Result<String, CliError> {
+    let store = open_store(dir)?;
+    let key = dse_run_key(task, ci, lo, hi, lenient);
+    if let Some(lines) = store.get(RUN_KIND, key) {
+        return Ok(lines.join("\n"));
+    }
+    let mut out = String::new();
+    let points = if lenient {
+        let eval = evaluate_space_resilient(&design_space(), task, &EmbodiedModel::default());
+        if eval.degraded() {
+            let _ = writeln!(
+                out,
+                "quarantined {} of {} configurations:",
+                eval.failures.len(),
+                eval.points.len() + eval.failures.len()
+            );
+            for failure in &eval.failures {
+                let _ = writeln!(out, "  {failure}");
+            }
+        }
+        if eval.points.is_empty() {
+            return Err(CliError::Usage(
+                "every configuration failed to evaluate".to_owned(),
+            ));
+        }
+        eval.points
+    } else {
+        evaluate_space_stored(&design_space(), task, &EmbodiedModel::default(), &store)?
+    };
+    let _ = writeln!(out, "task: {task} | grid: {ci}");
+    let sweep = op_time_sweep_stored(points, log_sweep(lo, hi, 2), ci, &store)?;
+    render_sweep(&sweep, &mut out)?;
+    let _ = writeln!(out, "store: run {key}");
+    let payload: Vec<String> = out.split('\n').map(str::to_owned).collect();
+    let _ = store.put(RUN_KIND, key, &payload);
+    Ok(out)
 }
 
 /// Handles an interrupted `dse` sweep: writes the checkpoint to
@@ -1137,6 +1236,98 @@ fn doctor_trace(args: &Args, path: &str, out: &mut String) -> Result<(), CliErro
     Ok(())
 }
 
+/// The `replay` command: re-emits a stored run by hash, byte-identically,
+/// without invoking the simulator.
+fn cmd_replay(args: &Args) -> Result<String, CliError> {
+    if args.flag("help") {
+        return Ok("cordoba replay <hash> --store <dir>\n\
+                   re-emits the stored run identified by <hash> (printed by\n\
+                   `dse --store` as `store: run <hash>`) without recomputing;\n\
+                   combine with --trace-out to regenerate a Chrome trace\n"
+            .to_owned());
+    }
+    args.expect_only(&["store", "threads", "trace-out", "metrics", "help"])?;
+    let [hash] = args.positional() else {
+        return Err(CliError::Usage(
+            "replay expects exactly one <hash> argument".to_owned(),
+        ));
+    };
+    let key = StoreKey::from_hex(hash)
+        .ok_or_else(|| CliError::Usage(format!("`{hash}` is not a run hash (32 hex digits)")))?;
+    let dir = args
+        .get("store")
+        .ok_or_else(|| CliError::Usage("replay requires --store <dir>".to_owned()))?;
+    let store = open_store(dir)?;
+    let lines = store.get(RUN_KIND, key).ok_or_else(|| {
+        CliError::Usage(format!(
+            "no stored run {hash} in {dir}; re-run with `dse --store`"
+        ))
+    })?;
+    Ok(lines.join("\n"))
+}
+
+/// The `cache` command: `inspect` lists the store's entries, `evict`
+/// deletes them (all, or one `--kind`).
+fn cmd_cache(args: &Args) -> Result<String, CliError> {
+    if args.flag("help") {
+        return Ok(
+            "cordoba cache <inspect|evict> --store <dir> [--kind <kind>]\n\
+                   inspect lists every stored entry (kind, hash, size)\n\
+                   evict deletes entries; --kind restricts to one kind\n"
+                .to_owned(),
+        );
+    }
+    args.expect_only(&["store", "kind", "threads", "trace-out", "metrics", "help"])?;
+    let [action] = args.positional() else {
+        return Err(CliError::Usage(
+            "cache expects exactly one action: inspect or evict".to_owned(),
+        ));
+    };
+    let dir = args
+        .get("store")
+        .ok_or_else(|| CliError::Usage("cache requires --store <dir>".to_owned()))?;
+    let store = open_store(dir)?;
+    let mut out = String::new();
+    match action.as_str() {
+        "inspect" => {
+            if args.get("kind").is_some() {
+                return Err(CliError::Usage(
+                    "--kind only applies to `cache evict`".to_owned(),
+                ));
+            }
+            let entries = store.entries();
+            let mut total = 0u64;
+            for entry in &entries {
+                total += entry.bytes;
+                let _ = writeln!(out, "{:16} {} {:>8} B", entry.kind, entry.key, entry.bytes);
+            }
+            let _ = writeln!(
+                out,
+                "total: {} entries, {} B in {dir}",
+                entries.len(),
+                total
+            );
+        }
+        "evict" => {
+            let removed = store.evict(args.get("kind"));
+            match args.get("kind") {
+                Some(kind) => {
+                    let _ = writeln!(out, "evicted {removed} `{kind}` entries from {dir}");
+                }
+                None => {
+                    let _ = writeln!(out, "evicted {removed} entries from {dir}");
+                }
+            }
+        }
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown cache action `{other}`; expected inspect or evict"
+            )));
+        }
+    }
+    Ok(out)
+}
+
 /// Leniently parses a design CSV and reports the rows that were dropped.
 fn doctor_designs(path: &str, out: &mut String) -> Result<(), CliError> {
     let content = std::fs::read_to_string(path)
@@ -1285,6 +1476,116 @@ mod tests {
         }
         assert!(run_str("dse --task nope").is_err());
         assert!(run_str("dse --lo 8 --hi 5").is_err());
+    }
+
+    /// Value of a named global counter (0 if it never registered).
+    fn counter_value(name: &str) -> u64 {
+        cordoba_obs::counter_snapshot()
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map_or(0, |&(_, v)| v)
+    }
+
+    #[test]
+    fn dse_store_warm_and_replay_are_byte_identical() {
+        let dir = std::env::temp_dir().join("cordoba-cli-test-store-dse");
+        let _ = std::fs::remove_dir_all(&dir);
+        let cmd = format!("dse --task xr5 --lo 5 --hi 7 --store {}", dir.display());
+        let cold = run_str(&cmd).unwrap();
+        assert!(cold.contains("survivors:"));
+        let hash = cold
+            .lines()
+            .find_map(|l| l.strip_prefix("store: run "))
+            .expect("stored run prints its hash")
+            .to_owned();
+        // Second run is served from the store, byte-for-byte.
+        let warm = run_str(&cmd).unwrap();
+        assert_eq!(cold, warm);
+        // `replay <hash>` re-emits the identical bytes.
+        let replayed = run_str(&format!("replay {hash} --store {}", dir.display())).unwrap();
+        assert_eq!(replayed, cold);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn replay_does_not_recompute() {
+        let dir = std::env::temp_dir().join("cordoba-cli-test-store-replay");
+        let _ = std::fs::remove_dir_all(&dir);
+        let cold = run_str(&format!(
+            "dse --task ai5 --lo 5 --hi 7 --store {}",
+            dir.display()
+        ))
+        .unwrap();
+        let hash = cold
+            .lines()
+            .find_map(|l| l.strip_prefix("store: run "))
+            .unwrap()
+            .to_owned();
+        // With metrics on, replay must hit the store and leave the solver
+        // counters untouched: nothing is recomputed.
+        let beta_before = counter_value("core/beta_evaluations");
+        let hits_before = counter_value("events/store_hit");
+        let out = run_str(&format!(
+            "replay {hash} --store {} --metrics",
+            dir.display()
+        ))
+        .unwrap();
+        assert!(out.starts_with(&cold), "replay re-emits the stored bytes");
+        assert_eq!(counter_value("core/beta_evaluations"), beta_before);
+        assert!(counter_value("events/store_hit") > hits_before);
+        // Usage errors: malformed hash, missing --store, unknown hash.
+        assert!(run_str("replay nothex --store /tmp/x").is_err());
+        assert!(run_str(&format!("replay {hash}")).is_err());
+        let missing = format!("{:032x}", 7u128);
+        assert!(run_str(&format!("replay {missing} --store {}", dir.display())).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cache_inspect_and_evict_round_trip() {
+        let dir = std::env::temp_dir().join("cordoba-cli-test-store-cache");
+        let _ = std::fs::remove_dir_all(&dir);
+        let cold = run_str(&format!(
+            "dse --task xr10 --lo 5 --hi 7 --store {}",
+            dir.display()
+        ))
+        .unwrap();
+        let hash = cold
+            .lines()
+            .find_map(|l| l.strip_prefix("store: run "))
+            .unwrap()
+            .to_owned();
+        // One run leaves one entry per memoized stage.
+        let listing = run_str(&format!("cache inspect --store {}", dir.display())).unwrap();
+        assert!(listing.contains("eval_space"));
+        assert!(listing.contains("op_time_sweep"));
+        assert!(listing.contains(&hash));
+        assert!(listing.contains("total: 3 entries"));
+        // Evicting one kind leaves the others; the replayed run is gone.
+        let out = run_str(&format!("cache evict --store {} --kind run", dir.display())).unwrap();
+        assert!(out.contains("evicted 1"));
+        assert!(run_str(&format!("replay {hash} --store {}", dir.display())).is_err());
+        let out = run_str(&format!("cache evict --store {}", dir.display())).unwrap();
+        assert!(out.contains("evicted 2"));
+        let listing = run_str(&format!("cache inspect --store {}", dir.display())).unwrap();
+        assert!(listing.contains("total: 0 entries"));
+        // Usage errors.
+        assert!(run_str("cache inspect").is_err());
+        assert!(run_str(&format!("cache defrost --store {}", dir.display())).is_err());
+        assert!(run_str(&format!(
+            "cache inspect --store {} --kind run",
+            dir.display()
+        ))
+        .is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dse_store_conflicts_with_supervision() {
+        for conflict in ["--deadline 5s", "--checkpoint /tmp/c", "--resume /tmp/c"] {
+            let err = run_str(&format!("dse --task xr5 --store /tmp/s {conflict}")).unwrap_err();
+            assert!(err.to_string().contains("--store"), "{conflict}: {err}");
+        }
     }
 
     #[test]

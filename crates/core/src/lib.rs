@@ -66,6 +66,7 @@ pub mod optimize;
 pub mod pareto;
 pub mod report;
 pub mod stats;
+pub mod store;
 pub mod supervise;
 pub mod uncertainty;
 
@@ -92,6 +93,9 @@ pub mod prelude {
         pareto_indices_kd_naive, pareto_indices_naive, Point2, PointK,
     };
     pub use crate::report::{fmt_num, fmt_ratio, Table};
+    pub use crate::store::{
+        beta_sweep_stored, evaluate_space_multi_stored, evaluate_space_stored, op_time_sweep_stored,
+    };
     pub use crate::supervise::{
         evaluate_space_supervised, evaluate_space_supervised_with_threads,
         op_time_sweep_supervised, op_time_sweep_supervised_with_threads, PartialSweep,

@@ -416,7 +416,7 @@ impl SweepCheckpoint {
         sup: &Supervisor,
         threads: usize,
     ) -> Result<SupervisedSweep, CoreError> {
-        let stop = advance_rows(
+        let advance = advance_rows(
             &mut self.rows,
             &self.points,
             &self.task_counts,
@@ -424,8 +424,18 @@ impl SweepCheckpoint {
             sup,
             threads,
         )?;
-        match stop {
-            None => {
+        match advance {
+            Advance::CompleteFlat(flat) => {
+                // The streaming path fills exactly rows × points cells, so
+                // the size check cannot fail; the error arm keeps this
+                // total without a panic path.
+                OpTimeSweep::from_flat(self.points, self.task_counts, self.ci_use, flat)
+                    .map(SupervisedSweep::Complete)
+                    .ok_or(CoreError::Carbon(CarbonError::Empty {
+                        what: "tcdp matrix",
+                    }))
+            }
+            Advance::Rows(None) => {
                 let tcdp: Vec<Vec<f64>> = self.rows.into_iter().flatten().collect();
                 Ok(SupervisedSweep::Complete(OpTimeSweep::from_rows(
                     self.points,
@@ -434,7 +444,7 @@ impl SweepCheckpoint {
                     tcdp,
                 )))
             }
-            Some(reason) => {
+            Advance::Rows(Some(reason)) => {
                 self.reason = reason;
                 Ok(SupervisedSweep::Partial(PartialSweep {
                     checkpoint: self,
@@ -634,6 +644,97 @@ impl SweepCheckpoint {
 /// Computes the pending rows of a tCDP matrix under supervision, filling
 /// `rows` by index. Returns the stop reason when interrupted, or the first
 /// (in input order) row error.
+/// How [`advance_rows`] finished.
+enum Advance {
+    /// Clean finish on the sequential streaming path: the complete
+    /// row-major tCDP matrix, never split into per-row vectors.
+    CompleteFlat(Vec<f64>),
+    /// `rows` was updated in place (the chunked path, resumed subsets, or
+    /// an interrupted streaming run); `Some` carries the stop reason.
+    Rows(Option<StopReason>),
+}
+
+/// Sequential fast path for a fresh sweep: streams every row straight into
+/// one flat row-major matrix — no per-row allocation and no completion
+/// merge copy, matching the unsupervised [`OpTimeSweep::with_threads`]
+/// sequential path. Supervision semantics are identical to the chunked
+/// engine at one worker: a stop check before every row, per-row panic
+/// isolation, per-attempt progress accounting, and work continuing past a
+/// failed row so counters and events agree with the chunked path.
+fn advance_rows_streaming(
+    rows: &mut [Option<Vec<f64>>],
+    points: &[DesignPoint],
+    task_counts: &[f64],
+    ci_use: CarbonIntensity,
+    sup: &Supervisor,
+) -> Result<Advance, CoreError> {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    let width = points.len();
+    let mut flat: Vec<f64> = Vec::with_capacity(width.saturating_mul(task_counts.len()));
+    let mut completed_rows = 0usize;
+    let mut first_error: Option<CoreError> = None;
+    let mut stopped = false;
+    for &n in task_counts {
+        if sup.should_stop().is_some() {
+            stopped = true;
+            break;
+        }
+        let base = flat.len();
+        let attempt = catch_unwind(AssertUnwindSafe(|| -> Result<(), CarbonError> {
+            let ctx = OperationalContext::new(n, ci_use)?;
+            flat.extend(points.iter().map(|p| p.tcdp(&ctx).value()));
+            Ok(())
+        }));
+        match attempt {
+            Ok(Ok(())) => {
+                sup.note_completed(1);
+                completed_rows += 1;
+            }
+            Ok(Err(error)) => {
+                // An input-validation error still counts as an attempted
+                // unit, exactly like the chunked path.
+                sup.note_completed(1);
+                if first_error.is_none() {
+                    first_error = Some(CoreError::Carbon(error));
+                }
+            }
+            Err(payload) => {
+                sup.note_panicked();
+                cordoba_obs::record(&Event::ChunkPanic);
+                flat.truncate(base);
+                if first_error.is_none() {
+                    first_error = Some(CoreError::Panicked(panic_message(payload.as_ref())));
+                }
+            }
+        }
+    }
+    if let Some(error) = first_error {
+        return Err(error);
+    }
+    if !stopped {
+        return Ok(Advance::CompleteFlat(flat));
+    }
+    // Interrupted: split the streamed prefix into per-row checkpoint slots
+    // (every attempted row succeeded, so the prefix is densely packed).
+    let reason = sup.record_stop(sup.should_stop().unwrap_or(StopReason::Cancelled));
+    for (k, slot) in rows.iter_mut().take(completed_rows).enumerate() {
+        *slot = Some(flat[k * width..(k + 1) * width].to_vec());
+    }
+    Ok(Advance::Rows(Some(reason)))
+}
+
+/// Renders a panic payload into a stable message (mirrors the rendering
+/// in `cordoba_par::supervise` so both paths store identical text).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic payload of unknown type".to_string()
+    }
+}
+
 fn advance_rows(
     rows: &mut [Option<Vec<f64>>],
     points: &[DesignPoint],
@@ -641,18 +742,21 @@ fn advance_rows(
     ci_use: CarbonIntensity,
     sup: &Supervisor,
     threads: usize,
-) -> Result<Option<StopReason>, CoreError> {
+) -> Result<Advance, CoreError> {
     let pending: Vec<usize> = rows
         .iter()
         .enumerate()
         .filter_map(|(i, r)| r.is_none().then_some(i))
         .collect();
     if pending.is_empty() {
-        return Ok(None);
+        return Ok(Advance::Rows(None));
     }
     let hint = cordoba_par::CostHint::per_item_ns(
         crate::dse::TCDP_NS_PER_POINT.saturating_mul(points.len() as u64),
     );
+    if hint.workers(pending.len(), threads) == 1 && pending.len() == rows.len() {
+        return advance_rows_streaming(rows, points, task_counts, ci_use, sup);
+    }
     let run = cordoba_par::par_map_supervised_hinted(&pending, threads, hint, sup, |_, &idx| {
         let ctx = OperationalContext::new(task_counts[idx], ci_use)?;
         Ok::<Vec<f64>, CarbonError>(points.iter().map(|p| p.tcdp(&ctx).value()).collect())
@@ -679,7 +783,7 @@ fn advance_rows(
     if let Some(error) = first_error {
         return Err(error);
     }
-    Ok(run.stop)
+    Ok(Advance::Rows(run.stop))
 }
 
 /// Evaluates the Fig. 8 tCDP grid under supervision. A completed run

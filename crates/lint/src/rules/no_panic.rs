@@ -22,6 +22,7 @@ const PANIC_FREE_CRATES: &[&str] = &[
     "robust",
     "par",
     "obs",
+    "store",
 ];
 
 /// Macros that abort the process when reached.

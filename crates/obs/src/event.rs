@@ -25,6 +25,9 @@ static CANCELLED: Counter = Counter::new("events/supervision_cancelled");
 static CHUNK_PANIC: Counter = Counter::new("events/supervision_chunk_panic");
 static CHECKPOINT_WRITTEN: Counter = Counter::new("events/supervision_checkpoint_written");
 static CHECKPOINT_RESTORED: Counter = Counter::new("events/supervision_checkpoint_restored");
+static STORE_HIT: Counter = Counter::new("events/store_hit");
+static STORE_MISS: Counter = Counter::new("events/store_miss");
+static STORE_WRITE: Counter = Counter::new("events/store_write");
 
 /// An interesting state transition somewhere in the framework.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -83,6 +86,13 @@ pub enum Event {
         /// Work units the restored checkpoint already covers.
         completed: u64,
     },
+    /// A persistent-store lookup found a valid entry.
+    StoreHit,
+    /// A persistent-store lookup found nothing usable (absent, corrupt,
+    /// truncated, or salted for a different code version).
+    StoreMiss,
+    /// A result was written behind into the persistent store.
+    StoreWrite,
 }
 
 impl Event {
@@ -116,6 +126,9 @@ impl Event {
             Self::CheckpointRestored { completed } => {
                 (&CHECKPOINT_RESTORED, [Some(("completed", completed)), None])
             }
+            Self::StoreHit => (&STORE_HIT, [None, None]),
+            Self::StoreMiss => (&STORE_MISS, [None, None]),
+            Self::StoreWrite => (&STORE_WRITE, [None, None]),
         }
     }
 
@@ -204,5 +217,8 @@ mod tests {
             Event::CheckpointRestored { completed: 7 }.name(),
             "events/supervision_checkpoint_restored"
         );
+        assert_eq!(Event::StoreHit.name(), "events/store_hit");
+        assert_eq!(Event::StoreMiss.name(), "events/store_miss");
+        assert_eq!(Event::StoreWrite.name(), "events/store_write");
     }
 }

@@ -205,7 +205,9 @@ impl Supervisor {
         if self.shared.cancelled.load(Ordering::Relaxed) {
             return Some(StopReason::Cancelled);
         }
-        if self.progress().attempted() >= self.shared.trip_at {
+        // `u64::MAX` disables the trip; skip the two progress-counter
+        // loads entirely so untripped supervision costs one flag load.
+        if self.shared.trip_at != u64::MAX && self.progress().attempted() >= self.shared.trip_at {
             // Latch so the reason survives later progress and clones.
             self.cancel();
             return Some(StopReason::Cancelled);

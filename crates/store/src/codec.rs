@@ -1,0 +1,84 @@
+//! Bit-exact text codec for payload lines.
+//!
+//! Store payloads are text lines; floats inside them must survive a
+//! round-trip without losing a single bit, so they are written as the
+//! 16-hex-digit IEEE-754 bit pattern (`f64::to_bits`) — the same
+//! convention `SweepCheckpoint` uses. Decimal formatting is *not* used
+//! anywhere in a payload: `0.1` has no finite decimal that reparses to the
+//! same bits at every precision, hex bits always do.
+
+/// Renders an `f64` as its 16-hex-digit raw bit pattern.
+#[must_use]
+pub fn hex_f64(value: f64) -> String {
+    format!("{:016x}", value.to_bits())
+}
+
+/// Nibble value per ASCII byte; `0xFF` marks a non-hex byte. A table
+/// lookup per digit keeps bulk decode (tens of thousands of cells per
+/// warm tCDP matrix) well below `from_str_radix`, which re-validates
+/// radix, sign, and overflow per call.
+const HEX_NIBBLE: [u8; 256] = {
+    let mut table = [0xFFu8; 256];
+    let mut digit = 0u8;
+    while digit < 10 {
+        table[(b'0' + digit) as usize] = digit;
+        digit += 1;
+    }
+    let mut letter = 0u8;
+    while letter < 6 {
+        table[(b'a' + letter) as usize] = 10 + letter;
+        table[(b'A' + letter) as usize] = 10 + letter;
+        letter += 1;
+    }
+    table
+};
+
+/// Parses a [`hex_f64`]-rendered value back to the identical bits.
+/// Exactly 16 hex digits (either case) are accepted — no signs, spaces,
+/// or radix prefixes, unlike `from_str_radix`.
+#[must_use]
+pub fn parse_hex_f64(text: &str) -> Option<f64> {
+    let bytes: &[u8; 16] = text.as_bytes().try_into().ok()?;
+    let mut bits = 0u64;
+    let mut invalid = 0u8;
+    for &b in bytes {
+        let nibble = HEX_NIBBLE[b as usize];
+        invalid |= nibble;
+        bits = (bits << 4) | u64::from(nibble & 0x0F);
+    }
+    // One branch for the whole value: any non-hex byte sets the 0xF0 bits.
+    (invalid & 0xF0 == 0).then(|| f64::from_bits(bits))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_are_bit_exact() {
+        for v in [
+            0.0,
+            -0.0,
+            1.0,
+            0.1,
+            f64::MIN_POSITIVE,
+            f64::MAX,
+            f64::NEG_INFINITY,
+            f64::NAN,
+            123.456e-78,
+        ] {
+            let text = hex_f64(v);
+            assert_eq!(text.len(), 16);
+            let back = parse_hex_f64(&text).expect("valid hex");
+            assert_eq!(back.to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn malformed_hex_is_rejected() {
+        assert_eq!(parse_hex_f64(""), None);
+        assert_eq!(parse_hex_f64("3ff"), None);
+        assert_eq!(parse_hex_f64("zzzzzzzzzzzzzzzz"), None);
+        assert_eq!(parse_hex_f64("3ff00000000000000"), None);
+    }
+}

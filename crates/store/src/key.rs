@@ -1,0 +1,176 @@
+//! Stable content-addressed keys over a canonical byte encoding.
+//!
+//! A [`StoreKey`] is a 128-bit FNV-1a hash of a canonical byte stream fed
+//! through a [`KeyBuilder`]. The encoding rules keep keys bit-stable across
+//! platforms, compiler versions, and thread counts:
+//!
+//! * `f64` values contribute their raw IEEE-754 bits (`f64::to_bits`),
+//!   matching the `SweepCheckpoint` hex convention — two floats produce the
+//!   same key contribution iff they are bit-identical;
+//! * integers contribute fixed-width little-endian bytes;
+//! * strings are length-prefixed so adjacent fields cannot alias
+//!   (`"ab" + "c"` and `"a" + "bc"` hash differently).
+//!
+//! The hash is implemented in-crate (no external dependencies) and is *not*
+//! cryptographic: it defends against accidental collisions in a result
+//! cache, not against adversaries.
+
+/// FNV-1a 128-bit offset basis.
+const FNV_OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+
+/// FNV-1a 128-bit prime.
+const FNV_PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+
+/// A stable 128-bit content hash identifying one store entry.
+///
+/// Rendered as 32 lowercase hex digits — the on-disk file stem and the
+/// handle users pass to `replay <hash>`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StoreKey(u128);
+
+impl StoreKey {
+    /// The raw 128-bit value.
+    #[must_use]
+    pub fn value(self) -> u128 {
+        self.0
+    }
+
+    /// Renders the key as 32 lowercase hex digits.
+    #[must_use]
+    pub fn to_hex(self) -> String {
+        format!("{:032x}", self.0)
+    }
+
+    /// Parses a key from exactly 32 hex digits (case-insensitive).
+    #[must_use]
+    pub fn from_hex(text: &str) -> Option<Self> {
+        if text.len() != 32 || !text.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return None;
+        }
+        u128::from_str_radix(text, 16).ok().map(Self)
+    }
+}
+
+impl std::fmt::Display for StoreKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+/// Streaming builder for a [`StoreKey`].
+///
+/// ```
+/// use cordoba_store::KeyBuilder;
+///
+/// let mut k = KeyBuilder::new("op_time_sweep");
+/// k.push_f64(1.5);
+/// k.push_u64(29);
+/// k.push_str("xr_5_kernels");
+/// let key = k.finish();
+/// assert_eq!(key.to_hex().len(), 32);
+/// ```
+#[derive(Debug, Clone)]
+pub struct KeyBuilder {
+    state: u128,
+}
+
+impl KeyBuilder {
+    /// Starts a key stream for one entry kind; the kind participates in the
+    /// hash so identical payloads under different kinds cannot collide.
+    #[must_use]
+    pub fn new(kind: &str) -> Self {
+        let mut builder = Self { state: FNV_OFFSET };
+        builder.push_str(kind);
+        builder
+    }
+
+    /// Feeds raw bytes into the hash.
+    pub fn push_bytes(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            self.state ^= u128::from(byte);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Feeds a `u64` as 8 little-endian bytes.
+    pub fn push_u64(&mut self, value: u64) {
+        self.push_bytes(&value.to_le_bytes());
+    }
+
+    /// Feeds an `f64` as its raw IEEE-754 bit pattern.
+    pub fn push_f64(&mut self, value: f64) {
+        self.push_u64(value.to_bits());
+    }
+
+    /// Feeds a string, length-prefixed so field boundaries cannot alias.
+    pub fn push_str(&mut self, value: &str) {
+        self.push_u64(value.len() as u64);
+        self.push_bytes(value.as_bytes());
+    }
+
+    /// Finalizes the stream into a [`StoreKey`].
+    #[must_use]
+    pub fn finish(self) -> StoreKey {
+        StoreKey(self.state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_are_deterministic() {
+        let build = || {
+            let mut k = KeyBuilder::new("kind");
+            k.push_f64(3.5);
+            k.push_u64(7);
+            k.push_str("name");
+            k.finish()
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn field_boundaries_do_not_alias() {
+        let mut a = KeyBuilder::new("k");
+        a.push_str("ab");
+        a.push_str("c");
+        let mut b = KeyBuilder::new("k");
+        b.push_str("a");
+        b.push_str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn kind_participates_in_key() {
+        let mut a = KeyBuilder::new("eval_space");
+        a.push_u64(1);
+        let mut b = KeyBuilder::new("op_time_sweep");
+        b.push_u64(1);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn f64_keying_is_bit_exact() {
+        let mut a = KeyBuilder::new("k");
+        a.push_f64(0.0);
+        let mut b = KeyBuilder::new("k");
+        b.push_f64(-0.0);
+        // +0.0 == -0.0 numerically but the bit patterns differ; canonical
+        // encoding keys on bits, so these are distinct entries.
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn hex_round_trip() {
+        let mut k = KeyBuilder::new("k");
+        k.push_u64(42);
+        let key = k.finish();
+        let hex = key.to_hex();
+        assert_eq!(hex.len(), 32);
+        assert_eq!(StoreKey::from_hex(&hex), Some(key));
+        assert_eq!(StoreKey::from_hex("zz"), None);
+        assert_eq!(StoreKey::from_hex(&hex[..31]), None);
+    }
+}
