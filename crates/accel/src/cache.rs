@@ -57,6 +57,15 @@ use std::sync::Mutex;
 /// Store entry kind for persisted embodied-carbon values.
 const STORE_KIND: &str = "embodied";
 
+/// Process-wide lookup accounting by serving tier, exported as
+/// `accel_embodied_cache_lookups{tier="..."}`: `memory` and `persistent`
+/// are the two hit tiers, `compute` is a miss that ran the model.
+static CACHE_LOOKUPS: cordoba_obs::LabeledCounter = cordoba_obs::LabeledCounter::new(
+    "accel/embodied_cache/lookups",
+    "tier",
+    &["memory", "persistent", "compute"],
+);
+
 /// Hit/miss counters for an [`EmbodiedCache`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
@@ -129,6 +138,7 @@ impl EmbodiedCache {
         let key = fingerprint(config);
         if let Some(cached) = self.lock().get(&key).copied() {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            CACHE_LOOKUPS.incr(0);
             cordoba_obs::record(&cordoba_obs::Event::CacheHit);
             return Ok(cached);
         }
@@ -137,6 +147,7 @@ impl EmbodiedCache {
             // The persistent tier served without running the model, so this
             // still counts as a cache hit.
             self.hits.fetch_add(1, Ordering::Relaxed);
+            CACHE_LOOKUPS.incr(1);
             cordoba_obs::record(&cordoba_obs::Event::CacheHit);
             return Ok(persisted);
         }
@@ -147,6 +158,7 @@ impl EmbodiedCache {
         self.lock().insert(key, value);
         self.persistent_write(config, value);
         self.misses.fetch_add(1, Ordering::Relaxed);
+        CACHE_LOOKUPS.incr(2);
         cordoba_obs::record(&cordoba_obs::Event::CacheMiss);
         Ok(value)
     }

@@ -179,6 +179,13 @@ fn per_call_ns(batch: u64, f: impl Fn()) -> u128 {
 /// The disabled-overhead probe counter (satellite guard: a disabled
 /// registry must cost a couple of relaxed loads per update, nothing more).
 static OVERHEAD_PROBE: cordoba_obs::Counter = cordoba_obs::Counter::new("bench/overhead_probe");
+
+/// Disabled-overhead probe for the labeled-counter update path.
+static LABELED_PROBE: cordoba_obs::LabeledCounter =
+    cordoba_obs::LabeledCounter::new("bench/labeled_probe", "tier", &["a", "b"]);
+
+/// Disabled-overhead probe for the gauge update path.
+static GAUGE_PROBE: cordoba_obs::Gauge = cordoba_obs::Gauge::new("bench/gauge_probe");
 /// Counts loop iterations in the baseline arm so both arms do one atomic
 /// add per iteration and the probe isolates the enablement-check cost.
 static BASELINE_SINK: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
@@ -621,6 +628,18 @@ fn main() {
             OVERHEAD_PROBE.add(black_box(1));
         }),
     ));
+    results.push((
+        "obs/disabled_overhead/labeled".to_owned(),
+        per_call_ns(batch, || {
+            LABELED_PROBE.incr(black_box(1));
+        }),
+    ));
+    results.push((
+        "obs/disabled_overhead/gauge".to_owned(),
+        per_call_ns(batch, || {
+            GAUGE_PROBE.set(black_box(1.0));
+        }),
+    ));
 
     // With the registry live, re-run the cache-sharing sweep and a β-solve
     // so the recorded file carries the counters those paths emit.
@@ -632,6 +651,18 @@ fn main() {
     for (name, value) in cordoba_obs::counter_snapshot() {
         results.push((format!("obs/counter/{name}"), u128::from(value)));
     }
+
+    // obs/prom_render — cost of rendering the now-populated registry in
+    // Prometheus text exposition format (what a scrape endpoint would pay).
+    let rendered = cordoba_obs::render_prometheus();
+    cordoba_obs::validate_prometheus_text(&rendered)
+        .unwrap_or_else(|e| panic!("bench registry renders invalid exposition: {e}"));
+    results.push((
+        "obs/prom_render".to_owned(),
+        median_ns(iters, || {
+            black_box(cordoba_obs::render_prometheus());
+        }),
+    ));
     cordoba_obs::set_metrics_enabled(false);
 
     let mut json = String::from("{\n");

@@ -19,7 +19,7 @@ use crate::error::CarbonError;
 use crate::integral::CiIntegral;
 use crate::intensity::{CiSource, ConstantCi, DiurnalCi, TraceCi};
 use crate::units::{CarbonIntensity, CarbonIntensitySeconds, Seconds};
-use cordoba_obs::{Counter, Event};
+use cordoba_obs::{Counter, Event, LabeledCounter};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -31,6 +31,16 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// [`FallbackCi::health`].
 static FALLBACK_QUERIES: Counter = Counter::new("carbon/fallback/queries");
 static FALLBACK_REJECTED: Counter = Counter::new("carbon/fallback/rejected");
+
+/// Per-tier hit counts, labeled positionally after the [`FallbackCi::standard`]
+/// chain (trace → diurnal → constant); deeper tiers of a custom chain land
+/// in the trailing `other` cell. Exported as
+/// `carbon_fallback_tier_hits{tier="..."}` in the Prometheus rendering.
+static FALLBACK_TIER_HITS: LabeledCounter = LabeledCounter::new(
+    "carbon/fallback/tier_hits",
+    "tier",
+    &["trace", "diurnal", "constant", "other"],
+);
 
 /// The zero-based tier index as the `u64` payload of a tier-switch event.
 fn tier_index(index: usize) -> u64 {
@@ -289,6 +299,7 @@ impl CiSource for FallbackCi {
             let value = tier.source.at(t);
             if value.is_finite() && value.value() >= 0.0 {
                 tier.hits.fetch_add(1, Ordering::Relaxed);
+                FALLBACK_TIER_HITS.incr(index);
                 if index > 0 {
                     cordoba_obs::record(&Event::FallbackTierSwitch {
                         tier: tier_index(index),
@@ -347,6 +358,7 @@ impl CiIntegral for FallbackCi {
                 let part = tier.source.integral_over(a, b);
                 if part.is_finite() && part.value() >= 0.0 {
                     tier.hits.fetch_add(1, Ordering::Relaxed);
+                    FALLBACK_TIER_HITS.incr(index);
                     if index > 0 {
                         cordoba_obs::record(&Event::FallbackTierSwitch {
                             tier: tier_index(index),

@@ -79,6 +79,7 @@ COMMANDS:
     doctor       sanity-check a trace/design CSV and print repair reports
                  (with --metrics alone: run the built-in self-check probe)
     trace-check  validate a Chrome trace-event JSON file
+    profile      aggregate a Chrome trace into a per-span self-time profile
     replay       re-emit a stored run by hash without recomputing
     cache        inspect or evict the persistent result store
     kernels      list the workload kernels
@@ -98,10 +99,12 @@ parallel sweeps (default: all cores). Results are identical at any thread
 count; only wall-clock time changes.
 
 Observability (zero overhead when off; never changes results):
-    --trace-out <file>  record spans/events and write Chrome trace-event
-                        JSON (open in chrome://tracing or Perfetto)
-    --metrics           append the metrics registry (counters/histograms)
-                        to the output as JSON lines
+    --trace-out <file>    record spans/events and write Chrome trace-event
+                          JSON (open in chrome://tracing or Perfetto)
+    --metrics             append the metrics registry (counters/histograms)
+                          to the output as JSON lines
+    --profile-out <file>  record spans and write a per-name self/total-time
+                          profile as JSON (see also the `profile` command)
 
 Run `cordoba <COMMAND> --help` for per-command options.
 ";
@@ -127,6 +130,7 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "eliminate" => cmd_eliminate(&args),
         "doctor" => cmd_doctor(&args),
         "trace-check" => cmd_trace_check(&args),
+        "profile" => cmd_profile(&args),
         "replay" => cmd_replay(&args),
         "cache" => cmd_cache(&args),
         "kernels" => cmd_kernels(&args),
@@ -140,14 +144,18 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
     obs.finish(result)
 }
 
-/// The global observability options: `--trace-out <file>` and `--metrics`.
+/// The global observability options: `--trace-out <file>`, `--metrics`,
+/// and `--profile-out <file>`.
 ///
 /// `--trace-out` enables both tracing *and* metrics (so the exported trace
-/// always carries counter tracks); `--metrics` enables the registry alone.
-/// Observation is a pure side channel: enabling either never changes a
-/// command's computed results, only what is reported about them.
+/// always carries counter tracks); `--metrics` enables the registry alone;
+/// `--profile-out` enables tracing and aggregates the recorded span tree
+/// into a per-name self/total-time profile written as JSON.
+/// Observation is a pure side channel: enabling any of them never changes
+/// a command's computed results, only what is reported about them.
 struct ObsOptions {
     trace_out: Option<String>,
+    profile_out: Option<String>,
     metrics: bool,
 }
 
@@ -155,6 +163,7 @@ impl ObsOptions {
     fn from_args(args: &Args) -> Self {
         Self {
             trace_out: args.get("trace-out").map(str::to_owned),
+            profile_out: args.get("profile-out").map(str::to_owned),
             metrics: args.flag("metrics"),
         }
     }
@@ -164,13 +173,16 @@ impl ObsOptions {
             cordoba_obs::set_tracing_enabled(true);
             cordoba_obs::set_metrics_enabled(true);
         }
+        if self.profile_out.is_some() {
+            cordoba_obs::set_tracing_enabled(true);
+        }
         if self.metrics {
             cordoba_obs::set_metrics_enabled(true);
         }
     }
 
-    /// Appends the metrics dump and writes the trace file, then switches
-    /// both layers back off (draining the span buffer) so repeated
+    /// Appends the metrics dump, writes the profile and trace files, then
+    /// switches both layers back off (draining the span buffer) so repeated
     /// in-process `run` calls start from a clean slate.
     fn finish(&self, mut result: Result<String, CliError>) -> Result<String, CliError> {
         if self.metrics {
@@ -180,6 +192,23 @@ impl ObsOptions {
         }
         if self.metrics || self.trace_out.is_some() {
             cordoba_obs::set_metrics_enabled(false);
+        }
+        // The profile aggregates the same span buffer the trace exports,
+        // so it must be computed before the drain below.
+        if let Some(path) = &self.profile_out {
+            if result.is_ok() {
+                let report = cordoba_obs::profile_report();
+                match std::fs::write(path, report.to_json()) {
+                    Ok(()) => {
+                        if let Ok(out) = &mut result {
+                            let _ = writeln!(out, "profile written to {path}");
+                        }
+                    }
+                    Err(e) => {
+                        result = Err(CliError::Usage(format!("cannot write {path}: {e}")));
+                    }
+                }
+            }
         }
         if let Some(path) = &self.trace_out {
             let trace = cordoba_obs::drain_chrome_trace();
@@ -196,6 +225,9 @@ impl ObsOptions {
                     }
                 }
             }
+        } else if self.profile_out.is_some() {
+            cordoba_obs::clear_trace();
+            cordoba_obs::set_tracing_enabled(false);
         }
         result
     }
@@ -298,6 +330,7 @@ fn cmd_metrics(args: &Args) -> Result<String, CliError> {
         "grid",
         "threads",
         "trace-out",
+        "profile-out",
         "metrics",
         "help",
     ])?;
@@ -359,9 +392,13 @@ fn cmd_dse(args: &Args) -> Result<String, CliError> {
             "cordoba dse --task <all|xr10|ai10|xr5|ai5> [--grid <name>] \
                    [--lo <decade>] [--hi <decade>] [--lenient]\n\
                    [--deadline <dur>] [--checkpoint <file>] [--resume <file>]\n\
-                   [--store <dir>]\n\
+                   [--store <dir>] [--attribution <file|->]\n\
                    --lenient quarantines configurations that fail to \
                    evaluate and sweeps the rest\n\
+                   --attribution writes the carbon attribution ledger \
+                   (embodied vs operational vs quarantined tCDP per \
+                   configuration, reconciled bit-for-bit against the \
+                   sweep) as JSON, or appends a table when the file is `-`\n\
                    --deadline bounds the sweep (e.g. 5s, 500ms); an \
                    interrupted sweep writes its progress to --checkpoint\n\
                    --resume continues a checkpointed sweep to the exact \
@@ -382,8 +419,10 @@ fn cmd_dse(args: &Args) -> Result<String, CliError> {
         "checkpoint",
         "resume",
         "store",
+        "attribution",
         "threads",
         "trace-out",
+        "profile-out",
         "metrics",
         "help",
     ])?;
@@ -400,6 +439,13 @@ fn cmd_dse(args: &Args) -> Result<String, CliError> {
     }
     let deadline = args.get("deadline").map(parse_duration).transpose()?;
     if let Some(path) = args.get("resume") {
+        if args.get("attribution").is_some() {
+            return Err(CliError::Usage(
+                "a resumed checkpoint no longer carries the evaluation quarantine; \
+                 re-run the sweep with --attribution instead"
+                    .to_owned(),
+            ));
+        }
         for conflicting in ["task", "grid", "lo", "hi"] {
             if args.get(conflicting).is_some() {
                 return Err(CliError::Usage(format!(
@@ -427,10 +473,19 @@ fn cmd_dse(args: &Args) -> Result<String, CliError> {
         return Err(CliError::Usage("--hi must exceed --lo".to_owned()));
     }
     if let Some(dir) = args.get("store") {
-        return dse_stored(dir, &task, ci, lo, hi, args.flag("lenient"));
+        return dse_stored(
+            dir,
+            &task,
+            ci,
+            lo,
+            hi,
+            args.flag("lenient"),
+            args.get("attribution"),
+        );
     }
 
     let mut out = String::new();
+    let mut quarantined: Vec<EvalFailure> = Vec::new();
     let points = if args.flag("lenient") {
         let eval = evaluate_space_resilient(&design_space(), &task, &EmbodiedModel::default());
         if eval.degraded() {
@@ -449,6 +504,7 @@ fn cmd_dse(args: &Args) -> Result<String, CliError> {
                 "every configuration failed to evaluate".to_owned(),
             ));
         }
+        quarantined = eval.failures;
         eval.points
     } else {
         evaluate_space(&design_space(), &task, &EmbodiedModel::default())?
@@ -465,10 +521,39 @@ fn cmd_dse(args: &Args) -> Result<String, CliError> {
     match run {
         SupervisedSweep::Complete(sweep) => {
             render_sweep(&sweep, &mut out)?;
+            if let Some(dest) = args.get("attribution") {
+                write_attribution(&sweep, &quarantined, dest, &mut out)?;
+            }
             Ok(out)
         }
+        // An interrupted sweep has no complete tCDP matrix to attribute;
+        // the checkpoint carries the progress instead.
         SupervisedSweep::Partial(partial) => dse_checkpoint(args, partial, out),
     }
+}
+
+/// Builds the carbon attribution ledger for a completed sweep, reconciles
+/// it bit-for-bit against the sweep's tCDP matrix, and delivers it: JSON
+/// to a file, or the human-readable table appended to `out` when `dest`
+/// is `-`.
+fn write_attribution(
+    sweep: &OpTimeSweep,
+    quarantined: &[EvalFailure],
+    dest: &str,
+    out: &mut String,
+) -> Result<(), CliError> {
+    let report = AttributionReport::from_sweep(sweep)?.with_quarantine(quarantined);
+    report
+        .check_against(sweep)
+        .map_err(|e| CliError::Usage(format!("attribution ledger failed to reconcile: {e}")))?;
+    if dest == "-" {
+        out.push_str(&report.to_table());
+    } else {
+        std::fs::write(dest, report.to_json())
+            .map_err(|e| CliError::Usage(format!("cannot write {dest}: {e}")))?;
+        let _ = writeln!(out, "attribution written to {dest}");
+    }
+    Ok(())
 }
 
 /// Renders a completed operational-time sweep: the optimal-design
@@ -526,6 +611,11 @@ fn dse_run_key(task: &Task, ci: CarbonIntensity, lo: i32, hi: i32, lenient: bool
 /// (space evaluation, tCDP matrix) are memoized individually, so even a
 /// partial overlap with a prior run skips recomputation. Cold and warm
 /// outputs are byte-identical.
+///
+/// Only the sweep itself is memoized: an attribution request needs the
+/// live sweep object, so it bypasses the run-level memo (the stage memos
+/// underneath still serve) and the ledger is appended *after* the stored
+/// payload, keeping warm replays byte-identical with or without it.
 fn dse_stored(
     dir: &str,
     task: &Task,
@@ -533,13 +623,17 @@ fn dse_stored(
     lo: i32,
     hi: i32,
     lenient: bool,
+    attribution: Option<&str>,
 ) -> Result<String, CliError> {
     let store = open_store(dir)?;
     let key = dse_run_key(task, ci, lo, hi, lenient);
-    if let Some(lines) = store.get(RUN_KIND, key) {
-        return Ok(lines.join("\n"));
+    if attribution.is_none() {
+        if let Some(lines) = store.get(RUN_KIND, key) {
+            return Ok(lines.join("\n"));
+        }
     }
     let mut out = String::new();
+    let mut quarantined: Vec<EvalFailure> = Vec::new();
     let points = if lenient {
         let eval = evaluate_space_resilient(&design_space(), task, &EmbodiedModel::default());
         if eval.degraded() {
@@ -558,6 +652,7 @@ fn dse_stored(
                 "every configuration failed to evaluate".to_owned(),
             ));
         }
+        quarantined = eval.failures;
         eval.points
     } else {
         evaluate_space_stored(&design_space(), task, &EmbodiedModel::default(), &store)?
@@ -568,6 +663,9 @@ fn dse_stored(
     let _ = writeln!(out, "store: run {key}");
     let payload: Vec<String> = out.split('\n').map(str::to_owned).collect();
     let _ = store.put(RUN_KIND, key, &payload);
+    if let Some(dest) = attribution {
+        write_attribution(&sweep, &quarantined, dest, &mut out)?;
+    }
     Ok(out)
 }
 
@@ -648,6 +746,7 @@ fn cmd_provision(args: &Args) -> Result<String, CliError> {
         "grid",
         "threads",
         "trace-out",
+        "profile-out",
         "metrics",
         "help",
     ])?;
@@ -702,7 +801,14 @@ fn cmd_stacking(args: &Args) -> Result<String, CliError> {
     if args.flag("help") {
         return Ok("cordoba stacking [--share <embodied fraction, default 0.8>]\n".to_owned());
     }
-    args.expect_only(&["share", "threads", "trace-out", "metrics", "help"])?;
+    args.expect_only(&[
+        "share",
+        "threads",
+        "trace-out",
+        "profile-out",
+        "metrics",
+        "help",
+    ])?;
     let share = args.get_f64("share", 0.8)?;
     let model = EmbodiedModel::default();
     let kernel = KernelId::Sr512.descriptor();
@@ -759,7 +865,15 @@ fn cmd_eliminate(args: &Args) -> Result<String, CliError> {
                    --lenient skips malformed rows (reported) instead of aborting\n"
             .to_owned());
     }
-    args.expect_only(&["csv", "lenient", "threads", "trace-out", "metrics", "help"])?;
+    args.expect_only(&[
+        "csv",
+        "lenient",
+        "threads",
+        "trace-out",
+        "profile-out",
+        "metrics",
+        "help",
+    ])?;
     let path = args
         .get("csv")
         .ok_or(CliError::Args(ArgError::Missing("--csv <file>")))?;
@@ -909,8 +1023,9 @@ fn cmd_doctor(args: &Args) -> Result<String, CliError> {
                    With --metrics and no inputs: runs a built-in self-check\n\
                    probe (sanitizer, fallback tiers, embodied cache, and\n\
                    supervision health: deadline sweep, checkpoint\n\
-                   round-trip, panic isolation) and dumps the metrics\n\
-                   registry it populated.\n"
+                   round-trip, panic isolation), prints the Prometheus\n\
+                   text exposition of the registry it populated (self-\n\
+                   validated), and dumps the registry as JSON lines.\n"
             .to_owned());
     }
     args.expect_only(&[
@@ -920,6 +1035,7 @@ fn cmd_doctor(args: &Args) -> Result<String, CliError> {
         "grid",
         "threads",
         "trace-out",
+        "profile-out",
         "metrics",
         "help",
     ])?;
@@ -996,7 +1112,31 @@ fn doctor_self_check(out: &mut String) -> Result<(), CliError> {
         }
     );
     doctor_supervision(out)?;
+    doctor_prometheus(out);
     Ok(())
+}
+
+/// The Prometheus-exposition section of the `doctor --metrics` self-check:
+/// renders the registry the probes above populated in text exposition
+/// format, prints it, and self-validates the rendering with the in-crate
+/// validator (the same round-trip an external scraper would perform).
+fn doctor_prometheus(out: &mut String) {
+    let _ = writeln!(out, "prometheus exposition of the probe registry:");
+    let text = cordoba_obs::render_prometheus();
+    out.push_str(&text);
+    match cordoba_obs::validate_prometheus_text(&text) {
+        Ok(check) => {
+            let _ = writeln!(
+                out,
+                "prometheus exposition: OK ({} families: {} counters, {} gauges, \
+                 {} histograms; {} samples)",
+                check.families, check.counters, check.gauges, check.histograms, check.samples
+            );
+        }
+        Err(e) => {
+            let _ = writeln!(out, "prometheus exposition: INVALID ({e})");
+        }
+    }
 }
 
 /// Marker carried by the doctor's deliberate probe panic so the filtering
@@ -1152,7 +1292,7 @@ fn cmd_trace_check(args: &Args) -> Result<String, CliError> {
                    per-thread timestamp monotonicity.\n"
             .to_owned());
     }
-    args.expect_only(&["threads", "trace-out", "metrics", "help"])?;
+    args.expect_only(&["threads", "trace-out", "profile-out", "metrics", "help"])?;
     let path = args
         .positional()
         .first()
@@ -1165,6 +1305,37 @@ fn cmd_trace_check(args: &Args) -> Result<String, CliError> {
         "{path}: OK ({} events: {} spans, {} counters, {} threads)\n",
         check.events, check.spans, check.counters, check.threads
     ))
+}
+
+/// The `profile` command: aggregates a captured Chrome trace into the
+/// per-span-name self/total-time profile and prints it as a table.
+fn cmd_profile(args: &Args) -> Result<String, CliError> {
+    if args.flag("help") {
+        return Ok("cordoba profile <trace.json> [--top <N>]\n\
+                   Aggregates a Chrome trace (captured with --trace-out)\n\
+                   into a deterministic per-span-name profile: call count,\n\
+                   total time, self time (excluding children), and maximum\n\
+                   single-span duration. --top caps the rows shown (20).\n"
+            .to_owned());
+    }
+    args.expect_only(&[
+        "top",
+        "threads",
+        "trace-out",
+        "profile-out",
+        "metrics",
+        "help",
+    ])?;
+    let path = args
+        .positional()
+        .first()
+        .ok_or(CliError::Args(ArgError::Missing("<trace.json> path")))?;
+    let top = args.get_u32("top", 20)?;
+    let content = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Usage(format!("cannot read {path}: {e}")))?;
+    let report = cordoba_obs::profile_chrome_trace(&content)
+        .map_err(|e| CliError::Usage(format!("{path}: invalid Chrome trace: {e}")))?;
+    Ok(format!("{path}:\n{}", report.to_table(top as usize)))
 }
 
 /// Sanitizes a `time_s,ci` trace CSV and reports every repair; diagnosis
@@ -1246,7 +1417,14 @@ fn cmd_replay(args: &Args) -> Result<String, CliError> {
                    combine with --trace-out to regenerate a Chrome trace\n"
             .to_owned());
     }
-    args.expect_only(&["store", "threads", "trace-out", "metrics", "help"])?;
+    args.expect_only(&[
+        "store",
+        "threads",
+        "trace-out",
+        "profile-out",
+        "metrics",
+        "help",
+    ])?;
     let [hash] = args.positional() else {
         return Err(CliError::Usage(
             "replay expects exactly one <hash> argument".to_owned(),
@@ -1272,12 +1450,22 @@ fn cmd_cache(args: &Args) -> Result<String, CliError> {
     if args.flag("help") {
         return Ok(
             "cordoba cache <inspect|evict> --store <dir> [--kind <kind>]\n\
-                   inspect lists every stored entry (kind, hash, size)\n\
+                   inspect lists every stored entry (kind, hash, size);\n\
+                   with --metrics it also prints the process-wide store\n\
+                   hit/miss/write counters from the obs registry\n\
                    evict deletes entries; --kind restricts to one kind\n"
                 .to_owned(),
         );
     }
-    args.expect_only(&["store", "kind", "threads", "trace-out", "metrics", "help"])?;
+    args.expect_only(&[
+        "store",
+        "kind",
+        "threads",
+        "trace-out",
+        "profile-out",
+        "metrics",
+        "help",
+    ])?;
     let [action] = args.positional() else {
         return Err(CliError::Usage(
             "cache expects exactly one action: inspect or evict".to_owned(),
@@ -1307,6 +1495,22 @@ fn cmd_cache(args: &Args) -> Result<String, CliError> {
                 entries.len(),
                 total
             );
+            if args.flag("metrics") {
+                let snapshot = cordoba_obs::counter_snapshot();
+                let value = |name: &str| {
+                    snapshot
+                        .iter()
+                        .find(|(n, _)| *n == name)
+                        .map_or(0, |&(_, v)| v)
+                };
+                let _ = writeln!(
+                    out,
+                    "store ops this process: {} hits, {} misses, {} writes",
+                    value("events/store_hit"),
+                    value("events/store_miss"),
+                    value("events/store_write")
+                );
+            }
         }
         "evict" => {
             let removed = store.evict(args.get("kind"));
@@ -1361,7 +1565,7 @@ fn doctor_designs(path: &str, out: &mut String) -> Result<(), CliError> {
 }
 
 fn cmd_kernels(args: &Args) -> Result<String, CliError> {
-    args.expect_only(&["threads", "trace-out", "metrics", "help"])?;
+    args.expect_only(&["threads", "trace-out", "profile-out", "metrics", "help"])?;
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -1384,7 +1588,7 @@ fn cmd_kernels(args: &Args) -> Result<String, CliError> {
 }
 
 fn cmd_tasks(args: &Args) -> Result<String, CliError> {
-    args.expect_only(&["threads", "trace-out", "metrics", "help"])?;
+    args.expect_only(&["threads", "trace-out", "profile-out", "metrics", "help"])?;
     let mut out = String::new();
     for task in Task::evaluation_suite() {
         let kernels: Vec<&str> = task.kernels().map(KernelId::short_name).collect();
@@ -1394,7 +1598,7 @@ fn cmd_tasks(args: &Args) -> Result<String, CliError> {
 }
 
 fn cmd_grids(args: &Args) -> Result<String, CliError> {
-    args.expect_only(&["threads", "trace-out", "metrics", "help"])?;
+    args.expect_only(&["threads", "trace-out", "profile-out", "metrics", "help"])?;
     let mut out = String::new();
     for (name, ci) in [
         ("coal", grids::COAL),
@@ -1476,6 +1680,14 @@ mod tests {
         }
         assert!(run_str("dse --task nope").is_err());
         assert!(run_str("dse --lo 8 --hi 5").is_err());
+    }
+
+    /// Serializes tests that enable the global tracing layer: one run's
+    /// drain must not swallow another run's spans.
+    fn trace_test_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     /// Value of a named global counter (0 if it never registered).
@@ -1796,6 +2008,142 @@ mod tests {
     fn dse_rejects_bad_deadline() {
         let err = run_str("dse --task xr5 --deadline banana").unwrap_err();
         assert!(err.to_string().contains("duration"), "{err}");
+    }
+
+    #[test]
+    fn dse_attribution_table_appends_to_output() {
+        let out = run_str("dse --task xr5 --lo 5 --hi 7 --attribution -").unwrap();
+        assert!(out.contains("survivors:"), "{out}");
+        assert!(out.contains("attribution:"), "{out}");
+        assert!(out.contains("embodied*D"), "{out}");
+        assert!(out.contains("operational*D"), "{out}");
+        // The base sweep output is unchanged by the ledger request.
+        let plain = run_str("dse --task xr5 --lo 5 --hi 7").unwrap();
+        assert!(out.starts_with(&plain), "ledger must append, not rewrite");
+    }
+
+    #[test]
+    fn dse_attribution_json_reconciles_with_sweep() {
+        let dir = std::env::temp_dir().join("cordoba-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("attrib.json");
+        let _ = std::fs::remove_file(&path);
+        let out = run_str(&format!(
+            "dse --task ai5 --lo 5 --hi 7 --attribution {}",
+            path.display()
+        ))
+        .unwrap();
+        assert!(out.contains("attribution written to"), "{out}");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let doc = cordoba_obs::json::parse(&text).expect("ledger is valid JSON");
+        for key in ["ci_use", "task_counts", "configs", "totals", "quarantined"] {
+            assert!(doc.get(key).is_some(), "missing `{key}` in ledger");
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn dse_attribution_rides_along_with_store() {
+        let dir = std::env::temp_dir().join("cordoba-cli-test-store-attrib");
+        let _ = std::fs::remove_dir_all(&dir);
+        let base = format!("dse --task xr5 --lo 5 --hi 7 --store {}", dir.display());
+        let cold = run_str(&base).unwrap();
+        // A warm attribution request bypasses the run memo but reuses the
+        // stage memos underneath; the stored payload stays byte-identical
+        // and the ledger appends after it.
+        let with_ledger = run_str(&format!("{base} --attribution -")).unwrap();
+        assert!(with_ledger.starts_with(&cold), "{with_ledger}");
+        assert!(with_ledger.contains("attribution:"), "{with_ledger}");
+        // A later plain warm run is still served from the memo unchanged.
+        assert_eq!(run_str(&base).unwrap(), cold);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dse_attribution_conflicts_with_resume() {
+        let err = run_str("dse --resume x.ckpt --attribution -").unwrap_err();
+        assert!(err.to_string().contains("attribution"), "{err}");
+    }
+
+    #[test]
+    fn profile_verb_aggregates_a_captured_trace() {
+        let _guard = trace_test_lock();
+        let dir = std::env::temp_dir().join("cordoba-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("profile-trace.json");
+        let _ = std::fs::remove_file(&path);
+        let out = run_str(&format!(
+            "dse --task xr5 --lo 5 --hi 7 --trace-out {}",
+            path.display()
+        ))
+        .unwrap();
+        assert!(out.contains("trace written to"), "{out}");
+        let table = run_str(&format!("profile {}", path.display())).unwrap();
+        assert!(table.contains("span"), "{table}");
+        assert!(table.contains("self_ns"), "{table}");
+        assert!(table.contains("core/evaluate_space"), "{table}");
+        // --top caps the table body.
+        let capped = run_str(&format!("profile {} --top 1", path.display())).unwrap();
+        assert!(capped.lines().count() < table.lines().count(), "{capped}");
+        // Usage errors: missing path, unreadable file, invalid trace.
+        assert!(run_str("profile").is_err());
+        assert!(run_str("profile /nonexistent/trace.json").is_err());
+        let bad = dir.join("not-a-trace.json");
+        std::fs::write(&bad, "hello").unwrap();
+        assert!(run_str(&format!("profile {}", bad.display())).is_err());
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&bad);
+    }
+
+    #[test]
+    fn profile_out_writes_profile_json() {
+        let _guard = trace_test_lock();
+        let dir = std::env::temp_dir().join("cordoba-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sweep-profile.json");
+        let _ = std::fs::remove_file(&path);
+        let out = run_str(&format!(
+            "dse --task xr5 --lo 5 --hi 7 --profile-out {}",
+            path.display()
+        ))
+        .unwrap();
+        assert!(out.contains("profile written to"), "{out}");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let doc = cordoba_obs::json::parse(&text).expect("profile is valid JSON");
+        for key in ["entries", "wall_ns", "spans", "threads"] {
+            assert!(doc.get(key).is_some(), "missing `{key}` in profile");
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn doctor_prometheus_probe_self_validates() {
+        let out = run_str("doctor --metrics").unwrap();
+        assert!(out.contains("# TYPE"), "{out}");
+        assert!(out.contains("prometheus exposition: OK"), "{out}");
+    }
+
+    #[test]
+    fn cache_inspect_metrics_prints_store_counters() {
+        let dir = std::env::temp_dir().join("cordoba-cli-test-store-inspect");
+        let _ = std::fs::remove_dir_all(&dir);
+        run_str(&format!(
+            "dse --task xr5 --lo 5 --hi 7 --store {}",
+            dir.display()
+        ))
+        .unwrap();
+        let plain = run_str(&format!("cache inspect --store {}", dir.display())).unwrap();
+        assert!(!plain.contains("store ops this process"), "{plain}");
+        let with_counters = run_str(&format!(
+            "cache inspect --store {} --metrics",
+            dir.display()
+        ))
+        .unwrap();
+        assert!(
+            with_counters.contains("store ops this process:"),
+            "{with_counters}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -29,6 +29,9 @@
 //! * [`optimize`] — eq. IV.1 constrained minimization;
 //! * [`pareto`] / [`lagrange`] — §IV-B elimination under unknown `CI_use(t)`;
 //! * [`dse`] — operational-time sweeps and design-space elimination (Fig. 8);
+//! * [`attrib`] — the carbon attribution ledger: embodied vs operational
+//!   vs quarantined-loss decomposition of a sweep's tCDP, reconciled
+//!   bit-for-bit against the sweep matrix;
 //! * [`supervise`] — deadlines, cancellation, panic isolation, and
 //!   checkpoint/resume for the long-running pipelines above;
 //! * [`uncertainty`] — Fig. 6 domain studies, robustness and regret;
@@ -55,6 +58,7 @@
 //! # Ok::<(), cordoba::CoreError>(())
 //! ```
 
+pub mod attrib;
 pub mod case_ics;
 pub mod chart;
 pub mod dse;
@@ -74,6 +78,9 @@ pub use error::CoreError;
 
 /// Convenience re-exports of the most commonly used items.
 pub mod prelude {
+    pub use crate::attrib::{
+        AttributionReport, BetaAttribution, ConfigAttribution, QuarantinedLoss, TaskCountTotals,
+    };
     pub use crate::case_ics::{candidates, design_points, table_one, table_two, Scenario};
     pub use crate::chart::AsciiChart;
     pub use crate::dse::{

@@ -50,13 +50,24 @@ pub mod chrome;
 pub mod event;
 pub mod json;
 pub mod metrics;
+pub mod profile;
+pub mod prom;
 pub mod span;
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
 pub use chrome::{drain_chrome_trace, export_chrome_trace, validate_chrome_trace, TraceCheck};
 pub use event::{record, Event};
-pub use metrics::{counter_snapshot, dump_json_lines, Counter, Histogram};
+pub use metrics::{
+    counter_snapshot, dump_json_lines, gauge_snapshot, labeled_counter_snapshot, Counter, Gauge,
+    Histogram, LabeledCounter, MAX_LABEL_CELLS,
+};
+pub use profile::{profile_chrome_trace, profile_report, ProfileEntry, ProfileReport};
+pub use prom::{
+    parse_prometheus_text, registry_snapshot, render_prometheus, render_snapshot,
+    validate_prometheus_text, CounterState, GaugeState, HistogramState, PromCheck, PromDoc,
+    PromSample, RegistrySnapshot,
+};
 pub use span::{clear_trace, span, span_timed, span_with, SpanGuard};
 
 /// Global metrics switch; off by default so instrumented code costs one

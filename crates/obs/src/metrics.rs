@@ -17,11 +17,21 @@ use std::sync::{Mutex, MutexGuard};
 /// plus a zero bucket.
 pub const HISTOGRAM_BUCKETS: usize = 65;
 
+/// Maximum label cells a [`LabeledCounter`] can carry; small and fixed so
+/// the cell array lives inline in the static with no allocation.
+pub const MAX_LABEL_CELLS: usize = 8;
+
 /// Registered counters, in first-touch order (sorted by name at dump time).
 static COUNTERS: Mutex<Vec<&'static Counter>> = Mutex::new(Vec::new());
 
 /// Registered histograms, in first-touch order.
 static HISTOGRAMS: Mutex<Vec<&'static Histogram>> = Mutex::new(Vec::new());
+
+/// Registered labeled counters, in first-touch order.
+static LABELED: Mutex<Vec<&'static LabeledCounter>> = Mutex::new(Vec::new());
+
+/// Registered gauges, in first-touch order.
+static GAUGES: Mutex<Vec<&'static Gauge>> = Mutex::new(Vec::new());
 
 /// Recovers the guard from a poisoned registry lock: the registry holds
 /// plain pointers, so a panic mid-push cannot leave it inconsistent.
@@ -106,6 +116,182 @@ impl Counter {
     }
 }
 
+/// A [`Counter`] family keyed by one static label with a fixed set of
+/// values — e.g. `carbon/fallback/tier_hits{tier="trace"}`. Each label
+/// value owns one atomic cell, so updates stay lock- and allocation-free:
+///
+/// ```
+/// use cordoba_obs::LabeledCounter;
+///
+/// static HITS: LabeledCounter =
+///     LabeledCounter::new("example/tier_hits", "tier", &["trace", "constant"]);
+///
+/// cordoba_obs::set_metrics_enabled(true);
+/// HITS.incr(0); // tier="trace"
+/// assert_eq!(HITS.cell_value(0), 1);
+/// ```
+///
+/// Out-of-range cell indices land in the *last* cell, so declaring a
+/// trailing catch-all value (e.g. `"other"`) gives open-ended indices a
+/// well-defined label instead of a panic.
+#[derive(Debug)]
+pub struct LabeledCounter {
+    name: &'static str,
+    label: &'static str,
+    values: &'static [&'static str],
+    cells: [AtomicU64; MAX_LABEL_CELLS],
+    registered: AtomicBool,
+}
+
+impl LabeledCounter {
+    /// A new labeled counter; `values` are the label values, one cell each.
+    ///
+    /// # Panics
+    ///
+    /// Panics at `const` evaluation time when `values` is empty or longer
+    /// than [`MAX_LABEL_CELLS`] — a declaration bug, never a runtime one.
+    #[must_use]
+    pub const fn new(
+        name: &'static str,
+        label: &'static str,
+        values: &'static [&'static str],
+    ) -> Self {
+        assert!(
+            !values.is_empty() && values.len() <= MAX_LABEL_CELLS,
+            "label values must number 1..=MAX_LABEL_CELLS"
+        ); // cordoba-lint: allow(no-panic) — const-eval declaration check
+        Self {
+            name,
+            label,
+            values,
+            cells: [const { AtomicU64::new(0) }; MAX_LABEL_CELLS],
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    /// The family's registry name.
+    #[must_use]
+    pub const fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The label key.
+    #[must_use]
+    pub const fn label(&self) -> &'static str {
+        self.label
+    }
+
+    /// The label values, in cell order.
+    #[must_use]
+    pub const fn values(&self) -> &'static [&'static str] {
+        self.values
+    }
+
+    /// Adds `n` to the cell for label value `cell` (clamped to the last
+    /// declared value); a no-op while metrics are disabled.
+    #[inline]
+    pub fn add(&'static self, cell: usize, n: u64) {
+        if !metrics_enabled() {
+            return;
+        }
+        if !self.registered.load(Ordering::Relaxed) {
+            self.register();
+        }
+        let index = cell.min(self.values.len() - 1);
+        self.cells[index].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one to the cell for label value `cell`; a no-op while metrics
+    /// are disabled.
+    #[inline]
+    pub fn incr(&'static self, cell: usize) {
+        self.add(cell, 1);
+    }
+
+    /// The current value of cell `cell` (zero when out of range; readable
+    /// even while metrics are disabled).
+    #[must_use]
+    pub fn cell_value(&self, cell: usize) -> u64 {
+        self.cells
+            .get(cell)
+            .map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+
+    /// One-time registration into the global registry.
+    #[cold]
+    fn register(&'static self) {
+        if self.registered.swap(true, Ordering::Relaxed) {
+            return;
+        }
+        lock(&LABELED).push(self);
+    }
+}
+
+/// A named gauge holding one `f64` (stored as IEEE-754 bits in an
+/// `AtomicU64`), for last-observed values that can move both ways —
+/// e.g. a cache occupancy or the current β of an in-flight solve.
+///
+/// ```
+/// use cordoba_obs::Gauge;
+///
+/// static DEPTH: Gauge = Gauge::new("example/queue_depth");
+///
+/// cordoba_obs::set_metrics_enabled(true);
+/// DEPTH.set(3.0);
+/// assert_eq!(DEPTH.value(), 3.0);
+/// ```
+#[derive(Debug)]
+pub struct Gauge {
+    name: &'static str,
+    bits: AtomicU64,
+    registered: AtomicBool,
+}
+
+impl Gauge {
+    /// A new gauge named `name`, initially `0.0`.
+    #[must_use]
+    pub const fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            bits: AtomicU64::new(0),
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    /// The gauge's registry name.
+    #[must_use]
+    pub const fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Sets the gauge; a no-op while metrics are disabled.
+    #[inline]
+    pub fn set(&'static self, value: f64) {
+        if !metrics_enabled() {
+            return;
+        }
+        if !self.registered.load(Ordering::Relaxed) {
+            self.register();
+        }
+        self.bits.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// The current value (readable even while metrics are disabled).
+    #[must_use]
+    pub fn value(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+
+    /// One-time registration into the global registry.
+    #[cold]
+    fn register(&'static self) {
+        if self.registered.swap(true, Ordering::Relaxed) {
+            return;
+        }
+        lock(&GAUGES).push(self);
+    }
+}
+
 /// A named fixed-bucket histogram of `u64` samples (typically durations in
 /// nanoseconds), bucketed by power of two.
 ///
@@ -177,6 +363,19 @@ impl Histogram {
         }
     }
 
+    /// Snapshot of every bucket count, in bucket-index order (index `0` is
+    /// the zero bucket; index `i ≥ 1` covers `[2^(i-1), 2^i)`). This is the
+    /// raw, non-cumulative view the Prometheus renderer folds into
+    /// cumulative `le` buckets.
+    #[must_use]
+    pub fn bucket_counts(&self) -> [u64; HISTOGRAM_BUCKETS] {
+        let mut out = [0u64; HISTOGRAM_BUCKETS];
+        for (slot, bucket) in out.iter_mut().zip(&self.buckets) {
+            *slot = bucket.load(Ordering::Relaxed);
+        }
+        out
+    }
+
     /// Snapshot of the non-empty buckets as `(floor, count)` pairs.
     #[must_use]
     pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
@@ -219,12 +418,44 @@ pub(crate) fn histogram_snapshot() -> Vec<&'static Histogram> {
     out
 }
 
-/// Dumps the registry as JSON lines — one object per registered counter and
-/// histogram, sorted by name within each kind:
+/// Snapshot of every registered labeled-counter cell as
+/// `(family name, label key, label value, count)`, sorted by family name
+/// with cells in declared order.
+#[must_use]
+pub fn labeled_counter_snapshot() -> Vec<(&'static str, &'static str, &'static str, u64)> {
+    let mut families: Vec<&'static LabeledCounter> = lock(&LABELED).iter().copied().collect();
+    families.sort_unstable_by_key(|c| c.name);
+    families
+        .iter()
+        .flat_map(|family| {
+            family
+                .values
+                .iter()
+                .enumerate()
+                .map(|(i, value)| (family.name, family.label, *value, family.cell_value(i)))
+        })
+        .collect()
+}
+
+/// Snapshot of every registered gauge as `(name, value)`, sorted by name.
+#[must_use]
+pub fn gauge_snapshot() -> Vec<(&'static str, f64)> {
+    let mut out: Vec<(&'static str, f64)> =
+        lock(&GAUGES).iter().map(|g| (g.name, g.value())).collect();
+    out.sort_unstable_by_key(|(name, _)| *name);
+    out
+}
+
+/// Dumps the registry as JSON lines — one object per registered counter,
+/// labeled-counter cell, gauge, and histogram, sorted by name within each
+/// kind. Histogram buckets carry their power-of-two floors first-class, so
+/// consumers never re-derive the boundaries:
 ///
 /// ```text
 /// {"type":"counter","name":"carbon/fallback/queries","value":12}
-/// {"type":"histogram","name":"core/evaluate_space_ns","count":3,"sum":41872,"buckets":[[8192,2],[16384,1]]}
+/// {"type":"counter","name":"core/store/ops","labels":{"op":"hit"},"value":3}
+/// {"type":"gauge","name":"accel/embodied_cache/entries","value":121}
+/// {"type":"histogram","name":"core/evaluate_space_ns","count":3,"sum":41872,"buckets":[{"bucket_floor":8192,"count":2},{"bucket_floor":16384,"count":1}]}
 /// ```
 #[must_use]
 pub fn dump_json_lines() -> String {
@@ -237,6 +468,23 @@ pub fn dump_json_lines() -> String {
             crate::chrome::escape_json(name)
         );
     }
+    for (name, label, label_value, value) in labeled_counter_snapshot() {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"counter\",\"name\":\"{}\",\"labels\":{{\"{}\":\"{}\"}},\"value\":{value}}}",
+            crate::chrome::escape_json(name),
+            crate::chrome::escape_json(label),
+            crate::chrome::escape_json(label_value)
+        );
+    }
+    for (name, value) in gauge_snapshot() {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"gauge\",\"name\":\"{}\",\"value\":{}}}",
+            crate::chrome::escape_json(name),
+            json_f64(value)
+        );
+    }
     for histogram in histogram_snapshot() {
         let _ = write!(
             out,
@@ -246,11 +494,26 @@ pub fn dump_json_lines() -> String {
             histogram.sum()
         );
         for (i, (floor, n)) in histogram.nonzero_buckets().into_iter().enumerate() {
-            let _ = write!(out, "{}[{floor},{n}]", if i > 0 { "," } else { "" });
+            let _ = write!(
+                out,
+                "{}{{\"bucket_floor\":{floor},\"count\":{n}}}",
+                if i > 0 { "," } else { "" }
+            );
         }
         out.push_str("]}\n");
     }
     out
+}
+
+/// Renders an `f64` as a JSON value: finite values round-trip through the
+/// shortest decimal form, non-finite ones become `null` (JSON has no
+/// Inf/NaN literals).
+pub(crate) fn json_f64(value: f64) -> String {
+    if value.is_finite() {
+        format!("{value}")
+    } else {
+        "null".to_owned()
+    }
 }
 
 #[cfg(test)]
@@ -298,6 +561,68 @@ mod tests {
         // 1000 lands in [512, 1024).
         assert!(buckets.contains(&(512, 1)), "512 bucket: {buckets:?}");
         assert!(dump_json_lines().contains("\"name\":\"test/metrics/hist\""));
+    }
+
+    #[test]
+    fn labeled_counter_cells_accumulate_and_clamp() {
+        static TIERS: LabeledCounter = LabeledCounter::new(
+            "test/metrics/tiers",
+            "tier",
+            &["trace", "constant", "other"],
+        );
+        let _guard = crate::test_lock();
+        crate::set_metrics_enabled(true);
+        TIERS.incr(0);
+        TIERS.add(1, 2);
+        // Out-of-range cells land in the trailing catch-all.
+        TIERS.incr(17);
+        assert_eq!(TIERS.cell_value(0), 1);
+        assert_eq!(TIERS.cell_value(1), 2);
+        assert_eq!(TIERS.cell_value(2), 1);
+        assert_eq!(TIERS.cell_value(99), 0);
+        let cells = labeled_counter_snapshot();
+        assert!(cells.contains(&("test/metrics/tiers", "tier", "trace", 1)));
+        assert!(cells.contains(&("test/metrics/tiers", "tier", "other", 1)));
+        let dump = dump_json_lines();
+        assert!(dump.contains(
+            "\"name\":\"test/metrics/tiers\",\"labels\":{\"tier\":\"constant\"},\"value\":2"
+        ));
+        crate::set_metrics_enabled(false);
+        TIERS.incr(0);
+        assert_eq!(TIERS.cell_value(0), 1, "disabled updates must not record");
+    }
+
+    #[test]
+    fn gauge_holds_last_set_value() {
+        static LEVEL: Gauge = Gauge::new("test/metrics/level");
+        let _guard = crate::test_lock();
+        crate::set_metrics_enabled(false);
+        LEVEL.set(9.0);
+        assert_eq!(LEVEL.value(), 0.0, "disabled sets must not record");
+        crate::set_metrics_enabled(true);
+        LEVEL.set(1.5);
+        LEVEL.set(-2.25);
+        assert_eq!(LEVEL.value(), -2.25);
+        assert!(gauge_snapshot().contains(&("test/metrics/level", -2.25)));
+        assert!(dump_json_lines()
+            .contains("{\"type\":\"gauge\",\"name\":\"test/metrics/level\",\"value\":-2.25}"));
+        crate::set_metrics_enabled(false);
+    }
+
+    #[test]
+    fn bucket_counts_expose_the_raw_buckets() {
+        static RAW: Histogram = Histogram::new("test/metrics/raw_buckets");
+        let _guard = crate::test_lock();
+        crate::set_metrics_enabled(true);
+        RAW.record(0);
+        RAW.record(3);
+        RAW.record(3);
+        let counts = RAW.bucket_counts();
+        assert_eq!(counts[0], 1, "zero bucket");
+        assert_eq!(counts[2], 2, "3 lands in [2, 4)");
+        assert_eq!(counts.iter().sum::<u64>(), RAW.count());
+        assert!(dump_json_lines().contains("{\"bucket_floor\":2,\"count\":2}"));
+        crate::set_metrics_enabled(false);
     }
 
     #[test]

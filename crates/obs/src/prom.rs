@@ -1,0 +1,991 @@
+//! Prometheus text exposition (format v0.0.4) for the metrics registry.
+//!
+//! [`render_prometheus`] renders the live registry — counters, labeled
+//! counters, gauges, and the 65-bucket power-of-two histograms — in the
+//! Prometheus text format a `/metrics` endpoint serves: `# TYPE` headers,
+//! cumulative `le`-bucketed histograms with `_sum`/`_count`, slash names
+//! mangled to legal metric names, and label values escaped. Because the
+//! workspace is dependency-free by policy, the crate also ships its own
+//! parser/validator ([`validate_prometheus_text`], mirroring
+//! [`crate::validate_chrome_trace`]) so round-trips are testable offline.
+//!
+//! ## Name mangling and collisions
+//!
+//! Registry names are `/`-separated paths (`carbon/fallback/queries`);
+//! Prometheus names admit only `[a-zA-Z0-9_:]`, so every illegal character
+//! becomes `_`. Mangling can collide (`a/b` and `a_b` both become `a_b`);
+//! colliding same-kind sources are merged into one family whose samples are
+//! disambiguated by a `name="<original>"` label, which keeps the exposition
+//! valid and lossless. Cross-kind collisions get a kind suffix
+//! (`_gauge` / `_histogram`) on the later-rendered family.
+//!
+//! ## Histogram mapping
+//!
+//! Registry bucket `0` holds exact zeros and bucket `i ≥ 1` holds values in
+//! `[2^(i-1), 2^i)`, so the *inclusive* Prometheus bound of bucket `i` is
+//! `2^i - 1` (and `0` for the zero bucket). Buckets are rendered
+//! cumulatively up to the last non-empty one, followed by the mandatory
+//! `+Inf` bucket equal to `_count`.
+
+use crate::metrics::{
+    counter_snapshot, gauge_snapshot, histogram_snapshot, labeled_counter_snapshot,
+    HISTOGRAM_BUCKETS,
+};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+
+/// One counter sample in a [`RegistrySnapshot`]: registry name, static
+/// labels (empty for plain counters), and the cell value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterState {
+    /// Registry name (pre-mangling, e.g. `carbon/fallback/queries`).
+    pub name: String,
+    /// Label key/value pairs (one pair for [`crate::LabeledCounter`] cells).
+    pub labels: Vec<(String, String)>,
+    /// The counter value.
+    pub value: u64,
+}
+
+/// One gauge in a [`RegistrySnapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaugeState {
+    /// Registry name.
+    pub name: String,
+    /// Last-set value.
+    pub value: f64,
+}
+
+/// One histogram in a [`RegistrySnapshot`], with raw (non-cumulative)
+/// power-of-two bucket counts as produced by
+/// [`crate::metrics::Histogram::bucket_counts`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramState {
+    /// Registry name.
+    pub name: String,
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: u64,
+    /// Per-bucket counts, `HISTOGRAM_BUCKETS` entries (missing trailing
+    /// entries are treated as zero).
+    pub buckets: Vec<u64>,
+}
+
+/// A point-in-time copy of the registry in renderer-independent form; the
+/// unit of [`render_snapshot`], so tests can render synthetic states
+/// without touching the global registry.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RegistrySnapshot {
+    /// Counter samples (plain and labeled).
+    pub counters: Vec<CounterState>,
+    /// Gauges.
+    pub gauges: Vec<GaugeState>,
+    /// Histograms.
+    pub histograms: Vec<HistogramState>,
+}
+
+/// Captures the live registry as a [`RegistrySnapshot`].
+#[must_use]
+pub fn registry_snapshot() -> RegistrySnapshot {
+    let mut counters: Vec<CounterState> = counter_snapshot()
+        .into_iter()
+        .map(|(name, value)| CounterState {
+            name: name.to_owned(),
+            labels: Vec::new(),
+            value,
+        })
+        .collect();
+    counters.extend(labeled_counter_snapshot().into_iter().map(
+        |(name, label, label_value, value)| CounterState {
+            name: name.to_owned(),
+            labels: vec![(label.to_owned(), label_value.to_owned())],
+            value,
+        },
+    ));
+    RegistrySnapshot {
+        counters,
+        gauges: gauge_snapshot()
+            .into_iter()
+            .map(|(name, value)| GaugeState {
+                name: name.to_owned(),
+                value,
+            })
+            .collect(),
+        histograms: histogram_snapshot()
+            .into_iter()
+            .map(|h| HistogramState {
+                name: h.name().to_owned(),
+                count: h.count(),
+                sum: h.sum(),
+                buckets: h.bucket_counts().to_vec(),
+            })
+            .collect(),
+    }
+}
+
+/// Renders the live registry in Prometheus text exposition format v0.0.4.
+#[must_use]
+pub fn render_prometheus() -> String {
+    render_snapshot(&registry_snapshot())
+}
+
+/// A metric name with every character outside `[a-zA-Z0-9_:]` replaced by
+/// `_`, prefixed with `_` when it would otherwise start with a digit.
+#[must_use]
+pub fn mangle_metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, c) in name.chars().enumerate() {
+        let legal =
+            c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+            out.push(c);
+        } else if legal {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Escapes a label value per the exposition format: `\` → `\\`, `"` → `\"`,
+/// newline → `\n`.
+fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// A float in exposition syntax: finite values via the shortest
+/// round-tripping decimal, plus `+Inf`/`-Inf`/`NaN`.
+fn prom_f64(value: f64) -> String {
+    if value.is_nan() {
+        "NaN".to_owned()
+    } else if value == f64::INFINITY {
+        "+Inf".to_owned()
+    } else if value == f64::NEG_INFINITY {
+        "-Inf".to_owned()
+    } else {
+        format!("{value}")
+    }
+}
+
+/// Renders a label set as `{k="v",...}`, or nothing when empty.
+fn render_labels(labels: &[(String, String)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let body: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{}=\"{}\"", mangle_metric_name(k), escape_label_value(v)))
+        .collect();
+    format!("{{{}}}", body.join(","))
+}
+
+/// The inclusive Prometheus `le` bound of registry bucket `index`: the
+/// zero bucket admits only `0`, bucket `i ≥ 1` covers `[2^(i-1), 2^i)` so
+/// its largest member is `2^i - 1`.
+fn bucket_upper_inclusive(index: usize) -> u64 {
+    match index {
+        0 => 0,
+        i if i < HISTOGRAM_BUCKETS - 1 => (1u64 << i) - 1,
+        _ => u64::MAX,
+    }
+}
+
+/// One family ready to emit: mangled name, exposition type, and fully
+/// rendered sample lines (without the name prefix).
+struct Family {
+    name: String,
+    kind: &'static str,
+    /// `(label block, value text)` for counter/gauge; histograms render
+    /// their own suffixed sample names in `raw_lines` instead.
+    samples: Vec<(String, String)>,
+    /// Fully formed sample lines (histograms only).
+    raw_lines: Vec<String>,
+}
+
+/// Renders a snapshot in Prometheus text exposition format v0.0.4. Output
+/// is deterministic: families sorted by mangled name, samples by original
+/// name then labels.
+#[must_use]
+pub fn render_snapshot(snapshot: &RegistrySnapshot) -> String {
+    let mut families: Vec<Family> = Vec::new();
+    let mut taken: BTreeSet<String> = BTreeSet::new();
+
+    // Counters first: they keep their mangled names; same-name collisions
+    // merge into one family with `name="<original>"` disambiguation.
+    let mut counter_groups: BTreeMap<String, Vec<&CounterState>> = BTreeMap::new();
+    for counter in &snapshot.counters {
+        counter_groups
+            .entry(mangle_metric_name(&counter.name))
+            .or_default()
+            .push(counter);
+    }
+    for (mangled, mut group) in counter_groups {
+        group.sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
+        let distinct: BTreeSet<&str> = group.iter().map(|c| c.name.as_str()).collect();
+        let disambiguate = distinct.len() > 1;
+        // Exact duplicates (same source name and labels) sum into one
+        // sample so the exposition never carries duplicate series.
+        let mut merged: BTreeMap<(String, Vec<(String, String)>), u64> = BTreeMap::new();
+        for counter in group {
+            let mut labels = counter.labels.clone();
+            if disambiguate {
+                labels.push(("name".to_owned(), counter.name.clone()));
+            }
+            *merged.entry((counter.name.clone(), labels)).or_insert(0) += counter.value;
+        }
+        let samples = merged
+            .into_iter()
+            .map(|((_, labels), value)| (render_labels(&labels), format!("{value}")))
+            .collect();
+        taken.insert(mangled.clone());
+        families.push(Family {
+            name: mangled,
+            kind: "counter",
+            samples,
+            raw_lines: Vec::new(),
+        });
+    }
+
+    // Gauges: same-kind collisions disambiguate like counters; a clash
+    // with a counter family gets a `_gauge` suffix.
+    let mut gauge_groups: BTreeMap<String, Vec<&GaugeState>> = BTreeMap::new();
+    for gauge in &snapshot.gauges {
+        gauge_groups
+            .entry(mangle_metric_name(&gauge.name))
+            .or_default()
+            .push(gauge);
+    }
+    for (mangled, mut group) in gauge_groups {
+        let mangled = free_name(mangled, "_gauge", &taken);
+        group.sort_by(|a, b| a.name.cmp(&b.name));
+        let disambiguate = group
+            .iter()
+            .map(|g| g.name.as_str())
+            .collect::<BTreeSet<_>>()
+            .len()
+            > 1;
+        let samples = group
+            .iter()
+            .map(|gauge| {
+                let labels = if disambiguate {
+                    vec![("name".to_owned(), gauge.name.clone())]
+                } else {
+                    Vec::new()
+                };
+                (render_labels(&labels), prom_f64(gauge.value))
+            })
+            .collect();
+        taken.insert(mangled.clone());
+        families.push(Family {
+            name: mangled,
+            kind: "gauge",
+            samples,
+            raw_lines: Vec::new(),
+        });
+    }
+
+    // Histograms: same-kind collisions disambiguate with the `name` label
+    // on every suffixed sample; cross-kind clashes take `_histogram`.
+    let mut histogram_groups: BTreeMap<String, Vec<&HistogramState>> = BTreeMap::new();
+    for histogram in &snapshot.histograms {
+        histogram_groups
+            .entry(mangle_metric_name(&histogram.name))
+            .or_default()
+            .push(histogram);
+    }
+    for (mangled, mut group) in histogram_groups {
+        let mangled = free_name(mangled, "_histogram", &taken);
+        group.sort_by(|a, b| a.name.cmp(&b.name));
+        let disambiguate = group
+            .iter()
+            .map(|h| h.name.as_str())
+            .collect::<BTreeSet<_>>()
+            .len()
+            > 1;
+        let mut raw_lines = Vec::new();
+        for histogram in group {
+            let base_labels: Vec<(String, String)> = if disambiguate {
+                vec![("name".to_owned(), histogram.name.clone())]
+            } else {
+                Vec::new()
+            };
+            let counts: Vec<u64> = (0..HISTOGRAM_BUCKETS)
+                .map(|i| histogram.buckets.get(i).copied().unwrap_or(0))
+                .collect();
+            let last_nonzero = counts.iter().rposition(|&n| n > 0);
+            let mut cumulative = 0u64;
+            if let Some(last) = last_nonzero {
+                for (i, &n) in counts.iter().enumerate().take(last + 1) {
+                    cumulative += n;
+                    let mut labels = base_labels.clone();
+                    labels.push(("le".to_owned(), format!("{}", bucket_upper_inclusive(i))));
+                    raw_lines.push(format!(
+                        "{}_bucket{} {cumulative}",
+                        mangled,
+                        render_labels(&labels)
+                    ));
+                }
+            }
+            let mut inf_labels = base_labels.clone();
+            inf_labels.push(("le".to_owned(), "+Inf".to_owned()));
+            raw_lines.push(format!(
+                "{}_bucket{} {}",
+                mangled,
+                render_labels(&inf_labels),
+                histogram.count
+            ));
+            raw_lines.push(format!(
+                "{}_sum{} {}",
+                mangled,
+                render_labels(&base_labels),
+                histogram.sum
+            ));
+            raw_lines.push(format!(
+                "{}_count{} {}",
+                mangled,
+                render_labels(&base_labels),
+                histogram.count
+            ));
+        }
+        taken.insert(mangled.clone());
+        families.push(Family {
+            name: mangled,
+            kind: "histogram",
+            samples: Vec::new(),
+            raw_lines,
+        });
+    }
+
+    families.sort_by(|a, b| a.name.cmp(&b.name));
+    let mut out = String::new();
+    for family in &families {
+        let _ = writeln!(out, "# TYPE {} {}", family.name, family.kind);
+        for (labels, value) in &family.samples {
+            let _ = writeln!(out, "{}{} {}", family.name, labels, value);
+        }
+        for line in &family.raw_lines {
+            let _ = writeln!(out, "{line}");
+        }
+    }
+    out
+}
+
+/// `candidate` if unused, otherwise `candidate + suffix` (with underscores
+/// appended until free) — the cross-kind collision escape hatch.
+fn free_name(candidate: String, suffix: &str, taken: &BTreeSet<String>) -> String {
+    if !taken.contains(&candidate) {
+        return candidate;
+    }
+    let mut renamed = format!("{candidate}{suffix}");
+    while taken.contains(&renamed) {
+        renamed.push('_');
+    }
+    renamed
+}
+
+// ---------------------------------------------------------------------------
+// Parsing and validation
+// ---------------------------------------------------------------------------
+
+/// One parsed sample line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PromSample {
+    /// Sample name (including any `_bucket`/`_sum`/`_count` suffix).
+    pub name: String,
+    /// Label pairs in document order, values unescaped.
+    pub labels: Vec<(String, String)>,
+    /// The sample value.
+    pub value: f64,
+}
+
+/// A syntactically parsed exposition document: `# TYPE` declarations and
+/// samples, both in document order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PromDoc {
+    /// `(family name, type)` per `# TYPE` line.
+    pub types: Vec<(String, String)>,
+    /// Every sample line.
+    pub samples: Vec<PromSample>,
+}
+
+/// Summary returned by [`validate_prometheus_text`], mirroring
+/// [`crate::TraceCheck`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PromCheck {
+    /// `# TYPE` declarations.
+    pub families: usize,
+    /// Families declared `counter`.
+    pub counters: usize,
+    /// Families declared `gauge`.
+    pub gauges: usize,
+    /// Families declared `histogram`.
+    pub histograms: usize,
+    /// Total sample lines.
+    pub samples: usize,
+}
+
+/// `true` for a legal metric name (`[a-zA-Z_:][a-zA-Z0-9_:]*`).
+fn is_metric_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// `true` for a legal label key (`[a-zA-Z_][a-zA-Z0-9_]*`).
+fn is_label_key(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Parses an exposition value: `+Inf`/`Inf`/`-Inf`/`NaN` or a decimal.
+fn parse_value(token: &str) -> Option<f64> {
+    match token {
+        "+Inf" | "Inf" => Some(f64::INFINITY),
+        "-Inf" => Some(f64::NEG_INFINITY),
+        "NaN" => Some(f64::NAN),
+        other => other.parse().ok(),
+    }
+}
+
+/// Parses the `{k="v",...}` label block starting after `{`; returns the
+/// pairs and the byte offset just past the closing `}`.
+fn parse_labels(rest: &str, lineno: usize) -> Result<(Vec<(String, String)>, usize), String> {
+    let bytes = rest.as_bytes();
+    let mut labels = Vec::new();
+    let mut pos = 0usize;
+    if bytes.get(pos) == Some(&b'}') {
+        return Ok((labels, pos + 1));
+    }
+    loop {
+        let key_start = pos;
+        while bytes
+            .get(pos)
+            .is_some_and(|b| b.is_ascii_alphanumeric() || *b == b'_')
+        {
+            pos += 1;
+        }
+        let key = &rest[key_start..pos];
+        if !is_label_key(key) {
+            return Err(format!("line {lineno}: bad label key `{key}`"));
+        }
+        if bytes.get(pos) != Some(&b'=') {
+            return Err(format!("line {lineno}: expected `=` after label key"));
+        }
+        pos += 1;
+        if bytes.get(pos) != Some(&b'"') {
+            return Err(format!("line {lineno}: expected `\"` to open label value"));
+        }
+        pos += 1;
+        let mut value = String::new();
+        loop {
+            match bytes.get(pos) {
+                None => return Err(format!("line {lineno}: unterminated label value")),
+                Some(b'"') => {
+                    pos += 1;
+                    break;
+                }
+                Some(b'\\') => {
+                    match bytes.get(pos + 1) {
+                        Some(b'\\') => value.push('\\'),
+                        Some(b'"') => value.push('"'),
+                        Some(b'n') => value.push('\n'),
+                        _ => return Err(format!("line {lineno}: unknown escape in label value")),
+                    }
+                    pos += 2;
+                }
+                Some(_) => {
+                    // Copy one UTF-8 character verbatim; `rest` came from a
+                    // `&str`, so boundaries are valid.
+                    let tail = &rest[pos..];
+                    let len = tail.chars().next().map_or(1, char::len_utf8);
+                    value.push_str(&tail[..len]);
+                    pos += len;
+                }
+            }
+        }
+        labels.push((key.to_owned(), value));
+        match bytes.get(pos) {
+            Some(b',') => pos += 1,
+            Some(b'}') => return Ok((labels, pos + 1)),
+            _ => return Err(format!("line {lineno}: expected `,` or `}}` after label")),
+        }
+    }
+}
+
+/// Parses `text` as an exposition document (syntax only; semantic checks
+/// live in [`validate_prometheus_text`]).
+///
+/// # Errors
+///
+/// Returns a message locating the first malformed line.
+pub fn parse_prometheus_text(text: &str) -> Result<PromDoc, String> {
+    let mut doc = PromDoc::default();
+    for (i, raw) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let line = raw.trim_end_matches('\r');
+        if line.trim().is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let comment = comment.trim_start();
+            if let Some(decl) = comment.strip_prefix("TYPE ") {
+                let mut parts = decl.split_whitespace();
+                let (Some(name), Some(kind), None) = (parts.next(), parts.next(), parts.next())
+                else {
+                    return Err(format!("line {lineno}: malformed `# TYPE` declaration"));
+                };
+                if !is_metric_name(name) {
+                    return Err(format!("line {lineno}: bad family name `{name}`"));
+                }
+                doc.types.push((name.to_owned(), kind.to_owned()));
+            }
+            // `# HELP` and free-form comments are legal and ignored.
+            continue;
+        }
+        // Sample: name [{labels}] value [timestamp]
+        let name_len = line
+            .bytes()
+            .take_while(|b| b.is_ascii_alphanumeric() || *b == b'_' || *b == b':')
+            .count();
+        let name = &line[..name_len];
+        if !is_metric_name(name) {
+            return Err(format!("line {lineno}: bad metric name"));
+        }
+        let mut rest = &line[name_len..];
+        let mut labels = Vec::new();
+        if let Some(after_brace) = rest.strip_prefix('{') {
+            let (parsed, consumed) = parse_labels(after_brace, lineno)?;
+            labels = parsed;
+            rest = &after_brace[consumed..];
+        }
+        let mut tokens = rest.split_whitespace();
+        let Some(value_token) = tokens.next() else {
+            return Err(format!("line {lineno}: missing sample value"));
+        };
+        let Some(value) = parse_value(value_token) else {
+            return Err(format!("line {lineno}: bad sample value `{value_token}`"));
+        };
+        if let Some(timestamp) = tokens.next() {
+            if timestamp.parse::<i64>().is_err() {
+                return Err(format!("line {lineno}: bad timestamp `{timestamp}`"));
+            }
+        }
+        if tokens.next().is_some() {
+            return Err(format!("line {lineno}: trailing tokens after sample"));
+        }
+        doc.samples.push(PromSample {
+            name: name.to_owned(),
+            labels,
+            value,
+        });
+    }
+    Ok(doc)
+}
+
+/// The declared family a sample belongs to: the `_bucket`/`_sum`/`_count`
+/// stem when that stem is a declared histogram, otherwise the name itself.
+fn family_of<'a>(name: &'a str, types: &BTreeMap<&str, &str>) -> &'a str {
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(stem) = name.strip_suffix(suffix) {
+            if types.get(stem) == Some(&"histogram") {
+                return stem;
+            }
+        }
+    }
+    name
+}
+
+/// Validates `text` as a self-consistent exposition document: syntax, one
+/// `# TYPE` per family (declared before its samples, kind one of
+/// `counter`/`gauge`/`histogram`), every sample attributable to a declared
+/// family, no duplicate series, non-negative finite counters, and — per
+/// histogram series — strictly increasing `le` bounds ending in `+Inf`,
+/// non-decreasing cumulative counts, and `_sum`/`_count` agreeing with the
+/// `+Inf` bucket.
+///
+/// # Errors
+///
+/// Returns a message describing the first violation.
+pub fn validate_prometheus_text(text: &str) -> Result<PromCheck, String> {
+    let doc = parse_prometheus_text(text)?;
+    let mut types: BTreeMap<&str, &str> = BTreeMap::new();
+    for (name, kind) in &doc.types {
+        if !matches!(kind.as_str(), "counter" | "gauge" | "histogram") {
+            return Err(format!("family `{name}`: unsupported type `{kind}`"));
+        }
+        if types.insert(name, kind).is_some() {
+            return Err(format!("family `{name}`: duplicate `# TYPE` declaration"));
+        }
+    }
+    // Declaration order: every family's TYPE line must precede its samples.
+    // Re-walk the raw document order by replaying types as they appear.
+    {
+        let mut declared: BTreeSet<&str> = BTreeSet::new();
+        let mut type_iter = doc.types.iter();
+        let mut pending = type_iter.next();
+        // `parse_prometheus_text` preserves the relative order of samples
+        // but not their interleaving with TYPE lines; recover it cheaply by
+        // re-scanning the text for line kinds.
+        let mut sample_index = 0usize;
+        for raw in text.lines() {
+            let line = raw.trim_end_matches('\r');
+            if line.trim().is_empty() {
+                continue;
+            }
+            if line.starts_with('#') {
+                if line
+                    .trim_start_matches('#')
+                    .trim_start()
+                    .starts_with("TYPE ")
+                {
+                    if let Some((name, _)) = pending {
+                        declared.insert(name);
+                        pending = type_iter.next();
+                    }
+                }
+                continue;
+            }
+            let Some(sample) = doc.samples.get(sample_index) else {
+                break;
+            };
+            sample_index += 1;
+            let family = family_of(&sample.name, &types);
+            if types.contains_key(family) && !declared.contains(family) {
+                return Err(format!(
+                    "family `{family}`: sample appears before its `# TYPE` declaration"
+                ));
+            }
+        }
+    }
+
+    let mut seen_series: BTreeSet<(String, Vec<(String, String)>)> = BTreeSet::new();
+    for sample in &doc.samples {
+        let family = family_of(&sample.name, &types);
+        let Some(kind) = types.get(family) else {
+            return Err(format!(
+                "sample `{}`: no `# TYPE` declaration for its family",
+                sample.name
+            ));
+        };
+        for (key, _) in &sample.labels {
+            if !is_label_key(key) {
+                return Err(format!("sample `{}`: bad label key `{key}`", sample.name));
+            }
+        }
+        let mut series_labels = sample.labels.clone();
+        series_labels.sort();
+        if !seen_series.insert((sample.name.clone(), series_labels)) {
+            return Err(format!("sample `{}`: duplicate series", sample.name));
+        }
+        match *kind {
+            "counter" if !sample.value.is_finite() || sample.value < 0.0 => {
+                return Err(format!(
+                    "counter `{}`: value must be finite and non-negative",
+                    sample.name
+                ));
+            }
+            "histogram" => {
+                if family == sample.name {
+                    return Err(format!(
+                        "histogram `{family}`: bare sample without _bucket/_sum/_count"
+                    ));
+                }
+                if !sample.value.is_finite() || sample.value < 0.0 {
+                    return Err(format!(
+                        "histogram `{family}`: sample values must be finite and non-negative"
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // Histogram series-group checks: buckets cumulative and +Inf-terminated,
+    // `_count` equal to the +Inf bucket, `_sum` present — per label group
+    // (labels minus `le`).
+    type Group = Vec<(String, String)>;
+    #[derive(Default)]
+    struct HistogramSeries {
+        buckets: Vec<(f64, f64)>,
+        sum: Option<f64>,
+        count: Option<f64>,
+    }
+    let mut series: BTreeMap<(String, Group), HistogramSeries> = BTreeMap::new();
+    for sample in &doc.samples {
+        let family = family_of(&sample.name, &types);
+        if types.get(family) != Some(&"histogram") {
+            continue;
+        }
+        let mut group: Group = sample
+            .labels
+            .iter()
+            .filter(|(k, _)| k != "le")
+            .cloned()
+            .collect();
+        group.sort();
+        let entry = series.entry((family.to_owned(), group)).or_default();
+        if sample.name.ends_with("_bucket") {
+            let Some((_, le)) = sample.labels.iter().find(|(k, _)| k == "le") else {
+                return Err(format!("histogram `{family}`: _bucket without `le` label"));
+            };
+            let Some(bound) = parse_value(le) else {
+                return Err(format!("histogram `{family}`: bad `le` bound `{le}`"));
+            };
+            entry.buckets.push((bound, sample.value));
+        } else if sample.name.ends_with("_sum") {
+            entry.sum = Some(sample.value);
+        } else {
+            entry.count = Some(sample.value);
+        }
+    }
+    for ((family, _), data) in &series {
+        if data.buckets.is_empty() {
+            return Err(format!("histogram `{family}`: series has no buckets"));
+        }
+        for window in data.buckets.windows(2) {
+            // `partial_cmp` so a NaN bound (incomparable) is rejected too.
+            if window[0].0.partial_cmp(&window[1].0) != Some(std::cmp::Ordering::Less) {
+                return Err(format!(
+                    "histogram `{family}`: `le` bounds must strictly increase"
+                ));
+            }
+            if window[0].1 > window[1].1 {
+                return Err(format!(
+                    "histogram `{family}`: bucket counts must be cumulative"
+                ));
+            }
+        }
+        let Some(&(last_bound, inf_count)) = data.buckets.last() else {
+            continue;
+        };
+        if last_bound != f64::INFINITY {
+            return Err(format!(
+                "histogram `{family}`: series must end with an `+Inf` bucket"
+            ));
+        }
+        match data.count {
+            None => return Err(format!("histogram `{family}`: missing _count")),
+            // Exact equality is the exposition contract: both values render
+            // from the same integer counter.
+            // cordoba-lint: allow(float-eq)
+            Some(count) if count != inf_count => {
+                return Err(format!(
+                    "histogram `{family}`: _count ({count}) disagrees with +Inf bucket ({inf_count})"
+                ));
+            }
+            Some(_) => {}
+        }
+        if data.sum.is_none() {
+            return Err(format!("histogram `{family}`: missing _sum"));
+        }
+    }
+
+    Ok(PromCheck {
+        families: doc.types.len(),
+        counters: doc.types.iter().filter(|(_, k)| k == "counter").count(),
+        gauges: doc.types.iter().filter(|(_, k)| k == "gauge").count(),
+        histograms: doc.types.iter().filter(|(_, k)| k == "histogram").count(),
+        samples: doc.samples.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state(counters: &[(&str, u64)]) -> RegistrySnapshot {
+        RegistrySnapshot {
+            counters: counters
+                .iter()
+                .map(|&(name, value)| CounterState {
+                    name: name.to_owned(),
+                    labels: Vec::new(),
+                    value,
+                })
+                .collect(),
+            ..RegistrySnapshot::default()
+        }
+    }
+
+    #[test]
+    fn renders_and_validates_plain_counters() {
+        let text = render_snapshot(&state(&[("carbon/fallback/queries", 12), ("a", 0)]));
+        assert!(text.contains("# TYPE carbon_fallback_queries counter"));
+        assert!(text.contains("carbon_fallback_queries 12"));
+        let check = validate_prometheus_text(&text).unwrap();
+        assert_eq!(check.counters, 2);
+        assert_eq!(check.samples, 2);
+    }
+
+    #[test]
+    fn mangling_collisions_disambiguate_with_a_name_label() {
+        let text = render_snapshot(&state(&[("a/b", 1), ("a_b", 2)]));
+        // One family, two samples, each carrying its original name.
+        assert_eq!(text.matches("# TYPE a_b counter").count(), 1);
+        assert!(text.contains("a_b{name=\"a/b\"} 1"));
+        assert!(text.contains("a_b{name=\"a_b\"} 2"));
+        validate_prometheus_text(&text).unwrap();
+    }
+
+    #[test]
+    fn duplicate_sources_merge_instead_of_duplicating_series() {
+        let text = render_snapshot(&state(&[("x", 1), ("x", 2)]));
+        assert!(text.contains("x 3"));
+        validate_prometheus_text(&text).unwrap();
+    }
+
+    #[test]
+    fn cross_kind_collision_takes_a_suffix() {
+        let mut snapshot = state(&[("depth", 1)]);
+        snapshot.gauges.push(GaugeState {
+            name: "depth".to_owned(),
+            value: 2.5,
+        });
+        let text = render_snapshot(&snapshot);
+        assert!(text.contains("# TYPE depth counter"));
+        assert!(text.contains("# TYPE depth_gauge gauge"));
+        assert!(text.contains("depth_gauge 2.5"));
+        validate_prometheus_text(&text).unwrap();
+    }
+
+    #[test]
+    fn histogram_renders_cumulative_le_buckets() {
+        let mut buckets = vec![0u64; HISTOGRAM_BUCKETS];
+        buckets[0] = 1; // one exact zero
+        buckets[2] = 2; // two samples in [2, 4)
+        let snapshot = RegistrySnapshot {
+            histograms: vec![HistogramState {
+                name: "core/sweep_ns".to_owned(),
+                count: 3,
+                sum: 6,
+                buckets,
+            }],
+            ..RegistrySnapshot::default()
+        };
+        let text = render_snapshot(&snapshot);
+        assert!(text.contains("# TYPE core_sweep_ns histogram"));
+        assert!(text.contains("core_sweep_ns_bucket{le=\"0\"} 1"));
+        assert!(text.contains("core_sweep_ns_bucket{le=\"1\"} 1"));
+        assert!(text.contains("core_sweep_ns_bucket{le=\"3\"} 3"));
+        assert!(text.contains("core_sweep_ns_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("core_sweep_ns_sum 6"));
+        assert!(text.contains("core_sweep_ns_count 3"));
+        validate_prometheus_text(&text).unwrap();
+    }
+
+    #[test]
+    fn zero_count_histogram_is_just_the_inf_bucket() {
+        let snapshot = RegistrySnapshot {
+            histograms: vec![HistogramState {
+                name: "empty".to_owned(),
+                count: 0,
+                sum: 0,
+                buckets: vec![0; HISTOGRAM_BUCKETS],
+            }],
+            ..RegistrySnapshot::default()
+        };
+        let text = render_snapshot(&snapshot);
+        assert!(text.contains("empty_bucket{le=\"+Inf\"} 0"));
+        assert!(!text.contains("le=\"0\""));
+        validate_prometheus_text(&text).unwrap();
+    }
+
+    #[test]
+    fn label_values_escape_and_unescape() {
+        let snapshot = RegistrySnapshot {
+            counters: vec![CounterState {
+                name: "c".to_owned(),
+                labels: vec![("tier".to_owned(), "a\"b\\c\nd".to_owned())],
+                value: 7,
+            }],
+            ..RegistrySnapshot::default()
+        };
+        let text = render_snapshot(&snapshot);
+        assert!(text.contains("c{tier=\"a\\\"b\\\\c\\nd\"} 7"));
+        let doc = parse_prometheus_text(&text).unwrap();
+        assert_eq!(doc.samples[0].labels[0].1, "a\"b\\c\nd");
+        validate_prometheus_text(&text).unwrap();
+    }
+
+    #[test]
+    fn validator_rejects_broken_documents() {
+        for (bad, why) in [
+            ("c 1\n", "sample without TYPE"),
+            ("# TYPE c counter\nc -1\n", "negative counter"),
+            ("# TYPE c counter\nc 1\nc 2\n", "duplicate series"),
+            ("# TYPE c counter\n# TYPE c counter\nc 1\n", "duplicate TYPE"),
+            ("c 1\n# TYPE c counter\n", "TYPE after samples"),
+            ("# TYPE c widget\nc 1\n", "unsupported type"),
+            ("# TYPE h histogram\nh 5\n", "bare histogram sample"),
+            (
+                "# TYPE h histogram\nh_sum 1\nh_count 0\n",
+                "histogram without buckets",
+            ),
+            (
+                "# TYPE h histogram\nh_bucket{le=\"1\"} 2\nh_bucket{le=\"+Inf\"} 1\nh_sum 1\nh_count 1\n",
+                "non-cumulative buckets",
+            ),
+            (
+                "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 1\n",
+                "_count disagrees with +Inf",
+            ),
+            (
+                "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
+                "missing +Inf bucket",
+            ),
+            ("# TYPE c counter\nc{k=\"v} 1\n", "unterminated label"),
+            ("# TYPE c counter\nc banana\n", "unparseable value"),
+            ("# TYPE c counter\n9c 1\n", "bad metric name"),
+        ] {
+            assert!(validate_prometheus_text(bad).is_err(), "accepted: {why}");
+        }
+    }
+
+    #[test]
+    fn live_registry_renders_round_trip() {
+        static PROM_TEST: crate::Counter = crate::Counter::new("test/prom/live");
+        let _guard = crate::test_lock();
+        crate::set_metrics_enabled(true);
+        PROM_TEST.add(3);
+        let text = render_prometheus();
+        crate::set_metrics_enabled(false);
+        let check = validate_prometheus_text(&text).unwrap();
+        assert!(check.counters >= 1);
+        let doc = parse_prometheus_text(&text).unwrap();
+        assert!(doc
+            .samples
+            .iter()
+            .any(|s| s.name == "test_prom_live" && s.value >= 3.0));
+    }
+
+    #[test]
+    fn mangles_names_deterministically() {
+        assert_eq!(mangle_metric_name("a/b/c"), "a_b_c");
+        assert_eq!(mangle_metric_name("events/store_hit"), "events_store_hit");
+        assert_eq!(mangle_metric_name("9lives"), "_9lives");
+        assert_eq!(mangle_metric_name("ok:name_1"), "ok:name_1");
+        assert_eq!(mangle_metric_name("sp ace-dash"), "sp_ace_dash");
+        assert_eq!(mangle_metric_name(""), "_");
+    }
+}

@@ -33,9 +33,14 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-use cordoba_obs::{record, Event};
+use cordoba_obs::{record, Event, LabeledCounter};
 
 use crate::key::StoreKey;
+
+/// Store operation counts by kind, exported as `store_ops{op="..."}`;
+/// mirrors the `events/store_*` counters in one labeled family.
+static STORE_OPS: LabeledCounter =
+    LabeledCounter::new("store/ops", "op", &["hit", "miss", "write"]);
 
 /// First line of every entry file; bump the version when the framing
 /// changes.
@@ -140,8 +145,10 @@ impl Store {
     pub fn get(&self, kind: &str, key: StoreKey) -> Option<Vec<String>> {
         let payload = self.read_entry(kind, key);
         if payload.is_some() {
+            STORE_OPS.incr(0);
             record(&Event::StoreHit);
         } else {
+            STORE_OPS.incr(1);
             record(&Event::StoreMiss);
         }
         payload
@@ -223,6 +230,7 @@ impl Store {
             let _ = fs::remove_file(&tmp);
         }
         result?;
+        STORE_OPS.incr(2);
         record(&Event::StoreWrite);
         Ok(())
     }

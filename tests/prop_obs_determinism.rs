@@ -65,6 +65,9 @@ struct CaseResult {
     points: Vec<DesignPoint>,
     quarantined: Vec<String>,
     sweep: OpTimeSweep,
+    /// The attribution ledger, serialized: shortest-round-trip `f64`
+    /// formatting makes string equality bit equality.
+    attribution: String,
     beta: String,
     mc_mean_bits: u64,
     mc_stddev_bits: u64,
@@ -96,6 +99,16 @@ fn run_case(seed: u64, threads: usize) -> CaseResult {
             .unwrap();
 
     let beta_sweep = BetaSweep::run(&resilient.points);
+
+    // The attribution ledger decomposes the sweep's tCDP; it must
+    // reconcile bit-for-bit against the matrix it was derived from at
+    // every thread count, with or without observability.
+    let report = AttributionReport::from_sweep(&sweep)
+        .unwrap()
+        .with_quarantine(&resilient.failures)
+        .with_beta(&beta_sweep);
+    report.check_against(&sweep).unwrap();
+    let attribution = report.to_json();
     let beta = format!(
         "{:?}",
         beta_sweep
@@ -110,6 +123,7 @@ fn run_case(seed: u64, threads: usize) -> CaseResult {
         points: resilient.points,
         quarantined,
         sweep,
+        attribution,
         beta,
         mc_mean_bits: mc.mean.to_bits(),
         mc_stddev_bits: mc.std_dev.to_bits(),
@@ -138,13 +152,39 @@ fn obs_on_is_bit_identical_to_obs_off_at_every_thread_count() {
         cordoba_obs::set_metrics_enabled(false);
 
         // The traced runs actually recorded something — the side channel is
-        // live, not short-circuited.
+        // live, not short-circuited — and the profiler agrees with itself
+        // whether it aggregates the live buffer or the exported trace.
+        let live_profile = cordoba_obs::profile_report();
         let trace = cordoba_obs::drain_chrome_trace();
         let check = cordoba_obs::validate_chrome_trace(&trace).unwrap();
         assert!(
             check.spans >= 1,
             "seed {seed}: no spans collected: {check:?}"
         );
+        let parsed_profile = cordoba_obs::profile_chrome_trace(&trace).unwrap();
+        assert_eq!(
+            live_profile, parsed_profile,
+            "seed {seed}: live and trace-derived profiles diverged"
+        );
+        // The trace validator counts every `ph:"X"` event as a span,
+        // which includes the zero-duration instants the profiler tallies
+        // separately.
+        assert_eq!(
+            live_profile.spans + live_profile.instants,
+            check.spans,
+            "seed {seed}"
+        );
+        assert!(
+            live_profile
+                .entries
+                .iter()
+                .any(|e| e.name.starts_with("core/")),
+            "seed {seed}: no core spans in the profile: {live_profile:?}"
+        );
+        for entry in &live_profile.entries {
+            assert!(entry.self_ns <= entry.total_ns, "seed {seed}: {entry:?}");
+            assert!(entry.count >= 1, "seed {seed}: {entry:?}");
+        }
         cordoba_obs::clear_trace();
     }
     let counters = cordoba_obs::counter_snapshot();
